@@ -1,0 +1,82 @@
+// Ablation for §4.5 ("Experience with an Alternative Design"): the GPU-only
+// architecture — pre-process on the GPU with per-partition queues in global
+// memory and dynamic-parallelism child kernels — against the hybrid
+// CPU/GPU pipeline, across query selectivity regimes.
+//
+// The paper's finding: the GPU-only design holds up when pre-processing
+// filters out most queries (selective regime) but degrades when many queries
+// reach the subset-match phase (broad regime), because of the scattered
+// atomic queue writes in slow global memory.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/gpuonly/gpu_only_matcher.h"
+#include "src/common/rng.h"
+
+namespace tagmatch::bench {
+namespace {
+
+// Selective queries: random small tag sets that rarely cover any partition
+// mask. Broad queries: the usual db-set + extra tags, which always reach the
+// match phase.
+std::vector<BitVector192> selective_queries(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitVector192> out;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<workload::TagId> tags;
+    tags.push_back(workload::make_hashtag(90, static_cast<uint32_t>(rng.below(1u << 22))));
+    out.push_back(workload::encode_tags(tags).bits());
+  }
+  return out;
+}
+
+void run() {
+  BenchWorkload& w = shared_workload();
+  const size_t n = w.prefix_size(50);
+  print_header("Ablation (§4.5): hybrid pipeline vs GPU-only architecture",
+               "§4.5 (no figure; Kq/s by query selectivity)");
+
+  TagMatch hybrid(bench_engine_config(n));
+  populate_tagmatch(hybrid, w, n);
+
+  baselines::GpuOnlyConfig gconfig;
+  gconfig.max_partition_size = bench_engine_config(n).max_partition_size;
+  baselines::GpuOnlyMatcher gpu_only(gconfig);
+  for (size_t i = 0; i < n; ++i) {
+    gpu_only.add(w.db_filters[i], w.db[i].key);
+  }
+  gpu_only.build();
+
+  auto run_gpu_only = [&](const std::vector<BitVector192>& queries) {
+    StopWatch watch;
+    for (size_t off = 0; off < queries.size(); off += 256) {
+      size_t take = std::min<size_t>(256, queries.size() - off);
+      gpu_only.match_batch(std::span(queries.data() + off, take));
+    }
+    return queries.size() / watch.elapsed_s() / 1e3;
+  };
+
+  std::printf("%-22s  %14s  %14s\n", "workload", "hybrid Kq/s", "GPU-only Kq/s");
+  {
+    auto queries = selective_queries(6000, 5);
+    auto r = run_tagmatch(hybrid, queries, TagMatch::MatchKind::kMatch);
+    std::printf("%-22s  %14.2f  %14.2f\n", "selective (filtered)", r.kqps(),
+                run_gpu_only(queries));
+  }
+  {
+    auto queries = w.encoded_queries(6000, 2, 4);
+    auto r = run_tagmatch(hybrid, queries, TagMatch::MatchKind::kMatch);
+    std::printf("%-22s  %14.2f  %14.2f\n", "broad (db-seeded)", r.kqps(), run_gpu_only(queries));
+  }
+  std::printf("(paper: GPU-only works well when most packets are filtered in pre-process,\n"
+              " degrades when many reach subset-match — scattered atomic queue writes in\n"
+              " global memory; the hybrid design wins in the broad regime)\n");
+}
+
+}  // namespace
+}  // namespace tagmatch::bench
+
+int main() {
+  tagmatch::bench::run();
+  return 0;
+}

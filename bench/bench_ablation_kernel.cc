@@ -1,0 +1,57 @@
+// Ablation for the kernel and workflow optimizations of §3.3.1-§3.3.2:
+//  * block-level common-prefix pre-filtering (Algorithm 4) on/off;
+//  * packed 4+4 output layout vs naive 8-byte pairs (38% bus waste);
+//  * even/odd double-buffered result transfer vs the straightforward
+//    length-copy + synchronize + result-copy scheme.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace tagmatch::bench {
+namespace {
+
+void run() {
+  BenchWorkload& w = shared_workload();
+  const size_t n = w.db.size();
+  print_header("Ablation (§3.3): kernel and workflow optimizations",
+               "§3.3.1-§3.3.2 (match Kq/s, feature toggles)");
+
+  auto queries = w.encoded_queries(6000, 2, 4);
+  struct Case {
+    const char* name;
+    void (*tweak)(TagMatchConfig&);
+  };
+  const Case cases[] = {
+      {"all optimizations (default)", [](TagMatchConfig&) {}},
+      {"no prefix pre-filter", [](TagMatchConfig& c) { c.enable_prefix_filter = false; }},
+      {"unpacked (padded) output", [](TagMatchConfig& c) { c.packed_output = false; }},
+      {"single-buffered results", [](TagMatchConfig& c) { c.double_buffered_results = false; }},
+      {"none of the three",
+       [](TagMatchConfig& c) {
+         c.enable_prefix_filter = false;
+         c.packed_output = false;
+         c.double_buffered_results = false;
+       }},
+  };
+
+  std::printf("%-30s  %12s\n", "configuration", "match Kq/s");
+  for (const Case& c : cases) {
+    TagMatchConfig config = bench_engine_config(n);
+    c.tweak(config);
+    TagMatch tm(config);
+    populate_tagmatch(tm, w, n);
+    auto r = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatch);
+    std::printf("%-30s  %12.2f\n", c.name, r.kqps());
+  }
+  std::printf("(the paper reports the prefix filter as the most significant kernel\n"
+              " optimization; the packed layout saves 38%% of result bus traffic; the\n"
+              " double-buffer scheme removes one round trip and one copy per batch)\n");
+}
+
+}  // namespace
+}  // namespace tagmatch::bench
+
+int main() {
+  tagmatch::bench::run();
+  return 0;
+}

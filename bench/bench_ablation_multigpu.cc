@@ -1,0 +1,47 @@
+// Ablation for §3's multi-GPU table layouts: full replication of the tagset
+// table on every device (maximal inter-GPU parallelism — the paper's
+// default) vs partitioning the table across devices (halved per-device
+// memory with two GPUs, at the cost of binding each partition's batches to
+// one device's streams). The paper describes both modes; this bench
+// quantifies the memory/throughput trade-off.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace tagmatch::bench {
+namespace {
+
+void run() {
+  BenchWorkload& w = shared_workload();
+  const size_t n = w.db.size();
+  print_header("Ablation (§3): replicated vs partitioned tagset table",
+               "§3 'System Implementation' (match Kq/s and device memory)");
+
+  auto queries = w.encoded_queries(6000, 2, 4);
+  std::printf("%-24s  %12s  %14s  %16s\n", "table mode", "match Kq/s", "match-uniq Kq/s",
+              "GPU memory (all)");
+  for (auto mode : {TagMatchConfig::GpuTableMode::kReplicate,
+                    TagMatchConfig::GpuTableMode::kPartition}) {
+    TagMatchConfig config = bench_engine_config(n);
+    config.gpu_table_mode = mode;
+    TagMatch tm(config);
+    populate_tagmatch(tm, w, n);
+    auto r_match = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatch);
+    auto r_unique = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatchUnique);
+    std::printf("%-24s  %12.2f  %14.2f  %16s\n",
+                mode == TagMatchConfig::GpuTableMode::kReplicate ? "replicated (default)"
+                                                                 : "partitioned",
+                r_match.kqps(), r_unique.kqps(), format_bytes(tm.stats().gpu_bytes).c_str());
+  }
+  std::printf("(expected: partitioning stores each set once instead of once per GPU —\n"
+              " roughly half the tagset-table memory with 2 GPUs — while replication\n"
+              " retains the most scheduling freedom and peak throughput)\n");
+}
+
+}  // namespace
+}  // namespace tagmatch::bench
+
+int main() {
+  tagmatch::bench::run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Regenerates Figure 10: TagMatch vs MongoDB (MiniDb) on the paper's crafted
+// small workloads — databases of 1M/3M/5M sets with 2 or 3 tags each,
+// queries with a growing number of tags (the paper plots seconds/query on a
+// log scale). Scaled to 1%: 10K/30K/50K documents.
+//
+// Expected shape: MiniDb's per-query latency is linear in the collection
+// size and INSENSITIVE to tags-per-set and query size (collection scan);
+// TagMatch is orders of magnitude faster throughout.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/minidb/minidb.h"
+#include "src/common/rng.h"
+
+namespace tagmatch::bench {
+namespace {
+
+using workload::TagId;
+
+struct Crafted {
+  std::vector<std::vector<TagId>> sets;
+  std::vector<uint32_t> keys;
+};
+
+Crafted craft(size_t n_sets, unsigned tags_per_set, uint64_t seed) {
+  // Vocabulary sized for "similar selectivity" to the paper's workload:
+  // queries match a handful of documents.
+  Rng rng(seed);
+  Crafted c;
+  const uint32_t vocab = static_cast<uint32_t>(n_sets / 4 + 100);
+  for (size_t i = 0; i < n_sets; ++i) {
+    std::vector<TagId> tags;
+    for (unsigned t = 0; t < tags_per_set; ++t) {
+      tags.push_back(workload::make_hashtag(0, static_cast<uint32_t>(rng.below(vocab))));
+    }
+    c.sets.push_back(tags);
+    c.keys.push_back(static_cast<uint32_t>(i));
+  }
+  return c;
+}
+
+std::vector<std::vector<TagId>> craft_queries(const Crafted& c, size_t count, unsigned extra,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t vocab = static_cast<uint32_t>(c.sets.size() / 4 + 100);
+  std::vector<std::vector<TagId>> queries;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<TagId> q = c.sets[rng.below(c.sets.size())];
+    for (unsigned e = 0; e < extra; ++e) {
+      q.push_back(workload::make_hashtag(0, static_cast<uint32_t>(rng.below(vocab))));
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+void run() {
+  print_header("Figure 10: comparison with MongoDB (MiniDb)",
+               "Fig. 10 (seconds per match query, log scale in the paper)");
+
+  std::printf("%-10s %-9s %-11s  %16s  %16s\n", "db sets", "tags/set", "extra tags",
+              "MiniDb s/query", "TagMatch Kq/s");
+  for (size_t n_sets : {10'000u, 30'000u, 50'000u}) {
+    for (unsigned tags_per_set : {2u, 3u}) {
+      Crafted c = craft(n_sets, tags_per_set, 7 + n_sets + tags_per_set);
+
+      baselines::MiniDb mini{baselines::MiniDbConfig{}};
+      for (size_t i = 0; i < c.sets.size(); ++i) {
+        mini.insert(c.keys[i], c.sets[i]);
+      }
+      TagMatch tm(bench_engine_config(n_sets));
+      for (size_t i = 0; i < c.sets.size(); ++i) {
+        tm.add_set(workload::encode_tags(c.sets[i]), c.keys[i]);
+      }
+      tm.consolidate();
+
+      for (unsigned extra : {2u, 6u}) {
+        auto queries = craft_queries(c, 2000, extra, 99);
+        // MiniDb: few queries suffice (they are slow).
+        StopWatch watch;
+        const size_t mini_queries = 20;
+        for (size_t i = 0; i < mini_queries; ++i) {
+          mini.find_subset(queries[i]);
+        }
+        double mini_spq = watch.elapsed_s() / static_cast<double>(mini_queries);
+
+        std::vector<BitVector192> encoded;
+        for (const auto& q : queries) {
+          encoded.push_back(workload::encode_tags(q).bits());
+        }
+        auto r = run_tagmatch(tm, encoded, TagMatch::MatchKind::kMatch);
+        std::printf("%-10zu %-9u %-11u  %16.6f  %16.2f\n", n_sets, tags_per_set, extra,
+                    mini_spq, r.kqps());
+      }
+    }
+  }
+  std::printf("(paper: MongoDB >2 s/query at 1M sets, >10 s at 5M — linear in db size,\n"
+              " insensitive to tags/set and query size; TagMatch >32 Kq/s throughout)\n");
+}
+
+}  // namespace
+}  // namespace tagmatch::bench
+
+int main() {
+  tagmatch::bench::run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Regenerates Figure 5: average throughput of TagMatch and the CPU prefix
+// tree as a function of the number of CPU threads allocated to the
+// (CPU-side) processing stages, for match and match-unique.
+//
+// Note: on a single-core container all curves flatten — the code paths are
+// real, the parallel hardware is not (see EXPERIMENTS.md).
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/baselines/prefix_tree/prefix_tree.h"
+
+namespace tagmatch::bench {
+namespace {
+
+// Multi-threaded query driver for the prefix tree (the paper gives every
+// subject system the same number of threads).
+ThroughputResult run_tree_threaded(const baselines::PrefixTreeMatcher& tree,
+                                   const std::vector<BitVector192>& queries, unsigned threads,
+                                   bool unique) {
+  std::vector<std::thread> workers;
+  std::atomic<uint64_t> keys{0};
+  StopWatch watch;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t local = 0;
+      for (size_t i = t; i < queries.size(); i += threads) {
+        if (unique) {
+          local += tree.match_unique(queries[i]).size();
+        } else {
+          tree.match(queries[i], [&local](uint32_t) { ++local; });
+        }
+      }
+      keys.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  ThroughputResult r;
+  r.seconds = watch.elapsed_s();
+  r.queries = queries.size();
+  r.output_keys = keys.load();
+  return r;
+}
+
+void run() {
+  BenchWorkload& w = shared_workload();
+  const size_t n = w.prefix_size(50);
+  print_header("Figure 5: throughput vs number of CPU threads", "Fig. 5 (Kq/s)");
+  std::printf("(host reports %u hardware threads)\n", std::thread::hardware_concurrency());
+
+  baselines::PrefixTreeMatcher tree;
+  for (size_t i = 0; i < n; ++i) {
+    tree.add(w.db_filters[i], w.db[i].key);
+  }
+  tree.build();
+  auto queries = w.encoded_queries(6000, 2, 4);
+
+  std::printf("%-8s  %12s  %14s  %12s  %14s\n", "threads", "TM match", "TM match-uniq",
+              "PT match", "PT match-uniq");
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+    TagMatch tm(bench_engine_config(n, threads));
+    populate_tagmatch(tm, w, n);
+    auto r_match = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatch);
+    auto r_unique = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatchUnique);
+    auto p_match = run_tree_threaded(tree, queries, threads, false);
+    auto p_unique = run_tree_threaded(tree, queries, threads, true);
+    std::printf("%-8u  %12.2f  %14.2f  %12.2f  %14.2f\n", threads, r_match.kqps(),
+                r_unique.kqps(), p_match.kqps(), p_unique.kqps());
+  }
+  std::printf("(paper on 24 cores: near-linear scaling to ~16 threads — 1.8x from 4 to 8,\n"
+              " 3.3x from 4 to 16; match plateaus past 24 threads when the GPUs become\n"
+              " the bottleneck, match-unique keeps growing to 40+ threads)\n");
+}
+
+}  // namespace
+}  // namespace tagmatch::bench
+
+int main() {
+  tagmatch::bench::run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regenerates Figure 8: running time of the off-line partitioning
+// (consolidate) as a function of the database size — expected linear — plus
+// the paper's rough comparison with MongoDB ingestion (33 s for 5M sets vs
+// ~2 s of partitioning).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/minidb/minidb.h"
+
+namespace tagmatch::bench {
+namespace {
+
+void run() {
+  BenchWorkload& w = shared_workload();
+  print_header("Figure 8: off-line partitioning time", "Fig. 8 (seconds, MAX_P = db/1000)");
+
+  std::printf("%-10s  %12s  %16s\n", "db size", "sets", "consolidate s");
+  for (unsigned frac : {20u, 40u, 60u, 80u, 100u}) {
+    const size_t n = w.prefix_size(frac);
+    TagMatch tm(bench_engine_config(w.db.size()));
+    populate_tagmatch(tm, w, n);
+    std::printf("%8u%%  %12zu  %16.3f\n", frac, n, tm.stats().last_consolidate_seconds);
+  }
+
+  // MongoDB comparison (scaled): ingest the same sets into the document
+  // store, with its multikey index maintained.
+  const size_t mini_n = w.prefix_size(20);
+  baselines::MiniDbConfig mconfig;
+  mconfig.query_roundtrip_ns = 0;
+  baselines::MiniDb mini(mconfig);
+  StopWatch watch;
+  for (size_t i = 0; i < mini_n; ++i) {
+    mini.insert(w.db[i].key, w.db[i].tags);
+  }
+  double mini_s = watch.elapsed_s();
+  std::printf("\nMiniDb (MongoDB-like) ingestion of %zu sets with multikey index: %.3f s\n",
+              mini_n, mini_s);
+  std::printf("(paper: partitioning linear in db size, ~50 s for the full 212M sets;\n"
+              " MongoDB needs ~33 s for a 5M-set table that TagMatch partitions in ~2 s)\n");
+}
+
+}  // namespace
+}  // namespace tagmatch::bench
+
+int main() {
+  tagmatch::bench::run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath the
+// paper's throughput numbers: the three-block subset check, Bloom encoding,
+// partition-table lookup, the packed output codec, and Algorithm 1 itself.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/common/rng.h"
+#include "src/core/packed_output.h"
+#include "src/core/partition_table.h"
+#include "src/core/partitioner.h"
+#include "src/workload/tags.h"
+
+namespace tagmatch {
+namespace {
+
+std::vector<BitVector192> random_filters(size_t n, unsigned bits, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitVector192> out(n);
+  for (auto& f : out) {
+    for (unsigned i = 0; i < bits; ++i) {
+      f.set(static_cast<unsigned>(rng.below(192)));
+    }
+  }
+  return out;
+}
+
+void BM_SubsetCheck(benchmark::State& state) {
+  auto filters = random_filters(1024, 35, 1);
+  auto queries = random_filters(1024, 60, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filters[i & 1023].subset_of(queries[(i * 7) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SubsetCheck);
+
+void BM_BloomEncodeTagIds(benchmark::State& state) {
+  std::vector<workload::TagId> tags;
+  for (uint32_t i = 0; i < state.range(0); ++i) {
+    tags.push_back(workload::make_hashtag(i % 8, i * 977));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::encode_tags(tags));
+  }
+}
+BENCHMARK(BM_BloomEncodeTagIds)->Arg(5)->Arg(10);
+
+void BM_BloomEncodeStrings(benchmark::State& state) {
+  std::vector<std::string> tags;
+  for (int i = 0; i < 5; ++i) {
+    tags.push_back("hashtag" + std::to_string(i * 977));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BloomFilter192::of(tags));
+  }
+}
+BENCHMARK(BM_BloomEncodeStrings);
+
+void BM_PartitionTableLookup(benchmark::State& state) {
+  auto filters = random_filters(100'000, 35, 3);
+  auto partitions = balance_partitions(filters, static_cast<uint32_t>(state.range(0)));
+  PartitionTable pt;
+  for (PartitionId id = 0; id < partitions.size(); ++id) {
+    pt.add(partitions[id].mask, id);
+  }
+  auto queries = random_filters(1024, 60, 4);
+  size_t i = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    pt.find_matches(queries[i & 1023], [&](PartitionId) { ++hits; });
+    ++i;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.counters["partitions"] = static_cast<double>(partitions.size());
+}
+BENCHMARK(BM_PartitionTableLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PackedCodecWrite(benchmark::State& state) {
+  std::vector<std::byte> buf(PackedResultCodec::bytes_for(4096));
+  size_t i = 0;
+  for (auto _ : state) {
+    PackedResultCodec::write(buf.data(), i & 4095,
+                             ResultPair{static_cast<uint8_t>(i), static_cast<uint32_t>(i)});
+    ++i;
+  }
+  benchmark::DoNotOptimize(buf.data());
+}
+BENCHMARK(BM_PackedCodecWrite);
+
+void BM_BalancedPartitioning(benchmark::State& state) {
+  auto filters = random_filters(static_cast<size_t>(state.range(0)), 35, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balance_partitions(filters, 1000));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BalancedPartitioning)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tagmatch
+
+BENCHMARK_MAIN();

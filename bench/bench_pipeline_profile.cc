@@ -1,0 +1,91 @@
+// Pipeline utilization profile, supporting the §3.3.2 claims: GPUs process
+// multiple batches on multiple partitions in parallel, and communication
+// overlaps with computation. Runs the GPU engine with profiling enabled and
+// reports copy/kernel busy time, transfer volume, and the wall time during
+// which at least two device operations ran concurrently. Also dumps a
+// chrome://tracing timeline.
+#include <atomic>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/gpu_engine.h"
+#include "src/core/partitioner.h"
+
+namespace tagmatch::bench {
+namespace {
+
+void run() {
+  BenchWorkload& w = shared_workload();
+  const size_t n = w.prefix_size(50);
+  print_header("Pipeline profile: stream overlap and bus utilization",
+               "§3.3.2 (workflow optimizations; no figure)");
+
+  TagMatchConfig config = bench_engine_config(n);
+  config.gpu_profiling = true;
+  TagMatch tm(config);
+  populate_tagmatch(tm, w, n);
+
+  auto queries = w.encoded_queries(8000, 2, 4);
+  auto result = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatch);
+  std::printf("throughput: %.2f Kq/s over %llu queries\n", result.kqps(),
+              static_cast<unsigned long long>(result.queries));
+
+  // Rebuild a bare engine to read its profile (TagMatch owns its engine
+  // privately; measure the same traffic directly).
+  std::atomic<uint64_t> delivered{0};
+  GpuEngine engine(config, [&](void*, std::span<const ResultPair> pairs, bool) {
+    delivered += pairs.size();
+  });
+  // Reuse TagMatch's consolidated layout by re-partitioning here.
+  std::vector<BitVector192> filters(w.db_filters.begin(), w.db_filters.begin() + n);
+  auto parts = balance_partitions(filters, config.max_partition_size);
+  std::vector<BitVector192> flat;
+  std::vector<uint32_t> ids, offsets{0};
+  for (auto& p : parts) {
+    std::sort(p.members.begin(), p.members.end(),
+              [&](uint32_t a, uint32_t b) { return filters[a] < filters[b]; });
+    for (uint32_t m : p.members) {
+      flat.push_back(filters[m]);
+      ids.push_back(m);
+    }
+    offsets.push_back(static_cast<uint32_t>(flat.size()));
+  }
+  engine.upload(TagsetTableView{flat, ids, offsets});
+
+  StopWatch watch;
+  const uint32_t batch = config.batch_size;
+  for (size_t off = 0; off + batch <= queries.size(); off += batch) {
+    engine.submit(static_cast<PartitionId>((off / batch) % parts.size()),
+                  std::span(queries.data() + off, batch), nullptr);
+  }
+  engine.drain();
+  double secs = watch.elapsed_s();
+
+  auto s = engine.profile_summary();
+  auto pct = [&](int64_t ns) { return 100.0 * static_cast<double>(ns) / (secs * 1e9); };
+  std::printf("\nraw engine run: %zu batches in %.2f s, %llu pairs delivered\n",
+              queries.size() / batch, secs, static_cast<unsigned long long>(delivered.load()));
+  std::printf("device ops: %zu   span: %.2f s\n", s.op_count, s.span_ns / 1e9);
+  std::printf("h2d busy:    %6.1f ms (%.1f%% of wall, %s)\n", s.h2d_ns / 1e6, pct(s.h2d_ns),
+              format_bytes(s.h2d_bytes).c_str());
+  std::printf("d2h busy:    %6.1f ms (%.1f%% of wall, %s)\n", s.d2h_ns / 1e6, pct(s.d2h_ns),
+              format_bytes(s.d2h_bytes).c_str());
+  std::printf("kernel busy: %6.1f ms (%.1f%% of wall)\n", s.kernel_ns / 1e6, pct(s.kernel_ns));
+  std::printf("overlap (>=2 ops concurrent): %.1f ms (%.1f%% of wall)\n", s.concurrent_ns / 1e6,
+              pct(s.concurrent_ns));
+
+  const char* trace_path = "/tmp/gpusim_trace.json";
+  if (engine.write_gpu_trace(trace_path)) {
+    std::printf("timeline written to %s (open in chrome://tracing)\n", trace_path);
+  }
+  std::printf("(the overlap figure is the point of §3.3.2: with one stream and\n"
+              " synchronous copies it would be ~0)\n");
+}
+
+}  // namespace
+}  // namespace tagmatch::bench
+
+int main() {
+  tagmatch::bench::run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// A running TagBroker service (src/broker) — the paper's "future work"
+// integration: a full tag-based pub/sub messaging layer on top of the
+// TagMatch engine, with live subscription churn, background consolidation,
+// bounded per-subscriber queues, and concurrent publishers/consumers.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "src/broker/broker.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+int main() {
+  using namespace tagmatch;
+  using broker::Broker;
+  using broker::Message;
+  using Tags = std::vector<std::string>;
+
+  broker::BrokerConfig config;
+  config.engine.num_threads = 2;
+  config.engine.num_gpus = 1;
+  config.engine.streams_per_gpu = 2;
+  config.engine.gpu_memory_capacity = 256ull << 20;
+  config.engine.max_partition_size = 256;
+  config.consolidate_interval = std::chrono::milliseconds(100);
+  Broker broker(config);
+
+  // A fleet of subscribers with topic interests.
+  const char* kTopics[] = {"kernel", "storage", "network", "security", "build"};
+  std::vector<broker::SubscriberId> subscribers;
+  for (int i = 0; i < 40; ++i) {
+    auto id = broker.connect();
+    broker.subscribe(id, Tags{kTopics[i % 5]});
+    if (i % 3 == 0) {
+      broker.subscribe(id, Tags{kTopics[(i + 1) % 5], "urgent"});
+    }
+    subscribers.push_back(id);
+  }
+
+  // Consumers drain their queues while publishers are live.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> consumed{0};
+  std::vector<std::thread> consumers;
+  for (auto id : subscribers) {
+    consumers.emplace_back([&, id] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (broker.poll_wait(id, std::chrono::milliseconds(20)).has_value()) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      while (broker.poll(id).has_value()) {
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Two publisher threads emitting 4000 messages total.
+  constexpr int kMessages = 2000;
+  StopWatch watch;
+  std::vector<std::thread> publishers;
+  for (int p = 0; p < 2; ++p) {
+    publishers.emplace_back([&, p] {
+      Rng rng(1000 + p);
+      for (int i = 0; i < kMessages; ++i) {
+        Tags tags = {kTopics[rng.below(5)], "build-" + std::to_string(i % 7)};
+        if (rng.chance(0.2)) {
+          tags.push_back("urgent");
+        }
+        broker.publish(Message{tags, "msg"});
+      }
+    });
+  }
+  for (auto& t : publishers) {
+    t.join();
+  }
+  broker.flush();
+  stop = true;
+  for (auto& t : consumers) {
+    t.join();
+  }
+
+  auto stats = broker.stats();
+  std::printf("published %llu messages in %.2f s (%.0f msg/s)\n",
+              static_cast<unsigned long long>(stats.published), watch.elapsed_s(),
+              static_cast<double>(stats.published) / watch.elapsed_s());
+  std::printf("deliveries: %llu (consumed %llu, dropped %llu)\n",
+              static_cast<unsigned long long>(stats.deliveries),
+              static_cast<unsigned long long>(consumed.load()),
+              static_cast<unsigned long long>(stats.dropped));
+  std::printf("subscribers: %llu, live subscriptions: %llu, consolidations: %llu\n",
+              static_cast<unsigned long long>(stats.subscribers),
+              static_cast<unsigned long long>(stats.subscriptions),
+              static_cast<unsigned long long>(stats.consolidations));
+  return consumed.load() == stats.deliveries ? 0 : 1;
+}

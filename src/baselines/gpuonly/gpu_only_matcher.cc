@@ -1,0 +1,192 @@
+#include "src/baselines/gpuonly/gpu_only_matcher.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/core/partitioner.h"
+
+namespace tagmatch::baselines {
+
+namespace {
+constexpr uint32_t kQueueCapacity = 256;  // One batch's worth of query ids.
+}
+
+GpuOnlyMatcher::GpuOnlyMatcher(const GpuOnlyConfig& config) : config_(config) {
+  gpusim::DeviceConfig dev_config;
+  dev_config.name = "SimTITAN-X:gpuonly";
+  dev_config.memory_capacity = config.memory_capacity;
+  dev_config.num_sms = config.num_sms;
+  dev_config.max_streams = 1;
+  dev_config.costs = config.costs;
+  device_ = std::make_unique<gpusim::Device>(std::move(dev_config));
+  stream_ = std::make_unique<gpusim::Stream>(device_.get());
+}
+
+GpuOnlyMatcher::~GpuOnlyMatcher() { stream_.reset(); }
+
+void GpuOnlyMatcher::add(const BitVector192& filter, Key key) {
+  staged_.emplace_back(filter, key);
+}
+
+void GpuOnlyMatcher::build() {
+  // Partition exactly like the hybrid engine (Algorithm 1), but keep the
+  // masks on the device: the pre-process index lives in GPU global memory.
+  std::vector<BitVector192> filters;
+  filters.reserve(staged_.size());
+  for (const auto& [f, k] : staged_) {
+    filters.push_back(f);
+  }
+  std::vector<tagmatch::Partition> parts =
+      tagmatch::balance_partitions(filters, config_.max_partition_size);
+
+  std::vector<BitVector192> flat_filters;
+  std::vector<BitVector192> masks;
+  keys_by_slot_.clear();
+  offsets_.clear();
+  offsets_.push_back(0);
+  for (auto& p : parts) {
+    std::sort(p.members.begin(), p.members.end(),
+              [&](uint32_t a, uint32_t b) { return filters[a] < filters[b]; });
+    for (uint32_t m : p.members) {
+      flat_filters.push_back(filters[m]);
+      keys_by_slot_.push_back(staged_[m].second);
+    }
+    masks.push_back(p.mask);
+    offsets_.push_back(static_cast<uint32_t>(flat_filters.size()));
+  }
+  num_masks_ = masks.size();
+
+  const size_t p = masks.size();
+  dev_filters_ = device_->alloc(std::max<size_t>(flat_filters.size() * sizeof(BitVector192), 1));
+  dev_masks_ = device_->alloc(std::max<size_t>(p * sizeof(BitVector192), 1));
+  dev_offsets_ = device_->alloc((p + 1) * sizeof(uint32_t));
+  dev_queries_ = device_->alloc(256 * sizeof(BitVector192));
+  // Queue layout: u32 counts[p], then u8 entries[p * kQueueCapacity].
+  dev_queues_ = device_->alloc(std::max<size_t>(p * (sizeof(uint32_t) + kQueueCapacity), 1));
+  const size_t result_bytes = 16 + tagmatch::UnpackedResultCodec::bytes_for(config_.result_capacity);
+  dev_results_ = device_->alloc(result_bytes);
+  host_results_.resize(result_bytes);
+
+  if (!flat_filters.empty()) {
+    stream_->memcpy_h2d(dev_filters_.data(), flat_filters.data(),
+                        flat_filters.size() * sizeof(BitVector192));
+    stream_->memcpy_h2d(dev_masks_.data(), masks.data(), p * sizeof(BitVector192));
+  }
+  stream_->memcpy_h2d(dev_offsets_.data(), offsets_.data(), offsets_.size() * sizeof(uint32_t));
+  stream_->synchronize();
+}
+
+std::vector<std::vector<GpuOnlyMatcher::Key>> GpuOnlyMatcher::match_batch(
+    std::span<const BitVector192> queries) {
+  TAGMATCH_CHECK(!queries.empty() && queries.size() <= 256);
+  std::vector<std::vector<Key>> out(queries.size());
+  const uint32_t num_partitions = static_cast<uint32_t>(num_masks_);
+  if (num_partitions == 0) {
+    return out;
+  }
+  const uint32_t nq = static_cast<uint32_t>(queries.size());
+
+  stream_->memcpy_h2d(dev_queries_.data(), queries.data(), nq * sizeof(BitVector192));
+  stream_->memset_d(dev_queues_.data(), 0, num_partitions * sizeof(uint32_t));
+  stream_->memset_d(dev_results_.data(), 0, 16);
+
+  const BitVector192* filters = dev_filters_.as<const BitVector192>();
+  const BitVector192* masks = dev_masks_.as<const BitVector192>();
+  const uint32_t* offsets = dev_offsets_.as<const uint32_t>();
+  const BitVector192* dev_q = dev_queries_.as<const BitVector192>();
+  uint32_t* queue_counts = dev_queues_.as<uint32_t>();
+  uint8_t* queue_entries =
+      reinterpret_cast<uint8_t*>(dev_queues_.data()) + num_partitions * sizeof(uint32_t);
+  auto* counter = dev_results_.as<uint64_t>();
+  auto* overflow = dev_results_.as<uint64_t>() + 1;
+  std::byte* payload = dev_results_.data() + 16;
+  const uint64_t capacity = config_.result_capacity;
+  const unsigned block_dim = config_.block_dim;
+
+  gpusim::LaunchConfig parent;
+  parent.block_dim = block_dim;
+  parent.grid_dim = (num_partitions + block_dim - 1) / block_dim;
+  // Parent kernel: one thread per partition. Classify the whole batch
+  // against this partition's mask, filling the partition queue in global
+  // memory (the scattered atomic writes of §4.5), then launch the child
+  // subset-match kernel on the filled queue via dynamic parallelism.
+  stream_->launch(parent, [=](gpusim::BlockContext& ctx) {
+    ctx.threads([&](uint32_t tid) {
+      const uint32_t part = ctx.block_first_thread() + tid;
+      if (part >= num_partitions) {
+        return;
+      }
+      uint8_t* queue = queue_entries + static_cast<size_t>(part) * kQueueCapacity;
+      for (uint32_t qi = 0; qi < nq; ++qi) {
+        if (masks[part].subset_of(dev_q[qi])) {
+          uint32_t slot = std::atomic_ref<uint32_t>(queue_counts[part])
+                              .fetch_add(1, std::memory_order_relaxed);
+          queue[slot] = static_cast<uint8_t>(qi);
+        }
+      }
+      const uint32_t queued = queue_counts[part];
+      if (queued == 0) {
+        return;
+      }
+      const uint32_t begin = offsets[part];
+      const uint32_t size = offsets[part + 1] - begin;
+      ctx.launch_child((size + block_dim - 1) / block_dim, block_dim, 0,
+                       [&](gpusim::BlockContext& child) {
+                         child.threads([&](uint32_t ctid) {
+                           const uint32_t s = child.block_first_thread() + ctid;
+                           if (s >= size) {
+                             return;
+                           }
+                           const BitVector192& f = filters[begin + s];
+                           for (uint32_t j = 0; j < queued; ++j) {
+                             const uint8_t qi = queue[j];
+                             if (f.subset_of(dev_q[qi])) {
+                               uint64_t idx = std::atomic_ref<uint64_t>(*counter).fetch_add(
+                                   1, std::memory_order_relaxed);
+                               if (idx < capacity) {
+                                 tagmatch::UnpackedResultCodec::write(
+                                     payload, idx, tagmatch::ResultPair{qi, begin + s});
+                               } else {
+                                 std::atomic_ref<uint64_t>(*overflow).store(
+                                     1, std::memory_order_relaxed);
+                               }
+                             }
+                           }
+                         });
+                       });
+    });
+  });
+
+  stream_->memcpy_d2h(host_results_.data(), dev_results_.data(), 16);
+  stream_->synchronize();
+  uint64_t count = 0;
+  uint64_t overflowed = 0;
+  std::memcpy(&count, host_results_.data(), sizeof(count));
+  std::memcpy(&overflowed, host_results_.data() + 8, sizeof(overflowed));
+  const uint64_t stored = std::min<uint64_t>(count, capacity);
+  stream_->memcpy_d2h(host_results_.data() + 16, dev_results_.data() + 16,
+                      tagmatch::UnpackedResultCodec::bytes_for(stored));
+  stream_->synchronize();
+
+  if (overflowed != 0) {
+    // Exact CPU fallback: brute force over the staged (filter, key) pairs.
+    for (const auto& [f, k] : staged_) {
+      for (uint32_t qi = 0; qi < nq; ++qi) {
+        if (f.subset_of(queries[qi])) {
+          out[qi].push_back(k);
+        }
+      }
+    }
+    return out;
+  }
+
+  for (uint64_t i = 0; i < stored; ++i) {
+    tagmatch::ResultPair pair = tagmatch::UnpackedResultCodec::read(host_results_.data() + 16, i);
+    out[pair.query].push_back(keys_by_slot_[pair.set_id]);
+  }
+  return out;
+}
+
+}  // namespace tagmatch::baselines

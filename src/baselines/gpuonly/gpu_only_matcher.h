@@ -1,0 +1,74 @@
+// The alternative GPU-only architecture of §4.5: both the pre-process stage
+// and the subset-match stage run on the GPU, using dynamic parallelism.
+//
+// A single parent kernel classifies a batch of queries against all partition
+// masks, appending query indices to per-partition queues in device global
+// memory (atomic appends, scattered writes — the access pattern the paper
+// identifies as the design's weakness), and then launches a child
+// subset-match kernel per non-empty partition queue from within the GPU.
+// Only the final results cross the bus.
+//
+// The paper found this design competitive only when pre-processing filters
+// out most queries; bench_ablation_gpuonly reproduces that selectivity
+// crossover against the hybrid pipeline.
+#ifndef TAGMATCH_BASELINES_GPUONLY_GPU_ONLY_MATCHER_H_
+#define TAGMATCH_BASELINES_GPUONLY_GPU_ONLY_MATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_vector.h"
+#include "src/core/packed_output.h"
+#include "src/gpusim/device.h"
+#include "src/gpusim/stream.h"
+
+namespace tagmatch::baselines {
+
+struct GpuOnlyConfig {
+  uint32_t max_partition_size = 4096;
+  unsigned block_dim = 256;
+  unsigned num_sms = 2;
+  uint64_t memory_capacity = 12ull << 30;
+  uint32_t result_capacity = 1u << 20;
+  gpusim::CostModel costs;
+};
+
+class GpuOnlyMatcher {
+ public:
+  using Key = uint32_t;
+
+  explicit GpuOnlyMatcher(const GpuOnlyConfig& config);
+  ~GpuOnlyMatcher();
+
+  void add(const BitVector192& filter, Key key);
+  void build();
+
+  // Matches a batch of up to 256 queries entirely on the device; returns
+  // per-query key lists.
+  std::vector<std::vector<Key>> match_batch(std::span<const BitVector192> queries);
+
+  size_t partition_count() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+ private:
+  GpuOnlyConfig config_;
+  std::vector<std::pair<BitVector192, Key>> staged_;
+  std::vector<Key> keys_by_slot_;       // Key of tagset-table slot i (host side).
+  std::vector<uint32_t> offsets_;       // Partition boundaries.
+  size_t num_masks_ = 0;
+
+  std::unique_ptr<gpusim::Device> device_;
+  std::unique_ptr<gpusim::Stream> stream_;
+  gpusim::DeviceBuffer dev_filters_;
+  gpusim::DeviceBuffer dev_masks_;      // One mask per partition.
+  gpusim::DeviceBuffer dev_offsets_;
+  gpusim::DeviceBuffer dev_queries_;
+  gpusim::DeviceBuffer dev_queues_;     // Per-partition query queues.
+  gpusim::DeviceBuffer dev_results_;
+  std::vector<std::byte> host_results_;
+};
+
+}  // namespace tagmatch::baselines
+
+#endif  // TAGMATCH_BASELINES_GPUONLY_GPU_ONLY_MATCHER_H_

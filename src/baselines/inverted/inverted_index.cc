@@ -1,0 +1,83 @@
+#include "src/baselines/inverted/inverted_index.h"
+
+namespace tagmatch::baselines {
+
+void InvertedIndexMatcher::add(std::vector<TagId> tags, Key key) {
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  staged_.push_back(Staged{std::move(tags), key});
+}
+
+void InvertedIndexMatcher::build() {
+  postings_.clear();
+  set_sizes_.clear();
+  set_keys_.clear();
+  empty_sets_.clear();
+  set_sizes_.reserve(staged_.size());
+  set_keys_.reserve(staged_.size());
+  for (uint32_t sid = 0; sid < staged_.size(); ++sid) {
+    const Staged& s = staged_[sid];
+    set_sizes_.push_back(static_cast<uint16_t>(s.tags.size()));
+    set_keys_.push_back(s.key);
+    if (s.tags.empty()) {
+      empty_sets_.push_back(sid);
+      continue;
+    }
+    for (TagId t : s.tags) {
+      postings_[t].push_back(sid);
+    }
+  }
+  counters_.assign(set_sizes_.size(), 0);
+  touched_.clear();
+}
+
+std::vector<InvertedIndexMatcher::Key> InvertedIndexMatcher::match(
+    const std::vector<TagId>& query) const {
+  // Deduplicate query tags so a repeated tag cannot double-count.
+  std::vector<TagId> q = query;
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+
+  std::vector<Key> keys;
+  for (uint32_t sid : empty_sets_) {
+    keys.push_back(set_keys_[sid]);
+  }
+  for (TagId t : q) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) {
+      continue;
+    }
+    for (uint32_t sid : it->second) {
+      if (counters_[sid] == 0) {
+        touched_.push_back(sid);
+      }
+      if (++counters_[sid] == set_sizes_[sid]) {
+        keys.push_back(set_keys_[sid]);
+      }
+    }
+  }
+  for (uint32_t sid : touched_) {
+    counters_[sid] = 0;
+  }
+  touched_.clear();
+  return keys;
+}
+
+std::vector<InvertedIndexMatcher::Key> InvertedIndexMatcher::match_unique(
+    const std::vector<TagId>& query) const {
+  std::vector<Key> keys = match(query);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+uint64_t InvertedIndexMatcher::memory_bytes() const {
+  uint64_t total = set_sizes_.capacity() * sizeof(uint16_t) + set_keys_.capacity() * sizeof(Key) +
+                   counters_.capacity() * sizeof(uint16_t);
+  for (const auto& [tag, list] : postings_) {
+    total += sizeof(tag) + list.capacity() * sizeof(uint32_t) + 48;  // Node overhead estimate.
+  }
+  return total;
+}
+
+}  // namespace tagmatch::baselines

@@ -1,0 +1,57 @@
+// Classic counting-based inverted-index subset matcher (Yan &
+// Garcia-Molina's SIFT counting algorithm; see §5 "Related Work"). Operates
+// on exact tag ids rather than Bloom signatures, so it doubles as an
+// exact-match cross-check for the signature-based engines in tests.
+//
+// Index: tag -> postings list of set ids. Matching query q: walk the
+// postings of every tag in q, counting hits per candidate set; a set with
+// |set| tags matches iff its counter reaches |set|. Sets containing any tag
+// absent from q are never fully counted. The empty set matches every query.
+#ifndef TAGMATCH_BASELINES_INVERTED_INVERTED_INDEX_H_
+#define TAGMATCH_BASELINES_INVERTED_INVERTED_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/workload/tags.h"
+
+namespace tagmatch::baselines {
+
+class InvertedIndexMatcher {
+ public:
+  using Key = uint32_t;
+  using TagId = workload::TagId;
+
+  // Adds a set (duplicate tags within a set are ignored).
+  void add(std::vector<TagId> tags, Key key);
+  void build();
+
+  std::vector<Key> match(const std::vector<TagId>& query) const;
+  std::vector<Key> match_unique(const std::vector<TagId>& query) const;
+
+  size_t size() const { return set_sizes_.size(); }
+  uint64_t memory_bytes() const;
+
+ private:
+  struct Staged {
+    std::vector<TagId> tags;
+    Key key;
+  };
+
+  std::vector<Staged> staged_;
+  std::unordered_map<TagId, std::vector<uint32_t>> postings_;
+  std::vector<uint16_t> set_sizes_;   // Unique tag count per set.
+  std::vector<Key> set_keys_;
+  std::vector<uint32_t> empty_sets_;  // Sets with no tags match everything.
+  // Scratch counters sized to the set count; mutable per-call (the matcher
+  // is NOT thread-safe for concurrent match calls, unlike the trie
+  // matchers — noted here because the bench drivers clone it per thread).
+  mutable std::vector<uint16_t> counters_;
+  mutable std::vector<uint32_t> touched_;
+};
+
+}  // namespace tagmatch::baselines
+
+#endif  // TAGMATCH_BASELINES_INVERTED_INVERTED_INDEX_H_

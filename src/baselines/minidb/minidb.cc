@@ -1,0 +1,243 @@
+#include "src/baselines/minidb/minidb.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unordered_set>
+
+#include "src/common/check.h"
+
+namespace tagmatch::baselines {
+
+namespace {
+
+void append_u32(std::vector<uint8_t>& out, uint32_t v) {
+  uint8_t buf[4];
+  std::memcpy(buf, &v, 4);
+  out.insert(out.end(), buf, buf + 4);
+}
+
+void append_u64(std::vector<uint8_t>& out, uint64_t v) {
+  uint8_t buf[8];
+  std::memcpy(buf, &v, 8);
+  out.insert(out.end(), buf, buf + 8);
+}
+
+void append_cstr(std::vector<uint8_t>& out, const char* s) {
+  while (*s != '\0') {
+    out.push_back(static_cast<uint8_t>(*s++));
+  }
+  out.push_back(0);
+}
+
+uint32_t read_u32(const uint8_t*& p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  p += 4;
+  return v;
+}
+
+uint64_t read_u64(const uint8_t*& p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  p += 8;
+  return v;
+}
+
+const uint8_t* skip_cstr(const uint8_t* p) {
+  while (*p != 0) {
+    ++p;
+  }
+  return p + 1;
+}
+
+}  // namespace
+
+MiniDb::MiniDb(const MiniDbConfig& config) : config_(config) {}
+
+// Record layout (BSON-flavoured: named, typed fields):
+//   "_id"  (u64) | "user" (u32) | "tags" (u32 count, then count x u32)
+std::vector<uint8_t> MiniDb::encode(DocId id, uint32_t user_key,
+                                    const std::vector<TagId>& tags) {
+  std::vector<uint8_t> out;
+  out.reserve(32 + tags.size() * 4);
+  append_cstr(out, "_id");
+  append_u64(out, id);
+  append_cstr(out, "user");
+  append_u32(out, user_key);
+  append_cstr(out, "tags");
+  append_u32(out, static_cast<uint32_t>(tags.size()));
+  for (TagId t : tags) {
+    append_u32(out, t);
+  }
+  return out;
+}
+
+MiniDb::Decoded MiniDb::decode(const std::vector<uint8_t>& bson) {
+  Decoded d;
+  const uint8_t* p = bson.data();
+  p = skip_cstr(p);  // "_id"
+  d.id = read_u64(p);
+  p = skip_cstr(p);  // "user"
+  d.user_key = read_u32(p);
+  p = skip_cstr(p);  // "tags"
+  uint32_t n = read_u32(p);
+  d.tags.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    d.tags[i] = read_u32(p);
+  }
+  return d;
+}
+
+MiniDb::DocId MiniDb::insert(uint32_t user_key, const std::vector<TagId>& tags) {
+  if (config_.insert_overhead_ns > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(config_.insert_overhead_ns);
+    while (std::chrono::steady_clock::now() < deadline) {
+    }
+  }
+  DocId id = next_id_++;
+  DocRecord rec{encode(id, user_key, tags)};
+  data_bytes_ += rec.bson.size();
+  docs_.push_back(std::move(rec));
+  if (config_.maintain_tag_index) {
+    for (TagId t : tags) {
+      tag_index_[t].push_back(id);
+    }
+  }
+  return id;
+}
+
+void MiniDb::charge_roundtrip() const {
+  if (config_.query_roundtrip_ns <= 0) {
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(config_.query_roundtrip_ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+std::vector<uint32_t> MiniDb::find_subset(const std::vector<TagId>& query_tags) const {
+  charge_roundtrip();
+  // The subset predicate is not indexable: collection scan with per-document
+  // decoding and verification (see header).
+  std::unordered_set<TagId> qset(query_tags.begin(), query_tags.end());
+  std::vector<uint32_t> out;
+  const auto scan_start = std::chrono::steady_clock::now();
+  for (const DocRecord& rec : docs_) {
+    Decoded d = decode(rec.bson);
+    bool all = true;
+    for (TagId t : d.tags) {
+      if (!qset.count(t)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      out.push_back(d.user_key);
+    }
+  }
+  if (config_.per_doc_eval_ns > 0) {
+    // Charge the modeled matcher-evaluation cost for the whole scan (see
+    // MiniDbConfig::per_doc_eval_ns).
+    const auto deadline =
+        scan_start +
+        std::chrono::nanoseconds(config_.per_doc_eval_ns * static_cast<int64_t>(docs_.size()));
+    while (std::chrono::steady_clock::now() < deadline) {
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> MiniDb::find_all(const std::vector<TagId>& tags) const {
+  charge_roundtrip();
+  TAGMATCH_CHECK(config_.maintain_tag_index);
+  if (tags.empty()) {
+    // Every document qualifies.
+    std::vector<uint32_t> out;
+    out.reserve(docs_.size());
+    for (const DocRecord& rec : docs_) {
+      out.push_back(decode(rec.bson).user_key);
+    }
+    return out;
+  }
+  // Pick the rarest tag's postings as candidates (standard $all plan), then
+  // verify each candidate document.
+  const std::vector<DocId>* candidates = nullptr;
+  for (TagId t : tags) {
+    auto it = tag_index_.find(t);
+    if (it == tag_index_.end()) {
+      return {};
+    }
+    if (candidates == nullptr || it->second.size() < candidates->size()) {
+      candidates = &it->second;
+    }
+  }
+  std::vector<uint32_t> out;
+  for (DocId id : *candidates) {
+    const DocRecord& rec = docs_[id - 1];  // Ids are dense from 1.
+    Decoded d = decode(rec.bson);
+    bool all = true;
+    for (TagId t : tags) {
+      if (std::find(d.tags.begin(), d.tags.end(), t) == d.tags.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      out.push_back(d.user_key);
+    }
+  }
+  return out;
+}
+
+uint64_t MiniDb::index_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [tag, list] : tag_index_) {
+    total += sizeof(tag) + list.capacity() * sizeof(DocId) + 48;
+  }
+  return total;
+}
+
+ShardedMiniDb::ShardedMiniDb(unsigned num_shards, const MiniDbConfig& config) {
+  TAGMATCH_CHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (unsigned i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<MiniDb>(config));
+  }
+}
+
+void ShardedMiniDb::insert(uint32_t user_key, const std::vector<TagId>& tags) {
+  // Hash sharding on the insertion counter (a synthetic shard key).
+  shards_[insert_counter_++ % shards_.size()]->insert(user_key, tags);
+}
+
+std::vector<uint32_t> ShardedMiniDb::find_subset(const std::vector<TagId>& query_tags) const {
+  std::vector<std::vector<uint32_t>> partials(shards_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    threads.emplace_back(
+        [&, s] { partials[s] = shards_[s]->find_subset(query_tags); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::vector<uint32_t> out;
+  for (auto& p : partials) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+size_t ShardedMiniDb::document_count() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->document_count();
+  }
+  return total;
+}
+
+}  // namespace tagmatch::baselines

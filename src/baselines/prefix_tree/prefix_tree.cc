@@ -1,0 +1,120 @@
+#include "src/baselines/prefix_tree/prefix_tree.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace tagmatch::baselines {
+
+void PrefixTreeMatcher::add(const BitVector192& filter, Key key) {
+  staged_.emplace_back(filter, key);
+}
+
+void PrefixTreeMatcher::build() {
+  std::sort(staged_.begin(), staged_.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return a.first < b.first;
+    }
+    return a.second < b.second;
+  });
+  filters_.clear();
+  key_offsets_.clear();
+  keys_.clear();
+  key_offsets_.push_back(0);
+  for (const auto& [filter, key] : staged_) {
+    if (filters_.empty() || filters_.back() != filter) {
+      if (!filters_.empty()) {
+        key_offsets_.push_back(static_cast<uint32_t>(keys_.size()));
+      }
+      filters_.push_back(filter);
+    }
+    keys_.push_back(key);
+  }
+  if (!filters_.empty()) {
+    key_offsets_.push_back(static_cast<uint32_t>(keys_.size()));
+  }
+
+  nodes_.clear();
+  nodes_.reserve(filters_.size() * 2);
+  root_ = filters_.empty() ? -1 : build_node(0, static_cast<uint32_t>(filters_.size()));
+}
+
+int32_t PrefixTreeMatcher::build_node(uint32_t lo, uint32_t hi) {
+  TAGMATCH_CHECK(lo < hi);
+  const unsigned split = BitVector192::common_prefix_len(filters_[lo], filters_[hi - 1]);
+  Node node;
+  node.prefix = filters_[lo].prefix(split);
+  if (hi - lo == 1 || split >= BitVector192::kBits) {
+    // Leaf: a single filter, or a range of identical filters (split == 192
+    // can only happen for equal filters, which dedup prevents; kept for
+    // safety).
+    node.range_lo = lo;
+    node.range_hi = hi;
+    int32_t id = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(node);
+    return id;
+  }
+  // Binary split on bit `split`: filters are sorted, so those with the bit
+  // clear precede those with it set. Both sides are non-empty by the
+  // definition of the common prefix length.
+  BitVector192 probe = node.prefix;
+  probe.set(split);
+  auto mid_it = std::lower_bound(filters_.begin() + lo, filters_.begin() + hi, probe);
+  uint32_t mid = static_cast<uint32_t>(mid_it - filters_.begin());
+  TAGMATCH_CHECK(mid > lo && mid < hi);
+  int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  int32_t left = build_node(lo, mid);
+  int32_t right = build_node(mid, hi);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void PrefixTreeMatcher::match_node(int32_t node_id, const BitVector192& q,
+                                   const std::function<void(Key)>& fn) const {
+  const Node& node = nodes_[node_id];
+  // The pruning shortcut: every filter below shares node.prefix; if any of
+  // those one-bits is missing from q, no descendant can be a subset of q.
+  if (!node.prefix.subset_of(q)) {
+    return;
+  }
+  if (node.left < 0) {
+    for (uint32_t i = node.range_lo; i < node.range_hi; ++i) {
+      if (filters_[i].subset_of(q)) {
+        for (uint32_t k = key_offsets_[i]; k < key_offsets_[i + 1]; ++k) {
+          fn(keys_[k]);
+        }
+      }
+    }
+    return;
+  }
+  match_node(node.left, q, fn);
+  match_node(node.right, q, fn);
+}
+
+void PrefixTreeMatcher::match(const BitVector192& q, const std::function<void(Key)>& fn) const {
+  if (root_ >= 0) {
+    match_node(root_, q, fn);
+  }
+}
+
+std::vector<PrefixTreeMatcher::Key> PrefixTreeMatcher::match(const BitVector192& q) const {
+  std::vector<Key> keys;
+  match(q, [&](Key k) { keys.push_back(k); });
+  return keys;
+}
+
+std::vector<PrefixTreeMatcher::Key> PrefixTreeMatcher::match_unique(const BitVector192& q) const {
+  std::vector<Key> keys = match(q);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+uint64_t PrefixTreeMatcher::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) + filters_.capacity() * sizeof(BitVector192) +
+         key_offsets_.capacity() * sizeof(uint32_t) + keys_.capacity() * sizeof(Key);
+}
+
+}  // namespace tagmatch::baselines

@@ -1,0 +1,68 @@
+// CPU baseline: subset matching on a compressed (Patricia-style) binary trie
+// over 192-bit Bloom-filter signatures — the paper's "prefix tree" subject
+// (§4.1), representative of state-of-the-art trie algorithms (Rivest; Luo et
+// al.'s PTSJ).
+//
+// The trie is built over the lexicographically sorted unique signatures. A
+// node covers a contiguous range sharing a bit prefix; matching a query q
+// walks the trie, pruning any node whose shared one-bits are not all in q —
+// the classic shortcut: if the prefix is not a subset of q, no descendant
+// can be.
+#ifndef TAGMATCH_BASELINES_PREFIX_TREE_PREFIX_TREE_H_
+#define TAGMATCH_BASELINES_PREFIX_TREE_PREFIX_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/bit_vector.h"
+
+namespace tagmatch::baselines {
+
+class PrefixTreeMatcher {
+ public:
+  using Key = uint32_t;
+
+  PrefixTreeMatcher() = default;
+
+  // Staging interface mirroring TagMatch: add entries, then build().
+  void add(const BitVector192& filter, Key key);
+
+  // Builds the trie. Invalidates nothing; may be called again after more
+  // adds (full rebuild).
+  void build();
+
+  // Invokes fn once per (set, key) pair with set ⊆ q — multiset semantics.
+  void match(const BitVector192& q, const std::function<void(Key)>& fn) const;
+
+  // Returns the deduplicated, sorted key set (match-unique semantics).
+  std::vector<Key> match_unique(const BitVector192& q) const;
+  std::vector<Key> match(const BitVector192& q) const;
+
+  size_t unique_sets() const { return filters_.size(); }
+  uint64_t memory_bytes() const;
+
+ private:
+  struct Node {
+    BitVector192 prefix;  // One-bits shared by every filter under this node.
+    // Leaves: left == -1, [range_lo, range_hi) indexes filters_.
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t range_lo = 0;
+    uint32_t range_hi = 0;
+  };
+
+  int32_t build_node(uint32_t lo, uint32_t hi);
+  void match_node(int32_t node, const BitVector192& q, const std::function<void(Key)>& fn) const;
+
+  std::vector<std::pair<BitVector192, Key>> staged_;
+  std::vector<BitVector192> filters_;     // Unique, sorted.
+  std::vector<uint32_t> key_offsets_;     // CSR keys per unique filter.
+  std::vector<Key> keys_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace tagmatch::baselines
+
+#endif  // TAGMATCH_BASELINES_PREFIX_TREE_PREFIX_TREE_H_

@@ -1,0 +1,163 @@
+#include "src/baselines/scan/scan_matchers.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace tagmatch::baselines {
+
+std::vector<LinearScanMatcher::Key> LinearScanMatcher::match(const BitVector192& q) const {
+  std::vector<Key> keys;
+  match(q, [&](Key k) { keys.push_back(k); });
+  return keys;
+}
+
+std::vector<LinearScanMatcher::Key> LinearScanMatcher::match_unique(const BitVector192& q) const {
+  std::vector<Key> keys = match(q);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+GpuScanMatcherBase::GpuScanMatcherBase(const GpuScanConfig& config) : config_(config) {
+  gpusim::DeviceConfig dev_config;
+  dev_config.name = "SimTITAN-X:scan";
+  dev_config.memory_capacity = config.memory_capacity;
+  dev_config.num_sms = config.num_sms;
+  dev_config.max_streams = 1;
+  dev_config.costs = config.costs;
+  device_ = std::make_unique<gpusim::Device>(std::move(dev_config));
+  stream_ = std::make_unique<gpusim::Stream>(device_.get());
+}
+
+GpuScanMatcherBase::~GpuScanMatcherBase() {
+  stream_.reset();  // Join the executor before buffers go away.
+}
+
+void GpuScanMatcherBase::add(const BitVector192& filter, Key key) {
+  filters_.push_back(filter);
+  keys_.push_back(key);
+}
+
+void GpuScanMatcherBase::build() {
+  const size_t filter_bytes = filters_.size() * sizeof(BitVector192);
+  const size_t key_bytes = keys_.size() * sizeof(Key);
+  dev_filters_ = device_->alloc(std::max<size_t>(filter_bytes, 1));
+  dev_keys_ = device_->alloc(std::max<size_t>(key_bytes, 1));
+  dev_queries_ = device_->alloc(256 * sizeof(BitVector192));
+  const size_t result_bytes = 16 + UnpackedResultCodec::bytes_for(config_.result_capacity);
+  dev_results_ = device_->alloc(result_bytes);
+  host_results_.resize(result_bytes);
+  if (filter_bytes > 0) {
+    stream_->memcpy_h2d(dev_filters_.data(), filters_.data(), filter_bytes);
+    stream_->memcpy_h2d(dev_keys_.data(), keys_.data(), key_bytes);
+  }
+  stream_->synchronize();
+}
+
+std::vector<std::pair<uint32_t, GpuScanMatcherBase::Key>> GpuScanMatcherBase::match_batch(
+    std::span<const BitVector192> queries) {
+  TAGMATCH_CHECK(!queries.empty() && queries.size() <= 256);
+  const uint32_t nq = static_cast<uint32_t>(queries.size());
+  const uint32_t n = static_cast<uint32_t>(filters_.size());
+  std::vector<std::pair<uint32_t, Key>> out;
+  if (n == 0) {
+    return out;
+  }
+
+  stream_->memcpy_h2d(dev_queries_.data(), queries.data(), nq * sizeof(BitVector192));
+  stream_->memset_d(dev_results_.data(), 0, 16);
+
+  const BitVector192* filters = dev_filters_.as<const BitVector192>();
+  const Key* keys = dev_keys_.as<const Key>();
+  const BitVector192* dev_q = dev_queries_.as<const BitVector192>();
+  auto* counter = dev_results_.as<uint64_t>();
+  auto* overflow = dev_results_.as<uint64_t>() + 1;
+  std::byte* payload = dev_results_.data() + 16;
+  const uint64_t capacity = config_.result_capacity;
+
+  gpusim::LaunchConfig launch;
+  launch.block_dim = config_.block_dim;
+  launch.grid_dim = (n + launch.block_dim - 1) / launch.block_dim;
+  // Brute force: no shared-memory pre-filtering, every thread checks its set
+  // against every query in the batch.
+  stream_->launch(launch, [=](gpusim::BlockContext& ctx) {
+    ctx.threads([&](uint32_t tid) {
+      const uint32_t s = ctx.block_first_thread() + tid;
+      if (s >= n) {
+        return;
+      }
+      const BitVector192& f = filters[s];
+      for (uint32_t qi = 0; qi < nq; ++qi) {
+        if (f.subset_of(dev_q[qi])) {
+          uint64_t idx =
+              std::atomic_ref<uint64_t>(*counter).fetch_add(1, std::memory_order_relaxed);
+          if (idx < capacity) {
+            // The GPU-only baselines predate the packed layout: naive pairs.
+            UnpackedResultCodec::write(payload, idx, ResultPair{static_cast<uint8_t>(qi), s});
+          } else {
+            std::atomic_ref<uint64_t>(*overflow).store(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  });
+  // Naive result retrieval: length copy, round trip, then the payload copy.
+  stream_->memcpy_d2h(host_results_.data(), dev_results_.data(), 16);
+  stream_->synchronize();
+  uint64_t count = 0;
+  uint64_t overflowed = 0;
+  std::memcpy(&count, host_results_.data(), sizeof(count));
+  std::memcpy(&overflowed, host_results_.data() + 8, sizeof(overflowed));
+  const uint64_t stored = std::min<uint64_t>(count, capacity);
+  stream_->memcpy_d2h(host_results_.data() + 16, dev_results_.data() + 16,
+                      UnpackedResultCodec::bytes_for(stored));
+  stream_->synchronize();
+
+  out.reserve(stored);
+  for (uint64_t i = 0; i < stored; ++i) {
+    ResultPair pair = UnpackedResultCodec::read(host_results_.data() + 16, i);
+    out.emplace_back(pair.query, keys_[pair.set_id]);
+  }
+  if (overflowed != 0) {
+    // Exact CPU fallback, as in the main engine.
+    out.clear();
+    for (uint32_t s = 0; s < n; ++s) {
+      for (uint32_t qi = 0; qi < nq; ++qi) {
+        if (filters_[s].subset_of(queries[qi])) {
+          out.emplace_back(qi, keys_[s]);
+        }
+      }
+    }
+  }
+  (void)keys;
+  return out;
+}
+
+std::vector<GpuPlainMatcher::Key> GpuPlainMatcher::match(const BitVector192& q) {
+  std::vector<Key> keys;
+  for (const auto& [qi, key] : match_batch(std::span(&q, 1))) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::vector<GpuPlainMatcher::Key> GpuPlainMatcher::match_unique(const BitVector192& q) {
+  std::vector<Key> keys = match(q);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<std::vector<GpuBatchedMatcher::Key>> GpuBatchedMatcher::match_batch_queries(
+    std::span<const BitVector192> queries) {
+  std::vector<std::vector<Key>> per_query(queries.size());
+  for (const auto& [qi, key] : match_batch(queries)) {
+    per_query[qi].push_back(key);
+  }
+  return per_query;
+}
+
+}  // namespace tagmatch::baselines

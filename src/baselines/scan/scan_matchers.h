@@ -1,0 +1,106 @@
+// Scan-based baselines for Table 1:
+//  * LinearScanMatcher — the trivial CPU O(n)-per-query scan;
+//  * GpuPlainMatcher   — "GPU-only, plain": one query per kernel round trip
+//    over the whole (unpartitioned) database;
+//  * GpuBatchedMatcher — "GPU-only, plain with batching": a batch of queries
+//    per kernel over the whole database, amortizing the per-call overhead
+//    but doing no CPU-side pre-filtering and no partitioning.
+//
+// The GPU variants demonstrate the paper's Table 1 point: raw GPU
+// parallelism without the CPU-side coarse index is not competitive — every
+// query pays the full database scan plus the transfer overheads.
+#ifndef TAGMATCH_BASELINES_SCAN_SCAN_MATCHERS_H_
+#define TAGMATCH_BASELINES_SCAN_SCAN_MATCHERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_vector.h"
+#include "src/core/packed_output.h"
+#include "src/gpusim/device.h"
+#include "src/gpusim/stream.h"
+
+namespace tagmatch::baselines {
+
+class LinearScanMatcher {
+ public:
+  using Key = uint32_t;
+
+  void add(const BitVector192& filter, Key key) { entries_.emplace_back(filter, key); }
+  void build() {}  // Nothing to do; symmetric interface.
+
+  void match(const BitVector192& q, const std::function<void(Key)>& fn) const {
+    for (const auto& [f, k] : entries_) {
+      if (f.subset_of(q)) {
+        fn(k);
+      }
+    }
+  }
+  std::vector<Key> match(const BitVector192& q) const;
+  std::vector<Key> match_unique(const BitVector192& q) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<BitVector192, Key>> entries_;
+};
+
+struct GpuScanConfig {
+  unsigned block_dim = 256;
+  unsigned num_sms = 2;
+  uint64_t memory_capacity = 12ull << 30;
+  uint32_t result_capacity = 1u << 20;  // Result entries per kernel invocation.
+  gpusim::CostModel costs;
+};
+
+// Shared machinery of the two GPU-only baselines: whole database resident on
+// one simulated device, brute-force kernel with no prefix filtering.
+class GpuScanMatcherBase {
+ public:
+  using Key = uint32_t;
+
+  explicit GpuScanMatcherBase(const GpuScanConfig& config);
+  ~GpuScanMatcherBase();
+
+  void add(const BitVector192& filter, Key key);
+  void build();  // Uploads the database to the device.
+
+ protected:
+  // Matches a batch of queries against the whole database synchronously and
+  // returns (query index, key) pairs.
+  std::vector<std::pair<uint32_t, Key>> match_batch(std::span<const BitVector192> queries);
+
+  GpuScanConfig config_;
+  std::vector<BitVector192> filters_;
+  std::vector<Key> keys_;
+  std::unique_ptr<gpusim::Device> device_;
+  std::unique_ptr<gpusim::Stream> stream_;
+  gpusim::DeviceBuffer dev_filters_;
+  gpusim::DeviceBuffer dev_keys_;
+  gpusim::DeviceBuffer dev_queries_;
+  gpusim::DeviceBuffer dev_results_;
+  std::vector<std::byte> host_results_;
+};
+
+// One query per kernel invocation (and per copy round trip).
+class GpuPlainMatcher : public GpuScanMatcherBase {
+ public:
+  using GpuScanMatcherBase::GpuScanMatcherBase;
+  std::vector<Key> match(const BitVector192& q);
+  std::vector<Key> match_unique(const BitVector192& q);
+};
+
+// A batch of up to 256 queries per kernel invocation.
+class GpuBatchedMatcher : public GpuScanMatcherBase {
+ public:
+  using GpuScanMatcherBase::GpuScanMatcherBase;
+  // Returns per-query key lists, aligned with `queries`.
+  std::vector<std::vector<Key>> match_batch_queries(std::span<const BitVector192> queries);
+};
+
+}  // namespace tagmatch::baselines
+
+#endif  // TAGMATCH_BASELINES_SCAN_SCAN_MATCHERS_H_

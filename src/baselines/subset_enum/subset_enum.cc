@@ -1,0 +1,80 @@
+#include "src/baselines/subset_enum/subset_enum.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/hash.h"
+
+namespace tagmatch::baselines {
+
+uint64_t SubsetEnumMatcher::hash_set(const std::vector<TagId>& sorted_tags) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (TagId t : sorted_tags) {
+    h = mix64(h ^ t);
+  }
+  return h;
+}
+
+void SubsetEnumMatcher::add(std::vector<TagId> tags, Key key) {
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  staged_.push_back(Staged{std::move(tags), key});
+}
+
+void SubsetEnumMatcher::build() {
+  table_.clear();
+  table_.reserve(staged_.size() * 2);
+  for (const Staged& s : staged_) {
+    auto& buckets = table_[hash_set(s.tags)];
+    Bucket* bucket = nullptr;
+    for (auto& b : buckets) {
+      if (b.tags == s.tags) {
+        bucket = &b;
+        break;
+      }
+    }
+    if (bucket == nullptr) {
+      buckets.push_back(Bucket{s.tags, {}});
+      bucket = &buckets.back();
+    }
+    bucket->keys.push_back(s.key);
+  }
+}
+
+SubsetEnumMatcher::Result SubsetEnumMatcher::match(const std::vector<TagId>& query) const {
+  Result result;
+  std::vector<TagId> q = query;
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+  const unsigned n = static_cast<unsigned>(q.size());
+  if (n > kMaxQueryTags) {
+    result.ok = false;
+    return result;
+  }
+  // Enumerate every subset of the query's tags and probe the table — the
+  // exponential iteration of §1.
+  std::vector<TagId> subset;
+  subset.reserve(n);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    subset.clear();
+    uint32_t bits = mask;
+    while (bits != 0) {
+      unsigned i = static_cast<unsigned>(std::countr_zero(bits));
+      subset.push_back(q[i]);
+      bits &= bits - 1;
+    }
+    ++result.probes;
+    auto it = table_.find(hash_set(subset));
+    if (it == table_.end()) {
+      continue;
+    }
+    for (const Bucket& b : it->second) {
+      if (b.tags == subset) {
+        result.keys.insert(result.keys.end(), b.keys.begin(), b.keys.end());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tagmatch::baselines

@@ -1,0 +1,61 @@
+// The second classic family of subset-matching algorithms from §1 of the
+// paper (Rivest's hash-table solution): store the database sets in a hash
+// table keyed by the (sorted) set itself, and answer a query q by
+// enumerating the subsets q_j ⊆ q and probing the table for each — O(1) per
+// probe but 2^|q| probes, i.e. exponential in the query size.
+//
+// Included as the counterpoint to the scan-based family: bench_fig2 shows
+// the trie/partition approaches degrade polynomially with query size while
+// this one blows up exponentially (the paper's "neither one is ideal in all
+// cases" argument).
+#ifndef TAGMATCH_BASELINES_SUBSET_ENUM_SUBSET_ENUM_H_
+#define TAGMATCH_BASELINES_SUBSET_ENUM_SUBSET_ENUM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/workload/tags.h"
+
+namespace tagmatch::baselines {
+
+class SubsetEnumMatcher {
+ public:
+  using Key = uint32_t;
+  using TagId = workload::TagId;
+
+  // Queries with more than this many distinct tags are refused (2^n probes);
+  // match() returns nullopt-equivalent via `ok = false`.
+  static constexpr unsigned kMaxQueryTags = 24;
+
+  void add(std::vector<TagId> tags, Key key);
+  void build();
+
+  struct Result {
+    bool ok = true;  // False if the query exceeded kMaxQueryTags.
+    std::vector<Key> keys;
+    uint64_t probes = 0;  // Hash probes performed (2^|q|).
+  };
+  Result match(const std::vector<TagId>& query) const;
+
+  size_t size() const { return table_.size(); }
+
+ private:
+  static uint64_t hash_set(const std::vector<TagId>& sorted_tags);
+
+  struct Staged {
+    std::vector<TagId> tags;
+    Key key;
+  };
+  std::vector<Staged> staged_;
+  // Hash of sorted tag set -> (keys, canonical set for collision check).
+  struct Bucket {
+    std::vector<TagId> tags;
+    std::vector<Key> keys;
+  };
+  std::unordered_map<uint64_t, std::vector<Bucket>> table_;
+};
+
+}  // namespace tagmatch::baselines
+
+#endif  // TAGMATCH_BASELINES_SUBSET_ENUM_SUBSET_ENUM_H_

@@ -1,0 +1,15 @@
+#include "src/bloom/bloom_filter.h"
+
+#include <cmath>
+
+namespace tagmatch {
+
+double BloomFilter192::false_positive_probability(unsigned query_size, unsigned extra) {
+  // P(B1 ⊆ B2) = (1 - e^{-k|S2|/m})^{k|S1\S2|}
+  const double m = kNumBits;
+  const double k = kNumHashes;
+  const double fill = 1.0 - std::exp(-k * static_cast<double>(query_size) / m);
+  return std::pow(fill, k * static_cast<double>(extra));
+}
+
+}  // namespace tagmatch

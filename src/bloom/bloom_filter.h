@@ -1,0 +1,81 @@
+// Bloom-filter signatures for tag sets, exactly as configured in the paper:
+// m = 192 bits, k = 7 hash functions (double hashing). The signature of a set
+// S is the union of the 7 bit positions of each tag in S.
+//
+// Subset semantics (paper §3): S1 ⊆ S2 implies B1 ⊆ B2 bitwise; B1 ⊆ B2
+// implies S1 ⊆ S2 with high probability — false positives happen with the
+// probability given by `false_positive_probability` (footnote 3).
+#ifndef TAGMATCH_BLOOM_BLOOM_FILTER_H_
+#define TAGMATCH_BLOOM_BLOOM_FILTER_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bit_vector.h"
+#include "src/common/hash.h"
+
+namespace tagmatch {
+
+class BloomFilter192 {
+ public:
+  static constexpr unsigned kNumHashes = 7;
+  static constexpr unsigned kNumBits = BitVector192::kBits;
+
+  BloomFilter192() = default;
+  explicit BloomFilter192(const BitVector192& bits) : bits_(bits) {}
+
+  // Adds one tag: sets the k = 7 positions h1 + i*h2 mod 192
+  // (Kirsch-Mitzenmacher double hashing).
+  void add_tag(std::string_view tag) {
+    Hash128 h = hash128(tag);
+    uint64_t pos = h.h1;
+    for (unsigned i = 0; i < kNumHashes; ++i) {
+      bits_.set(static_cast<unsigned>(pos % kNumBits));
+      pos += h.h2;
+    }
+  }
+
+  // Builds the signature of a whole tag set.
+  static BloomFilter192 of(std::span<const std::string> tags) {
+    BloomFilter192 f;
+    for (const auto& t : tags) {
+      f.add_tag(t);
+    }
+    return f;
+  }
+
+  // Probabilistic membership test for a single tag.
+  bool maybe_contains(std::string_view tag) const {
+    Hash128 h = hash128(tag);
+    uint64_t pos = h.h1;
+    for (unsigned i = 0; i < kNumHashes; ++i) {
+      if (!bits_.test(static_cast<unsigned>(pos % kNumBits))) {
+        return false;
+      }
+      pos += h.h2;
+    }
+    return true;
+  }
+
+  // Bitwise subset check — the core operation of the whole system.
+  bool subset_of(const BloomFilter192& other) const { return bits_.subset_of(other.bits_); }
+
+  const BitVector192& bits() const { return bits_; }
+  unsigned popcount() const { return bits_.popcount(); }
+  bool operator==(const BloomFilter192&) const = default;
+  auto operator<=>(const BloomFilter192& o) const { return bits_ <=> o.bits_; }
+
+  // Footnote-3 formula: probability that a set S1 with |S1 \ S2| = `extra`
+  // tags outside S2 (|S2| = `query_size` tags) nevertheless satisfies
+  // B1 ⊆ B2. For (m=192, k=7, |S2|=10, extra=3) this is about 1e-11.
+  static double false_positive_probability(unsigned query_size, unsigned extra);
+
+ private:
+  BitVector192 bits_;
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_BLOOM_BLOOM_FILTER_H_

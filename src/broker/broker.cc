@@ -1,0 +1,392 @@
+#include "src/broker/broker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace tagmatch::broker {
+
+Broker::Broker(BrokerConfig config) : config_(std::move(config)) {
+  config_.engine.match_staged_adds = true;  // Immediate subscriptions rely on it.
+  engine_ = std::make_unique<TagMatch>(config_.engine);
+  if (config_.consolidate_interval.count() > 0) {
+    consolidator_ = std::thread([this] { consolidate_loop(); });
+  }
+}
+
+Broker::~Broker() {
+  // Stop the background consolidator before the final flush so the two
+  // never touch the engine concurrently.
+  {
+    std::lock_guard lock(consolidate_mu_);
+    stopping_ = true;
+  }
+  consolidate_cv_.notify_all();
+  if (consolidator_.joinable()) {
+    consolidator_.join();
+  }
+  engine_->flush();
+  // Wake any blocked consumers.
+  std::lock_guard lock(registry_mu_);
+  for (auto& [id, sub] : subscribers_) {
+    std::lock_guard sub_lock(sub->mu);
+    sub->connected = false;
+    sub->cv.notify_all();
+  }
+}
+
+SubscriberId Broker::connect() {
+  std::lock_guard lock(registry_mu_);
+  SubscriberId id = next_subscriber_++;
+  subscribers_.emplace(id, std::make_shared<Subscriber>());
+  return id;
+}
+
+void Broker::disconnect(SubscriberId subscriber) {
+  std::shared_ptr<Subscriber> sub;
+  {
+    std::lock_guard lock(registry_mu_);
+    auto it = subscribers_.find(subscriber);
+    if (it == subscribers_.end()) {
+      return;
+    }
+    sub = it->second;
+    subscribers_.erase(it);
+    // Deactivate the subscriber's subscriptions; the consolidator stages
+    // their removal from the engine.
+    for (auto& [sid, subscription] : subscriptions_) {
+      if (subscription.subscriber == subscriber) {
+        subscription.active = false;
+      }
+    }
+  }
+  std::lock_guard sub_lock(sub->mu);
+  sub->connected = false;
+  sub->queue.clear();
+  sub->cv.notify_all();
+}
+
+SubscriptionId Broker::subscribe(SubscriberId subscriber, std::vector<std::string> tags) {
+  SubscriptionId id;
+  {
+    std::lock_guard lock(registry_mu_);
+    TAGMATCH_CHECK(subscribers_.count(subscriber) == 1);
+    id = next_subscription_++;
+    subscriptions_.emplace(id, Subscription{subscriber, tags, true, false});
+    ++staged_churn_;
+  }
+  // The subscription id is the engine key; delivery maps it back to the
+  // subscriber.
+  engine_->add_set(std::span<const std::string>(tags), id);
+  if (staged_churn_ >= config_.consolidate_after_churn) {
+    consolidate_cv_.notify_one();
+  }
+  return id;
+}
+
+void Broker::unsubscribe(SubscriberId subscriber, SubscriptionId subscription) {
+  std::lock_guard lock(registry_mu_);
+  auto it = subscriptions_.find(subscription);
+  if (it == subscriptions_.end() || it->second.subscriber != subscriber) {
+    return;
+  }
+  it->second.active = false;  // Delivery-time filter; index GC at consolidation.
+}
+
+void Broker::publish(Message message) {
+  published_.fetch_add(1, std::memory_order_relaxed);
+  auto shared_message = std::make_shared<const Message>(std::move(message));
+  std::shared_lock gate(publish_mu_);
+  engine_->match_async(
+      std::span<const std::string>(shared_message->tags), TagMatch::MatchKind::kMatchUnique,
+      [this, shared_message](std::vector<TagMatch::Key> subscription_keys) {
+        deliver(shared_message, subscription_keys);
+      });
+}
+
+void Broker::deliver(const std::shared_ptr<const Message>& message,
+                     const std::vector<TagMatch::Key>& subscription_keys) {
+  // Resolve subscriptions to connected subscribers, deduplicating so a
+  // subscriber with several matching subscriptions gets one copy.
+  std::vector<std::pair<SubscriberId, std::shared_ptr<Subscriber>>> targets;
+  {
+    std::lock_guard lock(registry_mu_);
+    for (TagMatch::Key key : subscription_keys) {
+      auto it = subscriptions_.find(static_cast<SubscriptionId>(key));
+      if (it == subscriptions_.end() || !it->second.active) {
+        continue;
+      }
+      auto sub_it = subscribers_.find(it->second.subscriber);
+      if (sub_it == subscribers_.end()) {
+        continue;
+      }
+      targets.emplace_back(it->second.subscriber, sub_it->second);
+    }
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  targets.erase(std::unique(targets.begin(), targets.end(),
+                            [](const auto& a, const auto& b) { return a.first == b.first; }),
+                targets.end());
+
+  for (auto& [id, sub] : targets) {
+    std::unique_lock lock(sub->mu);
+    if (!sub->connected) {
+      continue;
+    }
+    if (sub->queue.size() >= config_.max_queue_per_subscriber) {
+      if (config_.drop_on_overflow) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      sub->cv.wait(lock, [&] {
+        return !sub->connected || sub->queue.size() < config_.max_queue_per_subscriber;
+      });
+      if (!sub->connected) {
+        continue;
+      }
+    }
+    sub->queue.push_back(message);
+    deliveries_.fetch_add(1, std::memory_order_relaxed);
+    sub->cv.notify_one();
+  }
+}
+
+std::optional<Message> Broker::poll(SubscriberId subscriber) {
+  std::shared_ptr<Subscriber> sub;
+  {
+    std::lock_guard lock(registry_mu_);
+    auto it = subscribers_.find(subscriber);
+    if (it == subscribers_.end()) {
+      return std::nullopt;
+    }
+    sub = it->second;
+  }
+  std::lock_guard sub_lock(sub->mu);
+  if (sub->queue.empty()) {
+    return std::nullopt;
+  }
+  Message msg = *sub->queue.front();
+  sub->queue.pop_front();
+  sub->cv.notify_one();
+  return msg;
+}
+
+std::optional<Message> Broker::poll_wait(SubscriberId subscriber,
+                                         std::chrono::milliseconds timeout) {
+  std::shared_ptr<Subscriber> sub;
+  {
+    std::lock_guard lock(registry_mu_);
+    auto it = subscribers_.find(subscriber);
+    if (it == subscribers_.end()) {
+      return std::nullopt;
+    }
+    sub = it->second;
+  }
+  std::unique_lock sub_lock(sub->mu);
+  sub->cv.wait_for(sub_lock, timeout, [&] { return !sub->queue.empty() || !sub->connected; });
+  if (sub->queue.empty()) {
+    return std::nullopt;
+  }
+  Message msg = *sub->queue.front();
+  sub->queue.pop_front();
+  sub->cv.notify_one();
+  return msg;
+}
+
+size_t Broker::pending(SubscriberId subscriber) const {
+  std::shared_ptr<Subscriber> sub;
+  {
+    std::lock_guard lock(registry_mu_);
+    auto it = subscribers_.find(subscriber);
+    if (it == subscribers_.end()) {
+      return 0;
+    }
+    sub = it->second;
+  }
+  std::lock_guard sub_lock(sub->mu);
+  return sub->queue.size();
+}
+
+void Broker::run_consolidation() {
+  // Exclusive gate: no publisher can enqueue while we rebuild, and the
+  // flush below guarantees nothing is in flight when consolidate() swaps
+  // the index.
+  std::unique_lock gate(publish_mu_);
+  engine_->flush();
+  // Stage removals of dead subscriptions, then fold everything into the
+  // partitioned index.
+  {
+    std::lock_guard lock(registry_mu_);
+    for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+      Subscription& s = it->second;
+      if (!s.active && !s.removed) {
+        engine_->remove_set(std::span<const std::string>(s.tags),
+                            static_cast<TagMatch::Key>(it->first));
+        s.removed = true;
+      }
+      if (s.removed) {
+        it = subscriptions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    staged_churn_ = 0;
+  }
+  engine_->consolidate();
+  consolidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Broker::consolidate_loop() {
+  std::unique_lock lock(consolidate_mu_);
+  while (!stopping_) {
+    consolidate_cv_.wait_for(lock, config_.consolidate_interval, [&] { return stopping_; });
+    if (stopping_) {
+      return;
+    }
+    lock.unlock();
+    run_consolidation();
+    lock.lock();
+  }
+}
+
+void Broker::flush() {
+  run_consolidation();  // Takes the exclusive gate and flushes internally.
+  // Complete publishes that raced past the consolidation, under a shared
+  // gate so a background consolidation cannot start mid-flush.
+  std::shared_lock gate(publish_mu_);
+  engine_->flush();
+}
+
+namespace {
+
+constexpr uint32_t kSubsMagic = 0x53425754;  // "TWBS"
+constexpr uint32_t kSubsVersion = 1;
+
+void write_string(std::FILE* f, const std::string& s) {
+  uint32_t n = static_cast<uint32_t>(s.size());
+  std::fwrite(&n, sizeof(n), 1, f);
+  std::fwrite(s.data(), 1, n, f);
+}
+
+bool read_string(std::FILE* f, std::string& s) {
+  uint32_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1 || n > (1u << 20)) {
+    return false;
+  }
+  s.resize(n);
+  return n == 0 || std::fread(s.data(), 1, n, f) == n;
+}
+
+}  // namespace
+
+bool Broker::save(const std::string& path_prefix) {
+  flush();  // Consolidates, so the index file reflects every live subscription.
+  std::unique_lock gate(publish_mu_);
+  if (!engine_->save_index(path_prefix + ".idx")) {
+    return false;
+  }
+  std::FILE* f = std::fopen((path_prefix + ".subs").c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::lock_guard lock(registry_mu_);
+  std::fwrite(&kSubsMagic, sizeof(kSubsMagic), 1, f);
+  std::fwrite(&kSubsVersion, sizeof(kSubsVersion), 1, f);
+  std::fwrite(&next_subscriber_, sizeof(next_subscriber_), 1, f);
+  std::fwrite(&next_subscription_, sizeof(next_subscription_), 1, f);
+  uint64_t count = 0;
+  for (const auto& [id, sub] : subscriptions_) {
+    count += sub.active ? 1 : 0;
+  }
+  std::fwrite(&count, sizeof(count), 1, f);
+  for (const auto& [id, sub] : subscriptions_) {
+    if (!sub.active) {
+      continue;
+    }
+    std::fwrite(&id, sizeof(id), 1, f);
+    std::fwrite(&sub.subscriber, sizeof(sub.subscriber), 1, f);
+    uint32_t ntags = static_cast<uint32_t>(sub.tags.size());
+    std::fwrite(&ntags, sizeof(ntags), 1, f);
+    for (const auto& t : sub.tags) {
+      write_string(f, t);
+    }
+  }
+  bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool Broker::load(const std::string& path_prefix) {
+  std::unique_lock gate(publish_mu_);
+  engine_->flush();
+  std::FILE* f = std::fopen((path_prefix + ".subs").c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint32_t magic = 0, version = 0;
+  SubscriberId next_subscriber = 0;
+  SubscriptionId next_subscription = 0;
+  uint64_t count = 0;
+  bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fread(&version, sizeof(version), 1, f) == 1 && magic == kSubsMagic &&
+            version == kSubsVersion &&
+            std::fread(&next_subscriber, sizeof(next_subscriber), 1, f) == 1 &&
+            std::fread(&next_subscription, sizeof(next_subscription), 1, f) == 1 &&
+            std::fread(&count, sizeof(count), 1, f) == 1;
+  std::unordered_map<SubscriptionId, Subscription> loaded;
+  for (uint64_t i = 0; ok && i < count; ++i) {
+    SubscriptionId id = 0;
+    Subscription sub;
+    uint32_t ntags = 0;
+    ok = std::fread(&id, sizeof(id), 1, f) == 1 &&
+         std::fread(&sub.subscriber, sizeof(sub.subscriber), 1, f) == 1 &&
+         std::fread(&ntags, sizeof(ntags), 1, f) == 1 && ntags <= (1u << 16);
+    for (uint32_t t = 0; ok && t < ntags; ++t) {
+      std::string tag;
+      ok = read_string(f, tag);
+      sub.tags.push_back(std::move(tag));
+    }
+    if (ok) {
+      sub.active = true;
+      sub.removed = false;
+      loaded.emplace(id, std::move(sub));
+    }
+  }
+  std::fclose(f);
+  if (!ok || !engine_->load_index(path_prefix + ".idx")) {
+    return false;
+  }
+  std::lock_guard lock(registry_mu_);
+  subscriptions_ = std::move(loaded);
+  next_subscriber_ = next_subscriber;
+  next_subscription_ = next_subscription;
+  // Recreate a (fresh, empty-queue) subscriber record per referenced id.
+  subscribers_.clear();
+  for (const auto& [id, sub] : subscriptions_) {
+    if (!subscribers_.count(sub.subscriber)) {
+      subscribers_.emplace(sub.subscriber, std::make_shared<Subscriber>());
+    }
+  }
+  staged_churn_ = 0;
+  return true;
+}
+
+Broker::Stats Broker::stats() const {
+  Stats s;
+  s.published = published_.load(std::memory_order_relaxed);
+  s.deliveries = deliveries_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.consolidations = consolidations_.load(std::memory_order_relaxed);
+  std::lock_guard lock(registry_mu_);
+  s.subscribers = subscribers_.size();
+  for (const auto& [id, sub] : subscriptions_) {
+    if (sub.active) {
+      ++s.subscriptions;
+    }
+  }
+  return s;
+}
+
+}  // namespace tagmatch::broker

@@ -1,0 +1,176 @@
+// TagBroker — a tag-based publish/subscribe messaging service built on the
+// TagMatch engine: the integration the paper's conclusion names as future
+// work ("the integration of TagMatch within a full fledged data processing
+// or messaging system").
+//
+// Model (§1-§2 of the paper): subscribers register *subscriptions* — tag
+// sets describing their interests; a published message carries a tag set and
+// a payload, and is delivered to every subscriber owning at least one
+// subscription s with s ⊆ message.tags (match-unique semantics per
+// subscriber: overlapping subscriptions yield one delivery).
+//
+// Engineering around the engine's staging semantics:
+//  * new subscriptions take effect immediately (the engine runs with
+//    match_staged_adds, scanning the temporary index);
+//  * a background thread consolidates periodically, folding churn into the
+//    partitioned index so the temporary index stays small;
+//  * unsubscriptions take effect at the next consolidation (the engine's
+//    remove semantics); the broker additionally filters them out at
+//    delivery time so they appear immediate to clients;
+//  * per-subscriber delivery queues are bounded; on overflow the broker
+//    either drops the message for that subscriber (counted) or blocks the
+//    publisher, per configuration.
+#ifndef TAGMATCH_BROKER_BROKER_H_
+#define TAGMATCH_BROKER_BROKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/tagmatch.h"
+
+namespace tagmatch::broker {
+
+using SubscriberId = uint32_t;
+using SubscriptionId = uint32_t;
+
+struct Message {
+  std::vector<std::string> tags;
+  std::string payload;
+};
+
+struct BrokerConfig {
+  TagMatchConfig engine;  // match_staged_adds is forced on.
+  // Bound on each subscriber's delivery queue.
+  size_t max_queue_per_subscriber = 4096;
+  // Period of the background consolidation folding subscription churn into
+  // the partitioned index. Zero disables it (consolidation then happens
+  // only via flush()).
+  std::chrono::milliseconds consolidate_interval{250};
+  // Staged-subscription count that triggers an early consolidation.
+  size_t consolidate_after_churn = 10'000;
+  // True: drop messages for subscribers with full queues (counted in
+  // stats().dropped); false: block the delivery path until space frees up.
+  bool drop_on_overflow = true;
+
+  BrokerConfig() {
+    engine.match_staged_adds = true;
+    engine.batch_timeout = std::chrono::milliseconds(20);
+  }
+};
+
+class Broker {
+ public:
+  explicit Broker(BrokerConfig config = BrokerConfig{});
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // --- Subscriber lifecycle ---
+  SubscriberId connect();
+  // Drops the subscriber's subscriptions and queue; in-flight deliveries to
+  // it are discarded.
+  void disconnect(SubscriberId subscriber);
+
+  // --- Subscriptions ---
+  // Registers an interest; effective for messages published after this call
+  // returns. Returns an id for unsubscribe().
+  SubscriptionId subscribe(SubscriberId subscriber, std::vector<std::string> tags);
+  // Effective immediately at delivery; the index entry is garbage-collected
+  // at the next consolidation.
+  void unsubscribe(SubscriberId subscriber, SubscriptionId subscription);
+
+  // --- Publishing ---
+  // Asynchronous: routes through the TagMatch pipeline; delivery happens on
+  // pipeline threads.
+  void publish(Message message);
+
+  // --- Delivery ---
+  // Non-blocking pop from the subscriber's queue.
+  std::optional<Message> poll(SubscriberId subscriber);
+  // Blocking pop with timeout; nullopt on timeout or disconnect.
+  std::optional<Message> poll_wait(SubscriberId subscriber, std::chrono::milliseconds timeout);
+  size_t pending(SubscriberId subscriber) const;
+
+  // Completes all in-flight publishes and folds pending churn into the
+  // index.
+  void flush();
+
+  // --- Durable subscriptions ---
+  // Saves the consolidated engine index plus the subscription table to
+  // `path_prefix` + {".idx", ".subs"}. load() restores both: subscriber ids
+  // and subscription ids are preserved, delivery queues start empty
+  // (clients reconnect logically by reusing their ids). Returns false on
+  // I/O or format errors.
+  bool save(const std::string& path_prefix);
+  bool load(const std::string& path_prefix);
+
+  struct Stats {
+    uint64_t published = 0;
+    uint64_t deliveries = 0;
+    uint64_t dropped = 0;
+    uint64_t consolidations = 0;
+    uint64_t subscribers = 0;
+    uint64_t subscriptions = 0;  // Live (not unsubscribed).
+  };
+  Stats stats() const;
+
+ private:
+  struct Subscriber {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<const Message>> queue;
+    bool connected = true;
+  };
+
+  struct Subscription {
+    SubscriberId subscriber;
+    std::vector<std::string> tags;
+    bool active = true;   // False after unsubscribe (delivery-time filter).
+    bool removed = false; // True once the engine removal has been staged.
+  };
+
+  void deliver(const std::shared_ptr<const Message>& message,
+               const std::vector<TagMatch::Key>& subscription_keys);
+  void consolidate_loop();
+  void run_consolidation();
+
+  BrokerConfig config_;
+  std::unique_ptr<TagMatch> engine_;
+  // TagMatch forbids matching concurrently with consolidate(); publishers
+  // hold this shared, the consolidator exclusive (it flushes first, so no
+  // query is in flight while the index is rebuilt).
+  std::shared_mutex publish_mu_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<SubscriberId, std::shared_ptr<Subscriber>> subscribers_;
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+  SubscriberId next_subscriber_ = 1;
+  SubscriptionId next_subscription_ = 1;
+  size_t staged_churn_ = 0;
+
+  std::thread consolidator_;
+  std::mutex consolidate_mu_;
+  std::condition_variable consolidate_cv_;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> deliveries_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> consolidations_{0};
+};
+
+}  // namespace tagmatch::broker
+
+#endif  // TAGMATCH_BROKER_BROKER_H_

@@ -1,0 +1,23 @@
+#include "src/common/bit_vector.h"
+
+#include "src/common/hash.h"
+
+namespace tagmatch {
+
+uint64_t BitVector192::hash() const {
+  uint64_t h = mix64(blocks_[0]);
+  h = mix64(h ^ blocks_[1]);
+  h = mix64(h ^ blocks_[2]);
+  return h;
+}
+
+std::string BitVector192::to_string() const {
+  std::string s;
+  s.reserve(kBits);
+  for (unsigned i = 0; i < kBits; ++i) {
+    s.push_back(test(i) ? '1' : '0');
+  }
+  return s;
+}
+
+}  // namespace tagmatch

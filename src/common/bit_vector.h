@@ -1,0 +1,148 @@
+// 192-bit fixed-width bit vector: the raw representation behind Bloom-filter
+// signatures in TagMatch (3 x 64-bit blocks, as in the paper's footnote 4).
+//
+// Bit positions run from 0 (the *leftmost* bit, i.e. the most significant bit
+// of block 0) to 191 (the least significant bit of block 2). This matches the
+// paper's notion of "leftmost one-bit", which indexes the partition table, and
+// makes lexicographic order on bit vectors equal to numeric order on the
+// big-endian concatenation of the blocks.
+#ifndef TAGMATCH_COMMON_BIT_VECTOR_H_
+#define TAGMATCH_COMMON_BIT_VECTOR_H_
+
+#include <array>
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace tagmatch {
+
+class BitVector192 {
+ public:
+  static constexpr unsigned kBits = 192;
+  static constexpr unsigned kBlocks = 3;
+  static constexpr unsigned kBlockBits = 64;
+
+  constexpr BitVector192() : blocks_{0, 0, 0} {}
+  constexpr explicit BitVector192(uint64_t b0, uint64_t b1, uint64_t b2) : blocks_{b0, b1, b2} {}
+
+  // Sets bit at position `pos` (0 = leftmost).
+  constexpr void set(unsigned pos) { blocks_[pos >> 6] |= bit_mask(pos); }
+  constexpr void clear(unsigned pos) { blocks_[pos >> 6] &= ~bit_mask(pos); }
+  constexpr bool test(unsigned pos) const { return (blocks_[pos >> 6] & bit_mask(pos)) != 0; }
+
+  constexpr void clear_all() { blocks_ = {0, 0, 0}; }
+  constexpr bool empty() const { return (blocks_[0] | blocks_[1] | blocks_[2]) == 0; }
+
+  // Bitwise subset check: true iff every one-bit of *this is also set in
+  // `other`. This is the three-block operation from footnote 4 of the paper:
+  // ((this[k] & ~other[k]) == 0) for each block k.
+  constexpr bool subset_of(const BitVector192& other) const {
+    return (blocks_[0] & ~other.blocks_[0]) == 0 && (blocks_[1] & ~other.blocks_[1]) == 0 &&
+           (blocks_[2] & ~other.blocks_[2]) == 0;
+  }
+
+  constexpr unsigned popcount() const {
+    return static_cast<unsigned>(std::popcount(blocks_[0]) + std::popcount(blocks_[1]) +
+                                 std::popcount(blocks_[2]));
+  }
+
+  // Position of the leftmost (lowest-index) one-bit, or kBits if empty.
+  constexpr unsigned leftmost_one() const {
+    if (blocks_[0] != 0) {
+      return static_cast<unsigned>(std::countl_zero(blocks_[0]));
+    }
+    if (blocks_[1] != 0) {
+      return 64 + static_cast<unsigned>(std::countl_zero(blocks_[1]));
+    }
+    if (blocks_[2] != 0) {
+      return 128 + static_cast<unsigned>(std::countl_zero(blocks_[2]));
+    }
+    return kBits;
+  }
+
+  // Length (in bit positions from the left) of the common prefix of a and b,
+  // i.e. the position of the leftmost bit where they differ, or kBits if
+  // equal. Used by the kernel's block-level prefix pre-filter (Algorithm 4).
+  static constexpr unsigned common_prefix_len(const BitVector192& a, const BitVector192& b) {
+    return (a ^ b).leftmost_one();
+  }
+
+  // Returns a copy with every bit at position >= len cleared (keeps only the
+  // first `len` bit positions). Used to extract a block's shared prefix.
+  constexpr BitVector192 prefix(unsigned len) const {
+    if (len >= kBits) {
+      return *this;
+    }
+    BitVector192 r = *this;
+    unsigned blk = len >> 6;
+    unsigned off = len & 63;
+    // Keep the top `off` bits of block `blk`, zero the rest of it and all
+    // following blocks.
+    r.blocks_[blk] &= (off == 0) ? 0 : (~uint64_t{0} << (64 - off));
+    for (unsigned k = blk + 1; k < kBlocks; ++k) {
+      r.blocks_[k] = 0;
+    }
+    return r;
+  }
+
+  constexpr BitVector192 operator|(const BitVector192& o) const {
+    return BitVector192(blocks_[0] | o.blocks_[0], blocks_[1] | o.blocks_[1],
+                        blocks_[2] | o.blocks_[2]);
+  }
+  constexpr BitVector192 operator&(const BitVector192& o) const {
+    return BitVector192(blocks_[0] & o.blocks_[0], blocks_[1] & o.blocks_[1],
+                        blocks_[2] & o.blocks_[2]);
+  }
+  constexpr BitVector192 operator^(const BitVector192& o) const {
+    return BitVector192(blocks_[0] ^ o.blocks_[0], blocks_[1] ^ o.blocks_[1],
+                        blocks_[2] ^ o.blocks_[2]);
+  }
+  constexpr BitVector192 operator~() const {
+    return BitVector192(~blocks_[0], ~blocks_[1], ~blocks_[2]);
+  }
+  constexpr BitVector192& operator|=(const BitVector192& o) {
+    blocks_[0] |= o.blocks_[0];
+    blocks_[1] |= o.blocks_[1];
+    blocks_[2] |= o.blocks_[2];
+    return *this;
+  }
+
+  constexpr bool operator==(const BitVector192&) const = default;
+
+  // Lexicographic order: big-endian numeric comparison block by block. The
+  // tagset table stores filters in this order so a thread block's sets share
+  // a long common prefix (Algorithm 4).
+  constexpr std::strong_ordering operator<=>(const BitVector192& o) const {
+    for (unsigned k = 0; k < kBlocks; ++k) {
+      if (blocks_[k] != o.blocks_[k]) {
+        return blocks_[k] < o.blocks_[k] ? std::strong_ordering::less
+                                         : std::strong_ordering::greater;
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+
+  constexpr uint64_t block(unsigned k) const { return blocks_[k]; }
+  constexpr uint64_t& block(unsigned k) { return blocks_[k]; }
+
+  // 64-bit mix of the three blocks, suitable as a hash-table key.
+  uint64_t hash() const;
+
+  // "101001..." rendering (192 chars), mostly for tests and debugging.
+  std::string to_string() const;
+
+ private:
+  static constexpr uint64_t bit_mask(unsigned pos) { return uint64_t{1} << (63 - (pos & 63)); }
+
+  std::array<uint64_t, kBlocks> blocks_;
+};
+
+struct BitVector192Hash {
+  size_t operator()(const BitVector192& v) const { return static_cast<size_t>(v.hash()); }
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_COMMON_BIT_VECTOR_H_

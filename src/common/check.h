@@ -1,0 +1,26 @@
+// Lightweight invariant checking. TAGMATCH_CHECK is always on (these guard
+// API misuse and internal invariants, not hot loops); TAGMATCH_DCHECK
+// compiles out in release builds.
+#ifndef TAGMATCH_COMMON_CHECK_H_
+#define TAGMATCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TAGMATCH_CHECK(cond)                                                          \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond); \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define TAGMATCH_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define TAGMATCH_DCHECK(cond) TAGMATCH_CHECK(cond)
+#endif
+
+#endif  // TAGMATCH_COMMON_CHECK_H_

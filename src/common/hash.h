@@ -1,0 +1,46 @@
+// Hashing primitives shared by the Bloom-filter encoder, the workload
+// generator and the hash-based containers.
+#ifndef TAGMATCH_COMMON_HASH_H_
+#define TAGMATCH_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tagmatch {
+
+// 64-bit FNV-1a over a byte string.
+constexpr uint64_t fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Fibonacci/murmur-style 64-bit finalizer (splitmix64 mix function). A good
+// bit mixer for integer keys and for deriving independent hash streams.
+constexpr uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Two independent 64-bit hashes of a string, for Kirsch-Mitzenmacher double
+// hashing (h_i = h1 + i * h2) in the Bloom-filter encoder.
+struct Hash128 {
+  uint64_t h1;
+  uint64_t h2;
+};
+
+constexpr Hash128 hash128(std::string_view data) {
+  uint64_t a = fnv1a64(data);
+  uint64_t b = mix64(a ^ 0x6a09e667f3bcc909ull);
+  // Force h2 odd so successive probes cycle through all residues.
+  return Hash128{mix64(a), b | 1};
+}
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_COMMON_HASH_H_

@@ -1,0 +1,120 @@
+// Bounded multi-producer/multi-consumer blocking queue used to hand work
+// between the stages of the TagMatch pipeline.
+#ifndef TAGMATCH_COMMON_MPMC_QUEUE_H_
+#define TAGMATCH_COMMON_MPMC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tagmatch {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity = SIZE_MAX) : capacity_(capacity) {}
+
+  // Blocks while the queue is full. Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; returns false if full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;  // Closed and drained.
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Blocks up to `timeout` for an item; nullopt on timeout or when closed
+  // and drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Wakes all blocked producers/consumers; subsequent pushes fail and pops
+  // drain the remaining items then return nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_COMMON_MPMC_QUEUE_H_

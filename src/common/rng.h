@@ -1,0 +1,135 @@
+// Deterministic pseudo-random generation for workload synthesis and tests.
+//
+// xoshiro256** with splitmix64 seeding: fast, high quality, and — unlike
+// std::mt19937 + std::distributions — bit-for-bit reproducible across
+// standard library implementations, which the benchmark harness relies on.
+#ifndef TAGMATCH_COMMON_RNG_H_
+#define TAGMATCH_COMMON_RNG_H_
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace tagmatch {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull) {
+    uint64_t s = seed;
+    for (auto& word : state_) {
+      s += 0x9e3779b97f4a7c15ull;
+      word = mix64(s);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Unbiased enough for workload generation (Lemire's
+  // multiply-shift reduction).
+  uint64_t below(uint64_t bound) {
+    return static_cast<uint64_t>((static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t between(uint64_t lo, uint64_t hi) { return lo + below(hi - lo + 1); }
+
+  // Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return uniform() < p; }
+
+  // Derives an independent child generator; used to give each worker thread
+  // or workload section its own deterministic stream.
+  Rng fork() { return Rng(next() ^ 0xd1342543de82ef95ull); }
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+// Zipf-distributed sampler over {0, .., n-1} with exponent `s`, using an
+// inverted-CDF table (O(log n) per sample). Models the skew in tag
+// popularity and follower counts in the Twitter workload.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (double& v : cdf_) {
+      v /= sum;
+    }
+  }
+
+  size_t sample(Rng& rng) const {
+    double u = rng.uniform();
+    // Binary search for the first cdf_ entry >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Samples from an arbitrary discrete distribution given as (unnormalized)
+// weights. Used for the language distributions of the workload generator.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::vector<double> weights) : cdf_(std::move(weights)) {
+    double sum = 0;
+    for (double& w : cdf_) {
+      sum += w;
+      w = sum;
+    }
+    for (double& w : cdf_) {
+      w /= sum;
+    }
+  }
+
+  size_t sample(Rng& rng) const {
+    double u = rng.uniform();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_COMMON_RNG_H_

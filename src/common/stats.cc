@@ -1,0 +1,48 @@
+#include "src/common/stats.h"
+
+#include <cstdio>
+
+namespace tagmatch {
+
+std::string format_si(double value) {
+  char buf[32];
+  if (value >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", value / 1e9);
+  } else if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+  }
+  return buf;
+}
+
+std::string format_bytes(uint64_t bytes) {
+  char buf[32];
+  double v = static_cast<double>(bytes);
+  if (v >= 1024.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", v / (1024.0 * 1024 * 1024));
+  } else if (v >= 1024.0 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", v / (1024.0 * 1024));
+  } else if (v >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", v / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_duration_ms(double millis) {
+  char buf[32];
+  if (millis >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", millis / 1000.0);
+  } else if (millis >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", millis);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f us", millis * 1000.0);
+  }
+  return buf;
+}
+
+}  // namespace tagmatch

@@ -1,0 +1,90 @@
+// Timing and summary-statistics helpers for the evaluation harness.
+#ifndef TAGMATCH_COMMON_STATS_H_
+#define TAGMATCH_COMMON_STATS_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tagmatch {
+
+using Clock = std::chrono::steady_clock;
+
+inline int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+      .count();
+}
+
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double elapsed_s() const { return std::chrono::duration<double>(Clock::now() - start_).count(); }
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+  int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+// Collects samples (e.g. per-query latencies) and reports order statistics.
+// Not thread-safe; each thread records into its own instance and instances
+// are merged at the end.
+class SampleSet {
+ public:
+  void record(double v) { samples_.push_back(v); }
+  void merge(const SampleSet& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) {
+      return 0;
+    }
+    double sum = 0;
+    for (double v : samples_) {
+      sum += v;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double min() const {
+    return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Nearest-rank percentile, p in [0, 100]. Sorts a copy; intended for
+  // end-of-run reporting, not hot paths.
+  double percentile(double p) const {
+    if (samples_.empty()) {
+      return 0;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Human-friendly formatting used by the bench harness tables.
+std::string format_si(double value);              // 1234567 -> "1.23M"
+std::string format_bytes(uint64_t bytes);         // 1536 -> "1.50 KiB"
+std::string format_duration_ms(double millis);    // 0.123 -> "123 us"
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_COMMON_STATS_H_

@@ -1,0 +1,97 @@
+// Configuration of the TagMatch engine. Defaults mirror the paper's setup:
+// MAX_P = 200K (the knee of Fig. 7), 2 GPUs with 10 streams each, 192-bit
+// Bloom filters with 7 hashes (fixed at compile time in src/bloom).
+#ifndef TAGMATCH_CORE_CONFIG_H_
+#define TAGMATCH_CORE_CONFIG_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/gpusim/cost_model.h"
+
+namespace tagmatch {
+
+struct TagMatchConfig {
+  // --- Off-line partitioning (Algorithm 1) ---
+  // Maximum number of tag sets per partition (the paper's MAX_P). Balances
+  // CPU pre-processing cost against GPU subset-match cost (§4.3.5).
+  uint32_t max_partition_size = 200'000;
+
+  // --- Pipeline ---
+  // CPU worker threads running pre-process, key lookup/reduce and merge.
+  unsigned num_threads = 4;
+
+  // Queries per partition batch. Bounded by 256 because the packed GPU
+  // output identifies a query within its batch with an 8-bit integer
+  // (§3.3.1).
+  uint32_t batch_size = 192;
+
+  // Batches older than this are submitted even if not full (§3.4 latency
+  // control; Fig. 6). Zero disables the timeout.
+  std::chrono::milliseconds batch_timeout{0};
+
+  // --- Simulated GPU platform ---
+  unsigned num_gpus = 2;
+  unsigned streams_per_gpu = 10;
+  unsigned gpu_block_dim = 256;       // threads per block of the match kernel
+  unsigned gpu_sms_per_device = 2;    // SM workers per simulated device
+  uint64_t gpu_memory_capacity = 12ull << 30;
+  gpusim::CostModel gpu_costs;
+  // Record every device operation into per-device profilers (see
+  // GpuEngine::profile_summary / write_gpu_trace).
+  bool gpu_profiling = false;
+
+  // Capacity (in result entries) of each stream result buffer. A kernel that
+  // overflows it raises a flag and the batch is re-matched on the CPU.
+  uint32_t result_buffer_entries = 1u << 16;
+
+  // --- Semantics ---
+  // §3: "in cases where false positives are absolutely unacceptable, the
+  // system or the application can perform an additional exact subset
+  // check". When enabled, sets and queries registered with tag hashes
+  // (add_set(tags,...), match_async with tags, or the *_hashed APIs) are
+  // verified exactly during key lookup, eliminating Bloom false positives.
+  // Sets or queries registered as bare filters skip verification.
+  bool exact_check = false;
+
+  // Extension to §2's staging semantics: when enabled, sets staged with
+  // add_set become matchable immediately — the pre-process stage also scans
+  // the temporary (staged) index linearly — instead of only after
+  // consolidate(). Staged removals still take effect at consolidate().
+  // Linear in the number of staged sets per query, so consolidate regularly.
+  bool match_staged_adds = false;
+
+  // How the tagset table is laid out across GPUs (§3: "TagMatch may also
+  // replicate the tagset table on all available GPUs ... Alternatively,
+  // TagMatch can ... simply partition an extremely large tagset table on
+  // multiple GPUs").
+  enum class GpuTableMode {
+    kReplicate,  // Full copy on every device; any stream serves any batch.
+    kPartition,  // Partitions distributed across devices (size-balanced);
+                 // a batch is served by the owning device's streams. Halves
+                 // per-device memory with two GPUs at some loss of
+                 // scheduling freedom.
+  };
+  GpuTableMode gpu_table_mode = GpuTableMode::kReplicate;
+
+  // --- Execution mode & ablation toggles ---
+  // Runs the subset-match stage on the CPU instead of GPUs ("CPU-only,
+  // TagMatch" row of Table 1).
+  bool cpu_only = false;
+
+  // Block-level common-prefix pre-filtering in the kernel (Algorithm 4).
+  bool enable_prefix_filter = true;
+
+  // Packed 4x(u8 query id) + 4x(u32 set id) output layout (§3.3.1). When
+  // false, the kernel writes naive 8-byte (padded) pairs.
+  bool packed_output = true;
+
+  // Even/odd double result buffers piggybacking the next result length on
+  // the current result copy (§3.3.2). When false, every batch performs a
+  // separate length copy plus a synchronization round trip.
+  bool double_buffered_results = true;
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_CORE_CONFIG_H_

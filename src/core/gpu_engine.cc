@@ -1,0 +1,460 @@
+#include "src/core/gpu_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace tagmatch {
+
+namespace {
+
+// Block-level shared-memory state of the subset-match kernel (Algorithm 4):
+// the common prefix of the block's tag sets and the compacted query batch
+// (stored as indices into the global query buffer).
+struct KernelShared {
+  BitVector192 prefix;
+  uint32_t qcount;
+  uint8_t qids[256];
+};
+
+}  // namespace
+
+GpuEngine::GpuEngine(const TagMatchConfig& config, BatchResultFn on_result)
+    : config_(config), on_result_(std::move(on_result)) {
+  TAGMATCH_CHECK(config_.num_gpus >= 1);
+  TAGMATCH_CHECK(config_.batch_size >= 1 && config_.batch_size <= 256);
+  TAGMATCH_CHECK(config_.streams_per_gpu >= 1);
+
+  for (unsigned d = 0; d < config_.num_gpus; ++d) {
+    gpusim::DeviceConfig dev_config;
+    dev_config.name = "SimTITAN-X:" + std::to_string(d);
+    dev_config.memory_capacity = config_.gpu_memory_capacity;
+    dev_config.num_sms = config_.gpu_sms_per_device;
+    dev_config.max_streams = config_.streams_per_gpu;
+    dev_config.enable_profiling = config_.gpu_profiling;
+    dev_config.costs = config_.gpu_costs;
+    devices_.push_back(std::make_unique<gpusim::Device>(std::move(dev_config)));
+  }
+  device_tables_.resize(devices_.size());
+
+  const size_t payload = payload_capacity_bytes();
+  for (unsigned d = 0; d < config_.num_gpus; ++d) {
+    available_.push_back(std::make_unique<MpmcQueue<StreamCtx*>>());
+    for (unsigned s = 0; s < config_.streams_per_gpu; ++s) {
+      auto ctx = std::make_unique<StreamCtx>();
+      ctx->device_index = d;
+      ctx->stream = std::make_unique<gpusim::Stream>(devices_[d].get());
+      ctx->query_buf = devices_[d]->alloc(config_.batch_size * sizeof(BitVector192));
+      for (int b = 0; b < 2; ++b) {
+        ctx->result_buf[b] = devices_[d]->alloc(kHeaderBytes + payload);
+        ctx->host_result[b].resize(kHeaderBytes + payload);
+      }
+      available_[d]->push(ctx.get());
+      streams_.push_back(std::move(ctx));
+    }
+  }
+}
+
+GpuEngine::~GpuEngine() {
+  drain();
+  // Streams must be destroyed (joining their executors) before the devices
+  // and buffers they reference.
+  streams_.clear();
+  device_tables_.clear();
+}
+
+size_t GpuEngine::payload_capacity_bytes() const {
+  size_t packed = PackedResultCodec::bytes_for(config_.result_buffer_entries);
+  size_t unpacked = UnpackedResultCodec::bytes_for(config_.result_buffer_entries);
+  return std::max(packed, unpacked);
+}
+
+size_t GpuEngine::bytes_for_pairs(uint64_t n) const {
+  n = std::min<uint64_t>(n, config_.result_buffer_entries);
+  return config_.packed_output ? PackedResultCodec::bytes_for(n)
+                               : UnpackedResultCodec::bytes_for(n);
+}
+
+void GpuEngine::upload(const TagsetTableView& table) {
+  TAGMATCH_CHECK(in_flight() == 0);
+  TAGMATCH_CHECK(table.filters.size() == table.set_ids.size());
+  TAGMATCH_CHECK(!table.offsets.empty());
+  const size_t num_partitions = table.offsets.size() - 1;
+
+  // Decide where each partition lives.
+  locations_.assign(num_partitions, PartitionLocation{});
+  std::vector<uint64_t> device_load(devices_.size(), 0);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    locations_[p].size = table.offsets[p + 1] - table.offsets[p];
+    if (config_.gpu_table_mode == TagMatchConfig::GpuTableMode::kPartition) {
+      // Greedy size balancing: give the partition to the least-loaded
+      // device.
+      unsigned best = 0;
+      for (unsigned d = 1; d < devices_.size(); ++d) {
+        if (device_load[d] < device_load[best]) {
+          best = d;
+        }
+      }
+      locations_[p].device = best;
+      device_load[best] += locations_[p].size;
+    } else {
+      locations_[p].device = 0;  // Replicated: any device serves it.
+      locations_[p].begin = table.offsets[p];
+    }
+  }
+
+  for (unsigned d = 0; d < devices_.size(); ++d) {
+    // Assemble this device's flat arrays: the full table in kReplicate mode,
+    // only the owned partitions in kPartition mode.
+    std::vector<BitVector192> dev_filters;
+    std::vector<uint32_t> dev_ids;
+    if (config_.gpu_table_mode == TagMatchConfig::GpuTableMode::kPartition) {
+      for (PartitionId p = 0; p < num_partitions; ++p) {
+        if (locations_[p].device != d) {
+          continue;
+        }
+        locations_[p].begin = static_cast<uint32_t>(dev_filters.size());
+        dev_filters.insert(dev_filters.end(), table.filters.begin() + table.offsets[p],
+                           table.filters.begin() + table.offsets[p + 1]);
+        dev_ids.insert(dev_ids.end(), table.set_ids.begin() + table.offsets[p],
+                       table.set_ids.begin() + table.offsets[p + 1]);
+      }
+    } else {
+      dev_filters.assign(table.filters.begin(), table.filters.end());
+      dev_ids.assign(table.set_ids.begin(), table.set_ids.end());
+    }
+
+    DeviceTable& dt = device_tables_[d];
+    dt.filters.reset();
+    dt.set_ids.reset();
+    const size_t filter_bytes = dev_filters.size() * sizeof(BitVector192);
+    const size_t id_bytes = dev_ids.size() * sizeof(uint32_t);
+    dt.filters = devices_[d]->alloc(std::max<size_t>(filter_bytes, 1));
+    dt.set_ids = devices_[d]->alloc(std::max<size_t>(id_bytes, 1));
+    // Reuse the first pool stream of this device for the upload; the pool is
+    // idle at upload time (in_flight == 0 is checked above).
+    gpusim::Stream* stream = nullptr;
+    for (const auto& ctx : streams_) {
+      if (ctx->device_index == d) {
+        stream = ctx->stream.get();
+        break;
+      }
+    }
+    TAGMATCH_CHECK(stream != nullptr);
+    if (filter_bytes > 0) {
+      stream->memcpy_h2d(dt.filters.data(), dev_filters.data(), filter_bytes);
+      stream->memcpy_h2d(dt.set_ids.data(), dev_ids.data(), id_bytes);
+    }
+    stream->synchronize();
+  }
+}
+
+unsigned GpuEngine::partition_device(PartitionId p) const {
+  TAGMATCH_CHECK(p < locations_.size());
+  return locations_[p].device;
+}
+
+MpmcQueue<GpuEngine::StreamCtx*>& GpuEngine::pool_for(PartitionId partition) {
+  unsigned device;
+  if (config_.gpu_table_mode == TagMatchConfig::GpuTableMode::kPartition) {
+    device = locations_[partition].device;
+  } else {
+    device = static_cast<unsigned>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                                   devices_.size());
+  }
+  return *available_[device];
+}
+
+gpusim::Kernel GpuEngine::make_kernel(unsigned device_index, PartitionId partition,
+                                      const BitVector192* queries_dev, uint32_t num_queries,
+                                      std::byte* counter_header, std::byte* payload) {
+  const DeviceTable& dt = device_tables_[device_index];
+  const PartitionLocation& loc = locations_[partition];
+  const BitVector192* filters = dt.filters.as<const BitVector192>() + loc.begin;
+  const uint32_t* set_ids = dt.set_ids.as<const uint32_t>() + loc.begin;
+  const uint32_t part_size = loc.size;
+  auto* counter = reinterpret_cast<uint64_t*>(counter_header);
+  auto* overflow = reinterpret_cast<uint64_t*>(counter_header) + 1;
+  const uint64_t capacity = config_.result_buffer_entries;
+  const bool prefix_filter = config_.enable_prefix_filter;
+  const bool packed = config_.packed_output;
+
+  return [=](gpusim::BlockContext& ctx) {
+    const uint32_t first = ctx.block_first_thread();
+    if (first >= part_size) {
+      return;
+    }
+    auto* sh = ctx.shared<KernelShared>();
+
+    if (prefix_filter) {
+      // Superstep 1 (thread 0): longest common prefix of the block's sets,
+      // from the first and last set only — valid because the table is sorted
+      // lexicographically (§3.3.1).
+      ctx.thread0([&] {
+        const BitVector192& f_first = filters[first];
+        uint32_t last = std::min(first + ctx.block_dim(), part_size) - 1;
+        unsigned len = BitVector192::common_prefix_len(f_first, filters[last]);
+        sh->prefix = f_first.prefix(len);
+        sh->qcount = 0;
+      });
+      // Superstep 2 (all threads): compact the query batch, keeping only
+      // queries that cover the block prefix. The append is a plain increment
+      // because threads of one block run sequentially on this simulator; on
+      // real CUDA this is the atomicAdd of Algorithm 4.
+      ctx.threads([&](uint32_t tid) {
+        for (uint32_t i = tid; i < num_queries; i += ctx.block_dim()) {
+          if (sh->prefix.subset_of(queries_dev[i])) {
+            sh->qids[sh->qcount++] = static_cast<uint8_t>(i);
+          }
+        }
+      });
+    } else {
+      ctx.thread0([&] {
+        sh->qcount = num_queries;
+        for (uint32_t i = 0; i < num_queries; ++i) {
+          sh->qids[i] = static_cast<uint8_t>(i);
+        }
+      });
+    }
+
+    // Superstep 3 (all threads): one thread per tag set, checked against the
+    // compacted batch (Algorithm 3); matches appended to the global output
+    // with an atomic counter. (The production CUDA kernel additionally
+    // unrolls this loop and reads two queries per iteration; those
+    // micro-optimizations have no analogue on the host simulator.)
+    ctx.threads([&](uint32_t tid) {
+      const uint32_t s = first + tid;
+      if (s >= part_size) {
+        return;
+      }
+      const BitVector192& set_filter = filters[s];
+      const uint32_t set_id = set_ids[s];
+      for (uint32_t j = 0; j < sh->qcount; ++j) {
+        const uint8_t qi = sh->qids[j];
+        if (set_filter.subset_of(queries_dev[qi])) {
+          uint64_t idx = std::atomic_ref<uint64_t>(*counter).fetch_add(
+              1, std::memory_order_relaxed);
+          if (idx < capacity) {
+            ResultPair pair{qi, set_id};
+            if (packed) {
+              PackedResultCodec::write(payload, idx, pair);
+            } else {
+              UnpackedResultCodec::write(payload, idx, pair);
+            }
+          } else {
+            std::atomic_ref<uint64_t>(*overflow).store(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+    (void)partition;
+  };
+}
+
+void GpuEngine::deliver(const PendingBatch& batch, std::span<const std::byte> payload_bytes) {
+  const uint64_t n = std::min<uint64_t>(batch.count, config_.result_buffer_entries);
+  std::vector<ResultPair> pairs;
+  pairs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    pairs.push_back(config_.packed_output ? PackedResultCodec::read(payload_bytes.data(), i)
+                                          : UnpackedResultCodec::read(payload_bytes.data(), i));
+  }
+  on_result_(batch.token, pairs, batch.overflow);
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> queries,
+                       void* token) {
+  TAGMATCH_CHECK(!queries.empty());
+  TAGMATCH_CHECK(queries.size() <= config_.batch_size);
+  TAGMATCH_CHECK(partition < locations_.size());
+
+  auto popped = pool_for(partition).pop();
+  TAGMATCH_CHECK(popped.has_value());
+  StreamCtx& ctx = **popped;
+  in_flight_.fetch_add(1, std::memory_order_acquire);
+
+  // Make sure the previous cycle's copy has landed, so ctx.pending.count and
+  // the even/odd bookkeeping below are valid (§3.3.2: the size of the current
+  // result set "was transferred in the previous cycle and is readable").
+  if (ctx.last_event) {
+    ctx.last_event->wait();
+  }
+
+  gpusim::Stream& stream = *ctx.stream;
+  const uint32_t nq = static_cast<uint32_t>(queries.size());
+
+  if (!config_.double_buffered_results) {
+    // Ablation path (§3.3.2's "straightforward solution"): transfer the
+    // result length, synchronize, then transfer exactly the results —
+    // one extra copy and one extra round trip per batch.
+    std::byte* header = ctx.result_buf[0].data();
+    std::byte* payload = header + kHeaderBytes;
+    stream.memcpy_h2d(ctx.query_buf.data(), queries.data(), nq * sizeof(BitVector192));
+    stream.memset_d(header, 0, kHeaderBytes);
+    gpusim::LaunchConfig launch;
+    launch.block_dim = config_.gpu_block_dim;
+    launch.grid_dim =
+        (locations_[partition].size + launch.block_dim - 1) / launch.block_dim;
+    launch.shared_bytes = sizeof(KernelShared);
+    stream.launch(launch, make_kernel(ctx.device_index, partition,
+                                      ctx.query_buf.as<const BitVector192>(), nq, header,
+                                      payload));
+    stream.memcpy_d2h(ctx.host_result[0].data(), header, kHeaderBytes);
+    stream.synchronize();  // Round trip: we must read the length before sizing the copy.
+    uint64_t count = 0;
+    uint64_t overflow = 0;
+    std::memcpy(&count, ctx.host_result[0].data(), sizeof(count));
+    std::memcpy(&overflow, ctx.host_result[0].data() + 8, sizeof(overflow));
+    stream.memcpy_d2h(ctx.host_result[0].data() + kHeaderBytes, payload, bytes_for_pairs(count));
+    stream.synchronize();
+    deliver(PendingBatch{token, count, overflow != 0, true},
+            std::span<const std::byte>(ctx.host_result[0]).subspan(kHeaderBytes));
+    available_[ctx.device_index]->push(&ctx);
+    return;
+  }
+
+  // Double-buffered path. Cycle n: payload buffer = buf[n%2], counter lives
+  // in buf[(n-1)%2]'s header; the single D2H transfers buf[(n-1)%2] —
+  // the previous batch's results plus this batch's length.
+  const unsigned p = static_cast<unsigned>(ctx.cycle & 1);
+  const unsigned q = 1 - p;
+  std::byte* counter_header = ctx.result_buf[q].data();
+  std::byte* payload = ctx.result_buf[p].data() + kHeaderBytes;
+
+  stream.memcpy_h2d(ctx.query_buf.data(), queries.data(), nq * sizeof(BitVector192));
+  stream.memset_d(counter_header, 0, kHeaderBytes);
+  gpusim::LaunchConfig launch;
+  launch.block_dim = config_.gpu_block_dim;
+  launch.grid_dim =
+      (locations_[partition].size + launch.block_dim - 1) / launch.block_dim;
+  launch.shared_bytes = sizeof(KernelShared);
+  stream.launch(launch, make_kernel(ctx.device_index, partition,
+                                    ctx.query_buf.as<const BitVector192>(), nq, counter_header,
+                                    payload));
+
+  const PendingBatch prev = ctx.pending;  // Results of the previous batch sit in buf[q].
+  ctx.pending = PendingBatch{token, 0, false, true};
+
+  const size_t copy_bytes =
+      prev.live ? kHeaderBytes + bytes_for_pairs(prev.count) : kHeaderBytes;
+  stream.memcpy_d2h(ctx.host_result[q].data(), ctx.result_buf[q].data(), copy_bytes);
+
+  StreamCtx* ctx_ptr = &ctx;
+  stream.callback([this, ctx_ptr, q, prev] {
+    // This batch's count and overflow flag just arrived in the header.
+    uint64_t count = 0;
+    uint64_t overflow = 0;
+    std::memcpy(&count, ctx_ptr->host_result[q].data(), sizeof(count));
+    std::memcpy(&overflow, ctx_ptr->host_result[q].data() + 8, sizeof(overflow));
+    ctx_ptr->pending.count = count;
+    ctx_ptr->pending.overflow = overflow != 0;
+    if (prev.live) {
+      // The same copy carried the previous batch's results.
+      deliver(prev, std::span<const std::byte>(ctx_ptr->host_result[q]).subspan(kHeaderBytes));
+    }
+  });
+  auto event = std::make_shared<gpusim::Event>();
+  stream.record(event);
+  ctx.last_event = std::move(event);
+  ctx.cycle++;
+  available_[ctx.device_index]->push(&ctx);
+}
+
+void GpuEngine::drain_stream(StreamCtx& ctx) {
+  if (ctx.last_event) {
+    ctx.last_event->wait();
+  }
+  if (!ctx.pending.live) {
+    return;
+  }
+  // The pending batch's payload sits in the buffer of parity (cycle-1)%2;
+  // its count arrived with the copy of its own cycle.
+  const unsigned par = static_cast<unsigned>((ctx.cycle - 1) & 1);
+  const size_t bytes = bytes_for_pairs(ctx.pending.count);
+  gpusim::Stream& stream = *ctx.stream;
+  stream.memcpy_d2h(ctx.host_result[par].data() + kHeaderBytes,
+                    ctx.result_buf[par].data() + kHeaderBytes, bytes);
+  StreamCtx* ctx_ptr = &ctx;
+  const PendingBatch pending = ctx.pending;
+  ctx.pending.live = false;
+  stream.callback([this, ctx_ptr, par, pending] {
+    deliver(pending, std::span<const std::byte>(ctx_ptr->host_result[par]).subspan(kHeaderBytes));
+  });
+  auto event = std::make_shared<gpusim::Event>();
+  stream.record(event);
+  ctx.last_event = std::move(event);
+  ctx.last_event->wait();
+}
+
+void GpuEngine::drain() {
+  // Serialize whole-pool drains: two concurrent drains (e.g. a user flush
+  // racing the batch-timeout flusher) would otherwise each acquire part of
+  // the stream pool and deadlock waiting for the rest.
+  std::lock_guard drain_lock(drain_mu_);
+  // Take temporary ownership of every stream context so no submitter races
+  // with the drain, then flush each trailing batch.
+  std::vector<StreamCtx*> owned;
+  owned.reserve(streams_.size());
+  for (unsigned d = 0; d < available_.size(); ++d) {
+    for (unsigned s = 0; s < config_.streams_per_gpu; ++s) {
+      auto popped = available_[d]->pop();
+      TAGMATCH_CHECK(popped.has_value());
+      owned.push_back(*popped);
+    }
+  }
+  for (StreamCtx* ctx : owned) {
+    drain_stream(*ctx);
+  }
+  for (StreamCtx* ctx : owned) {
+    available_[ctx->device_index]->push(ctx);
+  }
+}
+
+std::vector<uint64_t> GpuEngine::device_memory_used_per_device() const {
+  std::vector<uint64_t> out;
+  out.reserve(devices_.size());
+  for (const auto& d : devices_) {
+    out.push_back(d->memory_used());
+  }
+  return out;
+}
+
+namespace {
+void merge_profilers(const std::vector<std::unique_ptr<gpusim::Device>>& devices,
+                     gpusim::Profiler& merged) {
+  for (const auto& d : devices) {
+    gpusim::Profiler* p = d->profiler();
+    if (p == nullptr) {
+      continue;
+    }
+    for (const gpusim::OpRecord& op : p->records()) {
+      merged.record(op);
+    }
+  }
+}
+}  // namespace
+
+gpusim::Profiler::Summary GpuEngine::profile_summary() const {
+  gpusim::Profiler merged;
+  merge_profilers(devices_, merged);
+  return merged.summary();
+}
+
+bool GpuEngine::write_gpu_trace(const std::string& path) const {
+  gpusim::Profiler merged;
+  merge_profilers(devices_, merged);
+  return merged.write_chrome_trace(path);
+}
+
+uint64_t GpuEngine::device_memory_used() const {
+  uint64_t total = 0;
+  for (const auto& d : devices_) {
+    total += d->memory_used();
+  }
+  return total;
+}
+
+}  // namespace tagmatch

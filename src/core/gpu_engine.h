@@ -1,0 +1,151 @@
+// GPU side of TagMatch (§3.3): the tagset tables uploaded to every device,
+// the subset-match kernel with block-level prefix pre-filtering (Algorithms
+// 3-4), and the stream workflow of §3.3.2 — a pool of streams per device,
+// each with even/odd result buffers so that one exact-size device-to-host
+// copy per batch carries both the previous batch's results and the current
+// batch's result length.
+//
+// Protocol (double-buffered mode). Kernel of cycle n writes its result pairs
+// into buffer[n%2]'s payload and uses buffer[(n-1)%2]'s header as its atomic
+// output counter. The D2H copy of cycle n transfers buffer[(n-1)%2] in one
+// piece: its header (the count of batch n, needed to size cycle n+1's copy)
+// plus its payload (the results of batch n-1, whose count arrived with cycle
+// n-1's copy). Results therefore trail their batch by one cycle per stream;
+// `drain()` flushes the trailing batch with a payload-only copy.
+#ifndef TAGMATCH_CORE_GPU_ENGINE_H_
+#define TAGMATCH_CORE_GPU_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_vector.h"
+#include "src/common/mpmc_queue.h"
+#include "src/core/config.h"
+#include "src/core/packed_output.h"
+#include "src/core/partition_table.h"
+#include "src/gpusim/device.h"
+#include "src/gpusim/stream.h"
+
+namespace tagmatch {
+
+// Host-side description of the consolidated, partitioned tagset table.
+// Filters are sorted lexicographically within each partition (the prefix
+// pre-filter depends on this); `set_ids[i]` is the global unique-set id of
+// `filters[i]`.
+struct TagsetTableView {
+  std::span<const BitVector192> filters;
+  std::span<const uint32_t> set_ids;
+  // Partition p occupies [offsets[p], offsets[p+1]) of the two arrays.
+  std::span<const uint32_t> offsets;
+};
+
+// Delivered once per submitted batch, on a stream executor thread. `token`
+// is the opaque batch handle passed to submit(). When `overflow` is true the
+// result buffer capacity was exceeded and `pairs` is incomplete; the caller
+// must re-match the batch on the CPU.
+using BatchResultFn = std::function<void(void* token, std::span<const ResultPair> pairs,
+                                         bool overflow)>;
+
+class GpuEngine {
+ public:
+  GpuEngine(const TagMatchConfig& config, BatchResultFn on_result);
+  ~GpuEngine();
+
+  GpuEngine(const GpuEngine&) = delete;
+  GpuEngine& operator=(const GpuEngine&) = delete;
+
+  // Uploads the full tagset table to every device (full replication — the
+  // paper's default multi-GPU mode). Blocks until the copies complete. Must
+  // be called before submit(); may be called again to replace the table once
+  // all in-flight batches have drained.
+  void upload(const TagsetTableView& table);
+
+  // Submits one batch of queries against one partition. `queries` must stay
+  // valid until the batch result is delivered. Blocks while all streams are
+  // busy (back-pressure). Thread-safe.
+  void submit(PartitionId partition, std::span<const BitVector192> queries, void* token);
+
+  // Delivers the trailing undelivered batch of every stream.
+  void drain();
+
+  uint64_t device_memory_used() const;
+  std::vector<uint64_t> device_memory_used_per_device() const;
+
+  // Merged profiling data across all devices (empty unless
+  // config.gpu_profiling). The summary quantifies copy/kernel busy time and
+  // cross-stream overlap; the trace is chrome://tracing JSON.
+  gpusim::Profiler::Summary profile_summary() const;
+  bool write_gpu_trace(const std::string& path) const;
+  unsigned num_devices() const { return static_cast<unsigned>(devices_.size()); }
+  // Device that owns a partition (kPartition mode; in kReplicate mode every
+  // device holds every partition and this returns 0).
+  unsigned partition_device(PartitionId p) const;
+
+  // Number of batches whose results have not been delivered yet.
+  uint64_t in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+
+ private:
+  struct DeviceTable {
+    gpusim::DeviceBuffer filters;  // BitVector192[n]
+    gpusim::DeviceBuffer set_ids;  // uint32_t[n]
+  };
+
+  struct PendingBatch {
+    void* token = nullptr;
+    uint64_t count = 0;      // Valid once the cycle that launched it completes its D2H.
+    bool overflow = false;
+    bool live = false;
+  };
+
+  struct StreamCtx {
+    unsigned device_index = 0;
+    std::unique_ptr<gpusim::Stream> stream;
+    gpusim::DeviceBuffer query_buf;
+    gpusim::DeviceBuffer result_buf[2];
+    std::vector<std::byte> host_result[2];
+    uint64_t cycle = 0;
+    PendingBatch pending;  // The batch whose results the next cycle's copy will deliver.
+    std::shared_ptr<gpusim::Event> last_event;
+  };
+
+  static constexpr size_t kHeaderBytes = 16;  // u64 count, u64 overflow flag.
+
+  // Where a partition lives: owning device (kPartition) plus its start slot
+  // within that device's flat arrays. In kReplicate mode, `begin` is the
+  // same on every device.
+  struct PartitionLocation {
+    unsigned device = 0;
+    uint32_t begin = 0;
+    uint32_t size = 0;
+  };
+
+  size_t payload_capacity_bytes() const;
+  size_t bytes_for_pairs(uint64_t n) const;
+  gpusim::Kernel make_kernel(unsigned device_index, PartitionId partition,
+                             const BitVector192* queries_dev, uint32_t num_queries,
+                             std::byte* counter_header, std::byte* payload);
+  void deliver(const PendingBatch& batch, std::span<const std::byte> payload_bytes);
+  void drain_stream(StreamCtx& ctx);
+  MpmcQueue<StreamCtx*>& pool_for(PartitionId partition);
+
+  TagMatchConfig config_;
+  BatchResultFn on_result_;
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<DeviceTable> device_tables_;
+  std::vector<PartitionLocation> locations_;  // Per partition.
+  std::vector<std::unique_ptr<StreamCtx>> streams_;
+  // One stream pool per device: in kReplicate mode submissions rotate over
+  // devices; in kPartition mode they go to the owning device's pool.
+  std::vector<std::unique_ptr<MpmcQueue<StreamCtx*>>> available_;
+  std::mutex drain_mu_;  // See drain(): concurrent whole-pool drains deadlock.
+  std::atomic<uint64_t> round_robin_{0};
+  std::atomic<uint64_t> in_flight_{0};
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_CORE_GPU_ENGINE_H_

@@ -1,0 +1,81 @@
+// The GPU kernel's result layout (§3.3.1).
+//
+// Each result is a (query id, set id) pair: the query id is 8 bits (position
+// of the query within its batch — hence batch_size <= 256), the set id 32
+// bits. A naive struct costs 8 bytes per pair (38% padding waste); the packed
+// layout stores groups of four pairs as
+//     | q1 q2 q3 q4 | s1 s2 s3 s4 |
+// i.e. 4 packed query ids followed by 4 packed set ids — 20 bytes per group,
+// 5 bytes per pair, with at most 3 wasted bytes in the final partial group.
+//
+// The unpacked layout is kept behind the same interface as the §3.3.1
+// ablation baseline.
+#ifndef TAGMATCH_CORE_PACKED_OUTPUT_H_
+#define TAGMATCH_CORE_PACKED_OUTPUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace tagmatch {
+
+struct ResultPair {
+  uint8_t query;
+  uint32_t set_id;
+};
+
+class PackedResultCodec {
+ public:
+  static constexpr size_t kGroupPairs = 4;
+  static constexpr size_t kGroupBytes = 4 * sizeof(uint8_t) + 4 * sizeof(uint32_t);  // 20
+
+  // Bytes needed to store `n` pairs (whole groups; a partial final group
+  // still occupies a full group's query-id block plus its used set ids).
+  static constexpr size_t bytes_for(size_t n) {
+    return ((n + kGroupPairs - 1) / kGroupPairs) * kGroupBytes;
+  }
+
+  static void write(std::byte* base, size_t index, ResultPair pair) {
+    size_t group = index / kGroupPairs;
+    size_t off = index % kGroupPairs;
+    std::byte* g = base + group * kGroupBytes;
+    g[off] = static_cast<std::byte>(pair.query);
+    std::memcpy(g + 4 + off * sizeof(uint32_t), &pair.set_id, sizeof(uint32_t));
+  }
+
+  static ResultPair read(const std::byte* base, size_t index) {
+    size_t group = index / kGroupPairs;
+    size_t off = index % kGroupPairs;
+    const std::byte* g = base + group * kGroupBytes;
+    ResultPair p;
+    p.query = static_cast<uint8_t>(g[off]);
+    std::memcpy(&p.set_id, g + 4 + off * sizeof(uint32_t), sizeof(uint32_t));
+    return p;
+  }
+};
+
+// Ablation baseline: one aligned 8-byte struct per pair.
+class UnpackedResultCodec {
+ public:
+  static constexpr size_t kPairBytes = 8;
+
+  static constexpr size_t bytes_for(size_t n) { return n * kPairBytes; }
+
+  static void write(std::byte* base, size_t index, ResultPair pair) {
+    std::byte* p = base + index * kPairBytes;
+    p[0] = static_cast<std::byte>(pair.query);
+    std::memcpy(p + 4, &pair.set_id, sizeof(uint32_t));
+  }
+
+  static ResultPair read(const std::byte* base, size_t index) {
+    const std::byte* p = base + index * kPairBytes;
+    ResultPair r;
+    r.query = static_cast<uint8_t>(p[0]);
+    std::memcpy(&r.set_id, p + 4, sizeof(uint32_t));
+    return r;
+  }
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_CORE_PACKED_OUTPUT_H_

@@ -1,0 +1,44 @@
+#include "src/core/partition_table.h"
+
+namespace tagmatch {
+
+void PartitionTable::add(const BitVector192& mask, PartitionId id) {
+  unsigned lead = mask.leftmost_one();
+  if (lead == BitVector192::kBits) {
+    always_matched_.push_back(id);
+  } else {
+    buckets_[lead].push_back(Entry{mask, id});
+  }
+  ++count_;
+}
+
+void PartitionTable::find_matches(const BitVector192& query,
+                                  const std::function<void(PartitionId)>& fn) const {
+  for (PartitionId id : always_matched_) {
+    fn(id);
+  }
+  // Scan the one-bit positions of the query (Algorithm 2's outer loop).
+  for (unsigned blk = 0; blk < BitVector192::kBlocks; ++blk) {
+    uint64_t bits = query.block(blk);
+    while (bits != 0) {
+      unsigned lead = static_cast<unsigned>(std::countl_zero(bits));
+      for (const Entry& e : buckets_[blk * 64 + lead]) {
+        if (e.mask.subset_of(query)) {
+          fn(e.id);
+        }
+      }
+      bits &= ~(uint64_t{1} << (63 - lead));
+    }
+  }
+}
+
+uint64_t PartitionTable::memory_bytes() const {
+  uint64_t total = sizeof(*this);
+  for (const auto& bucket : buckets_) {
+    total += bucket.capacity() * sizeof(Entry);
+  }
+  total += always_matched_.capacity() * sizeof(PartitionId);
+  return total;
+}
+
+}  // namespace tagmatch

@@ -1,0 +1,52 @@
+// The CPU-side partition index of §3.2 — Algorithm 2.
+//
+// An array of 192 vectors of (mask, partition id); vector PT[j] holds the
+// masks whose leftmost one-bit is at position j. Pre-processing a query scans
+// the one-bit positions of the query and, within each corresponding bucket,
+// runs the three-block subset check. Because a mask's leftmost one-bit must
+// itself be a one-bit of any query it matches, no candidate is missed, and
+// each mask is examined at most once (it lives in exactly one bucket).
+#ifndef TAGMATCH_CORE_PARTITION_TABLE_H_
+#define TAGMATCH_CORE_PARTITION_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/bit_vector.h"
+
+namespace tagmatch {
+
+using PartitionId = uint32_t;
+
+class PartitionTable {
+ public:
+  PartitionTable() = default;
+
+  // Registers a partition mask. Masks with no one-bit (the residual
+  // partition, see partitioner.h) are kept in a separate always-matched
+  // list.
+  void add(const BitVector192& mask, PartitionId id);
+
+  // Invokes fn(id) for every partition whose mask is a bitwise subset of
+  // `query` — Algorithm 2.
+  void find_matches(const BitVector192& query, const std::function<void(PartitionId)>& fn) const;
+
+  size_t partition_count() const { return count_; }
+  uint64_t memory_bytes() const;
+
+ private:
+  struct Entry {
+    BitVector192 mask;
+    PartitionId id;
+  };
+
+  std::array<std::vector<Entry>, BitVector192::kBits> buckets_;
+  std::vector<PartitionId> always_matched_;
+  size_t count_ = 0;
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_CORE_PARTITION_TABLE_H_

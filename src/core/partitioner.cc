@@ -1,0 +1,112 @@
+#include "src/core/partitioner.h"
+
+#include <cstdlib>
+#include <deque>
+
+#include "src/common/check.h"
+
+namespace tagmatch {
+
+namespace {
+
+struct WorkItem {
+  BitVector192 mask;
+  std::vector<uint32_t> members;
+  BitVector192 used_bits;
+};
+
+// Picks the unused bit whose one-frequency over `members` is closest to 50%.
+// Returns BitVector192::kBits if no unused bit discriminates (all unused bits
+// have frequency 0 or |members|), in which case the partition cannot be
+// split any further.
+unsigned pick_pivot(std::span<const BitVector192> filters, const WorkItem& item) {
+  const size_t n = item.members.size();
+  std::array<uint32_t, BitVector192::kBits> freq{};
+  for (uint32_t idx : item.members) {
+    const BitVector192& f = filters[idx];
+    for (unsigned blk = 0; blk < BitVector192::kBlocks; ++blk) {
+      uint64_t bits = f.block(blk);
+      while (bits != 0) {
+        unsigned lead = static_cast<unsigned>(std::countl_zero(bits));
+        ++freq[blk * 64 + lead];
+        bits &= ~(uint64_t{1} << (63 - lead));
+      }
+    }
+  }
+  unsigned best = BitVector192::kBits;
+  int64_t best_dist = INT64_MAX;
+  const int64_t half = static_cast<int64_t>(n);  // distances scaled by 2
+  for (unsigned pos = 0; pos < BitVector192::kBits; ++pos) {
+    if (item.used_bits.test(pos)) {
+      continue;
+    }
+    if (freq[pos] == 0 || freq[pos] == n) {
+      continue;  // Would not split the partition at all.
+    }
+    int64_t dist = std::llabs(2 * static_cast<int64_t>(freq[pos]) - half);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = pos;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Partition> balance_partitions(std::span<const BitVector192> filters,
+                                          uint32_t max_partition_size) {
+  TAGMATCH_CHECK(max_partition_size > 0);
+  std::vector<Partition> result;
+  if (filters.empty()) {
+    return result;
+  }
+
+  std::deque<WorkItem> queue;
+  WorkItem root;
+  root.members.reserve(filters.size());
+  for (uint32_t i = 0; i < filters.size(); ++i) {
+    root.members.push_back(i);
+  }
+  queue.push_back(std::move(root));
+
+  while (!queue.empty()) {
+    WorkItem item = std::move(queue.front());
+    queue.pop_front();
+    if (item.members.empty()) {
+      continue;
+    }
+
+    const bool small_enough = item.members.size() <= max_partition_size;
+    if (small_enough && !item.mask.empty()) {
+      result.push_back(Partition{item.mask, std::move(item.members)});
+      continue;
+    }
+
+    unsigned pivot = (small_enough && item.mask.empty()) || !small_enough
+                         ? pick_pivot(filters, item)
+                         : BitVector192::kBits;
+    if (pivot == BitVector192::kBits) {
+      // No bit discriminates: emit as-is (possibly oversized, possibly with
+      // an empty mask — the residual partition).
+      result.push_back(Partition{item.mask, std::move(item.members)});
+      continue;
+    }
+
+    WorkItem zero, one;
+    zero.mask = item.mask;
+    one.mask = item.mask;
+    one.mask.set(pivot);
+    zero.used_bits = item.used_bits;
+    zero.used_bits.set(pivot);
+    one.used_bits = zero.used_bits;
+    for (uint32_t idx : item.members) {
+      (filters[idx].test(pivot) ? one : zero).members.push_back(idx);
+    }
+    queue.push_back(std::move(zero));
+    queue.push_back(std::move(one));
+  }
+  return result;
+}
+
+}  // namespace tagmatch

@@ -1,0 +1,40 @@
+// Off-line balanced partitioning of the tag-set database — Algorithm 1 of
+// the paper. Splits the database into partitions of at most MAX_P sets, each
+// identified by a bit mask shared (as a bitwise subset) by all its members.
+#ifndef TAGMATCH_CORE_PARTITIONER_H_
+#define TAGMATCH_CORE_PARTITIONER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_vector.h"
+
+namespace tagmatch {
+
+struct Partition {
+  BitVector192 mask;
+  // Indices into the input filter array.
+  std::vector<uint32_t> members;
+};
+
+// Recursively splits `filters` into balanced partitions of size at most
+// `max_partition_size`. Pivot bits are chosen (among bits not yet used on
+// that branch) with one-frequency closest to 50%, so the two halves are as
+// even as possible.
+//
+// Divergences from the paper's pseudocode, which leaves two corner cases
+// implicit (see DESIGN.md §5):
+//  * a partition that cannot be split further (every unused bit has uniform
+//    value across members — e.g. all members identical) is emitted even if
+//    larger than max_partition_size;
+//  * sets whose remaining mask is empty when the partition is already small
+//    (notably the all-zero filter of the empty tag set) are emitted in a
+//    single "residual" partition with the empty mask, which the pre-process
+//    stage always forwards to.
+std::vector<Partition> balance_partitions(std::span<const BitVector192> filters,
+                                          uint32_t max_partition_size);
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_CORE_PARTITIONER_H_

@@ -1,0 +1,771 @@
+#include "src/core/tagmatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+#include "src/common/mpmc_queue.h"
+#include "src/common/stats.h"
+#include "src/core/gpu_engine.h"
+#include "src/core/partition_table.h"
+#include "src/core/partitioner.h"
+
+namespace tagmatch {
+
+namespace {
+
+using Key = TagMatch::Key;
+using MatchKind = TagMatch::MatchKind;
+
+// Per-query pipeline state (§3.4). `pending` counts the batches the query
+// has been forwarded to, plus one guard held while pre-processing is still
+// running; when it drops to zero all results are in and the merge stage
+// fires.
+struct QueryState {
+  BitVector192 filter;
+  MatchKind kind;
+  TagMatch::MatchCallback callback;
+  std::atomic<uint32_t> pending{1};
+  std::mutex mu;
+  std::vector<Key> keys;
+  // Sorted tag hashes for the exact subset check; empty when the query was
+  // submitted filter-only (verification skipped).
+  std::vector<uint64_t> tag_hashes;
+};
+
+// A batch of queries bound for one partition. Owns the contiguous filter
+// array handed to the GPU (it must outlive the asynchronous copy).
+struct Batch {
+  PartitionId partition = 0;
+  std::vector<BitVector192> filters;
+  std::vector<std::shared_ptr<QueryState>> queries;
+  int64_t created_ns = 0;
+};
+
+// Unit of work for the pipeline workers: either a fresh query to pre-process
+// or a completed batch to run through key lookup/reduce.
+struct WorkItem {
+  std::shared_ptr<QueryState> query;
+  std::unique_ptr<Batch> batch;
+  std::vector<ResultPair> pairs;
+  bool overflow = false;
+};
+
+}  // namespace
+
+class TagMatchImpl {
+ public:
+  explicit TagMatchImpl(TagMatchConfig config) : config_(std::move(config)) {
+    TAGMATCH_CHECK(config_.batch_size >= 1 && config_.batch_size <= 256);
+    TAGMATCH_CHECK(config_.num_threads >= 1);
+    if (!config_.cpu_only) {
+      engine_ = std::make_unique<GpuEngine>(
+          config_, [this](void* token, std::span<const ResultPair> pairs, bool overflow) {
+            WorkItem item;
+            item.batch.reset(static_cast<Batch*>(token));
+            item.pairs.assign(pairs.begin(), pairs.end());
+            item.overflow = overflow;
+            queue_.push(std::move(item));
+          });
+    }
+    for (unsigned i = 0; i < config_.num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    if (config_.batch_timeout.count() > 0) {
+      timeout_thread_ = std::thread([this] { timeout_loop(); });
+    }
+  }
+
+  ~TagMatchImpl() {
+    flush();
+    {
+      std::lock_guard lock(timeout_mu_);
+      stopping_ = true;
+    }
+    timeout_cv_.notify_all();
+    if (timeout_thread_.joinable()) {
+      timeout_thread_.join();
+    }
+    queue_.close();
+    for (auto& w : workers_) {
+      w.join();
+    }
+    engine_.reset();
+  }
+
+  void stage_add(const BitVector192& filter, Key key, std::vector<uint64_t> tag_hashes,
+                 bool has_hashes) {
+    std::sort(tag_hashes.begin(), tag_hashes.end());
+    tag_hashes.erase(std::unique(tag_hashes.begin(), tag_hashes.end()), tag_hashes.end());
+    std::lock_guard lock(staging_mu_);
+    staged_adds_.push_back(StagedAdd{filter, key, std::move(tag_hashes), has_hashes});
+  }
+
+  void stage_remove(const BitVector192& filter, Key key) {
+    std::lock_guard lock(staging_mu_);
+    staged_removes_.emplace_back(filter, key);
+  }
+
+  void consolidate() {
+    flush();
+    StopWatch watch;
+
+    {
+      std::lock_guard lock(staging_mu_);
+      for (auto& add : staged_adds_) {
+        SetEntry& entry = table_[add.filter];
+        entry.keys.push_back(add.key);
+        if (add.has_hashes && !entry.has_hashes) {
+          // First tag-carrying add of this filter defines the exact-check
+          // set. (Two different tag sets sharing a filter is a ~1e-11
+          // Bloom collision; first-wins then.)
+          entry.tag_hashes = std::move(add.tag_hashes);
+          entry.has_hashes = true;
+        }
+      }
+      for (const auto& [filter, key] : staged_removes_) {
+        auto it = table_.find(filter);
+        if (it == table_.end()) {
+          continue;
+        }
+        auto& keys = it->second.keys;
+        auto pos = std::find(keys.begin(), keys.end(), key);
+        if (pos != keys.end()) {
+          keys.erase(pos);
+        }
+        if (keys.empty()) {
+          table_.erase(it);
+        }
+      }
+      staged_adds_.clear();
+      staged_removes_.clear();
+    }
+
+    // Unique-set array + key table (CSR layout: keys of set i occupy
+    // keys_flat_[key_offsets_[i] .. key_offsets_[i+1])), plus the aligned
+    // exact-check hash table (empty range = verification skipped).
+    std::vector<BitVector192> unique_filters;
+    unique_filters.reserve(table_.size());
+    key_offsets_.clear();
+    keys_flat_.clear();
+    exact_offsets_.clear();
+    exact_hashes_.clear();
+    key_offsets_.reserve(table_.size() + 1);
+    key_offsets_.push_back(0);
+    exact_offsets_.push_back(0);
+    for (const auto& [filter, entry] : table_) {
+      unique_filters.push_back(filter);
+      keys_flat_.insert(keys_flat_.end(), entry.keys.begin(), entry.keys.end());
+      key_offsets_.push_back(static_cast<uint32_t>(keys_flat_.size()));
+      if (entry.has_hashes) {
+        exact_hashes_.insert(exact_hashes_.end(), entry.tag_hashes.begin(),
+                             entry.tag_hashes.end());
+      }
+      exact_offsets_.push_back(static_cast<uint64_t>(exact_hashes_.size()));
+    }
+
+    // Algorithm 1: balanced partitioning.
+    std::vector<Partition> partitions =
+        balance_partitions(unique_filters, config_.max_partition_size);
+
+    // Per-partition lexicographic sort (required by the kernel's prefix
+    // pre-filter) and flattening into the tagset table arrays.
+    filters_sorted_.clear();
+    set_ids_.clear();
+    offsets_.clear();
+    masks_.clear();
+    filters_sorted_.reserve(unique_filters.size());
+    set_ids_.reserve(unique_filters.size());
+    offsets_.reserve(partitions.size() + 1);
+    offsets_.push_back(0);
+    for (PartitionId pid = 0; pid < partitions.size(); ++pid) {
+      Partition& p = partitions[pid];
+      std::sort(p.members.begin(), p.members.end(), [&](uint32_t a, uint32_t b) {
+        return unique_filters[a] < unique_filters[b];
+      });
+      for (uint32_t member : p.members) {
+        filters_sorted_.push_back(unique_filters[member]);
+        set_ids_.push_back(member);
+      }
+      offsets_.push_back(static_cast<uint32_t>(filters_sorted_.size()));
+      masks_.push_back(p.mask);
+    }
+
+    install_index();
+    last_consolidate_seconds_ = watch.elapsed_s();
+  }
+
+  // Installs the already-built flat index (from consolidate() or
+  // load_index()): partition table, partial-batch slots, GPU upload.
+  // Excludes the background timeout flusher, which walks partials_ and
+  // touches the engine from its own thread (matching by user threads is
+  // excluded by the consolidate() contract, but the flusher is internal).
+  void install_index() {
+    std::lock_guard flusher_lock(flusher_work_mu_);
+    partition_table_ = PartitionTable();
+    for (PartitionId pid = 0; pid < masks_.size(); ++pid) {
+      partition_table_.add(masks_[pid], pid);
+    }
+    partials_.clear();
+    for (size_t i = 0; i < masks_.size(); ++i) {
+      partials_.push_back(std::make_unique<PartialSlot>());
+    }
+    if (engine_) {
+      TagsetTableView view;
+      view.filters = filters_sorted_;
+      view.set_ids = set_ids_;
+      view.offsets = offsets_;
+      engine_->upload(view);
+    }
+  }
+
+  void match_async(const BloomFilter192& query, MatchKind kind, TagMatch::MatchCallback callback,
+                   std::vector<uint64_t> tag_hashes = {}) {
+    std::sort(tag_hashes.begin(), tag_hashes.end());
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    WorkItem item;
+    item.query = std::make_shared<QueryState>();
+    item.query->filter = query.bits();
+    item.query->kind = kind;
+    item.query->callback = std::move(callback);
+    item.query->tag_hashes = std::move(tag_hashes);
+    queue_.push(std::move(item));
+  }
+
+  void flush() {
+    std::lock_guard flush_lock(flush_mu_);
+    for (;;) {
+      flush_partials();
+      if (engine_) {
+        engine_->drain();
+      }
+      std::unique_lock lock(done_mu_);
+      if (outstanding_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+      done_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+      });
+      // Loop: late pre-processing may have formed new partial batches.
+    }
+  }
+
+  TagMatch::Stats stats() const {
+    TagMatch::Stats s;
+    s.unique_sets = key_offsets_.empty() ? 0 : key_offsets_.size() - 1;
+    s.total_keys = keys_flat_.size();
+    s.partitions = offsets_.empty() ? 0 : offsets_.size() - 1;
+    s.last_consolidate_seconds = last_consolidate_seconds_;
+    s.queries_processed = queries_processed_.load(std::memory_order_relaxed);
+    s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
+    s.batch_overflows = batch_overflows_.load(std::memory_order_relaxed);
+    s.exact_rejections = exact_rejections_.load(std::memory_order_relaxed);
+    s.partitions_forwarded = partitions_forwarded_.load(std::memory_order_relaxed);
+    s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+    s.result_pairs = result_pairs_.load(std::memory_order_relaxed);
+    s.host_key_table_bytes =
+        keys_flat_.capacity() * sizeof(Key) + key_offsets_.capacity() * sizeof(uint32_t);
+    s.host_partition_table_bytes = partition_table_.memory_bytes();
+    if (engine_) {
+      s.host_buffer_bytes = host_buffer_bytes();
+      s.gpu_bytes = engine_->device_memory_used();
+    }
+    return s;
+  }
+
+ private:
+  struct PartialSlot {
+    std::mutex mu;
+    std::unique_ptr<Batch> batch;
+  };
+
+  uint64_t host_buffer_bytes() const {
+    // Two result buffers per stream plus the query staging area.
+    const uint64_t per_stream =
+        2 * (16 + std::max(PackedResultCodec::bytes_for(config_.result_buffer_entries),
+                           UnpackedResultCodec::bytes_for(config_.result_buffer_entries))) +
+        config_.batch_size * sizeof(BitVector192);
+    return static_cast<uint64_t>(config_.num_gpus) * config_.streams_per_gpu * per_stream;
+  }
+
+  void worker_loop() {
+    while (auto item = queue_.pop()) {
+      if (item->query) {
+        preprocess(std::move(item->query));
+      } else if (item->batch) {
+        process_completion(std::move(item->batch), std::move(item->pairs), item->overflow);
+      }
+    }
+  }
+
+  // Stage 1 (§3.2): find the partitions whose mask is a subset of the query
+  // and append the query to their pending batches. With match_staged_adds,
+  // also scan the temporary (staged) index so un-consolidated sets match.
+  void preprocess(std::shared_ptr<QueryState> query) {
+    if (config_.match_staged_adds) {
+      match_staged(*query);
+    }
+    partition_table_.find_matches(query->filter, [&](PartitionId pid) {
+      partitions_forwarded_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_ptr<Batch> full;
+      {
+        PartialSlot& slot = *partials_[pid];
+        std::lock_guard lock(slot.mu);
+        if (!slot.batch) {
+          slot.batch = std::make_unique<Batch>();
+          slot.batch->partition = pid;
+          slot.batch->created_ns = now_ns();
+          slot.batch->filters.reserve(config_.batch_size);
+        }
+        query->pending.fetch_add(1, std::memory_order_acq_rel);
+        slot.batch->filters.push_back(query->filter);
+        slot.batch->queries.push_back(query);
+        if (slot.batch->filters.size() >= config_.batch_size) {
+          full = std::move(slot.batch);
+        }
+      }
+      if (full) {
+        submit_batch(std::move(full));
+      }
+    });
+    finish_if_done(*query);  // Drop the pre-processing guard.
+  }
+
+  // Linear scan of the temporary index (staged adds) for one query; runs on
+  // the pre-processing worker under the staging lock.
+  void match_staged(QueryState& qs) {
+    std::lock_guard staging_lock(staging_mu_);
+    for (const StagedAdd& add : staged_adds_) {
+      if (!add.filter.subset_of(qs.filter)) {
+        continue;
+      }
+      if (config_.exact_check && !qs.tag_hashes.empty() && add.has_hashes &&
+          !std::includes(qs.tag_hashes.begin(), qs.tag_hashes.end(), add.tag_hashes.begin(),
+                         add.tag_hashes.end())) {
+        exact_rejections_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::lock_guard lock(qs.mu);
+      qs.keys.push_back(add.key);
+    }
+  }
+
+  void submit_batch(std::unique_ptr<Batch> batch) {
+    batches_submitted_.fetch_add(1, std::memory_order_relaxed);
+    batch_queries_.fetch_add(batch->queries.size(), std::memory_order_relaxed);
+    last_submit_ns_.store(now_ns(), std::memory_order_relaxed);
+    if (engine_) {
+      Batch* raw = batch.release();
+      engine_->submit(raw->partition, raw->filters, raw);
+    } else {
+      // CPU-only mode: stage 2 runs inline on the calling thread.
+      std::vector<ResultPair> pairs = cpu_match(*batch);
+      process_completion(std::move(batch), std::move(pairs), /*overflow=*/false);
+    }
+  }
+
+  // CPU subset match over one partition, mirroring the GPU kernel including
+  // the per-block common-prefix shortcut. Used for cpu_only mode and as the
+  // exact fallback when a GPU result buffer overflows.
+  std::vector<ResultPair> cpu_match(const Batch& batch) const {
+    std::vector<ResultPair> pairs;
+    const uint32_t begin = offsets_[batch.partition];
+    const uint32_t end = offsets_[batch.partition + 1];
+    const uint32_t block = config_.gpu_block_dim;
+    std::vector<uint8_t> active;
+    active.reserve(batch.filters.size());
+    for (uint32_t base = begin; base < end; base += block) {
+      const uint32_t last = std::min(base + block, end) - 1;
+      unsigned len = BitVector192::common_prefix_len(filters_sorted_[base], filters_sorted_[last]);
+      BitVector192 prefix = filters_sorted_[base].prefix(len);
+      active.clear();
+      for (size_t qi = 0; qi < batch.filters.size(); ++qi) {
+        if (config_.enable_prefix_filter && !prefix.subset_of(batch.filters[qi])) {
+          continue;
+        }
+        active.push_back(static_cast<uint8_t>(qi));
+      }
+      if (active.empty()) {
+        continue;
+      }
+      for (uint32_t i = base; i <= last; ++i) {
+        for (uint8_t qi : active) {
+          if (filters_sorted_[i].subset_of(batch.filters[qi])) {
+            pairs.push_back(ResultPair{qi, set_ids_[i]});
+          }
+        }
+      }
+    }
+    return pairs;
+  }
+
+  // Stage 3 (§3.4): key lookup/reduce — map set ids to keys and group the
+  // keys by query — followed, per finished query, by the merge stage.
+  void process_completion(std::unique_ptr<Batch> batch, std::vector<ResultPair> pairs,
+                          bool overflow) {
+    if (overflow) {
+      batch_overflows_.fetch_add(1, std::memory_order_relaxed);
+      pairs = cpu_match(*batch);  // Recompute exactly; GPU output was truncated.
+    }
+    result_pairs_.fetch_add(pairs.size(), std::memory_order_relaxed);
+    for (const ResultPair& pair : pairs) {
+      QueryState& qs = *batch->queries[pair.query];
+      if (config_.exact_check && !qs.tag_hashes.empty()) {
+        // §3's optional exact subset check: reject Bloom false positives by
+        // verifying the set's tag hashes against the query's.
+        const uint64_t h0 = exact_offsets_[pair.set_id];
+        const uint64_t h1 = exact_offsets_[pair.set_id + 1];
+        if (h1 > h0 && !std::includes(qs.tag_hashes.begin(), qs.tag_hashes.end(),
+                                      exact_hashes_.begin() + static_cast<ptrdiff_t>(h0),
+                                      exact_hashes_.begin() + static_cast<ptrdiff_t>(h1))) {
+          exact_rejections_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      const uint32_t k0 = key_offsets_[pair.set_id];
+      const uint32_t k1 = key_offsets_[pair.set_id + 1];
+      std::lock_guard lock(qs.mu);
+      qs.keys.insert(qs.keys.end(), keys_flat_.begin() + k0, keys_flat_.begin() + k1);
+    }
+    for (const auto& qs : batch->queries) {
+      finish_if_done(*qs);
+    }
+  }
+
+  void finish_if_done(QueryState& qs) {
+    if (qs.pending.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return;
+    }
+    // Merge stage: nothing to do for kMatch; dedupe for kMatchUnique.
+    std::vector<Key> keys = std::move(qs.keys);
+    if (qs.kind == MatchKind::kMatchUnique) {
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    }
+    if (qs.callback) {
+      qs.callback(std::move(keys));
+    }
+    queries_processed_.fetch_add(1, std::memory_order_relaxed);
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void flush_partials() {
+    for (auto& slot_ptr : partials_) {
+      std::unique_ptr<Batch> batch;
+      {
+        std::lock_guard lock(slot_ptr->mu);
+        batch = std::move(slot_ptr->batch);
+      }
+      if (batch && !batch->filters.empty()) {
+        submit_batch(std::move(batch));
+      }
+    }
+  }
+
+  // Background flusher enforcing the batch timeout (§3, Fig. 6).
+  void timeout_loop() {
+    const auto timeout = config_.batch_timeout;
+    const auto tick = std::max(timeout / 4, std::chrono::milliseconds(1));
+    std::unique_lock lock(timeout_mu_);
+    while (!stopping_) {
+      timeout_cv_.wait_for(lock, tick, [&] { return stopping_; });
+      if (stopping_) {
+        return;
+      }
+      lock.unlock();
+      std::lock_guard work_lock(flusher_work_mu_);
+      const int64_t cutoff =
+          now_ns() - std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
+      for (auto& slot_ptr : partials_) {
+        std::unique_ptr<Batch> expired;
+        {
+          std::lock_guard slot_lock(slot_ptr->mu);
+          if (slot_ptr->batch && slot_ptr->batch->created_ns <= cutoff) {
+            expired = std::move(slot_ptr->batch);
+          }
+        }
+        if (expired && !expired->filters.empty()) {
+          submit_batch(std::move(expired));
+        }
+      }
+      // Results of the last batch on each stream wait for the stream's next
+      // batch (double buffering); if submission has gone quiet, drain them.
+      if (engine_ && engine_->in_flight() > 0 &&
+          now_ns() - last_submit_ns_.load(std::memory_order_relaxed) >
+              std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count()) {
+        engine_->drain();
+      }
+      lock.lock();
+    }
+  }
+
+  TagMatchConfig config_;
+
+  struct StagedAdd {
+    BitVector192 filter;
+    Key key;
+    std::vector<uint64_t> tag_hashes;
+    bool has_hashes;
+  };
+  struct SetEntry {
+    std::vector<Key> keys;
+    std::vector<uint64_t> tag_hashes;  // Sorted; valid when has_hashes.
+    bool has_hashes = false;
+  };
+
+  // Staged updates and the master table (filter -> keys + exact hashes).
+  std::mutex staging_mu_;
+  std::vector<StagedAdd> staged_adds_;
+  std::vector<std::pair<BitVector192, Key>> staged_removes_;
+  std::unordered_map<BitVector192, SetEntry, BitVector192Hash> table_;
+
+  // Consolidated index.
+  std::vector<BitVector192> filters_sorted_;  // Host mirror of the GPU tagset table.
+  std::vector<uint32_t> set_ids_;
+  std::vector<uint32_t> offsets_;
+  std::vector<BitVector192> masks_;           // Partition masks, aligned with offsets_.
+  std::vector<uint32_t> key_offsets_;
+  std::vector<Key> keys_flat_;
+  std::vector<uint64_t> exact_offsets_;       // Per unique set, into exact_hashes_.
+  std::vector<uint64_t> exact_hashes_;
+  PartitionTable partition_table_;
+  std::vector<std::unique_ptr<PartialSlot>> partials_;
+
+  std::unique_ptr<GpuEngine> engine_;
+  tagmatch::MpmcQueue<WorkItem> queue_;
+  std::vector<std::thread> workers_;
+
+  std::thread timeout_thread_;
+  std::mutex timeout_mu_;
+  std::condition_variable timeout_cv_;
+  // Serializes the flusher's per-tick work against index installation.
+  std::mutex flusher_work_mu_;
+  bool stopping_ = false;
+
+  std::mutex flush_mu_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::atomic<uint64_t> outstanding_{0};
+  std::atomic<int64_t> last_submit_ns_{0};
+
+  std::atomic<uint64_t> queries_processed_{0};
+  std::atomic<uint64_t> batches_submitted_{0};
+  std::atomic<uint64_t> batch_overflows_{0};
+  std::atomic<uint64_t> exact_rejections_{0};
+  std::atomic<uint64_t> partitions_forwarded_{0};
+  std::atomic<uint64_t> batch_queries_{0};
+  std::atomic<uint64_t> result_pairs_{0};
+  double last_consolidate_seconds_ = 0;
+
+ public:
+  bool save_index(const std::string& path) const;
+  bool load_index(const std::string& path);
+};
+
+// ---------------------------------------------------------------------------
+// Index persistence. Flat native-endian dump of the consolidated arrays plus
+// the master table's key/hash data (so add/remove/consolidate keep working
+// after a load).
+
+namespace {
+
+constexpr uint32_t kIndexMagic = 0x584d4754;  // "TGMX"
+constexpr uint32_t kIndexVersion = 2;
+
+template <typename T>
+void write_vec(std::FILE* f, const std::vector<T>& v) {
+  uint64_t n = v.size();
+  std::fwrite(&n, sizeof(n), 1, f);
+  if (n > 0) {
+    std::fwrite(v.data(), sizeof(T), n, f);
+  }
+}
+
+template <typename T>
+bool read_vec(std::FILE* f, std::vector<T>& v) {
+  uint64_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1) {
+    return false;
+  }
+  v.resize(n);
+  return n == 0 || std::fread(v.data(), sizeof(T), n, f) == n;
+}
+
+}  // namespace
+
+bool TagMatchImpl::save_index(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fwrite(&kIndexMagic, sizeof(kIndexMagic), 1, f);
+  std::fwrite(&kIndexVersion, sizeof(kIndexVersion), 1, f);
+  write_vec(f, filters_sorted_);
+  write_vec(f, set_ids_);
+  write_vec(f, offsets_);
+  write_vec(f, masks_);
+  write_vec(f, key_offsets_);
+  write_vec(f, keys_flat_);
+  write_vec(f, exact_offsets_);
+  write_vec(f, exact_hashes_);
+  bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool TagMatchImpl::load_index(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint32_t magic = 0, version = 0;
+  bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fread(&version, sizeof(version), 1, f) == 1 && magic == kIndexMagic &&
+            version == kIndexVersion;
+  std::vector<BitVector192> filters_sorted, masks;
+  std::vector<uint32_t> set_ids, offsets, key_offsets, keys_flat;
+  std::vector<uint64_t> exact_offsets, exact_hashes;
+  ok = ok && read_vec(f, filters_sorted) && read_vec(f, set_ids) && read_vec(f, offsets) &&
+       read_vec(f, masks) && read_vec(f, key_offsets) && read_vec(f, keys_flat) &&
+       read_vec(f, exact_offsets) && read_vec(f, exact_hashes);
+  std::fclose(f);
+  // Structural sanity before committing anything.
+  ok = ok && filters_sorted.size() == set_ids.size() &&
+       offsets.size() == masks.size() + 1 && !offsets.empty() &&
+       offsets.back() == filters_sorted.size() &&
+       key_offsets.size() == exact_offsets.size() &&
+       (key_offsets.empty() || (key_offsets.back() == keys_flat.size() &&
+                                exact_offsets.back() == exact_hashes.size()));
+  if (!ok) {
+    return false;
+  }
+
+  flush();
+  filters_sorted_ = std::move(filters_sorted);
+  set_ids_ = std::move(set_ids);
+  offsets_ = std::move(offsets);
+  masks_ = std::move(masks);
+  key_offsets_ = std::move(key_offsets);
+  keys_flat_ = std::move(keys_flat);
+  exact_offsets_ = std::move(exact_offsets);
+  exact_hashes_ = std::move(exact_hashes);
+
+  // Rebuild the master table so later add/remove + consolidate cycles see
+  // the loaded contents.
+  {
+    std::lock_guard lock(staging_mu_);
+    staged_adds_.clear();
+    staged_removes_.clear();
+    table_.clear();
+    const size_t n_unique = key_offsets_.empty() ? 0 : key_offsets_.size() - 1;
+    std::vector<const BitVector192*> filter_of_sid(n_unique, nullptr);
+    for (size_t slot = 0; slot < set_ids_.size(); ++slot) {
+      filter_of_sid[set_ids_[slot]] = &filters_sorted_[slot];
+    }
+    for (size_t sid = 0; sid < n_unique; ++sid) {
+      TAGMATCH_CHECK(filter_of_sid[sid] != nullptr);
+      SetEntry& entry = table_[*filter_of_sid[sid]];
+      entry.keys.assign(keys_flat_.begin() + key_offsets_[sid],
+                        keys_flat_.begin() + key_offsets_[sid + 1]);
+      entry.has_hashes = exact_offsets_[sid + 1] > exact_offsets_[sid];
+      entry.tag_hashes.assign(
+          exact_hashes_.begin() + static_cast<ptrdiff_t>(exact_offsets_[sid]),
+          exact_hashes_.begin() + static_cast<ptrdiff_t>(exact_offsets_[sid + 1]));
+    }
+  }
+  install_index();
+  return true;
+}
+
+TagMatch::TagMatch(TagMatchConfig config) : impl_(std::make_unique<TagMatchImpl>(config)) {}
+TagMatch::~TagMatch() = default;
+
+uint64_t TagMatch::tag_hash(std::string_view tag) { return mix64(fnv1a64(tag) ^ 0x7447414758ull); }
+
+namespace {
+std::vector<uint64_t> hash_tags(std::span<const std::string> tags) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(tags.size());
+  for (const auto& t : tags) {
+    hashes.push_back(TagMatch::tag_hash(t));
+  }
+  return hashes;
+}
+}  // namespace
+
+void TagMatch::add_set(std::span<const std::string> tags, Key key) {
+  impl_->stage_add(BloomFilter192::of(tags).bits(), key, hash_tags(tags), /*has_hashes=*/true);
+}
+void TagMatch::add_set(const BloomFilter192& filter, Key key) {
+  impl_->stage_add(filter.bits(), key, {}, /*has_hashes=*/false);
+}
+void TagMatch::add_set_hashed(const BloomFilter192& filter, std::span<const uint64_t> tag_hashes,
+                              Key key) {
+  impl_->stage_add(filter.bits(), key,
+                   std::vector<uint64_t>(tag_hashes.begin(), tag_hashes.end()),
+                   /*has_hashes=*/true);
+}
+void TagMatch::remove_set(std::span<const std::string> tags, Key key) {
+  impl_->stage_remove(BloomFilter192::of(tags).bits(), key);
+}
+void TagMatch::remove_set(const BloomFilter192& filter, Key key) {
+  impl_->stage_remove(filter.bits(), key);
+}
+void TagMatch::consolidate() { impl_->consolidate(); }
+
+void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, MatchCallback callback) {
+  impl_->match_async(query, kind, std::move(callback));
+}
+void TagMatch::match_async_hashed(const BloomFilter192& query,
+                                  std::span<const uint64_t> query_tag_hashes, MatchKind kind,
+                                  MatchCallback callback) {
+  impl_->match_async(query, kind, std::move(callback),
+                     std::vector<uint64_t>(query_tag_hashes.begin(), query_tag_hashes.end()));
+}
+void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind,
+                           MatchCallback callback) {
+  impl_->match_async(BloomFilter192::of(tags), kind, std::move(callback), hash_tags(tags));
+}
+
+namespace {
+std::vector<Key> match_sync(TagMatchImpl& impl, const BloomFilter192& query, MatchKind kind,
+                            std::vector<uint64_t> tag_hashes = {}) {
+  std::promise<std::vector<Key>> promise;
+  auto future = promise.get_future();
+  impl.match_async(
+      query, kind, [&promise](std::vector<Key> keys) { promise.set_value(std::move(keys)); },
+      std::move(tag_hashes));
+  impl.flush();
+  return future.get();
+}
+}  // namespace
+
+std::vector<TagMatch::Key> TagMatch::match(const BloomFilter192& query) {
+  return match_sync(*impl_, query, MatchKind::kMatch);
+}
+std::vector<TagMatch::Key> TagMatch::match_unique(const BloomFilter192& query) {
+  return match_sync(*impl_, query, MatchKind::kMatchUnique);
+}
+std::vector<TagMatch::Key> TagMatch::match(std::span<const std::string> tags) {
+  return match_sync(*impl_, BloomFilter192::of(tags), MatchKind::kMatch, hash_tags(tags));
+}
+std::vector<TagMatch::Key> TagMatch::match_unique(std::span<const std::string> tags) {
+  return match_sync(*impl_, BloomFilter192::of(tags), MatchKind::kMatchUnique, hash_tags(tags));
+}
+
+void TagMatch::flush() { impl_->flush(); }
+TagMatch::Stats TagMatch::stats() const { return impl_->stats(); }
+bool TagMatch::save_index(const std::string& path) const { return impl_->save_index(path); }
+bool TagMatch::load_index(const std::string& path) { return impl_->load_index(path); }
+
+}  // namespace tagmatch

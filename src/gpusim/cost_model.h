@@ -1,0 +1,50 @@
+// Cost model for the simulated GPU (see DESIGN.md §2).
+//
+// The paper's performance story rests on three cost properties of real
+// CUDA systems, all of which the simulator reproduces:
+//   1. every API call (copy or launch) has a fixed, non-negligible overhead,
+//      which is why TagMatch batches queries;
+//   2. host<->device copies are bandwidth-limited (PCIe), which is why
+//      TagMatch packs its kernel output;
+//   3. operations in different streams overlap, while operations within one
+//      stream are FIFO — which is what the even/odd double-buffer scheme and
+//      the stream pool exploit.
+#ifndef TAGMATCH_GPUSIM_COST_MODEL_H_
+#define TAGMATCH_GPUSIM_COST_MODEL_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gpusim {
+
+struct CostModel {
+  // Fixed cost charged for every operation enqueued on a stream, modeling
+  // driver/API overhead (a few microseconds on real hardware).
+  int64_t api_call_overhead_ns = 1500;
+
+  // Extra fixed cost for a kernel launch on top of the API overhead.
+  int64_t kernel_launch_overhead_ns = 3000;
+
+  // Modeled PCIe bandwidth in GB/s for each direction. The simulator performs
+  // a real memcpy and then, if the copy finished faster than the modeled
+  // bus would allow, spins out the remainder.
+  double h2d_gbps = 12.0;
+  double d2h_gbps = 12.0;
+
+  // Disables all artificial delays (unit tests use this).
+  bool enforce = true;
+
+  int64_t copy_ns(uint64_t bytes, bool h2d) const {
+    double gbps = h2d ? h2d_gbps : d2h_gbps;
+    return static_cast<int64_t>(static_cast<double>(bytes) / gbps);  // bytes/GBps == ns
+  }
+};
+
+// Busy-waits until `deadline_ns` nanoseconds after `start`. The simulator
+// spins rather than sleeps because OS sleep granularity (tens of
+// microseconds) would distort the modeled microsecond-scale costs.
+void spin_until(std::chrono::steady_clock::time_point start, int64_t deadline_ns);
+
+}  // namespace gpusim
+
+#endif  // TAGMATCH_GPUSIM_COST_MODEL_H_

@@ -1,0 +1,79 @@
+#include "src/gpusim/device.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <new>
+
+#include "src/common/check.h"
+
+namespace gpusim {
+
+void spin_until(std::chrono::steady_clock::time_point start, int64_t deadline_ns) {
+  const auto deadline = start + std::chrono::nanoseconds(deadline_ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy wait; modeled costs are microsecond scale.
+  }
+}
+
+Device::Device(DeviceConfig config) : config_(std::move(config)) {
+  TAGMATCH_CHECK(config_.num_sms > 0);
+  sm_pool_ = std::make_unique<tagmatch::ThreadPool>(config_.num_sms);
+}
+
+DeviceBuffer Device::alloc(size_t bytes) {
+  DeviceBuffer buf = try_alloc(bytes);
+  TAGMATCH_CHECK(buf.valid());
+  return buf;
+}
+
+DeviceBuffer Device::try_alloc(size_t bytes) {
+  if (bytes == 0) {
+    bytes = 1;  // Keep a distinct address per allocation, as cudaMalloc does.
+  }
+  uint64_t used = memory_used_.load(std::memory_order_relaxed);
+  do {
+    if (used + bytes > config_.memory_capacity) {
+      return DeviceBuffer();
+    }
+  } while (!memory_used_.compare_exchange_weak(used, used + bytes, std::memory_order_relaxed));
+  auto* data = static_cast<std::byte*>(::operator new(bytes, std::align_val_t{64}));
+  return DeviceBuffer(this, data, bytes);
+}
+
+void Device::free(std::byte* data, size_t size) {
+  ::operator delete(data, std::align_val_t{64});
+  memory_used_.fetch_sub(size, std::memory_order_relaxed);
+}
+
+void Device::register_stream() {
+  unsigned n = live_streams_.fetch_add(1, std::memory_order_relaxed) + 1;
+  TAGMATCH_CHECK(n <= config_.max_streams);
+}
+
+void Device::unregister_stream() { live_streams_.fetch_sub(1, std::memory_order_relaxed); }
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    device_ = other.device_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.device_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+DeviceBuffer::~DeviceBuffer() { reset(); }
+
+void DeviceBuffer::reset() {
+  if (data_ != nullptr) {
+    device_->free(data_, size_);
+    device_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace gpusim

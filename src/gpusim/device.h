@@ -1,0 +1,116 @@
+// Simulated GPU device: memory arena with capacity accounting plus a pool of
+// "SM workers" that execute kernel thread-blocks. See DESIGN.md §2 for the
+// fidelity argument of this substitution for real CUDA hardware.
+#ifndef TAGMATCH_GPUSIM_DEVICE_H_
+#define TAGMATCH_GPUSIM_DEVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/gpusim/cost_model.h"
+#include "src/gpusim/profiler.h"
+
+namespace gpusim {
+
+class Device;
+
+// RAII handle to a device memory allocation. Movable, not copyable; frees and
+// un-accounts the memory on destruction. The backing store is host memory,
+// but all access from host code is expected to go through Stream::memcpy_*
+// so the modeled bus costs apply (kernels access it directly, as on real
+// hardware).
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+  ~DeviceBuffer();
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+  Device* device() const { return device_; }
+
+  template <typename T>
+  T* as() const {
+    return reinterpret_cast<T*>(data_);
+  }
+
+  void reset();
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* device, std::byte* data, size_t size)
+      : device_(device), data_(data), size_(size) {}
+
+  Device* device_ = nullptr;
+  std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+struct DeviceConfig {
+  std::string name = "SimTITAN-X";
+  uint64_t memory_capacity = 12ull << 30;  // 12 GB, as the paper's TITAN X.
+  // Number of thread-blocks the device executes concurrently. On this
+  // simulator an "SM" is a host worker thread.
+  unsigned num_sms = 4;
+  // Maximum number of streams that may be created on this device (the paper
+  // reports a 10-streams-per-GPU ceiling on its platform).
+  unsigned max_streams = 10;
+  // Records every stream operation into the device profiler (timeline +
+  // overlap statistics; small per-op overhead).
+  bool enable_profiling = false;
+  CostModel costs;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceConfig config);
+
+  // Allocates `bytes` of device memory. Aborts if the device capacity would
+  // be exceeded (mirrors a failed cudaMalloc treated as fatal); use
+  // `try_alloc` where failure must be handled.
+  DeviceBuffer alloc(size_t bytes);
+  DeviceBuffer try_alloc(size_t bytes);  // Returns an invalid buffer on OOM.
+
+  uint64_t memory_used() const { return memory_used_.load(std::memory_order_relaxed); }
+  uint64_t memory_capacity() const { return config_.memory_capacity; }
+  const DeviceConfig& config() const { return config_; }
+  const CostModel& costs() const { return config_.costs; }
+
+  // Pool of SM workers shared by all kernel launches on this device; streams
+  // dispatch their blocks here, so kernels from different streams genuinely
+  // compete for the same execution resources (as on real hardware).
+  tagmatch::ThreadPool& sm_pool() { return *sm_pool_; }
+
+  // Non-null iff config.enable_profiling.
+  Profiler* profiler() { return config_.enable_profiling ? &profiler_ : nullptr; }
+
+  unsigned stream_count() const { return live_streams_.load(std::memory_order_relaxed); }
+  // Called by Stream's constructor/destructor; aborts if max_streams exceeded.
+  void register_stream();
+  void unregister_stream();
+
+ private:
+  friend class DeviceBuffer;
+  void free(std::byte* data, size_t size);
+
+  DeviceConfig config_;
+  std::atomic<uint64_t> memory_used_{0};
+  std::atomic<unsigned> live_streams_{0};
+  std::unique_ptr<tagmatch::ThreadPool> sm_pool_;
+  Profiler profiler_;
+};
+
+}  // namespace gpusim
+
+#endif  // TAGMATCH_GPUSIM_DEVICE_H_

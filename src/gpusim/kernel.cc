@@ -1,0 +1,50 @@
+#include "src/gpusim/kernel.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/gpusim/device.h"
+
+namespace gpusim {
+
+namespace {
+constexpr size_t kMaxSharedBytes = 48 * 1024;  // CUDA's classic 48 KiB/block limit.
+}
+
+void execute_grid(Device* device, const LaunchConfig& config, const Kernel& kernel) {
+  TAGMATCH_CHECK(config.block_dim > 0);
+  TAGMATCH_CHECK(config.shared_bytes <= kMaxSharedBytes);
+  if (config.grid_dim == 0) {
+    return;
+  }
+  device->sm_pool().parallel_for(config.grid_dim, [&](size_t block) {
+    // Each SM worker gets its own shared-memory arena, zeroed per block as
+    // CUDA's dynamic shared memory effectively is for our purposes.
+    alignas(64) std::byte shared[kMaxSharedBytes];
+    if (config.shared_bytes > 0) {
+      std::memset(shared, 0, config.shared_bytes);
+    }
+    BlockContext ctx(static_cast<uint32_t>(block), config.block_dim, config.grid_dim, shared,
+                     config.shared_bytes, device);
+    kernel(ctx);
+  });
+}
+
+void BlockContext::launch_child(uint32_t grid_dim, uint32_t block_dim, size_t shared_bytes,
+                                const std::function<void(BlockContext&)>& kernel) const {
+  // Child blocks run inline on the calling SM worker: dynamic parallelism on
+  // real hardware also executes children on the same device resources; the
+  // parent here waits for the child grid, matching a parent-side sync.
+  TAGMATCH_CHECK(block_dim > 0);
+  TAGMATCH_CHECK(shared_bytes <= kMaxSharedBytes);
+  alignas(64) std::byte shared[kMaxSharedBytes];
+  for (uint32_t block = 0; block < grid_dim; ++block) {
+    if (shared_bytes > 0) {
+      std::memset(shared, 0, shared_bytes);
+    }
+    BlockContext ctx(block, block_dim, grid_dim, shared, shared_bytes, device_);
+    kernel(ctx);
+  }
+}
+
+}  // namespace gpusim

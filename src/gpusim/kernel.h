@@ -1,0 +1,94 @@
+// SPMD kernel model.
+//
+// A kernel is written per thread-block, in bulk-synchronous (BSP) style: the
+// kernel body receives a BlockContext and calls `ctx.threads(fn)` one or more
+// times. Each `threads` call is a superstep that runs fn(tid) for every
+// thread id in [0, block_dim); consecutive supersteps are separated by an
+// implicit barrier, which is exactly the CUDA `__syncthreads()` discipline
+// that Algorithm 4 of the paper relies on ("thread 0 computes the shared
+// prefix; barrier; all threads filter the query batch; barrier; each thread
+// checks its tag set").
+//
+// Within a superstep, thread bodies execute sequentially on one SM worker, so
+// they must not wait on one another (which CUDA forbids across warps anyway);
+// atomics still behave atomically because different *blocks* run on different
+// SM workers concurrently.
+#ifndef TAGMATCH_GPUSIM_KERNEL_H_
+#define TAGMATCH_GPUSIM_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gpusim {
+
+class Device;
+
+class BlockContext {
+ public:
+  BlockContext(uint32_t block_idx, uint32_t block_dim, uint32_t grid_dim, std::byte* shared,
+               size_t shared_bytes, Device* device)
+      : block_idx_(block_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        shared_(shared),
+        shared_bytes_(shared_bytes),
+        device_(device) {}
+
+  uint32_t block_idx() const { return block_idx_; }
+  uint32_t block_dim() const { return block_dim_; }
+  uint32_t grid_dim() const { return grid_dim_; }
+  // Global id of this block's first thread (CUDA: blockIdx.x * blockDim.x).
+  uint32_t block_first_thread() const { return block_idx_ * block_dim_; }
+
+  // Block-level shared memory, zero-initialized at block start.
+  template <typename T = std::byte>
+  T* shared() const {
+    return reinterpret_cast<T*>(shared_);
+  }
+  size_t shared_bytes() const { return shared_bytes_; }
+
+  // Superstep: runs fn(tid) for each tid in [0, block_dim). An implicit
+  // __syncthreads() separates consecutive calls.
+  void threads(const std::function<void(uint32_t)>& fn) const {
+    for (uint32_t tid = 0; tid < block_dim_; ++tid) {
+      fn(tid);
+    }
+  }
+
+  // Runs fn(0) only — convenience for "if (threadIdx.x == 0)" phases.
+  void thread0(const std::function<void()>& fn) const { fn(); }
+
+  // CUDA dynamic parallelism: launches a child kernel from device code.
+  // The child grid executes synchronously before this call returns (the
+  // equivalent of a child launch followed by cudaDeviceSynchronize() in the
+  // parent, which is how the paper's GPU-only prototype of §4.5 consumes
+  // filled partition queues).
+  void launch_child(uint32_t grid_dim, uint32_t block_dim, size_t shared_bytes,
+                    const std::function<void(BlockContext&)>& kernel) const;
+
+ private:
+  uint32_t block_idx_;
+  uint32_t block_dim_;
+  uint32_t grid_dim_;
+  std::byte* shared_;
+  size_t shared_bytes_;
+  Device* device_;
+};
+
+using Kernel = std::function<void(BlockContext&)>;
+
+struct LaunchConfig {
+  uint32_t grid_dim = 1;
+  uint32_t block_dim = 256;
+  size_t shared_bytes = 0;
+};
+
+// Executes a whole grid on the device's SM pool, blocking until every block
+// has retired. Used by Stream (and by launch_child).
+void execute_grid(Device* device, const LaunchConfig& config, const Kernel& kernel);
+
+}  // namespace gpusim
+
+#endif  // TAGMATCH_GPUSIM_KERNEL_H_

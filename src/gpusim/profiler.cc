@@ -1,0 +1,97 @@
+#include "src/gpusim/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpusim {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kH2D:
+      return "h2d_copy";
+    case OpKind::kD2H:
+      return "d2h_copy";
+    case OpKind::kMemset:
+      return "memset";
+    case OpKind::kKernel:
+      return "kernel";
+    case OpKind::kHostFunc:
+      return "host_func";
+  }
+  return "unknown";
+}
+
+Profiler::Summary Profiler::summary() const {
+  std::vector<OpRecord> ops = records();
+  Summary s;
+  s.op_count = ops.size();
+  if (ops.empty()) {
+    return s;
+  }
+  int64_t first = ops[0].start_ns, last = ops[0].end_ns;
+  for (const OpRecord& op : ops) {
+    first = std::min(first, op.start_ns);
+    last = std::max(last, op.end_ns);
+    const int64_t dur = op.end_ns - op.start_ns;
+    switch (op.kind) {
+      case OpKind::kH2D:
+        s.h2d_ns += dur;
+        s.h2d_bytes += op.bytes;
+        break;
+      case OpKind::kD2H:
+        s.d2h_ns += dur;
+        s.d2h_bytes += op.bytes;
+        break;
+      case OpKind::kKernel:
+        s.kernel_ns += dur;
+        break;
+      default:
+        s.other_ns += dur;
+        break;
+    }
+  }
+  s.span_ns = last - first;
+
+  // Sweep the interval endpoints to measure how long >= 2 ops overlapped.
+  std::vector<std::pair<int64_t, int>> events;
+  events.reserve(ops.size() * 2);
+  for (const OpRecord& op : ops) {
+    events.emplace_back(op.start_ns, +1);
+    events.emplace_back(op.end_ns, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int depth = 0;
+  int64_t prev = events.empty() ? 0 : events.front().first;
+  for (const auto& [t, delta] : events) {
+    if (depth >= 2) {
+      s.concurrent_ns += t - prev;
+    }
+    depth += delta;
+    prev = t;
+  }
+  return s;
+}
+
+bool Profiler::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  std::vector<OpRecord> ops = records();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpRecord& op = ops[i];
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"gpusim\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                 "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"bytes\":%llu}}%s\n",
+                 op_kind_name(op.kind), op.stream_id, static_cast<double>(op.start_ns) / 1e3,
+                 static_cast<double>(op.end_ns - op.start_ns) / 1e3,
+                 static_cast<unsigned long long>(op.bytes), i + 1 < ops.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,68 @@
+// Execution profiler for the simulated device: records one interval per
+// stream operation (copies, memsets, kernels) so tests and benches can
+// quantify the stream-level overlap that §3.3.2 of the paper builds on, and
+// optionally dump a chrome://tracing-compatible JSON timeline.
+#ifndef TAGMATCH_GPUSIM_PROFILER_H_
+#define TAGMATCH_GPUSIM_PROFILER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpusim {
+
+enum class OpKind : uint8_t { kH2D, kD2H, kMemset, kKernel, kHostFunc };
+
+const char* op_kind_name(OpKind kind);
+
+struct OpRecord {
+  uint32_t stream_id;
+  OpKind kind;
+  int64_t start_ns;  // Monotonic clock.
+  int64_t end_ns;
+  uint64_t bytes;  // Copies/memsets; 0 for kernels and host functions.
+};
+
+class Profiler {
+ public:
+  void record(const OpRecord& op) {
+    std::lock_guard lock(mu_);
+    ops_.push_back(op);
+  }
+
+  std::vector<OpRecord> records() const {
+    std::lock_guard lock(mu_);
+    return ops_;
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    ops_.clear();
+  }
+
+  struct Summary {
+    int64_t span_ns = 0;        // First start to last end.
+    int64_t h2d_ns = 0;         // Summed per-op durations by kind.
+    int64_t d2h_ns = 0;
+    int64_t kernel_ns = 0;
+    int64_t other_ns = 0;
+    int64_t concurrent_ns = 0;  // Wall time during which >= 2 ops ran at once.
+    uint64_t h2d_bytes = 0;
+    uint64_t d2h_bytes = 0;
+    size_t op_count = 0;
+  };
+  Summary summary() const;
+
+  // Writes the timeline in the Chrome trace-event JSON format (load via
+  // chrome://tracing or Perfetto). Returns false on I/O error.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<OpRecord> ops_;
+};
+
+}  // namespace gpusim
+
+#endif  // TAGMATCH_GPUSIM_PROFILER_H_

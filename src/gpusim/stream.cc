@@ -1,0 +1,127 @@
+#include "src/gpusim/stream.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace gpusim {
+
+namespace {
+
+uint32_t next_stream_id() {
+  static std::atomic<uint32_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t mono_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Stream::Stream(Device* device) : device_(device), id_(next_stream_id()) {
+  TAGMATCH_CHECK(device != nullptr);
+  device_->register_stream();
+  executor_ = std::thread([this] { run(); });
+}
+
+Stream::~Stream() {
+  synchronize();
+  ops_.close();
+  executor_.join();
+  device_->unregister_stream();
+}
+
+void Stream::run() {
+  while (auto op = ops_.pop()) {
+    (*op)();
+  }
+}
+
+void Stream::enqueue(std::function<void()> op) { ops_.push(std::move(op)); }
+
+void Stream::enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()> op) {
+  Profiler* profiler = device_->profiler();
+  if (profiler == nullptr) {
+    enqueue(std::move(op));
+    return;
+  }
+  enqueue([this, kind, bytes, profiler, op = std::move(op)] {
+    OpRecord record;
+    record.stream_id = id_;
+    record.kind = kind;
+    record.bytes = bytes;
+    record.start_ns = mono_ns();
+    op();
+    record.end_ns = mono_ns();
+    profiler->record(record);
+  });
+}
+
+void Stream::memcpy_h2d(void* dst_device, const void* src_host, size_t bytes) {
+  enqueue_profiled(OpKind::kH2D, bytes, [this, dst_device, src_host, bytes] {
+    const auto start = std::chrono::steady_clock::now();
+    std::memcpy(dst_device, src_host, bytes);
+    const CostModel& costs = device_->costs();
+    if (costs.enforce) {
+      spin_until(start, costs.api_call_overhead_ns + costs.copy_ns(bytes, /*h2d=*/true));
+    }
+  });
+}
+
+void Stream::memcpy_d2h(void* dst_host, const void* src_device, size_t bytes) {
+  enqueue_profiled(OpKind::kD2H, bytes, [this, dst_host, src_device, bytes] {
+    const auto start = std::chrono::steady_clock::now();
+    std::memcpy(dst_host, src_device, bytes);
+    const CostModel& costs = device_->costs();
+    if (costs.enforce) {
+      spin_until(start, costs.api_call_overhead_ns + costs.copy_ns(bytes, /*h2d=*/false));
+    }
+  });
+}
+
+void Stream::memset_d(void* dst_device, int value, size_t bytes) {
+  enqueue_profiled(OpKind::kMemset, bytes, [this, dst_device, value, bytes] {
+    const auto start = std::chrono::steady_clock::now();
+    std::memset(dst_device, value, bytes);
+    const CostModel& costs = device_->costs();
+    if (costs.enforce) {
+      spin_until(start, costs.api_call_overhead_ns);
+    }
+  });
+}
+
+void Stream::launch(const LaunchConfig& config, Kernel kernel) {
+  enqueue_profiled(OpKind::kKernel, 0, [this, config, kernel = std::move(kernel)] {
+    const auto start = std::chrono::steady_clock::now();
+    const CostModel& costs = device_->costs();
+    if (costs.enforce) {
+      spin_until(start, costs.api_call_overhead_ns + costs.kernel_launch_overhead_ns);
+    }
+    execute_grid(device_, config, kernel);
+  });
+}
+
+void Stream::callback(std::function<void()> fn) {
+  enqueue_profiled(OpKind::kHostFunc, 0, std::move(fn));
+}
+
+void Stream::record(const std::shared_ptr<Event>& event) {
+  enqueue([event] { event->signal(); });
+}
+
+void Stream::wait_event(const std::shared_ptr<Event>& event) {
+  enqueue([event] { event->wait(); });
+}
+
+void Stream::synchronize() {
+  std::promise<void> done;
+  enqueue([&done] { done.set_value(); });
+  done.get_future().wait();
+}
+
+}  // namespace gpusim

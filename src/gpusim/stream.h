@@ -1,0 +1,94 @@
+// CUDA-style stream: a FIFO queue of device operations with its own executor.
+// Operations within one stream run strictly in order; operations in different
+// streams overlap (kernels additionally compete for the device's SM pool).
+// This is the concurrency model §3.3.2 of the paper builds its workflow
+// optimizations on.
+#ifndef TAGMATCH_GPUSIM_STREAM_H_
+#define TAGMATCH_GPUSIM_STREAM_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "src/common/mpmc_queue.h"
+#include "src/gpusim/device.h"
+#include "src/gpusim/kernel.h"
+
+namespace gpusim {
+
+// One-shot completion marker, equivalent to a cudaEvent recorded on a stream.
+class Event {
+ public:
+  Event() : future_(promise_.get_future().share()) {}
+
+  void wait() const { future_.wait(); }
+  bool ready() const {
+    return future_.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  }
+
+ private:
+  friend class Stream;
+  void signal() { promise_.set_value(); }
+
+  std::promise<void> promise_;
+  std::shared_future<void> future_;
+};
+
+class Stream {
+ public:
+  explicit Stream(Device* device);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  Device* device() const { return device_; }
+
+  // Asynchronous host-to-device copy (cudaMemcpyAsync H2D). The source host
+  // buffer must stay valid until the operation completes, as with pinned
+  // memory in CUDA.
+  void memcpy_h2d(void* dst_device, const void* src_host, size_t bytes);
+
+  // Asynchronous device-to-host copy (cudaMemcpyAsync D2H).
+  void memcpy_d2h(void* dst_host, const void* src_device, size_t bytes);
+
+  // Asynchronous device memset (cudaMemsetAsync).
+  void memset_d(void* dst_device, int value, size_t bytes);
+
+  // Asynchronous kernel launch.
+  void launch(const LaunchConfig& config, Kernel kernel);
+
+  // Host callback executed in stream order (cudaLaunchHostFunc). Runs on the
+  // stream's executor thread; keep it short or hand off to another thread.
+  void callback(std::function<void()> fn);
+
+  // Records an event that fires when all previously enqueued work completes.
+  void record(const std::shared_ptr<Event>& event);
+
+  // Makes all subsequently enqueued work on THIS stream wait until `event`
+  // (recorded on another stream) has fired — cudaStreamWaitEvent.
+  void wait_event(const std::shared_ptr<Event>& event);
+
+  // Blocks until every operation enqueued so far has completed.
+  void synchronize();
+
+  // Process-unique id, used by the device profiler's timeline.
+  uint32_t id() const { return id_; }
+
+ private:
+  void run();
+  void enqueue(std::function<void()> op);
+  // Enqueues `op` and, if the device profiler is enabled, records its
+  // execution interval under `kind`/`bytes`.
+  void enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()> op);
+
+  Device* device_;
+  uint32_t id_;
+  tagmatch::MpmcQueue<std::function<void()>> ops_;
+  std::thread executor_;
+};
+
+}  // namespace gpusim
+
+#endif  // TAGMATCH_GPUSIM_STREAM_H_

@@ -1,0 +1,146 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace tagmatch::net {
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+BrokerClient::~BrokerClient() { close(); }
+
+bool BrokerClient::connect(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  reader_ = std::thread([this] { reader_loop(); });
+  return true;
+}
+
+void BrokerClient::close() {
+  if (fd_ < 0) {
+    return;
+  }
+  ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+  ::close(fd_);
+  fd_ = -1;
+  replies_.close();
+  messages_.close();
+}
+
+void BrokerClient::reader_loop() {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      auto frame = parse_server_frame(line);
+      if (!frame) {
+        continue;  // Skip garbage; the protocol is line-synchronized.
+      }
+      if (frame->kind == ServerFrame::Kind::kMsg) {
+        messages_.push(broker::Message{std::move(frame->tags), std::move(frame->payload)});
+      } else {
+        replies_.push(std::move(*frame));
+      }
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      replies_.close();
+      messages_.close();
+      return;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::optional<ServerFrame> BrokerClient::command(const std::string& line) {
+  if (fd_ < 0 || !send_all(fd_, line)) {
+    return std::nullopt;
+  }
+  // Replies arrive in command order (the server handles one command at a
+  // time per connection).
+  return replies_.pop_for(std::chrono::seconds(10));
+}
+
+namespace {
+bool all_tags_valid(const std::vector<std::string>& tags) {
+  if (tags.empty()) {
+    return false;
+  }
+  for (const auto& t : tags) {
+    if (!valid_tag(t)) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::optional<uint32_t> BrokerClient::subscribe(const std::vector<std::string>& tags) {
+  if (!all_tags_valid(tags)) {
+    return std::nullopt;
+  }
+  auto reply = command("SUB " + format_tags(tags) + "\n");
+  if (!reply || reply->kind != ServerFrame::Kind::kOk) {
+    return std::nullopt;
+  }
+  return reply->id;
+}
+
+bool BrokerClient::unsubscribe(uint32_t subscription) {
+  auto reply = command("UNSUB " + std::to_string(subscription) + "\n");
+  return reply && reply->kind == ServerFrame::Kind::kOk;
+}
+
+bool BrokerClient::publish(const std::vector<std::string>& tags, const std::string& payload) {
+  if (!all_tags_valid(tags) || payload.find('\n') != std::string::npos) {
+    return false;
+  }
+  auto reply = command("PUB " + format_tags(tags) + " " + payload + "\n");
+  return reply && reply->kind == ServerFrame::Kind::kOk;
+}
+
+bool BrokerClient::ping() {
+  auto reply = command("PING\n");
+  return reply && reply->kind == ServerFrame::Kind::kPong;
+}
+
+std::optional<broker::Message> BrokerClient::receive(std::chrono::milliseconds timeout) {
+  return messages_.pop_for(timeout);
+}
+
+}  // namespace tagmatch::net

@@ -1,0 +1,55 @@
+// TCP client for the TagBroker server (src/net/server.h). A background
+// reader thread demultiplexes the socket: MSG frames go to a delivery queue
+// (receive()); command replies (OK/ERR/PONG) go to a reply queue consumed by
+// the synchronous command methods.
+#ifndef TAGMATCH_NET_CLIENT_H_
+#define TAGMATCH_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/broker/broker.h"
+#include "src/common/mpmc_queue.h"
+#include "src/net/wire.h"
+
+namespace tagmatch::net {
+
+class BrokerClient {
+ public:
+  BrokerClient() = default;
+  ~BrokerClient();
+
+  BrokerClient(const BrokerClient&) = delete;
+  BrokerClient& operator=(const BrokerClient&) = delete;
+
+  // Connects to 127.0.0.1:`port`. Returns false on failure.
+  bool connect(uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Synchronous commands (nullopt / false on error or disconnect).
+  std::optional<uint32_t> subscribe(const std::vector<std::string>& tags);
+  bool unsubscribe(uint32_t subscription);
+  bool publish(const std::vector<std::string>& tags, const std::string& payload);
+  bool ping();
+
+  // Pops one delivered message, waiting up to `timeout`.
+  std::optional<broker::Message> receive(std::chrono::milliseconds timeout);
+
+ private:
+  std::optional<ServerFrame> command(const std::string& line);
+  void reader_loop();
+
+  int fd_ = -1;
+  std::thread reader_;
+  tagmatch::MpmcQueue<ServerFrame> replies_;
+  tagmatch::MpmcQueue<broker::Message> messages_;
+};
+
+}  // namespace tagmatch::net
+
+#endif  // TAGMATCH_NET_CLIENT_H_

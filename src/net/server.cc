@@ -1,0 +1,180 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/net/wire.h"
+
+namespace tagmatch::net {
+
+namespace {
+
+// Reads one '\n'-terminated line into `line` using `buffer` as carry-over
+// between calls. Returns false on EOF/error with no complete line.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return false;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > (1u << 20)) {
+      return false;  // Absurd line length: treat as protocol error.
+    }
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+BrokerServer::BrokerServer(broker::Broker* broker, uint16_t port) : broker_(broker) {
+  TAGMATCH_CHECK(broker != nullptr);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+BrokerServer::~BrokerServer() { stop(); }
+
+void BrokerServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    close_connection(conn.get());
+    if (conn->reader.joinable()) {
+      conn->reader.join();
+    }
+    if (conn->pusher.joinable()) {
+      conn->pusher.join();
+    }
+    ::close(conn->fd);
+  }
+}
+
+void BrokerServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // Listener closed.
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->subscriber = broker_->connect();
+    Connection* raw = conn.get();
+    conn->reader = std::thread([this, raw] { reader_loop(raw); });
+    conn->pusher = std::thread([this, raw] { pusher_loop(raw); });
+    connections_served_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void BrokerServer::send_line(Connection* conn, const std::string& line) {
+  std::lock_guard lock(conn->write_mu);
+  if (!conn->open.load(std::memory_order_relaxed) || !send_all(conn->fd, line)) {
+    conn->open.store(false, std::memory_order_relaxed);
+  }
+}
+
+void BrokerServer::close_connection(Connection* conn) {
+  if (conn->open.exchange(false)) {
+    broker_->disconnect(conn->subscriber);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+void BrokerServer::reader_loop(Connection* conn) {
+  std::string buffer, line;
+  while (conn->open.load(std::memory_order_relaxed) && read_line(conn->fd, buffer, line)) {
+    auto request = parse_request(line);
+    if (!request) {
+      send_line(conn, format_err("malformed request"));
+      continue;
+    }
+    switch (request->kind) {
+      case Request::Kind::kPing:
+        send_line(conn, "PONG\n");
+        break;
+      case Request::Kind::kSub: {
+        broker::SubscriptionId id = broker_->subscribe(conn->subscriber, request->tags);
+        send_line(conn, format_ok(id));
+        break;
+      }
+      case Request::Kind::kUnsub:
+        broker_->unsubscribe(conn->subscriber, request->subscription);
+        send_line(conn, format_ok(request->subscription));
+        break;
+      case Request::Kind::kPub:
+        broker_->publish(broker::Message{std::move(request->tags), std::move(request->payload)});
+        send_line(conn, format_ok(0));
+        break;
+    }
+  }
+  close_connection(conn);
+}
+
+void BrokerServer::pusher_loop(Connection* conn) {
+  while (conn->open.load(std::memory_order_relaxed)) {
+    auto msg = broker_->poll_wait(conn->subscriber, std::chrono::milliseconds(50));
+    if (!msg) {
+      continue;
+    }
+    send_line(conn, format_msg(msg->tags, msg->payload));
+  }
+}
+
+}  // namespace tagmatch::net

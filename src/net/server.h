@@ -1,0 +1,67 @@
+// TCP front end for the TagBroker (src/broker): one connection = one
+// subscriber; the wire protocol is defined in src/net/wire.h. Each
+// connection runs a reader thread (commands) and a pusher thread (MSG
+// deliveries drained from the subscriber's broker queue); writes to the
+// socket are serialized per connection.
+#ifndef TAGMATCH_NET_SERVER_H_
+#define TAGMATCH_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/broker/broker.h"
+
+namespace tagmatch::net {
+
+class BrokerServer {
+ public:
+  // Starts listening on 127.0.0.1:`port` (0 = ephemeral; see port()) and
+  // serving `broker` (not owned; must outlive the server).
+  BrokerServer(broker::Broker* broker, uint16_t port = 0);
+  ~BrokerServer();
+
+  BrokerServer(const BrokerServer&) = delete;
+  BrokerServer& operator=(const BrokerServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  bool listening() const { return listen_fd_ >= 0; }
+  // Stops accepting, closes every connection, joins all threads. Idempotent.
+  void stop();
+
+  uint64_t connections_served() const {
+    return connections_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    broker::SubscriberId subscriber = 0;
+    std::mutex write_mu;
+    std::thread reader;
+    std::thread pusher;
+    std::atomic<bool> open{true};
+  };
+
+  void accept_loop();
+  void reader_loop(Connection* conn);
+  void pusher_loop(Connection* conn);
+  void send_line(Connection* conn, const std::string& line);
+  void close_connection(Connection* conn);
+
+  broker::Broker* broker_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<uint64_t> connections_served_{0};
+};
+
+}  // namespace tagmatch::net
+
+#endif  // TAGMATCH_NET_SERVER_H_

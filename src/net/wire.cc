@@ -1,0 +1,168 @@
+#include "src/net/wire.h"
+
+#include <charconv>
+
+namespace tagmatch::net {
+
+bool valid_tag(std::string_view tag) {
+  if (tag.empty()) {
+    return false;
+  }
+  for (char c : tag) {
+    if (c == ',' || c == ' ' || c == '\n' || c == '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::optional<uint32_t> parse_u32(std::string_view s) {
+  uint32_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> parse_tags(std::string_view csv) {
+  std::vector<std::string> tags;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    std::string_view tag =
+        comma == std::string_view::npos ? csv.substr(start) : csv.substr(start, comma - start);
+    if (!valid_tag(tag)) {
+      return std::nullopt;
+    }
+    tags.emplace_back(tag);
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return tags;
+}
+
+std::optional<Request> parse_request(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.remove_suffix(1);
+  }
+  Request req;
+  if (line == "PING") {
+    req.kind = Request::Kind::kPing;
+    return req;
+  }
+  size_t space = line.find(' ');
+  if (space == std::string_view::npos) {
+    return std::nullopt;
+  }
+  std::string_view verb = line.substr(0, space);
+  std::string_view rest = line.substr(space + 1);
+  if (verb == "SUB") {
+    auto tags = parse_tags(rest);
+    if (!tags) {
+      return std::nullopt;
+    }
+    req.kind = Request::Kind::kSub;
+    req.tags = std::move(*tags);
+    return req;
+  }
+  if (verb == "UNSUB") {
+    auto id = parse_u32(rest);
+    if (!id) {
+      return std::nullopt;
+    }
+    req.kind = Request::Kind::kUnsub;
+    req.subscription = *id;
+    return req;
+  }
+  if (verb == "PUB") {
+    size_t sep = rest.find(' ');
+    std::string_view csv = sep == std::string_view::npos ? rest : rest.substr(0, sep);
+    auto tags = parse_tags(csv);
+    if (!tags) {
+      return std::nullopt;
+    }
+    req.kind = Request::Kind::kPub;
+    req.tags = std::move(*tags);
+    if (sep != std::string_view::npos) {
+      req.payload.assign(rest.substr(sep + 1));
+    }
+    return req;
+  }
+  return std::nullopt;
+}
+
+std::string format_tags(const std::vector<std::string>& tags) {
+  std::string out;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += tags[i];
+  }
+  return out;
+}
+
+std::string format_ok(uint32_t id) { return "OK " + std::to_string(id) + "\n"; }
+
+std::string format_err(std::string_view reason) {
+  return "ERR " + std::string(reason) + "\n";
+}
+
+std::string format_msg(const std::vector<std::string>& tags, std::string_view payload) {
+  return "MSG " + format_tags(tags) + " " + std::string(payload) + "\n";
+}
+
+std::optional<ServerFrame> parse_server_frame(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.remove_suffix(1);
+  }
+  ServerFrame frame;
+  if (line == "PONG") {
+    frame.kind = ServerFrame::Kind::kPong;
+    return frame;
+  }
+  size_t space = line.find(' ');
+  if (space == std::string_view::npos) {
+    return std::nullopt;
+  }
+  std::string_view verb = line.substr(0, space);
+  std::string_view rest = line.substr(space + 1);
+  if (verb == "OK") {
+    auto id = parse_u32(rest);
+    if (!id) {
+      return std::nullopt;
+    }
+    frame.kind = ServerFrame::Kind::kOk;
+    frame.id = *id;
+    return frame;
+  }
+  if (verb == "ERR") {
+    frame.kind = ServerFrame::Kind::kErr;
+    frame.error.assign(rest);
+    return frame;
+  }
+  if (verb == "MSG") {
+    size_t sep = rest.find(' ');
+    std::string_view csv = sep == std::string_view::npos ? rest : rest.substr(0, sep);
+    auto tags = parse_tags(csv);
+    if (!tags) {
+      return std::nullopt;
+    }
+    frame.kind = ServerFrame::Kind::kMsg;
+    frame.tags = std::move(*tags);
+    if (sep != std::string_view::npos) {
+      frame.payload.assign(rest.substr(sep + 1));
+    }
+    return frame;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tagmatch::net

@@ -1,0 +1,64 @@
+// Wire protocol of the broker's TCP front end: newline-delimited text
+// frames, human-debuggable (nc-able), in the spirit of classic messaging
+// protocols.
+//
+// Client -> server:
+//   SUB <tag,tag,...>            subscribe; reply: OK <subscription-id>
+//   UNSUB <subscription-id>      unsubscribe; reply: OK <subscription-id>
+//   PUB <tag,tag,...> <payload>  publish; reply: OK 0 (payload = rest of line)
+//   PING                         liveness; reply: PONG
+// Server -> client (asynchronous, interleaved with replies):
+//   MSG <tag,tag,...> <payload>  a delivery for this connection's subscriber
+// Errors: ERR <reason>
+//
+// Constraints: tags must be non-empty and contain neither ',' nor spaces nor
+// newlines; payloads must not contain newlines. One connection = one
+// subscriber.
+#ifndef TAGMATCH_NET_WIRE_H_
+#define TAGMATCH_NET_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tagmatch::net {
+
+struct Request {
+  enum class Kind { kSub, kUnsub, kPub, kPing };
+  Kind kind;
+  std::vector<std::string> tags;  // kSub, kPub.
+  uint32_t subscription = 0;      // kUnsub.
+  std::string payload;            // kPub.
+};
+
+// Parses one request line (no trailing newline). nullopt on malformed input.
+std::optional<Request> parse_request(std::string_view line);
+
+// Splits a comma-separated tag list, rejecting empty or space-containing
+// tags. Empty optional on violation.
+std::optional<std::vector<std::string>> parse_tags(std::string_view csv);
+
+// True iff the tag is expressible on the wire (non-empty, no ',', spaces or
+// newlines). Clients validate before sending.
+bool valid_tag(std::string_view tag);
+
+std::string format_tags(const std::vector<std::string>& tags);
+std::string format_ok(uint32_t id);
+std::string format_err(std::string_view reason);
+std::string format_msg(const std::vector<std::string>& tags, std::string_view payload);
+
+// Parses a server line; returns the frame kind and fields.
+struct ServerFrame {
+  enum class Kind { kOk, kErr, kMsg, kPong };
+  Kind kind;
+  uint32_t id = 0;                // kOk.
+  std::string error;              // kErr.
+  std::vector<std::string> tags;  // kMsg.
+  std::string payload;            // kMsg.
+};
+std::optional<ServerFrame> parse_server_frame(std::string_view line);
+
+}  // namespace tagmatch::net
+
+#endif  // TAGMATCH_NET_WIRE_H_

@@ -1,0 +1,285 @@
+// tagmatch_cli — command-line front end for the TagMatch engine.
+//
+// Usage:
+//   tagmatch_cli generate <sets.tsv> <queries.tsv> [users] [queries]
+//       Emit a synthetic Twitter-style workload (tab-separated):
+//       sets.tsv:    <key>\t<tag,tag,...>   queries.tsv: <tag,tag,...>
+//   tagmatch_cli build <sets.tsv> <index.bin> [max_partition_size]
+//       Index a set file and save the consolidated index.
+//   tagmatch_cli query <index.bin> <queries.tsv> [--unique]
+//       Load an index and match every query, printing "<n> <key> <key> ..."
+//       per line.
+//   tagmatch_cli stats <index.bin>
+//       Print index statistics.
+//
+// Exit status: 0 on success, 1 on usage or I/O errors.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/core/tagmatch.h"
+#include "src/workload/tags.h"
+#include "src/workload/twitter_workload.h"
+
+namespace {
+
+using tagmatch::BloomFilter192;
+using tagmatch::TagMatch;
+
+std::vector<std::string> split_tags(const std::string& csv) {
+  std::vector<std::string> tags;
+  std::string tag;
+  std::stringstream ss(csv);
+  while (std::getline(ss, tag, ',')) {
+    if (!tag.empty()) {
+      tags.push_back(tag);
+    }
+  }
+  return tags;
+}
+
+tagmatch::TagMatchConfig cli_config() {
+  tagmatch::TagMatchConfig config;
+  config.num_threads = 2;
+  config.gpu_sms_per_device = 2;
+  return config;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: tagmatch_cli generate <sets.tsv> <queries.tsv> [users] [queries]\n");
+    return 1;
+  }
+  unsigned users = argc > 4 ? static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10)) : 5000;
+  size_t n_queries = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 1000;
+
+  tagmatch::workload::WorkloadConfig wc;
+  wc.num_users = users;
+  wc.num_publishers = std::max(100u, users / 2);
+  wc.vocabulary_size = std::max(1000u, users * 4);
+  wc.tag_zipf = 0.8;
+  tagmatch::workload::TwitterWorkload generator(wc);
+  auto db = generator.generate_database();
+  auto queries = generator.generate_queries(db, n_queries, 2, 4);
+
+  std::ofstream sets_out(argv[2]);
+  if (!sets_out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    return 1;
+  }
+  for (const auto& op : db) {
+    sets_out << op.key << '\t';
+    for (size_t i = 0; i < op.tags.size(); ++i) {
+      sets_out << (i > 0 ? "," : "") << tagmatch::workload::tag_name(op.tags[i]);
+    }
+    sets_out << '\n';
+  }
+  std::ofstream queries_out(argv[3]);
+  if (!queries_out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  for (const auto& q : queries) {
+    for (size_t i = 0; i < q.tags.size(); ++i) {
+      queries_out << (i > 0 ? "," : "") << tagmatch::workload::tag_name(q.tags[i]);
+    }
+    queries_out << '\n';
+  }
+  std::printf("wrote %zu sets to %s and %zu queries to %s\n", db.size(), argv[2], queries.size(),
+              argv[3]);
+  return 0;
+}
+
+int cmd_build(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: tagmatch_cli build <sets.tsv> <index.bin> [max_partition_size]\n");
+    return 1;
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  tagmatch::TagMatchConfig config = cli_config();
+  if (argc > 4) {
+    config.max_partition_size = static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10));
+  }
+  TagMatch engine(config);
+  std::string line;
+  size_t count = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    auto tab = line.find('\t');
+    if (tab == std::string::npos) {
+      std::fprintf(stderr, "malformed line (no tab): %s\n", line.c_str());
+      return 1;
+    }
+    uint32_t key = static_cast<uint32_t>(std::strtoul(line.substr(0, tab).c_str(), nullptr, 10));
+    std::vector<std::string> tags = split_tags(line.substr(tab + 1));
+    engine.add_set(tags, key);
+    ++count;
+  }
+  tagmatch::StopWatch watch;
+  engine.consolidate();
+  auto stats = engine.stats();
+  std::printf("indexed %zu sets (%llu unique) into %llu partitions in %.2f s\n", count,
+              static_cast<unsigned long long>(stats.unique_sets),
+              static_cast<unsigned long long>(stats.partitions), watch.elapsed_s());
+  if (!engine.save_index(argv[3])) {
+    std::fprintf(stderr, "cannot write index %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("saved index to %s\n", argv[3]);
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: tagmatch_cli query <index.bin> <queries.tsv> [--unique]\n");
+    return 1;
+  }
+  bool unique = argc > 4 && std::strcmp(argv[4], "--unique") == 0;
+  TagMatch engine(cli_config());
+  if (!engine.load_index(argv[2])) {
+    std::fprintf(stderr, "cannot load index %s\n", argv[2]);
+    return 1;
+  }
+  std::ifstream in(argv[3]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[3]);
+    return 1;
+  }
+  std::string line;
+  size_t n = 0;
+  tagmatch::StopWatch watch;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> tags = split_tags(line);
+    std::vector<TagMatch::Key> keys =
+        unique ? engine.match_unique(std::span<const std::string>(tags))
+               : engine.match(std::span<const std::string>(tags));
+    std::printf("%zu", keys.size());
+    for (auto k : keys) {
+      std::printf(" %u", k);
+    }
+    std::printf("\n");
+    ++n;
+  }
+  std::fprintf(stderr, "matched %zu queries in %.3f s (%.0f q/s)\n", n, watch.elapsed_s(),
+               n / watch.elapsed_s());
+  return 0;
+}
+
+int cmd_bench(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: tagmatch_cli bench <index.bin> <queries.tsv> [repeat]\n");
+    return 1;
+  }
+  TagMatch engine(cli_config());
+  if (!engine.load_index(argv[2])) {
+    std::fprintf(stderr, "cannot load index %s\n", argv[2]);
+    return 1;
+  }
+  std::ifstream in(argv[3]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", argv[3]);
+    return 1;
+  }
+  const unsigned repeat = argc > 4 ? static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10)) : 3;
+  std::vector<BloomFilter192> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      std::vector<std::string> tags = split_tags(line);
+      queries.push_back(BloomFilter192::of(tags));
+    }
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no queries\n");
+    return 1;
+  }
+  for (unsigned round = 0; round < repeat; ++round) {
+    std::atomic<uint64_t> keys{0};
+    tagmatch::StopWatch watch;
+    for (const auto& q : queries) {
+      engine.match_async(q, TagMatch::MatchKind::kMatchUnique,
+                         [&keys](std::vector<TagMatch::Key> k) {
+                           keys.fetch_add(k.size(), std::memory_order_relaxed);
+                         });
+    }
+    engine.flush();
+    double secs = watch.elapsed_s();
+    std::printf("round %u: %zu queries in %.3f s -> %.0f q/s, %.0f keys/s\n", round,
+                queries.size(), secs, queries.size() / secs,
+                static_cast<double>(keys.load()) / secs);
+  }
+  auto s = engine.stats();
+  std::printf("avg partitions/query %.2f, avg batch fill %.1f, overflows %llu\n",
+              s.avg_partitions_per_query(), s.avg_batch_fill(),
+              static_cast<unsigned long long>(s.batch_overflows));
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: tagmatch_cli stats <index.bin>\n");
+    return 1;
+  }
+  TagMatch engine(cli_config());
+  if (!engine.load_index(argv[2])) {
+    std::fprintf(stderr, "cannot load index %s\n", argv[2]);
+    return 1;
+  }
+  auto s = engine.stats();
+  std::printf("unique sets:          %llu\n", static_cast<unsigned long long>(s.unique_sets));
+  std::printf("total keys:           %llu\n", static_cast<unsigned long long>(s.total_keys));
+  std::printf("partitions:           %llu\n", static_cast<unsigned long long>(s.partitions));
+  std::printf("host key table:       %s\n", tagmatch::format_bytes(s.host_key_table_bytes).c_str());
+  std::printf("host partition table: %s\n",
+              tagmatch::format_bytes(s.host_partition_table_bytes).c_str());
+  std::printf("host buffers:         %s\n", tagmatch::format_bytes(s.host_buffer_bytes).c_str());
+  std::printf("gpu memory:           %s\n", tagmatch::format_bytes(s.gpu_bytes).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: tagmatch_cli <generate|build|query|stats> ...\n"
+                 "  generate <sets.tsv> <queries.tsv> [users] [queries]\n"
+                 "  build    <sets.tsv> <index.bin> [max_partition_size]\n"
+                 "  query    <index.bin> <queries.tsv> [--unique]\n"
+                 "  bench    <index.bin> <queries.tsv> [repeat]\n"
+                 "  stats    <index.bin>\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "generate") {
+    return cmd_generate(argc, argv);
+  }
+  if (cmd == "build") {
+    return cmd_build(argc, argv);
+  }
+  if (cmd == "query") {
+    return cmd_query(argc, argv);
+  }
+  if (cmd == "bench") {
+    return cmd_bench(argc, argv);
+  }
+  if (cmd == "stats") {
+    return cmd_stats(argc, argv);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 1;
+}

@@ -1,0 +1,59 @@
+// tagmatch_server — standalone TagBroker service over TCP.
+//
+// Usage: tagmatch_server [port]
+//   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
+//
+// Protocol (newline-delimited; see src/net/wire.h):
+//   SUB a,b,c        -> OK <id>       subscribe this connection
+//   UNSUB <id>       -> OK <id>
+//   PUB a,b payload  -> OK 0          deliver to matching subscribers
+//   PING             -> PONG
+// Deliveries arrive as: MSG a,b payload
+//
+// Try it:   printf 'SUB alerts\n' | nc 127.0.0.1 7077
+// Runs until stdin closes or SIGTERM. Prints periodic stats to stderr.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/broker/broker.h"
+#include "src/net/server.h"
+
+int main(int argc, char** argv) {
+  uint16_t port = 7077;
+  if (argc > 1) {
+    port = static_cast<uint16_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+
+  tagmatch::broker::BrokerConfig config;
+  config.engine.num_threads = 2;
+  config.engine.gpu_sms_per_device = 2;
+  config.consolidate_interval = std::chrono::milliseconds(250);
+  tagmatch::broker::Broker broker(config);
+  tagmatch::net::BrokerServer server(&broker, port);
+  if (!server.listening()) {
+    std::fprintf(stderr, "cannot listen on port %u\n", port);
+    return 1;
+  }
+  std::printf("tagmatch_server listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  // Serve until stdin closes (EOF), printing stats per line of input.
+  std::string line;
+  int c;
+  while ((c = std::getchar()) != EOF) {
+    if (c == '\n') {
+      auto s = broker.stats();
+      std::fprintf(stderr,
+                   "stats: %llu published, %llu delivered, %llu dropped, "
+                   "%llu subscribers, %llu subscriptions\n",
+                   static_cast<unsigned long long>(s.published),
+                   static_cast<unsigned long long>(s.deliveries),
+                   static_cast<unsigned long long>(s.dropped),
+                   static_cast<unsigned long long>(s.subscribers),
+                   static_cast<unsigned long long>(s.subscriptions));
+    }
+  }
+  server.stop();
+  return 0;
+}

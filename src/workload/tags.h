@@ -1,0 +1,58 @@
+// Compact tag representation for the workload generator.
+//
+// The paper's workload uses string hash-tags, optionally "translated" into a
+// language by prefixing it (cat -> fr_cat), plus publisher-id tags for
+// frequent writers. We encode each such tag in a 32-bit TagId so that
+// hundreds of millions of tag occurrences stay in memory; `tag_name` renders
+// the equivalent string, and the Bloom encoder hashes the TagId directly
+// (one mix64 stream per id — statistically identical to hashing the string).
+#ifndef TAGMATCH_WORKLOAD_TAGS_H_
+#define TAGMATCH_WORKLOAD_TAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/common/hash.h"
+
+namespace tagmatch::workload {
+
+using TagId = uint32_t;
+
+// Layout: bit 31 = publisher-id tag flag.
+//   publisher tag:  [1][31-bit publisher id]
+//   hashtag:        [0][7-bit language index][24-bit base tag id]
+constexpr TagId make_hashtag(unsigned language, uint32_t base) {
+  return (static_cast<TagId>(language & 0x7f) << 24) | (base & 0xffffff);
+}
+constexpr TagId make_publisher_tag(uint32_t publisher) { return 0x80000000u | publisher; }
+constexpr bool is_publisher_tag(TagId t) { return (t & 0x80000000u) != 0; }
+constexpr unsigned tag_language(TagId t) { return (t >> 24) & 0x7f; }
+constexpr uint32_t tag_base(TagId t) { return t & 0xffffff; }
+
+// Human-readable rendering, e.g. "fr_tag1234" or "@publisher77".
+std::string tag_name(TagId t);
+
+// Encodes a whole TagId set as a 192-bit Bloom filter (m=192, k=7), the same
+// encoding BloomFilter192::add_tag applies to strings.
+inline BloomFilter192 encode_tags(const std::vector<TagId>& tags) {
+  BitVector192 bits;
+  for (TagId t : tags) {
+    // Derive the double-hashing pair from the id: h1/h2 are independent
+    // mix64 streams, h2 forced odd.
+    uint64_t a = mix64(static_cast<uint64_t>(t) ^ 0x51b9cbf6c24a9d4bull);
+    uint64_t h1 = mix64(a);
+    uint64_t h2 = mix64(a ^ 0x6a09e667f3bcc909ull) | 1;
+    uint64_t pos = h1;
+    for (unsigned i = 0; i < BloomFilter192::kNumHashes; ++i) {
+      bits.set(static_cast<unsigned>(pos % BloomFilter192::kNumBits));
+      pos += h2;
+    }
+  }
+  return BloomFilter192(bits);
+}
+
+}  // namespace tagmatch::workload
+
+#endif  // TAGMATCH_WORKLOAD_TAGS_H_

@@ -1,0 +1,175 @@
+#include "src/workload/twitter_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace tagmatch::workload {
+
+// Language model. Index 0 is English (also the "original" language of the
+// corpus). First-language weights follow the Twitter language distribution of
+// Hong et al. (ICWSM'11); second-language weights follow the distribution of
+// the most frequent second languages in the world (Ethnologue), mapped onto
+// the same code list.
+const char* const kLanguageCodes[] = {"en", "ja", "pt", "id", "es", "nl",
+                                      "ko", "fr", "de", "ms", "it", "ru"};
+const unsigned kNumLanguages = 12;
+
+namespace {
+
+std::vector<double> first_language_weights() {
+  // Hong, Convertino, Chi: language shares on Twitter.
+  return {51.1, 19.0, 9.6, 5.6, 4.7, 1.9, 1.7, 1.6, 1.5, 1.2, 1.1, 1.0};
+}
+
+std::vector<double> second_language_weights() {
+  // Most frequent second languages worldwide, projected on the same codes:
+  // English dominates, then French, Spanish, Portuguese, Russian, German...
+  return {55.0, 0.5, 3.5, 2.0, 8.0, 0.5, 0.5, 12.0, 5.0, 2.0, 2.0, 9.0};
+}
+
+}  // namespace
+
+std::string tag_name(TagId t) {
+  if (is_publisher_tag(t)) {
+    return "@publisher" + std::to_string(t & 0x7fffffffu);
+  }
+  unsigned lang = tag_language(t);
+  std::string base = "tag" + std::to_string(tag_base(t));
+  if (lang == 0) {
+    return base;
+  }
+  TAGMATCH_CHECK(lang < kNumLanguages);
+  return std::string(kLanguageCodes[lang]) + "_" + base;
+}
+
+TwitterWorkload::TwitterWorkload(const WorkloadConfig& config)
+    : config_(config),
+      tag_sampler_(config.vocabulary_size, config.tag_zipf),
+      tweet_count_sampler_(config.max_tweets_per_publisher, config.tweet_count_zipf),
+      follow_sampler_(config.max_followed, config.follow_zipf),
+      first_language_(first_language_weights()),
+      second_language_(second_language_weights()) {
+  TAGMATCH_CHECK(config.num_publishers > 0);
+  TAGMATCH_CHECK(config.vocabulary_size > 0);
+
+  // Assign each publisher a tweet count (Zipf-ranked + 1 so everyone has at
+  // least one tweet), then find the top-30% threshold for frequent writers.
+  Rng rng(config.seed ^ 0x9d8c1b3a5f7e2d4cull);
+  tweets_per_publisher_.resize(config.num_publishers);
+  for (auto& n : tweets_per_publisher_) {
+    n = static_cast<uint32_t>(tweet_count_sampler_.sample(rng)) + 1;
+  }
+  std::vector<uint32_t> sorted = tweets_per_publisher_;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  size_t cutoff_rank = static_cast<size_t>(
+      config.frequent_writer_fraction * static_cast<double>(config.num_publishers));
+  cutoff_rank = std::min(cutoff_rank, sorted.size() - 1);
+  frequent_writer_threshold_ = sorted[cutoff_rank];
+}
+
+uint32_t TwitterWorkload::tweets_of(uint32_t publisher) const {
+  return tweets_per_publisher_[publisher];
+}
+
+bool TwitterWorkload::is_frequent_writer(uint32_t publisher) const {
+  return tweets_per_publisher_[publisher] >= frequent_writer_threshold_;
+}
+
+std::vector<uint32_t> TwitterWorkload::tweet_base_tags(uint32_t publisher, uint32_t tweet) const {
+  // Deterministic per (publisher, tweet): the corpus is never materialized,
+  // it is re-derived from a per-tweet RNG stream.
+  Rng rng(mix64(config_.seed ^ (static_cast<uint64_t>(publisher) << 32 | tweet)));
+  // Truncated geometric number of tags with the configured mean.
+  double p = 1.0 / config_.mean_tags_per_tweet;
+  unsigned n = 1;
+  while (n < config_.max_tags_per_tweet && !rng.chance(p)) {
+    ++n;
+  }
+  std::vector<uint32_t> tags;
+  tags.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    uint32_t t = static_cast<uint32_t>(tag_sampler_.sample(rng));
+    if (std::find(tags.begin(), tags.end(), t) == tags.end()) {
+      tags.push_back(t);
+    }
+  }
+  return tags;
+}
+
+unsigned TwitterWorkload::pick_language(Rng& rng, bool bilingual_second) const {
+  return static_cast<unsigned>(bilingual_second ? second_language_.sample(rng)
+                                                : first_language_.sample(rng));
+}
+
+std::vector<TagId> TwitterWorkload::make_interest(uint32_t publisher, uint32_t tweet,
+                                                  unsigned language, Rng& rng) const {
+  (void)rng;
+  std::vector<uint32_t> base = tweet_base_tags(publisher, tweet);
+  std::vector<TagId> tags;
+  tags.reserve(base.size() + 1);
+  for (uint32_t b : base) {
+    tags.push_back(make_hashtag(language, b));
+  }
+  if (is_frequent_writer(publisher)) {
+    tags.push_back(make_publisher_tag(publisher));
+  }
+  return tags;
+}
+
+std::vector<AddOp> TwitterWorkload::generate_database() {
+  Rng rng(config_.seed);
+  std::vector<AddOp> ops;
+  ops.reserve(static_cast<size_t>(config_.num_users) * 3);
+  for (uint32_t user = 0; user < config_.num_users; ++user) {
+    // Languages spoken by this user.
+    unsigned lang1 = pick_language(rng, /*bilingual_second=*/false);
+    bool bilingual = rng.chance(config_.bilingual_fraction);
+    unsigned lang2 = bilingual ? pick_language(rng, /*bilingual_second=*/true) : lang1;
+
+    unsigned follows = static_cast<unsigned>(follow_sampler_.sample(rng)) + 1;
+    for (unsigned f = 0; f < follows; ++f) {
+      uint32_t publisher = static_cast<uint32_t>(rng.below(config_.num_publishers));
+      uint32_t tweet = static_cast<uint32_t>(rng.below(tweets_per_publisher_[publisher]));
+      // A user follows publishers writing in one of the user's languages; the
+      // interest is expressed in that language.
+      unsigned language = rng.chance(0.5) ? lang1 : lang2;
+      ops.push_back(AddOp{make_interest(publisher, tweet, language, rng), user});
+    }
+  }
+  return ops;
+}
+
+uint32_t TwitterWorkload::random_tag(Rng& rng) const {
+  unsigned language = static_cast<unsigned>(first_language_.sample(rng));
+  return make_hashtag(language, static_cast<uint32_t>(tag_sampler_.sample(rng)));
+}
+
+std::vector<QueryOp> TwitterWorkload::generate_queries(const std::vector<AddOp>& database,
+                                                       size_t count, unsigned extra_min,
+                                                       unsigned extra_max) {
+  TAGMATCH_CHECK(!database.empty());
+  TAGMATCH_CHECK(extra_min <= extra_max);
+  Rng rng(config_.seed ^ 0x7b3255ad8cf1e6d2ull);
+  std::vector<QueryOp> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const AddOp& seed_set = database[rng.below(database.size())];
+    QueryOp q;
+    q.tags = seed_set.tags;
+    unsigned extra = static_cast<unsigned>(rng.between(extra_min, extra_max));
+    for (unsigned e = 0; e < extra; ++e) {
+      q.tags.push_back(random_tag(rng));
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<QueryOp> TwitterWorkload::generate_queries_exact_extra(
+    const std::vector<AddOp>& database, size_t count, unsigned extra) {
+  return generate_queries(database, count, extra, extra);
+}
+
+}  // namespace tagmatch::workload

@@ -1,0 +1,124 @@
+// Synthetic Twitter-like workload generator reproducing the generative
+// procedure of §4.2 of the paper (see DESIGN.md §2 for the substitution of
+// the TREC Tweets2011 corpus and the Kwak et al. follower graph):
+//
+//  * a corpus of publishers with Zipf-distributed tweet counts; each tweet
+//    carries 1..8 hash-tags drawn from a Zipf-distributed vocabulary;
+//  * 40% of users monolingual / 60% bilingual; the first language follows the
+//    Twitter language distribution (Hong et al., ICWSM'11), the second the
+//    world second-language distribution;
+//  * per user, a follower count drawn from a heavy-tailed distribution;
+//    one *interest* per followed publisher: the hash-tags of one random tweet
+//    of that publisher, "translated" into one of the user's languages;
+//  * publishers in the top 30% by tweet count ("frequent writers")
+//    additionally contribute their publisher-id as a tag of the interest;
+//  * interests average about five tags;
+//  * queries are built from a random database set plus `extra` random tags
+//    (2..4 by default), so every query survives pre-filtering — the paper's
+//    conservative choice.
+#ifndef TAGMATCH_WORKLOAD_TWITTER_WORKLOAD_H_
+#define TAGMATCH_WORKLOAD_TWITTER_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/tags.h"
+
+namespace tagmatch::workload {
+
+struct WorkloadConfig {
+  uint64_t seed = 42;
+
+  // Number of users (keys). The paper used 300M users yielding 212M unique
+  // sets; benches scale this down and report the scale.
+  uint32_t num_users = 100'000;
+
+  // Publishers available to follow; the paper's corpus had ~5M authors for
+  // 16M tweets. We keep the same ~3 tweets/publisher ratio by default.
+  uint32_t num_publishers = 20'000;
+  uint32_t max_tweets_per_publisher = 64;
+  double tweet_count_zipf = 1.1;
+
+  // Base hash-tag vocabulary and its popularity skew.
+  uint32_t vocabulary_size = 40'000;
+  double tag_zipf = 1.05;
+
+  // Tags per tweet: 1..max, truncated-geometric with the given mean (the
+  // paper's interests average ~5 tags including the publisher tag).
+  unsigned max_tags_per_tweet = 8;
+  double mean_tags_per_tweet = 4.0;
+
+  // Followed publishers per user (interests per user), heavy-tailed.
+  unsigned max_followed = 32;
+  double follow_zipf = 1.6;
+
+  // Fraction of publishers (by tweet count) treated as frequent writers
+  // whose id is added to interests on them.
+  double frequent_writer_fraction = 0.30;
+
+  double bilingual_fraction = 0.60;
+};
+
+// One add-set operation: an interest (tag set) registered for a user key.
+struct AddOp {
+  std::vector<TagId> tags;
+  uint32_t key;  // user id
+};
+
+// A query: the tags of a published tweet.
+struct QueryOp {
+  std::vector<TagId> tags;
+};
+
+class TwitterWorkload {
+ public:
+  explicit TwitterWorkload(const WorkloadConfig& config);
+
+  // Generates the full database: one AddOp per (user, followed publisher).
+  // Deterministic for a given config. The same user id appears in several
+  // ops; distinct ops may carry identical tag sets (both as in the paper —
+  // 300M keys vs 212M unique sets).
+  std::vector<AddOp> generate_database();
+
+  // Generates `count` queries; each takes the tag set of a random database
+  // entry and adds [extra_min, extra_max] random tags. `database` must be the
+  // result of generate_database().
+  std::vector<QueryOp> generate_queries(const std::vector<AddOp>& database, size_t count,
+                                        unsigned extra_min = 2, unsigned extra_max = 4);
+
+  // Queries with an exact number of extra tags (the Fig. 2/3 sweep).
+  std::vector<QueryOp> generate_queries_exact_extra(const std::vector<AddOp>& database,
+                                                    size_t count, unsigned extra);
+
+  const WorkloadConfig& config() const { return config_; }
+
+  // Exposed for tests: deterministic tags of tweet `t` of publisher `p`, in
+  // the original (language-0) form.
+  std::vector<uint32_t> tweet_base_tags(uint32_t publisher, uint32_t tweet) const;
+  bool is_frequent_writer(uint32_t publisher) const;
+  uint32_t tweets_of(uint32_t publisher) const;
+
+ private:
+  std::vector<TagId> make_interest(uint32_t publisher, uint32_t tweet, unsigned language,
+                                   Rng& rng) const;
+  unsigned pick_language(Rng& rng, bool bilingual_second) const;
+  uint32_t random_tag(Rng& rng) const;
+
+  WorkloadConfig config_;
+  ZipfSampler tag_sampler_;
+  ZipfSampler tweet_count_sampler_;
+  ZipfSampler follow_sampler_;
+  DiscreteSampler first_language_;
+  DiscreteSampler second_language_;
+  std::vector<uint32_t> tweets_per_publisher_;
+  uint32_t frequent_writer_threshold_;  // tweet count at/above which a publisher is frequent
+};
+
+// The language tables (index 0 = English). Shared with tests.
+extern const char* const kLanguageCodes[];
+extern const unsigned kNumLanguages;
+
+}  // namespace tagmatch::workload
+
+#endif  // TAGMATCH_WORKLOAD_TWITTER_WORKLOAD_H_

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/baselines/icn/icn_matcher.h"
+#include "src/baselines/inverted/inverted_index.h"
+#include "src/baselines/minidb/minidb.h"
+#include "src/baselines/prefix_tree/prefix_tree.h"
+#include "src/baselines/scan/scan_matchers.h"
+#include "src/common/rng.h"
+#include "src/workload/tags.h"
+#include "src/workload/twitter_workload.h"
+
+namespace tagmatch::baselines {
+namespace {
+
+using Key = uint32_t;
+using workload::TagId;
+
+std::vector<Key> sorted(std::vector<Key> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Random tag-set corpus over a small universe, so queries hit matches.
+struct Corpus {
+  std::vector<std::vector<TagId>> sets;
+  std::vector<Key> keys;
+  std::vector<std::vector<TagId>> queries;
+};
+
+Corpus make_corpus(uint64_t seed, size_t n_sets = 400, size_t n_queries = 60) {
+  Rng rng(seed);
+  Corpus c;
+  for (size_t i = 0; i < n_sets; ++i) {
+    std::vector<TagId> tags;
+    unsigned n = 1 + static_cast<unsigned>(rng.below(4));
+    for (unsigned t = 0; t < n; ++t) {
+      tags.push_back(workload::make_hashtag(0, static_cast<uint32_t>(rng.below(120))));
+    }
+    std::sort(tags.begin(), tags.end());
+    tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+    c.sets.push_back(tags);
+    c.keys.push_back(static_cast<Key>(rng.below(100)));
+  }
+  for (size_t i = 0; i < n_queries; ++i) {
+    // Query = a db set + extra tags (same recipe as the paper's workload).
+    std::vector<TagId> q = c.sets[rng.below(c.sets.size())];
+    unsigned extra = 2 + static_cast<unsigned>(rng.below(3));
+    for (unsigned e = 0; e < extra; ++e) {
+      q.push_back(workload::make_hashtag(0, static_cast<uint32_t>(rng.below(120))));
+    }
+    c.queries.push_back(q);
+  }
+  return c;
+}
+
+// Exact-set oracle (no Bloom signatures involved).
+std::vector<Key> exact_match(const Corpus& c, const std::vector<TagId>& query) {
+  std::vector<Key> out;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    bool subset = true;
+    for (TagId t : c.sets[i]) {
+      if (std::find(query.begin(), query.end(), t) == query.end()) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) {
+      out.push_back(c.keys[i]);
+    }
+  }
+  return sorted(std::move(out));
+}
+
+TEST(PrefixTree, AgreesWithLinearScanOnSignatures) {
+  Corpus c = make_corpus(1);
+  PrefixTreeMatcher tree;
+  LinearScanMatcher scan;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    BitVector192 f = workload::encode_tags(c.sets[i]).bits();
+    tree.add(f, c.keys[i]);
+    scan.add(f, c.keys[i]);
+  }
+  tree.build();
+  for (const auto& q : c.queries) {
+    BitVector192 qf = workload::encode_tags(q).bits();
+    EXPECT_EQ(sorted(tree.match(qf)), sorted(scan.match(qf)));
+    EXPECT_EQ(tree.match_unique(qf), scan.match_unique(qf));
+  }
+}
+
+TEST(PrefixTree, SignatureMatchEqualsExactMatchOnThisCorpus) {
+  // With 192/7 filters and small sets, Bloom false positives are ~1e-11:
+  // the signature-based result must equal the exact result here.
+  Corpus c = make_corpus(2);
+  PrefixTreeMatcher tree;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    tree.add(workload::encode_tags(c.sets[i]).bits(), c.keys[i]);
+  }
+  tree.build();
+  for (const auto& q : c.queries) {
+    EXPECT_EQ(sorted(tree.match(workload::encode_tags(q).bits())), exact_match(c, q));
+  }
+}
+
+TEST(PrefixTree, EmptyTreeAndEmptyFilter) {
+  PrefixTreeMatcher tree;
+  tree.build();
+  BitVector192 q;
+  q.set(3);
+  EXPECT_TRUE(tree.match(q).empty());
+
+  tree.add(BitVector192(), 9);  // Empty filter matches everything.
+  tree.build();
+  EXPECT_EQ(tree.match(q), (std::vector<Key>{9}));
+  EXPECT_EQ(tree.match(BitVector192()), (std::vector<Key>{9}));
+}
+
+TEST(PrefixTree, DuplicateFiltersKeepAllKeys) {
+  PrefixTreeMatcher tree;
+  BitVector192 f;
+  f.set(10);
+  tree.add(f, 1);
+  tree.add(f, 2);
+  tree.add(f, 1);
+  tree.build();
+  EXPECT_EQ(tree.unique_sets(), 1u);
+  BitVector192 q = f;
+  q.set(50);
+  EXPECT_EQ(sorted(tree.match(q)), (std::vector<Key>{1, 1, 2}));
+  EXPECT_EQ(tree.match_unique(q), (std::vector<Key>{1, 2}));
+}
+
+TEST(PrefixTree, MemoryReported) {
+  Corpus c = make_corpus(3);
+  PrefixTreeMatcher tree;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    tree.add(workload::encode_tags(c.sets[i]).bits(), c.keys[i]);
+  }
+  tree.build();
+  EXPECT_GT(tree.memory_bytes(), 0u);
+}
+
+TEST(IcnMatcher, AgreesWithPrefixTree) {
+  Corpus c = make_corpus(4);
+  IcnMatcher icn;
+  PrefixTreeMatcher tree;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    BitVector192 f = workload::encode_tags(c.sets[i]).bits();
+    icn.add(f, c.keys[i]);
+    tree.add(f, c.keys[i]);
+  }
+  ASSERT_TRUE(icn.build());
+  tree.build();
+  for (const auto& q : c.queries) {
+    BitVector192 qf = workload::encode_tags(q).bits();
+    EXPECT_EQ(sorted(icn.match(qf)), sorted(tree.match(qf)));
+    EXPECT_EQ(icn.match_unique(qf), tree.match_unique(qf));
+  }
+}
+
+TEST(IcnMatcher, BuildMemoryBudgetEnforced) {
+  IcnMatcher tight(1024);  // 1 KiB budget: rejects any real database.
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    BitVector192 f;
+    for (int b = 0; b < 20; ++b) {
+      f.set(static_cast<unsigned>(rng.below(192)));
+    }
+    tight.add(f, static_cast<Key>(i));
+  }
+  EXPECT_GT(tight.estimated_build_bytes(), 1024u);
+  EXPECT_FALSE(tight.build());
+
+  IcnMatcher roomy(0);  // Unlimited.
+  roomy.add(BitVector192(), 1);
+  EXPECT_TRUE(roomy.build());
+}
+
+TEST(IcnMatcher, BuildMemoryExceedsFinalIndexMemory) {
+  // The defining trait: construction transient >> final index.
+  Corpus c = make_corpus(6);
+  IcnMatcher icn;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    icn.add(workload::encode_tags(c.sets[i]).bits(), c.keys[i]);
+  }
+  uint64_t build_estimate = icn.estimated_build_bytes();
+  ASSERT_TRUE(icn.build());
+  EXPECT_GT(build_estimate, 0u);
+  EXPECT_GT(icn.memory_bytes(), 0u);
+}
+
+TEST(GpuScan, PlainMatcherAgreesWithCpuScan) {
+  Corpus c = make_corpus(7, 300, 20);
+  GpuScanConfig config;
+  config.costs.enforce = false;
+  config.num_sms = 1;
+  config.memory_capacity = 64 << 20;
+  GpuPlainMatcher gpu(config);
+  LinearScanMatcher cpu;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    BitVector192 f = workload::encode_tags(c.sets[i]).bits();
+    gpu.add(f, c.keys[i]);
+    cpu.add(f, c.keys[i]);
+  }
+  gpu.build();
+  for (const auto& q : c.queries) {
+    BitVector192 qf = workload::encode_tags(q).bits();
+    EXPECT_EQ(sorted(gpu.match(qf)), sorted(cpu.match(qf)));
+    EXPECT_EQ(gpu.match_unique(qf), cpu.match_unique(qf));
+  }
+}
+
+TEST(GpuScan, BatchedMatcherAgreesPerQuery) {
+  Corpus c = make_corpus(8, 300, 64);
+  GpuScanConfig config;
+  config.costs.enforce = false;
+  config.num_sms = 1;
+  config.memory_capacity = 64 << 20;
+  GpuBatchedMatcher gpu(config);
+  LinearScanMatcher cpu;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    BitVector192 f = workload::encode_tags(c.sets[i]).bits();
+    gpu.add(f, c.keys[i]);
+    cpu.add(f, c.keys[i]);
+  }
+  gpu.build();
+  std::vector<BitVector192> batch;
+  for (const auto& q : c.queries) {
+    batch.push_back(workload::encode_tags(q).bits());
+  }
+  auto results = gpu.match_batch_queries(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(sorted(std::move(results[i])), sorted(cpu.match(batch[i])));
+  }
+}
+
+TEST(GpuScan, OverflowFallsBackExactly) {
+  GpuScanConfig config;
+  config.costs.enforce = false;
+  config.num_sms = 1;
+  config.result_capacity = 4;
+  config.memory_capacity = 64 << 20;
+  GpuPlainMatcher gpu(config);
+  BitVector192 f;
+  f.set(7);
+  for (Key k = 0; k < 50; ++k) {
+    gpu.add(f, k);
+  }
+  gpu.build();
+  BitVector192 q = f;
+  q.set(80);
+  EXPECT_EQ(gpu.match(q).size(), 50u);
+}
+
+TEST(InvertedIndex, ExactSemanticsAgainstBruteForce) {
+  Corpus c = make_corpus(9);
+  InvertedIndexMatcher inv;
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    inv.add(c.sets[i], c.keys[i]);
+  }
+  inv.build();
+  for (const auto& q : c.queries) {
+    EXPECT_EQ(sorted(inv.match(q)), exact_match(c, q));
+  }
+}
+
+TEST(InvertedIndex, EmptySetAndRepeatedQueryTags) {
+  InvertedIndexMatcher inv;
+  inv.add({}, 5);
+  inv.add({workload::make_hashtag(0, 1)}, 6);
+  inv.build();
+  std::vector<TagId> q = {workload::make_hashtag(0, 1), workload::make_hashtag(0, 1)};
+  EXPECT_EQ(sorted(inv.match(q)), (std::vector<Key>{5, 6}));
+  EXPECT_EQ(sorted(inv.match({})), (std::vector<Key>{5}));
+  EXPECT_GT(inv.memory_bytes(), 0u);
+}
+
+TEST(MiniDb, SubsetQueryMatchesBruteForce) {
+  Corpus c = make_corpus(10, 200, 30);
+  MiniDbConfig config;
+  config.query_roundtrip_ns = 0;
+  MiniDb db(config);
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    db.insert(c.keys[i], c.sets[i]);
+  }
+  EXPECT_EQ(db.document_count(), c.sets.size());
+  for (const auto& q : c.queries) {
+    EXPECT_EQ(sorted(db.find_subset(q)), exact_match(c, q));
+  }
+}
+
+TEST(MiniDb, FindAllUsesIndexAndVerifies) {
+  MiniDbConfig config;
+  config.query_roundtrip_ns = 0;
+  MiniDb db(config);
+  TagId a = workload::make_hashtag(0, 1);
+  TagId b = workload::make_hashtag(0, 2);
+  TagId z = workload::make_hashtag(0, 99);
+  db.insert(1, {a, b});
+  db.insert(2, {a});
+  db.insert(3, {b});
+  EXPECT_EQ(sorted(db.find_all({a})), (std::vector<Key>{1, 2}));
+  EXPECT_EQ(sorted(db.find_all({a, b})), (std::vector<Key>{1}));
+  EXPECT_TRUE(db.find_all({z}).empty());
+  EXPECT_EQ(db.find_all({}).size(), 3u);
+  EXPECT_GT(db.index_bytes(), 0u);
+  EXPECT_GT(db.data_bytes(), 0u);
+}
+
+TEST(MiniDb, RoundTripCostObservable) {
+  MiniDbConfig config;
+  config.query_roundtrip_ns = 300'000;  // 300us.
+  MiniDb db(config);
+  db.insert(1, {workload::make_hashtag(0, 1)});
+  auto start = std::chrono::steady_clock::now();
+  db.find_subset({workload::make_hashtag(0, 1)});
+  auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  EXPECT_GE(micros, 250);
+}
+
+TEST(ShardedMiniDb, ScatterGatherEqualsSingleInstance) {
+  Corpus c = make_corpus(11, 200, 20);
+  MiniDbConfig config;
+  config.query_roundtrip_ns = 0;
+  MiniDb single(config);
+  ShardedMiniDb sharded(4, config);
+  for (size_t i = 0; i < c.sets.size(); ++i) {
+    single.insert(c.keys[i], c.sets[i]);
+    sharded.insert(c.keys[i], c.sets[i]);
+  }
+  EXPECT_EQ(sharded.num_shards(), 4u);
+  EXPECT_EQ(sharded.document_count(), c.sets.size());
+  for (const auto& q : c.queries) {
+    EXPECT_EQ(sorted(sharded.find_subset(q)), sorted(single.find_subset(q)));
+  }
+}
+
+TEST(AllMatchers, CrossAgreementOnTwitterWorkload) {
+  workload::WorkloadConfig wc;
+  wc.num_users = 300;
+  wc.num_publishers = 80;
+  wc.vocabulary_size = 400;
+  workload::TwitterWorkload w(wc);
+  auto db = w.generate_database();
+  auto queries = w.generate_queries(db, 40, 2, 4);
+
+  PrefixTreeMatcher tree;
+  IcnMatcher icn;
+  LinearScanMatcher scan;
+  InvertedIndexMatcher inv;
+  for (const auto& op : db) {
+    BitVector192 f = workload::encode_tags(op.tags).bits();
+    tree.add(f, op.key);
+    icn.add(f, op.key);
+    scan.add(f, op.key);
+    inv.add(op.tags, op.key);
+  }
+  tree.build();
+  ASSERT_TRUE(icn.build());
+  inv.build();
+
+  for (const auto& q : queries) {
+    BitVector192 qf = workload::encode_tags(q.tags).bits();
+    auto expected = sorted(scan.match(qf));
+    EXPECT_EQ(sorted(tree.match(qf)), expected);
+    EXPECT_EQ(sorted(icn.match(qf)), expected);
+    // The inverted index works on exact tags: equal up to Bloom false
+    // positives, which do not occur at this scale.
+    EXPECT_EQ(sorted(inv.match(q.tags)), expected);
+  }
+}
+
+}  // namespace
+}  // namespace tagmatch::baselines

@@ -1,0 +1,170 @@
+#include "src/common/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace tagmatch {
+namespace {
+
+TEST(BitVector192, StartsEmpty) {
+  BitVector192 v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_EQ(v.leftmost_one(), BitVector192::kBits);
+}
+
+TEST(BitVector192, SetTestClearAcrossBlocks) {
+  BitVector192 v;
+  for (unsigned pos : {0u, 1u, 63u, 64u, 127u, 128u, 191u}) {
+    EXPECT_FALSE(v.test(pos));
+    v.set(pos);
+    EXPECT_TRUE(v.test(pos)) << pos;
+  }
+  EXPECT_EQ(v.popcount(), 7u);
+  v.clear(64);
+  EXPECT_FALSE(v.test(64));
+  EXPECT_EQ(v.popcount(), 6u);
+}
+
+TEST(BitVector192, Bit0IsMsbOfBlock0) {
+  BitVector192 v;
+  v.set(0);
+  EXPECT_EQ(v.block(0), uint64_t{1} << 63);
+  v.clear_all();
+  v.set(191);
+  EXPECT_EQ(v.block(2), uint64_t{1});
+}
+
+TEST(BitVector192, LeftmostOne) {
+  BitVector192 v;
+  v.set(150);
+  EXPECT_EQ(v.leftmost_one(), 150u);
+  v.set(70);
+  EXPECT_EQ(v.leftmost_one(), 70u);
+  v.set(3);
+  EXPECT_EQ(v.leftmost_one(), 3u);
+}
+
+TEST(BitVector192, SubsetBasics) {
+  BitVector192 small, big;
+  small.set(5);
+  small.set(100);
+  big = small;
+  big.set(180);
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+  BitVector192 empty;
+  EXPECT_TRUE(empty.subset_of(small));
+  EXPECT_FALSE(small.subset_of(empty));
+}
+
+TEST(BitVector192, SubsetMatchesDefinitionRandomized) {
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    BitVector192 a, b;
+    for (int i = 0; i < 20; ++i) {
+      a.set(static_cast<unsigned>(rng.below(192)));
+      b.set(static_cast<unsigned>(rng.below(192)));
+    }
+    if (rng.chance(0.5)) {
+      b |= a;  // Force a ⊆ b half of the time.
+    }
+    bool expected = true;
+    for (unsigned pos = 0; pos < 192; ++pos) {
+      if (a.test(pos) && !b.test(pos)) {
+        expected = false;
+        break;
+      }
+    }
+    EXPECT_EQ(a.subset_of(b), expected);
+  }
+}
+
+TEST(BitVector192, LexicographicOrderMatchesStringOrder) {
+  Rng rng(13);
+  for (int iter = 0; iter < 500; ++iter) {
+    BitVector192 a, b;
+    for (int i = 0; i < 10; ++i) {
+      a.set(static_cast<unsigned>(rng.below(192)));
+      b.set(static_cast<unsigned>(rng.below(192)));
+    }
+    EXPECT_EQ(a < b, a.to_string() < b.to_string());
+    EXPECT_EQ(a == b, a.to_string() == b.to_string());
+  }
+}
+
+TEST(BitVector192, CommonPrefixLen) {
+  BitVector192 a, b;
+  a.set(10);
+  b.set(10);
+  EXPECT_EQ(BitVector192::common_prefix_len(a, b), BitVector192::kBits);
+  b.set(100);
+  EXPECT_EQ(BitVector192::common_prefix_len(a, b), 100u);
+  b.clear(100);
+  b.set(11);
+  EXPECT_EQ(BitVector192::common_prefix_len(a, b), 11u);
+}
+
+TEST(BitVector192, PrefixClearsTail) {
+  BitVector192 a;
+  a.set(5);
+  a.set(70);
+  a.set(130);
+  BitVector192 p = a.prefix(71);
+  EXPECT_TRUE(p.test(5));
+  EXPECT_TRUE(p.test(70));
+  EXPECT_FALSE(p.test(130));
+  EXPECT_EQ(a.prefix(0), BitVector192());
+  EXPECT_EQ(a.prefix(192), a);
+  EXPECT_EQ(a.prefix(250), a);
+}
+
+TEST(BitVector192, PrefixIsSubsetOfOriginal) {
+  Rng rng(99);
+  for (int iter = 0; iter < 500; ++iter) {
+    BitVector192 a;
+    for (int i = 0; i < 15; ++i) {
+      a.set(static_cast<unsigned>(rng.below(192)));
+    }
+    unsigned len = static_cast<unsigned>(rng.below(193));
+    BitVector192 p = a.prefix(len);
+    EXPECT_TRUE(p.subset_of(a));
+    for (unsigned pos = len; pos < 192; ++pos) {
+      EXPECT_FALSE(p.test(pos));
+    }
+    for (unsigned pos = 0; pos < len; ++pos) {
+      EXPECT_EQ(p.test(pos), a.test(pos));
+    }
+  }
+}
+
+TEST(BitVector192, BitwiseOps) {
+  BitVector192 a, b;
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(190);
+  BitVector192 u = a | b;
+  EXPECT_TRUE(u.test(1));
+  EXPECT_TRUE(u.test(65));
+  EXPECT_TRUE(u.test(190));
+  BitVector192 i = a & b;
+  EXPECT_EQ(i.popcount(), 1u);
+  EXPECT_TRUE(i.test(65));
+  BitVector192 x = a ^ b;
+  EXPECT_EQ(x.popcount(), 2u);
+  EXPECT_FALSE(x.test(65));
+}
+
+TEST(BitVector192, HashDistinguishes) {
+  BitVector192 a, b;
+  a.set(0);
+  b.set(1);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), a.hash());
+}
+
+}  // namespace
+}  // namespace tagmatch

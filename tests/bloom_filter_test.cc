@@ -1,0 +1,141 @@
+#include "src/bloom/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/tags.h"
+
+namespace tagmatch {
+namespace {
+
+std::vector<std::string> make_tags(std::initializer_list<const char*> names) {
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+TEST(BloomFilter192, EmptyFilterIsSubsetOfEverything) {
+  BloomFilter192 empty;
+  auto tags = make_tags({"a", "b"});
+  BloomFilter192 nonempty = BloomFilter192::of(tags);
+  EXPECT_TRUE(empty.subset_of(nonempty));
+  EXPECT_TRUE(empty.subset_of(empty));
+  EXPECT_FALSE(nonempty.subset_of(empty));
+}
+
+TEST(BloomFilter192, AddTagSetsAtMostSevenBits) {
+  BloomFilter192 f;
+  f.add_tag("hello");
+  EXPECT_LE(f.popcount(), 7u);
+  EXPECT_GE(f.popcount(), 1u);
+}
+
+TEST(BloomFilter192, MembershipNoFalseNegatives) {
+  Rng rng(3);
+  for (int iter = 0; iter < 200; ++iter) {
+    BloomFilter192 f;
+    std::vector<std::string> tags;
+    for (int i = 0; i < 8; ++i) {
+      tags.push_back("tag" + std::to_string(rng.below(100000)));
+      f.add_tag(tags.back());
+    }
+    for (const auto& t : tags) {
+      EXPECT_TRUE(f.maybe_contains(t));
+    }
+  }
+}
+
+TEST(BloomFilter192, SubsetImpliesBitwiseSubset) {
+  // S1 ⊆ S2 must imply B1 ⊆ B2 — never a false negative.
+  Rng rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<std::string> sub, super;
+    unsigned n_sub = 1 + static_cast<unsigned>(rng.below(6));
+    unsigned n_extra = static_cast<unsigned>(rng.below(6));
+    for (unsigned i = 0; i < n_sub; ++i) {
+      sub.push_back("t" + std::to_string(rng.below(1000000)));
+    }
+    super = sub;
+    for (unsigned i = 0; i < n_extra; ++i) {
+      super.push_back("x" + std::to_string(rng.below(1000000)));
+    }
+    EXPECT_TRUE(BloomFilter192::of(sub).subset_of(BloomFilter192::of(super)));
+  }
+}
+
+TEST(BloomFilter192, DisjointSetsRarelyCollide) {
+  // With 192 bits / 7 hashes and small sets, bitwise inclusion between
+  // unrelated sets must be extremely rare; on 2000 random disjoint pairs we
+  // expect zero.
+  Rng rng(17);
+  int false_positives = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::string> a, b;
+    for (int i = 0; i < 5; ++i) {
+      a.push_back("a" + std::to_string(iter) + "_" + std::to_string(i));
+      b.push_back("b" + std::to_string(iter) + "_" + std::to_string(i));
+    }
+    if (BloomFilter192::of(a).subset_of(BloomFilter192::of(b))) {
+      ++false_positives;
+    }
+  }
+  EXPECT_EQ(false_positives, 0);
+}
+
+TEST(BloomFilter192, FalsePositiveFormulaMatchesPaperFootnote) {
+  // Footnote 3: m=192, k=7, |S2|=10, 3 extra tags -> ~1e-11; |S2|=5 and 2
+  // extra tags -> roughly the same magnitude.
+  double p1 = BloomFilter192::false_positive_probability(10, 3);
+  EXPECT_GT(p1, 1e-13);
+  EXPECT_LT(p1, 1e-9);
+  double p2 = BloomFilter192::false_positive_probability(5, 2);
+  EXPECT_GT(p2, 1e-13);
+  EXPECT_LT(p2, 1e-9);
+}
+
+TEST(BloomFilter192, FalsePositiveProbabilityMonotonic) {
+  // More extra tags -> lower FP probability; bigger query -> higher.
+  EXPECT_LT(BloomFilter192::false_positive_probability(10, 4),
+            BloomFilter192::false_positive_probability(10, 2));
+  EXPECT_GT(BloomFilter192::false_positive_probability(20, 2),
+            BloomFilter192::false_positive_probability(5, 2));
+}
+
+TEST(BloomFilter192, OrderingConsistentWithBits) {
+  auto t1 = make_tags({"alpha"});
+  auto t2 = make_tags({"beta"});
+  BloomFilter192 a = BloomFilter192::of(t1);
+  BloomFilter192 b = BloomFilter192::of(t2);
+  EXPECT_EQ(a < b, a.bits() < b.bits());
+  EXPECT_EQ(a == b, a.bits() == b.bits());
+}
+
+TEST(TagIdEncoding, NoFalseNegativesAndDeterministic) {
+  using namespace workload;
+  std::vector<TagId> sub = {make_hashtag(0, 1), make_hashtag(2, 5)};
+  std::vector<TagId> super = sub;
+  super.push_back(make_hashtag(1, 9));
+  super.push_back(make_publisher_tag(42));
+  EXPECT_TRUE(encode_tags(sub).subset_of(encode_tags(super)));
+  EXPECT_EQ(encode_tags(sub).bits(), encode_tags(sub).bits());
+  // Each tag contributes at most 7 bits.
+  EXPECT_LE(encode_tags({make_hashtag(0, 1)}).popcount(), 7u);
+}
+
+TEST(TagIdEncoding, DistinctTagsGetDistinctSignatures) {
+  using namespace workload;
+  Rng rng(5);
+  for (int iter = 0; iter < 500; ++iter) {
+    TagId a = static_cast<TagId>(rng.next());
+    TagId b = static_cast<TagId>(rng.next());
+    if (a == b) {
+      continue;
+    }
+    EXPECT_NE(encode_tags({a}).bits(), encode_tags({b}).bits())
+        << "tags " << a << " and " << b << " collide";
+  }
+}
+
+}  // namespace
+}  // namespace tagmatch

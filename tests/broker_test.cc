@@ -1,0 +1,287 @@
+#include "src/broker/broker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace tagmatch::broker {
+namespace {
+
+using Tags = std::vector<std::string>;
+
+BrokerConfig test_config() {
+  BrokerConfig c;
+  c.engine.num_threads = 2;
+  c.engine.num_gpus = 1;
+  c.engine.streams_per_gpu = 2;
+  c.engine.gpu_sms_per_device = 1;
+  c.engine.gpu_memory_capacity = 128ull << 20;
+  c.engine.gpu_costs.enforce = false;
+  c.engine.batch_size = 8;
+  c.engine.max_partition_size = 32;
+  c.engine.batch_timeout = std::chrono::milliseconds(2);
+  c.consolidate_interval = std::chrono::milliseconds(0);  // Manual via flush().
+  return c;
+}
+
+TEST(Broker, PublishReachesMatchingSubscriber) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  broker.subscribe(alice, Tags{"sports", "football"});
+  broker.publish(Message{Tags{"sports", "football", "worldcup"}, "goal!"});
+  broker.flush();
+  auto msg = broker.poll(alice);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "goal!");
+  EXPECT_FALSE(broker.poll(alice).has_value());
+}
+
+TEST(Broker, NonMatchingMessageNotDelivered) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  broker.subscribe(alice, Tags{"sports", "football"});
+  broker.publish(Message{Tags{"music"}, "concert"});
+  broker.publish(Message{Tags{"sports"}, "partial overlap only"});
+  broker.flush();
+  EXPECT_EQ(broker.pending(alice), 0u);
+}
+
+TEST(Broker, SubscriptionEffectiveImmediatelyWithoutConsolidate) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  broker.subscribe(alice, Tags{"alerts"});
+  // No flush/consolidate between subscribe and publish: the temporary index
+  // must serve it.
+  broker.publish(Message{Tags{"alerts", "disk"}, "disk full"});
+  auto msg = broker.poll_wait(alice, std::chrono::milliseconds(2000));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "disk full");
+}
+
+TEST(Broker, OverlappingSubscriptionsDeliverOnce) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  broker.subscribe(alice, Tags{"a"});
+  broker.subscribe(alice, Tags{"b"});
+  broker.subscribe(alice, Tags{"a", "b"});
+  broker.publish(Message{Tags{"a", "b", "c"}, "once"});
+  broker.flush();
+  EXPECT_EQ(broker.pending(alice), 1u);
+}
+
+TEST(Broker, MultipleSubscribersEachGetACopy) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  SubscriberId bob = broker.connect();
+  broker.subscribe(alice, Tags{"news"});
+  broker.subscribe(bob, Tags{"news"});
+  broker.publish(Message{Tags{"news", "tech"}, "story"});
+  broker.flush();
+  EXPECT_EQ(broker.pending(alice), 1u);
+  EXPECT_EQ(broker.pending(bob), 1u);
+}
+
+TEST(Broker, UnsubscribeStopsDeliveryImmediately) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  SubscriptionId sub = broker.subscribe(alice, Tags{"x"});
+  broker.publish(Message{Tags{"x", "y"}, "m1"});
+  broker.flush();
+  EXPECT_EQ(broker.pending(alice), 1u);
+  broker.unsubscribe(alice, sub);
+  broker.publish(Message{Tags{"x", "y"}, "m2"});
+  broker.flush();
+  EXPECT_EQ(broker.pending(alice), 1u);  // Still only m1.
+}
+
+TEST(Broker, UnsubscribeSurvivesConsolidation) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  SubscriptionId sub = broker.subscribe(alice, Tags{"x"});
+  broker.flush();  // Consolidates the subscription into the main index.
+  broker.unsubscribe(alice, sub);
+  broker.flush();  // Garbage-collects it from the engine.
+  broker.publish(Message{Tags{"x", "y"}, "m"});
+  broker.flush();
+  EXPECT_EQ(broker.pending(alice), 0u);
+  EXPECT_EQ(broker.stats().subscriptions, 0u);
+}
+
+TEST(Broker, DisconnectDropsQueueAndSubscriptions) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  broker.subscribe(alice, Tags{"t"});
+  broker.publish(Message{Tags{"t", "u"}, "m"});
+  broker.flush();
+  broker.disconnect(alice);
+  EXPECT_FALSE(broker.poll(alice).has_value());
+  EXPECT_EQ(broker.pending(alice), 0u);
+  broker.publish(Message{Tags{"t", "u"}, "m2"});
+  broker.flush();
+  EXPECT_EQ(broker.stats().subscribers, 0u);
+}
+
+TEST(Broker, QueueOverflowDropsWhenConfigured) {
+  BrokerConfig config = test_config();
+  config.max_queue_per_subscriber = 3;
+  config.drop_on_overflow = true;
+  Broker broker(config);
+  SubscriberId alice = broker.connect();
+  broker.subscribe(alice, Tags{"q"});
+  for (int i = 0; i < 10; ++i) {
+    broker.publish(Message{Tags{"q", "r"}, "m" + std::to_string(i)});
+  }
+  broker.flush();
+  EXPECT_EQ(broker.pending(alice), 3u);
+  EXPECT_EQ(broker.stats().dropped, 7u);
+}
+
+TEST(Broker, PollWaitBlocksUntilDelivery) {
+  Broker broker(test_config());
+  SubscriberId alice = broker.connect();
+  broker.subscribe(alice, Tags{"later"});
+  std::thread publisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    broker.publish(Message{Tags{"later", "now"}, "waited"});
+  });
+  auto msg = broker.poll_wait(alice, std::chrono::milliseconds(3000));
+  publisher.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "waited");
+}
+
+TEST(Broker, BackgroundConsolidationFoldsChurn) {
+  BrokerConfig config = test_config();
+  config.consolidate_interval = std::chrono::milliseconds(10);
+  Broker broker(config);
+  SubscriberId alice = broker.connect();
+  for (int i = 0; i < 50; ++i) {
+    broker.subscribe(alice, Tags{"topic" + std::to_string(i)});
+  }
+  for (int spin = 0; spin < 500 && broker.stats().consolidations == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(broker.stats().consolidations, 0u);
+  // Everything still matches after background consolidation.
+  broker.publish(Message{Tags{"topic7", "extra"}, "still here"});
+  auto msg = broker.poll_wait(alice, std::chrono::milliseconds(2000));
+  ASSERT_TRUE(msg.has_value());
+}
+
+TEST(Broker, ConcurrentPublishersAndChurnStressRun) {
+  BrokerConfig config = test_config();
+  config.consolidate_interval = std::chrono::milliseconds(5);
+  Broker broker(config);
+  constexpr int kSubscribers = 8;
+  std::vector<SubscriberId> subs;
+  for (int i = 0; i < kSubscribers; ++i) {
+    SubscriberId id = broker.connect();
+    broker.subscribe(id, Tags{"shard" + std::to_string(i % 4)});
+    subs.push_back(id);
+  }
+  std::atomic<int> published{0};
+  std::vector<std::thread> publishers;
+  for (int p = 0; p < 3; ++p) {
+    publishers.emplace_back([&, p] {
+      for (int i = 0; i < 100; ++i) {
+        broker.publish(Message{Tags{"shard" + std::to_string(i % 4), "p" + std::to_string(p)},
+                               "payload"});
+        published++;
+      }
+    });
+  }
+  // Concurrent churn.
+  std::thread churner([&] {
+    for (int i = 0; i < 50; ++i) {
+      SubscriberId id = broker.connect();
+      SubscriptionId s = broker.subscribe(id, Tags{"ephemeral"});
+      broker.unsubscribe(id, s);
+      broker.disconnect(id);
+    }
+  });
+  for (auto& t : publishers) {
+    t.join();
+  }
+  churner.join();
+  broker.flush();
+  EXPECT_EQ(published.load(), 300);
+  // Each message goes to exactly 2 subscribers (8 subscribers over 4 shards).
+  uint64_t expected = 300 * 2;
+  EXPECT_EQ(broker.stats().deliveries, expected);
+  auto stats = broker.stats();
+  EXPECT_EQ(stats.published, 300u);
+  EXPECT_EQ(stats.subscribers, static_cast<uint64_t>(kSubscribers));
+}
+
+}  // namespace
+}  // namespace tagmatch::broker
+
+namespace tagmatch::broker {
+namespace {
+
+class BrokerPersistence : public ::testing::Test {
+ protected:
+  std::string prefix_ = ::testing::TempDir() + "/broker_state";
+  void TearDown() override {
+    std::remove((prefix_ + ".idx").c_str());
+    std::remove((prefix_ + ".subs").c_str());
+  }
+};
+
+TEST_F(BrokerPersistence, SaveLoadRestoresSubscriptions) {
+  SubscriberId alice, bob;
+  {
+    Broker broker(test_config());
+    alice = broker.connect();
+    bob = broker.connect();
+    broker.subscribe(alice, Tags{"alerts"});
+    broker.subscribe(bob, Tags{"news", "tech"});
+    SubscriptionId dead = broker.subscribe(bob, Tags{"ephemeral"});
+    broker.unsubscribe(bob, dead);
+    ASSERT_TRUE(broker.save(prefix_));
+  }
+  Broker restored(test_config());
+  ASSERT_TRUE(restored.load(prefix_));
+  auto stats = restored.stats();
+  EXPECT_EQ(stats.subscriptions, 2u);
+  EXPECT_EQ(stats.subscribers, 2u);
+  restored.publish(Message{Tags{"alerts", "cpu"}, "hot"});
+  restored.publish(Message{Tags{"news", "tech", "ai"}, "story"});
+  restored.flush();
+  EXPECT_EQ(restored.pending(alice), 1u);
+  EXPECT_EQ(restored.pending(bob), 1u);
+  auto msg = restored.poll(alice);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "hot");
+}
+
+TEST_F(BrokerPersistence, NewIdsDoNotCollideAfterLoad) {
+  SubscriberId alice;
+  SubscriptionId original;
+  {
+    Broker broker(test_config());
+    alice = broker.connect();
+    original = broker.subscribe(alice, Tags{"x"});
+    ASSERT_TRUE(broker.save(prefix_));
+  }
+  Broker restored(test_config());
+  ASSERT_TRUE(restored.load(prefix_));
+  SubscriberId fresh = restored.connect();
+  EXPECT_NE(fresh, alice);
+  SubscriptionId fresh_sub = restored.subscribe(fresh, Tags{"y"});
+  EXPECT_NE(fresh_sub, original);
+  restored.publish(Message{Tags{"x", "y"}, "both"});
+  restored.flush();
+  EXPECT_EQ(restored.pending(alice), 1u);
+  EXPECT_EQ(restored.pending(fresh), 1u);
+}
+
+TEST_F(BrokerPersistence, LoadRejectsMissingFiles) {
+  Broker broker(test_config());
+  EXPECT_FALSE(broker.load(prefix_ + "-missing"));
+}
+
+}  // namespace
+}  // namespace tagmatch::broker

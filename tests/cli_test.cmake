@@ -1,0 +1,56 @@
+# End-to-end test of tagmatch_cli: generate -> build -> stats -> query.
+# Invoked by ctest with -DCLI=<path-to-binary> -DWORK=<scratch-dir>.
+
+file(MAKE_DIRECTORY ${WORK})
+
+execute_process(COMMAND ${CLI} generate ${WORK}/sets.tsv ${WORK}/queries.tsv 300 40
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} build ${WORK}/sets.tsv ${WORK}/index.bin
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "build failed: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} stats ${WORK}/index.bin
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "unique sets")
+  message(FATAL_ERROR "stats failed: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} query ${WORK}/index.bin ${WORK}/queries.tsv --unique
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "query failed: ${out}")
+endif()
+# Every generated query contains a database set, so no line may report 0
+# matches.
+string(REPLACE "\n" ";" lines "${out}")
+set(nonempty 0)
+foreach(line IN LISTS lines)
+  if(line MATCHES "^0($| )")
+    message(FATAL_ERROR "query with zero matches found: ${line}")
+  endif()
+  if(NOT line STREQUAL "")
+    math(EXPR nonempty "${nonempty}+1")
+  endif()
+endforeach()
+if(nonempty LESS 40)
+  message(FATAL_ERROR "expected 40 query result lines, got ${nonempty}")
+endif()
+
+execute_process(COMMAND ${CLI} bench ${WORK}/index.bin ${WORK}/queries.tsv 1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "q/s")
+  message(FATAL_ERROR "bench failed: ${out}")
+endif()
+
+# Bad inputs must fail cleanly.
+execute_process(COMMAND ${CLI} query ${WORK}/does-not-exist.bin ${WORK}/queries.tsv
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "query against a missing index unexpectedly succeeded")
+endif()

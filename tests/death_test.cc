@@ -1,0 +1,82 @@
+// Death tests: API misuse must fail fast on TAGMATCH_CHECK rather than
+// corrupt state.
+#include <gtest/gtest.h>
+
+#include "src/core/gpu_engine.h"
+#include "src/core/tagmatch.h"
+#include "src/gpusim/device.h"
+#include "src/gpusim/stream.h"
+
+namespace tagmatch {
+namespace {
+
+class DeathTestEnv : public ::testing::Test {
+ protected:
+  DeathTestEnv() { ::testing::FLAGS_gtest_death_test_style = "threadsafe"; }
+};
+
+TEST_F(DeathTestEnv, BatchSizeMustFitQueryIdByte) {
+  TagMatchConfig config;
+  config.batch_size = 257;  // Query ids are 8 bits.
+  EXPECT_DEATH({ TagMatch tm(config); }, "CHECK failed");
+}
+
+TEST_F(DeathTestEnv, ZeroBatchSizeRejected) {
+  TagMatchConfig config;
+  config.batch_size = 0;
+  EXPECT_DEATH({ TagMatch tm(config); }, "CHECK failed");
+}
+
+TEST_F(DeathTestEnv, ZeroThreadsRejected) {
+  TagMatchConfig config;
+  config.num_threads = 0;
+  EXPECT_DEATH({ TagMatch tm(config); }, "CHECK failed");
+}
+
+TEST_F(DeathTestEnv, StreamLimitEnforced) {
+  EXPECT_DEATH(
+      {
+        gpusim::DeviceConfig c;
+        c.max_streams = 1;
+        c.num_sms = 1;
+        c.costs.enforce = false;
+        gpusim::Device dev(c);
+        gpusim::Stream s1(&dev);
+        gpusim::Stream s2(&dev);  // One too many.
+      },
+      "CHECK failed");
+}
+
+TEST_F(DeathTestEnv, SubmitWithoutUploadRejected) {
+  EXPECT_DEATH(
+      {
+        TagMatchConfig config;
+        config.num_gpus = 1;
+        config.streams_per_gpu = 1;
+        config.gpu_sms_per_device = 1;
+        config.gpu_memory_capacity = 64 << 20;
+        config.gpu_costs.enforce = false;
+        GpuEngine engine(config, [](void*, std::span<const ResultPair>, bool) {});
+        BitVector192 q;
+        q.set(1);
+        std::vector<BitVector192> queries{q};
+        engine.submit(0, queries, nullptr);  // No table uploaded.
+      },
+      "CHECK failed");
+}
+
+TEST_F(DeathTestEnv, OversizedGpuAllocationAborts) {
+  EXPECT_DEATH(
+      {
+        gpusim::DeviceConfig c;
+        c.memory_capacity = 1 << 20;
+        c.num_sms = 1;
+        c.costs.enforce = false;
+        gpusim::Device dev(c);
+        gpusim::DeviceBuffer buf = dev.alloc(2 << 20);  // alloc (not try_alloc) aborts.
+      },
+      "CHECK failed");
+}
+
+}  // namespace
+}  // namespace tagmatch

@@ -1,0 +1,116 @@
+// Golden regression tests: fingerprints of deterministic outputs (workload
+// generation, Bloom encoding, partitioning). These guard against accidental
+// behaviour changes — any intentional change to a generator or encoder must
+// update the expected fingerprints here, consciously.
+#include <gtest/gtest.h>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/core/partitioner.h"
+#include "src/workload/tags.h"
+#include "src/workload/twitter_workload.h"
+
+namespace tagmatch {
+namespace {
+
+// Order-sensitive 64-bit fingerprint of a byte-like stream.
+class Fingerprint {
+ public:
+  void mix(uint64_t v) { state_ = mix64(state_ ^ v); }
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_ = 0x5bd1e995u;
+};
+
+TEST(Golden, WorkloadDatabaseFingerprint) {
+  workload::WorkloadConfig wc;
+  wc.seed = 42;
+  wc.num_users = 500;
+  wc.num_publishers = 100;
+  wc.vocabulary_size = 1000;
+  workload::TwitterWorkload w(wc);
+  auto db = w.generate_database();
+  Fingerprint fp;
+  fp.mix(db.size());
+  for (const auto& op : db) {
+    fp.mix(op.key);
+    for (workload::TagId t : op.tags) {
+      fp.mix(t);
+    }
+  }
+  // Regenerate with: print fp.value() and update.
+  EXPECT_EQ(fp.value(), 0x847a011ca9cfaf7full);
+}
+
+TEST(Golden, QueryGenerationFingerprint) {
+  workload::WorkloadConfig wc;
+  wc.seed = 42;
+  wc.num_users = 500;
+  wc.num_publishers = 100;
+  wc.vocabulary_size = 1000;
+  workload::TwitterWorkload w(wc);
+  auto db = w.generate_database();
+  auto queries = w.generate_queries(db, 100, 2, 4);
+  Fingerprint fp;
+  for (const auto& q : queries) {
+    fp.mix(q.tags.size());
+    for (workload::TagId t : q.tags) {
+      fp.mix(t);
+    }
+  }
+  EXPECT_EQ(fp.value(), 0xd8a08c5377967bd6ull);
+}
+
+TEST(Golden, TagEncodingFingerprint) {
+  // The Bloom encoding of TagIds is part of the persistence format's
+  // implicit contract (saved filters must keep matching freshly encoded
+  // queries).
+  Fingerprint fp;
+  for (uint32_t i = 0; i < 64; ++i) {
+    BitVector192 bits =
+        workload::encode_tags({workload::make_hashtag(i % 12, i * 131)}).bits();
+    fp.mix(bits.block(0));
+    fp.mix(bits.block(1));
+    fp.mix(bits.block(2));
+  }
+  EXPECT_EQ(fp.value(), 0xbdc14b52363d270eull);
+}
+
+TEST(Golden, StringTagEncodingFingerprint) {
+  Fingerprint fp;
+  for (int i = 0; i < 32; ++i) {
+    BloomFilter192 f;
+    f.add_tag("tag" + std::to_string(i * 977));
+    fp.mix(f.bits().block(0));
+    fp.mix(f.bits().block(1));
+    fp.mix(f.bits().block(2));
+  }
+  EXPECT_EQ(fp.value(), 0x336c427083628681ull);
+}
+
+TEST(Golden, PartitioningFingerprint) {
+  // Algorithm 1 is deterministic for a given input; partition structure is
+  // part of the saved-index contract.
+  Rng rng(99);
+  std::vector<BitVector192> filters(2000);
+  for (auto& f : filters) {
+    for (int b = 0; b < 12; ++b) {
+      f.set(static_cast<unsigned>(rng.below(192)));
+    }
+  }
+  auto parts = balance_partitions(filters, 100);
+  Fingerprint fp;
+  fp.mix(parts.size());
+  for (const auto& p : parts) {
+    fp.mix(p.mask.block(0) ^ p.mask.block(1) ^ p.mask.block(2));
+    fp.mix(p.members.size());
+    for (uint32_t m : p.members) {
+      fp.mix(m);
+    }
+  }
+  EXPECT_EQ(fp.value(), 0xe2f095d76e28c428ull);
+}
+
+}  // namespace
+}  // namespace tagmatch

@@ -1,0 +1,313 @@
+// Direct tests of the GPU engine's batching protocol (§3.3.2): the even/odd
+// double-buffer cycle, result delivery lag, draining, back-pressure, and the
+// single-buffered ablation path.
+#include "src/core/gpu_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/partitioner.h"
+
+namespace tagmatch {
+namespace {
+
+TagMatchConfig engine_config() {
+  TagMatchConfig c;
+  c.num_gpus = 1;
+  c.streams_per_gpu = 2;
+  c.gpu_sms_per_device = 1;
+  c.gpu_memory_capacity = 128ull << 20;
+  c.gpu_costs.enforce = false;
+  c.batch_size = 8;
+  return c;
+}
+
+// A tiny fixture database: partitions of known content so expected results
+// can be computed by hand.
+struct Fixture {
+  std::vector<BitVector192> filters;
+  std::vector<uint32_t> set_ids;
+  std::vector<uint32_t> offsets;
+
+  TagsetTableView view() const { return TagsetTableView{filters, set_ids, offsets}; }
+};
+
+Fixture make_fixture(size_t sets_per_partition, size_t partitions, uint64_t seed) {
+  Rng rng(seed);
+  Fixture f;
+  f.offsets.push_back(0);
+  uint32_t sid = 0;
+  for (size_t p = 0; p < partitions; ++p) {
+    std::vector<BitVector192> part;
+    for (size_t i = 0; i < sets_per_partition; ++i) {
+      BitVector192 v;
+      for (int b = 0; b < 8; ++b) {
+        v.set(static_cast<unsigned>(rng.below(192)));
+      }
+      part.push_back(v);
+    }
+    std::sort(part.begin(), part.end());
+    for (auto& v : part) {
+      f.filters.push_back(v);
+      f.set_ids.push_back(sid++);
+    }
+    f.offsets.push_back(static_cast<uint32_t>(f.filters.size()));
+  }
+  return f;
+}
+
+std::vector<ResultPair> expected_pairs(const Fixture& f, PartitionId part,
+                                       std::span<const BitVector192> queries) {
+  std::vector<ResultPair> out;
+  for (uint32_t i = f.offsets[part]; i < f.offsets[part + 1]; ++i) {
+    for (uint32_t q = 0; q < queries.size(); ++q) {
+      if (f.filters[i].subset_of(queries[q])) {
+        out.push_back(ResultPair{static_cast<uint8_t>(q), f.set_ids[i]});
+      }
+    }
+  }
+  return out;
+}
+
+bool same_pairs(std::vector<ResultPair> a, std::vector<ResultPair> b) {
+  auto key = [](const ResultPair& p) { return (uint64_t{p.query} << 32) | p.set_id; };
+  auto cmp = [&](const ResultPair& x, const ResultPair& y) { return key(x) < key(y); };
+  std::sort(a.begin(), a.end(), cmp);
+  std::sort(b.begin(), b.end(), cmp);
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (key(a[i]) != key(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Collected {
+  std::mutex mu;
+  std::map<void*, std::vector<ResultPair>> by_token;
+  std::atomic<int> deliveries{0};
+};
+
+TEST(GpuEngine, SingleBatchDeliversAfterDrain) {
+  Collected collected;
+  GpuEngine engine(engine_config(),
+                   [&](void* token, std::span<const ResultPair> pairs, bool overflow) {
+                     EXPECT_FALSE(overflow);
+                     std::lock_guard lock(collected.mu);
+                     collected.by_token[token].assign(pairs.begin(), pairs.end());
+                     collected.deliveries++;
+                   });
+  Fixture f = make_fixture(32, 2, 1);
+  engine.upload(f.view());
+
+  std::vector<BitVector192> queries;
+  BitVector192 q = f.filters[0];
+  q.set(3);
+  queries.push_back(q);
+  int token = 42;
+  engine.submit(0, queries, &token);
+  EXPECT_EQ(engine.in_flight(), 1u);
+  // Double-buffered: results trail by one cycle until drained.
+  engine.drain();
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_EQ(collected.deliveries.load(), 1);
+  EXPECT_TRUE(same_pairs(collected.by_token[&token], expected_pairs(f, 0, queries)));
+}
+
+TEST(GpuEngine, PipelinedBatchesAllDelivered) {
+  Collected collected;
+  GpuEngine engine(engine_config(),
+                   [&](void* token, std::span<const ResultPair> pairs, bool overflow) {
+                     EXPECT_FALSE(overflow);
+                     std::lock_guard lock(collected.mu);
+                     collected.by_token[token].assign(pairs.begin(), pairs.end());
+                     collected.deliveries++;
+                   });
+  Fixture f = make_fixture(64, 3, 2);
+  engine.upload(f.view());
+
+  constexpr int kBatches = 20;
+  std::vector<std::vector<BitVector192>> batches(kBatches);
+  std::vector<int> tokens(kBatches);
+  Rng rng(9);
+  for (int b = 0; b < kBatches; ++b) {
+    for (int i = 0; i < 4; ++i) {
+      BitVector192 q = f.filters[rng.below(f.filters.size())];
+      for (int e = 0; e < 10; ++e) {
+        q.set(static_cast<unsigned>(rng.below(192)));
+      }
+      batches[b].push_back(q);
+    }
+    engine.submit(static_cast<PartitionId>(b % 3), batches[b], &tokens[b]);
+  }
+  engine.drain();
+  EXPECT_EQ(collected.deliveries.load(), kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    EXPECT_TRUE(same_pairs(collected.by_token[&tokens[b]],
+                           expected_pairs(f, static_cast<PartitionId>(b % 3), batches[b])))
+        << "batch " << b;
+  }
+}
+
+TEST(GpuEngine, SingleBufferedModeDeliversImmediately) {
+  TagMatchConfig config = engine_config();
+  config.double_buffered_results = false;
+  Collected collected;
+  GpuEngine engine(config, [&](void* token, std::span<const ResultPair> pairs, bool overflow) {
+    EXPECT_FALSE(overflow);
+    std::lock_guard lock(collected.mu);
+    collected.by_token[token].assign(pairs.begin(), pairs.end());
+    collected.deliveries++;
+  });
+  Fixture f = make_fixture(32, 1, 3);
+  engine.upload(f.view());
+  std::vector<BitVector192> queries{f.filters[5] | f.filters[6]};
+  int token = 0;
+  engine.submit(0, queries, &token);
+  // The ablation path is synchronous: delivery happens inside submit().
+  EXPECT_EQ(collected.deliveries.load(), 1);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_TRUE(same_pairs(collected.by_token[&token], expected_pairs(f, 0, queries)));
+}
+
+TEST(GpuEngine, OverflowFlagRaised) {
+  TagMatchConfig config = engine_config();
+  config.result_buffer_entries = 2;
+  std::atomic<bool> saw_overflow{false};
+  GpuEngine engine(config, [&](void*, std::span<const ResultPair>, bool overflow) {
+    if (overflow) {
+      saw_overflow = true;
+    }
+  });
+  // One partition where every set is the same filter -> every set matches.
+  Fixture f;
+  BitVector192 v;
+  v.set(10);
+  f.offsets = {0, 16};
+  for (uint32_t i = 0; i < 16; ++i) {
+    f.filters.push_back(v);
+    f.set_ids.push_back(i);
+  }
+  engine.upload(f.view());
+  BitVector192 q = v;
+  q.set(20);
+  std::vector<BitVector192> queries{q};
+  int token = 0;
+  engine.submit(0, queries, &token);
+  engine.drain();
+  EXPECT_TRUE(saw_overflow.load());
+}
+
+TEST(GpuEngine, ManyBatchesExerciseBackPressure) {
+  // More batches than streams, small stream pool: submissions must block and
+  // recycle streams without losing results.
+  TagMatchConfig config = engine_config();
+  config.streams_per_gpu = 1;
+  std::atomic<int> deliveries{0};
+  std::atomic<uint64_t> total_pairs{0};
+  GpuEngine engine(config, [&](void*, std::span<const ResultPair> pairs, bool overflow) {
+    EXPECT_FALSE(overflow);
+    total_pairs += pairs.size();
+    deliveries++;
+  });
+  Fixture f = make_fixture(16, 1, 4);
+  engine.upload(f.view());
+  std::vector<BitVector192> queries{f.filters[0] | f.filters[15]};
+  uint64_t expected = expected_pairs(f, 0, queries).size();
+  constexpr int kBatches = 50;
+  for (int b = 0; b < kBatches; ++b) {
+    engine.submit(0, queries, nullptr);
+  }
+  engine.drain();
+  EXPECT_EQ(deliveries.load(), kBatches);
+  EXPECT_EQ(total_pairs.load(), expected * kBatches);
+}
+
+TEST(GpuEngine, DrainIsIdempotent) {
+  std::atomic<int> deliveries{0};
+  GpuEngine engine(engine_config(), [&](void*, std::span<const ResultPair>, bool) {
+    deliveries++;
+  });
+  Fixture f = make_fixture(8, 1, 5);
+  engine.upload(f.view());
+  std::vector<BitVector192> queries{f.filters[0]};
+  engine.submit(0, queries, nullptr);
+  engine.drain();
+  engine.drain();
+  engine.drain();
+  EXPECT_EQ(deliveries.load(), 1);
+}
+
+TEST(GpuEngine, ReuploadReplacesTable) {
+  Collected collected;
+  GpuEngine engine(engine_config(),
+                   [&](void* token, std::span<const ResultPair> pairs, bool) {
+                     std::lock_guard lock(collected.mu);
+                     collected.by_token[token].assign(pairs.begin(), pairs.end());
+                   });
+  Fixture f1 = make_fixture(16, 1, 6);
+  engine.upload(f1.view());
+  std::vector<BitVector192> queries{f1.filters[3]};
+  int t1 = 0, t2 = 0;
+  engine.submit(0, queries, &t1);
+  engine.drain();
+
+  Fixture f2 = make_fixture(16, 1, 7);
+  engine.upload(f2.view());
+  engine.submit(0, queries, &t2);
+  engine.drain();
+  EXPECT_TRUE(same_pairs(collected.by_token[&t1], expected_pairs(f1, 0, queries)));
+  EXPECT_TRUE(same_pairs(collected.by_token[&t2], expected_pairs(f2, 0, queries)));
+}
+
+TEST(GpuEngine, DeviceMemoryAccountsTables) {
+  GpuEngine engine(engine_config(), [](void*, std::span<const ResultPair>, bool) {});
+  uint64_t before = engine.device_memory_used();
+  Fixture f = make_fixture(1024, 4, 8);
+  engine.upload(f.view());
+  EXPECT_GT(engine.device_memory_used(),
+            before + f.filters.size() * sizeof(BitVector192) / 2);
+}
+
+}  // namespace
+}  // namespace tagmatch
+
+namespace tagmatch {
+namespace {
+
+TEST(GpuEngine, ConcurrentDrainsDoNotDeadlock) {
+  // Regression: two simultaneous whole-pool drains (user flush racing the
+  // batch-timeout flusher) used to each acquire part of the stream pool and
+  // deadlock waiting for the remainder.
+  TagMatchConfig config = engine_config();
+  config.streams_per_gpu = 2;
+  std::atomic<int> deliveries{0};
+  GpuEngine engine(config, [&](void*, std::span<const ResultPair>, bool) { deliveries++; });
+  Fixture f = make_fixture(16, 2, 9);
+  engine.upload(f.view());
+  std::vector<BitVector192> queries{f.filters[0]};
+
+  for (int round = 0; round < 20; ++round) {
+    engine.submit(0, queries, nullptr);
+    engine.submit(1, queries, nullptr);
+    std::thread t1([&] { engine.drain(); });
+    std::thread t2([&] { engine.drain(); });
+    t1.join();
+    t2.join();
+  }
+  EXPECT_EQ(deliveries.load(), 40);
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace tagmatch

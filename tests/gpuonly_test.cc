@@ -1,0 +1,105 @@
+#include "src/baselines/gpuonly/gpu_only_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/baselines/scan/scan_matchers.h"
+#include "src/common/rng.h"
+#include "src/workload/tags.h"
+
+namespace tagmatch::baselines {
+namespace {
+
+using Key = uint32_t;
+using workload::TagId;
+
+std::vector<Key> sorted(std::vector<Key> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+GpuOnlyConfig test_config() {
+  GpuOnlyConfig c;
+  c.costs.enforce = false;
+  c.num_sms = 1;
+  c.memory_capacity = 64 << 20;
+  c.max_partition_size = 32;
+  return c;
+}
+
+BitVector192 random_filter(Rng& rng, unsigned tags) {
+  std::vector<TagId> ids;
+  for (unsigned i = 0; i < tags; ++i) {
+    ids.push_back(workload::make_hashtag(0, static_cast<uint32_t>(rng.below(150))));
+  }
+  return workload::encode_tags(ids).bits();
+}
+
+TEST(GpuOnlyMatcher, AgreesWithLinearScan) {
+  Rng rng(41);
+  GpuOnlyMatcher gpu(test_config());
+  LinearScanMatcher cpu;
+  for (int i = 0; i < 500; ++i) {
+    BitVector192 f = random_filter(rng, 1 + static_cast<unsigned>(rng.below(3)));
+    Key k = static_cast<Key>(rng.below(200));
+    gpu.add(f, k);
+    cpu.add(f, k);
+  }
+  gpu.build();
+  EXPECT_GT(gpu.partition_count(), 1u);
+
+  std::vector<BitVector192> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(random_filter(rng, 3 + static_cast<unsigned>(rng.below(5))));
+  }
+  auto results = gpu.match_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(sorted(std::move(results[i])), sorted(cpu.match(batch[i])));
+  }
+}
+
+TEST(GpuOnlyMatcher, EmptyDatabase) {
+  GpuOnlyMatcher gpu(test_config());
+  gpu.build();
+  BitVector192 q;
+  q.set(5);
+  auto results = gpu.match_batch(std::span(&q, 1));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].empty());
+}
+
+TEST(GpuOnlyMatcher, SelectiveQueriesProduceFewQueueFills) {
+  // Queries that match no partition mask should simply yield empty results
+  // (the regime where the GPU-only design performs well).
+  Rng rng(42);
+  GpuOnlyMatcher gpu(test_config());
+  for (int i = 0; i < 200; ++i) {
+    gpu.add(random_filter(rng, 3), static_cast<Key>(i));
+  }
+  gpu.build();
+  // An empty query covers only the residual/empty-mask partitions.
+  BitVector192 empty_query;
+  auto results = gpu.match_batch(std::span(&empty_query, 1));
+  EXPECT_TRUE(results[0].empty());
+}
+
+TEST(GpuOnlyMatcher, OverflowFallbackExact) {
+  GpuOnlyConfig config = test_config();
+  config.result_capacity = 4;
+  GpuOnlyMatcher gpu(config);
+  BitVector192 f;
+  f.set(9);
+  for (Key k = 0; k < 64; ++k) {
+    gpu.add(f, k);
+  }
+  gpu.build();
+  BitVector192 q = f;
+  q.set(100);
+  auto results = gpu.match_batch(std::span(&q, 1));
+  EXPECT_EQ(results[0].size(), 64u);
+}
+
+}  // namespace
+}  // namespace tagmatch::baselines

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/gpusim/device.h"
+#include "src/gpusim/kernel.h"
+#include "src/gpusim/stream.h"
+
+namespace gpusim {
+namespace {
+
+DeviceConfig test_config() {
+  DeviceConfig c;
+  c.memory_capacity = 64 << 20;
+  c.num_sms = 2;
+  c.max_streams = 4;
+  c.costs.enforce = false;  // No artificial delays in unit tests.
+  return c;
+}
+
+TEST(Device, AllocationAccounting) {
+  Device dev(test_config());
+  EXPECT_EQ(dev.memory_used(), 0u);
+  {
+    DeviceBuffer a = dev.alloc(1024);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(dev.memory_used(), 1024u);
+    DeviceBuffer b = dev.alloc(4096);
+    EXPECT_EQ(dev.memory_used(), 5120u);
+  }
+  EXPECT_EQ(dev.memory_used(), 0u);
+}
+
+TEST(Device, TryAllocFailsOverCapacity) {
+  DeviceConfig c = test_config();
+  c.memory_capacity = 1 << 20;
+  Device dev(c);
+  DeviceBuffer ok = dev.try_alloc(512 << 10);
+  EXPECT_TRUE(ok.valid());
+  DeviceBuffer too_big = dev.try_alloc(600 << 10);
+  EXPECT_FALSE(too_big.valid());
+  ok.reset();
+  DeviceBuffer now_fits = dev.try_alloc(600 << 10);
+  EXPECT_TRUE(now_fits.valid());
+}
+
+TEST(Device, BufferMoveTransfersOwnership) {
+  Device dev(test_config());
+  DeviceBuffer a = dev.alloc(100);
+  std::byte* ptr = a.data();
+  DeviceBuffer b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): move-state check
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(dev.memory_used(), 100u);
+}
+
+TEST(Stream, CopiesRoundTrip) {
+  Device dev(test_config());
+  Stream stream(&dev);
+  DeviceBuffer buf = dev.alloc(sizeof(int) * 16);
+  std::vector<int> src(16);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<int> dst(16, -1);
+  stream.memcpy_h2d(buf.data(), src.data(), sizeof(int) * 16);
+  stream.memcpy_d2h(dst.data(), buf.data(), sizeof(int) * 16);
+  stream.synchronize();
+  EXPECT_EQ(src, dst);
+}
+
+TEST(Stream, OpsExecuteInFifoOrder) {
+  Device dev(test_config());
+  Stream stream(&dev);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    stream.callback([&order, i] { order.push_back(i); });
+  }
+  stream.synchronize();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Stream, EventFiresAfterPriorWork) {
+  Device dev(test_config());
+  Stream stream(&dev);
+  std::atomic<bool> work_done{false};
+  stream.callback([&] { work_done = true; });
+  auto event = std::make_shared<Event>();
+  stream.record(event);
+  event->wait();
+  EXPECT_TRUE(work_done.load());
+  EXPECT_TRUE(event->ready());
+}
+
+TEST(Stream, MemsetZeroesDeviceMemory) {
+  Device dev(test_config());
+  Stream stream(&dev);
+  DeviceBuffer buf = dev.alloc(64);
+  std::vector<std::byte> out(64);
+  stream.memset_d(buf.data(), 0xab, 64);
+  stream.memcpy_d2h(out.data(), buf.data(), 64);
+  stream.synchronize();
+  for (std::byte b : out) {
+    EXPECT_EQ(b, std::byte{0xab});
+  }
+}
+
+TEST(Stream, MaxStreamsEnforced) {
+  DeviceConfig c = test_config();
+  c.max_streams = 2;
+  Device dev(c);
+  Stream s1(&dev);
+  {
+    Stream s2(&dev);
+    EXPECT_EQ(dev.stream_count(), 2u);
+  }
+  // Destroying a stream frees a slot.
+  Stream s3(&dev);
+  EXPECT_EQ(dev.stream_count(), 2u);
+}
+
+TEST(Kernel, GridCoversAllThreads) {
+  Device dev(test_config());
+  Stream stream(&dev);
+  constexpr uint32_t kGrid = 8, kBlock = 32;
+  DeviceBuffer buf = dev.alloc(kGrid * kBlock * sizeof(uint32_t));
+  LaunchConfig cfg{kGrid, kBlock, 0};
+  stream.launch(cfg, [out = buf.as<uint32_t>()](BlockContext& ctx) {
+    ctx.threads([&](uint32_t tid) {
+      uint32_t gid = ctx.block_first_thread() + tid;
+      out[gid] = gid * 3 + 1;
+    });
+  });
+  std::vector<uint32_t> host(kGrid * kBlock);
+  stream.memcpy_d2h(host.data(), buf.data(), host.size() * sizeof(uint32_t));
+  stream.synchronize();
+  for (uint32_t i = 0; i < host.size(); ++i) {
+    EXPECT_EQ(host[i], i * 3 + 1);
+  }
+}
+
+TEST(Kernel, SharedMemoryIsPerBlockAndZeroed) {
+  Device dev(test_config());
+  Stream stream(&dev);
+  constexpr uint32_t kGrid = 16, kBlock = 64;
+  DeviceBuffer sums = dev.alloc(kGrid * sizeof(uint64_t));
+  LaunchConfig cfg{kGrid, kBlock, sizeof(uint64_t)};
+  stream.launch(cfg, [out = sums.as<uint64_t>()](BlockContext& ctx) {
+    auto* acc = ctx.shared<uint64_t>();
+    // Supersteps: accumulate into shared, then thread 0 publishes. The
+    // initial value must be zero.
+    ctx.threads([&](uint32_t tid) { *acc += tid; });
+    ctx.thread0([&] { out[ctx.block_idx()] = *acc; });
+  });
+  std::vector<uint64_t> host(kGrid);
+  stream.memcpy_d2h(host.data(), sums.data(), host.size() * sizeof(uint64_t));
+  stream.synchronize();
+  const uint64_t expected = uint64_t{kBlock} * (kBlock - 1) / 2;
+  for (uint64_t s : host) {
+    EXPECT_EQ(s, expected);
+  }
+}
+
+TEST(Kernel, GlobalAtomicsAcrossBlocks) {
+  Device dev(test_config());
+  Stream stream(&dev);
+  DeviceBuffer counter = dev.alloc(sizeof(uint64_t));
+  stream.memset_d(counter.data(), 0, sizeof(uint64_t));
+  constexpr uint32_t kGrid = 64, kBlock = 128;
+  LaunchConfig cfg{kGrid, kBlock, 0};
+  stream.launch(cfg, [c = counter.as<uint64_t>()](BlockContext& ctx) {
+    ctx.threads([&](uint32_t) {
+      std::atomic_ref<uint64_t>(*c).fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  uint64_t result = 0;
+  stream.memcpy_d2h(&result, counter.data(), sizeof(result));
+  stream.synchronize();
+  EXPECT_EQ(result, uint64_t{kGrid} * kBlock);
+}
+
+TEST(Kernel, MultipleStreamsShareDevice) {
+  Device dev(test_config());
+  Stream s1(&dev), s2(&dev);
+  DeviceBuffer counter = dev.alloc(sizeof(uint64_t));
+  std::memset(counter.data(), 0, sizeof(uint64_t));
+  LaunchConfig cfg{16, 64, 0};
+  auto kernel = [c = counter.as<uint64_t>()](BlockContext& ctx) {
+    ctx.threads([&](uint32_t) {
+      std::atomic_ref<uint64_t>(*c).fetch_add(1, std::memory_order_relaxed);
+    });
+  };
+  s1.launch(cfg, kernel);
+  s2.launch(cfg, kernel);
+  s1.synchronize();
+  s2.synchronize();
+  uint64_t result = 0;
+  std::memcpy(&result, counter.data(), sizeof(result));
+  EXPECT_EQ(result, 2 * uint64_t{16} * 64);
+}
+
+TEST(Kernel, DynamicParallelismChildGrid) {
+  Device dev(test_config());
+  Stream stream(&dev);
+  DeviceBuffer counter = dev.alloc(sizeof(uint64_t));
+  stream.memset_d(counter.data(), 0, sizeof(uint64_t));
+  LaunchConfig cfg{2, 4, 0};
+  stream.launch(cfg, [c = counter.as<uint64_t>()](BlockContext& parent) {
+    parent.thread0([&] {
+      parent.launch_child(3, 8, 0, [&](BlockContext& child) {
+        child.threads([&](uint32_t) {
+          std::atomic_ref<uint64_t>(*c).fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    });
+  });
+  uint64_t result = 0;
+  stream.memcpy_d2h(&result, counter.data(), sizeof(result));
+  stream.synchronize();
+  // 2 parent blocks each launch a 3x8 child grid.
+  EXPECT_EQ(result, 2u * 3 * 8);
+}
+
+TEST(CostModel, CopyTimeScalesWithBytes) {
+  CostModel costs;
+  EXPECT_EQ(costs.copy_ns(0, true), 0);
+  EXPECT_GT(costs.copy_ns(1 << 20, true), 0);
+  EXPECT_LT(costs.copy_ns(1 << 10, true), costs.copy_ns(1 << 20, true));
+}
+
+TEST(CostModel, EnforcedDelaysAreObservable) {
+  DeviceConfig c = test_config();
+  c.costs.enforce = true;
+  c.costs.api_call_overhead_ns = 200000;  // 200us, measurable.
+  Device dev(c);
+  Stream stream(&dev);
+  DeviceBuffer buf = dev.alloc(8);
+  uint64_t v = 0;
+  auto start = std::chrono::steady_clock::now();
+  stream.memcpy_h2d(buf.data(), &v, 8);
+  stream.synchronize();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(), 150);
+}
+
+}  // namespace
+}  // namespace gpusim
+
+namespace gpusim {
+namespace {
+
+TEST(Stream, WaitEventOrdersAcrossStreams) {
+  Device dev(test_config());
+  Stream producer(&dev), consumer(&dev);
+  std::atomic<int> value{0};
+  auto ready = std::make_shared<Event>();
+  // Consumer's op must observe the producer's write even though it was
+  // enqueued first.
+  consumer.wait_event(ready);
+  std::atomic<int> observed{-1};
+  consumer.callback([&] { observed = value.load(); });
+  producer.callback([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    value = 42;
+  });
+  producer.record(ready);
+  consumer.synchronize();
+  EXPECT_EQ(observed.load(), 42);
+}
+
+TEST(Profiler, RecordsOpsAndBytes) {
+  DeviceConfig c = test_config();
+  c.enable_profiling = true;
+  Device dev(c);
+  Stream stream(&dev);
+  DeviceBuffer buf = dev.alloc(1024);
+  std::vector<std::byte> host(1024);
+  stream.memcpy_h2d(buf.data(), host.data(), 1024);
+  stream.launch(LaunchConfig{2, 32, 0}, [](BlockContext& ctx) {
+    ctx.threads([](uint32_t) {});
+  });
+  stream.memcpy_d2h(host.data(), buf.data(), 512);
+  stream.synchronize();
+
+  ASSERT_NE(dev.profiler(), nullptr);
+  auto s = dev.profiler()->summary();
+  EXPECT_EQ(s.op_count, 3u);
+  EXPECT_EQ(s.h2d_bytes, 1024u);
+  EXPECT_EQ(s.d2h_bytes, 512u);
+  EXPECT_GT(s.kernel_ns, 0);
+  EXPECT_GT(s.span_ns, 0);
+}
+
+TEST(Profiler, DisabledByDefault) {
+  Device dev(test_config());
+  EXPECT_EQ(dev.profiler(), nullptr);
+}
+
+TEST(Profiler, DetectsCrossStreamOverlap) {
+  DeviceConfig c = test_config();
+  c.enable_profiling = true;
+  c.num_sms = 2;
+  Device dev(c);
+  Stream s1(&dev), s2(&dev);
+  auto busy = [] {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+    }
+  };
+  s1.callback(busy);
+  s2.callback(busy);
+  s1.synchronize();
+  s2.synchronize();
+  auto s = dev.profiler()->summary();
+  // Two 20 ms host funcs on independent streams must overlap substantially.
+  EXPECT_GT(s.concurrent_ns, 5'000'000);
+}
+
+TEST(Profiler, WritesChromeTrace) {
+  DeviceConfig c = test_config();
+  c.enable_profiling = true;
+  Device dev(c);
+  Stream stream(&dev);
+  DeviceBuffer buf = dev.alloc(64);
+  stream.memset_d(buf.data(), 0, 64);
+  stream.synchronize();
+  std::string path = ::testing::TempDir() + "/gpusim_trace.json";
+  ASSERT_TRUE(dev.profiler()->write_chrome_trace(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("memset"), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gpusim

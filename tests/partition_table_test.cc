@@ -1,0 +1,156 @@
+#include "src/core/partition_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/partitioner.h"
+
+namespace tagmatch {
+namespace {
+
+TEST(PartitionTable, EmptyTableMatchesNothing) {
+  PartitionTable pt;
+  BitVector192 q;
+  q.set(3);
+  int calls = 0;
+  pt.find_matches(q, [&](PartitionId) { calls++; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(PartitionTable, EmptyMaskAlwaysMatches) {
+  PartitionTable pt;
+  pt.add(BitVector192(), 7);
+  int calls = 0;
+  PartitionId seen = 0;
+  pt.find_matches(BitVector192(), [&](PartitionId id) {
+    calls++;
+    seen = id;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(PartitionTable, SubsetMasksMatch) {
+  PartitionTable pt;
+  BitVector192 m1;
+  m1.set(5);
+  BitVector192 m2;
+  m2.set(5);
+  m2.set(100);
+  BitVector192 m3;
+  m3.set(150);
+  pt.add(m1, 1);
+  pt.add(m2, 2);
+  pt.add(m3, 3);
+
+  BitVector192 q;
+  q.set(5);
+  q.set(100);
+  std::set<PartitionId> hits;
+  pt.find_matches(q, [&](PartitionId id) { hits.insert(id); });
+  EXPECT_EQ(hits, (std::set<PartitionId>{1, 2}));
+}
+
+TEST(PartitionTable, EachMatchReportedOnce) {
+  // A mask with many one-bits lives in exactly one bucket (leftmost one-bit),
+  // so it must be reported exactly once even if the query has all its bits.
+  PartitionTable pt;
+  BitVector192 m;
+  m.set(10);
+  m.set(20);
+  m.set(30);
+  pt.add(m, 42);
+  BitVector192 q = m;
+  q.set(50);
+  int calls = 0;
+  pt.find_matches(q, [&](PartitionId id) {
+    EXPECT_EQ(id, 42u);
+    calls++;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(PartitionTable, AgreesWithLinearScanRandomized) {
+  Rng rng(21);
+  std::vector<BitVector192> masks;
+  PartitionTable pt;
+  for (PartitionId id = 0; id < 300; ++id) {
+    BitVector192 m;
+    unsigned nbits = 1 + static_cast<unsigned>(rng.below(6));
+    for (unsigned i = 0; i < nbits; ++i) {
+      m.set(static_cast<unsigned>(rng.below(192)));
+    }
+    masks.push_back(m);
+    pt.add(m, id);
+  }
+  EXPECT_EQ(pt.partition_count(), 300u);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    BitVector192 q;
+    unsigned nbits = static_cast<unsigned>(rng.below(60));
+    for (unsigned i = 0; i < nbits; ++i) {
+      q.set(static_cast<unsigned>(rng.below(192)));
+    }
+    std::set<PartitionId> expected;
+    for (PartitionId id = 0; id < masks.size(); ++id) {
+      if (masks[id].subset_of(q)) {
+        expected.insert(id);
+      }
+    }
+    std::multiset<PartitionId> got;
+    pt.find_matches(q, [&](PartitionId id) { got.insert(id); });
+    // No duplicates and exact agreement.
+    EXPECT_EQ(got.size(), expected.size());
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin(), got.end()));
+  }
+}
+
+TEST(PartitionTable, IntegratesWithPartitioner) {
+  // Build partitions from random filters, index their masks, and verify the
+  // pre-process invariant: every partition containing a subset of q is
+  // forwarded.
+  Rng rng(22);
+  std::vector<BitVector192> filters(2000);
+  for (auto& f : filters) {
+    for (int i = 0; i < 12; ++i) {
+      f.set(static_cast<unsigned>(rng.below(192)));
+    }
+  }
+  auto parts = balance_partitions(filters, 100);
+  PartitionTable pt;
+  for (PartitionId id = 0; id < parts.size(); ++id) {
+    pt.add(parts[id].mask, id);
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    BitVector192 q = filters[rng.below(filters.size())];
+    for (int i = 0; i < 20; ++i) {
+      q.set(static_cast<unsigned>(rng.below(192)));
+    }
+    std::set<PartitionId> forwarded;
+    pt.find_matches(q, [&](PartitionId id) { forwarded.insert(id); });
+    for (PartitionId id = 0; id < parts.size(); ++id) {
+      for (uint32_t m : parts[id].members) {
+        if (filters[m].subset_of(q)) {
+          EXPECT_TRUE(forwarded.count(id)) << "partition with a match was not forwarded";
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionTable, MemoryAccountingGrows) {
+  PartitionTable pt;
+  uint64_t before = pt.memory_bytes();
+  for (PartitionId id = 0; id < 1000; ++id) {
+    BitVector192 m;
+    m.set(id % 192);
+    pt.add(m, id);
+  }
+  EXPECT_GT(pt.memory_bytes(), before);
+}
+
+}  // namespace
+}  // namespace tagmatch

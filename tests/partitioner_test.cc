@@ -1,0 +1,156 @@
+#include "src/core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+
+namespace tagmatch {
+namespace {
+
+std::vector<BitVector192> random_filters(size_t n, unsigned bits_per_filter, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitVector192> filters(n);
+  for (auto& f : filters) {
+    for (unsigned i = 0; i < bits_per_filter; ++i) {
+      f.set(static_cast<unsigned>(rng.below(192)));
+    }
+  }
+  return filters;
+}
+
+// Every input index appears in exactly one partition.
+void expect_exact_cover(const std::vector<Partition>& parts, size_t n) {
+  std::set<uint32_t> seen;
+  for (const auto& p : parts) {
+    for (uint32_t m : p.members) {
+      EXPECT_TRUE(seen.insert(m).second) << "index " << m << " in two partitions";
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(Partitioner, EmptyInput) {
+  EXPECT_TRUE(balance_partitions({}, 10).empty());
+}
+
+TEST(Partitioner, ExactCoverAndMaskInvariant) {
+  auto filters = random_filters(5000, 30, 1);
+  auto parts = balance_partitions(filters, 100);
+  expect_exact_cover(parts, filters.size());
+  for (const auto& p : parts) {
+    for (uint32_t m : p.members) {
+      EXPECT_TRUE(p.mask.subset_of(filters[m]))
+          << "member filter must contain the partition mask";
+    }
+  }
+}
+
+TEST(Partitioner, RespectsMaxSizeWhenSplittable) {
+  auto filters = random_filters(10000, 30, 2);
+  auto parts = balance_partitions(filters, 500);
+  for (const auto& p : parts) {
+    // Random 30-bit filters are always splittable well below 500; the only
+    // oversized partitions would be duplicate filters, which our generator
+    // essentially never produces.
+    EXPECT_LE(p.members.size(), 500u);
+  }
+}
+
+TEST(Partitioner, IdenticalFiltersYieldOversizedPartition) {
+  BitVector192 f;
+  f.set(10);
+  f.set(70);
+  std::vector<BitVector192> filters(100, f);
+  auto parts = balance_partitions(filters, 10);
+  // Identical filters can never be split: one partition with all 100.
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].members.size(), 100u);
+  EXPECT_TRUE(parts[0].mask.subset_of(f));
+}
+
+TEST(Partitioner, EmptyFilterGoesToResidualPartition) {
+  std::vector<BitVector192> filters = random_filters(50, 20, 3);
+  filters.push_back(BitVector192());  // The empty set's filter.
+  auto parts = balance_partitions(filters, 8);
+  expect_exact_cover(parts, filters.size());
+  bool found_empty = false;
+  for (const auto& p : parts) {
+    for (uint32_t m : p.members) {
+      if (filters[m].empty()) {
+        found_empty = true;
+        EXPECT_TRUE(p.mask.empty()) << "empty filter must live under the empty mask";
+      }
+    }
+  }
+  EXPECT_TRUE(found_empty);
+}
+
+TEST(Partitioner, NonResidualMasksAreNonEmpty) {
+  auto filters = random_filters(2000, 25, 4);
+  auto parts = balance_partitions(filters, 100);
+  for (const auto& p : parts) {
+    bool all_members_nonempty = true;
+    for (uint32_t m : p.members) {
+      all_members_nonempty &= !filters[m].empty();
+    }
+    if (all_members_nonempty) {
+      // The paper's emission condition: mask != empty-set (except the
+      // residual partition holding undistinguishable filters).
+      if (p.mask.empty()) {
+        // Permitted only if the members could not be discriminated at all —
+        // i.e. they are all identical.
+        for (uint32_t m : p.members) {
+          EXPECT_EQ(filters[m], filters[p.members[0]]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Partitioner, BalancedSplitsKeepPartitionCountReasonable) {
+  // With balanced pivoting, n items and MAX_P cap should produce on the
+  // order of n / MAX_P partitions, not wildly more (a degenerate pivot
+  // choice would explode the count).
+  auto filters = random_filters(20000, 30, 5);
+  auto parts = balance_partitions(filters, 1000);
+  EXPECT_LE(parts.size(), 200u);  // ~20 ideal; allow 10x slack.
+  EXPECT_GE(parts.size(), 20u);
+}
+
+TEST(Partitioner, SmallerMaxPMeansMorePartitions) {
+  auto filters = random_filters(8000, 30, 6);
+  auto coarse = balance_partitions(filters, 4000);
+  auto fine = balance_partitions(filters, 250);
+  EXPECT_GT(fine.size(), coarse.size());
+}
+
+TEST(Partitioner, MaskSubsetOfQueryFindsAllMatchingPartitions) {
+  // End-to-end partitioning property used by pre-processing: for any query
+  // q, the set of partitions containing filters f ⊆ q is exactly the set of
+  // partitions whose mask ⊆ q ... restricted to partitions that contain at
+  // least one actual subset. (Masks are subsets of all members, so
+  // partitions with a matching member always pass the mask check.)
+  auto filters = random_filters(3000, 10, 7);
+  auto parts = balance_partitions(filters, 64);
+  Rng rng(8);
+  for (int iter = 0; iter < 50; ++iter) {
+    BitVector192 q = filters[rng.below(filters.size())];
+    for (int i = 0; i < 30; ++i) {
+      q.set(static_cast<unsigned>(rng.below(192)));
+    }
+    for (const auto& p : parts) {
+      bool any_member_matches = false;
+      for (uint32_t m : p.members) {
+        any_member_matches |= filters[m].subset_of(q);
+      }
+      if (any_member_matches) {
+        EXPECT_TRUE(p.mask.subset_of(q));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tagmatch

@@ -1,0 +1,188 @@
+// Pipeline stress and concurrency tests: concurrent producers on
+// match_async, interleaved sync/async matching, repeated
+// consolidate-and-match cycles, destruction with in-flight work, and a
+// larger randomized Twitter-workload oracle run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/core/tagmatch.h"
+#include "src/workload/tags.h"
+#include "src/workload/twitter_workload.h"
+
+namespace tagmatch {
+namespace {
+
+using Key = TagMatch::Key;
+
+TagMatchConfig stress_config() {
+  TagMatchConfig c;
+  c.num_threads = 3;
+  c.num_gpus = 2;
+  c.streams_per_gpu = 2;
+  c.gpu_sms_per_device = 1;
+  c.gpu_memory_capacity = 256ull << 20;
+  c.gpu_costs.enforce = false;
+  c.batch_size = 32;
+  c.max_partition_size = 128;
+  c.batch_timeout = std::chrono::milliseconds(5);
+  return c;
+}
+
+BloomFilter192 random_filter(Rng& rng, unsigned tags, uint32_t universe = 400) {
+  std::vector<workload::TagId> ids;
+  for (unsigned i = 0; i < tags; ++i) {
+    ids.push_back(workload::make_hashtag(0, static_cast<uint32_t>(rng.below(universe))));
+  }
+  return workload::encode_tags(ids);
+}
+
+TEST(PipelineStress, ConcurrentProducers) {
+  TagMatch tm(stress_config());
+  Rng rng(100);
+  for (int i = 0; i < 1000; ++i) {
+    tm.add_set(random_filter(rng, 2), static_cast<Key>(i));
+  }
+  tm.consolidate();
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng prng(200 + p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        tm.match_async(random_filter(prng, 5), TagMatch::MatchKind::kMatch,
+                       [&done](std::vector<Key>) { done++; });
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  tm.flush();
+  EXPECT_EQ(done.load(), kProducers * kPerProducer);
+}
+
+TEST(PipelineStress, SyncMatchInterleavedWithAsync) {
+  TagMatch tm(stress_config());
+  std::vector<std::string> s = {"alpha", "beta"};
+  tm.add_set(s, 7);
+  tm.consolidate();
+  std::vector<std::string> q = {"alpha", "beta", "gamma"};
+  std::atomic<int> async_done{0};
+  for (int round = 0; round < 20; ++round) {
+    tm.match_async(BloomFilter192::of(q), TagMatch::MatchKind::kMatch,
+                   [&async_done](std::vector<Key>) { async_done++; });
+    EXPECT_EQ(tm.match(q), (std::vector<Key>{7}));
+  }
+  tm.flush();
+  EXPECT_EQ(async_done.load(), 20);
+}
+
+TEST(PipelineStress, RepeatedConsolidateCycles) {
+  TagMatch tm(stress_config());
+  Rng rng(300);
+  std::vector<std::string> probe = {"probe"};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 200; ++i) {
+      tm.add_set(random_filter(rng, 3), static_cast<Key>(cycle * 1000 + i));
+    }
+    tm.add_set(probe, static_cast<Key>(90000 + cycle));
+    tm.consolidate();
+    // The probe added in every cycle so far must be found.
+    std::vector<std::string> q = {"probe", "extra"};
+    auto keys = tm.match_unique(q);
+    EXPECT_EQ(keys.size(), static_cast<size_t>(cycle + 1));
+  }
+}
+
+TEST(PipelineStress, DestructionWithInFlightQueries) {
+  // The destructor must flush and join cleanly even with queries in flight.
+  std::atomic<int> done{0};
+  {
+    TagMatch tm(stress_config());
+    Rng rng(400);
+    for (int i = 0; i < 500; ++i) {
+      tm.add_set(random_filter(rng, 2), static_cast<Key>(i));
+    }
+    tm.consolidate();
+    for (int i = 0; i < 300; ++i) {
+      tm.match_async(random_filter(rng, 6), TagMatch::MatchKind::kMatchUnique,
+                     [&done](std::vector<Key>) { done++; });
+    }
+    // No flush: the destructor is responsible.
+  }
+  EXPECT_EQ(done.load(), 300);
+}
+
+TEST(PipelineStress, LargeTwitterWorkloadOracle) {
+  workload::WorkloadConfig wc;
+  wc.num_users = 3000;
+  wc.num_publishers = 800;
+  wc.vocabulary_size = 5000;
+  wc.seed = 555;
+  workload::TwitterWorkload w(wc);
+  auto db = w.generate_database();
+  auto queries = w.generate_queries(db, 400, 2, 4);
+
+  TagMatch tm(stress_config());
+  std::vector<std::pair<BitVector192, Key>> oracle_entries;
+  for (const auto& op : db) {
+    BloomFilter192 f = workload::encode_tags(op.tags);
+    tm.add_set(f, op.key);
+    oracle_entries.emplace_back(f.bits(), op.key);
+  }
+  tm.consolidate();
+
+  std::atomic<uint64_t> engine_total{0};
+  std::vector<BitVector192> encoded;
+  for (const auto& q : queries) {
+    encoded.push_back(workload::encode_tags(q.tags).bits());
+  }
+  uint64_t oracle_total = 0;
+  for (const auto& q : encoded) {
+    for (const auto& [f, k] : oracle_entries) {
+      oracle_total += f.subset_of(q) ? 1 : 0;
+    }
+  }
+  for (const auto& q : encoded) {
+    tm.match_async(BloomFilter192(q), TagMatch::MatchKind::kMatch,
+                   [&engine_total](std::vector<Key> keys) { engine_total += keys.size(); });
+  }
+  tm.flush();
+  EXPECT_EQ(engine_total.load(), oracle_total);
+  EXPECT_GE(tm.stats().batches_submitted, 1u);
+}
+
+TEST(PipelineStress, TimeoutDeliversWithoutFlush) {
+  // With a batch timeout, queries must complete even if no one calls
+  // flush() and batches never fill.
+  TagMatchConfig config = stress_config();
+  config.batch_size = 256;  // Never fills with a handful of queries.
+  config.batch_timeout = std::chrono::milliseconds(5);
+  TagMatch tm(config);
+  std::vector<std::string> s = {"x"};
+  tm.add_set(s, 1);
+  tm.consolidate();
+  std::atomic<int> done{0};
+  std::vector<std::string> q = {"x", "y"};
+  for (int i = 0; i < 5; ++i) {
+    tm.match_async(BloomFilter192::of(q), TagMatch::MatchKind::kMatch,
+                   [&done](std::vector<Key> keys) {
+                     EXPECT_EQ(keys.size(), 1u);
+                     done++;
+                   });
+  }
+  // Wait on the timeout path only.
+  for (int spins = 0; spins < 2000 && done.load() < 5; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), 5);
+}
+
+}  // namespace
+}  // namespace tagmatch

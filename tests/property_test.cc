@@ -1,0 +1,173 @@
+// Parameterized property sweeps (TEST_P) over the core invariants:
+//  * partitioner: exact cover, mask containment, size bounds — over a grid
+//    of (set count, bits per filter, MAX_P);
+//  * Bloom encoding: no false negatives over a grid of set/superset sizes;
+//  * packed codec: round trip at many sizes;
+//  * pre-process completeness: no matching partition is ever missed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/common/rng.h"
+#include "src/core/packed_output.h"
+#include "src/core/partition_table.h"
+#include "src/core/partitioner.h"
+#include "src/workload/tags.h"
+
+namespace tagmatch {
+namespace {
+
+// ---------------------------------------------------------------- partitioner
+
+using PartitionerParams = std::tuple<int /*n*/, int /*bits*/, int /*max_p*/>;
+
+class PartitionerProperty : public ::testing::TestWithParam<PartitionerParams> {};
+
+TEST_P(PartitionerProperty, CoverMaskAndBalance) {
+  auto [n, bits, max_p] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 1000003 + bits * 131 + max_p));
+  std::vector<BitVector192> filters(n);
+  for (auto& f : filters) {
+    for (int b = 0; b < bits; ++b) {
+      f.set(static_cast<unsigned>(rng.below(192)));
+    }
+  }
+  auto parts = balance_partitions(filters, static_cast<uint32_t>(max_p));
+
+  // Exact cover.
+  std::set<uint32_t> seen;
+  for (const auto& p : parts) {
+    for (uint32_t m : p.members) {
+      EXPECT_TRUE(seen.insert(m).second);
+      // Mask containment invariant.
+      EXPECT_TRUE(p.mask.subset_of(filters[m]));
+    }
+    // Oversized partitions are only legal when the members are mutually
+    // indistinguishable (identical filters).
+    if (p.members.size() > static_cast<size_t>(max_p)) {
+      for (uint32_t m : p.members) {
+        EXPECT_EQ(filters[m], filters[p.members[0]]);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), filters.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PartitionerProperty,
+                         ::testing::Combine(::testing::Values(1, 64, 1000, 5000),
+                                            ::testing::Values(2, 10, 35, 80),
+                                            ::testing::Values(1, 16, 256)),
+                         [](const ::testing::TestParamInfo<PartitionerParams>& info) {
+                           return "n" + std::to_string(std::get<0>(info.param)) + "_bits" +
+                                  std::to_string(std::get<1>(info.param)) + "_maxp" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
+
+// ------------------------------------------------------------ bloom encoding
+
+using BloomParams = std::tuple<int /*subset size*/, int /*extra*/>;
+
+class BloomNoFalseNegatives : public ::testing::TestWithParam<BloomParams> {};
+
+TEST_P(BloomNoFalseNegatives, SubsetAlwaysImpliesBitwiseSubset) {
+  auto [sub_size, extra] = GetParam();
+  Rng rng(static_cast<uint64_t>(sub_size * 7919 + extra));
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<workload::TagId> sub, super;
+    for (int i = 0; i < sub_size; ++i) {
+      sub.push_back(static_cast<workload::TagId>(rng.next()));
+    }
+    super = sub;
+    for (int i = 0; i < extra; ++i) {
+      super.push_back(static_cast<workload::TagId>(rng.next()));
+    }
+    EXPECT_TRUE(workload::encode_tags(sub).subset_of(workload::encode_tags(super)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BloomNoFalseNegatives,
+                         ::testing::Combine(::testing::Values(0, 1, 5, 10, 40),
+                                            ::testing::Values(0, 1, 4, 16)),
+                         [](const ::testing::TestParamInfo<BloomParams>& info) {
+                           return "sub" + std::to_string(std::get<0>(info.param)) + "_extra" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// -------------------------------------------------------------- packed codec
+
+class CodecRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecRoundTrip, PackedAndUnpacked) {
+  const size_t n = static_cast<size_t>(GetParam());
+  Rng rng(n * 31 + 7);
+  std::vector<ResultPair> pairs(n);
+  for (auto& p : pairs) {
+    p.query = static_cast<uint8_t>(rng.below(256));
+    p.set_id = static_cast<uint32_t>(rng.next());
+  }
+  std::vector<std::byte> packed(PackedResultCodec::bytes_for(n));
+  std::vector<std::byte> unpacked(UnpackedResultCodec::bytes_for(n));
+  for (size_t i = 0; i < n; ++i) {
+    PackedResultCodec::write(packed.data(), i, pairs[i]);
+    UnpackedResultCodec::write(unpacked.data(), i, pairs[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ResultPair a = PackedResultCodec::read(packed.data(), i);
+    ResultPair b = UnpackedResultCodec::read(unpacked.data(), i);
+    ASSERT_EQ(a.query, pairs[i].query);
+    ASSERT_EQ(a.set_id, pairs[i].set_id);
+    ASSERT_EQ(b.query, pairs[i].query);
+    ASSERT_EQ(b.set_id, pairs[i].set_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CodecRoundTrip, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 63, 1024));
+
+// ------------------------------------------------- pre-process completeness
+
+class PreProcessCompleteness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreProcessCompleteness, NoMatchingSetIsMissed) {
+  // End-to-end CPU-side property: for random databases and queries, every
+  // database filter f ⊆ q must live in a partition forwarded by the
+  // partition table.
+  const int bits = GetParam();
+  Rng rng(static_cast<uint64_t>(bits) * 65537);
+  std::vector<BitVector192> filters(1500);
+  for (auto& f : filters) {
+    for (int b = 0; b < bits; ++b) {
+      f.set(static_cast<unsigned>(rng.below(192)));
+    }
+  }
+  auto parts = balance_partitions(filters, 64);
+  PartitionTable pt;
+  std::vector<std::vector<uint32_t>> members(parts.size());
+  for (PartitionId id = 0; id < parts.size(); ++id) {
+    pt.add(parts[id].mask, id);
+    members[id] = parts[id].members;
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    BitVector192 q = filters[rng.below(filters.size())];
+    for (int e = 0; e < 25; ++e) {
+      q.set(static_cast<unsigned>(rng.below(192)));
+    }
+    std::set<PartitionId> forwarded;
+    pt.find_matches(q, [&](PartitionId id) { forwarded.insert(id); });
+    for (PartitionId id = 0; id < parts.size(); ++id) {
+      if (forwarded.count(id)) {
+        continue;
+      }
+      for (uint32_t m : members[id]) {
+        ASSERT_FALSE(filters[m].subset_of(q))
+            << "filter in non-forwarded partition matches the query";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitDensities, PreProcessCompleteness, ::testing::Values(3, 8, 20, 45));
+
+}  // namespace
+}  // namespace tagmatch

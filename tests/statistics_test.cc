@@ -1,0 +1,193 @@
+// Statistical property tests: empirical behaviour of the Bloom encoding and
+// of the workload generator must match the theory the paper relies on.
+// All randomness is seeded, so the assertions are deterministic.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/common/rng.h"
+#include "src/workload/tags.h"
+#include "src/workload/twitter_workload.h"
+
+namespace tagmatch {
+namespace {
+
+TEST(BloomStatistics, FillRateMatchesTheory) {
+  // A filter with n random tags has each bit set with probability
+  // 1 - e^{-kn/m} (the term inside footnote 3's formula). Check the
+  // empirical mean popcount across many filters for several n.
+  Rng rng(2024);
+  for (unsigned n : {1u, 5u, 10u, 20u}) {
+    double total_bits = 0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<workload::TagId> tags;
+      for (unsigned i = 0; i < n; ++i) {
+        tags.push_back(static_cast<workload::TagId>(rng.next()));
+      }
+      total_bits += workload::encode_tags(tags).popcount();
+    }
+    const double m = BloomFilter192::kNumBits;
+    const double k = BloomFilter192::kNumHashes;
+    double expected = m * (1.0 - std::exp(-k * n / m));
+    double observed = total_bits / trials;
+    EXPECT_NEAR(observed, expected, expected * 0.05) << "n=" << n;
+  }
+}
+
+TEST(BloomStatistics, BitPositionsRoughlyUniform) {
+  // No bit position should be systematically favoured by the double-hashing
+  // scheme: over many single-tag filters, per-position frequencies must be
+  // within a loose band around the mean.
+  Rng rng(7);
+  std::array<int, BitVector192::kBits> counts{};
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<workload::TagId> tags = {static_cast<workload::TagId>(rng.next())};
+    BitVector192 bits = workload::encode_tags(tags).bits();
+    for (unsigned pos = 0; pos < BitVector192::kBits; ++pos) {
+      counts[pos] += bits.test(pos) ? 1 : 0;
+    }
+  }
+  double mean = 0;
+  for (int c : counts) {
+    mean += c;
+  }
+  mean /= BitVector192::kBits;
+  for (unsigned pos = 0; pos < BitVector192::kBits; ++pos) {
+    EXPECT_GT(counts[pos], mean * 0.8) << "position " << pos << " underused";
+    EXPECT_LT(counts[pos], mean * 1.2) << "position " << pos << " overused";
+  }
+}
+
+TEST(WorkloadStatistics, FirstLanguageSharesFollowTwitterDistribution) {
+  // English must dominate (~51% of monolingual users' tags) with Japanese
+  // second, per Hong et al.'s Twitter shares used by the generator.
+  workload::WorkloadConfig wc;
+  wc.num_users = 20000;
+  wc.num_publishers = 2000;
+  wc.vocabulary_size = 20000;
+  wc.bilingual_fraction = 0.0;  // Isolate the first-language distribution.
+  workload::TwitterWorkload w(wc);
+  auto db = w.generate_database();
+  std::map<unsigned, uint64_t> lang_tags;
+  uint64_t total = 0;
+  for (const auto& op : db) {
+    for (workload::TagId t : op.tags) {
+      if (!workload::is_publisher_tag(t)) {
+        ++lang_tags[workload::tag_language(t)];
+        ++total;
+      }
+    }
+  }
+  double en = static_cast<double>(lang_tags[0]) / static_cast<double>(total);
+  double ja = static_cast<double>(lang_tags[1]) / static_cast<double>(total);
+  EXPECT_NEAR(en, 0.511, 0.04);
+  EXPECT_NEAR(ja, 0.190, 0.03);
+  EXPECT_GT(en, ja);
+}
+
+TEST(WorkloadStatistics, BilingualFractionRespected) {
+  // With bilingual_fraction = 1, users draw interests from two language
+  // streams; the second-language distribution (English-heavy) shifts the
+  // aggregate toward English even for non-English first languages. Sanity:
+  // more languages per user's interests on average than monolingual.
+  workload::WorkloadConfig mono;
+  mono.num_users = 4000;
+  mono.num_publishers = 800;
+  mono.vocabulary_size = 8000;
+  mono.bilingual_fraction = 0.0;
+  workload::WorkloadConfig bi = mono;
+  bi.bilingual_fraction = 1.0;
+
+  auto count_langs_per_user = [](const std::vector<workload::AddOp>& db) {
+    std::map<uint32_t, std::set<unsigned>> langs;
+    for (const auto& op : db) {
+      for (workload::TagId t : op.tags) {
+        if (!workload::is_publisher_tag(t)) {
+          langs[op.key].insert(workload::tag_language(t));
+        }
+      }
+    }
+    double total = 0;
+    for (const auto& [user, set] : langs) {
+      total += static_cast<double>(set.size());
+    }
+    return total / static_cast<double>(langs.size());
+  };
+
+  workload::TwitterWorkload wm(mono);
+  workload::TwitterWorkload wb(bi);
+  auto db_mono = wm.generate_database();
+  auto db_bi = wb.generate_database();
+  EXPECT_GT(count_langs_per_user(db_bi), count_langs_per_user(db_mono));
+}
+
+TEST(WorkloadStatistics, FollowerCountsHeavyTailed) {
+  workload::WorkloadConfig wc;
+  wc.num_users = 10000;
+  wc.num_publishers = 1000;
+  wc.vocabulary_size = 10000;
+  workload::TwitterWorkload w(wc);
+  auto db = w.generate_database();
+  std::map<uint32_t, uint32_t> follows_per_user;
+  for (const auto& op : db) {
+    ++follows_per_user[op.key];
+  }
+  std::map<uint32_t, uint32_t> histogram;  // follow count -> #users
+  for (const auto& [user, n] : follows_per_user) {
+    ++histogram[n];
+  }
+  // Mode at the minimum, monotone-ish decay: 1-follow users outnumber
+  // 4-follow users, which outnumber 16-follow users.
+  EXPECT_GT(histogram[1], histogram[4]);
+  EXPECT_GT(histogram[4], histogram[16]);
+  // But the tail exists.
+  uint32_t heavy = 0;
+  for (const auto& [n, users] : histogram) {
+    if (n >= 8) {
+      heavy += users;
+    }
+  }
+  EXPECT_GT(heavy, 0u);
+}
+
+TEST(WorkloadStatistics, TagPopularitySkewMatchesZipfParameter) {
+  // Flatter exponent -> smaller top-tag share.
+  auto top_share = [](double zipf) {
+    workload::WorkloadConfig wc;
+    wc.num_users = 5000;
+    wc.num_publishers = 1000;
+    wc.vocabulary_size = 20000;
+    wc.tag_zipf = zipf;
+    workload::TwitterWorkload w(wc);
+    auto db = w.generate_database();
+    std::map<uint32_t, uint64_t> counts;
+    uint64_t total = 0;
+    for (const auto& op : db) {
+      for (workload::TagId t : op.tags) {
+        if (!workload::is_publisher_tag(t)) {
+          ++counts[workload::tag_base(t)];
+          ++total;
+        }
+      }
+    }
+    uint64_t top = 0;
+    for (const auto& [tag, c] : counts) {
+      top = std::max(top, c);
+    }
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  double steep = top_share(1.05);
+  double flat = top_share(0.7);
+  EXPECT_GT(steep, flat);
+  EXPECT_GT(steep, 0.03);  // Peaked head.
+  EXPECT_LT(flat, 0.03);   // Flattened head.
+}
+
+}  // namespace
+}  // namespace tagmatch

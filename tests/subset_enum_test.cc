@@ -1,0 +1,125 @@
+#include "src/baselines/subset_enum/subset_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace tagmatch::baselines {
+namespace {
+
+using Key = uint32_t;
+using TagId = workload::TagId;
+
+std::vector<Key> sorted(std::vector<Key> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SubsetEnum, BasicMatching) {
+  SubsetEnumMatcher m;
+  m.add({1, 2}, 10);
+  m.add({2}, 20);
+  m.add({3}, 30);
+  m.build();
+  auto r = m.match({1, 2, 4});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(sorted(r.keys), (std::vector<Key>{10, 20}));
+  // 3 distinct query tags -> 8 subset probes.
+  EXPECT_EQ(r.probes, 8u);
+}
+
+TEST(SubsetEnum, EmptySetMatchesEverything) {
+  SubsetEnumMatcher m;
+  m.add({}, 1);
+  m.build();
+  auto r = m.match({5, 6});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.keys, (std::vector<Key>{1}));
+  auto r2 = m.match({});
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(r2.keys, (std::vector<Key>{1}));
+}
+
+TEST(SubsetEnum, DuplicateSetsKeepAllKeys) {
+  SubsetEnumMatcher m;
+  m.add({7, 8}, 1);
+  m.add({8, 7}, 2);  // Same set, different order.
+  m.build();
+  EXPECT_EQ(m.size(), 1u);
+  auto r = m.match({7, 8, 9});
+  EXPECT_EQ(sorted(r.keys), (std::vector<Key>{1, 2}));
+}
+
+TEST(SubsetEnum, RefusesHugeQueries) {
+  SubsetEnumMatcher m;
+  m.add({1}, 1);
+  m.build();
+  std::vector<TagId> big;
+  for (TagId t = 0; t < SubsetEnumMatcher::kMaxQueryTags + 1; ++t) {
+    big.push_back(t);
+  }
+  EXPECT_FALSE(m.match(big).ok);
+}
+
+TEST(SubsetEnum, ProbesGrowExponentially) {
+  SubsetEnumMatcher m;
+  m.add({1}, 1);
+  m.build();
+  std::vector<TagId> q;
+  uint64_t prev = 0;
+  for (TagId t = 0; t < 12; ++t) {
+    q.push_back(100 + t);
+    auto r = m.match(q);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.probes, uint64_t{1} << q.size());
+    EXPECT_GT(r.probes, prev);
+    prev = r.probes;
+  }
+}
+
+TEST(SubsetEnum, AgreesWithBruteForceRandomized) {
+  Rng rng(61);
+  std::vector<std::pair<std::vector<TagId>, Key>> db;
+  SubsetEnumMatcher m;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<TagId> tags;
+    unsigned n = 1 + static_cast<unsigned>(rng.below(3));
+    for (unsigned t = 0; t < n; ++t) {
+      tags.push_back(static_cast<TagId>(rng.below(40)));
+    }
+    std::sort(tags.begin(), tags.end());
+    tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+    Key key = static_cast<Key>(i);
+    db.emplace_back(tags, key);
+    m.add(tags, key);
+  }
+  m.build();
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<TagId> q;
+    unsigned n = 1 + static_cast<unsigned>(rng.below(8));
+    for (unsigned t = 0; t < n; ++t) {
+      q.push_back(static_cast<TagId>(rng.below(40)));
+    }
+    std::vector<Key> expected;
+    for (const auto& [tags, key] : db) {
+      bool subset = true;
+      for (TagId t : tags) {
+        if (std::find(q.begin(), q.end(), t) == q.end()) {
+          subset = false;
+          break;
+        }
+      }
+      if (subset) {
+        expected.push_back(key);
+      }
+    }
+    auto r = m.match(q);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(sorted(r.keys), sorted(std::move(expected)));
+  }
+}
+
+}  // namespace
+}  // namespace tagmatch::baselines

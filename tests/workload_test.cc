@@ -1,0 +1,179 @@
+#include "src/workload/twitter_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/bit_vector.h"
+
+namespace tagmatch::workload {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig c;
+  c.num_users = 2000;
+  c.num_publishers = 500;
+  c.vocabulary_size = 2000;
+  c.seed = 99;
+  return c;
+}
+
+TEST(TagNames, RenderLanguagesAndPublishers) {
+  EXPECT_EQ(tag_name(make_hashtag(0, 17)), "tag17");
+  EXPECT_EQ(tag_name(make_hashtag(7, 17)), "fr_tag17");
+  EXPECT_EQ(tag_name(make_publisher_tag(42)), "@publisher42");
+}
+
+TEST(TagIds, EncodingFieldsRoundTrip) {
+  TagId t = make_hashtag(5, 123456);
+  EXPECT_FALSE(is_publisher_tag(t));
+  EXPECT_EQ(tag_language(t), 5u);
+  EXPECT_EQ(tag_base(t), 123456u);
+  TagId p = make_publisher_tag(7);
+  EXPECT_TRUE(is_publisher_tag(p));
+}
+
+TEST(TwitterWorkload, DeterministicForSeed) {
+  TwitterWorkload w1(small_config());
+  TwitterWorkload w2(small_config());
+  auto db1 = w1.generate_database();
+  auto db2 = w2.generate_database();
+  ASSERT_EQ(db1.size(), db2.size());
+  for (size_t i = 0; i < db1.size(); ++i) {
+    EXPECT_EQ(db1[i].key, db2[i].key);
+    EXPECT_EQ(db1[i].tags, db2[i].tags);
+  }
+}
+
+TEST(TwitterWorkload, EveryUserHasAtLeastOneInterest) {
+  TwitterWorkload w(small_config());
+  auto db = w.generate_database();
+  std::set<uint32_t> users;
+  for (const auto& op : db) {
+    users.insert(op.key);
+    EXPECT_FALSE(op.tags.empty());
+  }
+  EXPECT_EQ(users.size(), small_config().num_users);
+}
+
+TEST(TwitterWorkload, InterestsAverageAboutFiveTags) {
+  TwitterWorkload w(small_config());
+  auto db = w.generate_database();
+  double total = 0;
+  for (const auto& op : db) {
+    total += static_cast<double>(op.tags.size());
+  }
+  double mean = total / static_cast<double>(db.size());
+  // The paper reports an average of ~5 tags per interest.
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 7.0);
+}
+
+TEST(TwitterWorkload, FrequentWritersContributePublisherTags) {
+  TwitterWorkload w(small_config());
+  auto db = w.generate_database();
+  size_t with_publisher = 0;
+  for (const auto& op : db) {
+    for (TagId t : op.tags) {
+      if (is_publisher_tag(t)) {
+        ++with_publisher;
+        break;
+      }
+    }
+  }
+  // Frequent writers are 30% of publishers but, being ranked by tweet count,
+  // carry a larger share of interests. The share must be substantial but not
+  // universal.
+  EXPECT_GT(with_publisher, db.size() / 10);
+  EXPECT_LT(with_publisher, db.size());
+}
+
+TEST(TwitterWorkload, TweetTagsDeterministicAndBounded) {
+  TwitterWorkload w(small_config());
+  for (uint32_t p = 0; p < 20; ++p) {
+    ASSERT_GE(w.tweets_of(p), 1u);
+    auto tags1 = w.tweet_base_tags(p, 0);
+    auto tags2 = w.tweet_base_tags(p, 0);
+    EXPECT_EQ(tags1, tags2);
+    EXPECT_GE(tags1.size(), 1u);
+    EXPECT_LE(tags1.size(), small_config().max_tags_per_tweet);
+  }
+}
+
+TEST(TwitterWorkload, QueriesContainASeedDatabaseSet) {
+  TwitterWorkload w(small_config());
+  auto db = w.generate_database();
+  auto queries = w.generate_queries(db, 200, 2, 4);
+  ASSERT_EQ(queries.size(), 200u);
+  // Every query is (some db set) + 2..4 extra tags, so at least one db set
+  // must be fully contained in it — checked via exact tag-set inclusion
+  // against the whole db.
+  for (const auto& q : queries) {
+    std::unordered_set<TagId> qtags(q.tags.begin(), q.tags.end());
+    bool contains_some_set = false;
+    for (const auto& op : db) {
+      bool all = true;
+      for (TagId t : op.tags) {
+        if (!qtags.count(t)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        contains_some_set = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contains_some_set);
+  }
+}
+
+TEST(TwitterWorkload, ExtraTagCountRespected) {
+  TwitterWorkload w(small_config());
+  auto db = w.generate_database();
+  for (unsigned extra : {1u, 5u, 10u}) {
+    auto queries = w.generate_queries_exact_extra(db, 50, extra);
+    for (const auto& q : queries) {
+      // Query = seed set + exactly `extra` added tags (duplicates possible
+      // but rare); sizes must be seed+extra.
+      EXPECT_GE(q.tags.size(), extra);
+    }
+  }
+}
+
+TEST(TwitterWorkload, MultipleLanguagesAppear) {
+  TwitterWorkload w(small_config());
+  auto db = w.generate_database();
+  std::set<unsigned> langs;
+  for (const auto& op : db) {
+    for (TagId t : op.tags) {
+      if (!is_publisher_tag(t)) {
+        langs.insert(tag_language(t));
+      }
+    }
+  }
+  // English dominates but the workload must be multilingual.
+  EXPECT_GE(langs.size(), 4u);
+  EXPECT_TRUE(langs.count(0));  // en
+}
+
+TEST(TwitterWorkload, DuplicateInterestsExist) {
+  // The paper's workload has 300M keys but only 212M unique sets: distinct
+  // users share interests. Our generator must reproduce that (popular
+  // publishers/tweets are followed by many users).
+  WorkloadConfig c = small_config();
+  c.num_users = 5000;
+  TwitterWorkload w(c);
+  auto db = w.generate_database();
+  std::set<std::vector<TagId>> unique;
+  for (auto op : db) {
+    std::sort(op.tags.begin(), op.tags.end());
+    unique.insert(op.tags);
+  }
+  EXPECT_LT(unique.size(), db.size());
+}
+
+}  // namespace
+}  // namespace tagmatch::workload
