@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gpuonly.dir/bench_ablation_gpuonly.cc.o"
+  "CMakeFiles/bench_ablation_gpuonly.dir/bench_ablation_gpuonly.cc.o.d"
+  "bench_ablation_gpuonly"
+  "bench_ablation_gpuonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gpuonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

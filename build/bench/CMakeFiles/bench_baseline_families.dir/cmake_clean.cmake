@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_families.dir/bench_baseline_families.cc.o"
+  "CMakeFiles/bench_baseline_families.dir/bench_baseline_families.cc.o.d"
+  "bench_baseline_families"
+  "bench_baseline_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

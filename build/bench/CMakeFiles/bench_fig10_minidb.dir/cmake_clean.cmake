@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_minidb.dir/bench_fig10_minidb.cc.o"
+  "CMakeFiles/bench_fig10_minidb.dir/bench_fig10_minidb.cc.o.d"
+  "bench_fig10_minidb"
+  "bench_fig10_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sharding.dir/bench_fig11_sharding.cc.o"
+  "CMakeFiles/bench_fig11_sharding.dir/bench_fig11_sharding.cc.o.d"
+  "bench_fig11_sharding"
+  "bench_fig11_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_maxp.dir/bench_fig7_maxp.cc.o"
+  "CMakeFiles/bench_fig7_maxp.dir/bench_fig7_maxp.cc.o.d"
+  "bench_fig7_maxp"
+  "bench_fig7_maxp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_maxp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_icn.dir/bench_table3_icn.cc.o"
+  "CMakeFiles/bench_table3_icn.dir/bench_table3_icn.cc.o.d"
+  "bench_table3_icn"
+  "bench_table3_icn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_icn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

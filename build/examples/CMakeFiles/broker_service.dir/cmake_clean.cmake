@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_service.dir/broker_service.cpp.o"
+  "CMakeFiles/broker_service.dir/broker_service.cpp.o.d"
+  "broker_service"
+  "broker_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

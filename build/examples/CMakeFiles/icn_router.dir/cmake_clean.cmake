@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icn_router.dir/icn_router.cpp.o"
+  "CMakeFiles/icn_router.dir/icn_router.cpp.o.d"
+  "icn_router"
+  "icn_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icn_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subset_join.dir/subset_join.cpp.o"
+  "CMakeFiles/subset_join.dir/subset_join.cpp.o.d"
+  "subset_join"
+  "subset_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_firehose.dir/twitter_firehose.cpp.o"
+  "CMakeFiles/twitter_firehose.dir/twitter_firehose.cpp.o.d"
+  "twitter_firehose"
+  "twitter_firehose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_firehose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

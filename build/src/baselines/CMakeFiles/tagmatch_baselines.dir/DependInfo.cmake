@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gpuonly/gpu_only_matcher.cc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/gpuonly/gpu_only_matcher.cc.o" "gcc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/gpuonly/gpu_only_matcher.cc.o.d"
+  "/root/repo/src/baselines/icn/icn_matcher.cc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/icn/icn_matcher.cc.o" "gcc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/icn/icn_matcher.cc.o.d"
+  "/root/repo/src/baselines/inverted/inverted_index.cc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/inverted/inverted_index.cc.o" "gcc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/inverted/inverted_index.cc.o.d"
+  "/root/repo/src/baselines/minidb/minidb.cc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/minidb/minidb.cc.o" "gcc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/minidb/minidb.cc.o.d"
+  "/root/repo/src/baselines/prefix_tree/prefix_tree.cc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/prefix_tree/prefix_tree.cc.o" "gcc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/prefix_tree/prefix_tree.cc.o.d"
+  "/root/repo/src/baselines/scan/scan_matchers.cc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/scan/scan_matchers.cc.o" "gcc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/scan/scan_matchers.cc.o.d"
+  "/root/repo/src/baselines/subset_enum/subset_enum.cc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/subset_enum/subset_enum.cc.o" "gcc" "src/baselines/CMakeFiles/tagmatch_baselines.dir/subset_enum/subset_enum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tagmatch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tagmatch_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tagmatch_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tagmatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_baselines.dir/gpuonly/gpu_only_matcher.cc.o"
+  "CMakeFiles/tagmatch_baselines.dir/gpuonly/gpu_only_matcher.cc.o.d"
+  "CMakeFiles/tagmatch_baselines.dir/icn/icn_matcher.cc.o"
+  "CMakeFiles/tagmatch_baselines.dir/icn/icn_matcher.cc.o.d"
+  "CMakeFiles/tagmatch_baselines.dir/inverted/inverted_index.cc.o"
+  "CMakeFiles/tagmatch_baselines.dir/inverted/inverted_index.cc.o.d"
+  "CMakeFiles/tagmatch_baselines.dir/minidb/minidb.cc.o"
+  "CMakeFiles/tagmatch_baselines.dir/minidb/minidb.cc.o.d"
+  "CMakeFiles/tagmatch_baselines.dir/prefix_tree/prefix_tree.cc.o"
+  "CMakeFiles/tagmatch_baselines.dir/prefix_tree/prefix_tree.cc.o.d"
+  "CMakeFiles/tagmatch_baselines.dir/scan/scan_matchers.cc.o"
+  "CMakeFiles/tagmatch_baselines.dir/scan/scan_matchers.cc.o.d"
+  "CMakeFiles/tagmatch_baselines.dir/subset_enum/subset_enum.cc.o"
+  "CMakeFiles/tagmatch_baselines.dir/subset_enum/subset_enum.cc.o.d"
+  "libtagmatch_baselines.a"
+  "libtagmatch_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_bloom.dir/bloom_filter.cc.o"
+  "CMakeFiles/tagmatch_bloom.dir/bloom_filter.cc.o.d"
+  "libtagmatch_bloom.a"
+  "libtagmatch_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

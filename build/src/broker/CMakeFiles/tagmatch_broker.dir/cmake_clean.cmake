@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_broker.dir/broker.cc.o"
+  "CMakeFiles/tagmatch_broker.dir/broker.cc.o.d"
+  "libtagmatch_broker.a"
+  "libtagmatch_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

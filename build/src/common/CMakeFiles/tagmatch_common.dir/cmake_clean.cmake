@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_common.dir/bit_vector.cc.o"
+  "CMakeFiles/tagmatch_common.dir/bit_vector.cc.o.d"
+  "CMakeFiles/tagmatch_common.dir/stats.cc.o"
+  "CMakeFiles/tagmatch_common.dir/stats.cc.o.d"
+  "libtagmatch_common.a"
+  "libtagmatch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gpu_engine.cc" "src/core/CMakeFiles/tagmatch_core.dir/gpu_engine.cc.o" "gcc" "src/core/CMakeFiles/tagmatch_core.dir/gpu_engine.cc.o.d"
+  "/root/repo/src/core/partition_table.cc" "src/core/CMakeFiles/tagmatch_core.dir/partition_table.cc.o" "gcc" "src/core/CMakeFiles/tagmatch_core.dir/partition_table.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/tagmatch_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/tagmatch_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/tagmatch.cc" "src/core/CMakeFiles/tagmatch_core.dir/tagmatch.cc.o" "gcc" "src/core/CMakeFiles/tagmatch_core.dir/tagmatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tagmatch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tagmatch_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

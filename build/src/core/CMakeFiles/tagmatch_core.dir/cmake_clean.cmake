@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_core.dir/gpu_engine.cc.o"
+  "CMakeFiles/tagmatch_core.dir/gpu_engine.cc.o.d"
+  "CMakeFiles/tagmatch_core.dir/partition_table.cc.o"
+  "CMakeFiles/tagmatch_core.dir/partition_table.cc.o.d"
+  "CMakeFiles/tagmatch_core.dir/partitioner.cc.o"
+  "CMakeFiles/tagmatch_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/tagmatch_core.dir/tagmatch.cc.o"
+  "CMakeFiles/tagmatch_core.dir/tagmatch.cc.o.d"
+  "libtagmatch_core.a"
+  "libtagmatch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

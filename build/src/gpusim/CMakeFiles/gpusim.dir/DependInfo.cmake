@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/kernel.cc" "src/gpusim/CMakeFiles/gpusim.dir/kernel.cc.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/kernel.cc.o.d"
+  "/root/repo/src/gpusim/profiler.cc" "src/gpusim/CMakeFiles/gpusim.dir/profiler.cc.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/profiler.cc.o.d"
+  "/root/repo/src/gpusim/stream.cc" "src/gpusim/CMakeFiles/gpusim.dir/stream.cc.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tagmatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

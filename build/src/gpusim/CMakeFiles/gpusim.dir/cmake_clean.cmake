@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim.dir/device.cc.o"
+  "CMakeFiles/gpusim.dir/device.cc.o.d"
+  "CMakeFiles/gpusim.dir/kernel.cc.o"
+  "CMakeFiles/gpusim.dir/kernel.cc.o.d"
+  "CMakeFiles/gpusim.dir/profiler.cc.o"
+  "CMakeFiles/gpusim.dir/profiler.cc.o.d"
+  "CMakeFiles/gpusim.dir/stream.cc.o"
+  "CMakeFiles/gpusim.dir/stream.cc.o.d"
+  "libgpusim.a"
+  "libgpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

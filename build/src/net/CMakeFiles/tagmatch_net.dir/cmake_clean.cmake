@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_net.dir/client.cc.o"
+  "CMakeFiles/tagmatch_net.dir/client.cc.o.d"
+  "CMakeFiles/tagmatch_net.dir/server.cc.o"
+  "CMakeFiles/tagmatch_net.dir/server.cc.o.d"
+  "CMakeFiles/tagmatch_net.dir/wire.cc.o"
+  "CMakeFiles/tagmatch_net.dir/wire.cc.o.d"
+  "libtagmatch_net.a"
+  "libtagmatch_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

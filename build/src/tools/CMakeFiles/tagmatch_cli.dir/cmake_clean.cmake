@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_cli.dir/tagmatch_cli.cc.o"
+  "CMakeFiles/tagmatch_cli.dir/tagmatch_cli.cc.o.d"
+  "tagmatch_cli"
+  "tagmatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_server.dir/tagmatch_server.cc.o"
+  "CMakeFiles/tagmatch_server.dir/tagmatch_server.cc.o.d"
+  "tagmatch_server"
+  "tagmatch_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

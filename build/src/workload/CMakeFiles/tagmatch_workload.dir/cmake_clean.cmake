@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_workload.dir/twitter_workload.cc.o"
+  "CMakeFiles/tagmatch_workload.dir/twitter_workload.cc.o.d"
+  "libtagmatch_workload.a"
+  "libtagmatch_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

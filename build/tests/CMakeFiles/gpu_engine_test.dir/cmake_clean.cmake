@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_engine_test.dir/gpu_engine_test.cc.o"
+  "CMakeFiles/gpu_engine_test.dir/gpu_engine_test.cc.o.d"
+  "gpu_engine_test"
+  "gpu_engine_test.pdb"
+  "gpu_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuonly_test.dir/gpuonly_test.cc.o"
+  "CMakeFiles/gpuonly_test.dir/gpuonly_test.cc.o.d"
+  "gpuonly_test"
+  "gpuonly_test.pdb"
+  "gpuonly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuonly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

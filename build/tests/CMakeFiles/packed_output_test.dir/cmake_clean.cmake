@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_output_test.dir/packed_output_test.cc.o"
+  "CMakeFiles/packed_output_test.dir/packed_output_test.cc.o.d"
+  "packed_output_test"
+  "packed_output_test.pdb"
+  "packed_output_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_output_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

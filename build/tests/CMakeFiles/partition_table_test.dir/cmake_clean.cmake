@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_table_test.dir/partition_table_test.cc.o"
+  "CMakeFiles/partition_table_test.dir/partition_table_test.cc.o.d"
+  "partition_table_test"
+  "partition_table_test.pdb"
+  "partition_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

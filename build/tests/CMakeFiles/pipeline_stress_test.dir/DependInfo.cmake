@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_stress_test.cc" "tests/CMakeFiles/pipeline_stress_test.dir/pipeline_stress_test.cc.o" "gcc" "tests/CMakeFiles/pipeline_stress_test.dir/pipeline_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tagmatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tagmatch_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tagmatch_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tagmatch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

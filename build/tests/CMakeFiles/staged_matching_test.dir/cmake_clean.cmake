@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staged_matching_test.dir/staged_matching_test.cc.o"
+  "CMakeFiles/staged_matching_test.dir/staged_matching_test.cc.o.d"
+  "staged_matching_test"
+  "staged_matching_test.pdb"
+  "staged_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staged_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subset_enum_test.dir/subset_enum_test.cc.o"
+  "CMakeFiles/subset_enum_test.dir/subset_enum_test.cc.o.d"
+  "subset_enum_test"
+  "subset_enum_test.pdb"
+  "subset_enum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

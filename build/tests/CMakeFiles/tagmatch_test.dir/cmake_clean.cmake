@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagmatch_test.dir/tagmatch_test.cc.o"
+  "CMakeFiles/tagmatch_test.dir/tagmatch_test.cc.o.d"
+  "tagmatch_test"
+  "tagmatch_test.pdb"
+  "tagmatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bit_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/bloom_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_table_test[1]_include.cmake")
+include("/root/repo/build/tests/packed_output_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/tagmatch_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/gpuonly_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/subset_enum_test[1]_include.cmake")
+include("/root/repo/build/tests/staged_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/broker_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/statistics_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/death_test[1]_include.cmake")
+add_test(cli_end_to_end "/usr/bin/cmake" "-DCLI=/root/repo/build/src/tools/tagmatch_cli" "-DWORK=/root/repo/build/tests/cli_scratch" "-P" "/root/repo/tests/cli_test.cmake")
+set_tests_properties(cli_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
