@@ -4,12 +4,21 @@
 #include <cstdio>
 
 #include "src/common/check.h"
+#include "src/shard/sharded_tagmatch.h"
 
 namespace tagmatch::broker {
 
 Broker::Broker(BrokerConfig config) : config_(std::move(config)) {
   config_.engine.match_staged_adds = true;  // Immediate subscriptions rely on it.
-  engine_ = std::make_unique<TagMatch>(config_.engine);
+  if (config_.engine_shards > 1) {
+    shard::ShardedConfig sharded;
+    sharded.num_shards = config_.engine_shards;
+    sharded.shard = config_.engine;
+    sharded.query_timeout = config_.shard_query_timeout;
+    engine_ = std::make_unique<shard::ShardedTagMatch>(sharded);
+  } else {
+    engine_ = std::make_unique<TagMatch>(config_.engine);
+  }
   if (config_.consolidate_interval.count() > 0) {
     consolidator_ = std::thread([this] { consolidate_loop(); });
   }
@@ -99,20 +108,20 @@ void Broker::publish(Message message) {
   auto shared_message = std::make_shared<const Message>(std::move(message));
   std::shared_lock gate(publish_mu_);
   engine_->match_async(
-      std::span<const std::string>(shared_message->tags), TagMatch::MatchKind::kMatchUnique,
-      [this, shared_message](std::vector<TagMatch::Key> subscription_keys) {
+      std::span<const std::string>(shared_message->tags), Matcher::MatchKind::kMatchUnique,
+      [this, shared_message](std::vector<Matcher::Key> subscription_keys) {
         deliver(shared_message, subscription_keys);
       });
 }
 
 void Broker::deliver(const std::shared_ptr<const Message>& message,
-                     const std::vector<TagMatch::Key>& subscription_keys) {
+                     const std::vector<Matcher::Key>& subscription_keys) {
   // Resolve subscriptions to connected subscribers, deduplicating so a
   // subscriber with several matching subscriptions gets one copy.
   std::vector<std::pair<SubscriberId, std::shared_ptr<Subscriber>>> targets;
   {
     std::lock_guard lock(registry_mu_);
-    for (TagMatch::Key key : subscription_keys) {
+    for (Matcher::Key key : subscription_keys) {
       auto it = subscriptions_.find(static_cast<SubscriptionId>(key));
       if (it == subscriptions_.end() || !it->second.active) {
         continue;
@@ -223,7 +232,7 @@ void Broker::run_consolidation() {
       Subscription& s = it->second;
       if (!s.active && !s.removed) {
         engine_->remove_set(std::span<const std::string>(s.tags),
-                            static_cast<TagMatch::Key>(it->first));
+                            static_cast<Matcher::Key>(it->first));
         s.removed = true;
       }
       if (s.removed) {

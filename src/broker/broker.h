@@ -37,7 +37,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/core/tagmatch.h"
+#include "src/core/config.h"
+#include "src/core/matcher.h"
 
 namespace tagmatch::broker {
 
@@ -51,6 +52,16 @@ struct Message {
 
 struct BrokerConfig {
   TagMatchConfig engine;  // match_staged_adds is forced on.
+  // Number of engine shards behind the broker. 1 = a single TagMatch;
+  // >1 = a ShardedTagMatch (src/shard/) with this many independent engines —
+  // consolidations then rebuild shards concurrently and only pause
+  // publishing once, for the scatter-gather flush.
+  unsigned engine_shards = 1;
+  // Per-query gather timeout of the sharded engine (engine_shards > 1 only):
+  // publishes whose slowest shard misses the budget deliver to the
+  // subscribers found so far (degraded delivery, counted by the engine).
+  // Zero waits for every shard.
+  std::chrono::milliseconds shard_query_timeout{0};
   // Bound on each subscriber's delivery queue.
   size_t max_queue_per_subscriber = 4096;
   // Period of the background consolidation folding subscription churn into
@@ -142,12 +153,14 @@ class Broker {
   };
 
   void deliver(const std::shared_ptr<const Message>& message,
-               const std::vector<TagMatch::Key>& subscription_keys);
+               const std::vector<Matcher::Key>& subscription_keys);
   void consolidate_loop();
   void run_consolidation();
 
   BrokerConfig config_;
-  std::unique_ptr<TagMatch> engine_;
+  // A TagMatch (engine_shards == 1) or a ShardedTagMatch behind the Matcher
+  // interface; the broker is indifferent to which.
+  std::unique_ptr<Matcher> engine_;
   // TagMatch forbids matching concurrently with consolidate(); publishers
   // hold this shared, the consolidator exclusive (it flushes first, so no
   // query is in flight while the index is rebuilt).

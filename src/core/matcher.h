@@ -1,0 +1,122 @@
+// Matcher — the abstract subset-matching engine interface, extracted from
+// TagMatch so that consumers (Broker, tagmatch_cli, tagmatch_server) can run
+// against either a single engine or a sharded deployment (src/shard/)
+// without caring which.
+//
+// The contract is TagMatch's (§2-§3 of the paper): add_set/remove_set stage
+// changes that become effective at consolidate(); match(q) returns the keys
+// of every indexed set s with s ⊆ q as a multiset, match_unique(q) the
+// deduplicated sorted key set; match_async feeds the pipeline without
+// blocking and invokes its callback exactly once per query on an internal
+// worker thread; flush() blocks until every in-flight query has completed.
+#ifndef TAGMATCH_CORE_MATCHER_H_
+#define TAGMATCH_CORE_MATCHER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+
+namespace tagmatch {
+
+class Matcher {
+ public:
+  using Key = uint32_t;
+  enum class MatchKind { kMatch, kMatchUnique };
+  // Invoked exactly once per query with its final key list (multiset for
+  // kMatch, deduplicated and sorted for kMatchUnique). Runs on a pipeline
+  // worker thread.
+  using MatchCallback = std::function<void(std::vector<Key>)>;
+
+  virtual ~Matcher() = default;
+
+  // --- Table maintenance (staged; effective after consolidate) ---
+  virtual void add_set(std::span<const std::string> tags, Key key) = 0;
+  virtual void add_set(const BloomFilter192& filter, Key key) = 0;
+  virtual void remove_set(std::span<const std::string> tags, Key key) = 0;
+  virtual void remove_set(const BloomFilter192& filter, Key key) = 0;
+  virtual void consolidate() = 0;
+
+  // --- Matching ---
+  virtual void match_async(const BloomFilter192& query, MatchKind kind,
+                           MatchCallback callback) = 0;
+  virtual void match_async(std::span<const std::string> tags, MatchKind kind,
+                           MatchCallback callback) = 0;
+  virtual std::vector<Key> match(const BloomFilter192& query) = 0;
+  virtual std::vector<Key> match_unique(const BloomFilter192& query) = 0;
+  virtual std::vector<Key> match(std::span<const std::string> tags) = 0;
+  virtual std::vector<Key> match_unique(std::span<const std::string> tags) = 0;
+
+  // --- Persistence ---
+  // Returns false on I/O or format error, leaving the live engine unchanged.
+  virtual bool save_index(const std::string& path) const = 0;
+  virtual bool load_index(const std::string& path) = 0;
+
+  // Pushes every partially-filled batch through the pipeline and blocks
+  // until all in-flight queries have completed.
+  virtual void flush() = 0;
+
+  // --- Introspection ---
+  struct Stats {
+    uint64_t unique_sets = 0;
+    uint64_t total_keys = 0;
+    uint64_t partitions = 0;
+    double last_consolidate_seconds = 0;
+    uint64_t queries_processed = 0;
+    uint64_t batches_submitted = 0;
+    uint64_t batch_overflows = 0;        // GPU result-buffer overflows (CPU fallback taken)
+    uint64_t exact_rejections = 0;       // Bloom false positives caught by the exact check
+    // --- Pipeline telemetry ---
+    uint64_t partitions_forwarded = 0;   // Total query->partition forwards (pre-process).
+    uint64_t batch_queries = 0;          // Queries over all submitted batches.
+    uint64_t result_pairs = 0;           // (query, set) pairs from the subset-match stage.
+    // Derived: partitions_forwarded / queries_processed = avg partitions per
+    // query; batch_queries / batches_submitted = avg batch fill.
+    double avg_partitions_per_query() const {
+      return queries_processed ? static_cast<double>(partitions_forwarded) /
+                                     static_cast<double>(queries_processed)
+                               : 0;
+    }
+    double avg_batch_fill() const {
+      return batches_submitted ? static_cast<double>(batch_queries) /
+                                     static_cast<double>(batches_submitted)
+                               : 0;
+    }
+
+    uint64_t host_key_table_bytes = 0;   // The key table (Fig. 9's dominant host component).
+    uint64_t host_partition_table_bytes = 0;
+    uint64_t host_buffer_bytes = 0;      // CPU<->GPU communication buffers.
+    uint64_t gpu_bytes = 0;              // Tagset tables + device buffers across all GPUs.
+
+    // Aggregation across independent shards: counters and byte fields sum;
+    // last_consolidate_seconds takes the max (shards consolidate
+    // concurrently, so the slowest shard is the wall time).
+    Stats& operator+=(const Stats& o) {
+      unique_sets += o.unique_sets;
+      total_keys += o.total_keys;
+      partitions += o.partitions;
+      last_consolidate_seconds = std::max(last_consolidate_seconds, o.last_consolidate_seconds);
+      queries_processed += o.queries_processed;
+      batches_submitted += o.batches_submitted;
+      batch_overflows += o.batch_overflows;
+      exact_rejections += o.exact_rejections;
+      partitions_forwarded += o.partitions_forwarded;
+      batch_queries += o.batch_queries;
+      result_pairs += o.result_pairs;
+      host_key_table_bytes += o.host_key_table_bytes;
+      host_partition_table_bytes += o.host_partition_table_bytes;
+      host_buffer_bytes += o.host_buffer_bytes;
+      gpu_bytes += o.gpu_bytes;
+      return *this;
+    }
+  };
+  virtual Stats stats() const = 0;
+};
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_CORE_MATCHER_H_

@@ -257,6 +257,17 @@ class TagMatchImpl {
     }
   }
 
+  void for_each_set(
+      const std::function<void(const BloomFilter192& filter, std::span<const Key> keys,
+                               std::span<const uint64_t> tag_hashes)>& fn) const {
+    std::lock_guard lock(staging_mu_);
+    for (const auto& [filter, entry] : table_) {
+      fn(BloomFilter192(filter), std::span<const Key>(entry.keys),
+         entry.has_hashes ? std::span<const uint64_t>(entry.tag_hashes)
+                          : std::span<const uint64_t>());
+    }
+  }
+
   TagMatch::Stats stats() const {
     TagMatch::Stats s;
     s.unique_sets = key_offsets_.empty() ? 0 : key_offsets_.size() - 1;
@@ -524,7 +535,7 @@ class TagMatchImpl {
   };
 
   // Staged updates and the master table (filter -> keys + exact hashes).
-  std::mutex staging_mu_;
+  mutable std::mutex staging_mu_;
   std::vector<StagedAdd> staged_adds_;
   std::vector<std::pair<BitVector192, Key>> staged_removes_;
   std::unordered_map<BitVector192, SetEntry, BitVector192Hash> table_;
@@ -765,6 +776,11 @@ std::vector<TagMatch::Key> TagMatch::match_unique(std::span<const std::string> t
 
 void TagMatch::flush() { impl_->flush(); }
 TagMatch::Stats TagMatch::stats() const { return impl_->stats(); }
+void TagMatch::for_each_set(
+    const std::function<void(const BloomFilter192&, std::span<const Key>,
+                             std::span<const uint64_t>)>& fn) const {
+  impl_->for_each_set(fn);
+}
 bool TagMatch::save_index(const std::string& path) const { return impl_->save_index(path); }
 bool TagMatch::load_index(const std::string& path) { return impl_->load_index(path); }
 

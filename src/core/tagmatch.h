@@ -30,22 +30,19 @@
 
 #include "src/bloom/bloom_filter.h"
 #include "src/core/config.h"
+#include "src/core/matcher.h"
 
 namespace tagmatch {
 
 class TagMatchImpl;
 
-class TagMatch {
+class TagMatch : public Matcher {
  public:
-  using Key = uint32_t;
-  enum class MatchKind { kMatch, kMatchUnique };
-  // Invoked exactly once per query with its final key list (multiset for
-  // kMatch, deduplicated and sorted for kMatchUnique). Runs on a pipeline
-  // worker thread.
-  using MatchCallback = std::function<void(std::vector<Key>)>;
+  // Key, MatchKind, MatchCallback and Stats are inherited from Matcher (the
+  // interface extracted from this class); TagMatch::Key etc. keep working.
 
   explicit TagMatch(TagMatchConfig config = TagMatchConfig{});
-  ~TagMatch();
+  ~TagMatch() override;
 
   TagMatch(const TagMatch&) = delete;
   TagMatch& operator=(const TagMatch&) = delete;
@@ -55,32 +52,33 @@ class TagMatch {
   // config.exact_check is on, enabling exact verification (no Bloom false
   // positives). The filter-only overloads register sets that skip
   // verification.
-  void add_set(std::span<const std::string> tags, Key key);
-  void add_set(const BloomFilter192& filter, Key key);
+  void add_set(std::span<const std::string> tags, Key key) override;
+  void add_set(const BloomFilter192& filter, Key key) override;
   // Pre-hashed variant for applications with non-string tag identifiers:
   // `tag_hashes` must be the stable per-tag hashes (one per tag, any order)
   // that queries will also supply.
   void add_set_hashed(const BloomFilter192& filter, std::span<const uint64_t> tag_hashes,
                       Key key);
-  void remove_set(std::span<const std::string> tags, Key key);
-  void remove_set(const BloomFilter192& filter, Key key);
-  void consolidate();
+  void remove_set(std::span<const std::string> tags, Key key) override;
+  void remove_set(const BloomFilter192& filter, Key key) override;
+  void consolidate() override;
 
   // Stable hash used by the string-tag convenience APIs for exact checking.
   static uint64_t tag_hash(std::string_view tag);
 
   // --- Matching ---
-  void match_async(const BloomFilter192& query, MatchKind kind, MatchCallback callback);
+  void match_async(const BloomFilter192& query, MatchKind kind, MatchCallback callback) override;
   // Exact-check-capable variant: `query_tag_hashes` are the hashes of the
   // query's tags (same hash space as add_set_hashed / tag_hash).
   void match_async_hashed(const BloomFilter192& query,
                           std::span<const uint64_t> query_tag_hashes, MatchKind kind,
                           MatchCallback callback);
-  void match_async(std::span<const std::string> tags, MatchKind kind, MatchCallback callback);
-  std::vector<Key> match(const BloomFilter192& query);
-  std::vector<Key> match_unique(const BloomFilter192& query);
-  std::vector<Key> match(std::span<const std::string> tags);
-  std::vector<Key> match_unique(std::span<const std::string> tags);
+  void match_async(std::span<const std::string> tags, MatchKind kind,
+                   MatchCallback callback) override;
+  std::vector<Key> match(const BloomFilter192& query) override;
+  std::vector<Key> match_unique(const BloomFilter192& query) override;
+  std::vector<Key> match(std::span<const std::string> tags) override;
+  std::vector<Key> match_unique(std::span<const std::string> tags) override;
 
   // --- Persistence ---
   // Saves the consolidated index (tagset table, partition masks, key table,
@@ -88,46 +86,24 @@ class TagMatch {
   // current database — after which matching and further add/remove +
   // consolidate cycles work as usual. Returns false on I/O or format error.
   // The format is native-endian and version-checked.
-  bool save_index(const std::string& path) const;
-  bool load_index(const std::string& path);
+  bool save_index(const std::string& path) const override;
+  bool load_index(const std::string& path) override;
 
   // Pushes every partially-filled batch through the pipeline and blocks
   // until all in-flight queries have completed.
-  void flush();
+  void flush() override;
 
   // --- Introspection ---
-  struct Stats {
-    uint64_t unique_sets = 0;
-    uint64_t total_keys = 0;
-    uint64_t partitions = 0;
-    double last_consolidate_seconds = 0;
-    uint64_t queries_processed = 0;
-    uint64_t batches_submitted = 0;
-    uint64_t batch_overflows = 0;        // GPU result-buffer overflows (CPU fallback taken)
-    uint64_t exact_rejections = 0;       // Bloom false positives caught by the exact check
-    // --- Pipeline telemetry ---
-    uint64_t partitions_forwarded = 0;   // Total query->partition forwards (pre-process).
-    uint64_t batch_queries = 0;          // Queries over all submitted batches.
-    uint64_t result_pairs = 0;           // (query, set) pairs from the subset-match stage.
-    // Derived: partitions_forwarded / queries_processed = avg partitions per
-    // query; batch_queries / batches_submitted = avg batch fill.
-    double avg_partitions_per_query() const {
-      return queries_processed ? static_cast<double>(partitions_forwarded) /
-                                     static_cast<double>(queries_processed)
-                               : 0;
-    }
-    double avg_batch_fill() const {
-      return batches_submitted ? static_cast<double>(batch_queries) /
-                                     static_cast<double>(batches_submitted)
-                               : 0;
-    }
+  Stats stats() const override;
 
-    uint64_t host_key_table_bytes = 0;   // The key table (Fig. 9's dominant host component).
-    uint64_t host_partition_table_bytes = 0;
-    uint64_t host_buffer_bytes = 0;      // CPU<->GPU communication buffers.
-    uint64_t gpu_bytes = 0;              // Tagset tables + device buffers across all GPUs.
-  };
-  Stats stats() const;
+  // Enumerates the consolidated database: one invocation per unique set,
+  // with the set's filter, its key multiset and its exact-check tag hashes
+  // (empty span when the set was registered filter-only). Staged (not yet
+  // consolidated) changes are not visited. Used by the sharded serving
+  // layer to redistribute a saved index across a different shard count.
+  void for_each_set(
+      const std::function<void(const BloomFilter192& filter, std::span<const Key> keys,
+                               std::span<const uint64_t> tag_hashes)>& fn) const;
 
  private:
   std::unique_ptr<TagMatchImpl> impl_;

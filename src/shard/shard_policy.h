@@ -1,0 +1,61 @@
+// ShardPolicy — placement of database sets onto engine shards.
+//
+// A policy maps (Bloom signature, application key) to a shard index and must
+// be *stable*: the same (filter, key) pair always lands on the same shard for
+// a given shard count, so remove_set reaches the copy that add_set created.
+//
+// The default SignatureHashPolicy hashes the 192-bit Bloom signature, which
+// co-locates all keys of one unique set on one shard (the engine then
+// deduplicates them into a single tagset-table entry, exactly as a single
+// engine would). KeyHashPolicy spreads keys of a popular set across shards
+// instead — better key-table balance under heavily skewed key multiplicity,
+// at the cost of duplicating the set's filter in several shards' tagset
+// tables. bench_shard_scaling compares the two.
+#ifndef TAGMATCH_SHARD_SHARD_POLICY_H_
+#define TAGMATCH_SHARD_SHARD_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bit_vector.h"
+#include "src/common/hash.h"
+#include "src/core/matcher.h"
+
+namespace tagmatch::shard {
+
+class ShardPolicy {
+ public:
+  virtual ~ShardPolicy() = default;
+  // Stable identifier persisted in the shard manifest; a loaded index whose
+  // policy name differs from the live one is redistributed on load.
+  virtual const char* name() const = 0;
+  virtual uint32_t shard_of(const BitVector192& filter, Matcher::Key key,
+                            uint32_t num_shards) const = 0;
+};
+
+// Default: stable hash of the Bloom signature's three blocks. Independent of
+// the key, so a set's whole key multiset shares a shard.
+class SignatureHashPolicy : public ShardPolicy {
+ public:
+  const char* name() const override { return "signature-hash"; }
+  uint32_t shard_of(const BitVector192& filter, Matcher::Key /*key*/,
+                    uint32_t num_shards) const override {
+    uint64_t h = mix64(filter.block(0) ^ mix64(filter.block(1) ^ mix64(filter.block(2))));
+    return static_cast<uint32_t>(h % num_shards);
+  }
+};
+
+// Alternative: hash of the application key only. Comparable via the policy
+// hook; see the header comment for the trade-off.
+class KeyHashPolicy : public ShardPolicy {
+ public:
+  const char* name() const override { return "key-hash"; }
+  uint32_t shard_of(const BitVector192& /*filter*/, Matcher::Key key,
+                    uint32_t num_shards) const override {
+    return static_cast<uint32_t>(mix64(key) % num_shards);
+  }
+};
+
+}  // namespace tagmatch::shard
+
+#endif  // TAGMATCH_SHARD_SHARD_POLICY_H_

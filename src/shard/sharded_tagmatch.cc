@@ -1,0 +1,477 @@
+#include "src/shard/sharded_tagmatch.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace tagmatch::shard {
+
+// Per-query gather state. `awaiting` counts shard responses still due; the
+// callback fires exactly once — when the count hits zero, or earlier when
+// the timeout thread sheds the stragglers.
+struct ShardedTagMatch::Gather {
+  MatchKind kind;
+  ResultCallback callback;
+  int64_t deadline_ns = 0;  // 0 = no timeout.
+  std::mutex mu;
+  std::vector<Key> keys;
+  uint32_t awaiting = 0;
+  bool fired = false;
+};
+
+ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(config)) {
+  TAGMATCH_CHECK(config_.num_shards >= 1);
+  policy_ = config_.policy ? config_.policy : std::make_shared<SignatureHashPolicy>();
+  shards_.reserve(config_.num_shards);
+  gates_.reserve(config_.num_shards);
+  for (unsigned i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<TagMatch>(config_.shard));
+    gates_.push_back(std::make_unique<std::shared_mutex>());
+  }
+  if (config_.query_timeout.count() > 0) {
+    timeout_thread_ = std::thread([this] { timeout_loop(); });
+  }
+}
+
+ShardedTagMatch::~ShardedTagMatch() {
+  flush();
+  {
+    std::lock_guard lock(timeout_mu_);
+    stopping_ = true;
+  }
+  timeout_cv_.notify_all();
+  if (timeout_thread_.joinable()) {
+    timeout_thread_.join();
+  }
+  shards_.clear();  // Each engine flushes and joins its pipeline.
+}
+
+// --- Table maintenance -----------------------------------------------------
+// Staging is routed immediately (the policy is stable, so a later
+// remove_set of the same (filter, key) reaches the same shard); it becomes
+// matchable per the underlying engines' semantics.
+
+void ShardedTagMatch::add_set(std::span<const std::string> tags, Key key) {
+  BloomFilter192 filter = BloomFilter192::of(tags);
+  shards_[shard_of(filter.bits(), key)]->add_set(tags, key);
+}
+
+void ShardedTagMatch::add_set(const BloomFilter192& filter, Key key) {
+  shards_[shard_of(filter.bits(), key)]->add_set(filter, key);
+}
+
+void ShardedTagMatch::add_set_hashed(const BloomFilter192& filter,
+                                     std::span<const uint64_t> tag_hashes, Key key) {
+  shards_[shard_of(filter.bits(), key)]->add_set_hashed(filter, tag_hashes, key);
+}
+
+void ShardedTagMatch::remove_set(std::span<const std::string> tags, Key key) {
+  BloomFilter192 filter = BloomFilter192::of(tags);
+  shards_[shard_of(filter.bits(), key)]->remove_set(tags, key);
+}
+
+void ShardedTagMatch::remove_set(const BloomFilter192& filter, Key key) {
+  shards_[shard_of(filter.bits(), key)]->remove_set(filter, key);
+}
+
+void ShardedTagMatch::consolidate() {
+  StopWatch watch;
+  if (config_.concurrent_consolidate && shards_.size() > 1) {
+    // Shards are independent: rebuild them in parallel. Each thread takes
+    // only its own shard's gate, so queries keep flowing to every shard
+    // that is not currently rebuilding.
+    std::vector<std::thread> rebuilders;
+    rebuilders.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      rebuilders.emplace_back([this, i] {
+        std::unique_lock gate(*gates_[i]);
+        shards_[i]->consolidate();
+      });
+    }
+    for (auto& t : rebuilders) {
+      t.join();
+    }
+  } else {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      std::unique_lock gate(*gates_[i]);
+      shards_[i]->consolidate();
+    }
+  }
+  wall_consolidate_seconds_ = watch.elapsed_s();
+}
+
+// --- Matching: scatter -----------------------------------------------------
+
+void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t> tag_hashes,
+                              MatchKind kind, ResultCallback callback) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  auto gather = std::make_shared<Gather>();
+  gather->kind = kind;
+  gather->callback = std::move(callback);
+  gather->awaiting = static_cast<uint32_t>(shards_.size());
+  if (config_.query_timeout.count() > 0) {
+    gather->deadline_ns =
+        now_ns() +
+        std::chrono::duration_cast<std::chrono::nanoseconds>(config_.query_timeout).count();
+    std::lock_guard lock(gathers_mu_);
+    gathers_.push_back(gather);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto on_shard = [this, gather](std::vector<Key> keys) { absorb(gather, std::move(keys)); };
+    std::shared_lock gate(*gates_[i]);
+    if (tag_hashes.empty()) {
+      shards_[i]->match_async(query, kind, std::move(on_shard));
+    } else {
+      shards_[i]->match_async_hashed(query, tag_hashes, kind, std::move(on_shard));
+    }
+  }
+}
+
+// --- Matching: gather ------------------------------------------------------
+
+void ShardedTagMatch::absorb(const std::shared_ptr<Gather>& gather, std::vector<Key> keys) {
+  std::unique_lock lock(gather->mu);
+  if (gather->fired) {
+    return;  // Timed out earlier; this response was already counted as shed.
+  }
+  gather->keys.insert(gather->keys.end(), keys.begin(), keys.end());
+  if (--gather->awaiting == 0) {
+    fire(gather, lock, /*partial=*/false);
+  }
+}
+
+void ShardedTagMatch::fire(const std::shared_ptr<Gather>& gather,
+                           std::unique_lock<std::mutex>& lock, bool partial) {
+  gather->fired = true;
+  std::vector<Key> keys = std::move(gather->keys);
+  ResultCallback callback = std::move(gather->callback);
+  MatchKind kind = gather->kind;
+  lock.unlock();
+  // Merge stage across shards: each shard already deduplicated its own
+  // results for kMatchUnique; a key can still arrive from several shards
+  // (key-hash placement, or duplicate filters split across shards), so
+  // dedupe globally.
+  if (kind == MatchKind::kMatchUnique) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  if (partial) {
+    partial_results_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (callback) {
+    callback(MatchResult{std::move(keys), partial});
+  }
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ShardedTagMatch::timeout_loop() {
+  const auto timeout = config_.query_timeout;
+  const auto tick = std::max(timeout / 4, std::chrono::milliseconds(1));
+  std::unique_lock lock(timeout_mu_);
+  while (!stopping_) {
+    timeout_cv_.wait_for(lock, tick, [&] { return stopping_; });
+    if (stopping_) {
+      return;
+    }
+    lock.unlock();
+    const int64_t now = now_ns();
+    std::vector<std::shared_ptr<Gather>> overdue;
+    {
+      std::lock_guard registry_lock(gathers_mu_);
+      for (auto it = gathers_.begin(); it != gathers_.end();) {
+        bool fired;
+        {
+          std::lock_guard g((*it)->mu);
+          fired = (*it)->fired;
+        }
+        if (fired) {
+          it = gathers_.erase(it);  // Completed since the last sweep.
+        } else if (now >= (*it)->deadline_ns) {
+          overdue.push_back(*it);
+          it = gathers_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const auto& gather : overdue) {
+      std::unique_lock g(gather->mu);
+      if (gather->fired) {
+        continue;  // Raced with the last shard response; it won.
+      }
+      shards_shed_.fetch_add(gather->awaiting, std::memory_order_relaxed);
+      fire(gather, g, /*partial=*/true);
+    }
+    lock.lock();
+  }
+}
+
+// --- Matcher match surface -------------------------------------------------
+
+void ShardedTagMatch::match_result_async(const BloomFilter192& query, MatchKind kind,
+                                         ResultCallback callback) {
+  scatter(query, {}, kind, std::move(callback));
+}
+
+void ShardedTagMatch::match_async(const BloomFilter192& query, MatchKind kind,
+                                  MatchCallback callback) {
+  scatter(query, {}, kind,
+          [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
+}
+
+void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind kind,
+                                  MatchCallback callback) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(tags.size());
+  for (const auto& t : tags) {
+    hashes.push_back(TagMatch::tag_hash(t));
+  }
+  scatter(BloomFilter192::of(tags), std::move(hashes), kind,
+          [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
+}
+
+std::vector<Matcher::Key> ShardedTagMatch::match_sync(const BloomFilter192& query,
+                                                      MatchKind kind,
+                                                      std::vector<uint64_t> tag_hashes) {
+  std::promise<std::vector<Key>> promise;
+  auto future = promise.get_future();
+  scatter(query, std::move(tag_hashes), kind,
+          [&promise](MatchResult result) { promise.set_value(std::move(result.keys)); });
+  flush();
+  return future.get();
+}
+
+std::vector<Matcher::Key> ShardedTagMatch::match(const BloomFilter192& query) {
+  return match_sync(query, MatchKind::kMatch, {});
+}
+std::vector<Matcher::Key> ShardedTagMatch::match_unique(const BloomFilter192& query) {
+  return match_sync(query, MatchKind::kMatchUnique, {});
+}
+std::vector<Matcher::Key> ShardedTagMatch::match(std::span<const std::string> tags) {
+  std::vector<uint64_t> hashes;
+  for (const auto& t : tags) {
+    hashes.push_back(TagMatch::tag_hash(t));
+  }
+  return match_sync(BloomFilter192::of(tags), MatchKind::kMatch, std::move(hashes));
+}
+std::vector<Matcher::Key> ShardedTagMatch::match_unique(std::span<const std::string> tags) {
+  std::vector<uint64_t> hashes;
+  for (const auto& t : tags) {
+    hashes.push_back(TagMatch::tag_hash(t));
+  }
+  return match_sync(BloomFilter192::of(tags), MatchKind::kMatchUnique, std::move(hashes));
+}
+
+void ShardedTagMatch::flush() {
+  for (;;) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      std::shared_lock gate(*gates_[i]);
+      shards_[i]->flush();
+    }
+    if (outstanding_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    // A scatter may have registered its gather but not reached every shard
+    // yet; yield and re-flush.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// --- Introspection ---------------------------------------------------------
+
+Matcher::Stats ShardedTagMatch::stats() const {
+  Stats total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock gate(*gates_[i]);
+    total += shards_[i]->stats();
+  }
+  return total;
+}
+
+ShardedTagMatch::ShardStats ShardedTagMatch::shard_stats() const {
+  ShardStats s;
+  s.per_shard.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock gate(*gates_[i]);
+    s.per_shard.push_back(shards_[i]->stats());
+    s.total += s.per_shard.back();
+  }
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.partial_results = partial_results_.load(std::memory_order_relaxed);
+  s.shards_shed = shards_shed_.load(std::memory_order_relaxed);
+  s.wall_consolidate_seconds = wall_consolidate_seconds_;
+  return s;
+}
+
+// --- Persistence -----------------------------------------------------------
+// Manifest layout (native-endian, version-checked like the engine index):
+//   u32 magic "TGSH" | u32 version | u32 shard count | string policy name |
+//   shard count x string shard file name (relative to the manifest's
+//   directory; save_index writes them next to the manifest).
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x48534754;  // "TGSH"
+constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kMaxManifestShards = 4096;
+constexpr uint32_t kMaxNameLen = 4096;
+
+void write_string(std::FILE* f, const std::string& s) {
+  uint32_t n = static_cast<uint32_t>(s.size());
+  std::fwrite(&n, sizeof(n), 1, f);
+  std::fwrite(s.data(), 1, n, f);
+}
+
+bool read_string(std::FILE* f, std::string& s) {
+  uint32_t n = 0;
+  if (std::fread(&n, sizeof(n), 1, f) != 1 || n > kMaxNameLen) {
+    return false;
+  }
+  s.resize(n);
+  return n == 0 || std::fread(s.data(), 1, n, f) == n;
+}
+
+std::string base_name(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string dir_name(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+struct Manifest {
+  uint32_t num_shards = 0;
+  std::string policy;
+  std::vector<std::string> files;  // Relative to the manifest's directory.
+};
+
+bool read_manifest(const std::string& path, Manifest& m) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  uint32_t magic = 0, version = 0;
+  bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fread(&version, sizeof(version), 1, f) == 1 && magic == kManifestMagic &&
+            version == kManifestVersion &&
+            std::fread(&m.num_shards, sizeof(m.num_shards), 1, f) == 1 && m.num_shards >= 1 &&
+            m.num_shards <= kMaxManifestShards && read_string(f, m.policy);
+  for (uint32_t i = 0; ok && i < m.num_shards; ++i) {
+    std::string name;
+    ok = read_string(f, name) && !name.empty();
+    m.files.push_back(std::move(name));
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+bool ShardedTagMatch::save_index(const std::string& path) const {
+  // Shard files first: a manifest only ever references files that exist.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock gate(*gates_[i]);
+    if (!shards_[i]->save_index(path + ".shard" + std::to_string(i))) {
+      return false;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fwrite(&kManifestMagic, sizeof(kManifestMagic), 1, f);
+  std::fwrite(&kManifestVersion, sizeof(kManifestVersion), 1, f);
+  uint32_t n = static_cast<uint32_t>(shards_.size());
+  std::fwrite(&n, sizeof(n), 1, f);
+  write_string(f, policy_->name());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    write_string(f, base_name(path) + ".shard" + std::to_string(i));
+  }
+  bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool ShardedTagMatch::load_index(const std::string& path) {
+  Manifest m;
+  if (!read_manifest(path, m)) {
+    return false;
+  }
+  const std::string dir = dir_name(path);
+  std::vector<std::string> shard_paths;
+  shard_paths.reserve(m.files.size());
+  for (const auto& name : m.files) {
+    shard_paths.push_back(dir + name);
+  }
+
+  // Everything loads into fresh engines; the live ones are replaced only
+  // after the whole manifest has resolved (a missing or corrupt shard file
+  // must not corrupt the serving state).
+  std::vector<std::unique_ptr<TagMatch>> fresh;
+  fresh.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    fresh.push_back(std::make_unique<TagMatch>(config_.shard));
+  }
+
+  if (m.num_shards == shards_.size() && m.policy == policy_->name()) {
+    // Fast path: same layout — each saved shard is one live shard.
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      if (!fresh[i]->load_index(shard_paths[i])) {
+        return false;
+      }
+    }
+  } else {
+    // Reshard: read every saved shard into a lightweight scratch engine and
+    // redistribute its sets under the live policy and shard count.
+    TagMatchConfig scratch_config;
+    scratch_config.cpu_only = true;
+    scratch_config.num_threads = 1;
+    for (const auto& shard_path : shard_paths) {
+      TagMatch scratch(scratch_config);
+      if (!scratch.load_index(shard_path)) {
+        return false;
+      }
+      scratch.for_each_set([&](const BloomFilter192& filter, std::span<const Key> keys,
+                               std::span<const uint64_t> tag_hashes) {
+        for (Key key : keys) {
+          TagMatch& target = *fresh[shard_of(filter.bits(), key)];
+          if (tag_hashes.empty()) {
+            target.add_set(filter, key);
+          } else {
+            target.add_set_hashed(filter, tag_hashes, key);
+          }
+        }
+      });
+    }
+    std::vector<std::thread> builders;
+    builders.reserve(fresh.size());
+    for (auto& engine : fresh) {
+      builders.emplace_back([&engine] { engine->consolidate(); });
+    }
+    for (auto& t : builders) {
+      t.join();
+    }
+  }
+  commit_engines(std::move(fresh));
+  return true;
+}
+
+void ShardedTagMatch::commit_engines(std::vector<std::unique_ptr<TagMatch>> fresh) {
+  flush();  // Complete outstanding gathers against the outgoing engines.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(gates_.size());
+  for (auto& gate : gates_) {
+    locks.emplace_back(*gate);
+  }
+  shards_.swap(fresh);
+  // `fresh` now holds the outgoing engines; their destructors flush and
+  // join after the gates release.
+}
+
+}  // namespace tagmatch::shard

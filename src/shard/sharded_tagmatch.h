@@ -1,0 +1,179 @@
+// ShardedTagMatch — the native sharded serving layer over N independent
+// TagMatch engine shards.
+//
+// Motivation (§4.4, Fig. 11): the paper shards MongoDB and measures the
+// architecture tax of scatter-gather over a general-purpose store (linear to
+// 8 instances, ~3x overall at 24). This module is the same deployment shape
+// built natively: sets are placed on shards by a stable hash of their Bloom
+// signature (pluggable — see shard_policy.h), queries scatter to every shard
+// through the engines' asynchronous pipelines, and a per-query gather merges
+// the shard results while preserving the engine's exactly-once callback
+// contract.
+//
+// What sharding buys over one big engine:
+//  * consolidate() rebuilds all shards concurrently — total rebuild
+//    wall-time drops to the slowest shard, and matching against shard A
+//    proceeds while shard B rebuilds (per-shard gates, no global stall);
+//  * each shard's tagset table, key table and GPU footprint is ~1/N of the
+//    whole, so databases past a single engine's memory ceiling fit;
+//  * an optional per-query shard timeout sheds slow shards: the gather then
+//    delivers what arrived with MatchResult::partial set, bounding tail
+//    latency at the cost of completeness (degraded-result contract).
+//
+// Persistence writes one manifest plus one index file per shard; a saved
+// N-shard index loads into an M-shard instance by redistributing sets under
+// the live policy (resharding on load).
+#ifndef TAGMATCH_SHARD_SHARDED_TAGMATCH_H_
+#define TAGMATCH_SHARD_SHARDED_TAGMATCH_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/matcher.h"
+#include "src/core/tagmatch.h"
+#include "src/shard/shard_policy.h"
+
+namespace tagmatch::shard {
+
+struct ShardedConfig {
+  // Number of independent engine shards. Fixed for the instance's lifetime;
+  // load_index reshards a manifest saved with a different count.
+  unsigned num_shards = 2;
+  // Engine configuration applied to every shard.
+  TagMatchConfig shard;
+  // Set placement; defaults to SignatureHashPolicy (see shard_policy.h).
+  std::shared_ptr<const ShardPolicy> policy;
+  // Per-query gather timeout. When a query's shard responses have not all
+  // arrived within this budget, the gather fires with what it has and
+  // MatchResult::partial set; late responses are dropped (counted in
+  // ShardStats::shards_shed). Zero waits indefinitely (exact results).
+  std::chrono::milliseconds query_timeout{0};
+  // Rebuild shards in parallel during consolidate(). Disable to measure the
+  // sequential-rebuild baseline (bench_shard_scaling reports both).
+  bool concurrent_consolidate = true;
+};
+
+class ShardedTagMatch : public Matcher {
+ public:
+  explicit ShardedTagMatch(ShardedConfig config = ShardedConfig{});
+  ~ShardedTagMatch() override;
+
+  ShardedTagMatch(const ShardedTagMatch&) = delete;
+  ShardedTagMatch& operator=(const ShardedTagMatch&) = delete;
+
+  // --- Table maintenance (staged; effective after consolidate) ---
+  void add_set(std::span<const std::string> tags, Key key) override;
+  void add_set(const BloomFilter192& filter, Key key) override;
+  void add_set_hashed(const BloomFilter192& filter, std::span<const uint64_t> tag_hashes,
+                      Key key);
+  void remove_set(std::span<const std::string> tags, Key key) override;
+  void remove_set(const BloomFilter192& filter, Key key) override;
+  // Rebuilds every shard (concurrently by default); per-shard gates keep
+  // matching live on shards that are not currently rebuilding.
+  void consolidate() override;
+
+  // --- Matching ---
+  // Scatter to all shards, gather exactly once per query. The degraded
+  // result surface: partial is true iff the gather timed out and shed at
+  // least one shard's response.
+  struct MatchResult {
+    std::vector<Key> keys;
+    bool partial = false;
+  };
+  using ResultCallback = std::function<void(MatchResult)>;
+  void match_result_async(const BloomFilter192& query, MatchKind kind, ResultCallback callback);
+
+  // Matcher surface; the callback receives keys only (partial results are
+  // still delivered — inspect ShardStats to observe shedding).
+  void match_async(const BloomFilter192& query, MatchKind kind, MatchCallback callback) override;
+  void match_async(std::span<const std::string> tags, MatchKind kind,
+                   MatchCallback callback) override;
+  std::vector<Key> match(const BloomFilter192& query) override;
+  std::vector<Key> match_unique(const BloomFilter192& query) override;
+  std::vector<Key> match(std::span<const std::string> tags) override;
+  std::vector<Key> match_unique(std::span<const std::string> tags) override;
+
+  // --- Persistence ---
+  // save_index writes `path` (the manifest: shard count, policy name, shard
+  // file names) plus `path`.shard<i> per shard. load_index restores a
+  // manifest saved with the same shard count and policy directly; any other
+  // manifest is resharded: every saved shard is read back and its sets
+  // redistributed across this instance's shards under the live policy.
+  // Returns false on I/O or format error without touching the live engines.
+  bool save_index(const std::string& path) const override;
+  bool load_index(const std::string& path) override;
+
+  void flush() override;
+
+  // --- Introspection ---
+  Stats stats() const override;  // Aggregated over shards (Stats::operator+=).
+
+  struct ShardStats {
+    Matcher::Stats total;
+    std::vector<Matcher::Stats> per_shard;
+    uint64_t queries = 0;          // Gathers started.
+    uint64_t partial_results = 0;  // Gathers fired by timeout (degraded).
+    uint64_t shards_shed = 0;      // Shard responses outstanding at timeout.
+    double wall_consolidate_seconds = 0;  // Last consolidate(), end to end.
+  };
+  ShardStats shard_stats() const;
+
+  unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
+  const ShardPolicy& policy() const { return *policy_; }
+
+ private:
+  struct Gather;
+
+  uint32_t shard_of(const BitVector192& filter, Key key) const {
+    return policy_->shard_of(filter, key, static_cast<uint32_t>(shards_.size()));
+  }
+  void scatter(const BloomFilter192& query, std::vector<uint64_t> tag_hashes, MatchKind kind,
+               ResultCallback callback);
+  void absorb(const std::shared_ptr<Gather>& gather, std::vector<Key> keys);
+  // Fires the gather's callback exactly once; `lock` must hold gather->mu
+  // and is released before the callback runs.
+  void fire(const std::shared_ptr<Gather>& gather, std::unique_lock<std::mutex>& lock,
+            bool partial);
+  void timeout_loop();
+  // Swaps in freshly loaded engines; takes every shard gate exclusively.
+  void commit_engines(std::vector<std::unique_ptr<TagMatch>> fresh);
+  std::vector<Key> match_sync(const BloomFilter192& query, MatchKind kind,
+                              std::vector<uint64_t> tag_hashes);
+
+  ShardedConfig config_;
+  std::shared_ptr<const ShardPolicy> policy_;
+  std::vector<std::unique_ptr<TagMatch>> shards_;
+  // Per-shard gate: matchers hold it shared around submission, consolidate/
+  // load hold it exclusive while that shard's index rebuilds (the broker's
+  // publish_mu_ pattern, but per shard — the point of independent shards).
+  std::vector<std::unique_ptr<std::shared_mutex>> gates_;
+
+  // Outstanding gathers, registered only when query_timeout is enabled; the
+  // timeout thread sweeps fired entries and sheds overdue ones.
+  mutable std::mutex gathers_mu_;
+  std::list<std::shared_ptr<Gather>> gathers_;
+  std::thread timeout_thread_;
+  std::mutex timeout_mu_;
+  std::condition_variable timeout_cv_;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> outstanding_{0};  // Gathers not yet fired.
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> partial_results_{0};
+  std::atomic<uint64_t> shards_shed_{0};
+  double wall_consolidate_seconds_ = 0;
+};
+
+}  // namespace tagmatch::shard
+
+#endif  // TAGMATCH_SHARD_SHARDED_TAGMATCH_H_

@@ -12,23 +12,35 @@
 //   tagmatch_cli stats <index.bin>
 //       Print index statistics.
 //
+// Every command accepts `--shards N` (anywhere on the line): build/query/
+// bench/stats then run a ShardedTagMatch over N engine shards instead of a
+// single engine. A sharded `build` writes a manifest plus one index file per
+// shard; loading a manifest with a different N redistributes the sets
+// (resharding on load). Plain single-engine index files and shard manifests
+// are distinct formats — query an index with the engine kind that built it,
+// or any --shards value for manifests (resharded automatically).
+//
 // Exit status: 0 on success, 1 on usage or I/O errors.
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/core/matcher.h"
 #include "src/core/tagmatch.h"
+#include "src/shard/sharded_tagmatch.h"
 #include "src/workload/tags.h"
 #include "src/workload/twitter_workload.h"
 
 namespace {
 
 using tagmatch::BloomFilter192;
+using tagmatch::Matcher;
 using tagmatch::TagMatch;
 
 std::vector<std::string> split_tags(const std::string& csv) {
@@ -48,6 +60,34 @@ tagmatch::TagMatchConfig cli_config() {
   config.num_threads = 2;
   config.gpu_sms_per_device = 2;
   return config;
+}
+
+// Strips a `--shards N` option (if present) out of argv, returning N (1 =
+// single engine). Mutates argc/argv so the positional parsing below is
+// oblivious to it.
+unsigned strip_shards_option(int& argc, char** argv) {
+  unsigned shards = 1;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return shards == 0 ? 1 : shards;
+}
+
+std::unique_ptr<Matcher> make_engine(unsigned shards) {
+  if (shards <= 1) {
+    return std::make_unique<TagMatch>(cli_config());
+  }
+  tagmatch::shard::ShardedConfig config;
+  config.num_shards = shards;
+  config.shard = cli_config();
+  return std::make_unique<tagmatch::shard::ShardedTagMatch>(config);
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -95,9 +135,11 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
-int cmd_build(int argc, char** argv) {
+int cmd_build(int argc, char** argv, unsigned shards) {
   if (argc < 4) {
-    std::fprintf(stderr, "usage: tagmatch_cli build <sets.tsv> <index.bin> [max_partition_size]\n");
+    std::fprintf(stderr,
+                 "usage: tagmatch_cli build <sets.tsv> <index.bin> [max_partition_size]"
+                 " [--shards N]\n");
     return 1;
   }
   std::ifstream in(argv[2]);
@@ -109,7 +151,15 @@ int cmd_build(int argc, char** argv) {
   if (argc > 4) {
     config.max_partition_size = static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10));
   }
-  TagMatch engine(config);
+  std::unique_ptr<Matcher> engine;
+  if (shards <= 1) {
+    engine = std::make_unique<TagMatch>(config);
+  } else {
+    tagmatch::shard::ShardedConfig sharded;
+    sharded.num_shards = shards;
+    sharded.shard = config;
+    engine = std::make_unique<tagmatch::shard::ShardedTagMatch>(sharded);
+  }
   std::string line;
   size_t count = 0;
   while (std::getline(in, line)) {
@@ -123,16 +173,17 @@ int cmd_build(int argc, char** argv) {
     }
     uint32_t key = static_cast<uint32_t>(std::strtoul(line.substr(0, tab).c_str(), nullptr, 10));
     std::vector<std::string> tags = split_tags(line.substr(tab + 1));
-    engine.add_set(tags, key);
+    engine->add_set(tags, key);
     ++count;
   }
   tagmatch::StopWatch watch;
-  engine.consolidate();
-  auto stats = engine.stats();
-  std::printf("indexed %zu sets (%llu unique) into %llu partitions in %.2f s\n", count,
-              static_cast<unsigned long long>(stats.unique_sets),
-              static_cast<unsigned long long>(stats.partitions), watch.elapsed_s());
-  if (!engine.save_index(argv[3])) {
+  engine->consolidate();
+  auto stats = engine->stats();
+  std::printf("indexed %zu sets (%llu unique) into %llu partitions (%u shard%s) in %.2f s\n",
+              count, static_cast<unsigned long long>(stats.unique_sets),
+              static_cast<unsigned long long>(stats.partitions), shards, shards == 1 ? "" : "s",
+              watch.elapsed_s());
+  if (!engine->save_index(argv[3])) {
     std::fprintf(stderr, "cannot write index %s\n", argv[3]);
     return 1;
   }
@@ -140,14 +191,15 @@ int cmd_build(int argc, char** argv) {
   return 0;
 }
 
-int cmd_query(int argc, char** argv) {
+int cmd_query(int argc, char** argv, unsigned shards) {
   if (argc < 4) {
-    std::fprintf(stderr, "usage: tagmatch_cli query <index.bin> <queries.tsv> [--unique]\n");
+    std::fprintf(stderr,
+                 "usage: tagmatch_cli query <index.bin> <queries.tsv> [--unique] [--shards N]\n");
     return 1;
   }
   bool unique = argc > 4 && std::strcmp(argv[4], "--unique") == 0;
-  TagMatch engine(cli_config());
-  if (!engine.load_index(argv[2])) {
+  std::unique_ptr<Matcher> engine = make_engine(shards);
+  if (!engine->load_index(argv[2])) {
     std::fprintf(stderr, "cannot load index %s\n", argv[2]);
     return 1;
   }
@@ -164,9 +216,9 @@ int cmd_query(int argc, char** argv) {
       continue;
     }
     std::vector<std::string> tags = split_tags(line);
-    std::vector<TagMatch::Key> keys =
-        unique ? engine.match_unique(std::span<const std::string>(tags))
-               : engine.match(std::span<const std::string>(tags));
+    std::vector<Matcher::Key> keys =
+        unique ? engine->match_unique(std::span<const std::string>(tags))
+               : engine->match(std::span<const std::string>(tags));
     std::printf("%zu", keys.size());
     for (auto k : keys) {
       std::printf(" %u", k);
@@ -179,13 +231,14 @@ int cmd_query(int argc, char** argv) {
   return 0;
 }
 
-int cmd_bench(int argc, char** argv) {
+int cmd_bench(int argc, char** argv, unsigned shards) {
   if (argc < 4) {
-    std::fprintf(stderr, "usage: tagmatch_cli bench <index.bin> <queries.tsv> [repeat]\n");
+    std::fprintf(stderr,
+                 "usage: tagmatch_cli bench <index.bin> <queries.tsv> [repeat] [--shards N]\n");
     return 1;
   }
-  TagMatch engine(cli_config());
-  if (!engine.load_index(argv[2])) {
+  std::unique_ptr<Matcher> engine = make_engine(shards);
+  if (!engine->load_index(argv[2])) {
     std::fprintf(stderr, "cannot load index %s\n", argv[2]);
     return 1;
   }
@@ -211,35 +264,35 @@ int cmd_bench(int argc, char** argv) {
     std::atomic<uint64_t> keys{0};
     tagmatch::StopWatch watch;
     for (const auto& q : queries) {
-      engine.match_async(q, TagMatch::MatchKind::kMatchUnique,
-                         [&keys](std::vector<TagMatch::Key> k) {
-                           keys.fetch_add(k.size(), std::memory_order_relaxed);
-                         });
+      engine->match_async(q, Matcher::MatchKind::kMatchUnique,
+                          [&keys](std::vector<Matcher::Key> k) {
+                            keys.fetch_add(k.size(), std::memory_order_relaxed);
+                          });
     }
-    engine.flush();
+    engine->flush();
     double secs = watch.elapsed_s();
     std::printf("round %u: %zu queries in %.3f s -> %.0f q/s, %.0f keys/s\n", round,
                 queries.size(), secs, queries.size() / secs,
                 static_cast<double>(keys.load()) / secs);
   }
-  auto s = engine.stats();
+  auto s = engine->stats();
   std::printf("avg partitions/query %.2f, avg batch fill %.1f, overflows %llu\n",
               s.avg_partitions_per_query(), s.avg_batch_fill(),
               static_cast<unsigned long long>(s.batch_overflows));
   return 0;
 }
 
-int cmd_stats(int argc, char** argv) {
+int cmd_stats(int argc, char** argv, unsigned shards) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: tagmatch_cli stats <index.bin>\n");
+    std::fprintf(stderr, "usage: tagmatch_cli stats <index.bin> [--shards N]\n");
     return 1;
   }
-  TagMatch engine(cli_config());
-  if (!engine.load_index(argv[2])) {
+  std::unique_ptr<Matcher> engine = make_engine(shards);
+  if (!engine->load_index(argv[2])) {
     std::fprintf(stderr, "cannot load index %s\n", argv[2]);
     return 1;
   }
-  auto s = engine.stats();
+  auto s = engine->stats();
   std::printf("unique sets:          %llu\n", static_cast<unsigned long long>(s.unique_sets));
   std::printf("total keys:           %llu\n", static_cast<unsigned long long>(s.total_keys));
   std::printf("partitions:           %llu\n", static_cast<unsigned long long>(s.partitions));
@@ -254,14 +307,17 @@ int cmd_stats(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned shards = strip_shards_option(argc, argv);
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: tagmatch_cli <generate|build|query|stats> ...\n"
+                 "usage: tagmatch_cli <generate|build|query|stats> ... [--shards N]\n"
                  "  generate <sets.tsv> <queries.tsv> [users] [queries]\n"
                  "  build    <sets.tsv> <index.bin> [max_partition_size]\n"
                  "  query    <index.bin> <queries.tsv> [--unique]\n"
                  "  bench    <index.bin> <queries.tsv> [repeat]\n"
-                 "  stats    <index.bin>\n");
+                 "  stats    <index.bin>\n"
+                 "  --shards N: run a sharded engine (N shards); build writes a manifest\n"
+                 "              plus per-shard index files, loads reshard automatically\n");
     return 1;
   }
   const std::string cmd = argv[1];
@@ -269,16 +325,16 @@ int main(int argc, char** argv) {
     return cmd_generate(argc, argv);
   }
   if (cmd == "build") {
-    return cmd_build(argc, argv);
+    return cmd_build(argc, argv, shards);
   }
   if (cmd == "query") {
-    return cmd_query(argc, argv);
+    return cmd_query(argc, argv, shards);
   }
   if (cmd == "bench") {
-    return cmd_bench(argc, argv);
+    return cmd_bench(argc, argv, shards);
   }
   if (cmd == "stats") {
-    return cmd_stats(argc, argv);
+    return cmd_stats(argc, argv, shards);
   }
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 1;

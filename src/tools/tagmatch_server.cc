@@ -1,7 +1,9 @@
 // tagmatch_server — standalone TagBroker service over TCP.
 //
-// Usage: tagmatch_server [port]
+// Usage: tagmatch_server [port] [--shards N]
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
+//   --shards N: back the broker with a sharded engine (N independent
+//               TagMatch shards, scatter-gather matching; default 1).
 //
 // Protocol (newline-delimited; see src/net/wire.h):
 //   SUB a,b,c        -> OK <id>       subscribe this connection
@@ -14,6 +16,7 @@
 // Runs until stdin closes or SIGTERM. Prints periodic stats to stderr.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/broker/broker.h"
@@ -21,21 +24,30 @@
 
 int main(int argc, char** argv) {
   uint16_t port = 7077;
-  if (argc > 1) {
-    port = static_cast<uint16_t>(std::strtoul(argv[1], nullptr, 10));
+  unsigned shards = 1;
+  bool port_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!port_seen) {
+      port = static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
+      port_seen = true;
+    }
   }
 
   tagmatch::broker::BrokerConfig config;
   config.engine.num_threads = 2;
   config.engine.gpu_sms_per_device = 2;
   config.consolidate_interval = std::chrono::milliseconds(250);
+  config.engine_shards = shards == 0 ? 1 : shards;
   tagmatch::broker::Broker broker(config);
   tagmatch::net::BrokerServer server(&broker, port);
   if (!server.listening()) {
     std::fprintf(stderr, "cannot listen on port %u\n", port);
     return 1;
   }
-  std::printf("tagmatch_server listening on 127.0.0.1:%u\n", server.port());
+  std::printf("tagmatch_server listening on 127.0.0.1:%u (%u engine shard%s)\n", server.port(),
+              config.engine_shards, config.engine_shards == 1 ? "" : "s");
   std::fflush(stdout);
 
   // Serve until stdin closes (EOF), printing stats per line of input.

@@ -223,7 +223,9 @@ namespace {
 
 class BrokerPersistence : public ::testing::Test {
  protected:
-  std::string prefix_ = ::testing::TempDir() + "/broker_state";
+  // Unique per test: ctest runs each case as its own concurrent process.
+  std::string prefix_ = ::testing::TempDir() + "/broker_state_" +
+                        ::testing::UnitTest::GetInstance()->current_test_info()->name();
   void TearDown() override {
     std::remove((prefix_ + ".idx").c_str());
     std::remove((prefix_ + ".subs").c_str());

@@ -135,7 +135,9 @@ TEST(ExactCheck, HashedApiRoundTrip) {
 
 class PersistenceTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "/tagmatch_index.bin";
+  // Unique per test: ctest runs each case as its own concurrent process.
+  std::string path_ = ::testing::TempDir() + "/tagmatch_index_" +
+                      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

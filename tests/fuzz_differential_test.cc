@@ -10,6 +10,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/tagmatch.h"
+#include "src/shard/sharded_tagmatch.h"
 #include "src/workload/tags.h"
 
 namespace tagmatch {
@@ -172,6 +173,72 @@ TEST_P(FuzzDifferential, RandomOpSequencesAgree) {
       std::sort(got.begin(), got.end());
       ASSERT_EQ(got, model.match(q)) << "seed " << GetParam() << " op " << op;
       ASSERT_EQ(engine.match_unique(BloomFilter192(q)), model.match_unique(q));
+    }
+  }
+}
+
+// Differential over the sharded serving layer: ShardedTagMatch with 1, 2 and
+// 4 shards must return exactly the single engine's key multisets on the same
+// op sequence. Matching here deliberately does NOT align consolidation state
+// first: when the drawn config has match_staged_adds, staged visibility must
+// agree shard-for-shard with the single engine as well.
+TEST_P(FuzzDifferential, ShardedAgreesWithSingleEngine) {
+  Rng rng(GetParam() * 7919 + 17);
+  TagMatchConfig config = random_config(rng);
+  TagMatch single(config);
+
+  std::vector<std::unique_ptr<shard::ShardedTagMatch>> sharded;
+  for (unsigned n : {1u, 2u, 4u}) {
+    shard::ShardedConfig sc;
+    sc.num_shards = n;
+    sc.shard = config;
+    if (rng.chance(0.5)) {
+      sc.policy = std::make_shared<shard::KeyHashPolicy>();
+    }
+    sharded.push_back(std::make_unique<shard::ShardedTagMatch>(sc));
+  }
+
+  const uint32_t universe = 50 + static_cast<uint32_t>(rng.below(200));
+  std::vector<std::pair<BitVector192, Key>> added;
+
+  const int ops = 150;
+  for (int op = 0; op < ops; ++op) {
+    double roll = rng.uniform();
+    if (roll < 0.45) {
+      BitVector192 f = random_filter(rng, universe, 4);
+      Key k = static_cast<Key>(rng.below(50));
+      single.add_set(BloomFilter192(f), k);
+      for (auto& s : sharded) {
+        s->add_set(BloomFilter192(f), k);
+      }
+      added.emplace_back(f, k);
+    } else if (roll < 0.55 && !added.empty()) {
+      auto& [f, k] = added[rng.below(added.size())];
+      single.remove_set(BloomFilter192(f), k);
+      for (auto& s : sharded) {
+        s->remove_set(BloomFilter192(f), k);
+      }
+    } else if (roll < 0.65) {
+      single.consolidate();
+      for (auto& s : sharded) {
+        s->consolidate();
+      }
+    } else {
+      BitVector192 q = random_filter(rng, universe, 8);
+      if (rng.chance(0.5) && !added.empty()) {
+        q |= added[rng.below(added.size())].first;
+      }
+      auto want = single.match(BloomFilter192(q));
+      std::sort(want.begin(), want.end());
+      auto want_unique = single.match_unique(BloomFilter192(q));
+      for (auto& s : sharded) {
+        auto got = s->match(BloomFilter192(q));
+        std::sort(got.begin(), got.end());
+        ASSERT_EQ(got, want) << "seed " << GetParam() << " op " << op << " shards "
+                             << s->num_shards() << " policy " << s->policy().name();
+        ASSERT_EQ(s->match_unique(BloomFilter192(q)), want_unique)
+            << "seed " << GetParam() << " op " << op << " shards " << s->num_shards();
+      }
     }
   }
 }

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -454,6 +455,79 @@ TEST(TagMatchTelemetry, StageCountersTrackPipelineFlow) {
   EXPECT_GT(stats.avg_batch_fill(), 0.0);
   EXPECT_LE(stats.avg_batch_fill(), 4.0);
   EXPECT_GE(stats.avg_partitions_per_query(), 1.0);
+}
+
+// ------------------------------------------------- persistence error paths
+//
+// load_index on a damaged file must return false and leave the live,
+// already-consolidated engine fully functional (see also
+// features_test.cc::PersistenceTest for the happy paths).
+
+class IndexErrorPathTest : public ::testing::Test {
+ protected:
+  // Unique per test: ctest runs each case as its own concurrent process.
+  std::string path_ = ::testing::TempDir() + "/tagmatch_errpath_" +
+                      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Builds a live engine plus a valid index file for it at path_.
+  void build(TagMatch& tm) {
+    std::vector<std::string> s = {"live"};
+    tm.add_set(s, 42);
+    tm.consolidate();
+    ASSERT_TRUE(tm.save_index(path_));
+  }
+
+  void expect_alive(TagMatch& tm) {
+    std::vector<std::string> q = {"live", "extra"};
+    EXPECT_EQ(tm.match(q), (std::vector<Key>{42}));
+  }
+
+  // Overwrites 4 bytes at `offset` in the saved index.
+  void stamp(long offset, uint32_t value) {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fwrite(&value, sizeof(value), 1, f);
+    std::fclose(f);
+  }
+
+  void truncate_to(size_t bytes) {
+    std::FILE* in = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    std::vector<char> head(bytes);
+    ASSERT_EQ(std::fread(head.data(), 1, bytes, in), bytes);
+    std::fclose(in);
+    std::FILE* out = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(head.data(), 1, bytes, out);
+    std::fclose(out);
+  }
+};
+
+TEST_F(IndexErrorPathTest, TruncatedFileRejected) {
+  TagMatch tm(test_config());
+  build(tm);
+  // Header survives but the table payload is cut short.
+  truncate_to(16);
+  EXPECT_FALSE(tm.load_index(path_));
+  expect_alive(tm);
+}
+
+TEST_F(IndexErrorPathTest, WrongMagicRejected) {
+  TagMatch tm(test_config());
+  build(tm);
+  stamp(0, 0x4b4e554a);  // "JUNK"
+  EXPECT_FALSE(tm.load_index(path_));
+  expect_alive(tm);
+}
+
+TEST_F(IndexErrorPathTest, WrongVersionRejected) {
+  TagMatch tm(test_config());
+  build(tm);
+  stamp(4, 999);  // Version field follows the magic.
+  EXPECT_FALSE(tm.load_index(path_));
+  expect_alive(tm);
 }
 
 }  // namespace
