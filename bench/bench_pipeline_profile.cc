@@ -30,6 +30,10 @@ void run() {
   std::printf("throughput: %.2f Kq/s over %llu queries\n", result.kqps(),
               static_cast<unsigned long long>(result.queries));
 
+  // Per-stage latency breakdown from the engine's metrics registry
+  // (src/obs) — the same renderer the STATS wire verb and --stats-json use.
+  std::printf("\n%s\n", tm.metrics_snapshot().to_text().c_str());
+
   // Rebuild a bare engine to read its profile (TagMatch owns its engine
   // privately; measure the same traffic directly).
   std::atomic<uint64_t> delivered{0};

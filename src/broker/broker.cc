@@ -4,12 +4,18 @@
 #include <cstdio>
 
 #include "src/common/check.h"
+#include "src/common/stats.h"
 #include "src/shard/sharded_tagmatch.h"
 
 namespace tagmatch::broker {
 
 Broker::Broker(BrokerConfig config) : config_(std::move(config)) {
   config_.engine.match_staged_adds = true;  // Immediate subscriptions rely on it.
+  published_ = metrics_.counter("broker.published");
+  deliveries_ = metrics_.counter("broker.deliveries");
+  dropped_ = metrics_.counter("broker.dropped");
+  consolidations_ = metrics_.counter("broker.consolidations");
+  publish_latency_ = metrics_.histogram("broker.publish_latency_ns");
   if (config_.engine_shards > 1) {
     shard::ShardedConfig sharded;
     sharded.num_shards = config_.engine_shards;
@@ -104,13 +110,18 @@ void Broker::unsubscribe(SubscriberId subscriber, SubscriptionId subscription) {
 }
 
 void Broker::publish(Message message) {
-  published_.fetch_add(1, std::memory_order_relaxed);
+  published_->inc();
   auto shared_message = std::make_shared<const Message>(std::move(message));
+  const int64_t publish_ns = now_ns();
   std::shared_lock gate(publish_mu_);
   engine_->match_async(
       std::span<const std::string>(shared_message->tags), Matcher::MatchKind::kMatchUnique,
-      [this, shared_message](std::vector<Matcher::Key> subscription_keys) {
+      [this, shared_message, publish_ns](std::vector<Matcher::Key> subscription_keys) {
         deliver(shared_message, subscription_keys);
+        // Publish-to-queue latency: accept to every subscriber queue written
+        // (the full broker-side path; consumer poll time is not included).
+        publish_latency_->record(
+            static_cast<uint64_t>(std::max<int64_t>(0, now_ns() - publish_ns)));
       });
 }
 
@@ -146,7 +157,7 @@ void Broker::deliver(const std::shared_ptr<const Message>& message,
     }
     if (sub->queue.size() >= config_.max_queue_per_subscriber) {
       if (config_.drop_on_overflow) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+        dropped_->inc();
         continue;
       }
       sub->cv.wait(lock, [&] {
@@ -157,7 +168,7 @@ void Broker::deliver(const std::shared_ptr<const Message>& message,
       }
     }
     sub->queue.push_back(message);
-    deliveries_.fetch_add(1, std::memory_order_relaxed);
+    deliveries_->inc();
     sub->cv.notify_one();
   }
 }
@@ -244,7 +255,7 @@ void Broker::run_consolidation() {
     staged_churn_ = 0;
   }
   engine_->consolidate();
-  consolidations_.fetch_add(1, std::memory_order_relaxed);
+  consolidations_->inc();
 }
 
 void Broker::consolidate_loop() {
@@ -384,10 +395,10 @@ bool Broker::load(const std::string& path_prefix) {
 
 Broker::Stats Broker::stats() const {
   Stats s;
-  s.published = published_.load(std::memory_order_relaxed);
-  s.deliveries = deliveries_.load(std::memory_order_relaxed);
-  s.dropped = dropped_.load(std::memory_order_relaxed);
-  s.consolidations = consolidations_.load(std::memory_order_relaxed);
+  s.published = published_->value();
+  s.deliveries = deliveries_->value();
+  s.dropped = dropped_->value();
+  s.consolidations = consolidations_->value();
   std::lock_guard lock(registry_mu_);
   s.subscribers = subscribers_.size();
   for (const auto& [id, sub] : subscriptions_) {
@@ -397,5 +408,18 @@ Broker::Stats Broker::stats() const {
   }
   return s;
 }
+
+obs::MetricsSnapshot Broker::metrics_snapshot() const {
+  // Refresh the population gauges at snapshot time (they track the live
+  // subscriber registry, not a counter stream).
+  Stats s = stats();
+  metrics_.gauge("broker.subscribers")->set(static_cast<int64_t>(s.subscribers));
+  metrics_.gauge("broker.subscriptions")->set(static_cast<int64_t>(s.subscriptions));
+  obs::MetricsSnapshot snap = metrics_.snapshot();
+  snap += engine_->metrics_snapshot();
+  return snap;
+}
+
+std::vector<obs::Span> Broker::trace_snapshot() const { return engine_->trace_snapshot(); }
 
 }  // namespace tagmatch::broker

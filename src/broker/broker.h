@@ -39,6 +39,7 @@
 
 #include "src/core/config.h"
 #include "src/core/matcher.h"
+#include "src/obs/metrics.h"
 
 namespace tagmatch::broker {
 
@@ -137,6 +138,13 @@ class Broker {
   };
   Stats stats() const;
 
+  // Merge of the broker's own registry (broker.* counters/gauges, the
+  // publish-to-delivery latency histogram) with the engine's full pipeline
+  // registry — the payload of the STATS wire verb (src/net).
+  obs::MetricsSnapshot metrics_snapshot() const;
+  // The engine's pipeline stage spans — the payload of the TRACE wire verb.
+  std::vector<obs::Span> trace_snapshot() const;
+
  private:
   struct Subscriber {
     std::mutex mu;
@@ -178,10 +186,16 @@ class Broker {
   std::condition_variable consolidate_cv_;
   bool stopping_ = false;
 
-  std::atomic<uint64_t> published_{0};
-  std::atomic<uint64_t> deliveries_{0};
-  std::atomic<uint64_t> dropped_{0};
-  std::atomic<uint64_t> consolidations_{0};
+  // Broker-level observability (src/obs). The engine keeps its own registry
+  // (reached through Matcher::metrics_snapshot); this one holds the broker's
+  // messaging counters and the publish->delivery latency histogram. Mutable:
+  // metrics_snapshot() is const but refreshes the population gauges.
+  mutable obs::Registry metrics_;
+  obs::Counter* published_ = nullptr;
+  obs::Counter* deliveries_ = nullptr;
+  obs::Counter* dropped_ = nullptr;
+  obs::Counter* consolidations_ = nullptr;
+  obs::Histogram* publish_latency_ = nullptr;
 };
 
 }  // namespace tagmatch::broker

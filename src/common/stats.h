@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,18 +35,28 @@ class StopWatch {
 // Collects samples (e.g. per-query latencies) and reports order statistics.
 // Not thread-safe; each thread records into its own instance and instances
 // are merged at the end.
+//
+// An empty set has no order statistics: mean/min/max/percentile return NaN
+// (a 0 would be indistinguishable from a genuine zero-latency sample and has
+// bitten bench reports before). The sample vector is sorted lazily, once,
+// and the sorted order is cached until the next record/merge — repeated
+// percentile calls (p50/p95/p99 in a row) no longer re-sort.
 class SampleSet {
  public:
-  void record(double v) { samples_.push_back(v); }
+  void record(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
   void merge(const SampleSet& other) {
     samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = sorted_ && other.samples_.empty();
   }
 
   size_t count() const { return samples_.size(); }
 
   double mean() const {
     if (samples_.empty()) {
-      return 0;
+      return std::numeric_limits<double>::quiet_NaN();
     }
     double sum = 0;
     for (double v : samples_) {
@@ -55,29 +66,44 @@ class SampleSet {
   }
 
   double min() const {
-    return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+    if (samples_.empty()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    ensure_sorted();
+    return samples_.front();
   }
   double max() const {
-    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+    if (samples_.empty()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    ensure_sorted();
+    return samples_.back();
   }
 
-  // Nearest-rank percentile, p in [0, 100]. Sorts a copy; intended for
-  // end-of-run reporting, not hot paths.
+  // Nearest-rank percentile with linear interpolation, p in [0, 100].
   double percentile(double p) const {
     if (samples_.empty()) {
-      return 0;
+      return std::numeric_limits<double>::quiet_NaN();
     }
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    ensure_sorted();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
     size_t lo = static_cast<size_t>(rank);
-    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
     double frac = rank - static_cast<double>(lo);
-    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
   }
 
  private:
-  std::vector<double> samples_;
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  // Mutable: the order statistics are const but sort in place on demand.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;  // Vacuously sorted while empty.
 };
 
 // Human-friendly formatting used by the bench harness tables.

@@ -6,10 +6,15 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
 #include "src/gpusim/cost_model.h"
 
 namespace tagmatch {
+
+namespace obs {
+class PipelineObs;
+}  // namespace obs
 
 struct TagMatchConfig {
   // --- Off-line partitioning (Algorithm 1) ---
@@ -40,6 +45,13 @@ struct TagMatchConfig {
   // Record every device operation into per-device profilers (see
   // GpuEngine::profile_summary / write_gpu_trace).
   bool gpu_profiling = false;
+
+  // Observability handle (metrics registry + trace ring, src/obs). The
+  // engine shares it with its GPU devices so every pipeline stage lands in
+  // one registry; when null the engine creates a private one, readable via
+  // Matcher::metrics_snapshot()/trace_snapshot(). Pass an explicit handle to
+  // aggregate several engines into one registry.
+  std::shared_ptr<obs::PipelineObs> metrics;
 
   // Capacity (in result entries) of each stream result buffer. A kernel that
   // overflows it raises a flag and the batch is re-matched on the CPU.

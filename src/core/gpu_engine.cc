@@ -35,6 +35,9 @@ GpuEngine::GpuEngine(const TagMatchConfig& config, BatchResultFn on_result)
     dev_config.max_streams = config_.streams_per_gpu;
     dev_config.enable_profiling = config_.gpu_profiling;
     dev_config.costs = config_.gpu_costs;
+    // Share the engine's observability handle so device-side stage spans
+    // (H2D, kernel, D2H) land in the same registry as the CPU stages.
+    dev_config.metrics = config_.metrics;
     devices_.push_back(std::make_unique<gpusim::Device>(std::move(dev_config)));
   }
   device_tables_.resize(devices_.size());

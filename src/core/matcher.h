@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "src/bloom/bloom_filter.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tagmatch {
 
@@ -115,6 +117,15 @@ class Matcher {
     }
   };
   virtual Stats stats() const = 0;
+
+  // Point-in-time copy of the engine's metrics registry (src/obs):
+  // counters, gauges and per-stage latency histograms. Sharded deployments
+  // return the merge of every shard's registry (MetricsSnapshot::operator+=).
+  // The default is empty for matchers that predate the observability layer.
+  virtual obs::MetricsSnapshot metrics_snapshot() const { return {}; }
+
+  // Most recent pipeline stage spans (bounded ring), oldest first.
+  virtual std::vector<obs::Span> trace_snapshot() const { return {}; }
 };
 
 }  // namespace tagmatch

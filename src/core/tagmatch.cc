@@ -16,6 +16,8 @@
 #include "src/core/gpu_engine.h"
 #include "src/core/partition_table.h"
 #include "src/core/partitioner.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tagmatch {
 
@@ -38,6 +40,11 @@ struct QueryState {
   // Sorted tag hashes for the exact subset check; empty when the query was
   // submitted filter-only (verification skipped).
   std::vector<uint64_t> tag_hashes;
+  // Observability: engine-unique query sequence number (the span id of this
+  // query's enqueue/prefilter stages) and the match_async accept timestamp
+  // (start of the enqueue span and of the end-to-end latency histogram).
+  uint64_t trace_id = 0;
+  int64_t enqueue_ns = 0;
 };
 
 // A batch of queries bound for one partition. Owns the contiguous filter
@@ -47,6 +54,7 @@ struct Batch {
   std::vector<BitVector192> filters;
   std::vector<std::shared_ptr<QueryState>> queries;
   int64_t created_ns = 0;
+  uint64_t trace_id = 0;  // Engine-unique batch sequence (reduce span id).
 };
 
 // Unit of work for the pipeline workers: either a fresh query to pre-process
@@ -65,6 +73,22 @@ class TagMatchImpl {
   explicit TagMatchImpl(TagMatchConfig config) : config_(std::move(config)) {
     TAGMATCH_CHECK(config_.batch_size >= 1 && config_.batch_size <= 256);
     TAGMATCH_CHECK(config_.num_threads >= 1);
+    if (!config_.metrics) {
+      config_.metrics = std::make_shared<obs::PipelineObs>();
+    }
+    obs_ = config_.metrics.get();
+    obs::Registry& registry = obs_->registry();
+    queries_processed_ = registry.counter("engine.queries_processed");
+    batches_submitted_ = registry.counter("engine.batches_submitted");
+    batch_overflows_ = registry.counter("engine.batch_overflows");
+    exact_rejections_ = registry.counter("engine.exact_rejections");
+    partitions_forwarded_ = registry.counter("engine.partitions_forwarded");
+    batch_queries_ = registry.counter("engine.batch_queries");
+    result_pairs_ = registry.counter("engine.result_pairs");
+    consolidations_ = registry.counter("engine.consolidations");
+    query_latency_ = registry.histogram("query.latency_ns");
+    unique_sets_gauge_ = registry.gauge("engine.unique_sets");
+    partitions_gauge_ = registry.gauge("engine.partitions");
     if (!config_.cpu_only) {
       engine_ = std::make_unique<GpuEngine>(
           config_, [this](void* token, std::span<const ResultPair> pairs, bool overflow) {
@@ -116,6 +140,7 @@ class TagMatchImpl {
   void consolidate() {
     flush();
     StopWatch watch;
+    const int64_t consolidate_start_ns = now_ns();
 
     {
       std::lock_guard lock(staging_mu_);
@@ -200,6 +225,9 @@ class TagMatchImpl {
 
     install_index();
     last_consolidate_seconds_ = watch.elapsed_s();
+    consolidations_->inc();
+    obs_->record_stage(obs::Stage::kConsolidate, consolidations_->value(), consolidate_start_ns,
+                       now_ns());
   }
 
   // Installs the already-built flat index (from consolidate() or
@@ -224,6 +252,9 @@ class TagMatchImpl {
       view.offsets = offsets_;
       engine_->upload(view);
     }
+    unique_sets_gauge_->set(
+        key_offsets_.empty() ? 0 : static_cast<int64_t>(key_offsets_.size() - 1));
+    partitions_gauge_->set(offsets_.empty() ? 0 : static_cast<int64_t>(offsets_.size() - 1));
   }
 
   void match_async(const BloomFilter192& query, MatchKind kind, TagMatch::MatchCallback callback,
@@ -236,6 +267,8 @@ class TagMatchImpl {
     item.query->kind = kind;
     item.query->callback = std::move(callback);
     item.query->tag_hashes = std::move(tag_hashes);
+    item.query->trace_id = query_seq_.fetch_add(1, std::memory_order_relaxed);
+    item.query->enqueue_ns = now_ns();
     queue_.push(std::move(item));
   }
 
@@ -274,13 +307,13 @@ class TagMatchImpl {
     s.total_keys = keys_flat_.size();
     s.partitions = offsets_.empty() ? 0 : offsets_.size() - 1;
     s.last_consolidate_seconds = last_consolidate_seconds_;
-    s.queries_processed = queries_processed_.load(std::memory_order_relaxed);
-    s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
-    s.batch_overflows = batch_overflows_.load(std::memory_order_relaxed);
-    s.exact_rejections = exact_rejections_.load(std::memory_order_relaxed);
-    s.partitions_forwarded = partitions_forwarded_.load(std::memory_order_relaxed);
-    s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
-    s.result_pairs = result_pairs_.load(std::memory_order_relaxed);
+    s.queries_processed = queries_processed_->value();
+    s.batches_submitted = batches_submitted_->value();
+    s.batch_overflows = batch_overflows_->value();
+    s.exact_rejections = exact_rejections_->value();
+    s.partitions_forwarded = partitions_forwarded_->value();
+    s.batch_queries = batch_queries_->value();
+    s.result_pairs = result_pairs_->value();
     s.host_key_table_bytes =
         keys_flat_.capacity() * sizeof(Key) + key_offsets_.capacity() * sizeof(uint32_t);
     s.host_partition_table_bytes = partition_table_.memory_bytes();
@@ -290,6 +323,9 @@ class TagMatchImpl {
     }
     return s;
   }
+
+  obs::MetricsSnapshot metrics_snapshot() const { return obs_->registry().snapshot(); }
+  std::vector<obs::Span> trace_snapshot() const { return obs_->tracer().snapshot(); }
 
  private:
   struct PartialSlot {
@@ -320,11 +356,16 @@ class TagMatchImpl {
   // and append the query to their pending batches. With match_staged_adds,
   // also scan the temporary (staged) index so un-consolidated sets match.
   void preprocess(std::shared_ptr<QueryState> query) {
+    // The enqueue span covers match_async acceptance to worker pickup (queue
+    // wait); the prefilter span covers the partition-table walk itself.
+    const int64_t prefilter_start_ns = now_ns();
+    obs_->record_stage(obs::Stage::kEnqueue, query->trace_id, query->enqueue_ns,
+                       prefilter_start_ns);
     if (config_.match_staged_adds) {
       match_staged(*query);
     }
     partition_table_.find_matches(query->filter, [&](PartitionId pid) {
-      partitions_forwarded_.fetch_add(1, std::memory_order_relaxed);
+      partitions_forwarded_->inc();
       std::unique_ptr<Batch> full;
       {
         PartialSlot& slot = *partials_[pid];
@@ -333,6 +374,7 @@ class TagMatchImpl {
           slot.batch = std::make_unique<Batch>();
           slot.batch->partition = pid;
           slot.batch->created_ns = now_ns();
+          slot.batch->trace_id = batch_seq_.fetch_add(1, std::memory_order_relaxed);
           slot.batch->filters.reserve(config_.batch_size);
         }
         query->pending.fetch_add(1, std::memory_order_acq_rel);
@@ -346,6 +388,7 @@ class TagMatchImpl {
         submit_batch(std::move(full));
       }
     });
+    obs_->record_stage(obs::Stage::kPreFilter, query->trace_id, prefilter_start_ns, now_ns());
     finish_if_done(*query);  // Drop the pre-processing guard.
   }
 
@@ -360,7 +403,7 @@ class TagMatchImpl {
       if (config_.exact_check && !qs.tag_hashes.empty() && add.has_hashes &&
           !std::includes(qs.tag_hashes.begin(), qs.tag_hashes.end(), add.tag_hashes.begin(),
                          add.tag_hashes.end())) {
-        exact_rejections_.fetch_add(1, std::memory_order_relaxed);
+        exact_rejections_->inc();
         continue;
       }
       std::lock_guard lock(qs.mu);
@@ -369,8 +412,8 @@ class TagMatchImpl {
   }
 
   void submit_batch(std::unique_ptr<Batch> batch) {
-    batches_submitted_.fetch_add(1, std::memory_order_relaxed);
-    batch_queries_.fetch_add(batch->queries.size(), std::memory_order_relaxed);
+    batches_submitted_->inc();
+    batch_queries_->add(batch->queries.size());
     last_submit_ns_.store(now_ns(), std::memory_order_relaxed);
     if (engine_) {
       Batch* raw = batch.release();
@@ -421,11 +464,14 @@ class TagMatchImpl {
   // keys by query — followed, per finished query, by the merge stage.
   void process_completion(std::unique_ptr<Batch> batch, std::vector<ResultPair> pairs,
                           bool overflow) {
+    // Reduce span per batch; the overflow CPU re-match is part of it (it is
+    // work this stage performs on this thread).
+    obs::StageTimer reduce_timer(obs_, obs::Stage::kReduce, batch->trace_id);
     if (overflow) {
-      batch_overflows_.fetch_add(1, std::memory_order_relaxed);
+      batch_overflows_->inc();
       pairs = cpu_match(*batch);  // Recompute exactly; GPU output was truncated.
     }
-    result_pairs_.fetch_add(pairs.size(), std::memory_order_relaxed);
+    result_pairs_->add(pairs.size());
     for (const ResultPair& pair : pairs) {
       QueryState& qs = *batch->queries[pair.query];
       if (config_.exact_check && !qs.tag_hashes.empty()) {
@@ -436,7 +482,7 @@ class TagMatchImpl {
         if (h1 > h0 && !std::includes(qs.tag_hashes.begin(), qs.tag_hashes.end(),
                                       exact_hashes_.begin() + static_cast<ptrdiff_t>(h0),
                                       exact_hashes_.begin() + static_cast<ptrdiff_t>(h1))) {
-          exact_rejections_.fetch_add(1, std::memory_order_relaxed);
+          exact_rejections_->inc();
           continue;
         }
       }
@@ -463,7 +509,9 @@ class TagMatchImpl {
     if (qs.callback) {
       qs.callback(std::move(keys));
     }
-    queries_processed_.fetch_add(1, std::memory_order_relaxed);
+    queries_processed_->inc();
+    query_latency_->record(static_cast<uint64_t>(
+        std::max<int64_t>(0, now_ns() - qs.enqueue_ns)));
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(done_mu_);
       done_cv_.notify_all();
@@ -569,13 +617,23 @@ class TagMatchImpl {
   std::atomic<uint64_t> outstanding_{0};
   std::atomic<int64_t> last_submit_ns_{0};
 
-  std::atomic<uint64_t> queries_processed_{0};
-  std::atomic<uint64_t> batches_submitted_{0};
-  std::atomic<uint64_t> batch_overflows_{0};
-  std::atomic<uint64_t> exact_rejections_{0};
-  std::atomic<uint64_t> partitions_forwarded_{0};
-  std::atomic<uint64_t> batch_queries_{0};
-  std::atomic<uint64_t> result_pairs_{0};
+  // Observability (src/obs): the engine's registry + trace ring, shared
+  // with its devices via config_.metrics. The instrument pointers are stable
+  // for the registry's lifetime; recording through them is lock-free.
+  obs::PipelineObs* obs_ = nullptr;
+  obs::Counter* queries_processed_ = nullptr;
+  obs::Counter* batches_submitted_ = nullptr;
+  obs::Counter* batch_overflows_ = nullptr;
+  obs::Counter* exact_rejections_ = nullptr;
+  obs::Counter* partitions_forwarded_ = nullptr;
+  obs::Counter* batch_queries_ = nullptr;
+  obs::Counter* result_pairs_ = nullptr;
+  obs::Counter* consolidations_ = nullptr;
+  obs::Histogram* query_latency_ = nullptr;
+  obs::Gauge* unique_sets_gauge_ = nullptr;
+  obs::Gauge* partitions_gauge_ = nullptr;
+  std::atomic<uint64_t> query_seq_{0};
+  std::atomic<uint64_t> batch_seq_{0};
   double last_consolidate_seconds_ = 0;
 
  public:
@@ -776,6 +834,8 @@ std::vector<TagMatch::Key> TagMatch::match_unique(std::span<const std::string> t
 
 void TagMatch::flush() { impl_->flush(); }
 TagMatch::Stats TagMatch::stats() const { return impl_->stats(); }
+obs::MetricsSnapshot TagMatch::metrics_snapshot() const { return impl_->metrics_snapshot(); }
+std::vector<obs::Span> TagMatch::trace_snapshot() const { return impl_->trace_snapshot(); }
 void TagMatch::for_each_set(
     const std::function<void(const BloomFilter192&, std::span<const Key>,
                              std::span<const uint64_t>)>& fn) const {

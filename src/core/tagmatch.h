@@ -95,6 +95,12 @@ class TagMatch : public Matcher {
 
   // --- Introspection ---
   Stats stats() const override;
+  // Snapshot of the engine's metrics registry / trace ring (src/obs). The
+  // registry covers the full pipeline: engine counters and gauges, per-stage
+  // latency histograms (including the GPU H2D/kernel/D2H stages recorded by
+  // the simulated devices) and the end-to-end query latency histogram.
+  obs::MetricsSnapshot metrics_snapshot() const override;
+  std::vector<obs::Span> trace_snapshot() const override;
 
   // Enumerates the consolidated database: one invocation per unique set,
   // with the set's filter, its key multiset and its exact-check tag hashes

@@ -5,6 +5,7 @@
 #include <new>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace gpusim {
 
@@ -18,6 +19,11 @@ void spin_until(std::chrono::steady_clock::time_point start, int64_t deadline_ns
 Device::Device(DeviceConfig config) : config_(std::move(config)) {
   TAGMATCH_CHECK(config_.num_sms > 0);
   sm_pool_ = std::make_unique<tagmatch::ThreadPool>(config_.num_sms);
+  if (config_.metrics) {
+    auto& registry = config_.metrics->registry();
+    h2d_bytes_ = registry.counter("gpusim.h2d_bytes");
+    d2h_bytes_ = registry.counter("gpusim.d2h_bytes");
+  }
 }
 
 DeviceBuffer Device::alloc(size_t bytes) {

@@ -16,6 +16,11 @@
 #include "src/gpusim/cost_model.h"
 #include "src/gpusim/profiler.h"
 
+namespace tagmatch::obs {
+class Counter;
+class PipelineObs;
+}  // namespace tagmatch::obs
+
 namespace gpusim {
 
 class Device;
@@ -70,6 +75,12 @@ struct DeviceConfig {
   // overlap statistics; small per-op overhead).
   bool enable_profiling = false;
   CostModel costs;
+  // Observability handle (src/obs). When set, every H2D/kernel/D2H stream
+  // operation records a stage span + latency histogram entry, and the device
+  // counts copied bytes (gpusim.h2d_bytes / gpusim.d2h_bytes). Unlike
+  // enable_profiling this is cheap enough to leave on in production — a few
+  // atomic adds per op, no timeline retention.
+  std::shared_ptr<tagmatch::obs::PipelineObs> metrics;
 };
 
 class Device {
@@ -95,6 +106,12 @@ class Device {
   // Non-null iff config.enable_profiling.
   Profiler* profiler() { return config_.enable_profiling ? &profiler_ : nullptr; }
 
+  // Non-null iff config.metrics was set; stage spans for stream ops.
+  tagmatch::obs::PipelineObs* metrics() const { return config_.metrics.get(); }
+  // Byte counters, resolved once at construction; null iff metrics() is.
+  tagmatch::obs::Counter* h2d_bytes_counter() const { return h2d_bytes_; }
+  tagmatch::obs::Counter* d2h_bytes_counter() const { return d2h_bytes_; }
+
   unsigned stream_count() const { return live_streams_.load(std::memory_order_relaxed); }
   // Called by Stream's constructor/destructor; aborts if max_streams exceeded.
   void register_stream();
@@ -109,6 +126,8 @@ class Device {
   std::atomic<unsigned> live_streams_{0};
   std::unique_ptr<tagmatch::ThreadPool> sm_pool_;
   Profiler profiler_;
+  tagmatch::obs::Counter* h2d_bytes_ = nullptr;
+  tagmatch::obs::Counter* d2h_bytes_ = nullptr;
 };
 
 }  // namespace gpusim

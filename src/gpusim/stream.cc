@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace gpusim {
 
@@ -44,21 +45,60 @@ void Stream::run() {
 
 void Stream::enqueue(std::function<void()> op) { ops_.push(std::move(op)); }
 
+namespace {
+
+// Stage mapping for the observability layer: only the three op kinds that
+// are pipeline stages of the paper's Fig. 3 get a span; memsets and host
+// callbacks are protocol bookkeeping and stay profiler-only.
+bool stage_for(OpKind kind, tagmatch::obs::Stage* stage) {
+  switch (kind) {
+    case OpKind::kH2D:
+      *stage = tagmatch::obs::Stage::kH2D;
+      return true;
+    case OpKind::kD2H:
+      *stage = tagmatch::obs::Stage::kD2H;
+      return true;
+    case OpKind::kKernel:
+      *stage = tagmatch::obs::Stage::kKernel;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 void Stream::enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()> op) {
   Profiler* profiler = device_->profiler();
-  if (profiler == nullptr) {
+  tagmatch::obs::PipelineObs* metrics = device_->metrics();
+  if (profiler == nullptr && metrics == nullptr) {
     enqueue(std::move(op));
     return;
   }
-  enqueue([this, kind, bytes, profiler, op = std::move(op)] {
-    OpRecord record;
-    record.stream_id = id_;
-    record.kind = kind;
-    record.bytes = bytes;
-    record.start_ns = mono_ns();
+  enqueue([this, kind, bytes, profiler, metrics, op = std::move(op)] {
+    const int64_t start_ns = mono_ns();
     op();
-    record.end_ns = mono_ns();
-    profiler->record(record);
+    const int64_t end_ns = mono_ns();
+    if (profiler != nullptr) {
+      OpRecord record;
+      record.stream_id = id_;
+      record.kind = kind;
+      record.bytes = bytes;
+      record.start_ns = start_ns;
+      record.end_ns = end_ns;
+      profiler->record(record);
+    }
+    if (metrics != nullptr) {
+      tagmatch::obs::Stage stage;
+      if (stage_for(kind, &stage)) {
+        metrics->record_stage(stage, id_, start_ns, end_ns);
+      }
+      if (kind == OpKind::kH2D) {
+        device_->h2d_bytes_counter()->add(bytes);
+      } else if (kind == OpKind::kD2H) {
+        device_->d2h_bytes_counter()->add(bytes);
+      }
+    }
   });
 }
 

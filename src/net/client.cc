@@ -139,6 +139,23 @@ bool BrokerClient::ping() {
   return reply && reply->kind == ServerFrame::Kind::kPong;
 }
 
+std::optional<std::string> BrokerClient::stats_json() {
+  auto reply = command("STATS\n");
+  if (!reply || reply->kind != ServerFrame::Kind::kStats) {
+    return std::nullopt;
+  }
+  return std::move(reply->payload);
+}
+
+std::optional<std::string> BrokerClient::trace_json(uint32_t limit) {
+  auto reply =
+      command(limit == 0 ? "TRACE\n" : "TRACE " + std::to_string(limit) + "\n");
+  if (!reply || reply->kind != ServerFrame::Kind::kTrace) {
+    return std::nullopt;
+  }
+  return std::move(reply->payload);
+}
+
 std::optional<broker::Message> BrokerClient::receive(std::chrono::milliseconds timeout) {
   return messages_.pop_for(timeout);
 }

@@ -36,6 +36,11 @@ class BrokerClient {
   bool unsubscribe(uint32_t subscription);
   bool publish(const std::vector<std::string>& tags, const std::string& payload);
   bool ping();
+  // Observability verbs: one line of JSON from the server's merged metrics
+  // registries (STATS) / its pipeline trace ring (TRACE, newest `limit`
+  // spans, 0 = all). See docs/OBSERVABILITY.md for the schema.
+  std::optional<std::string> stats_json();
+  std::optional<std::string> trace_json(uint32_t limit = 0);
 
   // Pops one delivered message, waiting up to `timeout`.
   std::optional<broker::Message> receive(std::chrono::milliseconds timeout);

@@ -9,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/net/wire.h"
+#include "src/obs/trace.h"
 
 namespace tagmatch::net {
 
@@ -161,6 +162,14 @@ void BrokerServer::reader_loop(Connection* conn) {
       case Request::Kind::kPub:
         broker_->publish(broker::Message{std::move(request->tags), std::move(request->payload)});
         send_line(conn, format_ok(0));
+        break;
+      case Request::Kind::kStats:
+        send_line(conn, format_stats(broker_->metrics_snapshot().to_json()));
+        break;
+      case Request::Kind::kTrace:
+        send_line(conn,
+                  format_trace(obs::spans_to_json(broker_->trace_snapshot(),
+                                                  request->trace_limit)));
         break;
     }
   }

@@ -57,12 +57,29 @@ std::optional<Request> parse_request(std::string_view line) {
     req.kind = Request::Kind::kPing;
     return req;
   }
+  if (line == "STATS") {
+    req.kind = Request::Kind::kStats;
+    return req;
+  }
+  if (line == "TRACE") {
+    req.kind = Request::Kind::kTrace;
+    return req;
+  }
   size_t space = line.find(' ');
   if (space == std::string_view::npos) {
     return std::nullopt;
   }
   std::string_view verb = line.substr(0, space);
   std::string_view rest = line.substr(space + 1);
+  if (verb == "TRACE") {
+    auto limit = parse_u32(rest);
+    if (!limit) {
+      return std::nullopt;
+    }
+    req.kind = Request::Kind::kTrace;
+    req.trace_limit = *limit;
+    return req;
+  }
   if (verb == "SUB") {
     auto tags = parse_tags(rest);
     if (!tags) {
@@ -119,6 +136,14 @@ std::string format_msg(const std::vector<std::string>& tags, std::string_view pa
   return "MSG " + format_tags(tags) + " " + std::string(payload) + "\n";
 }
 
+std::string format_stats(std::string_view json) {
+  return "STATS " + std::string(json) + "\n";
+}
+
+std::string format_trace(std::string_view json) {
+  return "TRACE " + std::string(json) + "\n";
+}
+
 std::optional<ServerFrame> parse_server_frame(std::string_view line) {
   while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
     line.remove_suffix(1);
@@ -160,6 +185,16 @@ std::optional<ServerFrame> parse_server_frame(std::string_view line) {
     if (sep != std::string_view::npos) {
       frame.payload.assign(rest.substr(sep + 1));
     }
+    return frame;
+  }
+  if (verb == "STATS") {
+    frame.kind = ServerFrame::Kind::kStats;
+    frame.payload.assign(rest);
+    return frame;
+  }
+  if (verb == "TRACE") {
+    frame.kind = ServerFrame::Kind::kTrace;
+    frame.payload.assign(rest);
     return frame;
   }
   return std::nullopt;

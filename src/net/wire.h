@@ -7,6 +7,11 @@
 //   UNSUB <subscription-id>      unsubscribe; reply: OK <subscription-id>
 //   PUB <tag,tag,...> <payload>  publish; reply: OK 0 (payload = rest of line)
 //   PING                         liveness; reply: PONG
+//   STATS                        observability snapshot (broker + engine
+//                                registries merged); reply: STATS <json>,
+//                                one line of JSON (docs/OBSERVABILITY.md)
+//   TRACE [n]                    pipeline stage spans, newest `n` (all when
+//                                omitted or 0); reply: TRACE <json-array>
 // Server -> client (asynchronous, interleaved with replies):
 //   MSG <tag,tag,...> <payload>  a delivery for this connection's subscriber
 // Errors: ERR <reason>
@@ -25,11 +30,12 @@
 namespace tagmatch::net {
 
 struct Request {
-  enum class Kind { kSub, kUnsub, kPub, kPing };
+  enum class Kind { kSub, kUnsub, kPub, kPing, kStats, kTrace };
   Kind kind;
   std::vector<std::string> tags;  // kSub, kPub.
   uint32_t subscription = 0;      // kUnsub.
   std::string payload;            // kPub.
+  uint32_t trace_limit = 0;       // kTrace; 0 = all retained spans.
 };
 
 // Parses one request line (no trailing newline). nullopt on malformed input.
@@ -47,15 +53,19 @@ std::string format_tags(const std::vector<std::string>& tags);
 std::string format_ok(uint32_t id);
 std::string format_err(std::string_view reason);
 std::string format_msg(const std::vector<std::string>& tags, std::string_view payload);
+// `json` must be a single line (MetricsSnapshot::to_json / spans_to_json
+// already are); the frame is "STATS <json>\n" / "TRACE <json>\n".
+std::string format_stats(std::string_view json);
+std::string format_trace(std::string_view json);
 
 // Parses a server line; returns the frame kind and fields.
 struct ServerFrame {
-  enum class Kind { kOk, kErr, kMsg, kPong };
+  enum class Kind { kOk, kErr, kMsg, kPong, kStats, kTrace };
   Kind kind;
   uint32_t id = 0;                // kOk.
   std::string error;              // kErr.
   std::vector<std::string> tags;  // kMsg.
-  std::string payload;            // kMsg.
+  std::string payload;            // kMsg, kStats, kTrace (JSON for the last two).
 };
 std::optional<ServerFrame> parse_server_frame(std::string_view line);
 

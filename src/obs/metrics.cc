@@ -1,0 +1,199 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tagmatch::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 0-based, nearest-rank with fractional part
+  // resolved by interpolating inside the bucket that holds it.
+  double rank = p / 100.0 * static_cast<double>(count - 1);
+  uint64_t below = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(below + in_bucket)) {
+      // Position of the rank within this bucket, in [0, 1).
+      double frac = (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      double lo = static_cast<double>(histogram_bucket_lower(i));
+      double hi = static_cast<double>(std::min(histogram_bucket_upper(i), max + 1));
+      double v = lo + frac * (hi - lo);
+      // The true samples are bounded by the observed extrema; clamping keeps
+      // p0 == min and p100 == max exact.
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    below += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(const HistogramSnapshot& o) {
+  if (o.count == 0) return *this;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += o.buckets[i];
+  return *this;
+}
+
+void Histogram::record(uint64_t v) {
+  buckets_[histogram_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = (mn == UINT64_MAX) ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& o) {
+  for (const auto& [name, v] : o.counters) counters[name] += v;
+  for (const auto& [name, v] : o.gauges) gauges[name] += v;
+  for (const auto& [name, h] : o.histograms) histograms[name] += h;
+  return *this;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream out;
+  size_t width = 0;
+  for (const auto& [name, _] : counters) width = std::max(width, name.size());
+  for (const auto& [name, _] : gauges) width = std::max(width, name.size());
+  for (const auto& [name, _] : histograms) width = std::max(width, name.size());
+  char line[256];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(line, sizeof(line), "%-*s %llu\n", static_cast<int>(width), name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out << line;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(line, sizeof(line), "%-*s %lld\n", static_cast<int>(width), name.c_str(),
+                  static_cast<long long>(v));
+    out << line;
+  }
+  for (const auto& [name, h] : histograms) {
+    if (h.count == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "%-*s count=%llu mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%llu\n",
+                  static_cast<int>(width), name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean(), h.percentile(50), h.percentile(95), h.percentile(99),
+                  static_cast<unsigned long long>(h.max));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"min\":" << h.min << ",\"max\":" << h.max
+        << ",\"mean\":" << format_double(h.mean()) << ",\"p50\":" << format_double(h.percentile(50))
+        << ",\"p95\":" << format_double(h.percentile(95))
+        << ",\"p99\":" << format_double(h.percentile(99)) << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!first_bucket) out << ",";
+      first_bucket = false;
+      out << "[" << i << "," << h.buckets[i] << "]";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : counters_) out.push_back(name);
+  for (const auto& [name, _] : gauges_) out.push_back(name);
+  for (const auto& [name, _] : histograms_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tagmatch::obs

@@ -1,0 +1,167 @@
+// Observability: a lock-cheap metrics registry shared by every pipeline
+// layer (core engine, gpusim devices, shards, broker, net front end).
+//
+// Three instrument kinds, all safe for concurrent recording:
+//
+//   * Counter   — monotonic u64, relaxed atomic add. "How many."
+//   * Gauge     — last-written i64, relaxed atomic store. "How big right now."
+//   * Histogram — fixed 64-bucket power-of-two latency/size histogram with
+//                 atomic per-bucket counts; p50/p95/p99 are interpolated from
+//                 the bucket boundaries at snapshot time. "How long."
+//
+// Recording never allocates and never takes a lock: callers resolve
+// instrument pointers once (Registry::counter/gauge/histogram lock only a
+// registration mutex and return stable pointers) and then hammer the
+// atomics. Snapshots are plain structs that merge with operator+= — the
+// aggregation path for per-shard registries (src/shard) mirrors
+// Matcher::Stats::operator+=.
+//
+// Metric names are dotted lowercase ("engine.queries_processed",
+// "stage.kernel_ns"). Every name registered anywhere in the codebase must be
+// documented in docs/OBSERVABILITY.md — tests/obs_test.cc diffs the live
+// registry against the doc.
+#ifndef TAGMATCH_OBS_METRICS_H_
+#define TAGMATCH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tagmatch::obs {
+
+// Monotonic counter. add/inc are relaxed atomic RMWs (~1 ns uncontended).
+class Counter {
+ public:
+  void inc() { add(1); }
+  void add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written value (table sizes, queue depths). set overwrites; add is for
+// split-brain updates (e.g. per-shard contributions to one logical gauge).
+class Gauge {
+ public:
+  void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Histogram bucket layout, shared by Histogram and HistogramSnapshot.
+// Bucket 0 holds the value 0; bucket i (1 <= i <= 62) holds values in
+// [2^(i-1), 2^i); bucket 63 holds everything >= 2^62. For nanosecond
+// latencies that spans 1 ns .. ~146 years with <= 2x relative error per
+// bucket, tightened by linear interpolation inside the bucket.
+inline constexpr size_t kHistogramBuckets = 64;
+
+inline size_t histogram_bucket_index(uint64_t v) {
+  if (v == 0) return 0;
+  size_t idx = static_cast<size_t>(std::bit_width(v));  // v in [2^(idx-1), 2^idx)
+  return idx < kHistogramBuckets ? idx : kHistogramBuckets - 1;
+}
+
+// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+inline uint64_t histogram_bucket_lower(size_t i) {
+  return i == 0 ? 0 : (uint64_t{1} << (i - 1));
+}
+
+// Exclusive upper bound of bucket i (1, 2, 4, 8, ...); saturates for the
+// overflow bucket.
+inline uint64_t histogram_bucket_upper(size_t i) {
+  if (i + 1 >= kHistogramBuckets) return UINT64_MAX;
+  return uint64_t{1} << i;
+}
+
+// Point-in-time copy of a histogram; mergeable and cheap to pass around.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // Meaningful only when count > 0.
+  uint64_t max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0; }
+
+  // Nearest-rank percentile (p in [0, 100]) interpolated inside the target
+  // bucket and clamped to the observed [min, max]. Returns 0 when empty.
+  double percentile(double p) const;
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o);
+};
+
+// Concurrent fixed-bucket histogram. record() is wait-free: one relaxed add
+// on the bucket, count and sum, plus two bounded CAS loops for min/max.
+class Histogram {
+ public:
+  void record(uint64_t v);
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+// Point-in-time copy of a whole registry. operator+= is the shard/thread
+// aggregation path; to_text/to_json are the renderers shared by the STATS
+// wire verb, --stats-json dumps and the benches.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  MetricsSnapshot& operator+=(const MetricsSnapshot& o);
+
+  // Aligned human-readable table: counters/gauges, then histograms with
+  // count/mean/p50/p95/p99. Zero-count histograms are elided.
+  std::string to_text() const;
+
+  // Single-line JSON (no newlines — it must fit one wire-protocol frame):
+  // {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  // "sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..,
+  // "buckets":[[index,count],...]}}}. Buckets are sparse [index,count]
+  // pairs so snapshots can be re-merged from JSON.
+  std::string to_json() const;
+};
+
+// Named instruments with stable addresses. Registration (first lookup of a
+// name) takes a mutex; recording through the returned pointers is lock-free.
+// Instruments live as long as the registry.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  // Sorted names of every registered instrument (the doc-diff test surface).
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tagmatch::obs
+
+#endif  // TAGMATCH_OBS_METRICS_H_

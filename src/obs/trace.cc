@@ -1,0 +1,114 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tagmatch::obs {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kEnqueue:
+      return "enqueue";
+    case Stage::kPreFilter:
+      return "prefilter";
+    case Stage::kH2D:
+      return "h2d";
+    case Stage::kKernel:
+      return "kernel";
+    case Stage::kD2H:
+      return "d2h";
+    case Stage::kReduce:
+      return "reduce";
+    case Stage::kConsolidate:
+      return "consolidate";
+    case Stage::kGather:
+      return "gather";
+  }
+  return "unknown";
+}
+
+const char* stage_metric_name(Stage stage) {
+  switch (stage) {
+    case Stage::kEnqueue:
+      return "stage.enqueue_ns";
+    case Stage::kPreFilter:
+      return "stage.prefilter_ns";
+    case Stage::kH2D:
+      return "stage.h2d_ns";
+    case Stage::kKernel:
+      return "stage.kernel_ns";
+    case Stage::kD2H:
+      return "stage.d2h_ns";
+    case Stage::kReduce:
+      return "stage.reduce_ns";
+    case Stage::kConsolidate:
+      return "stage.consolidate_ns";
+    case Stage::kGather:
+      return "stage.gather_ns";
+  }
+  return "stage.unknown_ns";
+}
+
+Tracer::Tracer(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::record(const Span& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = span;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  if (total_ < ring_.size()) {
+    out.assign(ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(total_));
+  } else {
+    out.reserve(ring_.size());
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string spans_to_json(const std::vector<Span>& spans, size_t limit) {
+  size_t begin = 0;
+  if (limit > 0 && spans.size() > limit) begin = spans.size() - limit;
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = begin; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (i != begin) out << ",";
+    out << "{\"id\":" << s.id << ",\"stage\":\"" << stage_name(s.stage)
+        << "\",\"start_ns\":" << s.start_ns << ",\"end_ns\":" << s.end_ns
+        << ",\"duration_ns\":" << (s.end_ns - s.start_ns) << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+PipelineObs::PipelineObs() {
+  for (size_t i = 0; i < kNumStages; ++i) {
+    stage_histograms_[i] = registry_.histogram(stage_metric_name(static_cast<Stage>(i)));
+  }
+}
+
+void PipelineObs::record_stage(Stage stage, uint64_t id, int64_t start_ns, int64_t end_ns) {
+  uint64_t duration =
+      end_ns > start_ns ? static_cast<uint64_t>(end_ns - start_ns) : 0;
+  stage_histograms_[static_cast<size_t>(stage)]->record(duration);
+  tracer_.record(Span{id, stage, start_ns, end_ns});
+}
+
+}  // namespace tagmatch::obs

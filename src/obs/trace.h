@@ -1,0 +1,130 @@
+// Observability: per-query / per-batch trace spans over the pipeline stages
+// of the paper's Fig. 3 — enqueue, partition pre-filter (Alg. 2), H2D,
+// kernel (Alg. 3-4), D2H, key lookup/reduce, consolidate, shard gather.
+//
+// A Span is one stage execution for one flow (query, batch, stream cycle or
+// consolidation round), stamped with nanosecond monotonic timestamps.
+// Spans land in a fixed-capacity ring (Tracer) for the TRACE wire verb, and
+// every span also feeds the per-stage "stage.<name>_ns" histogram in the
+// metrics registry so percentiles survive after the ring wraps.
+//
+// PipelineObs bundles one Registry + one Tracer and pre-resolves the stage
+// histograms, making record_stage() lock-free on the metrics side (the ring
+// append takes a short mutex; spans are ~8 per query, not per set).
+#ifndef TAGMATCH_OBS_TRACE_H_
+#define TAGMATCH_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/obs/metrics.h"
+
+namespace tagmatch::obs {
+
+// Pipeline stages, in paper order (Fig. 3). kGather is the sharded serving
+// layer's merge (src/shard); the others are single-engine stages.
+enum class Stage : uint8_t {
+  kEnqueue = 0,   // match_async accept -> worker pickup
+  kPreFilter,     // partition-table walk + batch append (Alg. 2)
+  kH2D,           // query batch host->device copy
+  kKernel,        // subset-match kernel (Alg. 3-4)
+  kD2H,           // result copy-back (even/odd protocol, §3.3.2)
+  kReduce,        // key lookup / reduce / merge (§3.4)
+  kConsolidate,   // off-line index rebuild (Alg. 1 + upload)
+  kGather,        // shard scatter-gather merge (src/shard)
+};
+inline constexpr size_t kNumStages = 8;
+
+// "enqueue", "prefilter", ... — stable identifiers used in TRACE output.
+const char* stage_name(Stage stage);
+// "stage.enqueue_ns", "stage.prefilter_ns", ... — the histogram names.
+const char* stage_metric_name(Stage stage);
+
+// One stage execution. `id` identifies the flow within its stage family:
+// the engine's query sequence number for enqueue/prefilter/reduce and
+// gather, the submitting stream id for H2D/kernel/D2H, the consolidation
+// round for consolidate. Timestamps are tagmatch::now_ns() (monotonic).
+struct Span {
+  uint64_t id = 0;
+  Stage stage = Stage::kEnqueue;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+};
+
+// Fixed-capacity ring of the most recent spans. Mutex-guarded: appends are
+// rare (per stage execution, not per set) and snapshots copy out.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096);
+
+  void record(const Span& span);
+  // Spans in insertion order, oldest first; at most `capacity` entries.
+  std::vector<Span> snapshot() const;
+  uint64_t total_recorded() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+// JSON renderer for TRACE: [{"id":..,"stage":"kernel","start_ns":..,
+// "end_ns":..,"duration_ns":..},...] on a single line. With limit > 0 only
+// the most recent `limit` spans are emitted.
+std::string spans_to_json(const std::vector<Span>& spans, size_t limit = 0);
+
+// The shared observability handle: one metrics registry + one span ring.
+// Constructed once per engine/shard/broker; layers below (GpuEngine, gpusim
+// devices) receive the owner's handle so all stages of one pipeline land in
+// one registry. Stage histograms are pre-registered here, so every registry
+// exports the full stage.* set (zero-count histograms render as empty).
+class PipelineObs {
+ public:
+  PipelineObs();
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  // Records the span in the ring and its duration in the stage histogram.
+  void record_stage(Stage stage, uint64_t id, int64_t start_ns, int64_t end_ns);
+
+ private:
+  Registry registry_;
+  Tracer tracer_;
+  std::array<Histogram*, kNumStages> stage_histograms_{};
+};
+
+// RAII stage timer: stamps start at construction, records at stop() or
+// destruction. Null obs is a no-op, so call sites stay unconditional.
+class StageTimer {
+ public:
+  StageTimer(PipelineObs* obs, Stage stage, uint64_t id)
+      : obs_(obs), stage_(stage), id_(id), start_ns_(obs ? now_ns() : 0) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() { stop(); }
+
+  void stop() {
+    if (obs_ == nullptr) return;
+    obs_->record_stage(stage_, id_, start_ns_, now_ns());
+    obs_ = nullptr;
+  }
+
+ private:
+  PipelineObs* obs_;
+  Stage stage_;
+  uint64_t id_;
+  int64_t start_ns_;
+};
+
+}  // namespace tagmatch::obs
+
+#endif  // TAGMATCH_OBS_TRACE_H_

@@ -20,11 +20,16 @@ struct ShardedTagMatch::Gather {
   std::vector<Key> keys;
   uint32_t awaiting = 0;
   bool fired = false;
+  uint64_t trace_id = 0;   // Router-unique query sequence (gather span id).
+  int64_t start_ns = 0;    // Scatter start; the gather span covers scatter->merge.
 };
 
 ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(config)) {
   TAGMATCH_CHECK(config_.num_shards >= 1);
   policy_ = config_.policy ? config_.policy : std::make_shared<SignatureHashPolicy>();
+  queries_ = obs_.registry().counter("shard.queries");
+  partial_results_ = obs_.registry().counter("shard.partial_results");
+  shards_shed_ = obs_.registry().counter("shard.shards_shed");
   shards_.reserve(config_.num_shards);
   gates_.reserve(config_.num_shards);
   for (unsigned i = 0; i < config_.num_shards; ++i) {
@@ -79,6 +84,7 @@ void ShardedTagMatch::remove_set(const BloomFilter192& filter, Key key) {
 
 void ShardedTagMatch::consolidate() {
   StopWatch watch;
+  const int64_t start_ns = now_ns();
   if (config_.concurrent_consolidate && shards_.size() > 1) {
     // Shards are independent: rebuild them in parallel. Each thread takes
     // only its own shard's gate, so queries keep flowing to every shard
@@ -101,18 +107,25 @@ void ShardedTagMatch::consolidate() {
     }
   }
   wall_consolidate_seconds_ = watch.elapsed_s();
+  // Router-side consolidate span: the wall time of the whole rebuild (the
+  // per-shard spans live in each shard's own registry).
+  obs_.record_stage(obs::Stage::kConsolidate,
+                    consolidate_seq_.fetch_add(1, std::memory_order_relaxed) + 1, start_ns,
+                    now_ns());
 }
 
 // --- Matching: scatter -----------------------------------------------------
 
 void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t> tag_hashes,
                               MatchKind kind, ResultCallback callback) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_->inc();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   auto gather = std::make_shared<Gather>();
   gather->kind = kind;
   gather->callback = std::move(callback);
   gather->awaiting = static_cast<uint32_t>(shards_.size());
+  gather->trace_id = gather_seq_.fetch_add(1, std::memory_order_relaxed);
+  gather->start_ns = now_ns();
   if (config_.query_timeout.count() > 0) {
     gather->deadline_ns =
         now_ns() +
@@ -150,6 +163,8 @@ void ShardedTagMatch::fire(const std::shared_ptr<Gather>& gather,
   std::vector<Key> keys = std::move(gather->keys);
   ResultCallback callback = std::move(gather->callback);
   MatchKind kind = gather->kind;
+  const uint64_t trace_id = gather->trace_id;
+  const int64_t start_ns = gather->start_ns;
   lock.unlock();
   // Merge stage across shards: each shard already deduplicated its own
   // results for kMatchUnique; a key can still arrive from several shards
@@ -160,8 +175,11 @@ void ShardedTagMatch::fire(const std::shared_ptr<Gather>& gather,
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   }
   if (partial) {
-    partial_results_.fetch_add(1, std::memory_order_relaxed);
+    partial_results_->inc();
   }
+  // The gather span covers scatter through cross-shard merge; the user
+  // callback is excluded (it is application time, not router time).
+  obs_.record_stage(obs::Stage::kGather, trace_id, start_ns, now_ns());
   if (callback) {
     callback(MatchResult{std::move(keys), partial});
   }
@@ -203,7 +221,7 @@ void ShardedTagMatch::timeout_loop() {
       if (gather->fired) {
         continue;  // Raced with the last shard response; it won.
       }
-      shards_shed_.fetch_add(gather->awaiting, std::memory_order_relaxed);
+      shards_shed_->add(gather->awaiting);
       fire(gather, g, /*partial=*/true);
     }
     lock.lock();
@@ -300,11 +318,32 @@ ShardedTagMatch::ShardStats ShardedTagMatch::shard_stats() const {
     s.per_shard.push_back(shards_[i]->stats());
     s.total += s.per_shard.back();
   }
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.partial_results = partial_results_.load(std::memory_order_relaxed);
-  s.shards_shed = shards_shed_.load(std::memory_order_relaxed);
+  s.queries = queries_->value();
+  s.partial_results = partial_results_->value();
+  s.shards_shed = shards_shed_->value();
   s.wall_consolidate_seconds = wall_consolidate_seconds_;
   return s;
+}
+
+obs::MetricsSnapshot ShardedTagMatch::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = obs_.registry().snapshot();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock gate(*gates_[i]);
+    snap += shards_[i]->metrics_snapshot();
+  }
+  return snap;
+}
+
+std::vector<obs::Span> ShardedTagMatch::trace_snapshot() const {
+  std::vector<obs::Span> spans = obs_.tracer().snapshot();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock gate(*gates_[i]);
+    std::vector<obs::Span> shard_spans = shards_[i]->trace_snapshot();
+    spans.insert(spans.end(), shard_spans.begin(), shard_spans.end());
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::Span& a, const obs::Span& b) { return a.start_ns < b.start_ns; });
+  return spans;
 }
 
 // --- Persistence -----------------------------------------------------------

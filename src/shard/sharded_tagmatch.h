@@ -41,6 +41,7 @@
 #include "src/core/config.h"
 #include "src/core/matcher.h"
 #include "src/core/tagmatch.h"
+#include "src/obs/trace.h"
 #include "src/shard/shard_policy.h"
 
 namespace tagmatch::shard {
@@ -128,6 +129,14 @@ class ShardedTagMatch : public Matcher {
   };
   ShardStats shard_stats() const;
 
+  // Merge of the router's own registry (shard.* counters, stage.gather_ns,
+  // router-side stage.consolidate_ns) with every shard engine's registry —
+  // MetricsSnapshot::operator+= is the aggregation, so histograms combine
+  // bucket-wise and percentiles stay meaningful across shards.
+  obs::MetricsSnapshot metrics_snapshot() const override;
+  // Router gather/consolidate spans plus every shard's spans, by start time.
+  std::vector<obs::Span> trace_snapshot() const override;
+
   unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
   const ShardPolicy& policy() const { return *policy_; }
 
@@ -168,9 +177,16 @@ class ShardedTagMatch : public Matcher {
   bool stopping_ = false;
 
   std::atomic<uint64_t> outstanding_{0};  // Gathers not yet fired.
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> partial_results_{0};
-  std::atomic<uint64_t> shards_shed_{0};
+
+  // Router-level observability: counters + the gather-stage histogram live
+  // in the router's own registry (each shard engine keeps its own, so
+  // per-shard stats stay per-shard); metrics_snapshot() merges them.
+  obs::PipelineObs obs_;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* partial_results_ = nullptr;
+  obs::Counter* shards_shed_ = nullptr;
+  std::atomic<uint64_t> gather_seq_{0};
+  std::atomic<uint64_t> consolidate_seq_{0};
   double wall_consolidate_seconds_ = 0;
 };
 

@@ -20,6 +20,11 @@
 // are distinct formats — query an index with the engine kind that built it,
 // or any --shards value for manifests (resharded automatically).
 //
+// build/query/bench also accept `--stats-json FILE` (anywhere on the line):
+// after the command finishes, the engine's metrics registry — per-stage
+// latency histograms, pipeline counters; see docs/OBSERVABILITY.md — is
+// written to FILE as one line of JSON.
+//
 // Exit status: 0 on success, 1 on usage or I/O errors.
 #include <atomic>
 #include <cstdio>
@@ -80,6 +85,38 @@ unsigned strip_shards_option(int& argc, char** argv) {
   return shards == 0 ? 1 : shards;
 }
 
+// Strips a `--stats-json FILE` option out of argv (same contract as
+// strip_shards_option); empty string = not requested.
+std::string strip_stats_json_option(int& argc, char** argv) {
+  std::string path;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      path = argv[i + 1];
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+// Writes the engine's metrics registry to `path` as one line of JSON (no-op
+// when path is empty). Returns false on I/O error.
+bool dump_stats_json(Matcher& engine, const std::string& path) {
+  if (path.empty()) {
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << engine.metrics_snapshot().to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
 std::unique_ptr<Matcher> make_engine(unsigned shards) {
   if (shards <= 1) {
     return std::make_unique<TagMatch>(cli_config());
@@ -135,11 +172,11 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
-int cmd_build(int argc, char** argv, unsigned shards) {
+int cmd_build(int argc, char** argv, unsigned shards, const std::string& stats_json) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: tagmatch_cli build <sets.tsv> <index.bin> [max_partition_size]"
-                 " [--shards N]\n");
+                 " [--shards N] [--stats-json FILE]\n");
     return 1;
   }
   std::ifstream in(argv[2]);
@@ -188,13 +225,14 @@ int cmd_build(int argc, char** argv, unsigned shards) {
     return 1;
   }
   std::printf("saved index to %s\n", argv[3]);
-  return 0;
+  return dump_stats_json(*engine, stats_json) ? 0 : 1;
 }
 
-int cmd_query(int argc, char** argv, unsigned shards) {
+int cmd_query(int argc, char** argv, unsigned shards, const std::string& stats_json) {
   if (argc < 4) {
     std::fprintf(stderr,
-                 "usage: tagmatch_cli query <index.bin> <queries.tsv> [--unique] [--shards N]\n");
+                 "usage: tagmatch_cli query <index.bin> <queries.tsv> [--unique] [--shards N]"
+                 " [--stats-json FILE]\n");
     return 1;
   }
   bool unique = argc > 4 && std::strcmp(argv[4], "--unique") == 0;
@@ -228,13 +266,14 @@ int cmd_query(int argc, char** argv, unsigned shards) {
   }
   std::fprintf(stderr, "matched %zu queries in %.3f s (%.0f q/s)\n", n, watch.elapsed_s(),
                n / watch.elapsed_s());
-  return 0;
+  return dump_stats_json(*engine, stats_json) ? 0 : 1;
 }
 
-int cmd_bench(int argc, char** argv, unsigned shards) {
+int cmd_bench(int argc, char** argv, unsigned shards, const std::string& stats_json) {
   if (argc < 4) {
     std::fprintf(stderr,
-                 "usage: tagmatch_cli bench <index.bin> <queries.tsv> [repeat] [--shards N]\n");
+                 "usage: tagmatch_cli bench <index.bin> <queries.tsv> [repeat] [--shards N]"
+                 " [--stats-json FILE]\n");
     return 1;
   }
   std::unique_ptr<Matcher> engine = make_engine(shards);
@@ -279,7 +318,7 @@ int cmd_bench(int argc, char** argv, unsigned shards) {
   std::printf("avg partitions/query %.2f, avg batch fill %.1f, overflows %llu\n",
               s.avg_partitions_per_query(), s.avg_batch_fill(),
               static_cast<unsigned long long>(s.batch_overflows));
-  return 0;
+  return dump_stats_json(*engine, stats_json) ? 0 : 1;
 }
 
 int cmd_stats(int argc, char** argv, unsigned shards) {
@@ -308,6 +347,7 @@ int cmd_stats(int argc, char** argv, unsigned shards) {
 
 int main(int argc, char** argv) {
   const unsigned shards = strip_shards_option(argc, argv);
+  const std::string stats_json = strip_stats_json_option(argc, argv);
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: tagmatch_cli <generate|build|query|stats> ... [--shards N]\n"
@@ -317,7 +357,9 @@ int main(int argc, char** argv) {
                  "  bench    <index.bin> <queries.tsv> [repeat]\n"
                  "  stats    <index.bin>\n"
                  "  --shards N: run a sharded engine (N shards); build writes a manifest\n"
-                 "              plus per-shard index files, loads reshard automatically\n");
+                 "              plus per-shard index files, loads reshard automatically\n"
+                 "  --stats-json FILE: write the metrics registry (per-stage latency\n"
+                 "              histograms, pipeline counters) as JSON after the command\n");
     return 1;
   }
   const std::string cmd = argv[1];
@@ -325,13 +367,13 @@ int main(int argc, char** argv) {
     return cmd_generate(argc, argv);
   }
   if (cmd == "build") {
-    return cmd_build(argc, argv, shards);
+    return cmd_build(argc, argv, shards, stats_json);
   }
   if (cmd == "query") {
-    return cmd_query(argc, argv, shards);
+    return cmd_query(argc, argv, shards, stats_json);
   }
   if (cmd == "bench") {
-    return cmd_bench(argc, argv, shards);
+    return cmd_bench(argc, argv, shards, stats_json);
   }
   if (cmd == "stats") {
     return cmd_stats(argc, argv, shards);

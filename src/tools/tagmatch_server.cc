@@ -1,34 +1,70 @@
 // tagmatch_server — standalone TagBroker service over TCP.
 //
-// Usage: tagmatch_server [port] [--shards N]
+// Usage: tagmatch_server [port] [--shards N] [--stats-json FILE [--stats-interval MS]]
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
 //   --shards N: back the broker with a sharded engine (N independent
 //               TagMatch shards, scatter-gather matching; default 1).
+//   --stats-json FILE: periodically dump the merged metrics registry
+//               (broker + engine, one line of JSON per dump — the same
+//               payload the STATS verb returns) by atomically rewriting
+//               FILE. Interval defaults to 1000 ms (--stats-interval).
 //
 // Protocol (newline-delimited; see src/net/wire.h):
 //   SUB a,b,c        -> OK <id>       subscribe this connection
 //   UNSUB <id>       -> OK <id>
 //   PUB a,b payload  -> OK 0          deliver to matching subscribers
 //   PING             -> PONG
+//   STATS            -> STATS <json>  observability snapshot
+//   TRACE [n]        -> TRACE <json>  newest n pipeline stage spans
 // Deliveries arrive as: MSG a,b payload
 //
 // Try it:   printf 'SUB alerts\n' | nc 127.0.0.1 7077
 // Runs until stdin closes or SIGTERM. Prints periodic stats to stderr.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "src/broker/broker.h"
 #include "src/net/server.h"
+
+namespace {
+
+// Atomic rewrite: dump to FILE.tmp, rename over FILE, so readers never see a
+// torn JSON line.
+void dump_stats(const tagmatch::broker::Broker& broker, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) {
+    return;
+  }
+  std::string json = broker.metrics_snapshot().to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   uint16_t port = 7077;
   unsigned shards = 1;
   bool port_seen = false;
+  std::string stats_json_path;
+  auto stats_interval = std::chrono::milliseconds(1000);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
+      stats_interval = std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
     } else if (!port_seen) {
       port = static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
       port_seen = true;
@@ -50,6 +86,24 @@ int main(int argc, char** argv) {
               config.engine_shards, config.engine_shards == 1 ? "" : "s");
   std::fflush(stdout);
 
+  // Optional periodic metrics dump (--stats-json).
+  std::mutex dump_mu;
+  std::condition_variable dump_cv;
+  bool dump_stop = false;
+  std::thread dumper;
+  if (!stats_json_path.empty()) {
+    dumper = std::thread([&] {
+      std::unique_lock lock(dump_mu);
+      for (;;) {
+        dump_cv.wait_for(lock, stats_interval, [&] { return dump_stop; });
+        dump_stats(broker, stats_json_path);
+        if (dump_stop) {
+          return;
+        }
+      }
+    });
+  }
+
   // Serve until stdin closes (EOF), printing stats per line of input.
   std::string line;
   int c;
@@ -65,6 +119,14 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(s.subscribers),
                    static_cast<unsigned long long>(s.subscriptions));
     }
+  }
+  if (dumper.joinable()) {
+    {
+      std::lock_guard lock(dump_mu);
+      dump_stop = true;  // The dumper writes one final snapshot on its way out.
+    }
+    dump_cv.notify_all();
+    dumper.join();
   }
   server.stop();
   return 0;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <thread>
 #include <vector>
@@ -222,6 +223,52 @@ TEST(SampleSet, MergeCombines) {
   a.merge(b);
   EXPECT_EQ(a.count(), 2u);
   EXPECT_DOUBLE_EQ(a.mean(), 2);
+}
+
+TEST(SampleSet, EmptyReportsNaN) {
+  SampleSet s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.percentile(50)));
+  EXPECT_TRUE(std::isnan(s.percentile(0)));
+  EXPECT_TRUE(std::isnan(s.percentile(100)));
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.record(42);
+  EXPECT_DOUBLE_EQ(s.mean(), 42);
+  EXPECT_DOUBLE_EQ(s.min(), 42);
+  EXPECT_DOUBLE_EQ(s.max(), 42);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42);
+}
+
+TEST(SampleSet, MergeInvalidatesCachedOrder) {
+  // percentile() caches the sorted order; a merge after a query must
+  // invalidate it so later order statistics see the merged samples.
+  SampleSet a, b;
+  a.record(10);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 10);  // Forces the sort cache.
+  b.record(5);
+  b.record(20);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 5);
+  EXPECT_DOUBLE_EQ(a.max(), 20);
+  EXPECT_DOUBLE_EQ(a.percentile(50), 10);
+
+  // Merging an empty set keeps statistics intact.
+  SampleSet empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 20);
+
+  // Record after a cached sort must also invalidate.
+  a.record(1);
+  EXPECT_DOUBLE_EQ(a.min(), 1);
 }
 
 TEST(Format, HumanReadable) {

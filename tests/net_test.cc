@@ -2,6 +2,7 @@
 // client/server round trips over localhost.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "src/net/client.h"
@@ -56,6 +57,37 @@ TEST(Wire, ParseRequests) {
   EXPECT_FALSE(parse_request("SUB").has_value());
   EXPECT_FALSE(parse_request("UNSUB notanumber").has_value());
   EXPECT_FALSE(parse_request("").has_value());
+}
+
+TEST(Wire, ParseStatsAndTraceRequests) {
+  auto stats = parse_request("STATS");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->kind, Request::Kind::kStats);
+
+  auto trace = parse_request("TRACE");
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->kind, Request::Kind::kTrace);
+  EXPECT_EQ(trace->trace_limit, 0u);
+
+  auto trace_n = parse_request("TRACE 128");
+  ASSERT_TRUE(trace_n.has_value());
+  EXPECT_EQ(trace_n->kind, Request::Kind::kTrace);
+  EXPECT_EQ(trace_n->trace_limit, 128u);
+
+  EXPECT_FALSE(parse_request("TRACE abc").has_value());
+  EXPECT_FALSE(parse_request("STATS now").has_value());
+}
+
+TEST(Wire, StatsAndTraceFramesRoundTrip) {
+  auto stats = parse_server_frame(format_stats(R"({"counters":{"x":1}})"));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->kind, ServerFrame::Kind::kStats);
+  EXPECT_EQ(stats->payload, R"({"counters":{"x":1}})");
+
+  auto trace = parse_server_frame(format_trace("[]"));
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->kind, ServerFrame::Kind::kTrace);
+  EXPECT_EQ(trace->payload, "[]");
 }
 
 TEST(Wire, ServerFramesRoundTrip) {
@@ -192,6 +224,47 @@ TEST_F(NetEndToEnd, ClientDisconnectCleansUpSubscriber) {
   BrokerClient producer;
   ASSERT_TRUE(producer.connect(server_->port()));
   EXPECT_TRUE(producer.publish(Tags{"gone", "now"}, "into the void"));
+}
+
+// Pulls `"name":{"count":N` out of a STATS JSON payload; 0 when absent.
+uint64_t histogram_count_in_json(const std::string& json, const std::string& name) {
+  const std::string needle = "\"" + name + "\":{\"count\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST_F(NetEndToEnd, StatsVerbReturnsStageHistograms) {
+  BrokerClient consumer, producer;
+  ASSERT_TRUE(consumer.connect(server_->port()));
+  ASSERT_TRUE(producer.connect(server_->port()));
+  ASSERT_TRUE(consumer.subscribe(Tags{"alerts"}).has_value());
+  // Fold the subscription into the partitioned index so the publish below
+  // rides the full GPU pipeline (staged-index scans bypass the kernel).
+  broker_->flush();
+  ASSERT_TRUE(producer.publish(Tags{"alerts", "disk"}, "x"));
+  ASSERT_TRUE(consumer.receive(std::chrono::milliseconds(5000)).has_value());
+
+  auto stats = producer.stats_json();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->find('\n'), std::string::npos);
+  // The acceptance surface: per-stage latency histograms covering the
+  // pre-filter, kernel, copy-back and consolidate stages, with samples.
+  EXPECT_GT(histogram_count_in_json(*stats, "stage.prefilter_ns"), 0u);
+  EXPECT_GT(histogram_count_in_json(*stats, "stage.kernel_ns"), 0u);
+  EXPECT_GT(histogram_count_in_json(*stats, "stage.d2h_ns"), 0u);
+  EXPECT_GT(histogram_count_in_json(*stats, "stage.consolidate_ns"), 0u);
+  EXPECT_GT(histogram_count_in_json(*stats, "query.latency_ns"), 0u);
+  EXPECT_GT(histogram_count_in_json(*stats, "broker.publish_latency_ns"), 0u);
+  // Broker counters ride the same snapshot.
+  EXPECT_NE(stats->find("\"broker.published\":1"), std::string::npos);
+
+  auto trace = producer.trace_json(64);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->front(), '[');
+  EXPECT_NE(trace->find("\"stage\":\"kernel\""), std::string::npos);
 }
 
 TEST_F(NetEndToEnd, ServerStopIsCleanWhileClientsConnected) {
