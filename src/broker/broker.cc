@@ -16,12 +16,19 @@ Broker::Broker(BrokerConfig config) : config_(std::move(config)) {
   dropped_ = metrics_.counter("broker.dropped");
   consolidations_ = metrics_.counter("broker.consolidations");
   publish_latency_ = metrics_.histogram("broker.publish_latency_ns");
+  slo_met_ = metrics_.counter("broker.slo.met");
+  slo_degraded_ = metrics_.counter("broker.slo.degraded");
+  slo_partial_ = metrics_.counter("broker.slo.partial");
+  slo_rejected_ = metrics_.counter("broker.slo.rejected");
+  slo_margin_ = metrics_.histogram("broker.slo.margin_ns");
   if (config_.engine_shards > 1) {
     shard::ShardedConfig sharded;
     sharded.num_shards = config_.engine_shards;
     sharded.shard = config_.engine;
     sharded.query_timeout = config_.shard_query_timeout;
-    engine_ = std::make_unique<shard::ShardedTagMatch>(sharded);
+    auto sharded_engine = std::make_unique<shard::ShardedTagMatch>(sharded);
+    sharded_ = sharded_engine.get();
+    engine_ = std::move(sharded_engine);
   } else {
     engine_ = std::make_unique<TagMatch>(config_.engine);
   }
@@ -84,17 +91,26 @@ void Broker::disconnect(SubscriberId subscriber) {
 
 SubscriptionId Broker::subscribe(SubscriberId subscriber, std::vector<std::string> tags) {
   SubscriptionId id;
+  bool trigger_consolidation;
   {
     std::lock_guard lock(registry_mu_);
     TAGMATCH_CHECK(subscribers_.count(subscriber) == 1);
     id = next_subscription_++;
     subscriptions_.emplace(id, Subscription{subscriber, tags, true, false});
-    ++staged_churn_;
+    // Capture the trigger decision under the lock; staged_churn_ is
+    // registry_mu_ state and the consolidator resets it concurrently.
+    trigger_consolidation = ++staged_churn_ >= config_.consolidate_after_churn;
   }
-  // The subscription id is the engine key; delivery maps it back to the
-  // subscriber.
-  engine_->add_set(std::span<const std::string>(tags), id);
-  if (staged_churn_ >= config_.consolidate_after_churn) {
+  {
+    // The subscription id is the engine key; delivery maps it back to the
+    // subscriber. add_set reaches into engine state that consolidation and
+    // load() mutate under the exclusive gate (sharded: the shards_ vector
+    // itself is swapped by load), so it needs the same shared gate as
+    // publishes.
+    std::shared_lock gate(publish_mu_);
+    engine_->add_set(std::span<const std::string>(tags), id);
+  }
+  if (trigger_consolidation) {
     consolidate_cv_.notify_one();
   }
   return id;
@@ -109,24 +125,104 @@ void Broker::unsubscribe(SubscriberId subscriber, SubscriptionId subscription) {
   it->second.active = false;  // Delivery-time filter; index GC at consolidation.
 }
 
-void Broker::publish(Message message) {
+Broker::PublishResult Broker::publish(Message message) {
+  const int64_t publish_ns = now_ns();
+  const bool slo_on = config_.publish_slo.count() > 0;
+  const int64_t deadline_ns =
+      slo_on ? publish_ns +
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(config_.publish_slo).count()
+             : 0;
+  using SloMode = BrokerConfig::SloMode;
+  if (slo_on && config_.slo_mode == SloMode::kRejectAdmission && admission_breached(publish_ns)) {
+    slo_rejected_->inc();
+    return PublishResult::kRejected;
+  }
   published_->inc();
   auto shared_message = std::make_shared<const Message>(std::move(message));
-  const int64_t publish_ns = now_ns();
   std::shared_lock gate(publish_mu_);
-  engine_->match_async(
-      std::span<const std::string>(shared_message->tags), Matcher::MatchKind::kMatchUnique,
-      [this, shared_message, publish_ns](std::vector<Matcher::Key> subscription_keys) {
-        deliver(shared_message, subscription_keys);
-        // Publish-to-queue latency: accept to every subscriber queue written
-        // (the full broker-side path; consumer poll time is not included).
-        publish_latency_->record(
-            static_cast<uint64_t>(std::max<int64_t>(0, now_ns() - publish_ns)));
-      });
+  const std::span<const std::string> tags(shared_message->tags);
+  if (!slo_on) {
+    // SLO off: the pre-existing path, byte for byte — no deadline attached,
+    // no outcome classification.
+    engine_->match_async(
+        tags, Matcher::MatchKind::kMatchUnique,
+        [this, shared_message, publish_ns](std::vector<Matcher::Key> subscription_keys) {
+          deliver(shared_message, subscription_keys, /*deadline_ns=*/0);
+          // Publish-to-queue latency: accept to every subscriber queue
+          // written (the full broker-side path; consumer poll time is not
+          // included).
+          finish_publish(publish_ns, /*deadline_ns=*/0, /*partial=*/false, /*skipped=*/0);
+        });
+  } else if (sharded_ != nullptr && config_.slo_mode >= SloMode::kDeliverPartial) {
+    // Partial-capable path: the sharded engine sheds shards still
+    // outstanding at the deadline and tells us it did.
+    sharded_->match_result_async(
+        tags, Matcher::MatchKind::kMatchUnique, deadline_ns,
+        [this, shared_message, publish_ns,
+         deadline_ns](shard::ShardedTagMatch::MatchResult result) {
+          const uint64_t skipped = deliver(shared_message, result.keys, deadline_ns);
+          finish_publish(publish_ns, deadline_ns, result.partial, skipped);
+        });
+  } else {
+    // Keys-only path (single engine, or sharded under kSkipBlocked): the
+    // deadline arms the engine's early batch close but results stay exact.
+    engine_->match_async(
+        tags, Matcher::MatchKind::kMatchUnique, deadline_ns,
+        [this, shared_message, publish_ns,
+         deadline_ns](std::vector<Matcher::Key> subscription_keys) {
+          const uint64_t skipped = deliver(shared_message, subscription_keys, deadline_ns);
+          finish_publish(publish_ns, deadline_ns, /*partial=*/false, skipped);
+        });
+  }
+  return PublishResult::kAccepted;
 }
 
-void Broker::deliver(const std::shared_ptr<const Message>& message,
-                     const std::vector<Matcher::Key>& subscription_keys) {
+void Broker::finish_publish(int64_t publish_ns, int64_t deadline_ns, bool partial,
+                            uint64_t skipped) {
+  const int64_t end_ns = now_ns();
+  publish_latency_->record(static_cast<uint64_t>(std::max<int64_t>(0, end_ns - publish_ns)));
+  if (deadline_ns == 0) {
+    return;
+  }
+  const bool late = end_ns > deadline_ns;
+  if (partial || skipped > 0 || late) {
+    slo_degraded_->inc();
+    if (partial) {
+      slo_partial_->inc();
+    }
+  } else {
+    slo_met_->inc();
+  }
+  slo_margin_->record(static_cast<uint64_t>(std::max<int64_t>(0, deadline_ns - end_ns)));
+  if (config_.slo_mode == BrokerConfig::SloMode::kRejectAdmission) {
+    const int64_t window_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(config_.slo_breach_window).count();
+    std::lock_guard lock(slo_window_mu_);
+    slo_window_.emplace_back(end_ns, late);
+    slo_window_breached_ += late ? 1 : 0;
+    while (!slo_window_.empty() && slo_window_.front().first < end_ns - window_ns) {
+      slo_window_breached_ -= slo_window_.front().second ? 1 : 0;
+      slo_window_.pop_front();
+    }
+  }
+}
+
+bool Broker::admission_breached(int64_t now) {
+  const int64_t window_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config_.slo_breach_window).count();
+  std::lock_guard lock(slo_window_mu_);
+  while (!slo_window_.empty() && slo_window_.front().first < now - window_ns) {
+    slo_window_breached_ -= slo_window_.front().second ? 1 : 0;
+    slo_window_.pop_front();
+  }
+  // >5% of the window over the SLO <=> observed p95 above the SLO.
+  return slo_window_.size() >= config_.slo_breach_min_samples &&
+         slo_window_breached_ * 20 > slo_window_.size();
+}
+
+uint64_t Broker::deliver(const std::shared_ptr<const Message>& message,
+                         const std::vector<Matcher::Key>& subscription_keys,
+                         int64_t deadline_ns) {
   // Resolve subscriptions to connected subscribers, deduplicating so a
   // subscriber with several matching subscriptions gets one copy.
   std::vector<std::pair<SubscriberId, std::shared_ptr<Subscriber>>> targets;
@@ -150,6 +246,7 @@ void Broker::deliver(const std::shared_ptr<const Message>& message,
                             [](const auto& a, const auto& b) { return a.first == b.first; }),
                 targets.end());
 
+  uint64_t skipped = 0;
   for (auto& [id, sub] : targets) {
     std::unique_lock lock(sub->mu);
     if (!sub->connected) {
@@ -160,9 +257,23 @@ void Broker::deliver(const std::shared_ptr<const Message>& message,
         dropped_->inc();
         continue;
       }
-      sub->cv.wait(lock, [&] {
+      auto space = [&] {
         return !sub->connected || sub->queue.size() < config_.max_queue_per_subscriber;
-      });
+      };
+      if (deadline_ns != 0) {
+        // Skip-blocked degradation (every SLO mode): wait for queue space
+        // only until the publish deadline, then shed this subscriber.
+        const auto deadline = std::chrono::steady_clock::time_point(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::nanoseconds(deadline_ns)));
+        if (!sub->cv.wait_until(lock, deadline, space)) {
+          dropped_->inc();
+          ++skipped;
+          continue;
+        }
+      } else {
+        sub->cv.wait(lock, space);
+      }
       if (!sub->connected) {
         continue;
       }
@@ -171,6 +282,7 @@ void Broker::deliver(const std::shared_ptr<const Message>& message,
     deliveries_->inc();
     sub->cv.notify_one();
   }
+  return skipped;
 }
 
 std::optional<Message> Broker::poll(SubscriberId subscriber) {
@@ -304,11 +416,15 @@ bool read_string(std::FILE* f, std::string& s) {
 bool Broker::save(const std::string& path_prefix) {
   flush();  // Consolidates, so the index file reflects every live subscription.
   std::unique_lock gate(publish_mu_);
+  // On any failure below, remove whatever was partially written: a load()
+  // must never see a .idx/.subs pair where one half is torn.
   if (!engine_->save_index(path_prefix + ".idx")) {
+    std::remove((path_prefix + ".idx").c_str());
     return false;
   }
   std::FILE* f = std::fopen((path_prefix + ".subs").c_str(), "wb");
   if (f == nullptr) {
+    std::remove((path_prefix + ".idx").c_str());
     return false;
   }
   std::lock_guard lock(registry_mu_);
@@ -333,8 +449,14 @@ bool Broker::save(const std::string& path_prefix) {
       write_string(f, t);
     }
   }
-  bool ok = std::fflush(f) == 0;
+  // fwrite failures above (disk full, EIO) latch the stream error flag;
+  // fflush alone can still return 0 when there is nothing left to flush.
+  bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
   std::fclose(f);
+  if (!ok) {
+    std::remove((path_prefix + ".subs").c_str());
+    std::remove((path_prefix + ".idx").c_str());
+  }
   return ok;
 }
 
@@ -399,6 +521,10 @@ Broker::Stats Broker::stats() const {
   s.deliveries = deliveries_->value();
   s.dropped = dropped_->value();
   s.consolidations = consolidations_->value();
+  s.slo_met = slo_met_->value();
+  s.slo_degraded = slo_degraded_->value();
+  s.slo_partial = slo_partial_->value();
+  s.slo_rejected = slo_rejected_->value();
   std::lock_guard lock(registry_mu_);
   s.subscribers = subscribers_.size();
   for (const auto& [id, sub] : subscriptions_) {

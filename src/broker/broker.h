@@ -20,6 +20,25 @@
 //  * per-subscriber delivery queues are bounded; on overflow the broker
 //    either drops the message for that subscriber (counted) or blocks the
 //    publisher, per configuration.
+//
+// Publish-latency SLO and load shedding (opt-in via publish_slo): every
+// accepted publish carries an absolute deadline = accept time + publish_slo,
+// checked at each pipeline hand-off. Three escalating degradation modes
+// (each includes the previous):
+//  * kSkipBlocked — a delivery that would block on a full subscriber queue
+//    waits only until the deadline, then skips that subscriber (counted in
+//    dropped and broker.slo.degraded);
+//  * kDeliverPartial — sharded engines additionally shed slow shards at the
+//    deadline and deliver to the subscribers found so far
+//    (MatchResult::partial; counted in broker.slo.partial);
+//  * kRejectAdmission — additionally, publishes are rejected at admission
+//    (PublishResult::kRejected, counted in broker.slo.rejected) while the
+//    recent completion window shows >5% of publishes over the SLO (i.e. the
+//    observed p95 of broker.publish_latency_ns breaches the SLO).
+// Completions are classified exactly once: broker.slo.met when the full
+// delivery finished in budget with nothing shed, broker.slo.degraded
+// otherwise; broker.slo.margin_ns records the budget left at completion.
+// With publish_slo unset the broker behaves exactly as before.
 #ifndef TAGMATCH_BROKER_BROKER_H_
 #define TAGMATCH_BROKER_BROKER_H_
 
@@ -35,11 +54,16 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/core/matcher.h"
 #include "src/obs/metrics.h"
+
+namespace tagmatch::shard {
+class ShardedTagMatch;
+}  // namespace tagmatch::shard
 
 namespace tagmatch::broker {
 
@@ -75,6 +99,26 @@ struct BrokerConfig {
   // stats().dropped); false: block the delivery path until space frees up.
   bool drop_on_overflow = true;
 
+  // End-to-end publish-latency SLO (accept -> last subscriber queue write).
+  // Zero disables SLO enforcement entirely: no deadlines are attached and
+  // the broker behaves exactly as without this feature. When set, every
+  // accepted publish gets an absolute deadline and slo_mode picks how hard
+  // the broker degrades to hold it (see the header comment).
+  std::chrono::milliseconds publish_slo{0};
+  // Escalating degradation modes; each includes the previous.
+  enum class SloMode {
+    kSkipBlocked = 0,      // Never block past the deadline on a full queue.
+    kDeliverPartial = 1,   // + shed slow shards, deliver partial matches.
+    kRejectAdmission = 2,  // + reject publishes while p95 breaches the SLO.
+  };
+  SloMode slo_mode = SloMode::kRejectAdmission;
+  // Admission gate (kRejectAdmission): sliding window over recent publish
+  // completions; admission closes while at least slo_breach_min_samples
+  // completions sit in the window and more than 5% of them finished over
+  // the SLO (the observed p95 is then above the SLO).
+  std::chrono::milliseconds slo_breach_window{1000};
+  size_t slo_breach_min_samples = 32;
+
   BrokerConfig() {
     engine.match_staged_adds = true;
     engine.batch_timeout = std::chrono::milliseconds(20);
@@ -105,8 +149,12 @@ class Broker {
 
   // --- Publishing ---
   // Asynchronous: routes through the TagMatch pipeline; delivery happens on
-  // pipeline threads.
-  void publish(Message message);
+  // pipeline threads. kRejected is returned only under an active SLO in
+  // kRejectAdmission mode while the admission gate is closed; a rejected
+  // message is not enqueued anywhere (counted in broker.slo.rejected, not
+  // broker.published).
+  enum class PublishResult { kAccepted, kRejected };
+  PublishResult publish(Message message);
 
   // --- Delivery ---
   // Non-blocking pop from the subscriber's queue.
@@ -135,6 +183,14 @@ class Broker {
     uint64_t consolidations = 0;
     uint64_t subscribers = 0;
     uint64_t subscriptions = 0;  // Live (not unsubscribed).
+    // SLO accounting (all zero while publish_slo is unset). met + degraded
+    // equals completed SLO-tracked publishes; partial is the subset of
+    // degraded whose match results were shed; rejected publishes never enter
+    // published.
+    uint64_t slo_met = 0;
+    uint64_t slo_degraded = 0;
+    uint64_t slo_partial = 0;
+    uint64_t slo_rejected = 0;
   };
   Stats stats() const;
 
@@ -160,8 +216,18 @@ class Broker {
     bool removed = false; // True once the engine removal has been staged.
   };
 
-  void deliver(const std::shared_ptr<const Message>& message,
-               const std::vector<Matcher::Key>& subscription_keys);
+  // Delivers to the resolved subscribers; with a nonzero deadline a delivery
+  // that would block on a full queue waits only until the deadline. Returns
+  // the number of subscribers skipped at the deadline (also counted in
+  // dropped_).
+  uint64_t deliver(const std::shared_ptr<const Message>& message,
+                   const std::vector<Matcher::Key>& subscription_keys, int64_t deadline_ns);
+  // Completion accounting for one SLO-tracked publish: met/degraded/partial
+  // counters, the margin histogram, and (kRejectAdmission) the breach-window
+  // sample. deadline_ns == 0 records latency only.
+  void finish_publish(int64_t publish_ns, int64_t deadline_ns, bool partial, uint64_t skipped);
+  // True while the admission gate is closed (see slo_breach_window).
+  bool admission_breached(int64_t now);
   void consolidate_loop();
   void run_consolidation();
 
@@ -169,6 +235,10 @@ class Broker {
   // A TagMatch (engine_shards == 1) or a ShardedTagMatch behind the Matcher
   // interface; the broker is indifferent to which.
   std::unique_ptr<Matcher> engine_;
+  // Non-owning view of engine_ when it is sharded; the deliver-partial SLO
+  // mode needs the partial-result surface the Matcher interface cannot
+  // express (match_result_async).
+  shard::ShardedTagMatch* sharded_ = nullptr;
   // TagMatch forbids matching concurrently with consolidate(); publishers
   // hold this shared, the consolidator exclusive (it flushes first, so no
   // query is in flight while the index is rebuilt).
@@ -196,6 +266,19 @@ class Broker {
   obs::Counter* dropped_ = nullptr;
   obs::Counter* consolidations_ = nullptr;
   obs::Histogram* publish_latency_ = nullptr;
+  // SLO outcome counters (header comment); margin = budget left at
+  // completion, clamped at zero.
+  obs::Counter* slo_met_ = nullptr;
+  obs::Counter* slo_degraded_ = nullptr;
+  obs::Counter* slo_partial_ = nullptr;
+  obs::Counter* slo_rejected_ = nullptr;
+  obs::Histogram* slo_margin_ = nullptr;
+
+  // Admission breach window (kRejectAdmission): recent completions as
+  // (completion time, finished over SLO) samples.
+  std::mutex slo_window_mu_;
+  std::deque<std::pair<int64_t, bool>> slo_window_;
+  size_t slo_window_breached_ = 0;
 };
 
 }  // namespace tagmatch::broker

@@ -35,6 +35,14 @@ struct TagMatchConfig {
   // control; Fig. 6). Zero disables the timeout.
   std::chrono::milliseconds batch_timeout{0};
 
+  // Deadline-aware batch close: a partial batch whose oldest query deadline
+  // (the deadline_ns argument of the deadline-carrying match_async
+  // overloads) falls within the next flusher tick is submitted early instead
+  // of waiting out batch_timeout. Requires batch_timeout > 0 (the flusher
+  // thread enforces both). Queries without a deadline are unaffected; early
+  // closes are counted in engine.deadline_closes.
+  bool deadline_batch_close = true;
+
   // --- Simulated GPU platform ---
   unsigned num_gpus = 2;
   unsigned streams_per_gpu = 10;

@@ -48,6 +48,26 @@ class Matcher {
                            MatchCallback callback) = 0;
   virtual void match_async(std::span<const std::string> tags, MatchKind kind,
                            MatchCallback callback) = 0;
+
+  // Deadline-carrying variants. `deadline_ns` is an absolute steady-clock
+  // timestamp in the now_ns() domain (src/common/stats.h); 0 means no
+  // deadline. A deadline is a latency hint, not a result contract: engines
+  // that understand it push the query through the pipeline early as the
+  // deadline nears (deadline-aware batch close in TagMatch, per-shard
+  // propagation in ShardedTagMatch) but still deliver complete results.
+  // Deadline-driven result shedding is only available through
+  // ShardedTagMatch::match_result_async, which can express a partial result.
+  // The default implementations ignore the deadline.
+  virtual void match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                           MatchCallback callback) {
+    (void)deadline_ns;
+    match_async(query, kind, std::move(callback));
+  }
+  virtual void match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
+                           MatchCallback callback) {
+    (void)deadline_ns;
+    match_async(tags, kind, std::move(callback));
+  }
   virtual std::vector<Key> match(const BloomFilter192& query) = 0;
   virtual std::vector<Key> match_unique(const BloomFilter192& query) = 0;
   virtual std::vector<Key> match(std::span<const std::string> tags) = 0;

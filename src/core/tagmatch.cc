@@ -45,6 +45,9 @@ struct QueryState {
   // (start of the enqueue span and of the end-to-end latency histogram).
   uint64_t trace_id = 0;
   int64_t enqueue_ns = 0;
+  // Absolute completion deadline (now_ns() domain; 0 = none). Batches
+  // holding this query are flushed early as the deadline nears.
+  int64_t deadline_ns = 0;
 };
 
 // A batch of queries bound for one partition. Owns the contiguous filter
@@ -55,6 +58,9 @@ struct Batch {
   std::vector<std::shared_ptr<QueryState>> queries;
   int64_t created_ns = 0;
   uint64_t trace_id = 0;  // Engine-unique batch sequence (reduce span id).
+  // Earliest deadline over member queries (0 = none); the flusher submits
+  // the batch early when it nears.
+  int64_t min_deadline_ns = 0;
 };
 
 // Unit of work for the pipeline workers: either a fresh query to pre-process
@@ -85,6 +91,7 @@ class TagMatchImpl {
     partitions_forwarded_ = registry.counter("engine.partitions_forwarded");
     batch_queries_ = registry.counter("engine.batch_queries");
     result_pairs_ = registry.counter("engine.result_pairs");
+    deadline_closes_ = registry.counter("engine.deadline_closes");
     consolidations_ = registry.counter("engine.consolidations");
     query_latency_ = registry.histogram("query.latency_ns");
     unique_sets_gauge_ = registry.gauge("engine.unique_sets");
@@ -258,7 +265,7 @@ class TagMatchImpl {
   }
 
   void match_async(const BloomFilter192& query, MatchKind kind, TagMatch::MatchCallback callback,
-                   std::vector<uint64_t> tag_hashes = {}) {
+                   std::vector<uint64_t> tag_hashes = {}, int64_t deadline_ns = 0) {
     std::sort(tag_hashes.begin(), tag_hashes.end());
     outstanding_.fetch_add(1, std::memory_order_acq_rel);
     WorkItem item;
@@ -269,6 +276,7 @@ class TagMatchImpl {
     item.query->tag_hashes = std::move(tag_hashes);
     item.query->trace_id = query_seq_.fetch_add(1, std::memory_order_relaxed);
     item.query->enqueue_ns = now_ns();
+    item.query->deadline_ns = config_.deadline_batch_close ? deadline_ns : 0;
     queue_.push(std::move(item));
   }
 
@@ -380,6 +388,10 @@ class TagMatchImpl {
         query->pending.fetch_add(1, std::memory_order_acq_rel);
         slot.batch->filters.push_back(query->filter);
         slot.batch->queries.push_back(query);
+        if (query->deadline_ns != 0 && (slot.batch->min_deadline_ns == 0 ||
+                                        query->deadline_ns < slot.batch->min_deadline_ns)) {
+          slot.batch->min_deadline_ns = query->deadline_ns;
+        }
         if (slot.batch->filters.size() >= config_.batch_size) {
           full = std::move(slot.batch);
         }
@@ -531,10 +543,14 @@ class TagMatchImpl {
     }
   }
 
-  // Background flusher enforcing the batch timeout (§3, Fig. 6).
+  // Background flusher enforcing the batch timeout (§3, Fig. 6) and, for
+  // deadline-carrying queries, the deadline-aware batch close: a batch whose
+  // oldest member deadline would expire before the next tick is submitted
+  // now instead of waiting out the full batch timeout.
   void timeout_loop() {
     const auto timeout = config_.batch_timeout;
     const auto tick = std::max(timeout / 4, std::chrono::milliseconds(1));
+    const int64_t tick_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(tick).count();
     std::unique_lock lock(timeout_mu_);
     while (!stopping_) {
       timeout_cv_.wait_for(lock, tick, [&] { return stopping_; });
@@ -543,25 +559,40 @@ class TagMatchImpl {
       }
       lock.unlock();
       std::lock_guard work_lock(flusher_work_mu_);
+      const int64_t now = now_ns();
       const int64_t cutoff =
-          now_ns() - std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
+          now - std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
+      bool any_deadline_close = false;
       for (auto& slot_ptr : partials_) {
         std::unique_ptr<Batch> expired;
+        bool deadline_close = false;
         {
           std::lock_guard slot_lock(slot_ptr->mu);
-          if (slot_ptr->batch && slot_ptr->batch->created_ns <= cutoff) {
-            expired = std::move(slot_ptr->batch);
+          if (slot_ptr->batch) {
+            const bool aged = slot_ptr->batch->created_ns <= cutoff;
+            deadline_close = !aged && slot_ptr->batch->min_deadline_ns != 0 &&
+                             slot_ptr->batch->min_deadline_ns <= now + tick_ns;
+            if (aged || deadline_close) {
+              expired = std::move(slot_ptr->batch);
+            }
           }
         }
         if (expired && !expired->filters.empty()) {
+          if (deadline_close) {
+            deadline_closes_->inc();
+            any_deadline_close = true;
+          }
           submit_batch(std::move(expired));
         }
       }
       // Results of the last batch on each stream wait for the stream's next
       // batch (double buffering); if submission has gone quiet, drain them.
+      // A deadline close drains unconditionally: its whole point is that the
+      // query cannot afford to wait for the stream's next batch.
       if (engine_ && engine_->in_flight() > 0 &&
-          now_ns() - last_submit_ns_.load(std::memory_order_relaxed) >
-              std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count()) {
+          (any_deadline_close ||
+           now_ns() - last_submit_ns_.load(std::memory_order_relaxed) >
+               std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count())) {
         engine_->drain();
       }
       lock.lock();
@@ -628,6 +659,7 @@ class TagMatchImpl {
   obs::Counter* partitions_forwarded_ = nullptr;
   obs::Counter* batch_queries_ = nullptr;
   obs::Counter* result_pairs_ = nullptr;
+  obs::Counter* deadline_closes_ = nullptr;
   obs::Counter* consolidations_ = nullptr;
   obs::Histogram* query_latency_ = nullptr;
   obs::Gauge* unique_sets_gauge_ = nullptr;
@@ -687,8 +719,13 @@ bool TagMatchImpl::save_index(const std::string& path) const {
   write_vec(f, keys_flat_);
   write_vec(f, exact_offsets_);
   write_vec(f, exact_hashes_);
-  bool ok = std::fflush(f) == 0;
+  // ferror catches short fwrites from any write_vec above (they set the
+  // stream error flag); fflush alone would miss them.
+  bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
   std::fclose(f);
+  if (!ok) {
+    std::remove(path.c_str());  // A truncated index must not be loadable.
+  }
   return ok;
 }
 
@@ -797,13 +834,23 @@ void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, MatchCal
 }
 void TagMatch::match_async_hashed(const BloomFilter192& query,
                                   std::span<const uint64_t> query_tag_hashes, MatchKind kind,
-                                  MatchCallback callback) {
+                                  MatchCallback callback, int64_t deadline_ns) {
   impl_->match_async(query, kind, std::move(callback),
-                     std::vector<uint64_t>(query_tag_hashes.begin(), query_tag_hashes.end()));
+                     std::vector<uint64_t>(query_tag_hashes.begin(), query_tag_hashes.end()),
+                     deadline_ns);
 }
 void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind,
                            MatchCallback callback) {
   impl_->match_async(BloomFilter192::of(tags), kind, std::move(callback), hash_tags(tags));
+}
+void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                           MatchCallback callback) {
+  impl_->match_async(query, kind, std::move(callback), {}, deadline_ns);
+}
+void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
+                           MatchCallback callback) {
+  impl_->match_async(BloomFilter192::of(tags), kind, std::move(callback), hash_tags(tags),
+                     deadline_ns);
 }
 
 namespace {

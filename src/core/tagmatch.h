@@ -70,10 +70,19 @@ class TagMatch : public Matcher {
   void match_async(const BloomFilter192& query, MatchKind kind, MatchCallback callback) override;
   // Exact-check-capable variant: `query_tag_hashes` are the hashes of the
   // query's tags (same hash space as add_set_hashed / tag_hash).
+  // `deadline_ns` (absolute, now_ns() domain; 0 = none) arms deadline-aware
+  // batch close for this query (config.deadline_batch_close).
   void match_async_hashed(const BloomFilter192& query,
                           std::span<const uint64_t> query_tag_hashes, MatchKind kind,
-                          MatchCallback callback);
+                          MatchCallback callback, int64_t deadline_ns = 0);
   void match_async(std::span<const std::string> tags, MatchKind kind,
+                   MatchCallback callback) override;
+  // Deadline-carrying overloads (see Matcher): batches holding this query
+  // are flushed early as deadline_ns approaches, bounding the time the query
+  // can sit in a partial batch.
+  void match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                   MatchCallback callback) override;
+  void match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
                    MatchCallback callback) override;
   std::vector<Key> match(const BloomFilter192& query) override;
   std::vector<Key> match_unique(const BloomFilter192& query) override;

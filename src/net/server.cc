@@ -160,8 +160,13 @@ void BrokerServer::reader_loop(Connection* conn) {
         send_line(conn, format_ok(request->subscription));
         break;
       case Request::Kind::kPub:
-        broker_->publish(broker::Message{std::move(request->tags), std::move(request->payload)});
-        send_line(conn, format_ok(0));
+        if (broker_->publish(broker::Message{std::move(request->tags),
+                                             std::move(request->payload)}) ==
+            broker::Broker::PublishResult::kAccepted) {
+          send_line(conn, format_ok(0));
+        } else {
+          send_line(conn, format_err("slo rejected"));
+        }
         break;
       case Request::Kind::kStats:
         send_line(conn, format_stats(broker_->metrics_snapshot().to_json()));

@@ -5,7 +5,10 @@
 // Client -> server:
 //   SUB <tag,tag,...>            subscribe; reply: OK <subscription-id>
 //   UNSUB <subscription-id>      unsubscribe; reply: OK <subscription-id>
-//   PUB <tag,tag,...> <payload>  publish; reply: OK 0 (payload = rest of line)
+//   PUB <tag,tag,...> <payload>  publish; reply: OK 0 (payload = rest of
+//                                line), or ERR slo rejected when the broker
+//                                sheds the publish at admission (publish-SLO
+//                                breach, --publish-slo-ms / --slo-mode)
 //   PING                         liveness; reply: PONG
 //   STATS                        observability snapshot (broker + engine
 //                                registries merged); reply: STATS <json>,

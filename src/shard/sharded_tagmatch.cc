@@ -37,6 +37,13 @@ ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(confi
     gates_.push_back(std::make_unique<std::shared_mutex>());
   }
   if (config_.query_timeout.count() > 0) {
+    ensure_timeout_thread();
+  }
+}
+
+void ShardedTagMatch::ensure_timeout_thread() {
+  std::lock_guard lock(timeout_start_mu_);
+  if (!timeout_thread_.joinable()) {
     timeout_thread_ = std::thread([this] { timeout_loop(); });
   }
 }
@@ -117,7 +124,8 @@ void ShardedTagMatch::consolidate() {
 // --- Matching: scatter -----------------------------------------------------
 
 void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t> tag_hashes,
-                              MatchKind kind, ResultCallback callback) {
+                              MatchKind kind, int64_t gather_deadline_ns,
+                              int64_t shard_deadline_ns, ResultCallback callback) {
   queries_->inc();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   auto gather = std::make_shared<Gather>();
@@ -126,10 +134,18 @@ void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t>
   gather->awaiting = static_cast<uint32_t>(shards_.size());
   gather->trace_id = gather_seq_.fetch_add(1, std::memory_order_relaxed);
   gather->start_ns = now_ns();
+  // Shedding deadline: the tighter of the caller's per-query deadline and
+  // the configured static timeout.
   if (config_.query_timeout.count() > 0) {
-    gather->deadline_ns =
-        now_ns() +
+    const int64_t config_deadline =
+        gather->start_ns +
         std::chrono::duration_cast<std::chrono::nanoseconds>(config_.query_timeout).count();
+    gather_deadline_ns = gather_deadline_ns == 0 ? config_deadline
+                                                 : std::min(gather_deadline_ns, config_deadline);
+  }
+  if (gather_deadline_ns != 0) {
+    gather->deadline_ns = gather_deadline_ns;
+    ensure_timeout_thread();
     std::lock_guard lock(gathers_mu_);
     gathers_.push_back(gather);
   }
@@ -137,9 +153,14 @@ void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t>
     auto on_shard = [this, gather](std::vector<Key> keys) { absorb(gather, std::move(keys)); };
     std::shared_lock gate(*gates_[i]);
     if (tag_hashes.empty()) {
-      shards_[i]->match_async(query, kind, std::move(on_shard));
+      if (shard_deadline_ns != 0) {
+        shards_[i]->match_async(query, kind, shard_deadline_ns, std::move(on_shard));
+      } else {
+        shards_[i]->match_async(query, kind, std::move(on_shard));
+      }
     } else {
-      shards_[i]->match_async_hashed(query, tag_hashes, kind, std::move(on_shard));
+      shards_[i]->match_async_hashed(query, tag_hashes, kind, std::move(on_shard),
+                                     shard_deadline_ns);
     }
   }
 }
@@ -232,12 +253,29 @@ void ShardedTagMatch::timeout_loop() {
 
 void ShardedTagMatch::match_result_async(const BloomFilter192& query, MatchKind kind,
                                          ResultCallback callback) {
-  scatter(query, {}, kind, std::move(callback));
+  scatter(query, {}, kind, /*gather_deadline_ns=*/0, /*shard_deadline_ns=*/0,
+          std::move(callback));
+}
+
+void ShardedTagMatch::match_result_async(const BloomFilter192& query, MatchKind kind,
+                                         int64_t deadline_ns, ResultCallback callback) {
+  scatter(query, {}, kind, deadline_ns, deadline_ns, std::move(callback));
+}
+
+void ShardedTagMatch::match_result_async(std::span<const std::string> tags, MatchKind kind,
+                                         int64_t deadline_ns, ResultCallback callback) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(tags.size());
+  for (const auto& t : tags) {
+    hashes.push_back(TagMatch::tag_hash(t));
+  }
+  scatter(BloomFilter192::of(tags), std::move(hashes), kind, deadline_ns, deadline_ns,
+          std::move(callback));
 }
 
 void ShardedTagMatch::match_async(const BloomFilter192& query, MatchKind kind,
                                   MatchCallback callback) {
-  scatter(query, {}, kind,
+  scatter(query, {}, kind, /*gather_deadline_ns=*/0, /*shard_deadline_ns=*/0,
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
 
@@ -248,7 +286,29 @@ void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind k
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  scatter(BloomFilter192::of(tags), std::move(hashes), kind,
+  scatter(BloomFilter192::of(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
+          /*shard_deadline_ns=*/0,
+          [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
+}
+
+// Keys-only deadline overloads: the deadline reaches the shard engines
+// (early batch close) but never sheds the gather — partiality is
+// inexpressible here (see header).
+void ShardedTagMatch::match_async(const BloomFilter192& query, MatchKind kind,
+                                  int64_t deadline_ns, MatchCallback callback) {
+  scatter(query, {}, kind, /*gather_deadline_ns=*/0, deadline_ns,
+          [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
+}
+
+void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind kind,
+                                  int64_t deadline_ns, MatchCallback callback) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(tags.size());
+  for (const auto& t : tags) {
+    hashes.push_back(TagMatch::tag_hash(t));
+  }
+  scatter(BloomFilter192::of(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
+          deadline_ns,
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
 
@@ -257,7 +317,8 @@ std::vector<Matcher::Key> ShardedTagMatch::match_sync(const BloomFilter192& quer
                                                       std::vector<uint64_t> tag_hashes) {
   std::promise<std::vector<Key>> promise;
   auto future = promise.get_future();
-  scatter(query, std::move(tag_hashes), kind,
+  scatter(query, std::move(tag_hashes), kind, /*gather_deadline_ns=*/0,
+          /*shard_deadline_ns=*/0,
           [&promise](MatchResult result) { promise.set_value(std::move(result.keys)); });
   flush();
   return future.get();
@@ -432,8 +493,11 @@ bool ShardedTagMatch::save_index(const std::string& path) const {
   for (size_t i = 0; i < shards_.size(); ++i) {
     write_string(f, base_name(path) + ".shard" + std::to_string(i));
   }
-  bool ok = std::fflush(f) == 0;
+  bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
   std::fclose(f);
+  if (!ok) {
+    std::remove(path.c_str());  // No torn manifests next to valid shard files.
+  }
   return ok;
 }
 

@@ -57,7 +57,9 @@ struct ShardedConfig {
   // Per-query gather timeout. When a query's shard responses have not all
   // arrived within this budget, the gather fires with what it has and
   // MatchResult::partial set; late responses are dropped (counted in
-  // ShardStats::shards_shed). Zero waits indefinitely (exact results).
+  // ShardStats::shards_shed). Zero waits indefinitely (exact results) unless
+  // the caller supplies a per-query deadline through the deadline-carrying
+  // match_result_async overload, which takes the tighter of the two budgets.
   std::chrono::milliseconds query_timeout{0};
   // Rebuild shards in parallel during consolidate(). Disable to measure the
   // sequential-rebuild baseline (bench_shard_scaling reports both).
@@ -93,11 +95,29 @@ class ShardedTagMatch : public Matcher {
   };
   using ResultCallback = std::function<void(MatchResult)>;
   void match_result_async(const BloomFilter192& query, MatchKind kind, ResultCallback callback);
+  // Deadline-carrying variants (the broker's publish-SLO path): `deadline_ns`
+  // is an absolute now_ns() timestamp (0 = none). The gather fires partial at
+  // the tighter of the deadline and the configured query_timeout, and the
+  // deadline is also propagated to every shard engine so their deadline-aware
+  // batch close bounds in-shard queueing.
+  void match_result_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                          ResultCallback callback);
+  void match_result_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
+                          ResultCallback callback);
 
   // Matcher surface; the callback receives keys only (partial results are
   // still delivered — inspect ShardStats to observe shedding).
   void match_async(const BloomFilter192& query, MatchKind kind, MatchCallback callback) override;
   void match_async(std::span<const std::string> tags, MatchKind kind,
+                   MatchCallback callback) override;
+  // Deadline-carrying Matcher overloads: the deadline reaches the shard
+  // engines (early batch close) but does NOT shed the gather — a keys-only
+  // callback cannot express a partial result, so these stay exact unless
+  // config query_timeout sheds as before. Use match_result_async with a
+  // deadline for deadline-driven shedding.
+  void match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                   MatchCallback callback) override;
+  void match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
                    MatchCallback callback) override;
   std::vector<Key> match(const BloomFilter192& query) override;
   std::vector<Key> match_unique(const BloomFilter192& query) override;
@@ -146,8 +166,14 @@ class ShardedTagMatch : public Matcher {
   uint32_t shard_of(const BitVector192& filter, Key key) const {
     return policy_->shard_of(filter, key, static_cast<uint32_t>(shards_.size()));
   }
+  // `gather_deadline_ns` sheds the gather when it passes (0 = no shedding);
+  // `shard_deadline_ns` is forwarded to the shard engines' deadline-aware
+  // batch close (0 = none). Both absolute, now_ns() domain.
   void scatter(const BloomFilter192& query, std::vector<uint64_t> tag_hashes, MatchKind kind,
-               ResultCallback callback);
+               int64_t gather_deadline_ns, int64_t shard_deadline_ns, ResultCallback callback);
+  // Starts the timeout sweeper on first use (config query_timeout starts it
+  // eagerly; per-query deadlines start it on demand).
+  void ensure_timeout_thread();
   void absorb(const std::shared_ptr<Gather>& gather, std::vector<Key> keys);
   // Fires the gather's callback exactly once; `lock` must hold gather->mu
   // and is released before the callback runs.
@@ -171,6 +197,7 @@ class ShardedTagMatch : public Matcher {
   // timeout thread sweeps fired entries and sheds overdue ones.
   mutable std::mutex gathers_mu_;
   std::list<std::shared_ptr<Gather>> gathers_;
+  std::mutex timeout_start_mu_;  // Guards lazy timeout_thread_ creation.
   std::thread timeout_thread_;
   std::mutex timeout_mu_;
   std::condition_variable timeout_cv_;

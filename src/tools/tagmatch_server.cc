@@ -1,9 +1,17 @@
 // tagmatch_server — standalone TagBroker service over TCP.
 //
-// Usage: tagmatch_server [port] [--shards N] [--stats-json FILE [--stats-interval MS]]
+// Usage: tagmatch_server [port] [--shards N] [--publish-slo-ms N [--slo-mode M]]
+//                        [--stats-json FILE [--stats-interval MS]]
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
 //   --shards N: back the broker with a sharded engine (N independent
 //               TagMatch shards, scatter-gather matching; default 1).
+//   --publish-slo-ms N: enforce an end-to-end publish-latency SLO of N ms
+//               (accept -> subscriber queues written); 0/absent disables it.
+//   --slo-mode skip|partial|reject: degradation ceiling under the SLO —
+//               skip blocked subscribers only, + deliver partial matches
+//               (sharded engines), + reject publishes at admission while the
+//               observed p95 breaches the SLO (default reject; PUB then
+//               replies "ERR slo rejected").
 //   --stats-json FILE: periodically dump the merged metrics registry
 //               (broker + engine, one line of JSON per dump — the same
 //               payload the STATS verb returns) by atomically rewriting
@@ -58,9 +66,25 @@ int main(int argc, char** argv) {
   bool port_seen = false;
   std::string stats_json_path;
   auto stats_interval = std::chrono::milliseconds(1000);
+  auto publish_slo = std::chrono::milliseconds(0);
+  auto slo_mode = tagmatch::broker::BrokerConfig::SloMode::kRejectAdmission;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--publish-slo-ms") == 0 && i + 1 < argc) {
+      publish_slo = std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--slo-mode") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "skip") == 0) {
+        slo_mode = tagmatch::broker::BrokerConfig::SloMode::kSkipBlocked;
+      } else if (std::strcmp(mode, "partial") == 0) {
+        slo_mode = tagmatch::broker::BrokerConfig::SloMode::kDeliverPartial;
+      } else if (std::strcmp(mode, "reject") == 0) {
+        slo_mode = tagmatch::broker::BrokerConfig::SloMode::kRejectAdmission;
+      } else {
+        std::fprintf(stderr, "unknown --slo-mode %s (skip|partial|reject)\n", mode);
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
       stats_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
@@ -76,6 +100,8 @@ int main(int argc, char** argv) {
   config.engine.gpu_sms_per_device = 2;
   config.consolidate_interval = std::chrono::milliseconds(250);
   config.engine_shards = shards == 0 ? 1 : shards;
+  config.publish_slo = publish_slo;
+  config.slo_mode = slo_mode;
   tagmatch::broker::Broker broker(config);
   tagmatch::net::BrokerServer server(&broker, port);
   if (!server.listening()) {

@@ -1,0 +1,127 @@
+// Concurrency stress for the broker's churn paths, written to run under
+// ThreadSanitizer (the CI tsan job runs `ctest -R broker`). Before the
+// subscribe() hardening these raced:
+//  * subscribe() read staged_churn_ after releasing registry_mu_ while
+//    run_consolidation() reset it under the lock (torn size_t read);
+//  * subscribe() called engine_->add_set() without the shared publish gate,
+//    racing the consolidator's exclusive rebuild and — sharded — load()'s
+//    engine swap (commit_engines).
+#include "src/broker/broker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tagmatch::broker {
+namespace {
+
+using Tags = std::vector<std::string>;
+
+BrokerConfig stress_config() {
+  BrokerConfig c;
+  c.engine.num_threads = 2;
+  c.engine.num_gpus = 1;
+  c.engine.streams_per_gpu = 2;
+  c.engine.gpu_sms_per_device = 1;
+  c.engine.gpu_memory_capacity = 128ull << 20;
+  c.engine.gpu_costs.enforce = false;
+  c.engine.batch_size = 8;
+  c.engine.max_partition_size = 32;
+  c.engine.batch_timeout = std::chrono::milliseconds(1);
+  return c;
+}
+
+// Subscribe/unsubscribe churn racing the background consolidator: every
+// subscribe bumps staged_churn_ while run_consolidation() resets it, and
+// every add_set lands while consolidations rebuild the index.
+TEST(BrokerStress, ChurnVsConsolidate) {
+  BrokerConfig config = stress_config();
+  config.consolidate_interval = std::chrono::milliseconds(1);
+  config.consolidate_after_churn = 8;  // Early triggers exercise the cv path.
+  Broker broker(config);
+
+  constexpr int kChurners = 4;
+  constexpr int kRounds = 150;
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      broker.publish(Message{Tags{"topic" + std::to_string(i++ % 8), "x"}, "p"});
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kChurners; ++t) {
+    churners.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        SubscriberId id = broker.connect();
+        SubscriptionId s =
+            broker.subscribe(id, Tags{"topic" + std::to_string((t * kRounds + i) % 8)});
+        if (i % 2 == 0) {
+          broker.unsubscribe(id, s);
+        }
+        broker.disconnect(id);
+      }
+    });
+  }
+  for (auto& t : churners) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  publisher.join();
+  broker.flush();
+  EXPECT_EQ(broker.stats().subscribers, 0u);
+  EXPECT_GT(broker.stats().consolidations, 0u);
+}
+
+// Sharded variant with a concurrent load(): commit_engines swaps the
+// shards_ vector under the exclusive gate while subscribers keep staging
+// add_set — the subscribe path must hold the shared gate or the swap races.
+TEST(BrokerStress, ChurnVsLoadSharded) {
+  const std::string prefix = ::testing::TempDir() + "/broker_stress_churn_vs_load";
+  BrokerConfig config = stress_config();
+  config.engine_shards = 2;
+  config.consolidate_interval = std::chrono::milliseconds(2);
+  Broker broker(config);
+  // The seed subscriber owns a subscription in the saved state, so every
+  // load() restores it — churners can keep subscribing on its id without
+  // racing the subscriber-table replacement.
+  SubscriberId seed = broker.connect();
+  broker.subscribe(seed, Tags{"durable"});
+  ASSERT_TRUE(broker.save(prefix));
+
+  constexpr int kChurners = 3;
+  constexpr int kRounds = 60;
+  std::atomic<bool> stop{false};
+  std::thread loader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_TRUE(broker.load(prefix));
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kChurners; ++t) {
+    churners.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        broker.subscribe(seed, Tags{"churn" + std::to_string((t * kRounds + i) % 4)});
+      }
+    });
+  }
+  for (auto& t : churners) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  loader.join();
+  broker.flush();
+  std::remove((prefix + ".idx").c_str());
+  std::remove((prefix + ".subs").c_str());
+  std::remove((prefix + ".idx.shard0").c_str());
+  std::remove((prefix + ".idx.shard1").c_str());
+}
+
+}  // namespace
+}  // namespace tagmatch::broker
