@@ -4,17 +4,54 @@
 // reports copy/kernel busy time, transfer volume, and the wall time during
 // which at least two device operations ran concurrently. Also dumps a
 // chrome://tracing timeline.
+//
+// With --trace-out FILE, additionally runs a short traced pass (every query
+// stamped with a root trace context) and writes the resulting causal spans as
+// Chrome/Perfetto trace-event JSON — load FILE in ui.perfetto.dev.
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/core/gpu_engine.h"
 #include "src/core/partitioner.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 
 namespace tagmatch::bench {
 namespace {
 
-void run() {
+// Traced pass for --trace-out: stamp each query with its own root context so
+// the exported file shows per-query causal trees (enqueue -> prefilter ->
+// reduce with the inherited h2d/kernel/d2h stream ops).
+void write_causal_trace(TagMatch& tm, const std::vector<BitVector192>& queries,
+                        const std::string& path) {
+  const size_t n = std::min<size_t>(queries.size(), 64);
+  std::atomic<uint64_t> done{0};
+  for (size_t i = 0; i < n; ++i) {
+    obs::TraceContext ctx{obs::new_trace_id(), obs::new_span_id(), true};
+    tm.match_async(BloomFilter192(queries[i]), TagMatch::MatchKind::kMatch,
+                   /*deadline_ns=*/0, ctx,
+                   [&done](std::vector<TagMatch::Key>) {
+                     done.fetch_add(1, std::memory_order_relaxed);
+                   });
+  }
+  tm.flush();
+  const std::string json = obs::chrome_trace_json(tm.trace_snapshot(), /*pretty=*/true);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("causal trace (%llu traced queries) written to %s (open in ui.perfetto.dev)\n",
+              static_cast<unsigned long long>(done.load()), path.c_str());
+}
+
+void run(const std::string& trace_out) {
   BenchWorkload& w = shared_workload();
   const size_t n = w.prefix_size(50);
   print_header("Pipeline profile: stream overlap and bus utilization",
@@ -33,6 +70,10 @@ void run() {
   // Per-stage latency breakdown from the engine's metrics registry
   // (src/obs) — the same renderer the STATS wire verb and --stats-json use.
   std::printf("\n%s\n", tm.metrics_snapshot().to_text().c_str());
+
+  if (!trace_out.empty()) {
+    write_causal_trace(tm, queries, trace_out);
+  }
 
   // Rebuild a bare engine to read its profile (TagMatch owns its engine
   // privately; measure the same traffic directly).
@@ -89,7 +130,13 @@ void run() {
 }  // namespace
 }  // namespace tagmatch::bench
 
-int main() {
-  tagmatch::bench::run();
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+  }
+  tagmatch::bench::run(trace_out);
   return 0;
 }

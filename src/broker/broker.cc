@@ -9,9 +9,13 @@
 
 namespace tagmatch::broker {
 
-Broker::Broker(BrokerConfig config) : config_(std::move(config)) {
+Broker::Broker(BrokerConfig config)
+    : config_(std::move(config)),
+      recorder_(obs::FlightRecorder::Config{config_.trace_capacity,
+                                            config_.trace_head_sample_every}) {
   config_.engine.match_staged_adds = true;  // Immediate subscriptions rely on it.
   published_ = metrics_.counter("broker.published");
+  traces_retained_ = metrics_.counter("broker.traces_retained");
   deliveries_ = metrics_.counter("broker.deliveries");
   dropped_ = metrics_.counter("broker.dropped");
   consolidations_ = metrics_.counter("broker.consolidations");
@@ -138,49 +142,91 @@ Broker::PublishResult Broker::publish(Message message) {
     return PublishResult::kRejected;
   }
   published_->inc();
+  // Trace root: the publish span covers accept -> completion. Its id is
+  // minted here so every downstream span can parent on it; the span itself
+  // exists only in the retained TraceRecord (finish_publish), not the ring.
+  obs::TraceContext trace_ctx;
+  uint64_t root_span_id = 0;
+  if (config_.tracing) {
+    root_span_id = obs::new_span_id();
+    trace_ctx = obs::TraceContext{obs::new_trace_id(), root_span_id, recorder_.sample_head()};
+  }
   auto shared_message = std::make_shared<const Message>(std::move(message));
   std::shared_lock gate(publish_mu_);
   const std::span<const std::string> tags(shared_message->tags);
   if (!slo_on) {
-    // SLO off: the pre-existing path, byte for byte — no deadline attached,
-    // no outcome classification.
+    // SLO off: the pre-existing path — no deadline attached, no outcome
+    // classification (the context overload is a pass-through when tracing
+    // is off).
     engine_->match_async(
-        tags, Matcher::MatchKind::kMatchUnique,
-        [this, shared_message, publish_ns](std::vector<Matcher::Key> subscription_keys) {
+        tags, Matcher::MatchKind::kMatchUnique, /*deadline_ns=*/0, trace_ctx,
+        [this, shared_message, publish_ns, trace_ctx,
+         root_span_id](std::vector<Matcher::Key> subscription_keys) {
           deliver(shared_message, subscription_keys, /*deadline_ns=*/0);
           // Publish-to-queue latency: accept to every subscriber queue
           // written (the full broker-side path; consumer poll time is not
           // included).
-          finish_publish(publish_ns, /*deadline_ns=*/0, /*partial=*/false, /*skipped=*/0);
+          finish_publish(publish_ns, /*deadline_ns=*/0, /*partial=*/false, /*skipped=*/0,
+                         trace_ctx, root_span_id);
         });
   } else if (sharded_ != nullptr && config_.slo_mode >= SloMode::kDeliverPartial) {
     // Partial-capable path: the sharded engine sheds shards still
     // outstanding at the deadline and tells us it did.
     sharded_->match_result_async(
-        tags, Matcher::MatchKind::kMatchUnique, deadline_ns,
-        [this, shared_message, publish_ns,
-         deadline_ns](shard::ShardedTagMatch::MatchResult result) {
+        tags, Matcher::MatchKind::kMatchUnique, deadline_ns, trace_ctx,
+        [this, shared_message, publish_ns, deadline_ns, trace_ctx,
+         root_span_id](shard::ShardedTagMatch::MatchResult result) {
           const uint64_t skipped = deliver(shared_message, result.keys, deadline_ns);
-          finish_publish(publish_ns, deadline_ns, result.partial, skipped);
+          finish_publish(publish_ns, deadline_ns, result.partial, skipped, trace_ctx,
+                         root_span_id);
         });
   } else {
     // Keys-only path (single engine, or sharded under kSkipBlocked): the
     // deadline arms the engine's early batch close but results stay exact.
     engine_->match_async(
-        tags, Matcher::MatchKind::kMatchUnique, deadline_ns,
-        [this, shared_message, publish_ns,
-         deadline_ns](std::vector<Matcher::Key> subscription_keys) {
+        tags, Matcher::MatchKind::kMatchUnique, deadline_ns, trace_ctx,
+        [this, shared_message, publish_ns, deadline_ns, trace_ctx,
+         root_span_id](std::vector<Matcher::Key> subscription_keys) {
           const uint64_t skipped = deliver(shared_message, subscription_keys, deadline_ns);
-          finish_publish(publish_ns, deadline_ns, /*partial=*/false, skipped);
+          finish_publish(publish_ns, deadline_ns, /*partial=*/false, skipped, trace_ctx,
+                         root_span_id);
         });
   }
   return PublishResult::kAccepted;
 }
 
 void Broker::finish_publish(int64_t publish_ns, int64_t deadline_ns, bool partial,
-                            uint64_t skipped) {
+                            uint64_t skipped, const obs::TraceContext& ctx,
+                            uint64_t root_span_id) {
   const int64_t end_ns = now_ns();
-  publish_latency_->record(static_cast<uint64_t>(std::max<int64_t>(0, end_ns - publish_ns)));
+  publish_latency_->record(static_cast<uint64_t>(std::max<int64_t>(0, end_ns - publish_ns)),
+                           ctx.trace_id);
+  if (ctx.valid()) {
+    const bool degraded =
+        deadline_ns != 0 && (partial || skipped > 0 || end_ns > deadline_ns);
+    const obs::FlightRecorder::Decision decision =
+        recorder_.should_retain(end_ns - publish_ns, degraded, ctx.sampled);
+    if (decision.retain) {
+      obs::TraceRecord record;
+      record.trace_id = ctx.trace_id;
+      record.root_span_id = root_span_id;
+      record.start_ns = publish_ns;
+      record.end_ns = end_ns;
+      record.degraded = degraded;
+      record.head_sampled = ctx.sampled;
+      record.slow = decision.slow;
+      // Pull-based assembly: by completion time every stage of this publish
+      // has recorded (stages record before invoking completion callbacks),
+      // so one pass over the ring collects the whole tree.
+      for (const obs::Span& span : engine_->trace_snapshot()) {
+        if (span.trace_id == ctx.trace_id) {
+          record.spans.push_back(span);
+        }
+      }
+      recorder_.retain(std::move(record));
+      traces_retained_->inc();
+    }
+  }
   if (deadline_ns == 0) {
     return;
   }
@@ -547,5 +593,9 @@ obs::MetricsSnapshot Broker::metrics_snapshot() const {
 }
 
 std::vector<obs::Span> Broker::trace_snapshot() const { return engine_->trace_snapshot(); }
+
+uint64_t Broker::trace_dropped() const { return engine_->trace_dropped(); }
+
+std::vector<obs::TraceRecord> Broker::trace_records() const { return recorder_.snapshot(); }
 
 }  // namespace tagmatch::broker

@@ -60,6 +60,7 @@
 #include "src/core/config.h"
 #include "src/core/matcher.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace tagmatch::shard {
 class ShardedTagMatch;
@@ -118,6 +119,22 @@ struct BrokerConfig {
   // the SLO (the observed p95 is then above the SLO).
   std::chrono::milliseconds slo_breach_window{1000};
   size_t slo_breach_min_samples = 32;
+
+  // --- Causal tracing (opt-in) ---
+  // Stamps every accepted publish with a TraceContext that rides the same
+  // hand-offs as the deadline (match_async -> batch -> shard fan-out -> GPU
+  // stream ops), and tail-samples the finished traces into a bounded flight
+  // recorder: a trace is retained iff it was SLO-degraded, slower than the
+  // rolling p95 of recent publishes, or picked by 1-in-N head sampling.
+  // Retained traces are served by trace_records() (the TRACEX wire verb and
+  // the server's --trace-out file). Off by default: the publish path then
+  // carries no context and records anonymous spans exactly as before.
+  bool tracing = false;
+  // 1-in-N deterministic head sampling of publishes (0 = tail-only: keep
+  // nothing but the slow and the degraded).
+  uint32_t trace_head_sample_every = 0;
+  // Bound on retained traces; oldest evicted first.
+  size_t trace_capacity = 16;
 
   BrokerConfig() {
     engine.match_staged_adds = true;
@@ -200,6 +217,12 @@ class Broker {
   obs::MetricsSnapshot metrics_snapshot() const;
   // The engine's pipeline stage spans — the payload of the TRACE wire verb.
   std::vector<obs::Span> trace_snapshot() const;
+  // Spans lost to ring overwrite, summed over the engine's tracers.
+  uint64_t trace_dropped() const;
+  // Traces retained by the flight recorder (empty unless config.tracing) —
+  // the payload of the TRACEX wire verb and the --trace-out server dump.
+  std::vector<obs::TraceRecord> trace_records() const;
+  const obs::FlightRecorder& flight_recorder() const { return recorder_; }
 
  private:
   struct Subscriber {
@@ -224,8 +247,12 @@ class Broker {
                    const std::vector<Matcher::Key>& subscription_keys, int64_t deadline_ns);
   // Completion accounting for one SLO-tracked publish: met/degraded/partial
   // counters, the margin histogram, and (kRejectAdmission) the breach-window
-  // sample. deadline_ns == 0 records latency only.
-  void finish_publish(int64_t publish_ns, int64_t deadline_ns, bool partial, uint64_t skipped);
+  // sample. deadline_ns == 0 records latency only. A valid `ctx` additionally
+  // runs the flight recorder's retention decision and, on retain, assembles
+  // the trace from the engine's span ring (every span of this publish has
+  // landed by now — stages record before their completion callbacks run).
+  void finish_publish(int64_t publish_ns, int64_t deadline_ns, bool partial, uint64_t skipped,
+                      const obs::TraceContext& ctx = {}, uint64_t root_span_id = 0);
   // True while the admission gate is closed (see slo_breach_window).
   bool admission_breached(int64_t now);
   void consolidate_loop();
@@ -273,6 +300,10 @@ class Broker {
   obs::Counter* slo_partial_ = nullptr;
   obs::Counter* slo_rejected_ = nullptr;
   obs::Histogram* slo_margin_ = nullptr;
+
+  // Tail-sampled flight recorder (config.tracing); see BrokerConfig.
+  obs::FlightRecorder recorder_;
+  obs::Counter* traces_retained_ = nullptr;
 
   // Admission breach window (kRejectAdmission): recent completions as
   // (completion time, finished over SLO) samples.

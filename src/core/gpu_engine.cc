@@ -268,8 +268,8 @@ void GpuEngine::deliver(const PendingBatch& batch, std::span<const std::byte> pa
   in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
-void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> queries,
-                       void* token) {
+void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> queries, void* token,
+                       const obs::TraceContext& trace_ctx) {
   TAGMATCH_CHECK(!queries.empty());
   TAGMATCH_CHECK(queries.size() <= config_.batch_size);
   TAGMATCH_CHECK(partition < locations_.size());
@@ -295,25 +295,28 @@ void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> quer
     // one extra copy and one extra round trip per batch.
     std::byte* header = ctx.result_buf[0].data();
     std::byte* payload = header + kHeaderBytes;
-    stream.memcpy_h2d(ctx.query_buf.data(), queries.data(), nq * sizeof(BitVector192));
+    stream.memcpy_h2d(ctx.query_buf.data(), queries.data(), nq * sizeof(BitVector192),
+                      trace_ctx);
     stream.memset_d(header, 0, kHeaderBytes);
     gpusim::LaunchConfig launch;
     launch.block_dim = config_.gpu_block_dim;
     launch.grid_dim =
         (locations_[partition].size + launch.block_dim - 1) / launch.block_dim;
     launch.shared_bytes = sizeof(KernelShared);
-    stream.launch(launch, make_kernel(ctx.device_index, partition,
-                                      ctx.query_buf.as<const BitVector192>(), nq, header,
-                                      payload));
-    stream.memcpy_d2h(ctx.host_result[0].data(), header, kHeaderBytes);
+    stream.launch(launch,
+                  make_kernel(ctx.device_index, partition, ctx.query_buf.as<const BitVector192>(),
+                              nq, header, payload),
+                  trace_ctx);
+    stream.memcpy_d2h(ctx.host_result[0].data(), header, kHeaderBytes, trace_ctx);
     stream.synchronize();  // Round trip: we must read the length before sizing the copy.
     uint64_t count = 0;
     uint64_t overflow = 0;
     std::memcpy(&count, ctx.host_result[0].data(), sizeof(count));
     std::memcpy(&overflow, ctx.host_result[0].data() + 8, sizeof(overflow));
-    stream.memcpy_d2h(ctx.host_result[0].data() + kHeaderBytes, payload, bytes_for_pairs(count));
+    stream.memcpy_d2h(ctx.host_result[0].data() + kHeaderBytes, payload, bytes_for_pairs(count),
+                      trace_ctx);
     stream.synchronize();
-    deliver(PendingBatch{token, count, overflow != 0, true},
+    deliver(PendingBatch{token, count, overflow != 0, true, trace_ctx},
             std::span<const std::byte>(ctx.host_result[0]).subspan(kHeaderBytes));
     available_[ctx.device_index]->push(&ctx);
     return;
@@ -327,23 +330,24 @@ void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> quer
   std::byte* counter_header = ctx.result_buf[q].data();
   std::byte* payload = ctx.result_buf[p].data() + kHeaderBytes;
 
-  stream.memcpy_h2d(ctx.query_buf.data(), queries.data(), nq * sizeof(BitVector192));
+  stream.memcpy_h2d(ctx.query_buf.data(), queries.data(), nq * sizeof(BitVector192), trace_ctx);
   stream.memset_d(counter_header, 0, kHeaderBytes);
   gpusim::LaunchConfig launch;
   launch.block_dim = config_.gpu_block_dim;
   launch.grid_dim =
       (locations_[partition].size + launch.block_dim - 1) / launch.block_dim;
   launch.shared_bytes = sizeof(KernelShared);
-  stream.launch(launch, make_kernel(ctx.device_index, partition,
-                                    ctx.query_buf.as<const BitVector192>(), nq, counter_header,
-                                    payload));
+  stream.launch(launch,
+                make_kernel(ctx.device_index, partition, ctx.query_buf.as<const BitVector192>(),
+                            nq, counter_header, payload),
+                trace_ctx);
 
   const PendingBatch prev = ctx.pending;  // Results of the previous batch sit in buf[q].
-  ctx.pending = PendingBatch{token, 0, false, true};
+  ctx.pending = PendingBatch{token, 0, false, true, trace_ctx};
 
   const size_t copy_bytes =
       prev.live ? kHeaderBytes + bytes_for_pairs(prev.count) : kHeaderBytes;
-  stream.memcpy_d2h(ctx.host_result[q].data(), ctx.result_buf[q].data(), copy_bytes);
+  stream.memcpy_d2h(ctx.host_result[q].data(), ctx.result_buf[q].data(), copy_bytes, trace_ctx);
 
   StreamCtx* ctx_ptr = &ctx;
   stream.callback([this, ctx_ptr, q, prev] {
@@ -379,7 +383,7 @@ void GpuEngine::drain_stream(StreamCtx& ctx) {
   const size_t bytes = bytes_for_pairs(ctx.pending.count);
   gpusim::Stream& stream = *ctx.stream;
   stream.memcpy_d2h(ctx.host_result[par].data() + kHeaderBytes,
-                    ctx.result_buf[par].data() + kHeaderBytes, bytes);
+                    ctx.result_buf[par].data() + kHeaderBytes, bytes, ctx.pending.ctx);
   StreamCtx* ctx_ptr = &ctx;
   const PendingBatch pending = ctx.pending;
   ctx.pending.live = false;

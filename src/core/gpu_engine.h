@@ -66,8 +66,13 @@ class GpuEngine {
 
   // Submits one batch of queries against one partition. `queries` must stay
   // valid until the batch result is delivered. Blocks while all streams are
-  // busy (back-pressure). Thread-safe.
-  void submit(PartitionId partition, std::span<const BitVector192> queries, void* token);
+  // busy (back-pressure). Thread-safe. A valid `ctx` makes the submission's
+  // stream ops (H2D, kernel, and the D2H issued with this cycle) record
+  // their spans under it — by the double-buffering protocol that D2H
+  // physically carries the *previous* batch's payload, but it is attributed
+  // to the submitting batch, whose pipeline it serves.
+  void submit(PartitionId partition, std::span<const BitVector192> queries, void* token,
+              const obs::TraceContext& ctx = {});
 
   // Delivers the trailing undelivered batch of every stream.
   void drain();
@@ -99,6 +104,7 @@ class GpuEngine {
     uint64_t count = 0;      // Valid once the cycle that launched it completes its D2H.
     bool overflow = false;
     bool live = false;
+    obs::TraceContext ctx;   // Trace context of the batch (drain's payload copy records under it).
   };
 
   struct StreamCtx {

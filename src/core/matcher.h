@@ -68,6 +68,23 @@ class Matcher {
     (void)deadline_ns;
     match_async(tags, kind, std::move(callback));
   }
+
+  // Trace-context-carrying variants. The context rides the same hand-offs
+  // the deadline does (publish -> enqueue -> batch -> shard fan-out -> GPU
+  // stream ops); engines that understand it record their stage spans under
+  // ctx.trace_id with causal parent links, so one publish reassembles into a
+  // connected trace. A default-constructed (invalid) context — and these
+  // default implementations — disable tracing for the query.
+  virtual void match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                           const obs::TraceContext& ctx, MatchCallback callback) {
+    (void)ctx;
+    match_async(query, kind, deadline_ns, std::move(callback));
+  }
+  virtual void match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
+                           const obs::TraceContext& ctx, MatchCallback callback) {
+    (void)ctx;
+    match_async(tags, kind, deadline_ns, std::move(callback));
+  }
   virtual std::vector<Key> match(const BloomFilter192& query) = 0;
   virtual std::vector<Key> match_unique(const BloomFilter192& query) = 0;
   virtual std::vector<Key> match(std::span<const std::string> tags) = 0;
@@ -146,6 +163,10 @@ class Matcher {
 
   // Most recent pipeline stage spans (bounded ring), oldest first.
   virtual std::vector<obs::Span> trace_snapshot() const { return {}; }
+
+  // Spans lost to ring wrap-around since startup — nonzero means
+  // trace_snapshot() is a truncated view (see the trace.dropped counter).
+  virtual uint64_t trace_dropped() const { return 0; }
 };
 
 }  // namespace tagmatch

@@ -40,7 +40,7 @@ struct QueryState {
   // Sorted tag hashes for the exact subset check; empty when the query was
   // submitted filter-only (verification skipped).
   std::vector<uint64_t> tag_hashes;
-  // Observability: engine-unique query sequence number (the span id of this
+  // Observability: engine-unique query sequence number (the flow id of this
   // query's enqueue/prefilter stages) and the match_async accept timestamp
   // (start of the enqueue span and of the end-to-end latency histogram).
   uint64_t trace_id = 0;
@@ -48,6 +48,10 @@ struct QueryState {
   // Absolute completion deadline (now_ns() domain; 0 = none). Batches
   // holding this query are flushed early as the deadline nears.
   int64_t deadline_ns = 0;
+  // Causal trace context handed in by the caller (invalid = not traced).
+  // The enqueue span parents on ctx.parent_span_id; prefilter on enqueue;
+  // the batch span on prefilter (see Batch::ctx).
+  obs::TraceContext ctx;
 };
 
 // A batch of queries bound for one partition. Owns the contiguous filter
@@ -57,10 +61,16 @@ struct Batch {
   std::vector<BitVector192> filters;
   std::vector<std::shared_ptr<QueryState>> queries;
   int64_t created_ns = 0;
-  uint64_t trace_id = 0;  // Engine-unique batch sequence (reduce span id).
+  uint64_t trace_id = 0;  // Engine-unique batch sequence (reduce flow id).
   // Earliest deadline over member queries (0 = none); the flusher submits
   // the batch early when it nears.
   int64_t min_deadline_ns = 0;
+  // Causal trace context of the batch: adopted from the first traced member
+  // query (trace id + that query's prefilter span as parent). The batch span
+  // id is pre-allocated so the GPU stream ops — which enqueue before the
+  // reduce span is recorded — can parent on it.
+  obs::TraceContext ctx;
+  uint64_t batch_span_id = 0;
 };
 
 // Unit of work for the pipeline workers: either a fresh query to pre-process
@@ -265,7 +275,8 @@ class TagMatchImpl {
   }
 
   void match_async(const BloomFilter192& query, MatchKind kind, TagMatch::MatchCallback callback,
-                   std::vector<uint64_t> tag_hashes = {}, int64_t deadline_ns = 0) {
+                   std::vector<uint64_t> tag_hashes = {}, int64_t deadline_ns = 0,
+                   const obs::TraceContext& trace_ctx = {}) {
     std::sort(tag_hashes.begin(), tag_hashes.end());
     outstanding_.fetch_add(1, std::memory_order_acq_rel);
     WorkItem item;
@@ -277,6 +288,7 @@ class TagMatchImpl {
     item.query->trace_id = query_seq_.fetch_add(1, std::memory_order_relaxed);
     item.query->enqueue_ns = now_ns();
     item.query->deadline_ns = config_.deadline_batch_close ? deadline_ns : 0;
+    item.query->ctx = trace_ctx;
     queue_.push(std::move(item));
   }
 
@@ -334,6 +346,7 @@ class TagMatchImpl {
 
   obs::MetricsSnapshot metrics_snapshot() const { return obs_->registry().snapshot(); }
   std::vector<obs::Span> trace_snapshot() const { return obs_->tracer().snapshot(); }
+  uint64_t trace_dropped() const { return obs_->tracer().dropped(); }
 
  private:
   struct PartialSlot {
@@ -365,10 +378,20 @@ class TagMatchImpl {
   // also scan the temporary (staged) index so un-consolidated sets match.
   void preprocess(std::shared_ptr<QueryState> query) {
     // The enqueue span covers match_async acceptance to worker pickup (queue
-    // wait); the prefilter span covers the partition-table walk itself.
+    // wait); the prefilter span covers the partition-table walk itself. For
+    // traced queries both span ids are pre-allocated: the batch append below
+    // parents on the prefilter span before it is recorded.
     const int64_t prefilter_start_ns = now_ns();
+    uint64_t enqueue_span = 0;
+    uint64_t prefilter_span = 0;
+    obs::TraceContext prefilter_ctx;
+    if (query->ctx.valid()) {
+      enqueue_span = obs::new_span_id();
+      prefilter_span = obs::new_span_id();
+      prefilter_ctx = obs::TraceContext{query->ctx.trace_id, enqueue_span, query->ctx.sampled};
+    }
     obs_->record_stage(obs::Stage::kEnqueue, query->trace_id, query->enqueue_ns,
-                       prefilter_start_ns);
+                       prefilter_start_ns, query->ctx, enqueue_span);
     if (config_.match_staged_adds) {
       match_staged(*query);
     }
@@ -385,6 +408,12 @@ class TagMatchImpl {
           slot.batch->trace_id = batch_seq_.fetch_add(1, std::memory_order_relaxed);
           slot.batch->filters.reserve(config_.batch_size);
         }
+        if (!slot.batch->ctx.valid() && query->ctx.valid()) {
+          // First traced member adopts the batch into its trace.
+          slot.batch->ctx =
+              obs::TraceContext{query->ctx.trace_id, prefilter_span, query->ctx.sampled};
+          slot.batch->batch_span_id = obs::new_span_id();
+        }
         query->pending.fetch_add(1, std::memory_order_acq_rel);
         slot.batch->filters.push_back(query->filter);
         slot.batch->queries.push_back(query);
@@ -400,7 +429,8 @@ class TagMatchImpl {
         submit_batch(std::move(full));
       }
     });
-    obs_->record_stage(obs::Stage::kPreFilter, query->trace_id, prefilter_start_ns, now_ns());
+    obs_->record_stage(obs::Stage::kPreFilter, query->trace_id, prefilter_start_ns, now_ns(),
+                       prefilter_ctx, prefilter_span);
     finish_if_done(*query);  // Drop the pre-processing guard.
   }
 
@@ -428,8 +458,13 @@ class TagMatchImpl {
     batch_queries_->add(batch->queries.size());
     last_submit_ns_.store(now_ns(), std::memory_order_relaxed);
     if (engine_) {
+      // GPU stream ops (H2D/kernel/D2H) become children of the batch span.
+      const obs::TraceContext gpu_ctx =
+          batch->ctx.valid()
+              ? obs::TraceContext{batch->ctx.trace_id, batch->batch_span_id, batch->ctx.sampled}
+              : obs::TraceContext{};
       Batch* raw = batch.release();
-      engine_->submit(raw->partition, raw->filters, raw);
+      engine_->submit(raw->partition, raw->filters, raw, gpu_ctx);
     } else {
       // CPU-only mode: stage 2 runs inline on the calling thread.
       std::vector<ResultPair> pairs = cpu_match(*batch);
@@ -477,8 +512,11 @@ class TagMatchImpl {
   void process_completion(std::unique_ptr<Batch> batch, std::vector<ResultPair> pairs,
                           bool overflow) {
     // Reduce span per batch; the overflow CPU re-match is part of it (it is
-    // work this stage performs on this thread).
-    obs::StageTimer reduce_timer(obs_, obs::Stage::kReduce, batch->trace_id);
+    // work this stage performs on this thread). This is the batch span of
+    // the causal trace — its id was pre-allocated so GPU children could
+    // reference it before it lands here.
+    obs::StageTimer reduce_timer(obs_, obs::Stage::kReduce, batch->trace_id, batch->ctx,
+                                 batch->batch_span_id);
     if (overflow) {
       batch_overflows_->inc();
       pairs = cpu_match(*batch);  // Recompute exactly; GPU output was truncated.
@@ -503,6 +541,10 @@ class TagMatchImpl {
       std::lock_guard lock(qs.mu);
       qs.keys.insert(qs.keys.end(), keys_flat_.begin() + k0, keys_flat_.begin() + k1);
     }
+    // Record the reduce span before the completion callbacks run: a caller
+    // assembling the trace at query finish (the broker's flight recorder)
+    // must find the batch span already in the ring.
+    reduce_timer.stop();
     for (const auto& qs : batch->queries) {
       finish_if_done(*qs);
     }
@@ -522,8 +564,9 @@ class TagMatchImpl {
       qs.callback(std::move(keys));
     }
     queries_processed_->inc();
-    query_latency_->record(static_cast<uint64_t>(
-        std::max<int64_t>(0, now_ns() - qs.enqueue_ns)));
+    query_latency_->record(
+        static_cast<uint64_t>(std::max<int64_t>(0, now_ns() - qs.enqueue_ns)),
+        qs.ctx.trace_id);
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(done_mu_);
       done_cv_.notify_all();
@@ -834,10 +877,11 @@ void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, MatchCal
 }
 void TagMatch::match_async_hashed(const BloomFilter192& query,
                                   std::span<const uint64_t> query_tag_hashes, MatchKind kind,
-                                  MatchCallback callback, int64_t deadline_ns) {
+                                  MatchCallback callback, int64_t deadline_ns,
+                                  const obs::TraceContext& trace_ctx) {
   impl_->match_async(query, kind, std::move(callback),
                      std::vector<uint64_t>(query_tag_hashes.begin(), query_tag_hashes.end()),
-                     deadline_ns);
+                     deadline_ns, trace_ctx);
 }
 void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind,
                            MatchCallback callback) {
@@ -851,6 +895,15 @@ void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind, in
                            MatchCallback callback) {
   impl_->match_async(BloomFilter192::of(tags), kind, std::move(callback), hash_tags(tags),
                      deadline_ns);
+}
+void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                           const obs::TraceContext& ctx, MatchCallback callback) {
+  impl_->match_async(query, kind, std::move(callback), {}, deadline_ns, ctx);
+}
+void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
+                           const obs::TraceContext& ctx, MatchCallback callback) {
+  impl_->match_async(BloomFilter192::of(tags), kind, std::move(callback), hash_tags(tags),
+                     deadline_ns, ctx);
 }
 
 namespace {
@@ -883,6 +936,7 @@ void TagMatch::flush() { impl_->flush(); }
 TagMatch::Stats TagMatch::stats() const { return impl_->stats(); }
 obs::MetricsSnapshot TagMatch::metrics_snapshot() const { return impl_->metrics_snapshot(); }
 std::vector<obs::Span> TagMatch::trace_snapshot() const { return impl_->trace_snapshot(); }
+uint64_t TagMatch::trace_dropped() const { return impl_->trace_dropped(); }
 void TagMatch::for_each_set(
     const std::function<void(const BloomFilter192&, std::span<const Key>,
                              std::span<const uint64_t>)>& fn) const {

@@ -74,7 +74,8 @@ class TagMatch : public Matcher {
   // batch close for this query (config.deadline_batch_close).
   void match_async_hashed(const BloomFilter192& query,
                           std::span<const uint64_t> query_tag_hashes, MatchKind kind,
-                          MatchCallback callback, int64_t deadline_ns = 0);
+                          MatchCallback callback, int64_t deadline_ns = 0,
+                          const obs::TraceContext& trace_ctx = {});
   void match_async(std::span<const std::string> tags, MatchKind kind,
                    MatchCallback callback) override;
   // Deadline-carrying overloads (see Matcher): batches holding this query
@@ -84,6 +85,13 @@ class TagMatch : public Matcher {
                    MatchCallback callback) override;
   void match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
                    MatchCallback callback) override;
+  // Trace-context-carrying overloads (see Matcher): the query's stage spans
+  // record under ctx.trace_id, parented on ctx.parent_span_id, and the
+  // GPU stream ops inherit the batch's context.
+  void match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                   const obs::TraceContext& ctx, MatchCallback callback) override;
+  void match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
+                   const obs::TraceContext& ctx, MatchCallback callback) override;
   std::vector<Key> match(const BloomFilter192& query) override;
   std::vector<Key> match_unique(const BloomFilter192& query) override;
   std::vector<Key> match(std::span<const std::string> tags) override;
@@ -110,6 +118,7 @@ class TagMatch : public Matcher {
   // the simulated devices) and the end-to-end query latency histogram.
   obs::MetricsSnapshot metrics_snapshot() const override;
   std::vector<obs::Span> trace_snapshot() const override;
+  uint64_t trace_dropped() const override;
 
   // Enumerates the consolidated database: one invocation per unique set,
   // with the set's filter, its key multiset and its exact-check tag hashes

@@ -68,14 +68,15 @@ bool stage_for(OpKind kind, tagmatch::obs::Stage* stage) {
 
 }  // namespace
 
-void Stream::enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()> op) {
+void Stream::enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()> op,
+                              const tagmatch::obs::TraceContext& ctx) {
   Profiler* profiler = device_->profiler();
   tagmatch::obs::PipelineObs* metrics = device_->metrics();
   if (profiler == nullptr && metrics == nullptr) {
     enqueue(std::move(op));
     return;
   }
-  enqueue([this, kind, bytes, profiler, metrics, op = std::move(op)] {
+  enqueue([this, kind, bytes, profiler, metrics, ctx, op = std::move(op)] {
     const int64_t start_ns = mono_ns();
     op();
     const int64_t end_ns = mono_ns();
@@ -91,7 +92,7 @@ void Stream::enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()>
     if (metrics != nullptr) {
       tagmatch::obs::Stage stage;
       if (stage_for(kind, &stage)) {
-        metrics->record_stage(stage, id_, start_ns, end_ns);
+        metrics->record_stage(stage, id_, start_ns, end_ns, ctx);
       }
       if (kind == OpKind::kH2D) {
         device_->h2d_bytes_counter()->add(bytes);
@@ -102,26 +103,34 @@ void Stream::enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()>
   });
 }
 
-void Stream::memcpy_h2d(void* dst_device, const void* src_host, size_t bytes) {
-  enqueue_profiled(OpKind::kH2D, bytes, [this, dst_device, src_host, bytes] {
-    const auto start = std::chrono::steady_clock::now();
-    std::memcpy(dst_device, src_host, bytes);
-    const CostModel& costs = device_->costs();
-    if (costs.enforce) {
-      spin_until(start, costs.api_call_overhead_ns + costs.copy_ns(bytes, /*h2d=*/true));
-    }
-  });
+void Stream::memcpy_h2d(void* dst_device, const void* src_host, size_t bytes,
+                        const tagmatch::obs::TraceContext& ctx) {
+  enqueue_profiled(
+      OpKind::kH2D, bytes,
+      [this, dst_device, src_host, bytes] {
+        const auto start = std::chrono::steady_clock::now();
+        std::memcpy(dst_device, src_host, bytes);
+        const CostModel& costs = device_->costs();
+        if (costs.enforce) {
+          spin_until(start, costs.api_call_overhead_ns + costs.copy_ns(bytes, /*h2d=*/true));
+        }
+      },
+      ctx);
 }
 
-void Stream::memcpy_d2h(void* dst_host, const void* src_device, size_t bytes) {
-  enqueue_profiled(OpKind::kD2H, bytes, [this, dst_host, src_device, bytes] {
-    const auto start = std::chrono::steady_clock::now();
-    std::memcpy(dst_host, src_device, bytes);
-    const CostModel& costs = device_->costs();
-    if (costs.enforce) {
-      spin_until(start, costs.api_call_overhead_ns + costs.copy_ns(bytes, /*h2d=*/false));
-    }
-  });
+void Stream::memcpy_d2h(void* dst_host, const void* src_device, size_t bytes,
+                        const tagmatch::obs::TraceContext& ctx) {
+  enqueue_profiled(
+      OpKind::kD2H, bytes,
+      [this, dst_host, src_device, bytes] {
+        const auto start = std::chrono::steady_clock::now();
+        std::memcpy(dst_host, src_device, bytes);
+        const CostModel& costs = device_->costs();
+        if (costs.enforce) {
+          spin_until(start, costs.api_call_overhead_ns + costs.copy_ns(bytes, /*h2d=*/false));
+        }
+      },
+      ctx);
 }
 
 void Stream::memset_d(void* dst_device, int value, size_t bytes) {
@@ -135,15 +144,19 @@ void Stream::memset_d(void* dst_device, int value, size_t bytes) {
   });
 }
 
-void Stream::launch(const LaunchConfig& config, Kernel kernel) {
-  enqueue_profiled(OpKind::kKernel, 0, [this, config, kernel = std::move(kernel)] {
-    const auto start = std::chrono::steady_clock::now();
-    const CostModel& costs = device_->costs();
-    if (costs.enforce) {
-      spin_until(start, costs.api_call_overhead_ns + costs.kernel_launch_overhead_ns);
-    }
-    execute_grid(device_, config, kernel);
-  });
+void Stream::launch(const LaunchConfig& config, Kernel kernel,
+                    const tagmatch::obs::TraceContext& ctx) {
+  enqueue_profiled(
+      OpKind::kKernel, 0,
+      [this, config, kernel = std::move(kernel)] {
+        const auto start = std::chrono::steady_clock::now();
+        const CostModel& costs = device_->costs();
+        if (costs.enforce) {
+          spin_until(start, costs.api_call_overhead_ns + costs.kernel_launch_overhead_ns);
+        }
+        execute_grid(device_, config, kernel);
+      },
+      ctx);
 }
 
 void Stream::callback(std::function<void()> fn) {

@@ -14,6 +14,7 @@
 #include "src/common/mpmc_queue.h"
 #include "src/gpusim/device.h"
 #include "src/gpusim/kernel.h"
+#include "src/obs/trace.h"
 
 namespace gpusim {
 
@@ -47,17 +48,22 @@ class Stream {
 
   // Asynchronous host-to-device copy (cudaMemcpyAsync H2D). The source host
   // buffer must stay valid until the operation completes, as with pinned
-  // memory in CUDA.
-  void memcpy_h2d(void* dst_device, const void* src_host, size_t bytes);
+  // memory in CUDA. The optional trace context is captured at enqueue time;
+  // the op's stage span records under it when it completes (an invalid
+  // context records an anonymous span, as before).
+  void memcpy_h2d(void* dst_device, const void* src_host, size_t bytes,
+                  const tagmatch::obs::TraceContext& ctx = {});
 
   // Asynchronous device-to-host copy (cudaMemcpyAsync D2H).
-  void memcpy_d2h(void* dst_host, const void* src_device, size_t bytes);
+  void memcpy_d2h(void* dst_host, const void* src_device, size_t bytes,
+                  const tagmatch::obs::TraceContext& ctx = {});
 
   // Asynchronous device memset (cudaMemsetAsync).
   void memset_d(void* dst_device, int value, size_t bytes);
 
   // Asynchronous kernel launch.
-  void launch(const LaunchConfig& config, Kernel kernel);
+  void launch(const LaunchConfig& config, Kernel kernel,
+              const tagmatch::obs::TraceContext& ctx = {});
 
   // Host callback executed in stream order (cudaLaunchHostFunc). Runs on the
   // stream's executor thread; keep it short or hand off to another thread.
@@ -80,8 +86,10 @@ class Stream {
   void run();
   void enqueue(std::function<void()> op);
   // Enqueues `op` and, if the device profiler is enabled, records its
-  // execution interval under `kind`/`bytes`.
-  void enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()> op);
+  // execution interval under `kind`/`bytes`; stage-mapped kinds also record
+  // an obs span, under `ctx` when it is valid.
+  void enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()> op,
+                        const tagmatch::obs::TraceContext& ctx = {});
 
   Device* device_;
   uint32_t id_;

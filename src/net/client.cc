@@ -147,10 +147,28 @@ std::optional<std::string> BrokerClient::stats_json() {
   return std::move(reply->payload);
 }
 
-std::optional<std::string> BrokerClient::trace_json(uint32_t limit) {
-  auto reply =
-      command(limit == 0 ? "TRACE\n" : "TRACE " + std::to_string(limit) + "\n");
+std::optional<std::string> BrokerClient::trace_json(uint32_t limit, const std::string& stage,
+                                                    uint64_t since) {
+  std::string line = "TRACE";
+  if (limit != 0) {
+    line += " " + std::to_string(limit);
+  }
+  if (!stage.empty()) {
+    line += " stage=" + stage;
+  }
+  if (since != 0) {
+    line += " since=" + std::to_string(since);
+  }
+  auto reply = command(line + "\n");
   if (!reply || reply->kind != ServerFrame::Kind::kTrace) {
+    return std::nullopt;
+  }
+  return std::move(reply->payload);
+}
+
+std::optional<std::string> BrokerClient::tracex_json() {
+  auto reply = command("TRACEX\n");
+  if (!reply || reply->kind != ServerFrame::Kind::kTracex) {
     return std::nullopt;
   }
   return std::move(reply->payload);

@@ -38,9 +38,14 @@ class BrokerClient {
   bool ping();
   // Observability verbs: one line of JSON from the server's merged metrics
   // registries (STATS) / its pipeline trace ring (TRACE, newest `limit`
-  // spans, 0 = all). See docs/OBSERVABILITY.md for the schema.
+  // spans, 0 = all; `stage` restricts to one stage name, `since` to span ids
+  // strictly greater — see the TRACE grammar in wire.h) / its retained
+  // causal traces (TRACEX, Chrome/Perfetto trace-event JSON). See
+  // docs/OBSERVABILITY.md for the schemas.
   std::optional<std::string> stats_json();
-  std::optional<std::string> trace_json(uint32_t limit = 0);
+  std::optional<std::string> trace_json(uint32_t limit = 0, const std::string& stage = "",
+                                        uint64_t since = 0);
+  std::optional<std::string> tracex_json();
 
   // Pops one delivered message, waiting up to `timeout`.
   std::optional<broker::Message> receive(std::chrono::milliseconds timeout);

@@ -9,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/net/wire.h"
+#include "src/obs/export.h"
 #include "src/obs/trace.h"
 
 namespace tagmatch::net {
@@ -171,10 +172,27 @@ void BrokerServer::reader_loop(Connection* conn) {
       case Request::Kind::kStats:
         send_line(conn, format_stats(broker_->metrics_snapshot().to_json()));
         break;
-      case Request::Kind::kTrace:
+      case Request::Kind::kTrace: {
+        std::vector<obs::Span> spans = broker_->trace_snapshot();
+        const uint64_t dropped = broker_->trace_dropped();
+        // Ring total = what survived plus what the ring overwrote; computed
+        // before filtering so the client can size the unfiltered history.
+        const uint64_t total = dropped + spans.size();
+        obs::Stage stage;
+        const bool filtered = !request->trace_stage.empty() &&
+                              obs::stage_from_name(request->trace_stage, &stage);
+        if (filtered || request->trace_since != 0) {
+          spans = obs::filter_spans(spans, filtered ? &stage : nullptr, request->trace_since);
+        }
         send_line(conn,
-                  format_trace(obs::spans_to_json(broker_->trace_snapshot(),
-                                                  request->trace_limit)));
+                  format_trace(obs::trace_to_json(spans, dropped, total, request->trace_limit)));
+        break;
+      }
+      case Request::Kind::kTracex:
+        // Single-line by construction (pretty=false): the frame is
+        // newline-delimited like every other verb.
+        send_line(conn, format_tracex(obs::chrome_trace_json(broker_->trace_records(),
+                                                             /*pretty=*/false)));
         break;
     }
   }

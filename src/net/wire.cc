@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "src/obs/trace.h"
+
 namespace tagmatch::net {
 
 bool valid_tag(std::string_view tag) {
@@ -25,6 +27,61 @@ std::optional<uint32_t> parse_u32(std::string_view s) {
     return std::nullopt;
   }
   return v;
+}
+
+std::optional<uint64_t> parse_u64(std::string_view s) {
+  uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+// TRACE arguments: an optional leading bare integer (the limit), then any
+// of `stage=<name>` / `since=<span_id>`, space-separated. Anything else —
+// an unknown key, an invalid stage name, a non-numeric value — rejects the
+// whole request; filters must never fail open.
+bool parse_trace_args(std::string_view rest, Request& req) {
+  bool first = true;
+  while (!rest.empty()) {
+    size_t space = rest.find(' ');
+    std::string_view token = space == std::string_view::npos ? rest : rest.substr(0, space);
+    rest = space == std::string_view::npos ? std::string_view() : rest.substr(space + 1);
+    if (token.empty()) {
+      return false;  // Double space.
+    }
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      if (!first) {
+        return false;  // A bare integer is only valid as the first token.
+      }
+      auto limit = parse_u32(token);
+      if (!limit) {
+        return false;
+      }
+      req.trace_limit = *limit;
+    } else {
+      std::string_view key = token.substr(0, eq);
+      std::string_view value = token.substr(eq + 1);
+      if (key == "stage") {
+        if (!tagmatch::obs::stage_from_name(std::string(value), nullptr)) {
+          return false;
+        }
+        req.trace_stage.assign(value);
+      } else if (key == "since") {
+        auto since = parse_u64(value);
+        if (!since) {
+          return false;
+        }
+        req.trace_since = *since;
+      } else {
+        return false;
+      }
+    }
+    first = false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -65,6 +122,10 @@ std::optional<Request> parse_request(std::string_view line) {
     req.kind = Request::Kind::kTrace;
     return req;
   }
+  if (line == "TRACEX") {
+    req.kind = Request::Kind::kTracex;
+    return req;
+  }
   size_t space = line.find(' ');
   if (space == std::string_view::npos) {
     return std::nullopt;
@@ -72,12 +133,10 @@ std::optional<Request> parse_request(std::string_view line) {
   std::string_view verb = line.substr(0, space);
   std::string_view rest = line.substr(space + 1);
   if (verb == "TRACE") {
-    auto limit = parse_u32(rest);
-    if (!limit) {
+    req.kind = Request::Kind::kTrace;
+    if (!parse_trace_args(rest, req)) {
       return std::nullopt;
     }
-    req.kind = Request::Kind::kTrace;
-    req.trace_limit = *limit;
     return req;
   }
   if (verb == "SUB") {
@@ -144,6 +203,10 @@ std::string format_trace(std::string_view json) {
   return "TRACE " + std::string(json) + "\n";
 }
 
+std::string format_tracex(std::string_view json) {
+  return "TRACEX " + std::string(json) + "\n";
+}
+
 std::optional<ServerFrame> parse_server_frame(std::string_view line) {
   while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
     line.remove_suffix(1);
@@ -194,6 +257,11 @@ std::optional<ServerFrame> parse_server_frame(std::string_view line) {
   }
   if (verb == "TRACE") {
     frame.kind = ServerFrame::Kind::kTrace;
+    frame.payload.assign(rest);
+    return frame;
+  }
+  if (verb == "TRACEX") {
+    frame.kind = ServerFrame::Kind::kTracex;
     frame.payload.assign(rest);
     return frame;
   }

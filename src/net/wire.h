@@ -13,8 +13,18 @@
 //   STATS                        observability snapshot (broker + engine
 //                                registries merged); reply: STATS <json>,
 //                                one line of JSON (docs/OBSERVABILITY.md)
-//   TRACE [n]                    pipeline stage spans, newest `n` (all when
-//                                omitted or 0); reply: TRACE <json-array>
+//   TRACE [n] [stage=<name>] [since=<span_id>]
+//                                pipeline stage spans, newest `n` (all when
+//                                omitted or 0), optionally filtered to one
+//                                stage ("enqueue".."gather") and/or to spans
+//                                with span id > since (span ids are
+//                                monotonic, so since= pages forward); reply:
+//                                TRACE {"dropped":..,"total":..,"spans":[..]}
+//   TRACEX                       retained causal traces (--tracing) as
+//                                Chrome/Perfetto trace-event JSON; reply:
+//                                TRACEX <json>, one line, loadable in
+//                                ui.perfetto.dev after `tagmatch_client
+//                                tracex > out.json`
 // Server -> client (asynchronous, interleaved with replies):
 //   MSG <tag,tag,...> <payload>  a delivery for this connection's subscriber
 // Errors: ERR <reason>
@@ -33,12 +43,16 @@
 namespace tagmatch::net {
 
 struct Request {
-  enum class Kind { kSub, kUnsub, kPub, kPing, kStats, kTrace };
+  enum class Kind { kSub, kUnsub, kPub, kPing, kStats, kTrace, kTracex };
   Kind kind;
   std::vector<std::string> tags;  // kSub, kPub.
   uint32_t subscription = 0;      // kUnsub.
   std::string payload;            // kPub.
   uint32_t trace_limit = 0;       // kTrace; 0 = all retained spans.
+  // kTrace filters: stage name validated at parse time (empty = any stage);
+  // since = strictly-greater span id floor (0 = all).
+  std::string trace_stage;
+  uint64_t trace_since = 0;
 };
 
 // Parses one request line (no trailing newline). nullopt on malformed input.
@@ -60,15 +74,16 @@ std::string format_msg(const std::vector<std::string>& tags, std::string_view pa
 // already are); the frame is "STATS <json>\n" / "TRACE <json>\n".
 std::string format_stats(std::string_view json);
 std::string format_trace(std::string_view json);
+std::string format_tracex(std::string_view json);
 
 // Parses a server line; returns the frame kind and fields.
 struct ServerFrame {
-  enum class Kind { kOk, kErr, kMsg, kPong, kStats, kTrace };
+  enum class Kind { kOk, kErr, kMsg, kPong, kStats, kTrace, kTracex };
   Kind kind;
   uint32_t id = 0;                // kOk.
   std::string error;              // kErr.
   std::vector<std::string> tags;  // kMsg.
-  std::string payload;            // kMsg, kStats, kTrace (JSON for the last two).
+  std::string payload;            // kMsg, kStats, kTrace, kTracex (JSON).
 };
 std::optional<ServerFrame> parse_server_frame(std::string_view line);
 

@@ -1,0 +1,145 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace tagmatch::obs {
+
+namespace {
+
+std::string format_us(int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // strip control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(bool pretty) : pretty_(pretty) { out_ << "{\"traceEvents\":["; }
+
+  std::ostringstream& next() {
+    if (!first_) out_ << ",";
+    first_ = false;
+    if (pretty_) out_ << "\n ";
+    return out_;
+  }
+
+  void slice(const std::string& name, int pid, int tid, int64_t start_ns, int64_t end_ns,
+             uint64_t span_id, uint64_t parent_span_id, uint64_t trace_id, uint64_t flow_id) {
+    std::ostringstream& out = next();
+    out << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":"
+        << format_us(start_ns) << ",\"dur\":" << format_us(std::max<int64_t>(end_ns - start_ns, 0))
+        << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"args\":{\"span_id\":" << span_id
+        << ",\"parent_span_id\":" << parent_span_id << ",\"trace_id\":" << trace_id
+        << ",\"id\":" << flow_id << "}}";
+  }
+
+  void name_meta(const char* what, const std::string& name, int pid, int tid) {
+    std::ostringstream& out = next();
+    out << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+
+  std::string finish() {
+    if (pretty_) out_ << "\n";
+    out_ << "],\"displayTimeUnit\":\"ns\"}";
+    if (pretty_) out_ << "\n";
+    return out_.str();
+  }
+
+ private:
+  std::ostringstream out_;
+  bool pretty_;
+  bool first_ = true;
+};
+
+// Base track name for a span: GPU stages split per stream (the span id is
+// the submitting stream's id there), everything else shares one per-stage
+// track (overlap spills into extra lanes).
+std::string track_name(const Span& s) {
+  switch (s.stage) {
+    case Stage::kH2D:
+    case Stage::kKernel:
+    case Stage::kD2H:
+      return std::string(stage_name(s.stage)) + " stream " + std::to_string(s.id);
+    default:
+      return stage_name(s.stage);
+  }
+}
+
+// Emits all spans of one process: assigns each span to the first
+// non-overlapping lane of its track, then names every (track, lane) tid.
+void emit_spans(EventWriter& w, std::vector<Span> spans, int pid, int first_tid) {
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) { return a.start_ns < b.start_ns; });
+  struct Lane {
+    int tid;
+    int64_t last_end_ns;
+  };
+  std::map<std::string, std::vector<Lane>> tracks;
+  int next_tid = first_tid;
+  for (const Span& s : spans) {
+    std::vector<Lane>& lanes = tracks[track_name(s)];
+    Lane* lane = nullptr;
+    for (Lane& l : lanes) {
+      if (l.last_end_ns <= s.start_ns) {
+        lane = &l;
+        break;
+      }
+    }
+    if (lane == nullptr) {
+      lanes.push_back(Lane{next_tid++, INT64_MIN});
+      lane = &lanes.back();
+    }
+    lane->last_end_ns = std::max(s.end_ns, s.start_ns);
+    w.slice(stage_name(s.stage), pid, lane->tid, s.start_ns, s.end_ns, s.span_id,
+            s.parent_span_id, s.trace_id, s.id);
+  }
+  for (const auto& [name, lanes] : tracks) {
+    for (const Lane& l : lanes) w.name_meta("thread_name", name, pid, l.tid);
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceRecord>& traces, bool pretty) {
+  EventWriter w(pretty);
+  int pid = 0;
+  for (const TraceRecord& rec : traces) {
+    ++pid;
+    std::string why;
+    if (rec.degraded) why += " degraded";
+    if (rec.slow) why += " slow";
+    if (rec.head_sampled) why += " sampled";
+    w.name_meta("process_name", "trace " + std::to_string(rec.trace_id) + why, pid, 0);
+    if (rec.root_span_id != 0) {
+      w.slice(rec.root_name, pid, 1, rec.start_ns, rec.end_ns, rec.root_span_id, 0, rec.trace_id,
+              rec.trace_id);
+      w.name_meta("thread_name", rec.root_name, pid, 1);
+    }
+    emit_spans(w, rec.spans, pid, 2);
+  }
+  return w.finish();
+}
+
+std::string chrome_trace_json(const std::vector<Span>& spans, bool pretty) {
+  EventWriter w(pretty);
+  w.name_meta("process_name", "tagmatch", 1, 0);
+  emit_spans(w, spans, 1, 1);
+  return w.finish();
+}
+
+}  // namespace tagmatch::obs

@@ -1,0 +1,33 @@
+// Observability: Chrome trace-event JSON exporter for causal traces.
+//
+// Renders retained FlightRecorder traces (or a raw span list) in the Chrome
+// trace-event format — the zero-dependency interchange that both
+// chrome://tracing and ui.perfetto.dev load directly. Each trace becomes one
+// process (pid); inside it, spans are laid out one track per stage — GPU
+// stages get one track per stream, and overlapping executions of the same
+// stage (e.g. parallel shard fan-out) spill into extra same-named lanes so
+// no two slices on a track overlap. Every slice is a complete event
+// (ph:"X", ts/dur in microseconds) carrying span_id/parent_span_id/trace_id
+// in args, so the causal tree survives the export.
+#ifndef TAGMATCH_OBS_EXPORT_H_
+#define TAGMATCH_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace tagmatch::obs {
+
+// {"traceEvents":[...],"displayTimeUnit":"ns"}. With pretty=false the result
+// is a single line (it must fit one wire-protocol frame for TRACEX); with
+// pretty=true events are newline-separated for on-disk files.
+std::string chrome_trace_json(const std::vector<TraceRecord>& traces, bool pretty = false);
+
+// Same rendering for a bare span list (e.g. a bench run's ring snapshot):
+// one process, no root slice, untraced spans included.
+std::string chrome_trace_json(const std::vector<Span>& spans, bool pretty = false);
+
+}  // namespace tagmatch::obs
+
+#endif  // TAGMATCH_OBS_EXPORT_H_

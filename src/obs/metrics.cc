@@ -52,12 +52,17 @@ HistogramSnapshot& HistogramSnapshot::operator+=(const HistogramSnapshot& o) {
   }
   count += o.count;
   sum += o.sum;
-  for (size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += o.buckets[i];
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += o.buckets[i];
+    if (o.exemplars[i] != 0) exemplars[i] = o.exemplars[i];
+  }
   return *this;
 }
 
-void Histogram::record(uint64_t v) {
-  buckets_[histogram_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+void Histogram::record(uint64_t v, uint64_t exemplar) {
+  size_t bucket = histogram_bucket_index(v);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar != 0) exemplars_[bucket].store(exemplar, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
   uint64_t cur = min_.load(std::memory_order_relaxed);
@@ -77,6 +82,7 @@ HistogramSnapshot Histogram::snapshot() const {
   s.max = max_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kHistogramBuckets; ++i) {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.exemplars[i] = exemplars_[i].load(std::memory_order_relaxed);
   }
   return s;
 }
@@ -150,7 +156,16 @@ std::string MetricsSnapshot::to_json() const {
       first_bucket = false;
       out << "[" << i << "," << h.buckets[i] << "]";
     }
-    out << "]}";
+    out << "]";
+    bool any_exemplar = false;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.exemplars[i] == 0) continue;
+      out << (any_exemplar ? "," : ",\"exemplars\":[");
+      any_exemplar = true;
+      out << "[" << i << "," << h.exemplars[i] << "]";
+    }
+    if (any_exemplar) out << "]";
+    out << "}";
   }
   out << "}}";
   return out.str();

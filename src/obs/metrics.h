@@ -91,6 +91,9 @@ struct HistogramSnapshot {
   uint64_t min = 0;  // Meaningful only when count > 0.
   uint64_t max = 0;
   std::array<uint64_t, kHistogramBuckets> buckets{};
+  // Exemplars: per bucket, the trace id of the last traced sample that landed
+  // there (0 = none). Links a percentile outlier to an openable trace.
+  std::array<uint64_t, kHistogramBuckets> exemplars{};
 
   double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0; }
 
@@ -103,9 +106,10 @@ struct HistogramSnapshot {
 
 // Concurrent fixed-bucket histogram. record() is wait-free: one relaxed add
 // on the bucket, count and sum, plus two bounded CAS loops for min/max.
+// A nonzero exemplar (trace id) is remembered per bucket, last writer wins.
 class Histogram {
  public:
-  void record(uint64_t v);
+  void record(uint64_t v, uint64_t exemplar = 0);
   HistogramSnapshot snapshot() const;
 
  private:
@@ -114,6 +118,7 @@ class Histogram {
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
   std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> exemplars_{};
 };
 
 // Point-in-time copy of a whole registry. operator+= is the shard/thread
@@ -134,7 +139,8 @@ struct MetricsSnapshot {
   // {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
   // "sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..,
   // "buckets":[[index,count],...]}}}. Buckets are sparse [index,count]
-  // pairs so snapshots can be re-merged from JSON.
+  // pairs so snapshots can be re-merged from JSON. Histograms with traced
+  // samples additionally carry "exemplars":[[index,trace_id],...].
   std::string to_json() const;
 };
 

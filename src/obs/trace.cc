@@ -1,6 +1,7 @@
 #include "src/obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 namespace tagmatch::obs {
@@ -49,13 +50,37 @@ const char* stage_metric_name(Stage stage) {
   return "stage.unknown_ns";
 }
 
+bool stage_from_name(const std::string& name, Stage* out) {
+  for (size_t i = 0; i < kNumStages; ++i) {
+    Stage s = static_cast<Stage>(i);
+    if (name == stage_name(s)) {
+      if (out != nullptr) *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t new_trace_id() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t new_span_id() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Tracer::Tracer(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
 
-void Tracer::record(const Span& span) {
+bool Tracer::record(const Span& span) {
   std::lock_guard<std::mutex> lock(mu_);
+  bool overwrote = total_ >= ring_.size();
+  if (overwrote) ++dropped_;
   ring_[next_] = span;
   next_ = (next_ + 1) % ring_.size();
   ++total_;
+  return overwrote;
 }
 
 std::vector<Span> Tracer::snapshot() const {
@@ -76,11 +101,31 @@ uint64_t Tracer::total_recorded() const {
   return total_;
 }
 
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   next_ = 0;
   total_ = 0;
+  dropped_ = 0;
 }
+
+namespace {
+
+void span_to_json(std::ostringstream& out, const Span& s) {
+  out << "{\"id\":" << s.id << ",\"stage\":\"" << stage_name(s.stage)
+      << "\",\"start_ns\":" << s.start_ns << ",\"end_ns\":" << s.end_ns
+      << ",\"duration_ns\":" << (s.end_ns - s.start_ns) << ",\"span_id\":" << s.span_id;
+  if (s.trace_id != 0) {
+    out << ",\"trace_id\":" << s.trace_id << ",\"parent_span_id\":" << s.parent_span_id;
+  }
+  out << "}";
+}
+
+}  // namespace
 
 std::string spans_to_json(const std::vector<Span>& spans, size_t limit) {
   size_t begin = 0;
@@ -88,27 +133,118 @@ std::string spans_to_json(const std::vector<Span>& spans, size_t limit) {
   std::ostringstream out;
   out << "[";
   for (size_t i = begin; i < spans.size(); ++i) {
-    const Span& s = spans[i];
     if (i != begin) out << ",";
-    out << "{\"id\":" << s.id << ",\"stage\":\"" << stage_name(s.stage)
-        << "\",\"start_ns\":" << s.start_ns << ",\"end_ns\":" << s.end_ns
-        << ",\"duration_ns\":" << (s.end_ns - s.start_ns) << "}";
+    span_to_json(out, spans[i]);
   }
   out << "]";
   return out.str();
 }
 
+std::string trace_to_json(const std::vector<Span>& spans, uint64_t dropped, uint64_t total,
+                          size_t limit) {
+  std::ostringstream out;
+  out << "{\"dropped\":" << dropped << ",\"total\":" << total
+      << ",\"spans\":" << spans_to_json(spans, limit) << "}";
+  return out.str();
+}
+
+std::vector<Span> filter_spans(const std::vector<Span>& spans, const Stage* stage,
+                               uint64_t since_span_id) {
+  std::vector<Span> out;
+  out.reserve(spans.size());
+  for (const Span& s : spans) {
+    if (stage != nullptr && s.stage != *stage) continue;
+    if (since_span_id != 0 && s.span_id <= since_span_id) continue;
+    out.push_back(s);
+  }
+  return out;
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Config()) {}
+
+FlightRecorder::FlightRecorder(Config config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.latency_window == 0) config_.latency_window = 1;
+}
+
+bool FlightRecorder::sample_head() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = roots_++;
+  if (config_.head_sample_every == 0) return false;
+  return n % config_.head_sample_every == 0;
+}
+
+int64_t FlightRecorder::p95_locked() const {
+  size_t n = std::min<size_t>(finished_, window_.size());
+  if (n < config_.min_samples || n == 0) return 0;
+  std::vector<int64_t> sorted(window_.begin(), window_.begin() + static_cast<ptrdiff_t>(n));
+  size_t rank = static_cast<size_t>(0.95 * static_cast<double>(n - 1));
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(rank), sorted.end());
+  return sorted[rank];
+}
+
+FlightRecorder::Decision FlightRecorder::should_retain(int64_t latency_ns, bool degraded,
+                                                       bool head_sampled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision d;
+  d.threshold_ns = p95_locked();
+  d.slow = d.threshold_ns > 0 && latency_ns > d.threshold_ns;
+  d.retain = degraded || head_sampled || d.slow;
+  if (window_.size() < config_.latency_window) {
+    window_.push_back(latency_ns);
+  } else {
+    window_[window_next_] = latency_ns;
+    window_next_ = (window_next_ + 1) % window_.size();
+  }
+  ++finished_;
+  return d;
+}
+
+void FlightRecorder::retain(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retained_.push_back(std::move(record));
+  ++retained_total_;
+  while (retained_.size() > config_.capacity) retained_.pop_front();
+}
+
+std::vector<TraceRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {retained_.begin(), retained_.end()};
+}
+
+uint64_t FlightRecorder::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+uint64_t FlightRecorder::retained_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_total_;
+}
+
+int64_t FlightRecorder::p95_threshold_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return p95_locked();
+}
+
 PipelineObs::PipelineObs() {
+  trace_dropped_ = registry_.counter("trace.dropped");
   for (size_t i = 0; i < kNumStages; ++i) {
     stage_histograms_[i] = registry_.histogram(stage_metric_name(static_cast<Stage>(i)));
   }
 }
 
-void PipelineObs::record_stage(Stage stage, uint64_t id, int64_t start_ns, int64_t end_ns) {
+uint64_t PipelineObs::record_stage(Stage stage, uint64_t id, int64_t start_ns, int64_t end_ns,
+                                   const TraceContext& ctx, uint64_t span_id) {
   uint64_t duration =
       end_ns > start_ns ? static_cast<uint64_t>(end_ns - start_ns) : 0;
-  stage_histograms_[static_cast<size_t>(stage)]->record(duration);
-  tracer_.record(Span{id, stage, start_ns, end_ns});
+  stage_histograms_[static_cast<size_t>(stage)]->record(duration, ctx.trace_id);
+  if (span_id == 0) span_id = new_span_id();
+  if (tracer_.record(Span{id, stage, start_ns, end_ns, ctx.trace_id, span_id,
+                          ctx.parent_span_id})) {
+    trace_dropped_->inc();
+  }
+  return span_id;
 }
 
 }  // namespace tagmatch::obs

@@ -8,6 +8,14 @@
 // every span also feeds the per-stage "stage.<name>_ns" histogram in the
 // metrics registry so percentiles survive after the ring wraps.
 //
+// On top of the anonymous per-stage spans, a Dapper-style TraceContext can
+// ride every hand-off the deadline already travels (publish -> match_async ->
+// batch -> shard fan-out -> gpusim stream ops). Spans recorded under a
+// context carry a trace id and a parent span id, so one publish can be
+// reassembled into a causal tree across layers. The FlightRecorder keeps a
+// bounded buffer of *complete* traces, tail-sampled: only the slow, the
+// degraded and a 1-in-N head sample survive.
+//
 // PipelineObs bundles one Registry + one Tracer and pre-resolves the stage
 // histograms, making record_stage() lock-free on the metrics side (the ring
 // append takes a short mutex; spans are ~8 per query, not per set).
@@ -16,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -43,28 +52,63 @@ inline constexpr size_t kNumStages = 8;
 const char* stage_name(Stage stage);
 // "stage.enqueue_ns", "stage.prefilter_ns", ... — the histogram names.
 const char* stage_metric_name(Stage stage);
+// Inverse of stage_name; returns false for unknown names.
+bool stage_from_name(const std::string& name, Stage* out);
+
+// Causal context threaded through the pipeline alongside the deadline: the
+// 64-bit trace id names the end-to-end flow (one publish / one query), the
+// parent span id names the immediate causal parent, and `sampled` carries the
+// head-sampling decision made at the root. A default-constructed context is
+// "not traced" and every propagation site short-circuits on it, so the
+// tracing-off cost is one branch plus a 17-byte POD copy.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = false;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// Process-wide monotonic id allocators (relaxed atomics, start at 1).
+// Every recorded span gets a span id — traced or not — so `since=<span_id>`
+// filtering works over the whole ring; trace ids are only minted at roots.
+uint64_t new_trace_id();
+uint64_t new_span_id();
 
 // One stage execution. `id` identifies the flow within its stage family:
 // the engine's query sequence number for enqueue/prefilter/reduce and
 // gather, the submitting stream id for H2D/kernel/D2H, the consolidation
 // round for consolidate. Timestamps are tagmatch::now_ns() (monotonic).
+//
+// The trailing trace fields are zero for spans recorded without a
+// TraceContext (span_id excepted — it is always allocated); they are
+// appended with defaults so aggregate initialization of the leading fields
+// keeps working.
 struct Span {
   uint64_t id = 0;
   Stage stage = Stage::kEnqueue;
   int64_t start_ns = 0;
   int64_t end_ns = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 // Fixed-capacity ring of the most recent spans. Mutex-guarded: appends are
-// rare (per stage execution, not per set) and snapshots copy out.
+// rare (per stage execution, not per set) and snapshots copy out. Overwrites
+// of not-yet-snapshotted spans are counted as drops so truncated traces are
+// detectable rather than silently incomplete.
 class Tracer {
  public:
   explicit Tracer(size_t capacity = 4096);
 
-  void record(const Span& span);
+  // Returns true when the append overwrote (dropped) an older span.
+  bool record(const Span& span);
   // Spans in insertion order, oldest first; at most `capacity` entries.
   std::vector<Span> snapshot() const;
   uint64_t total_recorded() const;
+  // Spans overwritten by ring wrap-around since construction/clear().
+  uint64_t dropped() const;
   void clear();
 
  private:
@@ -72,18 +116,94 @@ class Tracer {
   std::vector<Span> ring_;
   size_t next_ = 0;
   uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 // JSON renderer for TRACE: [{"id":..,"stage":"kernel","start_ns":..,
-// "end_ns":..,"duration_ns":..},...] on a single line. With limit > 0 only
-// the most recent `limit` spans are emitted.
+// "end_ns":..,"duration_ns":..,"span_id":..},...] on a single line; spans
+// recorded under a TraceContext also carry "trace_id" and "parent_span_id".
+// With limit > 0 only the most recent `limit` spans are emitted.
 std::string spans_to_json(const std::vector<Span>& spans, size_t limit = 0);
+
+// Wire framing for TRACE: {"dropped":..,"total":..,"spans":[...]} on a
+// single line, so a reader can tell a truncated ring from a quiet one.
+std::string trace_to_json(const std::vector<Span>& spans, uint64_t dropped, uint64_t total,
+                          size_t limit = 0);
+
+// TRACE filter: keep spans whose stage matches `stage` (nullptr = any) and
+// whose span id is strictly greater than `since_span_id` (0 = all). Span ids
+// are allocated monotonically, so `since=` pages forward through the ring.
+std::vector<Span> filter_spans(const std::vector<Span>& spans, const Stage* stage,
+                               uint64_t since_span_id);
+
+// One fully assembled causal trace, as retained by the FlightRecorder.
+struct TraceRecord {
+  uint64_t trace_id = 0;
+  uint64_t root_span_id = 0;
+  std::string root_name = "publish";  // root slice label in the export
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  bool degraded = false;      // SLO-degraded / errored flow
+  bool head_sampled = false;  // 1-in-N head sample picked it
+  bool slow = false;          // end-to-end latency above the rolling p95
+  std::vector<Span> spans;
+};
+
+// Tail-sampled bounded buffer of complete traces. The owner of the root
+// context (the broker's publish path, or a bench/test harness) calls
+// sample_head() when minting the root, and should_retain()+retain() when the
+// flow finishes, once every span has landed. Retention policy: keep a trace
+// iff it was SLO-degraded/errored, head-sampled, or slower than the rolling
+// p95 of the last `latency_window` finishes (armed after `min_samples`).
+// Everything else is dropped — the boring traces cost nothing to forget.
+class FlightRecorder {
+ public:
+  struct Config {
+    size_t capacity = 16;            // retained traces; oldest evicted first
+    uint32_t head_sample_every = 0;  // 0 = off; 1 = keep every trace
+    size_t latency_window = 256;     // rolling window feeding the p95
+    size_t min_samples = 20;         // finishes before the p95 trigger arms
+  };
+  struct Decision {
+    bool retain = false;
+    bool slow = false;
+    int64_t threshold_ns = 0;  // rolling p95 at decision time (0 = unarmed)
+  };
+
+  FlightRecorder();  // Default Config (out of line: nested-class NSDMI rules).
+  explicit FlightRecorder(Config config);
+
+  // Deterministic 1-in-N head sampling: the 1st, (N+1)th, ... roots sample.
+  bool sample_head();
+  // Feeds the rolling latency window and decides retention. The threshold is
+  // computed over *prior* finishes, so the decision is reproducible.
+  Decision should_retain(int64_t latency_ns, bool degraded, bool head_sampled);
+  void retain(TraceRecord record);
+
+  std::vector<TraceRecord> snapshot() const;
+  uint64_t finished() const;
+  uint64_t retained_total() const;
+  int64_t p95_threshold_ns() const;
+
+ private:
+  int64_t p95_locked() const;
+
+  Config config_;
+  mutable std::mutex mu_;
+  uint64_t roots_ = 0;
+  uint64_t finished_ = 0;
+  uint64_t retained_total_ = 0;
+  std::vector<int64_t> window_;
+  size_t window_next_ = 0;
+  std::deque<TraceRecord> retained_;
+};
 
 // The shared observability handle: one metrics registry + one span ring.
 // Constructed once per engine/shard/broker; layers below (GpuEngine, gpusim
 // devices) receive the owner's handle so all stages of one pipeline land in
 // one registry. Stage histograms are pre-registered here, so every registry
-// exports the full stage.* set (zero-count histograms render as empty).
+// exports the full stage.* set (zero-count histograms render as empty), and
+// ring overwrites feed the pre-registered "trace.dropped" counter.
 class PipelineObs {
  public:
   PipelineObs();
@@ -94,11 +214,18 @@ class PipelineObs {
   const Tracer& tracer() const { return tracer_; }
 
   // Records the span in the ring and its duration in the stage histogram.
-  void record_stage(Stage stage, uint64_t id, int64_t start_ns, int64_t end_ns);
+  // When `ctx` is valid the span joins its trace (and stamps the histogram
+  // bucket's exemplar); `span_id` 0 means allocate one here — pass a
+  // pre-allocated id when children must reference this span before it is
+  // recorded (e.g. a batch span whose GPU ops enqueue first). Returns the
+  // span id used.
+  uint64_t record_stage(Stage stage, uint64_t id, int64_t start_ns, int64_t end_ns,
+                        const TraceContext& ctx = {}, uint64_t span_id = 0);
 
  private:
   Registry registry_;
   Tracer tracer_;
+  Counter* trace_dropped_ = nullptr;
   std::array<Histogram*, kNumStages> stage_histograms_{};
 };
 
@@ -108,13 +235,17 @@ class StageTimer {
  public:
   StageTimer(PipelineObs* obs, Stage stage, uint64_t id)
       : obs_(obs), stage_(stage), id_(id), start_ns_(obs ? now_ns() : 0) {}
+  StageTimer(PipelineObs* obs, Stage stage, uint64_t id, const TraceContext& ctx,
+             uint64_t span_id = 0)
+      : obs_(obs), stage_(stage), id_(id), start_ns_(obs ? now_ns() : 0), ctx_(ctx),
+        span_id_(span_id) {}
   StageTimer(const StageTimer&) = delete;
   StageTimer& operator=(const StageTimer&) = delete;
   ~StageTimer() { stop(); }
 
   void stop() {
     if (obs_ == nullptr) return;
-    obs_->record_stage(stage_, id_, start_ns_, now_ns());
+    obs_->record_stage(stage_, id_, start_ns_, now_ns(), ctx_, span_id_);
     obs_ = nullptr;
   }
 
@@ -123,6 +254,8 @@ class StageTimer {
   Stage stage_;
   uint64_t id_;
   int64_t start_ns_;
+  TraceContext ctx_;
+  uint64_t span_id_ = 0;
 };
 
 }  // namespace tagmatch::obs

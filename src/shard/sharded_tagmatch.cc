@@ -20,8 +20,12 @@ struct ShardedTagMatch::Gather {
   std::vector<Key> keys;
   uint32_t awaiting = 0;
   bool fired = false;
-  uint64_t trace_id = 0;   // Router-unique query sequence (gather span id).
+  uint64_t trace_id = 0;   // Router-unique query sequence (span display id).
   int64_t start_ns = 0;    // Scatter start; the gather span covers scatter->merge.
+  obs::TraceContext ctx;   // Caller's trace context (invalid = untraced query).
+  // Pre-allocated at scatter so shard child contexts can parent on the gather
+  // span before it is recorded (it records at fire()).
+  uint64_t gather_span_id = 0;
 };
 
 ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(config)) {
@@ -125,7 +129,8 @@ void ShardedTagMatch::consolidate() {
 
 void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t> tag_hashes,
                               MatchKind kind, int64_t gather_deadline_ns,
-                              int64_t shard_deadline_ns, ResultCallback callback) {
+                              int64_t shard_deadline_ns, const obs::TraceContext& ctx,
+                              ResultCallback callback) {
   queries_->inc();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   auto gather = std::make_shared<Gather>();
@@ -134,6 +139,12 @@ void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t>
   gather->awaiting = static_cast<uint32_t>(shards_.size());
   gather->trace_id = gather_seq_.fetch_add(1, std::memory_order_relaxed);
   gather->start_ns = now_ns();
+  obs::TraceContext shard_ctx;
+  if (ctx.valid()) {
+    gather->ctx = ctx;
+    gather->gather_span_id = obs::new_span_id();
+    shard_ctx = obs::TraceContext{ctx.trace_id, gather->gather_span_id, ctx.sampled};
+  }
   // Shedding deadline: the tighter of the caller's per-query deadline and
   // the configured static timeout.
   if (config_.query_timeout.count() > 0) {
@@ -153,14 +164,16 @@ void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t>
     auto on_shard = [this, gather](std::vector<Key> keys) { absorb(gather, std::move(keys)); };
     std::shared_lock gate(*gates_[i]);
     if (tag_hashes.empty()) {
-      if (shard_deadline_ns != 0) {
+      if (shard_ctx.valid()) {
+        shards_[i]->match_async(query, kind, shard_deadline_ns, shard_ctx, std::move(on_shard));
+      } else if (shard_deadline_ns != 0) {
         shards_[i]->match_async(query, kind, shard_deadline_ns, std::move(on_shard));
       } else {
         shards_[i]->match_async(query, kind, std::move(on_shard));
       }
     } else {
       shards_[i]->match_async_hashed(query, tag_hashes, kind, std::move(on_shard),
-                                     shard_deadline_ns);
+                                     shard_deadline_ns, shard_ctx);
     }
   }
 }
@@ -186,6 +199,8 @@ void ShardedTagMatch::fire(const std::shared_ptr<Gather>& gather,
   MatchKind kind = gather->kind;
   const uint64_t trace_id = gather->trace_id;
   const int64_t start_ns = gather->start_ns;
+  const obs::TraceContext trace_ctx = gather->ctx;
+  const uint64_t gather_span_id = gather->gather_span_id;
   lock.unlock();
   // Merge stage across shards: each shard already deduplicated its own
   // results for kMatchUnique; a key can still arrive from several shards
@@ -200,7 +215,8 @@ void ShardedTagMatch::fire(const std::shared_ptr<Gather>& gather,
   }
   // The gather span covers scatter through cross-shard merge; the user
   // callback is excluded (it is application time, not router time).
-  obs_.record_stage(obs::Stage::kGather, trace_id, start_ns, now_ns());
+  obs_.record_stage(obs::Stage::kGather, trace_id, start_ns, now_ns(), trace_ctx,
+                    gather_span_id);
   if (callback) {
     callback(MatchResult{std::move(keys), partial});
   }
@@ -253,13 +269,13 @@ void ShardedTagMatch::timeout_loop() {
 
 void ShardedTagMatch::match_result_async(const BloomFilter192& query, MatchKind kind,
                                          ResultCallback callback) {
-  scatter(query, {}, kind, /*gather_deadline_ns=*/0, /*shard_deadline_ns=*/0,
+  scatter(query, {}, kind, /*gather_deadline_ns=*/0, /*shard_deadline_ns=*/0, {},
           std::move(callback));
 }
 
 void ShardedTagMatch::match_result_async(const BloomFilter192& query, MatchKind kind,
                                          int64_t deadline_ns, ResultCallback callback) {
-  scatter(query, {}, kind, deadline_ns, deadline_ns, std::move(callback));
+  scatter(query, {}, kind, deadline_ns, deadline_ns, {}, std::move(callback));
 }
 
 void ShardedTagMatch::match_result_async(std::span<const std::string> tags, MatchKind kind,
@@ -269,13 +285,31 @@ void ShardedTagMatch::match_result_async(std::span<const std::string> tags, Matc
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  scatter(BloomFilter192::of(tags), std::move(hashes), kind, deadline_ns, deadline_ns,
+  scatter(BloomFilter192::of(tags), std::move(hashes), kind, deadline_ns, deadline_ns, {},
+          std::move(callback));
+}
+
+void ShardedTagMatch::match_result_async(const BloomFilter192& query, MatchKind kind,
+                                         int64_t deadline_ns, const obs::TraceContext& ctx,
+                                         ResultCallback callback) {
+  scatter(query, {}, kind, deadline_ns, deadline_ns, ctx, std::move(callback));
+}
+
+void ShardedTagMatch::match_result_async(std::span<const std::string> tags, MatchKind kind,
+                                         int64_t deadline_ns, const obs::TraceContext& ctx,
+                                         ResultCallback callback) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(tags.size());
+  for (const auto& t : tags) {
+    hashes.push_back(TagMatch::tag_hash(t));
+  }
+  scatter(BloomFilter192::of(tags), std::move(hashes), kind, deadline_ns, deadline_ns, ctx,
           std::move(callback));
 }
 
 void ShardedTagMatch::match_async(const BloomFilter192& query, MatchKind kind,
                                   MatchCallback callback) {
-  scatter(query, {}, kind, /*gather_deadline_ns=*/0, /*shard_deadline_ns=*/0,
+  scatter(query, {}, kind, /*gather_deadline_ns=*/0, /*shard_deadline_ns=*/0, {},
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
 
@@ -287,7 +321,7 @@ void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind k
     hashes.push_back(TagMatch::tag_hash(t));
   }
   scatter(BloomFilter192::of(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
-          /*shard_deadline_ns=*/0,
+          /*shard_deadline_ns=*/0, {},
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
 
@@ -296,7 +330,7 @@ void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind k
 // inexpressible here (see header).
 void ShardedTagMatch::match_async(const BloomFilter192& query, MatchKind kind,
                                   int64_t deadline_ns, MatchCallback callback) {
-  scatter(query, {}, kind, /*gather_deadline_ns=*/0, deadline_ns,
+  scatter(query, {}, kind, /*gather_deadline_ns=*/0, deadline_ns, {},
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
 
@@ -308,7 +342,27 @@ void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind k
     hashes.push_back(TagMatch::tag_hash(t));
   }
   scatter(BloomFilter192::of(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
-          deadline_ns,
+          deadline_ns, {},
+          [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
+}
+
+void ShardedTagMatch::match_async(const BloomFilter192& query, MatchKind kind,
+                                  int64_t deadline_ns, const obs::TraceContext& ctx,
+                                  MatchCallback callback) {
+  scatter(query, {}, kind, /*gather_deadline_ns=*/0, deadline_ns, ctx,
+          [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
+}
+
+void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind kind,
+                                  int64_t deadline_ns, const obs::TraceContext& ctx,
+                                  MatchCallback callback) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(tags.size());
+  for (const auto& t : tags) {
+    hashes.push_back(TagMatch::tag_hash(t));
+  }
+  scatter(BloomFilter192::of(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
+          deadline_ns, ctx,
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
 
@@ -318,7 +372,7 @@ std::vector<Matcher::Key> ShardedTagMatch::match_sync(const BloomFilter192& quer
   std::promise<std::vector<Key>> promise;
   auto future = promise.get_future();
   scatter(query, std::move(tag_hashes), kind, /*gather_deadline_ns=*/0,
-          /*shard_deadline_ns=*/0,
+          /*shard_deadline_ns=*/0, {},
           [&promise](MatchResult result) { promise.set_value(std::move(result.keys)); });
   flush();
   return future.get();
@@ -405,6 +459,15 @@ std::vector<obs::Span> ShardedTagMatch::trace_snapshot() const {
   std::sort(spans.begin(), spans.end(),
             [](const obs::Span& a, const obs::Span& b) { return a.start_ns < b.start_ns; });
   return spans;
+}
+
+uint64_t ShardedTagMatch::trace_dropped() const {
+  uint64_t dropped = obs_.tracer().dropped();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::shared_lock gate(*gates_[i]);
+    dropped += shards_[i]->trace_dropped();
+  }
+  return dropped;
 }
 
 // --- Persistence -----------------------------------------------------------

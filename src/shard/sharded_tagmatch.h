@@ -104,6 +104,14 @@ class ShardedTagMatch : public Matcher {
                           ResultCallback callback);
   void match_result_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
                           ResultCallback callback);
+  // Trace-carrying variants: a valid `ctx` makes the router record its gather
+  // span under the caller's trace (parented on ctx.parent_span_id) and fan a
+  // per-query child context out to every shard engine, so one publish yields
+  // one connected trace across shards and their GPU streams.
+  void match_result_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                          const obs::TraceContext& ctx, ResultCallback callback);
+  void match_result_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
+                          const obs::TraceContext& ctx, ResultCallback callback);
 
   // Matcher surface; the callback receives keys only (partial results are
   // still delivered — inspect ShardStats to observe shedding).
@@ -119,6 +127,10 @@ class ShardedTagMatch : public Matcher {
                    MatchCallback callback) override;
   void match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
                    MatchCallback callback) override;
+  void match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
+                   const obs::TraceContext& ctx, MatchCallback callback) override;
+  void match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
+                   const obs::TraceContext& ctx, MatchCallback callback) override;
   std::vector<Key> match(const BloomFilter192& query) override;
   std::vector<Key> match_unique(const BloomFilter192& query) override;
   std::vector<Key> match(std::span<const std::string> tags) override;
@@ -156,6 +168,8 @@ class ShardedTagMatch : public Matcher {
   obs::MetricsSnapshot metrics_snapshot() const override;
   // Router gather/consolidate spans plus every shard's spans, by start time.
   std::vector<obs::Span> trace_snapshot() const override;
+  // Ring-overwrite drops summed over the router's tracer and every shard's.
+  uint64_t trace_dropped() const override;
 
   unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
   const ShardPolicy& policy() const { return *policy_; }
@@ -169,8 +183,12 @@ class ShardedTagMatch : public Matcher {
   // `gather_deadline_ns` sheds the gather when it passes (0 = no shedding);
   // `shard_deadline_ns` is forwarded to the shard engines' deadline-aware
   // batch close (0 = none). Both absolute, now_ns() domain.
+  // A valid `ctx` turns on causal tracing for the query: the gather span
+  // records under it and each shard receives a child context parented on the
+  // (pre-allocated) gather span id.
   void scatter(const BloomFilter192& query, std::vector<uint64_t> tag_hashes, MatchKind kind,
-               int64_t gather_deadline_ns, int64_t shard_deadline_ns, ResultCallback callback);
+               int64_t gather_deadline_ns, int64_t shard_deadline_ns,
+               const obs::TraceContext& ctx, ResultCallback callback);
   // Starts the timeout sweeper on first use (config query_timeout starts it
   // eagerly; per-query deadlines start it on demand).
   void ensure_timeout_thread();

@@ -1,0 +1,119 @@
+// tagmatch_client — command-line client for the tagmatch_server observability
+// verbs. Prints the server's JSON payload to stdout, so output pipes straight
+// into files or jq:
+//
+//   tagmatch_client tracex > out.json     # load out.json in ui.perfetto.dev
+//   tagmatch_client stats | jq .
+//
+// Usage: tagmatch_client [--port P] <command> [args]
+//   ping                      liveness check; prints "PONG"
+//   stats                     merged metrics registries (STATS verb)
+//   trace [n] [stage=S] [since=ID]
+//                             stage spans, newest n (0/omitted = all),
+//                             optionally filtered (TRACE verb)
+//   tracex                    retained causal traces as Chrome/Perfetto
+//                             trace-event JSON (TRACEX verb; server must run
+//                             with --tracing)
+//   pub <tag,tag> <payload>   publish one message (handy for smoke tests)
+// Exits nonzero on connection or protocol errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/wire.h"
+
+namespace {
+
+int fail(const char* what) {
+  std::fprintf(stderr, "tagmatch_client: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7077;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: tagmatch_client [--port P] ping|stats|trace|tracex|pub ...\n"
+                 "       trace [n] [stage=S] [since=ID]\n"
+                 "       pub <tag,tag> <payload>\n");
+    return 1;
+  }
+
+  tagmatch::net::BrokerClient client;
+  if (!client.connect(port)) {
+    return fail("cannot connect");
+  }
+
+  const std::string& cmd = args[0];
+  if (cmd == "ping") {
+    if (!client.ping()) {
+      return fail("ping failed");
+    }
+    std::printf("PONG\n");
+    return 0;
+  }
+  if (cmd == "stats") {
+    auto json = client.stats_json();
+    if (!json) {
+      return fail("STATS failed");
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+  if (cmd == "trace") {
+    uint32_t limit = 0;
+    std::string stage;
+    uint64_t since = 0;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i].rfind("stage=", 0) == 0) {
+        stage = args[i].substr(6);
+      } else if (args[i].rfind("since=", 0) == 0) {
+        since = std::strtoull(args[i].c_str() + 6, nullptr, 10);
+      } else {
+        limit = static_cast<uint32_t>(std::strtoul(args[i].c_str(), nullptr, 10));
+      }
+    }
+    auto json = client.trace_json(limit, stage, since);
+    if (!json) {
+      return fail("TRACE failed (bad filter?)");
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+  if (cmd == "tracex") {
+    auto json = client.tracex_json();
+    if (!json) {
+      return fail("TRACEX failed");
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+  if (cmd == "pub") {
+    if (args.size() < 3) {
+      return fail("pub needs <tag,tag> <payload>");
+    }
+    auto tags = tagmatch::net::parse_tags(args[1]);
+    if (!tags) {
+      return fail("bad tag list");
+    }
+    if (!client.publish(*tags, args[2])) {
+      return fail("PUB failed");
+    }
+    std::printf("OK\n");
+    return 0;
+  }
+  return fail("unknown command");
+}

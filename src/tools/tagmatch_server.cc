@@ -2,6 +2,7 @@
 //
 // Usage: tagmatch_server [port] [--shards N] [--publish-slo-ms N [--slo-mode M]]
 //                        [--stats-json FILE [--stats-interval MS]]
+//                        [--tracing [--trace-sample N]] [--trace-out FILE]
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
 //   --shards N: back the broker with a sharded engine (N independent
 //               TagMatch shards, scatter-gather matching; default 1).
@@ -16,6 +17,14 @@
 //               (broker + engine, one line of JSON per dump — the same
 //               payload the STATS verb returns) by atomically rewriting
 //               FILE. Interval defaults to 1000 ms (--stats-interval).
+//   --tracing: stamp every publish with a causal trace context and
+//               tail-sample finished traces into the flight recorder
+//               (served by the TRACEX verb). --trace-sample N adds 1-in-N
+//               head sampling on top of the slow/degraded retention.
+//   --trace-out FILE: periodically dump the retained causal traces as
+//               Chrome/Perfetto trace-event JSON (load FILE in
+//               ui.perfetto.dev) by atomically rewriting FILE on the stats
+//               interval and at shutdown. Implies --tracing.
 //
 // Protocol (newline-delimited; see src/net/wire.h):
 //   SUB a,b,c        -> OK <id>       subscribe this connection
@@ -23,7 +32,8 @@
 //   PUB a,b payload  -> OK 0          deliver to matching subscribers
 //   PING             -> PONG
 //   STATS            -> STATS <json>  observability snapshot
-//   TRACE [n]        -> TRACE <json>  newest n pipeline stage spans
+//   TRACE [n] [stage=S] [since=ID] -> TRACE <json>  filtered stage spans
+//   TRACEX           -> TRACEX <json> retained causal traces (Perfetto)
 // Deliveries arrive as: MSG a,b payload
 //
 // Try it:   printf 'SUB alerts\n' | nc 127.0.0.1 7077
@@ -40,22 +50,33 @@
 
 #include "src/broker/broker.h"
 #include "src/net/server.h"
+#include "src/obs/export.h"
 
 namespace {
 
 // Atomic rewrite: dump to FILE.tmp, rename over FILE, so readers never see a
 // torn JSON line.
-void dump_stats(const tagmatch::broker::Broker& broker, const std::string& path) {
+void write_file_atomic(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (!f) {
     return;
   }
-  std::string json = broker.metrics_snapshot().to_json();
-  std::fwrite(json.data(), 1, json.size(), f);
+  std::fwrite(content.data(), 1, content.size(), f);
   std::fputc('\n', f);
   std::fclose(f);
   std::rename(tmp.c_str(), path.c_str());
+}
+
+void dump_stats(const tagmatch::broker::Broker& broker, const std::string& path) {
+  write_file_atomic(path, broker.metrics_snapshot().to_json());
+}
+
+// Perfetto dump of the flight recorder (--trace-out): pretty-printed — it is
+// a file for humans and ui.perfetto.dev, not a wire frame.
+void dump_traces(const tagmatch::broker::Broker& broker, const std::string& path) {
+  write_file_atomic(path,
+                    tagmatch::obs::chrome_trace_json(broker.trace_records(), /*pretty=*/true));
 }
 
 }  // namespace
@@ -65,6 +86,9 @@ int main(int argc, char** argv) {
   unsigned shards = 1;
   bool port_seen = false;
   std::string stats_json_path;
+  std::string trace_out_path;
+  bool tracing = false;
+  uint32_t trace_sample = 0;
   auto stats_interval = std::chrono::milliseconds(1000);
   auto publish_slo = std::chrono::milliseconds(0);
   auto slo_mode = tagmatch::broker::BrokerConfig::SloMode::kRejectAdmission;
@@ -89,6 +113,13 @@ int main(int argc, char** argv) {
       stats_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
       stats_interval = std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tracing") == 0) {
+      tracing = true;
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+      trace_sample = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out_path = argv[++i];
+      tracing = true;
     } else if (!port_seen) {
       port = static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
       port_seen = true;
@@ -102,6 +133,8 @@ int main(int argc, char** argv) {
   config.engine_shards = shards == 0 ? 1 : shards;
   config.publish_slo = publish_slo;
   config.slo_mode = slo_mode;
+  config.tracing = tracing;
+  config.trace_head_sample_every = trace_sample;
   tagmatch::broker::Broker broker(config);
   tagmatch::net::BrokerServer server(&broker, port);
   if (!server.listening()) {
@@ -117,12 +150,17 @@ int main(int argc, char** argv) {
   std::condition_variable dump_cv;
   bool dump_stop = false;
   std::thread dumper;
-  if (!stats_json_path.empty()) {
+  if (!stats_json_path.empty() || !trace_out_path.empty()) {
     dumper = std::thread([&] {
       std::unique_lock lock(dump_mu);
       for (;;) {
         dump_cv.wait_for(lock, stats_interval, [&] { return dump_stop; });
-        dump_stats(broker, stats_json_path);
+        if (!stats_json_path.empty()) {
+          dump_stats(broker, stats_json_path);
+        }
+        if (!trace_out_path.empty()) {
+          dump_traces(broker, trace_out_path);
+        }
         if (dump_stop) {
           return;
         }

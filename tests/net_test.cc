@@ -78,6 +78,44 @@ TEST(Wire, ParseStatsAndTraceRequests) {
   EXPECT_FALSE(parse_request("STATS now").has_value());
 }
 
+TEST(Wire, ParseTraceFilters) {
+  auto full = parse_request("TRACE 64 stage=kernel since=17");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->kind, Request::Kind::kTrace);
+  EXPECT_EQ(full->trace_limit, 64u);
+  EXPECT_EQ(full->trace_stage, "kernel");
+  EXPECT_EQ(full->trace_since, 17u);
+
+  auto stage_only = parse_request("TRACE stage=gather");
+  ASSERT_TRUE(stage_only.has_value());
+  EXPECT_EQ(stage_only->trace_limit, 0u);
+  EXPECT_EQ(stage_only->trace_stage, "gather");
+  EXPECT_EQ(stage_only->trace_since, 0u);
+
+  auto since_only = parse_request("TRACE since=9");
+  ASSERT_TRUE(since_only.has_value());
+  EXPECT_EQ(since_only->trace_since, 9u);
+
+  // Fail-closed grammar: unknown keys, unknown stage names, non-numeric
+  // values, and a bare limit anywhere but first all reject.
+  EXPECT_FALSE(parse_request("TRACE stage=bogus").has_value());
+  EXPECT_FALSE(parse_request("TRACE since=abc").has_value());
+  EXPECT_FALSE(parse_request("TRACE depth=3").has_value());
+  EXPECT_FALSE(parse_request("TRACE stage=kernel 64").has_value());
+}
+
+TEST(Wire, TracexRoundTrip) {
+  auto req = parse_request("TRACEX");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->kind, Request::Kind::kTracex);
+  EXPECT_FALSE(parse_request("TRACEX now").has_value());
+
+  auto frame = parse_server_frame(format_tracex(R"({"traceEvents":[]})"));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, ServerFrame::Kind::kTracex);
+  EXPECT_EQ(frame->payload, R"({"traceEvents":[]})");
+}
+
 TEST(Wire, StatsAndTraceFramesRoundTrip) {
   auto stats = parse_server_frame(format_stats(R"({"counters":{"x":1}})"));
   ASSERT_TRUE(stats.has_value());
@@ -208,6 +246,49 @@ TEST_F(NetEndToEnd, ManyClientsFanOut) {
   EXPECT_GE(server_->connections_served(), static_cast<uint64_t>(kConsumers + 1));
 }
 
+TEST(NetTracing, TraceFilterAndTracexVerbsEndToEnd) {
+  auto config = server_broker_config();
+  config.engine_shards = 2;  // gather spans only exist on the sharded path
+  config.tracing = true;
+  config.trace_head_sample_every = 1;  // retain every publish
+  broker::Broker broker(config);
+  BrokerServer server(&broker, 0);
+  ASSERT_TRUE(server.listening());
+
+  BrokerClient consumer, producer;
+  ASSERT_TRUE(consumer.connect(server.port()));
+  ASSERT_TRUE(producer.connect(server.port()));
+  ASSERT_TRUE(consumer.subscribe(Tags{"alerts"}).has_value());
+  ASSERT_TRUE(producer.publish(Tags{"alerts", "gpu"}, "hot"));
+  ASSERT_TRUE(consumer.receive(std::chrono::milliseconds(5000)).has_value());
+
+  // TRACE with a stage filter returns the envelope with only gather spans.
+  auto filtered = producer.trace_json(/*limit=*/4, /*stage=*/"gather");
+  ASSERT_TRUE(filtered.has_value());
+  EXPECT_NE(filtered->find("\"spans\":["), std::string::npos);
+  EXPECT_NE(filtered->find("\"dropped\":"), std::string::npos);
+  EXPECT_NE(filtered->find("\"gather\""), std::string::npos);
+  EXPECT_EQ(filtered->find("\"prefilter\""), std::string::npos);
+
+  // A bad stage name is rejected server-side (ERR, not a disconnect).
+  EXPECT_FALSE(producer.trace_json(0, "bogus").has_value());
+  EXPECT_TRUE(producer.ping());
+
+  // TRACEX serves the retained causal traces; retention happens when the
+  // publish finishes, so poll briefly.
+  std::string tracex;
+  for (int i = 0; i < 200; ++i) {
+    auto json = producer.tracex_json();
+    ASSERT_TRUE(json.has_value());
+    tracex = *json;
+    if (tracex.find("\"ph\":\"X\"") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(tracex.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(tracex.find("\"ph\":\"X\""), std::string::npos) << tracex;
+  EXPECT_NE(tracex.find("\"publish\""), std::string::npos);
+}
+
 TEST_F(NetEndToEnd, ClientDisconnectCleansUpSubscriber) {
   {
     BrokerClient ephemeral;
@@ -261,9 +342,13 @@ TEST_F(NetEndToEnd, StatsVerbReturnsStageHistograms) {
   // Broker counters ride the same snapshot.
   EXPECT_NE(stats->find("\"broker.published\":1"), std::string::npos);
 
+  // TRACE serves the envelope form: dropped/total framing around the spans.
   auto trace = producer.trace_json(64);
   ASSERT_TRUE(trace.has_value());
-  EXPECT_EQ(trace->front(), '[');
+  EXPECT_EQ(trace->front(), '{');
+  EXPECT_NE(trace->find("\"dropped\":"), std::string::npos);
+  EXPECT_NE(trace->find("\"total\":"), std::string::npos);
+  EXPECT_NE(trace->find("\"spans\":["), std::string::npos);
   EXPECT_NE(trace->find("\"stage\":\"kernel\""), std::string::npos);
 }
 

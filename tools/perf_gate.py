@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare smoke-bench stats snapshots against a baseline.
+
+Reads the JSON files that `tagmatch_cli bench --stats-json` dumps (the same
+payload the STATS wire verb returns) and fails the build only on a *sustained*
+latency regression:
+
+  * gated metrics: every `stage.*_ns` histogram's p95 and `query.latency_ns`'s
+    p99 present in the baseline with a nonzero value;
+  * a run regresses a metric when run >= ratio * baseline (default 1.5x) AND
+    run - baseline >= min-delta-ns (absolute noise floor — a 1.5x blowup of a
+    2 us stage is scheduler noise, not a regression);
+  * the gate fails only when a metric regresses in the MAJORITY of the run
+    files given (2-of-3 with three reruns), so a single noisy run passes.
+
+Stdlib only. Exit code 0 = pass, 1 = sustained regression, 2 = usage/IO error.
+
+Usage:
+  python3 tools/perf_gate.py --baseline bench/baselines/smoke.json \
+      run1.json run2.json run3.json
+
+Refreshing the baseline after an intentional perf change: re-run the smoke
+bench (see .github/workflows/ci.yml) and copy its stats JSON over
+bench/baselines/smoke.json.
+"""
+
+import argparse
+import json
+import sys
+
+GATED = [
+    # (histogram-name pattern, percentile key)
+    ("stage.*_ns", "p95"),
+    ("query.latency_ns", "p99"),
+]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def gated_metrics(baseline):
+    """Yield (metric-name, percentile, baseline-value) for every gated metric
+    that has signal in the baseline (count > 0 and value > 0)."""
+    hists = baseline.get("histograms", {})
+    for name, hist in sorted(hists.items()):
+        for pattern, pct in GATED:
+            if pattern.startswith("stage.") and "*" in pattern:
+                matched = name.startswith("stage.") and name.endswith("_ns")
+            else:
+                matched = name == pattern
+            if not matched:
+                continue
+            value = hist.get(pct, 0)
+            if hist.get("count", 0) > 0 and value > 0:
+                yield name, pct, float(value)
+            break
+
+
+def run_value(run, name, pct):
+    hist = run.get("histograms", {}).get(name)
+    if not hist or hist.get("count", 0) == 0:
+        return None
+    return float(hist.get(pct, 0))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="baseline stats JSON")
+    parser.add_argument("runs", nargs="+", help="stats JSON from this build's reruns")
+    parser.add_argument("--ratio", type=float, default=1.5,
+                        help="regression threshold multiplier (default 1.5)")
+    parser.add_argument("--min-delta-ns", type=float, default=100_000,
+                        help="absolute noise floor in ns (default 100000 = 0.1 ms)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    runs = [(path, load(path)) for path in args.runs]
+    majority = len(runs) // 2 + 1
+
+    failures = []
+    for name, pct, base in gated_metrics(baseline):
+        regressed_in = []
+        for path, run in runs:
+            value = run_value(run, name, pct)
+            if value is None:
+                continue  # Metric absent in this run; don't count either way.
+            if value >= args.ratio * base and value - base >= args.min_delta_ns:
+                regressed_in.append((path, value))
+        status = "FAIL" if len(regressed_in) >= majority else "ok"
+        values = " ".join(
+            f"{run_value(run, name, pct) or 0:.0f}" for _, run in runs)
+        print(f"  [{status:4}] {name} {pct}: baseline {base:.0f} ns, runs [{values}]"
+              f" ({len(regressed_in)}/{len(runs)} over {args.ratio}x)")
+        if len(regressed_in) >= majority:
+            failures.append((name, pct, base, regressed_in))
+
+    if failures:
+        print(f"\nperf_gate: FAIL — {len(failures)} sustained regression(s) "
+              f"(>= {args.ratio}x baseline in >= {majority}/{len(runs)} runs):",
+              file=sys.stderr)
+        for name, pct, base, regressed_in in failures:
+            worst = max(v for _, v in regressed_in)
+            print(f"  {name} {pct}: {base:.0f} ns -> up to {worst:.0f} ns "
+                  f"({worst / base:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"perf_gate: pass ({len(runs)} run(s) vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
