@@ -8,14 +8,21 @@
 // With --trace-out FILE, additionally runs a short traced pass (every query
 // stamped with a root trace context) and writes the resulting causal spans as
 // Chrome/Perfetto trace-event JSON — load FILE in ui.perfetto.dev.
+//
+// With --fault-plan SPEC (src/inject grammar, e.g. "h2d:after=64,count=2" or
+// "devloss:dev=0,after=500"), arms a deterministic fault injector on the
+// engine's devices and reports the recovery cost: faults fired, retries,
+// re-dispatches and CPU-fallback batches. Results stay exact either way.
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "src/core/gpu_engine.h"
 #include "src/core/partitioner.h"
+#include "src/inject/fault.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
 
@@ -51,7 +58,7 @@ void write_causal_trace(TagMatch& tm, const std::vector<BitVector192>& queries,
               static_cast<unsigned long long>(done.load()), path.c_str());
 }
 
-void run(const std::string& trace_out) {
+void run(const std::string& trace_out, const std::string& fault_plan_spec) {
   BenchWorkload& w = shared_workload();
   const size_t n = w.prefix_size(50);
   print_header("Pipeline profile: stream overlap and bus utilization",
@@ -59,6 +66,15 @@ void run(const std::string& trace_out) {
 
   TagMatchConfig config = bench_engine_config(n);
   config.gpu_profiling = true;
+  if (!fault_plan_spec.empty()) {
+    auto plan = inject::FaultPlan::parse(fault_plan_spec);
+    if (!plan) {
+      std::printf("malformed --fault-plan \"%s\"\n", fault_plan_spec.c_str());
+      return;
+    }
+    config.fault_injector = std::make_shared<inject::FaultInjector>(*plan);
+    std::printf("fault plan armed: %s\n", plan->to_spec().c_str());
+  }
   TagMatch tm(config);
   populate_tagmatch(tm, w, n);
 
@@ -66,6 +82,15 @@ void run(const std::string& trace_out) {
   auto result = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatch);
   std::printf("throughput: %.2f Kq/s over %llu queries\n", result.kqps(),
               static_cast<unsigned long long>(result.queries));
+  if (config.fault_injector) {
+    auto stats = tm.stats();
+    std::printf("faults fired: %llu   retries: %llu   redispatches: %llu   "
+                "cpu-fallback batches: %llu\n",
+                static_cast<unsigned long long>(config.fault_injector->faults_fired()),
+                static_cast<unsigned long long>(stats.engine_retries),
+                static_cast<unsigned long long>(stats.engine_redispatches),
+                static_cast<unsigned long long>(stats.cpu_fallback_batches));
+  }
 
   // Per-stage latency breakdown from the engine's metrics registry
   // (src/obs) — the same renderer the STATS wire verb and --stats-json use.
@@ -132,11 +157,14 @@ void run(const std::string& trace_out) {
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string fault_plan;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      fault_plan = argv[++i];
     }
   }
-  tagmatch::bench::run(trace_out);
+  tagmatch::bench::run(trace_out, fault_plan);
   return 0;
 }

@@ -67,6 +67,10 @@ void GpuOnlyMatcher::build() {
   dev_queues_ = device_->alloc(std::max<size_t>(p * (sizeof(uint32_t) + kQueueCapacity), 1));
   const size_t result_bytes = 16 + tagmatch::UnpackedResultCodec::bytes_for(config_.result_capacity);
   dev_results_ = device_->alloc(result_bytes);
+  // The baselines have no degraded mode: device OOM here is fatal, as it was
+  // when alloc itself aborted.
+  TAGMATCH_CHECK(dev_filters_.valid() && dev_masks_.valid() && dev_offsets_.valid() &&
+                 dev_queries_.valid() && dev_queues_.valid() && dev_results_.valid());
   host_results_.resize(result_bytes);
 
   if (!flat_filters.empty()) {

@@ -49,6 +49,10 @@ void GpuScanMatcherBase::build() {
   dev_queries_ = device_->alloc(256 * sizeof(BitVector192));
   const size_t result_bytes = 16 + UnpackedResultCodec::bytes_for(config_.result_capacity);
   dev_results_ = device_->alloc(result_bytes);
+  // The baselines have no degraded mode: device OOM here is fatal, as it was
+  // when alloc itself aborted.
+  TAGMATCH_CHECK(dev_filters_.valid() && dev_keys_.valid() && dev_queries_.valid() &&
+                 dev_results_.valid());
   host_results_.resize(result_bytes);
   if (filter_bytes > 0) {
     stream_->memcpy_h2d(dev_filters_.data(), filters_.data(), filter_bytes);

@@ -16,6 +16,10 @@ namespace obs {
 class PipelineObs;
 }  // namespace obs
 
+namespace inject {
+class FaultInjector;
+}  // namespace inject
+
 struct TagMatchConfig {
   // --- Off-line partitioning (Algorithm 1) ---
   // Maximum number of tag sets per partition (the paper's MAX_P). Balances
@@ -64,6 +68,22 @@ struct TagMatchConfig {
   // Capacity (in result entries) of each stream result buffer. A kernel that
   // overflows it raises a flag and the batch is re-matched on the CPU.
   uint32_t result_buffer_entries = 1u << 16;
+
+  // --- Fault injection & resilience ---
+  // When set, every device op consults this injector (src/inject); faults
+  // surface as op errors that the engine repairs via retry, re-dispatch, or
+  // CPU fallback. Null (the default) costs one branch per op.
+  std::shared_ptr<inject::FaultInjector> fault_injector;
+  // A batch whose cycle fails is retried with exponential backoff
+  // (retry_backoff * 2^attempt, capped at 64x); after max_batch_retries the
+  // engine matches it on the CPU instead of failing the query.
+  uint32_t max_batch_retries = 3;
+  std::chrono::milliseconds retry_backoff{1};
+  // A device is quarantined after this many consecutive failed cycles (a
+  // device-loss error quarantines immediately), and probed again after
+  // quarantine_period; a probe that passes returns it to service.
+  uint32_t quarantine_failure_threshold = 3;
+  std::chrono::milliseconds quarantine_period{50};
 
   // --- Semantics ---
   // §3: "in cases where false positives are absolutely unacceptable, the

@@ -1,0 +1,58 @@
+// CPU subset match over one partition of the consolidated tagset table,
+// mirroring the GPU kernel (Algorithms 3-4) including the per-block
+// common-prefix shortcut. Shared by TagMatch's cpu_only/overflow paths and
+// GpuEngine's all-devices-down brute-force fallback, so every degraded mode
+// computes bit-identical results to the kernel.
+#ifndef TAGMATCH_CORE_CPU_MATCH_H_
+#define TAGMATCH_CORE_CPU_MATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_vector.h"
+#include "src/core/packed_output.h"
+
+namespace tagmatch {
+
+// Matches `queries` against table slots [begin, end): emits a ResultPair
+// {query index, set_ids[slot]} for every slot whose filter is a subset of
+// the query. `block_dim` bounds the common-prefix blocks exactly as the
+// kernel's grid does, so the emission order matches the sorted table walk.
+inline std::vector<ResultPair> cpu_subset_match(std::span<const BitVector192> filters,
+                                                std::span<const uint32_t> set_ids, uint32_t begin,
+                                                uint32_t end,
+                                                std::span<const BitVector192> queries,
+                                                uint32_t block_dim, bool enable_prefix_filter) {
+  std::vector<ResultPair> pairs;
+  std::vector<uint8_t> active;
+  active.reserve(queries.size());
+  for (uint32_t base = begin; base < end; base += block_dim) {
+    const uint32_t last = std::min(base + block_dim, end) - 1;
+    unsigned len = BitVector192::common_prefix_len(filters[base], filters[last]);
+    BitVector192 prefix = filters[base].prefix(len);
+    active.clear();
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (enable_prefix_filter && !prefix.subset_of(queries[qi])) {
+        continue;
+      }
+      active.push_back(static_cast<uint8_t>(qi));
+    }
+    if (active.empty()) {
+      continue;
+    }
+    for (uint32_t i = base; i <= last; ++i) {
+      for (uint8_t qi : active) {
+        if (filters[i].subset_of(queries[qi])) {
+          pairs.push_back(ResultPair{qi, set_ids[i]});
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_CORE_CPU_MATCH_H_

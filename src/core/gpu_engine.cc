@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <limits>
+#include <thread>
 
 #include "src/common/check.h"
+#include "src/common/stats.h"
+#include "src/core/cpu_match.h"
+#include "src/inject/fault.h"
 
 namespace tagmatch {
+
+const char* device_health_name(DeviceHealth health) {
+  switch (health) {
+    case DeviceHealth::kHealthy:
+      return "healthy";
+    case DeviceHealth::kQuarantined:
+      return "quarantined";
+    case DeviceHealth::kProbing:
+      return "probing";
+    case DeviceHealth::kRecovered:
+      return "recovered";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -38,11 +58,25 @@ GpuEngine::GpuEngine(const TagMatchConfig& config, BatchResultFn on_result)
     // Share the engine's observability handle so device-side stage spans
     // (H2D, kernel, D2H) land in the same registry as the CPU stages.
     dev_config.metrics = config_.metrics;
+    dev_config.device_index = d;
+    dev_config.injector = config_.fault_injector;
     devices_.push_back(std::make_unique<gpusim::Device>(std::move(dev_config)));
+    device_states_.push_back(std::make_unique<DeviceState>());
   }
   device_tables_.resize(devices_.size());
+  health_gauges_.assign(devices_.size(), nullptr);
+  if (config_.metrics) {
+    auto& registry = config_.metrics->registry();
+    retries_counter_ = registry.counter("engine.retries");
+    redispatches_counter_ = registry.counter("engine.redispatches");
+    cpu_fallback_counter_ = registry.counter("engine.cpu_fallback_batches");
+    for (unsigned d = 0; d < config_.num_gpus; ++d) {
+      health_gauges_[d] = registry.gauge("device.health." + std::to_string(d));
+    }
+  }
 
   const size_t payload = payload_capacity_bytes();
+  pool_size_.assign(config_.num_gpus, 0);
   for (unsigned d = 0; d < config_.num_gpus; ++d) {
     available_.push_back(std::make_unique<MpmcQueue<StreamCtx*>>());
     for (unsigned s = 0; s < config_.streams_per_gpu; ++s) {
@@ -54,14 +88,35 @@ GpuEngine::GpuEngine(const TagMatchConfig& config, BatchResultFn on_result)
         ctx->result_buf[b] = devices_[d]->alloc(kHeaderBytes + payload);
         ctx->host_result[b].resize(kHeaderBytes + payload);
       }
-      available_[d]->push(ctx.get());
+      ctx->usable = ctx->stream->ok() && ctx->query_buf.valid() && ctx->result_buf[0].valid() &&
+                    ctx->result_buf[1].valid();
+      if (ctx->usable) {
+        available_[d]->push(ctx.get());
+        pool_size_[d]++;
+      }
       streams_.push_back(std::move(ctx));
     }
+    if (pool_size_[d] == 0) {
+      // No working stream on this device (construction-time alloc faults or
+      // a lost device): permanently out of service.
+      note_device_failure(d, gpusim::OpError::kDeviceLost);
+    }
   }
+  retry_worker_ = std::thread([this] { retry_loop(); });
 }
 
 GpuEngine::~GpuEngine() {
-  drain();
+  // Quiesce: every in-flight batch must be delivered, including batches
+  // bouncing through the retry worker, before the streams go away.
+  for (;;) {
+    drain();
+    if (in_flight() == 0 && retry_pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  retry_queue_.close();
+  retry_worker_.join();
   // Streams must be destroyed (joining their executors) before the devices
   // and buffers they reference.
   streams_.clear();
@@ -85,6 +140,12 @@ void GpuEngine::upload(const TagsetTableView& table) {
   TAGMATCH_CHECK(table.filters.size() == table.set_ids.size());
   TAGMATCH_CHECK(!table.offsets.empty());
   const size_t num_partitions = table.offsets.size() - 1;
+
+  // Host mirror: the CPU brute-force fallback matches against this when no
+  // device can serve a batch, so device faults degrade throughput only.
+  host_filters_.assign(table.filters.begin(), table.filters.end());
+  host_set_ids_.assign(table.set_ids.begin(), table.set_ids.end());
+  host_offsets_.assign(table.offsets.begin(), table.offsets.end());
 
   // Decide where each partition lives.
   locations_.assign(num_partitions, PartitionLocation{});
@@ -132,15 +193,23 @@ void GpuEngine::upload(const TagsetTableView& table) {
     DeviceTable& dt = device_tables_[d];
     dt.filters.reset();
     dt.set_ids.reset();
+    device_states_[d]->table_ok.store(false, std::memory_order_release);
+    if (pool_size_[d] == 0 || devices_[d]->lost()) {
+      continue;  // Nothing to upload to; the device stays out of service.
+    }
     const size_t filter_bytes = dev_filters.size() * sizeof(BitVector192);
     const size_t id_bytes = dev_ids.size() * sizeof(uint32_t);
     dt.filters = devices_[d]->alloc(std::max<size_t>(filter_bytes, 1));
     dt.set_ids = devices_[d]->alloc(std::max<size_t>(id_bytes, 1));
-    // Reuse the first pool stream of this device for the upload; the pool is
-    // idle at upload time (in_flight == 0 is checked above).
+    if (!dt.filters.valid() || !dt.set_ids.valid()) {
+      note_device_failure(d, gpusim::OpError::kDeviceLost);
+      continue;  // Device OOM/alloc fault: serve its share from elsewhere.
+    }
+    // Reuse the first usable pool stream of this device for the upload; the
+    // pool is idle at upload time (in_flight == 0 is checked above).
     gpusim::Stream* stream = nullptr;
     for (const auto& ctx : streams_) {
-      if (ctx->device_index == d) {
+      if (ctx->device_index == d && ctx->usable) {
         stream = ctx->stream.get();
         break;
       }
@@ -151,6 +220,12 @@ void GpuEngine::upload(const TagsetTableView& table) {
       stream->memcpy_h2d(dt.set_ids.data(), dev_ids.data(), id_bytes);
     }
     stream->synchronize();
+    const gpusim::OpError err = stream->take_error();
+    if (err != gpusim::OpError::kNone) {
+      note_device_failure(d, err);
+      continue;  // A corrupt table must never serve queries.
+    }
+    device_states_[d]->table_ok.store(true, std::memory_order_release);
   }
 }
 
@@ -159,15 +234,179 @@ unsigned GpuEngine::partition_device(PartitionId p) const {
   return locations_[p].device;
 }
 
-MpmcQueue<GpuEngine::StreamCtx*>& GpuEngine::pool_for(PartitionId partition) {
-  unsigned device;
-  if (config_.gpu_table_mode == TagMatchConfig::GpuTableMode::kPartition) {
-    device = locations_[partition].device;
-  } else {
-    device = static_cast<unsigned>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
-                                   devices_.size());
+DeviceHealth GpuEngine::device_health(unsigned device) const {
+  TAGMATCH_CHECK(device < device_states_.size());
+  return static_cast<DeviceHealth>(
+      device_states_[device]->health.load(std::memory_order_acquire));
+}
+
+std::vector<std::pair<unsigned, DeviceHealth>> GpuEngine::health_history() const {
+  std::lock_guard lock(health_mu_);
+  return history_;
+}
+
+void GpuEngine::set_health(unsigned device, DeviceHealth health) {
+  DeviceState& st = *device_states_[device];
+  std::lock_guard lock(health_mu_);
+  if (static_cast<DeviceHealth>(st.health.load(std::memory_order_relaxed)) == health) {
+    return;
   }
-  return *available_[device];
+  st.health.store(static_cast<uint32_t>(health), std::memory_order_release);
+  history_.emplace_back(device, health);
+  if (health_gauges_[device] != nullptr) {
+    health_gauges_[device]->set(static_cast<int64_t>(health));
+  }
+}
+
+void GpuEngine::note_device_failure(unsigned device, gpusim::OpError error) {
+  DeviceState& st = *device_states_[device];
+  const uint32_t streak = st.failure_streak.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const bool lost = error == gpusim::OpError::kDeviceLost;
+  if (lost || streak >= config_.quarantine_failure_threshold) {
+    // A lost device never heals, so it is quarantined forever; a flaky one
+    // gets probed again after the quarantine period.
+    const int64_t until =
+        lost ? std::numeric_limits<int64_t>::max()
+             : now_ns() + std::chrono::nanoseconds(config_.quarantine_period).count();
+    st.quarantine_until_ns.store(until, std::memory_order_release);
+    set_health(device, DeviceHealth::kQuarantined);
+  }
+}
+
+void GpuEngine::note_device_success(unsigned device) {
+  DeviceState& st = *device_states_[device];
+  st.failure_streak.store(0, std::memory_order_release);
+  if (static_cast<DeviceHealth>(st.health.load(std::memory_order_acquire)) ==
+      DeviceHealth::kRecovered) {
+    set_health(device, DeviceHealth::kHealthy);
+  }
+}
+
+bool GpuEngine::device_eligible(unsigned device) {
+  DeviceState& st = *device_states_[device];
+  if (!st.table_ok.load(std::memory_order_acquire) || pool_size_[device] == 0 ||
+      devices_[device]->lost()) {
+    return false;
+  }
+  const auto health = static_cast<DeviceHealth>(st.health.load(std::memory_order_acquire));
+  if (health != DeviceHealth::kQuarantined) {
+    return true;
+  }
+  if (now_ns() < st.quarantine_until_ns.load(std::memory_order_acquire)) {
+    return false;
+  }
+  // Quarantine expired: probe inline. The probe itself is cheap (the loss
+  // flag is the only unrecoverable state); the first real batch after
+  // recovery is the true trial — failure_streak is primed so that a single
+  // failed cycle re-quarantines immediately.
+  {
+    std::lock_guard lock(health_mu_);
+    const auto current = static_cast<DeviceHealth>(st.health.load(std::memory_order_relaxed));
+    if (current != DeviceHealth::kQuarantined) {
+      return current != DeviceHealth::kProbing;  // Another thread is probing.
+    }
+    st.health.store(static_cast<uint32_t>(DeviceHealth::kProbing), std::memory_order_release);
+    history_.emplace_back(device, DeviceHealth::kProbing);
+    if (health_gauges_[device] != nullptr) {
+      health_gauges_[device]->set(static_cast<int64_t>(DeviceHealth::kProbing));
+    }
+  }
+  if (devices_[device]->lost()) {
+    DeviceState& state = *device_states_[device];
+    state.quarantine_until_ns.store(std::numeric_limits<int64_t>::max(),
+                                    std::memory_order_release);
+    set_health(device, DeviceHealth::kQuarantined);
+    return false;
+  }
+  st.failure_streak.store(config_.quarantine_failure_threshold > 0
+                              ? config_.quarantine_failure_threshold - 1
+                              : 0,
+                          std::memory_order_release);
+  set_health(device, DeviceHealth::kRecovered);
+  return true;
+}
+
+int GpuEngine::choose_device(PartitionId partition, int exclude) {
+  if (config_.gpu_table_mode == TagMatchConfig::GpuTableMode::kPartition) {
+    // Only the owner holds the partition's table slice; there is no one to
+    // re-dispatch to, so an ineligible owner means CPU fallback.
+    const unsigned owner = locations_[partition].device;
+    return device_eligible(owner) ? static_cast<int>(owner) : -1;
+  }
+  const unsigned n = static_cast<unsigned>(devices_.size());
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned d = static_cast<unsigned>(
+        round_robin_.fetch_add(1, std::memory_order_relaxed) % n);
+    if (static_cast<int>(d) == exclude) {
+      continue;
+    }
+    if (device_eligible(d)) {
+      return static_cast<int>(d);
+    }
+  }
+  // Only the excluded (just-failed) device may be left — a single-GPU
+  // transient fault retries on the same device.
+  if (exclude >= 0 && device_eligible(static_cast<unsigned>(exclude))) {
+    return exclude;
+  }
+  return -1;
+}
+
+void GpuEngine::requeue(const PendingBatch& batch, unsigned failed_device) {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (retries_counter_ != nullptr) {
+    retries_counter_->inc();
+  }
+  retry_pending_.fetch_add(1, std::memory_order_acq_rel);
+  retry_queue_.push(RetryItem{batch.partition, batch.queries, batch.token, batch.ctx,
+                              batch.attempts + 1, static_cast<int>(failed_device)});
+}
+
+void GpuEngine::cpu_fallback_deliver(PartitionId partition,
+                                     std::span<const BitVector192> queries, void* token,
+                                     const obs::TraceContext& ctx) {
+  cpu_fallback_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (cpu_fallback_counter_ != nullptr) {
+    cpu_fallback_counter_->inc();
+  }
+  std::vector<ResultPair> pairs =
+      cpu_subset_match(host_filters_, host_set_ids_, host_offsets_[partition],
+                       host_offsets_[partition + 1], queries, config_.gpu_block_dim,
+                       config_.enable_prefix_filter);
+  (void)ctx;
+  on_result_(token, pairs, /*overflow=*/false);
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+void GpuEngine::retry_loop() {
+  while (auto item = retry_queue_.pop()) {
+    RetryItem r = *item;
+    if (r.attempts > config_.max_batch_retries) {
+      cpu_fallback_deliver(r.partition, r.queries, r.token, r.ctx);
+    } else {
+      // Exponential backoff, capped at 64x, so a transiently sick device is
+      // not hammered while it sorts itself out.
+      const auto backoff =
+          config_.retry_backoff * (1u << std::min<uint32_t>(r.attempts - 1, 6));
+      if (backoff.count() > 0) {
+        std::this_thread::sleep_for(backoff);
+      }
+      const int device = choose_device(r.partition, r.failed_device);
+      if (device < 0) {
+        cpu_fallback_deliver(r.partition, r.queries, r.token, r.ctx);
+      } else {
+        if (r.failed_device >= 0 && device != r.failed_device) {
+          redispatches_.fetch_add(1, std::memory_order_relaxed);
+          if (redispatches_counter_ != nullptr) {
+            redispatches_counter_->inc();
+          }
+        }
+        submit_attempt(r.partition, r.queries, r.token, r.ctx, static_cast<unsigned>(device),
+                       r.attempts);
+      }
+    }
+    retry_pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
 }
 
 gpusim::Kernel GpuEngine::make_kernel(unsigned device_index, PartitionId partition,
@@ -274,10 +513,23 @@ void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> quer
   TAGMATCH_CHECK(queries.size() <= config_.batch_size);
   TAGMATCH_CHECK(partition < locations_.size());
 
-  auto popped = pool_for(partition).pop();
+  in_flight_.fetch_add(1, std::memory_order_acquire);
+  const int device = choose_device(partition, /*exclude=*/-1);
+  if (device < 0) {
+    // Every device is quarantined/lost: degrade to the CPU, not to an error.
+    cpu_fallback_deliver(partition, queries, token, trace_ctx);
+    return;
+  }
+  submit_attempt(partition, queries, token, trace_ctx, static_cast<unsigned>(device),
+                 /*attempts=*/0);
+}
+
+void GpuEngine::submit_attempt(PartitionId partition, std::span<const BitVector192> queries,
+                               void* token, const obs::TraceContext& trace_ctx, unsigned device,
+                               uint32_t attempts) {
+  auto popped = available_[device]->pop();
   TAGMATCH_CHECK(popped.has_value());
   StreamCtx& ctx = **popped;
-  in_flight_.fetch_add(1, std::memory_order_acquire);
 
   // Make sure the previous cycle's copy has landed, so ctx.pending.count and
   // the even/odd bookkeeping below are valid (§3.3.2: the size of the current
@@ -309,6 +561,14 @@ void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> quer
                   trace_ctx);
     stream.memcpy_d2h(ctx.host_result[0].data(), header, kHeaderBytes, trace_ctx);
     stream.synchronize();  // Round trip: we must read the length before sizing the copy.
+    if (gpusim::OpError err = stream.take_error(); err != gpusim::OpError::kNone) {
+      // The header never arrived; nothing downstream of it is trustworthy.
+      note_device_failure(ctx.device_index, err);
+      available_[ctx.device_index]->push(&ctx);
+      PendingBatch failed{token, 0, false, true, trace_ctx, partition, queries, attempts};
+      requeue(failed, ctx.device_index);
+      return;
+    }
     uint64_t count = 0;
     uint64_t overflow = 0;
     std::memcpy(&count, ctx.host_result[0].data(), sizeof(count));
@@ -316,7 +576,16 @@ void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> quer
     stream.memcpy_d2h(ctx.host_result[0].data() + kHeaderBytes, payload, bytes_for_pairs(count),
                       trace_ctx);
     stream.synchronize();
-    deliver(PendingBatch{token, count, overflow != 0, true, trace_ctx},
+    if (gpusim::OpError err = stream.take_error(); err != gpusim::OpError::kNone) {
+      note_device_failure(ctx.device_index, err);
+      available_[ctx.device_index]->push(&ctx);
+      PendingBatch failed{token, 0, false, true, trace_ctx, partition, queries, attempts};
+      requeue(failed, ctx.device_index);
+      return;
+    }
+    note_device_success(ctx.device_index);
+    deliver(PendingBatch{token, count, overflow != 0, true, trace_ctx, partition, queries,
+                         attempts},
             std::span<const std::byte>(ctx.host_result[0]).subspan(kHeaderBytes));
     available_[ctx.device_index]->push(&ctx);
     return;
@@ -343,7 +612,7 @@ void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> quer
                 trace_ctx);
 
   const PendingBatch prev = ctx.pending;  // Results of the previous batch sit in buf[q].
-  ctx.pending = PendingBatch{token, 0, false, true, trace_ctx};
+  ctx.pending = PendingBatch{token, 0, false, true, trace_ctx, partition, queries, attempts};
 
   const size_t copy_bytes =
       prev.live ? kHeaderBytes + bytes_for_pairs(prev.count) : kHeaderBytes;
@@ -351,6 +620,24 @@ void GpuEngine::submit(PartitionId partition, std::span<const BitVector192> quer
 
   StreamCtx* ctx_ptr = &ctx;
   stream.callback([this, ctx_ptr, q, prev] {
+    // Any op of this cycle may have failed; the executor poisoned the rest
+    // of the cycle, so one take_error() covers them all. On failure neither
+    // the header nor prev's payload arrived: requeue both batches — the
+    // retry worker re-runs the full match elsewhere (or on the CPU), so
+    // correctness never depends on the sick device's buffers.
+    const gpusim::OpError err = ctx_ptr->stream->take_error();
+    if (err != gpusim::OpError::kNone) {
+      note_device_failure(ctx_ptr->device_index, err);
+      if (prev.live) {
+        requeue(prev, ctx_ptr->device_index);
+      }
+      if (ctx_ptr->pending.live) {
+        requeue(ctx_ptr->pending, ctx_ptr->device_index);
+        ctx_ptr->pending.live = false;
+      }
+      return;
+    }
+    note_device_success(ctx_ptr->device_index);
     // This batch's count and overflow flag just arrived in the header.
     uint64_t count = 0;
     uint64_t overflow = 0;
@@ -388,6 +675,13 @@ void GpuEngine::drain_stream(StreamCtx& ctx) {
   const PendingBatch pending = ctx.pending;
   ctx.pending.live = false;
   stream.callback([this, ctx_ptr, par, pending] {
+    const gpusim::OpError err = ctx_ptr->stream->take_error();
+    if (err != gpusim::OpError::kNone) {
+      // The trailing payload copy failed: re-run the batch instead.
+      note_device_failure(ctx_ptr->device_index, err);
+      requeue(pending, ctx_ptr->device_index);
+      return;
+    }
     deliver(pending, std::span<const std::byte>(ctx_ptr->host_result[par]).subspan(kHeaderBytes));
   });
   auto event = std::make_shared<gpusim::Event>();
@@ -396,17 +690,13 @@ void GpuEngine::drain_stream(StreamCtx& ctx) {
   ctx.last_event->wait();
 }
 
-void GpuEngine::drain() {
-  // Serialize whole-pool drains: two concurrent drains (e.g. a user flush
-  // racing the batch-timeout flusher) would otherwise each acquire part of
-  // the stream pool and deadlock waiting for the rest.
-  std::lock_guard drain_lock(drain_mu_);
-  // Take temporary ownership of every stream context so no submitter races
-  // with the drain, then flush each trailing batch.
+void GpuEngine::drain_streams_once() {
+  // Take temporary ownership of every pooled stream context so no submitter
+  // races with the drain, then flush each trailing batch.
   std::vector<StreamCtx*> owned;
   owned.reserve(streams_.size());
   for (unsigned d = 0; d < available_.size(); ++d) {
-    for (unsigned s = 0; s < config_.streams_per_gpu; ++s) {
+    for (unsigned s = 0; s < pool_size_[d]; ++s) {
       auto popped = available_[d]->pop();
       TAGMATCH_CHECK(popped.has_value());
       owned.push_back(*popped);
@@ -417,6 +707,26 @@ void GpuEngine::drain() {
   }
   for (StreamCtx* ctx : owned) {
     available_[ctx->device_index]->push(ctx);
+  }
+}
+
+void GpuEngine::drain() {
+  // Serialize whole-pool drains: two concurrent drains (e.g. a user flush
+  // racing the batch-timeout flusher) would otherwise each acquire part of
+  // the stream pool and deadlock waiting for the rest.
+  std::lock_guard drain_lock(drain_mu_);
+  for (;;) {
+    // Let the retry worker finish resubmitting before grabbing the pools —
+    // it needs to pop stream contexts, which a draining thread holds.
+    while (retry_pending_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    drain_streams_once();
+    // A drained cycle may itself have failed and requeued its batch; only a
+    // pass that left nothing behind means every batch was delivered.
+    if (retry_pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
   }
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "src/common/bit_vector.h"
@@ -43,12 +44,30 @@ struct TagsetTableView {
   std::span<const uint32_t> offsets;
 };
 
-// Delivered once per submitted batch, on a stream executor thread. `token`
-// is the opaque batch handle passed to submit(). When `overflow` is true the
-// result buffer capacity was exceeded and `pairs` is incomplete; the caller
-// must re-match the batch on the CPU.
+// Delivered once per submitted batch, on a stream executor thread (or on the
+// engine's retry worker after a fault). `token` is the opaque batch handle
+// passed to submit(). When `overflow` is true the result buffer capacity was
+// exceeded and `pairs` is incomplete; the caller must re-match the batch on
+// the CPU. Injected/observed GPU faults never reach this callback: the
+// engine retries, re-dispatches to a surviving device, or brute-forces the
+// batch on its host table mirror, so the pairs delivered are always the full
+// result set for the batch.
 using BatchResultFn = std::function<void(void* token, std::span<const ResultPair> pairs,
                                          bool overflow)>;
+
+// Per-device health state machine. A device starts kHealthy; enough
+// consecutive failed cycles (or one device-loss error) quarantines it; after
+// the quarantine period the next submission probes it; a passing probe
+// returns it to service as kRecovered, and its next successful cycle makes
+// it kHealthy again. Gauge values (device.health.<d>) use these integers.
+enum class DeviceHealth : uint32_t {
+  kHealthy = 0,
+  kQuarantined = 1,
+  kProbing = 2,
+  kRecovered = 3,
+};
+
+const char* device_health_name(DeviceHealth health);
 
 class GpuEngine {
  public:
@@ -93,6 +112,21 @@ class GpuEngine {
   // Number of batches whose results have not been delivered yet.
   uint64_t in_flight() const { return in_flight_.load(std::memory_order_acquire); }
 
+  // --- Resilience introspection ---
+  DeviceHealth device_health(unsigned device) const;
+  // Health transitions in occurrence order: (device, new state). The initial
+  // kHealthy state is not logged.
+  std::vector<std::pair<unsigned, DeviceHealth>> health_history() const;
+  // Failed cycles requeued for another attempt.
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  // Retries that landed on a different device than the one that failed.
+  uint64_t redispatches() const { return redispatches_.load(std::memory_order_relaxed); }
+  // Batches brute-forced on the host table mirror (no eligible device, or
+  // retry budget exhausted).
+  uint64_t cpu_fallback_batches() const {
+    return cpu_fallback_batches_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct DeviceTable {
     gpusim::DeviceBuffer filters;  // BitVector192[n]
@@ -105,6 +139,12 @@ class GpuEngine {
     bool overflow = false;
     bool live = false;
     obs::TraceContext ctx;   // Trace context of the batch (drain's payload copy records under it).
+    // Resubmission state: the original submission arguments (the caller
+    // guarantees `queries` stays valid until delivery, which has not
+    // happened for a live batch) and how many attempts already failed.
+    PartitionId partition = 0;
+    std::span<const BitVector192> queries;
+    uint32_t attempts = 0;
   };
 
   struct StreamCtx {
@@ -116,6 +156,26 @@ class GpuEngine {
     uint64_t cycle = 0;
     PendingBatch pending;  // The batch whose results the next cycle's copy will deliver.
     std::shared_ptr<gpusim::Event> last_event;
+    // False when a construction-time buffer allocation failed (injected
+    // alloc fault / real OOM); an unusable context never enters the pool.
+    bool usable = true;
+  };
+
+  // A batch pulled off a failed cycle, waiting for the retry worker.
+  struct RetryItem {
+    PartitionId partition = 0;
+    std::span<const BitVector192> queries;
+    void* token = nullptr;
+    obs::TraceContext ctx;
+    uint32_t attempts = 0;
+    int failed_device = -1;
+  };
+
+  struct DeviceState {
+    std::atomic<uint32_t> health{static_cast<uint32_t>(DeviceHealth::kHealthy)};
+    std::atomic<uint32_t> failure_streak{0};
+    std::atomic<int64_t> quarantine_until_ns{0};
+    std::atomic<bool> table_ok{false};  // True once upload() succeeded on this device.
   };
 
   static constexpr size_t kHeaderBytes = 16;  // u64 count, u64 overflow flag.
@@ -136,7 +196,29 @@ class GpuEngine {
                              std::byte* counter_header, std::byte* payload);
   void deliver(const PendingBatch& batch, std::span<const std::byte> payload_bytes);
   void drain_stream(StreamCtx& ctx);
-  MpmcQueue<StreamCtx*>& pool_for(PartitionId partition);
+  void drain_streams_once();
+
+  // --- Resilience internals ---
+  // Ready to serve: table uploaded, not lost, has usable streams, and not
+  // inside an unexpired quarantine (an expired one triggers an inline probe).
+  bool device_eligible(unsigned device);
+  // Picks a device for the batch: the owning device in kPartition mode,
+  // round-robin over eligible devices (skipping `exclude` when another
+  // choice exists) in kReplicate mode. -1 when no device can serve.
+  int choose_device(PartitionId partition, int exclude);
+  void set_health(unsigned device, DeviceHealth health);
+  void note_device_failure(unsigned device, gpusim::OpError error);
+  void note_device_success(unsigned device);
+  // Hands a failed batch to the retry worker (counts engine.retries).
+  void requeue(const PendingBatch& batch, unsigned failed_device);
+  void retry_loop();
+  // Full submission path against a chosen device; the public submit() and
+  // the retry worker both land here.
+  void submit_attempt(PartitionId partition, std::span<const BitVector192> queries, void* token,
+                      const obs::TraceContext& ctx, unsigned device, uint32_t attempts);
+  // Brute-force the batch on the host table mirror and deliver.
+  void cpu_fallback_deliver(PartitionId partition, std::span<const BitVector192> queries,
+                            void* token, const obs::TraceContext& ctx);
 
   TagMatchConfig config_;
   BatchResultFn on_result_;
@@ -147,9 +229,36 @@ class GpuEngine {
   // One stream pool per device: in kReplicate mode submissions rotate over
   // devices; in kPartition mode they go to the owning device's pool.
   std::vector<std::unique_ptr<MpmcQueue<StreamCtx*>>> available_;
+  // Contexts actually in each pool (== usable streams); drain pops exactly
+  // this many per device.
+  std::vector<unsigned> pool_size_;
   std::mutex drain_mu_;  // See drain(): concurrent whole-pool drains deadlock.
   std::atomic<uint64_t> round_robin_{0};
   std::atomic<uint64_t> in_flight_{0};
+
+  // Host mirror of the uploaded table (global offsets), for the CPU
+  // brute-force fallback when no device can serve a batch.
+  std::vector<BitVector192> host_filters_;
+  std::vector<uint32_t> host_set_ids_;
+  std::vector<uint32_t> host_offsets_;
+
+  std::vector<std::unique_ptr<DeviceState>> device_states_;
+  mutable std::mutex health_mu_;  // Guards transitions + history_ (fault path only).
+  std::vector<std::pair<unsigned, DeviceHealth>> history_;
+  std::vector<obs::Gauge*> health_gauges_;  // Per device; null without metrics.
+
+  MpmcQueue<RetryItem> retry_queue_;
+  // Items accepted by requeue() and not yet resubmitted/delivered by the
+  // retry worker; drain() and the destructor wait for this to reach zero.
+  std::atomic<uint64_t> retry_pending_{0};
+  std::thread retry_worker_;
+
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> redispatches_{0};
+  std::atomic<uint64_t> cpu_fallback_batches_{0};
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* redispatches_counter_ = nullptr;
+  obs::Counter* cpu_fallback_counter_ = nullptr;
 };
 
 }  // namespace tagmatch

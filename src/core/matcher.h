@@ -109,6 +109,10 @@ class Matcher {
     uint64_t batches_submitted = 0;
     uint64_t batch_overflows = 0;        // GPU result-buffer overflows (CPU fallback taken)
     uint64_t exact_rejections = 0;       // Bloom false positives caught by the exact check
+    // --- Fault resilience (src/inject + GpuEngine health machinery) ---
+    uint64_t engine_retries = 0;         // Failed GPU cycles requeued for another attempt.
+    uint64_t engine_redispatches = 0;    // Retries that moved to a different device.
+    uint64_t cpu_fallback_batches = 0;   // Batches brute-forced on the host table mirror.
     // --- Pipeline telemetry ---
     uint64_t partitions_forwarded = 0;   // Total query->partition forwards (pre-process).
     uint64_t batch_queries = 0;          // Queries over all submitted batches.
@@ -143,6 +147,9 @@ class Matcher {
       batches_submitted += o.batches_submitted;
       batch_overflows += o.batch_overflows;
       exact_rejections += o.exact_rejections;
+      engine_retries += o.engine_retries;
+      engine_redispatches += o.engine_redispatches;
+      cpu_fallback_batches += o.cpu_fallback_batches;
       partitions_forwarded += o.partitions_forwarded;
       batch_queries += o.batch_queries;
       result_pairs += o.result_pairs;

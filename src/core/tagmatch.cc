@@ -13,6 +13,7 @@
 #include "src/common/hash.h"
 #include "src/common/mpmc_queue.h"
 #include "src/common/stats.h"
+#include "src/core/cpu_match.h"
 #include "src/core/gpu_engine.h"
 #include "src/core/partition_table.h"
 #include "src/core/partitioner.h"
@@ -340,6 +341,9 @@ class TagMatchImpl {
     if (engine_) {
       s.host_buffer_bytes = host_buffer_bytes();
       s.gpu_bytes = engine_->device_memory_used();
+      s.engine_retries = engine_->retries();
+      s.engine_redispatches = engine_->redispatches();
+      s.cpu_fallback_batches = engine_->cpu_fallback_batches();
     }
     return s;
   }
@@ -472,39 +476,13 @@ class TagMatchImpl {
     }
   }
 
-  // CPU subset match over one partition, mirroring the GPU kernel including
-  // the per-block common-prefix shortcut. Used for cpu_only mode and as the
-  // exact fallback when a GPU result buffer overflows.
+  // CPU subset match over one partition (shared with GpuEngine's device-loss
+  // fallback, src/core/cpu_match.h). Used for cpu_only mode and as the exact
+  // fallback when a GPU result buffer overflows.
   std::vector<ResultPair> cpu_match(const Batch& batch) const {
-    std::vector<ResultPair> pairs;
-    const uint32_t begin = offsets_[batch.partition];
-    const uint32_t end = offsets_[batch.partition + 1];
-    const uint32_t block = config_.gpu_block_dim;
-    std::vector<uint8_t> active;
-    active.reserve(batch.filters.size());
-    for (uint32_t base = begin; base < end; base += block) {
-      const uint32_t last = std::min(base + block, end) - 1;
-      unsigned len = BitVector192::common_prefix_len(filters_sorted_[base], filters_sorted_[last]);
-      BitVector192 prefix = filters_sorted_[base].prefix(len);
-      active.clear();
-      for (size_t qi = 0; qi < batch.filters.size(); ++qi) {
-        if (config_.enable_prefix_filter && !prefix.subset_of(batch.filters[qi])) {
-          continue;
-        }
-        active.push_back(static_cast<uint8_t>(qi));
-      }
-      if (active.empty()) {
-        continue;
-      }
-      for (uint32_t i = base; i <= last; ++i) {
-        for (uint8_t qi : active) {
-          if (filters_sorted_[i].subset_of(batch.filters[qi])) {
-            pairs.push_back(ResultPair{qi, set_ids_[i]});
-          }
-        }
-      }
-    }
-    return pairs;
+    return cpu_subset_match(filters_sorted_, set_ids_, offsets_[batch.partition],
+                            offsets_[batch.partition + 1], batch.filters, config_.gpu_block_dim,
+                            config_.enable_prefix_filter);
   }
 
   // Stage 3 (§3.4): key lookup/reduce — map set ids to keys and group the

@@ -23,16 +23,40 @@ Device::Device(DeviceConfig config) : config_(std::move(config)) {
     auto& registry = config_.metrics->registry();
     h2d_bytes_ = registry.counter("gpusim.h2d_bytes");
     d2h_bytes_ = registry.counter("gpusim.d2h_bytes");
+    faults_injected_ = registry.counter("gpusim.faults_injected");
   }
 }
 
-DeviceBuffer Device::alloc(size_t bytes) {
-  DeviceBuffer buf = try_alloc(bytes);
-  TAGMATCH_CHECK(buf.valid());
-  return buf;
+void Device::count_fault() {
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  if (faults_injected_ != nullptr) {
+    faults_injected_->add(1);
+  }
 }
 
+DeviceBuffer Device::alloc(size_t bytes) { return try_alloc(bytes); }
+
 DeviceBuffer Device::try_alloc(size_t bytes) {
+  if (lost()) {
+    count_fault();
+    return DeviceBuffer();
+  }
+  if (auto* inj = injector()) {
+    auto decision = inj->check(tagmatch::inject::FaultSite::kAlloc, index());
+    if (decision.action == tagmatch::inject::FaultAction::kDeviceLoss) {
+      mark_lost();
+      count_fault();
+      return DeviceBuffer();
+    }
+    if (decision.action == tagmatch::inject::FaultAction::kFail) {
+      count_fault();
+      return DeviceBuffer();
+    }
+    if (decision.action == tagmatch::inject::FaultAction::kStall) {
+      count_fault();
+      spin_until(std::chrono::steady_clock::now(), decision.stall_ns);
+    }
+  }
   if (bytes == 0) {
     bytes = 1;  // Keep a distinct address per allocation, as cudaMalloc does.
   }
@@ -51,9 +75,14 @@ void Device::free(std::byte* data, size_t size) {
   memory_used_.fetch_sub(size, std::memory_order_relaxed);
 }
 
-void Device::register_stream() {
-  unsigned n = live_streams_.fetch_add(1, std::memory_order_relaxed) + 1;
-  TAGMATCH_CHECK(n <= config_.max_streams);
+bool Device::try_register_stream() {
+  unsigned n = live_streams_.load(std::memory_order_relaxed);
+  do {
+    if (n >= config_.max_streams) {
+      return false;
+    }
+  } while (!live_streams_.compare_exchange_weak(n, n + 1, std::memory_order_relaxed));
+  return true;
 }
 
 void Device::unregister_stream() { live_streams_.fetch_sub(1, std::memory_order_relaxed); }

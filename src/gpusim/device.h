@@ -15,6 +15,7 @@
 #include "src/common/thread_pool.h"
 #include "src/gpusim/cost_model.h"
 #include "src/gpusim/profiler.h"
+#include "src/inject/fault.h"
 
 namespace tagmatch::obs {
 class Counter;
@@ -81,17 +82,28 @@ struct DeviceConfig {
   // enable_profiling this is cheap enough to leave on in production — a few
   // atomic adds per op, no timeline retention.
   std::shared_ptr<tagmatch::obs::PipelineObs> metrics;
+  // Index of this device in its engine's fleet; identifies it to the fault
+  // injector and to per-device health gauges.
+  unsigned device_index = 0;
+  // When set, alloc and every stream op consult the injector before running
+  // (one branch per op when no rule matches). See src/inject/fault.h.
+  std::shared_ptr<tagmatch::inject::FaultInjector> injector;
 };
 
 class Device {
  public:
   explicit Device(DeviceConfig config);
 
-  // Allocates `bytes` of device memory. Aborts if the device capacity would
-  // be exceeded (mirrors a failed cudaMalloc treated as fatal); use
-  // `try_alloc` where failure must be handled.
+  // Allocates `bytes` of device memory. Returns an invalid buffer when the
+  // device capacity would be exceeded, the device is lost, or the fault
+  // injector fires at the alloc site — a failed cudaMalloc is a status, not
+  // a crash; callers that cannot proceed without the memory must check
+  // valid() and decide (the engine quarantines the device, the baselines
+  // treat it as fatal).
   DeviceBuffer alloc(size_t bytes);
-  DeviceBuffer try_alloc(size_t bytes);  // Returns an invalid buffer on OOM.
+  // Same semantics; kept as the explicit "failure is expected here" spelling
+  // at call sites that probe capacity.
+  DeviceBuffer try_alloc(size_t bytes);
 
   uint64_t memory_used() const { return memory_used_.load(std::memory_order_relaxed); }
   uint64_t memory_capacity() const { return config_.memory_capacity; }
@@ -113,9 +125,22 @@ class Device {
   tagmatch::obs::Counter* d2h_bytes_counter() const { return d2h_bytes_; }
 
   unsigned stream_count() const { return live_streams_.load(std::memory_order_relaxed); }
-  // Called by Stream's constructor/destructor; aborts if max_streams exceeded.
-  void register_stream();
+  // Called by Stream's constructor; returns false (leaving the stream
+  // inoperable, see Stream::ok()) when max_streams would be exceeded.
+  [[nodiscard]] bool try_register_stream();
   void unregister_stream();
+
+  // Whole-device loss: sticky. A lost device fails every subsequent alloc
+  // and stream op; it never heals (the engine re-dispatches its work and,
+  // if every device is gone, falls back to the CPU matcher).
+  bool lost() const { return lost_.load(std::memory_order_acquire); }
+  void mark_lost() { lost_.store(true, std::memory_order_release); }
+
+  unsigned index() const { return config_.device_index; }
+  tagmatch::inject::FaultInjector* injector() const { return config_.injector.get(); }
+  // Total faults observed by this device (injected or device-loss induced).
+  uint64_t faults_observed() const { return faults_.load(std::memory_order_relaxed); }
+  void count_fault();
 
  private:
   friend class DeviceBuffer;
@@ -124,10 +149,13 @@ class Device {
   DeviceConfig config_;
   std::atomic<uint64_t> memory_used_{0};
   std::atomic<unsigned> live_streams_{0};
+  std::atomic<bool> lost_{false};
+  std::atomic<uint64_t> faults_{0};
   std::unique_ptr<tagmatch::ThreadPool> sm_pool_;
   Profiler profiler_;
   tagmatch::obs::Counter* h2d_bytes_ = nullptr;
   tagmatch::obs::Counter* d2h_bytes_ = nullptr;
+  tagmatch::obs::Counter* faults_injected_ = nullptr;
 };
 
 }  // namespace gpusim

@@ -12,10 +12,15 @@ constexpr size_t kMaxSharedBytes = 48 * 1024;  // CUDA's classic 48 KiB/block li
 }
 
 void execute_grid(Device* device, const LaunchConfig& config, const Kernel& kernel) {
+  // Malformed launch configurations stay fatal: they are programmer errors,
+  // not injectable runtime faults (death_test pins this contract).
   TAGMATCH_CHECK(config.block_dim > 0);
   TAGMATCH_CHECK(config.shared_bytes <= kMaxSharedBytes);
   if (config.grid_dim == 0) {
     return;
+  }
+  if (device->lost()) {
+    return;  // A lost device executes nothing; the stream latched the error.
   }
   device->sm_pool().parallel_for(config.grid_dim, [&](size_t block) {
     // Each SM worker gets its own shared-memory arena, zeroed per block as

@@ -24,13 +24,32 @@ int64_t mono_ns() {
 
 }  // namespace
 
+const char* op_error_name(OpError error) {
+  switch (error) {
+    case OpError::kNone:
+      return "none";
+    case OpError::kCopyFailed:
+      return "copy_failed";
+    case OpError::kLaunchFailed:
+      return "launch_failed";
+    case OpError::kDeviceLost:
+      return "device_lost";
+  }
+  return "?";
+}
+
 Stream::Stream(Device* device) : device_(device), id_(next_stream_id()) {
   TAGMATCH_CHECK(device != nullptr);
-  device_->register_stream();
-  executor_ = std::thread([this] { run(); });
+  ok_ = device_->try_register_stream();
+  if (ok_) {
+    executor_ = std::thread([this] { run(); });
+  }
 }
 
 Stream::~Stream() {
+  if (!ok_) {
+    return;
+  }
   synchronize();
   ops_.close();
   executor_.join();
@@ -43,7 +62,71 @@ void Stream::run() {
   }
 }
 
-void Stream::enqueue(std::function<void()> op) { ops_.push(std::move(op)); }
+void Stream::enqueue(std::function<void()> op) {
+  if (!ok_) {
+    return;  // No executor; dropping is the only safe behavior.
+  }
+  ops_.push(std::move(op));
+}
+
+void Stream::latch_error(OpError error) {
+  OpError expected = OpError::kNone;
+  if (!error_.compare_exchange_strong(expected, error, std::memory_order_acq_rel)) {
+    // First error wins, except device loss which supersedes anything.
+    if (error == OpError::kDeviceLost && expected != OpError::kDeviceLost) {
+      error_.store(error, std::memory_order_release);
+    }
+  }
+}
+
+bool Stream::poisoned_or_lost() {
+  if (error_.load(std::memory_order_acquire) != OpError::kNone) {
+    return true;
+  }
+  if (device_->lost()) {
+    latch_error(OpError::kDeviceLost);
+    return true;
+  }
+  return false;
+}
+
+void Stream::note_fault(const tagmatch::obs::TraceContext& ctx) {
+  device_->count_fault();
+  if (auto* metrics = device_->metrics()) {
+    const int64_t now = mono_ns();
+    metrics->record_stage(tagmatch::obs::Stage::kFault, id_, now, now, ctx);
+  }
+}
+
+bool Stream::fault_gate(tagmatch::inject::FaultSite site, OpError on_fail,
+                        const tagmatch::obs::TraceContext& ctx) {
+  if (poisoned_or_lost()) {
+    return true;
+  }
+  auto* inj = device_->injector();
+  if (inj == nullptr) {
+    return false;
+  }
+  const auto decision = inj->check(site, device_->index());
+  switch (decision.action) {
+    case tagmatch::inject::FaultAction::kNone:
+      return false;
+    case tagmatch::inject::FaultAction::kStall:
+      note_fault(ctx);
+      spin_until(std::chrono::steady_clock::now(), decision.stall_ns);
+      return false;  // A stall delays the op but it still succeeds.
+    case tagmatch::inject::FaultAction::kFail:
+      note_fault(ctx);
+      latch_error(on_fail);
+      return true;
+    case tagmatch::inject::FaultAction::kDeviceLoss:
+      note_fault(ctx);
+      device_->mark_lost();
+      latch_error(OpError::kDeviceLost);
+      return true;
+  }
+  return false;
+}
 
 namespace {
 
@@ -107,7 +190,10 @@ void Stream::memcpy_h2d(void* dst_device, const void* src_host, size_t bytes,
                         const tagmatch::obs::TraceContext& ctx) {
   enqueue_profiled(
       OpKind::kH2D, bytes,
-      [this, dst_device, src_host, bytes] {
+      [this, dst_device, src_host, bytes, ctx] {
+        if (fault_gate(tagmatch::inject::FaultSite::kH2D, OpError::kCopyFailed, ctx)) {
+          return;
+        }
         const auto start = std::chrono::steady_clock::now();
         std::memcpy(dst_device, src_host, bytes);
         const CostModel& costs = device_->costs();
@@ -122,7 +208,10 @@ void Stream::memcpy_d2h(void* dst_host, const void* src_device, size_t bytes,
                         const tagmatch::obs::TraceContext& ctx) {
   enqueue_profiled(
       OpKind::kD2H, bytes,
-      [this, dst_host, src_device, bytes] {
+      [this, dst_host, src_device, bytes, ctx] {
+        if (fault_gate(tagmatch::inject::FaultSite::kD2H, OpError::kCopyFailed, ctx)) {
+          return;
+        }
         const auto start = std::chrono::steady_clock::now();
         std::memcpy(dst_host, src_device, bytes);
         const CostModel& costs = device_->costs();
@@ -135,6 +224,11 @@ void Stream::memcpy_d2h(void* dst_host, const void* src_device, size_t bytes,
 
 void Stream::memset_d(void* dst_device, int value, size_t bytes) {
   enqueue_profiled(OpKind::kMemset, bytes, [this, dst_device, value, bytes] {
+    // Memsets are protocol bookkeeping, not a counted fault site, but they
+    // must still respect a poisoned cycle or a lost device.
+    if (poisoned_or_lost()) {
+      return;
+    }
     const auto start = std::chrono::steady_clock::now();
     std::memset(dst_device, value, bytes);
     const CostModel& costs = device_->costs();
@@ -148,7 +242,10 @@ void Stream::launch(const LaunchConfig& config, Kernel kernel,
                     const tagmatch::obs::TraceContext& ctx) {
   enqueue_profiled(
       OpKind::kKernel, 0,
-      [this, config, kernel = std::move(kernel)] {
+      [this, config, kernel = std::move(kernel), ctx] {
+        if (fault_gate(tagmatch::inject::FaultSite::kKernel, OpError::kLaunchFailed, ctx)) {
+          return;
+        }
         const auto start = std::chrono::steady_clock::now();
         const CostModel& costs = device_->costs();
         if (costs.enforce) {
@@ -164,6 +261,10 @@ void Stream::callback(std::function<void()> fn) {
 }
 
 void Stream::record(const std::shared_ptr<Event>& event) {
+  if (!ok_) {
+    event->signal();  // Keep waiters from hanging on a dead stream.
+    return;
+  }
   enqueue([event] { event->signal(); });
 }
 
@@ -172,6 +273,9 @@ void Stream::wait_event(const std::shared_ptr<Event>& event) {
 }
 
 void Stream::synchronize() {
+  if (!ok_) {
+    return;
+  }
   std::promise<void> done;
   enqueue([&done] { done.set_value(); });
   done.get_future().wait();

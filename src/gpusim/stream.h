@@ -6,6 +6,7 @@
 #ifndef TAGMATCH_GPUSIM_STREAM_H_
 #define TAGMATCH_GPUSIM_STREAM_H_
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <memory>
@@ -17,6 +18,21 @@
 #include "src/obs/trace.h"
 
 namespace gpusim {
+
+// Status of the operations executed on a stream since the last take_error().
+// Errors latch (first one wins, kDeviceLost overrides) and poison the rest of
+// the in-flight cycle: once latched, subsequent data ops on the stream no-op
+// until the error is consumed, so a failed H2D never feeds a kernel garbage.
+// Host callbacks, events, and synchronize are exempt — completion plumbing
+// must still run so the layer above can observe the failure and react.
+enum class OpError : uint8_t {
+  kNone = 0,
+  kCopyFailed,    // Injected/transient H2D or D2H failure.
+  kLaunchFailed,  // Injected kernel-launch failure.
+  kDeviceLost,    // The whole device is gone (sticky at the Device level).
+};
+
+const char* op_error_name(OpError error);
 
 // One-shot completion marker, equivalent to a cudaEvent recorded on a stream.
 class Event {
@@ -45,6 +61,18 @@ class Stream {
   Stream& operator=(const Stream&) = delete;
 
   Device* device() const { return device_; }
+
+  // False when the device's stream limit was hit at construction: the stream
+  // has no executor and every operation on it is a no-op (synchronize returns
+  // immediately, record() signals its event so waiters never hang). Callers
+  // that need the stream must check this — the limit is no longer fatal.
+  bool ok() const { return ok_; }
+
+  // Consumes the latched error for the current completion cycle (exchange
+  // with kNone). The engine calls this from the per-cycle host callback: ops
+  // enqueued after the callback belong to the next cycle and latch afresh.
+  OpError take_error() { return error_.exchange(OpError::kNone, std::memory_order_acq_rel); }
+  OpError peek_error() const { return error_.load(std::memory_order_acquire); }
 
   // Asynchronous host-to-device copy (cudaMemcpyAsync H2D). The source host
   // buffer must stay valid until the operation completes, as with pinned
@@ -91,8 +119,23 @@ class Stream {
   void enqueue_profiled(OpKind kind, uint64_t bytes, std::function<void()> op,
                         const tagmatch::obs::TraceContext& ctx = {});
 
+  // Executor-thread-only helpers for the status-returning op contract.
+  void latch_error(OpError error);
+  // True when the current cycle is already poisoned or the device is lost;
+  // latches kDeviceLost in the second case. Data ops call this first.
+  bool poisoned_or_lost();
+  // Full per-op gate: poison/lost check, then the fault injector. Returns
+  // true when the op body must be skipped (error latched); a kStall decision
+  // spins for the injected latency and lets the op proceed.
+  bool fault_gate(tagmatch::inject::FaultSite site, OpError on_fail,
+                  const tagmatch::obs::TraceContext& ctx);
+  // Stamp a fault on the trace (zero-length kFault span) and device counter.
+  void note_fault(const tagmatch::obs::TraceContext& ctx);
+
   Device* device_;
   uint32_t id_;
+  bool ok_ = true;
+  std::atomic<OpError> error_{OpError::kNone};
   tagmatch::MpmcQueue<std::function<void()>> ops_;
   std::thread executor_;
 };

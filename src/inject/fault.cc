@@ -1,0 +1,207 @@
+#include "src/inject/fault.h"
+
+#include <charconv>
+#include <sstream>
+#include <string_view>
+
+#include "src/common/rng.h"
+
+namespace tagmatch::inject {
+
+namespace {
+
+std::optional<FaultSite> site_from_name(std::string_view name) {
+  if (name == "alloc") return FaultSite::kAlloc;
+  if (name == "h2d") return FaultSite::kH2D;
+  if (name == "d2h") return FaultSite::kD2H;
+  if (name == "kernel") return FaultSite::kKernel;
+  if (name == "devloss") return FaultSite::kDeviceLoss;
+  return std::nullopt;
+}
+
+std::optional<int64_t> parse_int(std::string_view text) {
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+// A devloss rule matches (and counts) every counted op on its device; other
+// rules match their own site only.
+bool rule_matches(const FaultRule& rule, FaultSite site, unsigned device) {
+  if (rule.device >= 0 && static_cast<unsigned>(rule.device) != device) {
+    return false;
+  }
+  return rule.site == FaultSite::kDeviceLoss || rule.site == site;
+}
+
+}  // namespace
+
+const char* site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlloc:
+      return "alloc";
+    case FaultSite::kH2D:
+      return "h2d";
+    case FaultSite::kD2H:
+      return "d2h";
+    case FaultSite::kKernel:
+      return "kernel";
+    case FaultSite::kDeviceLoss:
+      return "devloss";
+  }
+  return "?";
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    size_t semi = rest.find(';');
+    std::string_view rule_text = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view() : rest.substr(semi + 1);
+    if (rule_text.empty()) {
+      continue;  // Tolerate trailing / doubled separators.
+    }
+    FaultRule rule;
+    size_t colon = rule_text.find(':');
+    std::string_view site_text = rule_text.substr(0, colon);
+    auto site = site_from_name(site_text);
+    if (!site) {
+      return std::nullopt;
+    }
+    rule.site = *site;
+    std::string_view kvs =
+        colon == std::string_view::npos ? std::string_view() : rule_text.substr(colon + 1);
+    while (!kvs.empty()) {
+      size_t comma = kvs.find(',');
+      std::string_view kv = kvs.substr(0, comma);
+      kvs = comma == std::string_view::npos ? std::string_view() : kvs.substr(comma + 1);
+      size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) {
+        return std::nullopt;
+      }
+      std::string_view key = kv.substr(0, eq);
+      auto value = parse_int(kv.substr(eq + 1));
+      if (!value) {
+        return std::nullopt;
+      }
+      if (key == "dev") {
+        rule.device = static_cast<int>(*value);
+      } else if (key == "after") {
+        if (*value < 0) return std::nullopt;
+        rule.after = static_cast<uint64_t>(*value);
+      } else if (key == "count") {
+        if (*value < 0) return std::nullopt;
+        rule.count = static_cast<uint32_t>(*value);
+      } else if (key == "stall_ns") {
+        if (*value < 0) return std::nullopt;
+        rule.stall_ns = *value;
+      } else {
+        return std::nullopt;
+      }
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& rule = rules[i];
+    if (i > 0) {
+      out << ';';
+    }
+    out << site_name(rule.site);
+    out << ":after=" << rule.after << ",count=" << rule.count;
+    if (rule.device >= 0) {
+      out << ",dev=" << rule.device;
+    }
+    if (rule.stall_ns > 0) {
+      out << ",stall_ns=" << rule.stall_ns;
+    }
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::random(uint64_t seed) {
+  Rng rng(seed ^ 0xfa017'0f4a57ull);
+  FaultPlan plan;
+  const FaultSite transient_sites[] = {FaultSite::kH2D, FaultSite::kD2H, FaultSite::kKernel};
+  // Always at least one transient rule so the retry path is exercised.
+  FaultRule transient;
+  transient.site = transient_sites[rng.below(3)];
+  transient.after = rng.below(64);
+  transient.count = static_cast<uint32_t>(rng.between(1, 3));
+  plan.rules.push_back(transient);
+  if (rng.chance(0.5)) {
+    FaultRule stall;
+    stall.site = transient_sites[rng.below(3)];
+    stall.after = rng.below(64);
+    stall.count = static_cast<uint32_t>(rng.between(1, 4));
+    stall.stall_ns = static_cast<int64_t>(rng.between(100'000, 2'000'000));
+    plan.rules.push_back(stall);
+  }
+  if (rng.chance(0.35)) {
+    FaultRule loss;
+    loss.site = FaultSite::kDeviceLoss;
+    loss.device = static_cast<int>(rng.below(2));
+    loss.after = rng.between(16, 256);
+    loss.count = 1;
+    plan.rules.push_back(loss);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  states_.reserve(plan_.rules.size());
+  for (const FaultRule& rule : plan_.rules) {
+    auto state = std::make_unique<RuleState>();
+    state->rule = rule;
+    states_.push_back(std::move(state));
+  }
+}
+
+FaultDecision FaultInjector::check(FaultSite site, unsigned device) {
+  FaultDecision decision;
+  for (auto& state : states_) {
+    const FaultRule& rule = state->rule;
+    if (!rule_matches(rule, site, device)) {
+      continue;
+    }
+    uint64_t n = state->seen.fetch_add(1, std::memory_order_relaxed);
+    if (n < rule.after) {
+      continue;
+    }
+    if (rule.count != 0 && n >= rule.after + rule.count) {
+      continue;
+    }
+    FaultAction action = rule.site == FaultSite::kDeviceLoss ? FaultAction::kDeviceLoss
+                         : rule.stall_ns > 0                 ? FaultAction::kStall
+                                                             : FaultAction::kFail;
+    if (static_cast<uint8_t>(action) > static_cast<uint8_t>(decision.action)) {
+      decision.action = action;
+    }
+    if (action == FaultAction::kStall && rule.stall_ns > decision.stall_ns) {
+      decision.stall_ns = rule.stall_ns;
+    }
+  }
+  if (decision.action != FaultAction::kNone) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(events_mu_);
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(FaultEvent{site, device, decision.action});
+    }
+  }
+  return decision;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  return events_;
+}
+
+}  // namespace tagmatch::inject

@@ -1,0 +1,121 @@
+// Deterministic fault injection for the simulated GPU stack.
+//
+// A FaultPlan is a small set of rules, each arming one fault site (device
+// allocation, H2D/D2H copy, kernel launch, or whole-device loss) with a
+// counted schedule: "let `after` matching ops pass, then fire on the next
+// `count` of them" (count == 0 means every one from then on). Because stream
+// ops execute serially on their stream's executor thread and every rule keeps
+// its own counter, a failure reproduces from the (seed, plan) pair alone —
+// no wall-clock or scheduler dependence for single-stream schedules, and
+// result-set identity regardless (the engine repairs every injected fault).
+//
+// The injector is consulted at the gpusim op boundary (device.cc/stream.cc);
+// nothing above src/gpusim/ needs to know injection exists — faults surface
+// as ordinary op errors. Layering: this library depends only on
+// tagmatch_common so gpusim can link it without a cycle.
+#ifndef TAGMATCH_INJECT_FAULT_H_
+#define TAGMATCH_INJECT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tagmatch::inject {
+
+// Where a fault can be armed. kDeviceLoss is not an op of its own: a devloss
+// rule matches any counted op (alloc/h2d/d2h/kernel) on its device and, when
+// it fires, marks the whole device lost (sticky — lost devices never heal;
+// recovery is the engine's job via re-dispatch or CPU fallback).
+enum class FaultSite : uint8_t {
+  kAlloc = 0,
+  kH2D,
+  kD2H,
+  kKernel,
+  kDeviceLoss,
+};
+
+const char* site_name(FaultSite site);
+
+// What the consulted site must do. Worst wins when several rules match the
+// same op: kDeviceLoss > kFail > kStall > kNone.
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  kStall,       // Proceed, but only after spinning for stall_ns (stream stall).
+  kFail,        // Skip the op and latch an error on the stream.
+  kDeviceLoss,  // Mark the device lost; every later op on it fails.
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  int64_t stall_ns = 0;
+};
+
+struct FaultRule {
+  FaultSite site = FaultSite::kH2D;
+  int device = -1;       // Device index this rule applies to; -1 = any device.
+  uint64_t after = 0;    // Matching ops to let pass before the rule fires.
+  uint32_t count = 1;    // Matching ops to hit once firing; 0 = permanent.
+  int64_t stall_ns = 0;  // > 0 turns the fault into an injected stall.
+};
+
+// Spec grammar (round-trips through parse()/to_spec()):
+//   plan  := rule (';' rule)*
+//   rule  := site (':' kv (',' kv)*)?
+//   site  := 'alloc' | 'h2d' | 'd2h' | 'kernel' | 'devloss'
+//   kv    := ('dev' | 'after' | 'count' | 'stall_ns') '=' integer
+// Example: "h2d:after=5,count=2;devloss:dev=0,after=100".
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+
+  static std::optional<FaultPlan> parse(const std::string& spec);
+  // Seeded 1-3 rule plan for randomized chaos/stress runs; always includes at
+  // least one transient (finite-count) rule so the run exercises retry.
+  static FaultPlan random(uint64_t seed);
+  std::string to_spec() const;
+  bool empty() const { return rules.empty(); }
+};
+
+// One fired (or stalled) fault, for test assertions and logs.
+struct FaultEvent {
+  FaultSite site;
+  unsigned device;
+  FaultAction action;
+};
+
+// Thread-safe decision engine over a FaultPlan. check() is the hot path: one
+// branch when the plan is empty for a site, a few relaxed atomics otherwise.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Consult the plan for an op at `site` on device `device`. Every call
+  // advances the counters of all matching rules, fired or not.
+  FaultDecision check(FaultSite site, unsigned device);
+
+  const FaultPlan& plan() const { return plan_; }
+  uint64_t faults_fired() const { return fired_.load(std::memory_order_relaxed); }
+  // Bounded log (oldest kept) of fired faults, in fire order per stream.
+  std::vector<FaultEvent> events() const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::atomic<uint64_t> seen{0};
+  };
+
+  static constexpr size_t kMaxEvents = 1024;
+
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<RuleState>> states_;
+  std::atomic<uint64_t> fired_{0};
+  mutable std::mutex events_mu_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace tagmatch::inject
+
+#endif  // TAGMATCH_INJECT_FAULT_H_

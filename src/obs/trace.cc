@@ -24,6 +24,8 @@ const char* stage_name(Stage stage) {
       return "consolidate";
     case Stage::kGather:
       return "gather";
+    case Stage::kFault:
+      return "fault";
   }
   return "unknown";
 }
@@ -46,6 +48,8 @@ const char* stage_metric_name(Stage stage) {
       return "stage.consolidate_ns";
     case Stage::kGather:
       return "stage.gather_ns";
+    case Stage::kFault:
+      return "stage.fault_ns";
   }
   return "stage.unknown_ns";
 }

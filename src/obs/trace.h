@@ -45,8 +45,9 @@ enum class Stage : uint8_t {
   kReduce,        // key lookup / reduce / merge (§3.4)
   kConsolidate,   // off-line index rebuild (Alg. 1 + upload)
   kGather,        // shard scatter-gather merge (src/shard)
+  kFault,         // injected/observed GPU fault (zero-length marker span)
 };
-inline constexpr size_t kNumStages = 8;
+inline constexpr size_t kNumStages = 9;
 
 // "enqueue", "prefilter", ... — stable identifiers used in TRACE output.
 const char* stage_name(Stage stage);

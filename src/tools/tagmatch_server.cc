@@ -3,6 +3,7 @@
 // Usage: tagmatch_server [port] [--shards N] [--publish-slo-ms N [--slo-mode M]]
 //                        [--stats-json FILE [--stats-interval MS]]
 //                        [--tracing [--trace-sample N]] [--trace-out FILE]
+//                        [--fault-plan SPEC]
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
 //   --shards N: back the broker with a sharded engine (N independent
 //               TagMatch shards, scatter-gather matching; default 1).
@@ -25,6 +26,12 @@
 //               Chrome/Perfetto trace-event JSON (load FILE in
 //               ui.perfetto.dev) by atomically rewriting FILE on the stats
 //               interval and at shutdown. Implies --tracing.
+//   --fault-plan SPEC: arm a deterministic GPU fault injector (src/inject
+//               grammar, e.g. "h2d:after=100,count=2;devloss:dev=0,after=5000")
+//               on the engine's devices. Injected faults are repaired by the
+//               engine (retry / re-dispatch / CPU fallback) and show up in
+//               the engine.retries / device.health.* metrics — for chaos
+//               drills, never production.
 //
 // Protocol (newline-delimited; see src/net/wire.h):
 //   SUB a,b,c        -> OK <id>       subscribe this connection
@@ -44,11 +51,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "src/broker/broker.h"
+#include "src/inject/fault.h"
 #include "src/net/server.h"
 #include "src/obs/export.h"
 
@@ -87,6 +96,7 @@ int main(int argc, char** argv) {
   bool port_seen = false;
   std::string stats_json_path;
   std::string trace_out_path;
+  std::string fault_plan_spec;
   bool tracing = false;
   uint32_t trace_sample = 0;
   auto stats_interval = std::chrono::milliseconds(1000);
@@ -120,6 +130,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out_path = argv[++i];
       tracing = true;
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      fault_plan_spec = argv[++i];
     } else if (!port_seen) {
       port = static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
       port_seen = true;
@@ -135,6 +147,15 @@ int main(int argc, char** argv) {
   config.slo_mode = slo_mode;
   config.tracing = tracing;
   config.trace_head_sample_every = trace_sample;
+  if (!fault_plan_spec.empty()) {
+    auto plan = tagmatch::inject::FaultPlan::parse(fault_plan_spec);
+    if (!plan) {
+      std::fprintf(stderr, "malformed --fault-plan \"%s\"\n", fault_plan_spec.c_str());
+      return 1;
+    }
+    config.engine.fault_injector = std::make_shared<tagmatch::inject::FaultInjector>(*plan);
+    std::fprintf(stderr, "fault plan armed: %s\n", plan->to_spec().c_str());
+  }
   tagmatch::broker::Broker broker(config);
   tagmatch::net::BrokerServer server(&broker, port);
   if (!server.listening()) {

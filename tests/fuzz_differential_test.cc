@@ -1,7 +1,8 @@
 // Model-based differential fuzzing of the TagMatch engine: random sequences
 // of add_set / remove_set / consolidate / match / match_unique, executed in
 // parallel against a trivially correct in-memory model, under randomly drawn
-// engine configurations. Seeds are fixed, so failures are reproducible.
+// engine configurations. Seeds are fixed (and overridable via
+// TAGMATCH_TEST_SEED, see tests/test_seed.h), so failures are reproducible.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "tests/test_seed.h"
 #include "src/core/tagmatch.h"
 #include "src/shard/sharded_tagmatch.h"
 #include "src/workload/tags.h"
@@ -128,7 +130,9 @@ BitVector192 random_filter(Rng& rng, uint32_t universe, unsigned max_tags) {
 class FuzzDifferential : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzDifferential, RandomOpSequencesAgree) {
-  Rng rng(GetParam());
+  const uint64_t seed = test::test_seed(GetParam());
+  TAGMATCH_SEED_TRACE(seed);
+  Rng rng(seed);
   TagMatchConfig config = random_config(rng);
   TagMatch engine(config);
   Model model;
@@ -171,7 +175,7 @@ TEST_P(FuzzDifferential, RandomOpSequencesAgree) {
       }
       auto got = engine.match(BloomFilter192(q));
       std::sort(got.begin(), got.end());
-      ASSERT_EQ(got, model.match(q)) << "seed " << GetParam() << " op " << op;
+      ASSERT_EQ(got, model.match(q)) << "seed " << seed << " op " << op;
       ASSERT_EQ(engine.match_unique(BloomFilter192(q)), model.match_unique(q));
     }
   }
@@ -183,7 +187,9 @@ TEST_P(FuzzDifferential, RandomOpSequencesAgree) {
 // first: when the drawn config has match_staged_adds, staged visibility must
 // agree shard-for-shard with the single engine as well.
 TEST_P(FuzzDifferential, ShardedAgreesWithSingleEngine) {
-  Rng rng(GetParam() * 7919 + 17);
+  const uint64_t seed = test::test_seed(GetParam());
+  TAGMATCH_SEED_TRACE(seed);
+  Rng rng(seed * 7919 + 17);
   TagMatchConfig config = random_config(rng);
   TagMatch single(config);
 
@@ -234,10 +240,10 @@ TEST_P(FuzzDifferential, ShardedAgreesWithSingleEngine) {
       for (auto& s : sharded) {
         auto got = s->match(BloomFilter192(q));
         std::sort(got.begin(), got.end());
-        ASSERT_EQ(got, want) << "seed " << GetParam() << " op " << op << " shards "
+        ASSERT_EQ(got, want) << "seed " << seed << " op " << op << " shards "
                              << s->num_shards() << " policy " << s->policy().name();
         ASSERT_EQ(s->match_unique(BloomFilter192(q)), want_unique)
-            << "seed " << GetParam() << " op " << op << " shards " << s->num_shards();
+            << "seed " << seed << " op " << op << " shards " << s->num_shards();
       }
     }
   }

@@ -1,7 +1,9 @@
 // Pipeline stress and concurrency tests: concurrent producers on
 // match_async, interleaved sync/async matching, repeated
-// consolidate-and-match cycles, destruction with in-flight work, and a
-// larger randomized Twitter-workload oracle run.
+// consolidate-and-match cycles, destruction with in-flight work, a larger
+// randomized Twitter-workload oracle run, and the same oracle run with a
+// randomized fault plan armed (the nightly TSan chaos target). Seeds are
+// overridable via TAGMATCH_TEST_SEED (tests/test_seed.h).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,8 +11,10 @@
 
 #include "src/common/rng.h"
 #include "src/core/tagmatch.h"
+#include "src/inject/fault.h"
 #include "src/workload/tags.h"
 #include "src/workload/twitter_workload.h"
+#include "tests/test_seed.h"
 
 namespace tagmatch {
 namespace {
@@ -40,8 +44,10 @@ BloomFilter192 random_filter(Rng& rng, unsigned tags, uint32_t universe = 400) {
 }
 
 TEST(PipelineStress, ConcurrentProducers) {
+  const uint64_t seed = test::test_seed(100);
+  TAGMATCH_SEED_TRACE(seed);
   TagMatch tm(stress_config());
-  Rng rng(100);
+  Rng rng(seed);
   for (int i = 0; i < 1000; ++i) {
     tm.add_set(random_filter(rng, 2), static_cast<Key>(i));
   }
@@ -53,7 +59,7 @@ TEST(PipelineStress, ConcurrentProducers) {
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
-      Rng prng(200 + p);
+      Rng prng(seed + 100 + static_cast<uint64_t>(p));
       for (int i = 0; i < kPerProducer; ++i) {
         tm.match_async(random_filter(prng, 5), TagMatch::MatchKind::kMatch,
                        [&done](std::vector<Key>) { done++; });
@@ -84,8 +90,10 @@ TEST(PipelineStress, SyncMatchInterleavedWithAsync) {
 }
 
 TEST(PipelineStress, RepeatedConsolidateCycles) {
+  const uint64_t seed = test::test_seed(300);
+  TAGMATCH_SEED_TRACE(seed);
   TagMatch tm(stress_config());
-  Rng rng(300);
+  Rng rng(seed);
   std::vector<std::string> probe = {"probe"};
   for (int cycle = 0; cycle < 5; ++cycle) {
     for (int i = 0; i < 200; ++i) {
@@ -104,8 +112,10 @@ TEST(PipelineStress, DestructionWithInFlightQueries) {
   // The destructor must flush and join cleanly even with queries in flight.
   std::atomic<int> done{0};
   {
+    const uint64_t seed = test::test_seed(400);
+    TAGMATCH_SEED_TRACE(seed);
     TagMatch tm(stress_config());
-    Rng rng(400);
+    Rng rng(seed);
     for (int i = 0; i < 500; ++i) {
       tm.add_set(random_filter(rng, 2), static_cast<Key>(i));
     }
@@ -120,11 +130,13 @@ TEST(PipelineStress, DestructionWithInFlightQueries) {
 }
 
 TEST(PipelineStress, LargeTwitterWorkloadOracle) {
+  const uint64_t seed = test::test_seed(555);
+  TAGMATCH_SEED_TRACE(seed);
   workload::WorkloadConfig wc;
   wc.num_users = 3000;
   wc.num_publishers = 800;
   wc.vocabulary_size = 5000;
-  wc.seed = 555;
+  wc.seed = seed;
   workload::TwitterWorkload w(wc);
   auto db = w.generate_database();
   auto queries = w.generate_queries(db, 400, 2, 4);
@@ -182,6 +194,71 @@ TEST(PipelineStress, TimeoutDeliversWithoutFlush) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(done.load(), 5);
+}
+
+TEST(PipelineStress, FaultInjectedOracleUnderConcurrency) {
+  // The nightly chaos CI job runs this under TSan with a random logged
+  // TAGMATCH_TEST_SEED: a randomized fault plan is armed while concurrent
+  // producers push an oracle workload. Faults are repaired inside the engine
+  // (retry / re-dispatch to the surviving device / CPU fallback), so the
+  // delivered key totals must equal the brute-force oracle exactly.
+  const uint64_t seed = test::test_seed(4242);
+  TAGMATCH_SEED_TRACE(seed);
+  inject::FaultPlan plan = inject::FaultPlan::random(seed);
+  SCOPED_TRACE("fault plan: " + plan.to_spec());
+
+  TagMatchConfig config = stress_config();
+  config.fault_injector = std::make_shared<inject::FaultInjector>(plan);
+  config.quarantine_period = std::chrono::milliseconds(5);
+  TagMatch tm(config);
+
+  Rng rng(seed * 31 + 7);
+  std::vector<std::pair<BitVector192, Key>> entries;
+  for (int i = 0; i < 600; ++i) {
+    BloomFilter192 f = random_filter(rng, 2);
+    tm.add_set(f, static_cast<Key>(i));
+    entries.emplace_back(f.bits(), static_cast<Key>(i));
+  }
+  tm.consolidate();
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 150;
+  std::vector<std::vector<BitVector192>> queries(kProducers);
+  uint64_t oracle_total = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    Rng prng(seed + 1000 + static_cast<uint64_t>(p));
+    for (int i = 0; i < kPerProducer; ++i) {
+      BitVector192 q = random_filter(prng, 5).bits();
+      queries[p].push_back(q);
+      for (const auto& [f, k] : entries) {
+        oracle_total += f.subset_of(q) ? 1 : 0;
+      }
+    }
+  }
+
+  std::atomic<uint64_t> engine_total{0};
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (const auto& q : queries[p]) {
+        tm.match_async(BloomFilter192(q), TagMatch::MatchKind::kMatch,
+                       [&](std::vector<Key> keys) {
+                         engine_total += keys.size();
+                         done++;
+                       });
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  tm.flush();
+  EXPECT_EQ(done.load(), kProducers * kPerProducer);
+  EXPECT_EQ(engine_total.load(), oracle_total);
+  // The workload is big enough that the plan's transient rule (after < 64)
+  // always trips at least once.
+  EXPECT_GT(config.fault_injector->faults_fired(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,39 @@
+// Seed plumbing for randomized tests. Every randomized suite draws its seed
+// through test_seed() so a failing run is replayable:
+//
+//   * TAGMATCH_TEST_SEED=<n> overrides every default seed in the binary
+//     (the nightly chaos CI job sets it to a random value and logs it);
+//   * TAGMATCH_SEED_TRACE(seed) attaches the active seed to any gtest
+//     failure inside its scope, so the log of a red run always contains the
+//     exact command to reproduce it.
+#ifndef TAGMATCH_TESTS_TEST_SEED_H_
+#define TAGMATCH_TESTS_TEST_SEED_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tagmatch::test {
+
+inline uint64_t test_seed(uint64_t default_seed) {
+  const char* env = std::getenv("TAGMATCH_TEST_SEED");
+  if (env == nullptr || *env == '\0') {
+    return default_seed;
+  }
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr, "ignoring malformed TAGMATCH_TEST_SEED=\"%s\"\n", env);
+    return default_seed;
+  }
+  return static_cast<uint64_t>(value);
+}
+
+}  // namespace tagmatch::test
+
+#define TAGMATCH_SEED_TRACE(seed) \
+  SCOPED_TRACE(::testing::Message() << "replay with TAGMATCH_TEST_SEED=" << (seed))
+
+#endif  // TAGMATCH_TESTS_TEST_SEED_H_
