@@ -17,6 +17,7 @@
 
 #include "src/common/stats.h"
 #include "src/core/tagmatch.h"
+#include "src/sig/signature_scheme.h"
 #include "src/workload/tags.h"
 #include "src/workload/twitter_workload.h"
 
@@ -66,15 +67,51 @@ struct BenchWorkload {
 
   std::vector<BitVector192> encoded_queries(size_t count, unsigned extra_min,
                                             unsigned extra_max) {
+    return encoded_queries(count, extra_min, extra_max, sig::bloom192_scheme());
+  }
+
+  // Scheme-aware variants: index filters and queries must be encoded under
+  // the same scheme the engine matches with (bit placements differ between
+  // schemes, so mixing encodings silently returns garbage).
+  std::vector<BitVector192> encoded_queries(size_t count, unsigned extra_min,
+                                            unsigned extra_max,
+                                            const sig::SignatureScheme& scheme) {
     auto queries = generator.generate_queries(db, count, extra_min, extra_max);
     std::vector<BitVector192> out;
     out.reserve(queries.size());
     for (const auto& q : queries) {
-      out.push_back(workload::encode_tags(q.tags).bits());
+      out.push_back(workload::encode_tags(q.tags, scheme).bits());
+    }
+    return out;
+  }
+
+  std::vector<BitVector192> db_filters_under(const sig::SignatureScheme& scheme) const {
+    if (scheme.id() == sig::SchemeId::kBloom192) {
+      return db_filters;  // Already encoded under the baseline.
+    }
+    std::vector<BitVector192> out;
+    out.reserve(db.size());
+    for (const auto& op : db) {
+      out.push_back(workload::encode_tags(op.tags, scheme).bits());
     }
     return out;
   }
 };
+
+// Scheme a bench run uses: $TAGMATCH_BENCH_SCHEME, else the engine-wide
+// $TAGMATCH_SCHEME / bloom192 default (see sig::resolve). Per-scheme sweeps
+// (bench_fig7_maxp, the bench_micro captures) iterate all_schemes() instead.
+inline const sig::SignatureScheme& bench_scheme() {
+  const char* v = std::getenv("TAGMATCH_BENCH_SCHEME");
+  if (v != nullptr && *v != '\0') {
+    if (const sig::SignatureScheme* s = sig::scheme_by_name(v)) {
+      return *s;
+    }
+    std::fprintf(stderr, "bench: unknown TAGMATCH_BENCH_SCHEME '%s' (valid: %s)\n", v,
+                 sig::scheme_names_csv().c_str());
+  }
+  return sig::resolve(nullptr);
+}
 
 inline BenchWorkload& shared_workload() {
   static BenchWorkload w(env_unsigned("TAGMATCH_BENCH_USERS", 50'000));
@@ -99,6 +136,15 @@ inline TagMatchConfig bench_engine_config(size_t db_size, unsigned threads = 4) 
 inline void populate_tagmatch(TagMatch& tm, const BenchWorkload& w, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     tm.add_set(BloomFilter192(w.db_filters[i]), w.db[i].key);
+  }
+  tm.consolidate();
+}
+
+// Same, but from an explicitly (re-)encoded filter column (per-scheme runs).
+inline void populate_tagmatch(TagMatch& tm, const BenchWorkload& w, size_t n,
+                              const std::vector<BitVector192>& filters) {
+  for (size_t i = 0; i < n; ++i) {
+    tm.add_set(BloomFilter192(filters[i]), w.db[i].key);
   }
   tm.consolidate();
 }

@@ -1,23 +1,89 @@
 // Regenerates Figure 7: average throughput of TagMatch for match and
 // match-unique as a function of MAX_P, the maximum partition size — the knob
-// balancing CPU pre-processing against GPU subset-match load (§4.3.5).
+// balancing CPU pre-processing against GPU subset-match load (§4.3.5) — once
+// per registered signature scheme (src/sig).
 //
 // The paper's knee is at ~200K sets/partition for a 212M-set database, i.e.
 // about 1/1000 of the database; the sweep here covers the same relative
-// range around that point.
+// range around that point. The knee position depends on the scheme's false-
+// positive rate (a leakier filter forwards more sets per partition, shifting
+// work GPU-wards), so each scheme's sweep re-derives its own best MAX_P and
+// reports the scheme's *measured* FPR next to the model's prediction.
+//
+// Usage: bench_fig7_maxp [--json FILE]
+//   --json FILE: additionally write the per-scheme sweep as a JSON artifact
+//                (consumed by tools/perf_gate.py --fig7-baseline in CI).
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "bench/bench_common.h"
 
 namespace tagmatch::bench {
 namespace {
 
-void run() {
-  BenchWorkload& w = shared_workload();
-  const size_t n = w.db.size();
-  print_header("Figure 7: throughput vs MAX_P (maximum partition size)", "Fig. 7 (Kq/s)");
+struct SweepPoint {
+  uint32_t max_p = 0;
+  uint64_t partitions = 0;
+  double match_kqps = 0;
+  double unique_kqps = 0;
+};
 
-  auto queries = w.encoded_queries(6000, 2, 4);
+struct SchemeResult {
+  std::string name;
+  double fpr_measured = 0;  // Signature-pass rate over sampled non-subset pairs.
+  double fpr_model = 0;     // false_positive_probability at the same shape.
+  uint32_t best_max_p = 0;
+  double best_kqps = 0;
+  std::vector<SweepPoint> sweep;
+};
+
+// Measured FPR: sample (database set, query) pairs whose tag sets are NOT in
+// the subset relation and count how often the bitwise signature test passes
+// anyway. Queries carry 2-4 extra tags, matching the throughput runs.
+double measure_fpr(const sig::SignatureScheme& scheme, BenchWorkload& w,
+                   const std::vector<BitVector192>& filters, double* model_out) {
+  auto queries = w.generator.generate_queries(w.db, 200, 2, 4);
+  const sig::KernelVariant variant = scheme.kernel_variant();
+  uint64_t sampled = 0, false_pass = 0, extra_sum = 0, qsize_sum = 0;
+  for (const auto& q : queries) {
+    std::unordered_set<workload::TagId> qtags(q.tags.begin(), q.tags.end());
+    const BitVector192 qsig = workload::encode_tags(q.tags, scheme).bits();
+    // Stride through the database for a spread sample per query.
+    for (size_t i = 0; i < w.db.size(); i += 97) {
+      unsigned extra = 0;
+      for (workload::TagId t : w.db[i].tags) {
+        extra += qtags.count(t) == 0 ? 1 : 0;
+      }
+      if (extra == 0) {
+        continue;  // True subset: not a false-positive candidate.
+      }
+      ++sampled;
+      extra_sum += extra;
+      qsize_sum += q.tags.size();
+      false_pass += sig::subset_test(variant, filters[i], qsig) ? 1 : 0;
+    }
+  }
+  if (model_out != nullptr && sampled > 0) {
+    *model_out = scheme.false_positive_probability(
+        static_cast<unsigned>(qsize_sum / sampled), static_cast<unsigned>(extra_sum / sampled));
+  }
+  return sampled > 0 ? static_cast<double>(false_pass) / static_cast<double>(sampled) : 0.0;
+}
+
+SchemeResult run_scheme(const sig::SignatureScheme& scheme, BenchWorkload& w) {
+  const size_t n = w.db.size();
+  SchemeResult res;
+  res.name = std::string(scheme.name());
+  const auto filters = w.db_filters_under(scheme);
+  res.fpr_measured = measure_fpr(scheme, w, filters, &res.fpr_model);
+
+  auto queries = w.encoded_queries(6000, 2, 4, scheme);
+  std::printf("\n--- scheme %s (k=%u, measured FPR %.2e, model %.2e) ---\n",
+              res.name.c_str(), scheme.bits_per_tag(), res.fpr_measured, res.fpr_model);
   std::printf("%-12s  %10s  %12s  %14s\n", "MAX_P", "partitions", "match Kq/s",
               "match-uniq Kq/s");
   // Sweep MAX_P from db/5000 to db/20 (paper: 25K..500K on 212M).
@@ -25,22 +91,89 @@ void run() {
     uint32_t max_p = std::max<uint32_t>(16, static_cast<uint32_t>(n / divisor));
     TagMatchConfig config = bench_engine_config(n);
     config.max_partition_size = max_p;
+    config.signature_scheme = &scheme;
     TagMatch tm(config);
-    populate_tagmatch(tm, w, n);
+    populate_tagmatch(tm, w, n, filters);
     auto r_match = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatch);
     auto r_unique = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatchUnique);
-    std::printf("%-12u  %10llu  %12.2f  %14.2f\n", max_p,
-                static_cast<unsigned long long>(tm.stats().partitions), r_match.kqps(),
-                r_unique.kqps());
+    SweepPoint p{max_p, tm.stats().partitions, r_match.kqps(), r_unique.kqps()};
+    res.sweep.push_back(p);
+    if (p.match_kqps > res.best_kqps) {
+      res.best_kqps = p.match_kqps;
+      res.best_max_p = p.max_p;
+    }
+    std::printf("%-12u  %10llu  %12.2f  %14.2f\n", p.max_p,
+                static_cast<unsigned long long>(p.partitions), p.match_kqps, p.unique_kqps);
+  }
+  std::printf("(best: %.2f Kq/s at MAX_P=%u = db/%zu)\n", res.best_kqps, res.best_max_p,
+              res.best_max_p > 0 ? n / res.best_max_p : size_t{0});
+  return res;
+}
+
+void write_json(const char* path, const BenchWorkload& w,
+                const std::vector<SchemeResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_fig7_maxp: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig7_maxp\",\n  \"db_size\": %zu,\n  \"schemes\": {\n",
+               w.db.size());
+  for (size_t s = 0; s < results.size(); ++s) {
+    const auto& r = results[s];
+    std::fprintf(f,
+                 "    \"%s\": {\n      \"best_kqps\": %.3f,\n      \"best_max_p\": %u,\n"
+                 "      \"fpr_measured\": %.6e,\n      \"fpr_model\": %.6e,\n"
+                 "      \"sweep\": [\n",
+                 r.name.c_str(), r.best_kqps, r.best_max_p, r.fpr_measured, r.fpr_model);
+    for (size_t i = 0; i < r.sweep.size(); ++i) {
+      const auto& p = r.sweep[i];
+      std::fprintf(f,
+                   "        {\"max_p\": %u, \"partitions\": %llu, \"match_kqps\": %.3f, "
+                   "\"unique_kqps\": %.3f}%s\n",
+                   p.max_p, static_cast<unsigned long long>(p.partitions), p.match_kqps,
+                   p.unique_kqps, i + 1 < r.sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", s + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+void run(const char* json_path) {
+  BenchWorkload& w = shared_workload();
+  print_header("Figure 7: throughput vs MAX_P, per signature scheme", "Fig. 7 (Kq/s)");
+
+  std::vector<SchemeResult> results;
+  for (const sig::SignatureScheme* scheme : sig::all_schemes()) {
+    results.push_back(run_scheme(*scheme, w));
+  }
+
+  std::printf("\n%-12s  %12s  %10s  %13s  %12s\n", "scheme", "best Kq/s", "best MAX_P",
+              "FPR measured", "FPR model");
+  for (const auto& r : results) {
+    std::printf("%-12s  %12.2f  %10u  %13.2e  %12.2e\n", r.name.c_str(), r.best_kqps,
+                r.best_max_p, r.fpr_measured, r.fpr_model);
   }
   std::printf("(paper: throughput climbs with MAX_P, peaks around 200K (=db/1000) and\n"
-              " stays stable beyond; match and match-unique nearly coincide)\n");
+              " stays stable beyond; a leakier scheme peaks at a smaller MAX_P because\n"
+              " false positives add per-partition GPU work)\n");
+  if (json_path != nullptr) {
+    write_json(json_path, w, results);
+  }
 }
 
 }  // namespace
 }  // namespace tagmatch::bench
 
-int main() {
-  tagmatch::bench::run();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  tagmatch::bench::run(json_path);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "src/core/packed_output.h"
 #include "src/core/partition_table.h"
 #include "src/core/partitioner.h"
+#include "src/sig/signature_scheme.h"
 #include "src/workload/tags.h"
 
 namespace tagmatch {
@@ -58,6 +59,74 @@ void BM_BloomEncodeStrings(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BloomEncodeStrings);
+
+// --- Per-scheme primitives (src/sig) ---------------------------------------
+// The same hot loops, once per registered signature scheme, so a single run
+// shows where the blocked schemes buy their speedup: encode collapses from 7
+// scattered mod-192 set()s to one (or two) precomposed 64-bit ORs, and probe
+// from 7 bit tests to one (or two) masked compares.
+
+void BM_SchemeEncodeTagIds(benchmark::State& state, const sig::SignatureScheme* scheme) {
+  std::vector<workload::TagId> tags;
+  for (uint32_t i = 0; i < state.range(0); ++i) {
+    tags.push_back(workload::make_hashtag(i % 8, i * 977));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::encode_tags(tags, *scheme));
+  }
+}
+BENCHMARK_CAPTURE(BM_SchemeEncodeTagIds, bloom192, &sig::bloom192_scheme())->Arg(5)->Arg(10);
+BENCHMARK_CAPTURE(BM_SchemeEncodeTagIds, blocked64, &sig::blocked64_scheme())->Arg(5)->Arg(10);
+BENCHMARK_CAPTURE(BM_SchemeEncodeTagIds, twochoice64, &sig::twochoice64_scheme())
+    ->Arg(5)
+    ->Arg(10);
+
+void BM_SchemeProbe(benchmark::State& state, const sig::SignatureScheme* scheme) {
+  Rng rng(6);
+  std::vector<Hash128> hashes(1024);
+  BitVector192 bits;
+  for (auto& h : hashes) {
+    h = workload::tag_id_hash128(static_cast<workload::TagId>(rng.below(1u << 24)));
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    scheme->add_hash(bits, hashes[i * 16]);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->probe(bits, hashes[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK_CAPTURE(BM_SchemeProbe, bloom192, &sig::bloom192_scheme());
+BENCHMARK_CAPTURE(BM_SchemeProbe, blocked64, &sig::blocked64_scheme());
+BENCHMARK_CAPTURE(BM_SchemeProbe, twochoice64, &sig::twochoice64_scheme());
+
+void BM_SubsetTestVariant(benchmark::State& state, sig::KernelVariant variant) {
+  auto filters = random_filters(1024, 35, 1);
+  auto queries = random_filters(1024, 60, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sig::subset_test(variant, filters[i & 1023], queries[(i * 7) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK_CAPTURE(BM_SubsetTestVariant, branch_chain, sig::KernelVariant::kBranchChain);
+BENCHMARK_CAPTURE(BM_SubsetTestVariant, or_reduce, sig::KernelVariant::kOrReduce);
+
+void BM_PrefilterBatch(benchmark::State& state, sig::KernelVariant variant) {
+  auto queries = random_filters(256, 60, 7);
+  auto masks = random_filters(64, 12, 8);
+  uint8_t out[256];
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sig::prefilter_batch(variant, masks[i & 63], queries, out));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(queries.size()));
+}
+BENCHMARK_CAPTURE(BM_PrefilterBatch, branch_chain, sig::KernelVariant::kBranchChain);
+BENCHMARK_CAPTURE(BM_PrefilterBatch, or_reduce, sig::KernelVariant::kOrReduce);
 
 void BM_PartitionTableLookup(benchmark::State& state) {
   auto filters = random_filters(100'000, 35, 3);

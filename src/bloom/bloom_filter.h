@@ -26,14 +26,32 @@ class BloomFilter192 {
   BloomFilter192() = default;
   explicit BloomFilter192(const BitVector192& bits) : bits_(bits) {}
 
-  // Adds one tag: sets the k = 7 positions h1 + i*h2 mod 192
-  // (Kirsch-Mitzenmacher double hashing).
-  void add_tag(std::string_view tag) {
-    Hash128 h = hash128(tag);
+  // The k = 7 probe positions (h1 + i*step) mod 192 of one tag
+  // (Kirsch-Mitzenmacher double hashing), shared by every add/probe path.
+  // A step hash ≡ 0 mod m would collapse all k probes onto one bit, gutting
+  // the filter for that tag; it is guarded by forcing the step odd (step
+  // even in that case, since m is even, so |1 is +1). hash128() and the
+  // workload's TagId stream already force h2 odd, so the guard never fires
+  // for those — it protects direct Hash128 constructions (pre-hashed APIs,
+  // fuzzers, persisted hashes from other producers).
+  static void probe_positions(const Hash128& h, unsigned out[kNumHashes]) {
+    uint64_t step = h.h2;
+    if (step % kNumBits == 0) {
+      step |= 1;
+    }
     uint64_t pos = h.h1;
     for (unsigned i = 0; i < kNumHashes; ++i) {
-      bits_.set(static_cast<unsigned>(pos % kNumBits));
-      pos += h.h2;
+      out[i] = static_cast<unsigned>(pos % kNumBits);
+      pos += step;
+    }
+  }
+
+  // Adds one tag: sets its k = 7 probe positions.
+  void add_tag(std::string_view tag) {
+    unsigned pos[kNumHashes];
+    probe_positions(hash128(tag), pos);
+    for (unsigned p : pos) {
+      bits_.set(p);
     }
   }
 
@@ -48,13 +66,12 @@ class BloomFilter192 {
 
   // Probabilistic membership test for a single tag.
   bool maybe_contains(std::string_view tag) const {
-    Hash128 h = hash128(tag);
-    uint64_t pos = h.h1;
-    for (unsigned i = 0; i < kNumHashes; ++i) {
-      if (!bits_.test(static_cast<unsigned>(pos % kNumBits))) {
+    unsigned pos[kNumHashes];
+    probe_positions(hash128(tag), pos);
+    for (unsigned p : pos) {
+      if (!bits_.test(p)) {
         return false;
       }
-      pos += h.h2;
     }
     return true;
   }

@@ -20,11 +20,23 @@ namespace inject {
 class FaultInjector;
 }  // namespace inject
 
+namespace sig {
+class SignatureScheme;
+}  // namespace sig
+
 struct TagMatchConfig {
   // --- Off-line partitioning (Algorithm 1) ---
   // Maximum number of tag sets per partition (the paper's MAX_P). Balances
   // CPU pre-processing cost against GPU subset-match cost (§4.3.5).
   uint32_t max_partition_size = 200'000;
+
+  // Signature scheme (src/sig) the engine encodes and matches under,
+  // selected at table-build time. Schemes are process-lifetime singletons
+  // (sig::scheme_by_name), so a raw pointer is safe here. Null resolves via
+  // the TAGMATCH_SCHEME environment variable, then the bloom192 baseline
+  // (sig::resolve). The scheme is persisted in the engine index and shard
+  // manifest; loading an index built under a different scheme fails.
+  const sig::SignatureScheme* signature_scheme = nullptr;
 
   // --- Pipeline ---
   // CPU worker threads running pre-process, key lookup/reduce and merge.

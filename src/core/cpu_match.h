@@ -13,6 +13,7 @@
 
 #include "src/common/bit_vector.h"
 #include "src/core/packed_output.h"
+#include "src/sig/signature_scheme.h"
 
 namespace tagmatch {
 
@@ -20,11 +21,13 @@ namespace tagmatch {
 // {query index, set_ids[slot]} for every slot whose filter is a subset of
 // the query. `block_dim` bounds the common-prefix blocks exactly as the
 // kernel's grid does, so the emission order matches the sorted table walk.
-inline std::vector<ResultPair> cpu_subset_match(std::span<const BitVector192> filters,
-                                                std::span<const uint32_t> set_ids, uint32_t begin,
-                                                uint32_t end,
-                                                std::span<const BitVector192> queries,
-                                                uint32_t block_dim, bool enable_prefix_filter) {
+// `variant` selects the scheme's subset-test instruction pattern
+// (branch chain vs branch-free OR-reduce); results are identical either way.
+inline std::vector<ResultPair> cpu_subset_match(
+    std::span<const BitVector192> filters, std::span<const uint32_t> set_ids, uint32_t begin,
+    uint32_t end, std::span<const BitVector192> queries, uint32_t block_dim,
+    bool enable_prefix_filter,
+    sig::KernelVariant variant = sig::KernelVariant::kBranchChain) {
   std::vector<ResultPair> pairs;
   std::vector<uint8_t> active;
   active.reserve(queries.size());
@@ -34,7 +37,7 @@ inline std::vector<ResultPair> cpu_subset_match(std::span<const BitVector192> fi
     BitVector192 prefix = filters[base].prefix(len);
     active.clear();
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      if (enable_prefix_filter && !prefix.subset_of(queries[qi])) {
+      if (enable_prefix_filter && !sig::subset_test(variant, prefix, queries[qi])) {
         continue;
       }
       active.push_back(static_cast<uint8_t>(qi));
@@ -44,7 +47,7 @@ inline std::vector<ResultPair> cpu_subset_match(std::span<const BitVector192> fi
     }
     for (uint32_t i = base; i <= last; ++i) {
       for (uint8_t qi : active) {
-        if (filters[i].subset_of(queries[qi])) {
+        if (sig::subset_test(variant, filters[i], queries[qi])) {
           pairs.push_back(ResultPair{qi, set_ids[i]});
         }
       }

@@ -42,7 +42,9 @@ struct KernelShared {
 }  // namespace
 
 GpuEngine::GpuEngine(const TagMatchConfig& config, BatchResultFn on_result)
-    : config_(config), on_result_(std::move(on_result)) {
+    : config_(config),
+      variant_(sig::resolve(config.signature_scheme).kernel_variant()),
+      on_result_(std::move(on_result)) {
   TAGMATCH_CHECK(config_.num_gpus >= 1);
   TAGMATCH_CHECK(config_.batch_size >= 1 && config_.batch_size <= 256);
   TAGMATCH_CHECK(config_.streams_per_gpu >= 1);
@@ -372,7 +374,7 @@ void GpuEngine::cpu_fallback_deliver(PartitionId partition,
   std::vector<ResultPair> pairs =
       cpu_subset_match(host_filters_, host_set_ids_, host_offsets_[partition],
                        host_offsets_[partition + 1], queries, config_.gpu_block_dim,
-                       config_.enable_prefix_filter);
+                       config_.enable_prefix_filter, variant_);
   (void)ctx;
   on_result_(token, pairs, /*overflow=*/false);
   in_flight_.fetch_sub(1, std::memory_order_release);
@@ -422,6 +424,7 @@ gpusim::Kernel GpuEngine::make_kernel(unsigned device_index, PartitionId partiti
   const uint64_t capacity = config_.result_buffer_entries;
   const bool prefix_filter = config_.enable_prefix_filter;
   const bool packed = config_.packed_output;
+  const sig::KernelVariant variant = variant_;
 
   return [=](gpusim::BlockContext& ctx) {
     const uint32_t first = ctx.block_first_thread();
@@ -447,7 +450,7 @@ gpusim::Kernel GpuEngine::make_kernel(unsigned device_index, PartitionId partiti
       // real CUDA this is the atomicAdd of Algorithm 4.
       ctx.threads([&](uint32_t tid) {
         for (uint32_t i = tid; i < num_queries; i += ctx.block_dim()) {
-          if (sh->prefix.subset_of(queries_dev[i])) {
+          if (sig::subset_test(variant, sh->prefix, queries_dev[i])) {
             sh->qids[sh->qcount++] = static_cast<uint8_t>(i);
           }
         }
@@ -475,7 +478,7 @@ gpusim::Kernel GpuEngine::make_kernel(unsigned device_index, PartitionId partiti
       const uint32_t set_id = set_ids[s];
       for (uint32_t j = 0; j < sh->qcount; ++j) {
         const uint8_t qi = sh->qids[j];
-        if (set_filter.subset_of(queries_dev[qi])) {
+        if (sig::subset_test(variant, set_filter, queries_dev[qi])) {
           uint64_t idx = std::atomic_ref<uint64_t>(*counter).fetch_add(
               1, std::memory_order_relaxed);
           if (idx < capacity) {

@@ -30,6 +30,7 @@
 #include "src/core/partition_table.h"
 #include "src/gpusim/device.h"
 #include "src/gpusim/stream.h"
+#include "src/sig/signature_scheme.h"
 
 namespace tagmatch {
 
@@ -221,6 +222,9 @@ class GpuEngine {
                             void* token, const obs::TraceContext& ctx);
 
   TagMatchConfig config_;
+  // Subset-test instruction pattern of the configured signature scheme,
+  // captured by every kernel and by the CPU fallback (identical results).
+  sig::KernelVariant variant_;
   BatchResultFn on_result_;
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
   std::vector<DeviceTable> device_tables_;

@@ -101,6 +101,9 @@ class Matcher {
 
   // --- Introspection ---
   struct Stats {
+    // Name of the signature scheme (src/sig) the engine encodes and matches
+    // under; empty for matchers that predate the scheme abstraction.
+    std::string signature_scheme;
     uint64_t unique_sets = 0;
     uint64_t total_keys = 0;
     uint64_t partitions = 0;
@@ -139,6 +142,11 @@ class Matcher {
     // last_consolidate_seconds takes the max (shards consolidate
     // concurrently, so the slowest shard is the wall time).
     Stats& operator+=(const Stats& o) {
+      // All shards of a deployment run the same scheme; keep the first
+      // non-empty name.
+      if (signature_scheme.empty()) {
+        signature_scheme = o.signature_scheme;
+      }
       unique_sets += o.unique_sets;
       total_keys += o.total_keys;
       partitions += o.partitions;

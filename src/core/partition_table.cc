@@ -13,22 +13,33 @@ void PartitionTable::add(const BitVector192& mask, PartitionId id) {
 }
 
 void PartitionTable::find_matches(const BitVector192& query,
-                                  const std::function<void(PartitionId)>& fn) const {
+                                  const std::function<void(PartitionId)>& fn,
+                                  sig::KernelVariant variant, ProbeStats* stats) const {
   for (PartitionId id : always_matched_) {
     fn(id);
   }
+  // Always-matched partitions count as examined-and-forwarded so the
+  // discard ratio (1 - forwarded/examined) stays in [0, 1].
+  uint64_t examined = always_matched_.size();
+  uint64_t forwarded = always_matched_.size();
   // Scan the one-bit positions of the query (Algorithm 2's outer loop).
   for (unsigned blk = 0; blk < BitVector192::kBlocks; ++blk) {
     uint64_t bits = query.block(blk);
     while (bits != 0) {
       unsigned lead = static_cast<unsigned>(std::countl_zero(bits));
       for (const Entry& e : buckets_[blk * 64 + lead]) {
-        if (e.mask.subset_of(query)) {
+        ++examined;
+        if (sig::subset_test(variant, e.mask, query)) {
+          ++forwarded;
           fn(e.id);
         }
       }
       bits &= ~(uint64_t{1} << (63 - lead));
     }
+  }
+  if (stats != nullptr) {
+    stats->examined += examined;
+    stats->forwarded += forwarded;
   }
 }
 

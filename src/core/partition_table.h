@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/bit_vector.h"
+#include "src/sig/signature_scheme.h"
 
 namespace tagmatch {
 
@@ -22,6 +23,15 @@ using PartitionId = uint32_t;
 
 class PartitionTable {
  public:
+  // Prefilter work accounting for one query: `examined` bucket entries were
+  // subset-tested, `forwarded` of them (plus always-matched partitions)
+  // reached the pipeline. The gap is what the prefilter discarded — surfaced
+  // as the prefilter.discard_ratio histogram.
+  struct ProbeStats {
+    uint64_t examined = 0;
+    uint64_t forwarded = 0;
+  };
+
   PartitionTable() = default;
 
   // Registers a partition mask. Masks with no one-bit (the residual
@@ -30,8 +40,11 @@ class PartitionTable {
   void add(const BitVector192& mask, PartitionId id);
 
   // Invokes fn(id) for every partition whose mask is a bitwise subset of
-  // `query` — Algorithm 2.
-  void find_matches(const BitVector192& query, const std::function<void(PartitionId)>& fn) const;
+  // `query` — Algorithm 2. `variant` selects the scheme's subset-test
+  // instruction pattern; `stats`, when non-null, accumulates probe counts.
+  void find_matches(const BitVector192& query, const std::function<void(PartitionId)>& fn,
+                    sig::KernelVariant variant = sig::KernelVariant::kBranchChain,
+                    ProbeStats* stats = nullptr) const;
 
   size_t partition_count() const { return count_; }
   uint64_t memory_bytes() const;

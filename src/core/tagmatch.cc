@@ -19,6 +19,7 @@
 #include "src/core/partitioner.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sig/signature_scheme.h"
 
 namespace tagmatch {
 
@@ -87,9 +88,15 @@ struct WorkItem {
 
 class TagMatchImpl {
  public:
-  explicit TagMatchImpl(TagMatchConfig config) : config_(std::move(config)) {
+  explicit TagMatchImpl(TagMatchConfig config)
+      : config_(std::move(config)),
+        scheme_(&sig::resolve(config_.signature_scheme)),
+        variant_(scheme_->kernel_variant()) {
     TAGMATCH_CHECK(config_.batch_size >= 1 && config_.batch_size <= 256);
     TAGMATCH_CHECK(config_.num_threads >= 1);
+    // Pin the resolved scheme so every layer below (GPU engine, persistence,
+    // shard manifests) sees the same choice even if the environment changes.
+    config_.signature_scheme = scheme_;
     if (!config_.metrics) {
       config_.metrics = std::make_shared<obs::PipelineObs>();
     }
@@ -107,6 +114,11 @@ class TagMatchImpl {
     query_latency_ = registry.histogram("query.latency_ns");
     unique_sets_gauge_ = registry.gauge("engine.unique_sets");
     partitions_gauge_ = registry.gauge("engine.partitions");
+    scheme_id_gauge_ = registry.gauge("sig.scheme_id");
+    scheme_id_gauge_->set(static_cast<int64_t>(scheme_->id()));
+    fpr_observed_gauge_ = registry.gauge("sig.fpr_observed");
+    encode_ns_ = registry.histogram("sig.encode_ns");
+    discard_ratio_ = registry.histogram("prefilter.discard_ratio");
     if (!config_.cpu_only) {
       engine_ = std::make_unique<GpuEngine>(
           config_, [this](void* token, std::span<const ResultPair> pairs, bool overflow) {
@@ -322,8 +334,20 @@ class TagMatchImpl {
     }
   }
 
+  // Signature of a string-tag set under this engine's scheme; every string
+  // API funnels through here so build and query sides always agree.
+  BloomFilter192 encode(std::span<const std::string> tags) const {
+    const int64_t start_ns = now_ns();
+    BloomFilter192 f(scheme_->encode(tags));
+    encode_ns_->record(static_cast<uint64_t>(std::max<int64_t>(0, now_ns() - start_ns)), 0);
+    return f;
+  }
+
+  const sig::SignatureScheme& scheme() const { return *scheme_; }
+
   TagMatch::Stats stats() const {
     TagMatch::Stats s;
+    s.signature_scheme = std::string(scheme_->name());
     s.unique_sets = key_offsets_.empty() ? 0 : key_offsets_.size() - 1;
     s.total_keys = keys_flat_.size();
     s.partitions = offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -399,7 +423,10 @@ class TagMatchImpl {
     if (config_.match_staged_adds) {
       match_staged(*query);
     }
-    partition_table_.find_matches(query->filter, [&](PartitionId pid) {
+    PartitionTable::ProbeStats probe_stats;
+    partition_table_.find_matches(
+        query->filter,
+        [&](PartitionId pid) {
       partitions_forwarded_->inc();
       std::unique_ptr<Batch> full;
       {
@@ -432,7 +459,15 @@ class TagMatchImpl {
       if (full) {
         submit_batch(std::move(full));
       }
-    });
+        },
+        variant_, &probe_stats);
+    if (probe_stats.examined > 0) {
+      // Basis points of examined partition masks the prefilter discarded
+      // (10000 = everything discarded, 0 = everything forwarded).
+      discard_ratio_->record(
+          (probe_stats.examined - probe_stats.forwarded) * 10000 / probe_stats.examined,
+          query->trace_id);
+    }
     obs_->record_stage(obs::Stage::kPreFilter, query->trace_id, prefilter_start_ns, now_ns(),
                        prefilter_ctx, prefilter_span);
     finish_if_done(*query);  // Drop the pre-processing guard.
@@ -443,7 +478,7 @@ class TagMatchImpl {
   void match_staged(QueryState& qs) {
     std::lock_guard staging_lock(staging_mu_);
     for (const StagedAdd& add : staged_adds_) {
-      if (!add.filter.subset_of(qs.filter)) {
+      if (!sig::subset_test(variant_, add.filter, qs.filter)) {
         continue;
       }
       if (config_.exact_check && !qs.tag_hashes.empty() && add.has_hashes &&
@@ -482,7 +517,7 @@ class TagMatchImpl {
   std::vector<ResultPair> cpu_match(const Batch& batch) const {
     return cpu_subset_match(filters_sorted_, set_ids_, offsets_[batch.partition],
                             offsets_[batch.partition + 1], batch.filters, config_.gpu_block_dim,
-                            config_.enable_prefix_filter);
+                            config_.enable_prefix_filter, variant_);
   }
 
   // Stage 3 (§3.4): key lookup/reduce — map set ids to keys and group the
@@ -518,6 +553,18 @@ class TagMatchImpl {
       const uint32_t k1 = key_offsets_[pair.set_id + 1];
       std::lock_guard lock(qs.mu);
       qs.keys.insert(qs.keys.end(), keys_flat_.begin() + k0, keys_flat_.begin() + k1);
+    }
+    // Observed false-positive rate of the signature scheme, in parts per
+    // million of forwarded result pairs. Only the exact check can tell a
+    // Bloom false positive from a true match, so the gauge stays 0 without
+    // it; under exact_check it is the live counterpart of the scheme's
+    // false_positive_probability model.
+    if (config_.exact_check) {
+      const uint64_t pairs_total = result_pairs_->value();
+      if (pairs_total > 0) {
+        fpr_observed_gauge_->set(
+            static_cast<int64_t>(exact_rejections_->value() * 1'000'000 / pairs_total));
+      }
     }
     // Record the reduce span before the completion callbacks run: a caller
     // assembling the trace at query finish (the broker's flight recorder)
@@ -622,6 +669,11 @@ class TagMatchImpl {
 
   TagMatchConfig config_;
 
+  // Resolved signature scheme (process-lifetime singleton) and its kernel
+  // subset-test variant, fixed for the engine's lifetime.
+  const sig::SignatureScheme* scheme_;
+  sig::KernelVariant variant_;
+
   struct StagedAdd {
     BitVector192 filter;
     Key key;
@@ -685,6 +737,10 @@ class TagMatchImpl {
   obs::Histogram* query_latency_ = nullptr;
   obs::Gauge* unique_sets_gauge_ = nullptr;
   obs::Gauge* partitions_gauge_ = nullptr;
+  obs::Gauge* scheme_id_gauge_ = nullptr;
+  obs::Gauge* fpr_observed_gauge_ = nullptr;
+  obs::Histogram* encode_ns_ = nullptr;
+  obs::Histogram* discard_ratio_ = nullptr;
   std::atomic<uint64_t> query_seq_{0};
   std::atomic<uint64_t> batch_seq_{0};
   double last_consolidate_seconds_ = 0;
@@ -702,7 +758,10 @@ class TagMatchImpl {
 namespace {
 
 constexpr uint32_t kIndexMagic = 0x584d4754;  // "TGMX"
-constexpr uint32_t kIndexVersion = 2;
+// v3 appends the signature-scheme id after the version word; v2 indexes are
+// still accepted and imply the bloom192 baseline.
+constexpr uint32_t kIndexVersion = 3;
+constexpr uint32_t kIndexVersionPreScheme = 2;
 
 template <typename T>
 void write_vec(std::FILE* f, const std::vector<T>& v) {
@@ -732,6 +791,8 @@ bool TagMatchImpl::save_index(const std::string& path) const {
   }
   std::fwrite(&kIndexMagic, sizeof(kIndexMagic), 1, f);
   std::fwrite(&kIndexVersion, sizeof(kIndexVersion), 1, f);
+  const uint32_t scheme_id = static_cast<uint32_t>(scheme_->id());
+  std::fwrite(&scheme_id, sizeof(scheme_id), 1, f);
   write_vec(f, filters_sorted_);
   write_vec(f, set_ids_);
   write_vec(f, offsets_);
@@ -758,7 +819,22 @@ bool TagMatchImpl::load_index(const std::string& path) {
   uint32_t magic = 0, version = 0;
   bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
             std::fread(&version, sizeof(version), 1, f) == 1 && magic == kIndexMagic &&
-            version == kIndexVersion;
+            (version == kIndexVersion || version == kIndexVersionPreScheme);
+  // Pre-scheme indexes were always built under the bloom192 baseline.
+  uint32_t scheme_id = static_cast<uint32_t>(sig::SchemeId::kBloom192);
+  if (ok && version == kIndexVersion) {
+    ok = std::fread(&scheme_id, sizeof(scheme_id), 1, f) == 1;
+  }
+  if (ok && scheme_id != static_cast<uint32_t>(scheme_->id())) {
+    const sig::SignatureScheme* built_under = sig::scheme_by_id(scheme_id);
+    std::fprintf(stderr,
+                 "tagmatch: index %s was built under signature scheme %s but this "
+                 "engine runs %s; rebuild the index or pass --signature-scheme %s\n",
+                 path.c_str(), built_under ? std::string(built_under->name()).c_str() : "<unknown>",
+                 std::string(scheme_->name()).c_str(),
+                 built_under ? std::string(built_under->name()).c_str() : "<unknown>");
+    ok = false;
+  }
   std::vector<BitVector192> filters_sorted, masks;
   std::vector<uint32_t> set_ids, offsets, key_offsets, keys_flat;
   std::vector<uint64_t> exact_offsets, exact_hashes;
@@ -831,7 +907,7 @@ std::vector<uint64_t> hash_tags(std::span<const std::string> tags) {
 }  // namespace
 
 void TagMatch::add_set(std::span<const std::string> tags, Key key) {
-  impl_->stage_add(BloomFilter192::of(tags).bits(), key, hash_tags(tags), /*has_hashes=*/true);
+  impl_->stage_add(impl_->encode(tags).bits(), key, hash_tags(tags), /*has_hashes=*/true);
 }
 void TagMatch::add_set(const BloomFilter192& filter, Key key) {
   impl_->stage_add(filter.bits(), key, {}, /*has_hashes=*/false);
@@ -843,7 +919,7 @@ void TagMatch::add_set_hashed(const BloomFilter192& filter, std::span<const uint
                    /*has_hashes=*/true);
 }
 void TagMatch::remove_set(std::span<const std::string> tags, Key key) {
-  impl_->stage_remove(BloomFilter192::of(tags).bits(), key);
+  impl_->stage_remove(impl_->encode(tags).bits(), key);
 }
 void TagMatch::remove_set(const BloomFilter192& filter, Key key) {
   impl_->stage_remove(filter.bits(), key);
@@ -863,7 +939,7 @@ void TagMatch::match_async_hashed(const BloomFilter192& query,
 }
 void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind,
                            MatchCallback callback) {
-  impl_->match_async(BloomFilter192::of(tags), kind, std::move(callback), hash_tags(tags));
+  impl_->match_async(impl_->encode(tags), kind, std::move(callback), hash_tags(tags));
 }
 void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
                            MatchCallback callback) {
@@ -871,7 +947,7 @@ void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, int64_t 
 }
 void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
                            MatchCallback callback) {
-  impl_->match_async(BloomFilter192::of(tags), kind, std::move(callback), hash_tags(tags),
+  impl_->match_async(impl_->encode(tags), kind, std::move(callback), hash_tags(tags),
                      deadline_ns);
 }
 void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, int64_t deadline_ns,
@@ -880,7 +956,7 @@ void TagMatch::match_async(const BloomFilter192& query, MatchKind kind, int64_t 
 }
 void TagMatch::match_async(std::span<const std::string> tags, MatchKind kind, int64_t deadline_ns,
                            const obs::TraceContext& ctx, MatchCallback callback) {
-  impl_->match_async(BloomFilter192::of(tags), kind, std::move(callback), hash_tags(tags),
+  impl_->match_async(impl_->encode(tags), kind, std::move(callback), hash_tags(tags),
                      deadline_ns, ctx);
 }
 
@@ -904,10 +980,10 @@ std::vector<TagMatch::Key> TagMatch::match_unique(const BloomFilter192& query) {
   return match_sync(*impl_, query, MatchKind::kMatchUnique);
 }
 std::vector<TagMatch::Key> TagMatch::match(std::span<const std::string> tags) {
-  return match_sync(*impl_, BloomFilter192::of(tags), MatchKind::kMatch, hash_tags(tags));
+  return match_sync(*impl_, impl_->encode(tags), MatchKind::kMatch, hash_tags(tags));
 }
 std::vector<TagMatch::Key> TagMatch::match_unique(std::span<const std::string> tags) {
-  return match_sync(*impl_, BloomFilter192::of(tags), MatchKind::kMatchUnique, hash_tags(tags));
+  return match_sync(*impl_, impl_->encode(tags), MatchKind::kMatchUnique, hash_tags(tags));
 }
 
 void TagMatch::flush() { impl_->flush(); }

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/common/stats.h"
+#include "src/sig/signature_scheme.h"
 
 namespace tagmatch::shard {
 
@@ -30,6 +31,10 @@ struct ShardedTagMatch::Gather {
 
 ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(config)) {
   TAGMATCH_CHECK(config_.num_shards >= 1);
+  // Pin the resolved scheme so the router's string-tag encodes, every shard
+  // engine, and manifest save/load all agree even if the environment changes.
+  scheme_ = &sig::resolve(config_.shard.signature_scheme);
+  config_.shard.signature_scheme = scheme_;
   policy_ = config_.policy ? config_.policy : std::make_shared<SignatureHashPolicy>();
   queries_ = obs_.registry().counter("shard.queries");
   partial_results_ = obs_.registry().counter("shard.partial_results");
@@ -65,13 +70,17 @@ ShardedTagMatch::~ShardedTagMatch() {
   shards_.clear();  // Each engine flushes and joins its pipeline.
 }
 
+BloomFilter192 ShardedTagMatch::encode(std::span<const std::string> tags) const {
+  return BloomFilter192(scheme_->encode(tags));
+}
+
 // --- Table maintenance -----------------------------------------------------
 // Staging is routed immediately (the policy is stable, so a later
 // remove_set of the same (filter, key) reaches the same shard); it becomes
 // matchable per the underlying engines' semantics.
 
 void ShardedTagMatch::add_set(std::span<const std::string> tags, Key key) {
-  BloomFilter192 filter = BloomFilter192::of(tags);
+  BloomFilter192 filter = encode(tags);
   shards_[shard_of(filter.bits(), key)]->add_set(tags, key);
 }
 
@@ -85,7 +94,7 @@ void ShardedTagMatch::add_set_hashed(const BloomFilter192& filter,
 }
 
 void ShardedTagMatch::remove_set(std::span<const std::string> tags, Key key) {
-  BloomFilter192 filter = BloomFilter192::of(tags);
+  BloomFilter192 filter = encode(tags);
   shards_[shard_of(filter.bits(), key)]->remove_set(tags, key);
 }
 
@@ -285,7 +294,7 @@ void ShardedTagMatch::match_result_async(std::span<const std::string> tags, Matc
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  scatter(BloomFilter192::of(tags), std::move(hashes), kind, deadline_ns, deadline_ns, {},
+  scatter(encode(tags), std::move(hashes), kind, deadline_ns, deadline_ns, {},
           std::move(callback));
 }
 
@@ -303,7 +312,7 @@ void ShardedTagMatch::match_result_async(std::span<const std::string> tags, Matc
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  scatter(BloomFilter192::of(tags), std::move(hashes), kind, deadline_ns, deadline_ns, ctx,
+  scatter(encode(tags), std::move(hashes), kind, deadline_ns, deadline_ns, ctx,
           std::move(callback));
 }
 
@@ -320,7 +329,7 @@ void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind k
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  scatter(BloomFilter192::of(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
+  scatter(encode(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
           /*shard_deadline_ns=*/0, {},
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
@@ -341,7 +350,7 @@ void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind k
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  scatter(BloomFilter192::of(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
+  scatter(encode(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
           deadline_ns, {},
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
@@ -361,7 +370,7 @@ void ShardedTagMatch::match_async(std::span<const std::string> tags, MatchKind k
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  scatter(BloomFilter192::of(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
+  scatter(encode(tags), std::move(hashes), kind, /*gather_deadline_ns=*/0,
           deadline_ns, ctx,
           [cb = std::move(callback)](MatchResult result) { cb(std::move(result.keys)); });
 }
@@ -389,14 +398,14 @@ std::vector<Matcher::Key> ShardedTagMatch::match(std::span<const std::string> ta
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  return match_sync(BloomFilter192::of(tags), MatchKind::kMatch, std::move(hashes));
+  return match_sync(encode(tags), MatchKind::kMatch, std::move(hashes));
 }
 std::vector<Matcher::Key> ShardedTagMatch::match_unique(std::span<const std::string> tags) {
   std::vector<uint64_t> hashes;
   for (const auto& t : tags) {
     hashes.push_back(TagMatch::tag_hash(t));
   }
-  return match_sync(BloomFilter192::of(tags), MatchKind::kMatchUnique, std::move(hashes));
+  return match_sync(encode(tags), MatchKind::kMatchUnique, std::move(hashes));
 }
 
 void ShardedTagMatch::flush() {
@@ -473,13 +482,17 @@ uint64_t ShardedTagMatch::trace_dropped() const {
 // --- Persistence -----------------------------------------------------------
 // Manifest layout (native-endian, version-checked like the engine index):
 //   u32 magic "TGSH" | u32 version | u32 shard count | string policy name |
-//   shard count x string shard file name (relative to the manifest's
-//   directory; save_index writes them next to the manifest).
+//   string signature-scheme name (v2+) | shard count x string shard file
+//   name (relative to the manifest's directory; save_index writes them next
+//   to the manifest).
 
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x48534754;  // "TGSH"
-constexpr uint32_t kManifestVersion = 1;
+// v2 appends the signature-scheme name after the policy; v1 manifests are
+// still accepted and imply the bloom192 baseline.
+constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kManifestVersionPreScheme = 1;
 constexpr uint32_t kMaxManifestShards = 4096;
 constexpr uint32_t kMaxNameLen = 4096;
 
@@ -511,6 +524,7 @@ std::string dir_name(const std::string& path) {
 struct Manifest {
   uint32_t num_shards = 0;
   std::string policy;
+  std::string scheme;              // Signature-scheme name the shards were built under.
   std::vector<std::string> files;  // Relative to the manifest's directory.
 };
 
@@ -522,9 +536,15 @@ bool read_manifest(const std::string& path, Manifest& m) {
   uint32_t magic = 0, version = 0;
   bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
             std::fread(&version, sizeof(version), 1, f) == 1 && magic == kManifestMagic &&
-            version == kManifestVersion &&
+            (version == kManifestVersion || version == kManifestVersionPreScheme) &&
             std::fread(&m.num_shards, sizeof(m.num_shards), 1, f) == 1 && m.num_shards >= 1 &&
             m.num_shards <= kMaxManifestShards && read_string(f, m.policy);
+  if (ok && version >= kManifestVersion) {
+    ok = read_string(f, m.scheme) && !m.scheme.empty();
+  } else {
+    // Pre-scheme manifests were always built under the bloom192 baseline.
+    m.scheme = std::string(sig::bloom192_scheme().name());
+  }
   for (uint32_t i = 0; ok && i < m.num_shards; ++i) {
     std::string name;
     ok = read_string(f, name) && !name.empty();
@@ -553,6 +573,7 @@ bool ShardedTagMatch::save_index(const std::string& path) const {
   uint32_t n = static_cast<uint32_t>(shards_.size());
   std::fwrite(&n, sizeof(n), 1, f);
   write_string(f, policy_->name());
+  write_string(f, std::string(sig::resolve(config_.shard.signature_scheme).name()));
   for (size_t i = 0; i < shards_.size(); ++i) {
     write_string(f, base_name(path) + ".shard" + std::to_string(i));
   }
@@ -567,6 +588,15 @@ bool ShardedTagMatch::save_index(const std::string& path) const {
 bool ShardedTagMatch::load_index(const std::string& path) {
   Manifest m;
   if (!read_manifest(path, m)) {
+    return false;
+  }
+  const std::string live_scheme(sig::resolve(config_.shard.signature_scheme).name());
+  if (m.scheme != live_scheme) {
+    std::fprintf(stderr,
+                 "tagmatch: shard manifest %s was built under signature scheme %s but "
+                 "this deployment runs %s; rebuild the index or pass "
+                 "--signature-scheme %s\n",
+                 path.c_str(), m.scheme.c_str(), live_scheme.c_str(), m.scheme.c_str());
     return false;
   }
   const std::string dir = dir_name(path);
@@ -598,6 +628,9 @@ bool ShardedTagMatch::load_index(const std::string& path) {
     TagMatchConfig scratch_config;
     scratch_config.cpu_only = true;
     scratch_config.num_threads = 1;
+    // The scratch loader must run the manifest's scheme or its per-engine
+    // index load would fail the scheme check.
+    scratch_config.signature_scheme = &sig::resolve(config_.shard.signature_scheme);
     for (const auto& shard_path : shard_paths) {
       TagMatch scratch(scratch_config);
       if (!scratch.load_index(shard_path)) {

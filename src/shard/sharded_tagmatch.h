@@ -180,6 +180,10 @@ class ShardedTagMatch : public Matcher {
   uint32_t shard_of(const BitVector192& filter, Key key) const {
     return policy_->shard_of(filter, key, static_cast<uint32_t>(shards_.size()));
   }
+  // String-tag entry points must encode under the same signature scheme the
+  // shard engines run (scheme_, pinned at construction) — a bloom192-encoded
+  // query against blocked64-encoded tables silently matches nothing.
+  BloomFilter192 encode(std::span<const std::string> tags) const;
   // `gather_deadline_ns` sheds the gather when it passes (0 = no shedding);
   // `shard_deadline_ns` is forwarded to the shard engines' deadline-aware
   // batch close (0 = none). Both absolute, now_ns() domain.
@@ -204,6 +208,7 @@ class ShardedTagMatch : public Matcher {
                               std::vector<uint64_t> tag_hashes);
 
   ShardedConfig config_;
+  const sig::SignatureScheme* scheme_ = nullptr;  // Resolved once, never null.
   std::shared_ptr<const ShardPolicy> policy_;
   std::vector<std::unique_ptr<TagMatch>> shards_;
   // Per-shard gate: matchers hold it shared around submission, consolidate/

@@ -1,0 +1,218 @@
+#include "src/sig/signature_scheme.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/bloom/bloom_filter.h"
+
+namespace tagmatch::sig {
+namespace {
+
+// --- Bloom192 (baseline) --------------------------------------------------
+// The paper's flat filter, delegating to BloomFilter192's guarded probe
+// sequence so scheme and legacy paths stay bit-identical by construction.
+class Bloom192Scheme final : public SignatureScheme {
+ public:
+  SchemeId id() const override { return SchemeId::kBloom192; }
+  std::string_view name() const override { return "bloom192"; }
+  unsigned bits_per_tag() const override { return BloomFilter192::kNumHashes; }
+  KernelVariant kernel_variant() const override { return KernelVariant::kBranchChain; }
+
+  void add_hash(BitVector192& bits, const Hash128& h) const override {
+    unsigned pos[BloomFilter192::kNumHashes];
+    BloomFilter192::probe_positions(h, pos);
+    for (unsigned p : pos) {
+      bits.set(p);
+    }
+  }
+
+  bool probe(const BitVector192& bits, const Hash128& h) const override {
+    unsigned pos[BloomFilter192::kNumHashes];
+    BloomFilter192::probe_positions(h, pos);
+    for (unsigned p : pos) {
+      if (!bits.test(p)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  double false_positive_probability(unsigned query_size, unsigned extra) const override {
+    return BloomFilter192::false_positive_probability(query_size, extra);
+  }
+};
+
+// --- Blocked64 ------------------------------------------------------------
+// Register-blocked: each tag lives entirely in one hash-chosen 64-bit lane
+// (a gpusim shared-memory tile word / one host register), setting k'=4 bits
+// there via double hashing with an odd step (odd => coprime with 64 => the
+// four positions are distinct). Building ORs a single precomposed word, and
+// probing is one load + one compare — this is where the scheme's measured
+// encode/probe speedup over the 7-probe flat filter comes from.
+class Blocked64Scheme final : public SignatureScheme {
+ public:
+  static constexpr unsigned kLaneBits = BitVector192::kBlockBits;  // 64
+  static constexpr unsigned kBitsPerTag = 4;
+
+  static unsigned lane_of(const Hash128& h) {
+    return static_cast<unsigned>(h.h1 % BitVector192::kBlocks);
+  }
+  static uint64_t mask_of(const Hash128& h) {
+    // Low h1 bits picked the lane; place bits from the high parts of both
+    // streams so the lane choice and in-lane positions stay independent.
+    uint64_t pos = h.h1 >> 8;
+    const uint64_t step = (h.h2 >> 8) | 1;
+    uint64_t mask = 0;
+    for (unsigned i = 0; i < kBitsPerTag; ++i) {
+      mask |= uint64_t{1} << (pos % kLaneBits);
+      pos += step;
+    }
+    return mask;
+  }
+
+  SchemeId id() const override { return SchemeId::kBlocked64; }
+  std::string_view name() const override { return "blocked64"; }
+  unsigned bits_per_tag() const override { return kBitsPerTag; }
+  KernelVariant kernel_variant() const override { return KernelVariant::kOrReduce; }
+
+  void add_hash(BitVector192& bits, const Hash128& h) const override {
+    bits.block(lane_of(h)) |= mask_of(h);
+  }
+
+  bool probe(const BitVector192& bits, const Hash128& h) const override {
+    const uint64_t m = mask_of(h);
+    return (bits.block(lane_of(h)) & m) == m;
+  }
+
+  double false_positive_probability(unsigned query_size, unsigned extra) const override {
+    // Uniform-lane approximation: a query of q tags leaves each of the 192
+    // bits set with probability fill = 1 - exp(-k'*q/192); an extra tag
+    // passes when all k' of its lane bits are covered.
+    const double fill =
+        1.0 - std::exp(-(double(kBitsPerTag) * query_size) / BitVector192::kBits);
+    return std::pow(fill, double(kBitsPerTag) * extra);
+  }
+};
+
+// --- TwoChoice64 ----------------------------------------------------------
+// Two-choice blocked filter. Classic two-choice inserts pick the emptier of
+// two candidate lanes, but that choice depends on insertion order and would
+// break the union invariant (false negatives under subset matching) — so
+// this scheme deterministically materializes BOTH choices: 2 bits in each of
+// the two hash-chosen lanes, k=4 total. Probing checks both lanes; spreading
+// a tag over two lanes decorrelates lane hot-spots for skewed tag
+// distributions at the cost of touching two words.
+class TwoChoice64Scheme final : public SignatureScheme {
+ public:
+  static constexpr unsigned kBitsPerLane = 2;
+  static constexpr unsigned kBitsPerTag = 2 * kBitsPerLane;
+
+  static unsigned lane1(const Hash128& h) {
+    return static_cast<unsigned>(h.h1 % BitVector192::kBlocks);
+  }
+  static unsigned lane2(const Hash128& h) {
+    return static_cast<unsigned>((h.h1 / BitVector192::kBlocks) % BitVector192::kBlocks);
+  }
+  static uint64_t lane_mask(uint64_t stream) {
+    uint64_t pos = stream >> 8;
+    const uint64_t step = (stream >> 32) | 1;
+    uint64_t mask = 0;
+    for (unsigned i = 0; i < kBitsPerLane; ++i) {
+      mask |= uint64_t{1} << (pos % BitVector192::kBlockBits);
+      pos += step;
+    }
+    return mask;
+  }
+
+  SchemeId id() const override { return SchemeId::kTwoChoice64; }
+  std::string_view name() const override { return "twochoice64"; }
+  unsigned bits_per_tag() const override { return kBitsPerTag; }
+  KernelVariant kernel_variant() const override { return KernelVariant::kOrReduce; }
+
+  void add_hash(BitVector192& bits, const Hash128& h) const override {
+    bits.block(lane1(h)) |= lane_mask(h.h1);
+    bits.block(lane2(h)) |= lane_mask(h.h2);
+  }
+
+  bool probe(const BitVector192& bits, const Hash128& h) const override {
+    const uint64_t m1 = lane_mask(h.h1);
+    const uint64_t m2 = lane_mask(h.h2);
+    return (bits.block(lane1(h)) & m1) == m1 && (bits.block(lane2(h)) & m2) == m2;
+  }
+
+  double false_positive_probability(unsigned query_size, unsigned extra) const override {
+    // Same uniform-fill model as Blocked64: k=4 bits per tag overall.
+    const double fill =
+        1.0 - std::exp(-(double(kBitsPerTag) * query_size) / BitVector192::kBits);
+    return std::pow(fill, double(kBitsPerTag) * extra);
+  }
+};
+
+const Bloom192Scheme g_bloom192;
+const Blocked64Scheme g_blocked64;
+const TwoChoice64Scheme g_twochoice64;
+
+constexpr std::array<const SignatureScheme*, 3> kAll = {
+    &g_bloom192, &g_blocked64, &g_twochoice64};
+
+}  // namespace
+
+const SignatureScheme& bloom192_scheme() { return g_bloom192; }
+const SignatureScheme& blocked64_scheme() { return g_blocked64; }
+const SignatureScheme& twochoice64_scheme() { return g_twochoice64; }
+
+std::span<const SignatureScheme* const> all_schemes() { return kAll; }
+
+const SignatureScheme* scheme_by_name(std::string_view name) {
+  for (const SignatureScheme* s : kAll) {
+    if (s->name() == name) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+const SignatureScheme* scheme_by_id(uint32_t id) {
+  for (const SignatureScheme* s : kAll) {
+    if (static_cast<uint32_t>(s->id()) == id) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+std::string scheme_names_csv() {
+  std::string out;
+  for (const SignatureScheme* s : kAll) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += s->name();
+  }
+  return out;
+}
+
+const SignatureScheme& resolve(const SignatureScheme* configured) {
+  if (configured != nullptr) {
+    return *configured;
+  }
+  const char* env = std::getenv("TAGMATCH_SCHEME");
+  if (env != nullptr && *env != '\0') {
+    if (const SignatureScheme* s = scheme_by_name(env)) {
+      return *s;
+    }
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "tagmatch: unknown TAGMATCH_SCHEME '%s' (valid: %s); "
+                   "using bloom192\n",
+                   env, scheme_names_csv().c_str());
+    }
+  }
+  return g_bloom192;
+}
+
+}  // namespace tagmatch::sig

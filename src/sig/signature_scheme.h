@@ -1,0 +1,137 @@
+// Pluggable signature schemes: how a tag set becomes a 192-bit signature,
+// and which subset-test code path the matcher runs over those signatures.
+//
+// The paper fixes one design point — a flat Bloom filter with m = 192 and
+// k = 7 (double hashing) tested three 64-bit blocks at a time (footnote 4).
+// Successor work (see PAPERS.md: register-blocked GPU Bloom filters,
+// two-choice blocked filters) changes how the bits are *placed* and how the
+// test is *executed*, but not the storage shape: every scheme here writes
+// into the same BitVector192, so the partitioner, partition table, packed
+// outputs, H2D layout and persistence arrays are scheme-oblivious.
+//
+// Soundness constraint. Subset matching relies on the union invariant:
+//   sig(S) = union over t in S of pattern(t),  pattern(t) a function of t only
+// which gives S1 ⊆ S2  =>  sig(S1) ⊆ sig(S2) bitwise, with one-sided error.
+// Every scheme's add_hash MUST be a deterministic per-tag pattern. This is
+// why the "two-choice" scheme below materializes both hash choices instead
+// of load-balancing between them: an insertion-order-dependent choice would
+// break the invariant and produce false *negatives*.
+//
+// A scheme is selected at table-build time (TagMatchConfig::signature_scheme,
+// the --signature-scheme flag, or the TAGMATCH_SCHEME environment variable)
+// and is persisted in the engine index and shard manifest; loading an index
+// built under a different scheme fails with a clear error.
+#ifndef TAGMATCH_SIG_SIGNATURE_SCHEME_H_
+#define TAGMATCH_SIG_SIGNATURE_SCHEME_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/bit_vector.h"
+#include "src/common/hash.h"
+
+namespace tagmatch::sig {
+
+// Stable on-disk identifiers (engine index v3, shard manifest v2).
+enum class SchemeId : uint32_t {
+  kBloom192 = 0,    // The paper's flat Bloom filter (m=192, k=7).
+  kBlocked64 = 1,   // Register-blocked: one 64-bit lane per tag, k'=4.
+  kTwoChoice64 = 2, // Two-choice blocked: 2+2 bits in two hash-chosen lanes.
+};
+
+// How the subset-match inner loop executes the three-block test. The result
+// is identical either way (it is the same bitwise relation); what differs is
+// the instruction pattern. kBranchChain is the paper's footnote-4 chain of
+// three early-exit compares; kOrReduce folds the three AND-NOT terms into one
+// branch-free OR-reduce, which blocked schemes prefer: their signatures are
+// dense in one lane and empty elsewhere, so the early exit almost never
+// fires and the branches only cost mispredictions (on the GPU, divergence).
+enum class KernelVariant : uint8_t {
+  kBranchChain = 0,
+  kOrReduce = 1,
+};
+
+inline bool subset_test(KernelVariant v, const BitVector192& f, const BitVector192& q) {
+  if (v == KernelVariant::kOrReduce) {
+    return ((f.block(0) & ~q.block(0)) | (f.block(1) & ~q.block(1)) |
+            (f.block(2) & ~q.block(2))) == 0;
+  }
+  return f.subset_of(q);
+}
+
+// Batch prefilter probe: appends to `out` the index of every query in the
+// batch that covers `mask` (mask ⊆ query), returning how many matched. The
+// inner test is branch-free so the loop auto-vectorizes; this is the probe
+// the CPU pre-process / kernel-mirror compaction stages run per block.
+// `out` must have room for queries.size() entries (batches are <= 256).
+inline uint32_t prefilter_batch(KernelVariant v, const BitVector192& mask,
+                                std::span<const BitVector192> queries, uint8_t* out) {
+  uint32_t n = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[n] = static_cast<uint8_t>(i);
+    n += subset_test(v, mask, queries[i]) ? 1 : 0;
+  }
+  return n;
+}
+
+class SignatureScheme {
+ public:
+  virtual ~SignatureScheme() = default;
+
+  virtual SchemeId id() const = 0;
+  virtual std::string_view name() const = 0;
+  // Bits a single tag sets (the scheme's k); used by the FPR model and docs.
+  virtual unsigned bits_per_tag() const = 0;
+  virtual KernelVariant kernel_variant() const = 0;
+
+  // Sets this tag's deterministic bit pattern (see the union invariant
+  // above). `h` is the tag's double-hashing pair.
+  virtual void add_hash(BitVector192& bits, const Hash128& h) const = 0;
+
+  // Single-tag membership probe: true iff every pattern bit of `h` is set.
+  virtual bool probe(const BitVector192& bits, const Hash128& h) const = 0;
+
+  // Probability that a set with `extra` tags outside a query of `query_size`
+  // tags nevertheless passes the bitwise subset test (the footnote-3 model,
+  // generalized per scheme). Drives the per-scheme MAX_P re-derivation in
+  // bench_fig7_maxp.
+  virtual double false_positive_probability(unsigned query_size, unsigned extra) const = 0;
+
+  // Signature of a whole string-tag set under this scheme.
+  BitVector192 encode(std::span<const std::string> tags) const {
+    BitVector192 bits;
+    for (const auto& t : tags) {
+      add_hash(bits, hash128(t));
+    }
+    return bits;
+  }
+};
+
+// --- Registry -------------------------------------------------------------
+// Schemes are stateless singletons with process lifetime; raw pointers to
+// them are safe to stash in configs.
+
+const SignatureScheme& bloom192_scheme();
+const SignatureScheme& blocked64_scheme();
+const SignatureScheme& twochoice64_scheme();
+
+// All registered schemes, baseline first.
+std::span<const SignatureScheme* const> all_schemes();
+
+// nullptr if the name / on-disk id is unknown.
+const SignatureScheme* scheme_by_name(std::string_view name);
+const SignatureScheme* scheme_by_id(uint32_t id);
+
+// Comma-separated scheme names, for usage/error messages.
+std::string scheme_names_csv();
+
+// Scheme an engine should run under: the configured scheme if non-null, else
+// the TAGMATCH_SCHEME environment variable (unknown names are ignored with a
+// one-time stderr warning), else the Bloom192 baseline.
+const SignatureScheme& resolve(const SignatureScheme* configured);
+
+}  // namespace tagmatch::sig
+
+#endif  // TAGMATCH_SIG_SIGNATURE_SCHEME_H_

@@ -39,6 +39,7 @@
 #include "src/core/matcher.h"
 #include "src/core/tagmatch.h"
 #include "src/shard/sharded_tagmatch.h"
+#include "src/sig/signature_scheme.h"
 #include "src/workload/tags.h"
 #include "src/workload/twitter_workload.h"
 
@@ -60,10 +61,15 @@ std::vector<std::string> split_tags(const std::string& csv) {
   return tags;
 }
 
+// Signature scheme selected by --signature-scheme (null = TAGMATCH_SCHEME
+// environment variable, then the bloom192 baseline — see sig::resolve).
+const tagmatch::sig::SignatureScheme* g_scheme = nullptr;
+
 tagmatch::TagMatchConfig cli_config() {
   tagmatch::TagMatchConfig config;
   config.num_threads = 2;
   config.gpu_sms_per_device = 2;
+  config.signature_scheme = g_scheme;
   return config;
 }
 
@@ -83,6 +89,29 @@ unsigned strip_shards_option(int& argc, char** argv) {
   }
   argc = out;
   return shards == 0 ? 1 : shards;
+}
+
+// Strips a `--signature-scheme NAME` option out of argv (same contract as
+// strip_shards_option), resolving it into `scheme`. Returns false — after
+// printing the valid names — when NAME is unknown.
+bool strip_scheme_option(int& argc, char** argv, const tagmatch::sig::SignatureScheme*& scheme) {
+  int out = 0;
+  bool ok = true;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--signature-scheme") == 0 && i + 1 < argc) {
+      scheme = tagmatch::sig::scheme_by_name(argv[i + 1]);
+      if (scheme == nullptr) {
+        std::fprintf(stderr, "unknown signature scheme '%s' (valid: %s)\n", argv[i + 1],
+                     tagmatch::sig::scheme_names_csv().c_str());
+        ok = false;
+      }
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return ok;
 }
 
 // Strips a `--stats-json FILE` option out of argv (same contract as
@@ -288,11 +317,14 @@ int cmd_bench(int argc, char** argv, unsigned shards, const std::string& stats_j
   }
   const unsigned repeat = argc > 4 ? static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10)) : 3;
   std::vector<BloomFilter192> queries;
+  const tagmatch::sig::SignatureScheme& scheme = tagmatch::sig::resolve(g_scheme);
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty()) {
       std::vector<std::string> tags = split_tags(line);
-      queries.push_back(BloomFilter192::of(tags));
+      // Queries must be encoded under the same scheme the index was built
+      // with (the engine would reject a mismatched index at load).
+      queries.push_back(BloomFilter192(scheme.encode(tags)));
     }
   }
   if (queries.empty()) {
@@ -332,6 +364,7 @@ int cmd_stats(int argc, char** argv, unsigned shards) {
     return 1;
   }
   auto s = engine->stats();
+  std::printf("signature scheme:     %s\n", s.signature_scheme.c_str());
   std::printf("unique sets:          %llu\n", static_cast<unsigned long long>(s.unique_sets));
   std::printf("total keys:           %llu\n", static_cast<unsigned long long>(s.total_keys));
   std::printf("partitions:           %llu\n", static_cast<unsigned long long>(s.partitions));
@@ -348,6 +381,9 @@ int cmd_stats(int argc, char** argv, unsigned shards) {
 int main(int argc, char** argv) {
   const unsigned shards = strip_shards_option(argc, argv);
   const std::string stats_json = strip_stats_json_option(argc, argv);
+  if (!strip_scheme_option(argc, argv, g_scheme)) {
+    return 1;
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: tagmatch_cli <generate|build|query|stats> ... [--shards N]\n"
@@ -359,7 +395,10 @@ int main(int argc, char** argv) {
                  "  --shards N: run a sharded engine (N shards); build writes a manifest\n"
                  "              plus per-shard index files, loads reshard automatically\n"
                  "  --stats-json FILE: write the metrics registry (per-stage latency\n"
-                 "              histograms, pipeline counters) as JSON after the command\n");
+                 "              histograms, pipeline counters) as JSON after the command\n"
+                 "  --signature-scheme NAME: signature scheme (%s) to encode and match\n"
+                 "              under; an index only loads under the scheme that built it\n",
+                 tagmatch::sig::scheme_names_csv().c_str());
     return 1;
   }
   const std::string cmd = argv[1];

@@ -3,10 +3,14 @@
 // Usage: tagmatch_server [port] [--shards N] [--publish-slo-ms N [--slo-mode M]]
 //                        [--stats-json FILE [--stats-interval MS]]
 //                        [--tracing [--trace-sample N]] [--trace-out FILE]
-//                        [--fault-plan SPEC]
+//                        [--fault-plan SPEC] [--signature-scheme NAME]
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
 //   --shards N: back the broker with a sharded engine (N independent
 //               TagMatch shards, scatter-gather matching; default 1).
+//   --signature-scheme NAME: signature scheme (src/sig) the engine encodes
+//               and matches under (bloom192, blocked64, twochoice64;
+//               default bloom192 or $TAGMATCH_SCHEME). Surfaced in STATS as
+//               the sig.scheme_id gauge.
 //   --publish-slo-ms N: enforce an end-to-end publish-latency SLO of N ms
 //               (accept -> subscriber queues written); 0/absent disables it.
 //   --slo-mode skip|partial|reject: degradation ceiling under the SLO —
@@ -60,6 +64,7 @@
 #include "src/inject/fault.h"
 #include "src/net/server.h"
 #include "src/obs/export.h"
+#include "src/sig/signature_scheme.h"
 
 namespace {
 
@@ -102,6 +107,7 @@ int main(int argc, char** argv) {
   auto stats_interval = std::chrono::milliseconds(1000);
   auto publish_slo = std::chrono::milliseconds(0);
   auto slo_mode = tagmatch::broker::BrokerConfig::SloMode::kRejectAdmission;
+  const tagmatch::sig::SignatureScheme* scheme = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
@@ -132,6 +138,13 @@ int main(int argc, char** argv) {
       tracing = true;
     } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
       fault_plan_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--signature-scheme") == 0 && i + 1 < argc) {
+      scheme = tagmatch::sig::scheme_by_name(argv[++i]);
+      if (scheme == nullptr) {
+        std::fprintf(stderr, "unknown --signature-scheme %s (valid: %s)\n", argv[i],
+                     tagmatch::sig::scheme_names_csv().c_str());
+        return 1;
+      }
     } else if (!port_seen) {
       port = static_cast<uint16_t>(std::strtoul(argv[i], nullptr, 10));
       port_seen = true;
@@ -141,6 +154,7 @@ int main(int argc, char** argv) {
   tagmatch::broker::BrokerConfig config;
   config.engine.num_threads = 2;
   config.engine.gpu_sms_per_device = 2;
+  config.engine.signature_scheme = scheme;
   config.consolidate_interval = std::chrono::milliseconds(250);
   config.engine_shards = shards == 0 ? 1 : shards;
   config.publish_slo = publish_slo;

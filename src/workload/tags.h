@@ -15,6 +15,7 @@
 
 #include "src/bloom/bloom_filter.h"
 #include "src/common/hash.h"
+#include "src/sig/signature_scheme.h"
 
 namespace tagmatch::workload {
 
@@ -34,23 +35,29 @@ constexpr uint32_t tag_base(TagId t) { return t & 0xffffff; }
 // Human-readable rendering, e.g. "fr_tag1234" or "@publisher77".
 std::string tag_name(TagId t);
 
-// Encodes a whole TagId set as a 192-bit Bloom filter (m=192, k=7), the same
-// encoding BloomFilter192::add_tag applies to strings.
-inline BloomFilter192 encode_tags(const std::vector<TagId>& tags) {
+// Double-hashing pair of a TagId: h1/h2 are independent mix64 streams, h2
+// forced odd — the TagId analogue of hash128() over the rendered string.
+inline Hash128 tag_id_hash128(TagId t) {
+  uint64_t a = mix64(static_cast<uint64_t>(t) ^ 0x51b9cbf6c24a9d4bull);
+  return Hash128{mix64(a), mix64(a ^ 0x6a09e667f3bcc909ull) | 1};
+}
+
+// Encodes a whole TagId set under an explicit signature scheme.
+inline BloomFilter192 encode_tags(const std::vector<TagId>& tags,
+                                  const sig::SignatureScheme& scheme) {
   BitVector192 bits;
   for (TagId t : tags) {
-    // Derive the double-hashing pair from the id: h1/h2 are independent
-    // mix64 streams, h2 forced odd.
-    uint64_t a = mix64(static_cast<uint64_t>(t) ^ 0x51b9cbf6c24a9d4bull);
-    uint64_t h1 = mix64(a);
-    uint64_t h2 = mix64(a ^ 0x6a09e667f3bcc909ull) | 1;
-    uint64_t pos = h1;
-    for (unsigned i = 0; i < BloomFilter192::kNumHashes; ++i) {
-      bits.set(static_cast<unsigned>(pos % BloomFilter192::kNumBits));
-      pos += h2;
-    }
+    scheme.add_hash(bits, tag_id_hash128(t));
   }
   return BloomFilter192(bits);
+}
+
+// Encodes a whole TagId set as a 192-bit Bloom filter (m=192, k=7), the same
+// encoding BloomFilter192::add_tag applies to strings. This default stays
+// byte-identical forever (golden_test pins its fingerprint): it is the
+// baseline bloom192 scheme, not whatever TAGMATCH_SCHEME selects.
+inline BloomFilter192 encode_tags(const std::vector<TagId>& tags) {
+  return encode_tags(tags, sig::bloom192_scheme());
 }
 
 }  // namespace tagmatch::workload

@@ -20,6 +20,7 @@
 #include "src/core/gpu_engine.h"
 #include "src/core/tagmatch.h"
 #include "src/inject/fault.h"
+#include "src/sig/signature_scheme.h"
 #include "src/workload/tags.h"
 #include "tests/test_seed.h"
 
@@ -185,6 +186,54 @@ TEST_P(ChaosSweep, RandomPlansAreInvisible) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Scheme-parameterized chaos: fault recovery must be signature-scheme
+// oblivious. The oracle above is deliberately scheme-independent — over the
+// same pre-encoded filters every registered scheme must deliver byte-
+// identical per-query key multisets, fault-free and under injected faults
+// (re-dispatch and the CPU fallback mirror run the scheme's kernel variant).
+
+class ChaosScheme : public ::testing::TestWithParam<size_t> {
+ protected:
+  const sig::SignatureScheme* scheme() const { return sig::all_schemes()[GetParam()]; }
+};
+
+TEST_P(ChaosScheme, FaultFreeRunIsByteIdenticalToOracle) {
+  SCOPED_TRACE(std::string("scheme: ") + std::string(scheme()->name()));
+  TagMatchConfig config = chaos_config(2);
+  config.signature_scheme = scheme();
+  ASSERT_EQ(run_workload(config, shared_workload()), oracle(2, shared_workload()));
+}
+
+TEST_P(ChaosScheme, InjectedFaultsStayInvisible) {
+  SCOPED_TRACE(std::string("scheme: ") + std::string(scheme()->name()));
+  auto plan = FaultPlan::parse("h2d:after=2,count=3;devloss:dev=0,after=40");
+  ASSERT_TRUE(plan.has_value());
+  TagMatchConfig config = chaos_config(2);
+  config.signature_scheme = scheme();
+  config.fault_injector = std::make_shared<FaultInjector>(*plan);
+  Matcher::Stats stats;
+  auto got = run_workload(config, shared_workload(), &stats);
+  ASSERT_EQ(got, oracle(2, shared_workload()));
+  EXPECT_GE(stats.engine_retries, 1u);
+  EXPECT_EQ(stats.signature_scheme, scheme()->name());
+}
+
+TEST_P(ChaosScheme, AllDevicesLostFallsBackToCpu) {
+  SCOPED_TRACE(std::string("scheme: ") + std::string(scheme()->name()));
+  auto plan = FaultPlan::parse("devloss:after=30");
+  ASSERT_TRUE(plan.has_value());
+  TagMatchConfig config = chaos_config(1);
+  config.signature_scheme = scheme();
+  config.fault_injector = std::make_shared<FaultInjector>(*plan);
+  Matcher::Stats stats;
+  auto got = run_workload(config, shared_workload(), &stats);
+  ASSERT_EQ(got, oracle(1, shared_workload()));
+  EXPECT_GE(stats.cpu_fallback_batches, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ChaosScheme, ::testing::Values(0u, 1u, 2u));
 
 // ---------------------------------------------------------------------------
 // GpuEngine-level tests: exact health-state transition sequences and

@@ -10,6 +10,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/tagmatch.h"
+#include "src/sig/signature_scheme.h"
 #include "src/workload/tags.h"
 
 namespace tagmatch {
@@ -30,6 +31,14 @@ TagMatchConfig small_config() {
   return c;
 }
 
+// Encode under the engine's resolved scheme (these configs leave
+// signature_scheme unset, so TAGMATCH_SCHEME picks the same scheme the
+// engine uses). BloomFilter192::of is always bloom192 and silently
+// mismatches other schemes.
+BloomFilter192 enc(const std::vector<std::string>& tags) {
+  return BloomFilter192(sig::resolve(nullptr).encode(tags));
+}
+
 std::vector<Key> sorted(std::vector<Key> v) {
   std::sort(v.begin(), v.end());
   return v;
@@ -44,7 +53,7 @@ TEST(ExactCheck, RejectsInjectedFalsePositive) {
   // comes back; with it, it must not.
   BloomFilter192 fake_subset;  // One bit, chosen inside the query's filter.
   std::vector<std::string> qtags = {"alpha", "beta", "gamma"};
-  BloomFilter192 qf = BloomFilter192::of(qtags);
+  BloomFilter192 qf = enc(qtags);
   BitVector192 one_bit;
   one_bit.set(qf.bits().leftmost_one());
   fake_subset = BloomFilter192(one_bit);
@@ -87,7 +96,7 @@ TEST(ExactCheck, FilterOnlySetsSkipVerification) {
   config.exact_check = true;
   TagMatch tm(config);
   std::vector<std::string> s = {"x"};
-  tm.add_set(BloomFilter192::of(s), 5);  // Filter-only.
+  tm.add_set(enc(s), 5);  // Filter-only.
   tm.consolidate();
   std::vector<std::string> q = {"x", "y"};
   EXPECT_EQ(tm.match(q), (std::vector<Key>{5}));
@@ -102,7 +111,7 @@ TEST(ExactCheck, FilterOnlyQueriesSkipVerification) {
   tm.consolidate();
   std::vector<std::string> q = {"x", "y"};
   // Query submitted as a bare filter: no hashes to verify against.
-  EXPECT_EQ(tm.match(BloomFilter192::of(q)), (std::vector<Key>{5}));
+  EXPECT_EQ(tm.match(enc(q)), (std::vector<Key>{5}));
 }
 
 TEST(ExactCheck, HashedApiRoundTrip) {
@@ -206,7 +215,7 @@ TEST_F(PersistenceTest, ExactHashesSurviveSaveLoad) {
   BloomFilter192 fake;
   BitVector192 bit;
   std::vector<std::string> qtags = {"p", "q", "r"};
-  bit.set(BloomFilter192::of(qtags).bits().leftmost_one());
+  bit.set(enc(qtags).bits().leftmost_one());
   fake = BloomFilter192(bit);
   const uint64_t h = TagMatch::tag_hash("unrelated");
   {

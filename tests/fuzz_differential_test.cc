@@ -13,6 +13,7 @@
 #include "tests/test_seed.h"
 #include "src/core/tagmatch.h"
 #include "src/shard/sharded_tagmatch.h"
+#include "src/sig/signature_scheme.h"
 #include "src/workload/tags.h"
 
 namespace tagmatch {
@@ -115,6 +116,11 @@ TagMatchConfig random_config(Rng& rng) {
     c.match_staged_adds = true;  // Note: model still consolidates eagerly
                                  // before matching in this harness.
   }
+  // Every registered signature scheme must uphold the same matching
+  // semantics; drawing one here runs the whole differential suite under all
+  // of them across the seed matrix.
+  auto schemes = sig::all_schemes();
+  c.signature_scheme = schemes[rng.below(schemes.size())];
   return c;
 }
 
@@ -244,6 +250,74 @@ TEST_P(FuzzDifferential, ShardedAgreesWithSingleEngine) {
                              << s->num_shards() << " policy " << s->policy().name();
         ASSERT_EQ(s->match_unique(BloomFilter192(q)), want_unique)
             << "seed " << seed << " op " << op << " shards " << s->num_shards();
+      }
+    }
+  }
+}
+
+// One engine per registered signature scheme runs the same op sequence over
+// the same pre-encoded filters, in lockstep with the model. Schemes only
+// change how bits are placed at encode time and which subset-test variant
+// the matcher executes — over identical raw filters the match results must
+// be byte-identical across every scheme (and equal to the model).
+TEST_P(FuzzDifferential, AllSchemesReturnByteIdenticalResults) {
+  const uint64_t seed = test::test_seed(GetParam());
+  TAGMATCH_SEED_TRACE(seed);
+  Rng rng(seed * 104729 + 31);
+  TagMatchConfig base = random_config(rng);
+  Model model;
+
+  std::vector<std::unique_ptr<TagMatch>> engines;
+  for (const sig::SignatureScheme* s : sig::all_schemes()) {
+    TagMatchConfig config = base;
+    config.signature_scheme = s;
+    engines.push_back(std::make_unique<TagMatch>(config));
+  }
+
+  const uint32_t universe = 50 + static_cast<uint32_t>(rng.below(200));
+  std::vector<std::pair<BitVector192, Key>> added;
+
+  const int ops = 150;
+  for (int op = 0; op < ops; ++op) {
+    double roll = rng.uniform();
+    if (roll < 0.45) {
+      BitVector192 f = random_filter(rng, universe, 4);
+      Key k = static_cast<Key>(rng.below(50));
+      for (auto& e : engines) {
+        e->add_set(BloomFilter192(f), k);
+      }
+      model.add(f, k);
+      added.emplace_back(f, k);
+    } else if (roll < 0.55 && !added.empty()) {
+      auto& [f, k] = added[rng.below(added.size())];
+      for (auto& e : engines) {
+        e->remove_set(BloomFilter192(f), k);
+      }
+      model.remove(f, k);
+    } else if (roll < 0.65) {
+      for (auto& e : engines) {
+        e->consolidate();
+      }
+      model.consolidate();
+    } else {
+      for (auto& e : engines) {
+        e->consolidate();
+      }
+      model.consolidate();
+      BitVector192 q = random_filter(rng, universe, 8);
+      if (rng.chance(0.5) && !model.filters().empty()) {
+        q |= model.filters()[rng.below(model.filters().size())].first;
+      }
+      const auto want = model.match(q);
+      const auto want_unique = model.match_unique(q);
+      for (size_t i = 0; i < engines.size(); ++i) {
+        auto got = engines[i]->match(BloomFilter192(q));
+        std::sort(got.begin(), got.end());
+        ASSERT_EQ(got, want) << "seed " << seed << " op " << op << " scheme "
+                             << sig::all_schemes()[i]->name();
+        ASSERT_EQ(engines[i]->match_unique(BloomFilter192(q)), want_unique)
+            << "seed " << seed << " op " << op << " scheme "
+            << sig::all_schemes()[i]->name();
       }
     }
   }

@@ -12,6 +12,7 @@
 #include "src/common/rng.h"
 #include "src/core/tagmatch.h"
 #include "src/inject/fault.h"
+#include "src/sig/signature_scheme.h"
 #include "src/workload/tags.h"
 #include "src/workload/twitter_workload.h"
 #include "tests/test_seed.h"
@@ -81,7 +82,7 @@ TEST(PipelineStress, SyncMatchInterleavedWithAsync) {
   std::vector<std::string> q = {"alpha", "beta", "gamma"};
   std::atomic<int> async_done{0};
   for (int round = 0; round < 20; ++round) {
-    tm.match_async(BloomFilter192::of(q), TagMatch::MatchKind::kMatch,
+    tm.match_async(BloomFilter192(sig::resolve(nullptr).encode(q)), TagMatch::MatchKind::kMatch,
                    [&async_done](std::vector<Key>) { async_done++; });
     EXPECT_EQ(tm.match(q), (std::vector<Key>{7}));
   }
@@ -183,7 +184,7 @@ TEST(PipelineStress, TimeoutDeliversWithoutFlush) {
   std::atomic<int> done{0};
   std::vector<std::string> q = {"x", "y"};
   for (int i = 0; i < 5; ++i) {
-    tm.match_async(BloomFilter192::of(q), TagMatch::MatchKind::kMatch,
+    tm.match_async(BloomFilter192(sig::resolve(nullptr).encode(q)), TagMatch::MatchKind::kMatch,
                    [&done](std::vector<Key> keys) {
                      EXPECT_EQ(keys.size(), 1u);
                      done++;

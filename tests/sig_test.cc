@@ -1,0 +1,315 @@
+// Tests for the pluggable signature-scheme subsystem (src/sig): registry
+// integrity, the union/subset-soundness invariant every scheme must uphold,
+// kernel-variant equivalence, FPR-model sanity, and the regression pin for
+// the guarded BloomFilter192 probe sequence.
+#include "src/sig/signature_scheme.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/common/bit_vector.h"
+#include "src/common/hash.h"
+#include "src/workload/tags.h"
+
+namespace tagmatch::sig {
+namespace {
+
+Hash128 random_hash(std::mt19937_64& rng) { return Hash128{rng(), rng()}; }
+
+std::vector<std::string> tag_strings(std::mt19937_64& rng, size_t n) {
+  std::vector<std::string> tags;
+  tags.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tags.push_back("tag_" + std::to_string(rng() % 100000));
+  }
+  return tags;
+}
+
+// --- Registry -------------------------------------------------------------
+
+TEST(SigRegistry, AllSchemesBaselineFirstWithStableIdsAndNames) {
+  auto all = all_schemes();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], &bloom192_scheme());
+  EXPECT_EQ(all[0]->id(), SchemeId::kBloom192);
+  EXPECT_EQ(all[0]->name(), "bloom192");
+  EXPECT_EQ(all[1]->id(), SchemeId::kBlocked64);
+  EXPECT_EQ(all[1]->name(), "blocked64");
+  EXPECT_EQ(all[2]->id(), SchemeId::kTwoChoice64);
+  EXPECT_EQ(all[2]->name(), "twochoice64");
+}
+
+TEST(SigRegistry, LookupByNameAndIdRoundTrips) {
+  for (const SignatureScheme* s : all_schemes()) {
+    EXPECT_EQ(scheme_by_name(s->name()), s);
+    EXPECT_EQ(scheme_by_id(static_cast<uint32_t>(s->id())), s);
+  }
+  EXPECT_EQ(scheme_by_name("nope"), nullptr);
+  EXPECT_EQ(scheme_by_id(99), nullptr);
+}
+
+TEST(SigRegistry, NamesCsvListsEveryScheme) {
+  const std::string csv = scheme_names_csv();
+  for (const SignatureScheme* s : all_schemes()) {
+    EXPECT_NE(csv.find(std::string(s->name())), std::string::npos) << csv;
+  }
+}
+
+TEST(SigRegistry, ResolvePrefersConfiguredOverDefault) {
+  EXPECT_EQ(&resolve(&blocked64_scheme()), &blocked64_scheme());
+  // With no configured pointer and TAGMATCH_SCHEME unset (or already consumed
+  // by the test environment), resolve falls back to a registered scheme.
+  const SignatureScheme& fallback = resolve(nullptr);
+  EXPECT_NE(scheme_by_name(fallback.name()), nullptr);
+}
+
+// --- Union invariant / subset soundness (per scheme) -----------------------
+
+// sig(S1 ∪ S2) == sig(S1) | sig(S2): the per-tag pattern must depend on the
+// tag only, never on what is already in the filter or on insertion order.
+TEST(SigSoundness, SignatureOfUnionIsUnionOfSignatures) {
+  std::mt19937_64 rng(7);
+  for (const SignatureScheme* s : all_schemes()) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<Hash128> a, b;
+      for (int i = 0; i < 6; ++i) a.push_back(random_hash(rng));
+      for (int i = 0; i < 6; ++i) b.push_back(random_hash(rng));
+      BitVector192 sa, sb, su;
+      for (const auto& h : a) s->add_hash(sa, h);
+      for (const auto& h : b) s->add_hash(sb, h);
+      // Build the union in shuffled order to catch order dependence.
+      std::vector<Hash128> u = a;
+      u.insert(u.end(), b.begin(), b.end());
+      std::shuffle(u.begin(), u.end(), rng);
+      for (const auto& h : u) s->add_hash(su, h);
+      BitVector192 expected = sa;
+      expected |= sb;
+      EXPECT_EQ(su, expected) << s->name();
+    }
+  }
+}
+
+// S1 ⊆ S2 must imply the bitwise subset test passes, under both kernel
+// variants (one-sided error only).
+TEST(SigSoundness, SubsetsAlwaysPassTheBitwiseTest) {
+  std::mt19937_64 rng(11);
+  for (const SignatureScheme* s : all_schemes()) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<Hash128> super;
+      for (int i = 0; i < 10; ++i) super.push_back(random_hash(rng));
+      BitVector192 sig_super;
+      for (const auto& h : super) s->add_hash(sig_super, h);
+      // Any sub-multiset of `super` must be covered.
+      BitVector192 sig_sub;
+      for (size_t i = 0; i < super.size(); i += 2) s->add_hash(sig_sub, super[i]);
+      EXPECT_TRUE(subset_test(KernelVariant::kBranchChain, sig_sub, sig_super)) << s->name();
+      EXPECT_TRUE(subset_test(KernelVariant::kOrReduce, sig_sub, sig_super)) << s->name();
+    }
+  }
+}
+
+TEST(SigSoundness, ProbeFindsEveryAddedHash) {
+  std::mt19937_64 rng(13);
+  for (const SignatureScheme* s : all_schemes()) {
+    std::vector<Hash128> hashes;
+    BitVector192 bits;
+    for (int i = 0; i < 32; ++i) {
+      hashes.push_back(random_hash(rng));
+      s->add_hash(bits, hashes.back());
+    }
+    for (const auto& h : hashes) {
+      EXPECT_TRUE(s->probe(bits, h)) << s->name();
+    }
+    EXPECT_FALSE(s->probe(BitVector192{}, hashes[0])) << s->name();
+  }
+}
+
+TEST(SigSoundness, EveryTagSetsAtMostBitsPerTagBits) {
+  std::mt19937_64 rng(17);
+  for (const SignatureScheme* s : all_schemes()) {
+    unsigned max_pop = 0;
+    for (int i = 0; i < 200; ++i) {
+      BitVector192 bits;
+      s->add_hash(bits, random_hash(rng));
+      max_pop = std::max(max_pop, bits.popcount());
+      EXPECT_GE(bits.popcount(), 1u) << s->name();
+    }
+    // The budget is an upper bound, and the common case uses all of it.
+    EXPECT_EQ(max_pop, s->bits_per_tag()) << s->name();
+  }
+}
+
+// --- Kernel variants -------------------------------------------------------
+
+TEST(SigKernel, BranchChainAndOrReduceAgreeEverywhere) {
+  std::mt19937_64 rng(23);
+  for (int round = 0; round < 2000; ++round) {
+    BitVector192 f, q;
+    // Mix dense, sparse and correlated pairs.
+    for (int i = 0; i < 3; ++i) {
+      f.block(i) = rng() & rng();
+      q.block(i) = (round % 3 == 0) ? (f.block(i) | rng()) : rng();
+    }
+    EXPECT_EQ(subset_test(KernelVariant::kBranchChain, f, q),
+              subset_test(KernelVariant::kOrReduce, f, q));
+  }
+}
+
+TEST(SigKernel, PrefilterBatchMatchesScalarTest) {
+  std::mt19937_64 rng(29);
+  const SignatureScheme& s = blocked64_scheme();
+  BitVector192 mask;
+  for (int i = 0; i < 4; ++i) s.add_hash(mask, random_hash(rng));
+  std::vector<BitVector192> queries;
+  for (int i = 0; i < 100; ++i) {
+    BitVector192 q;
+    for (int j = 0; j < 12; ++j) s.add_hash(q, random_hash(rng));
+    if (i % 4 == 0) q |= mask;  // Guarantee some hits.
+    queries.push_back(q);
+  }
+  uint8_t out[256];
+  const uint32_t n = prefilter_batch(KernelVariant::kOrReduce, mask, queries, out);
+  std::set<unsigned> forwarded(out, out + n);
+  EXPECT_EQ(forwarded.size(), n);  // Indices are unique and ascending.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(forwarded.count(i) == 1,
+              subset_test(KernelVariant::kOrReduce, mask, queries[i]))
+        << i;
+  }
+  EXPECT_GT(n, 0u);
+  EXPECT_LT(n, queries.size());
+}
+
+// --- FPR model -------------------------------------------------------------
+
+TEST(SigFpr, ModelIsAProbabilityAndMonotone) {
+  for (const SignatureScheme* s : all_schemes()) {
+    double prev = 1.0;
+    for (unsigned extra = 1; extra <= 8; ++extra) {
+      const double p = s->false_positive_probability(10, extra);
+      EXPECT_GE(p, 0.0) << s->name();
+      EXPECT_LE(p, 1.0) << s->name();
+      // More extra tags make a false pass strictly harder.
+      EXPECT_LT(p, prev) << s->name() << " extra=" << extra;
+      prev = p;
+    }
+    // Larger queries fill the filter and make false passes easier.
+    EXPECT_GT(s->false_positive_probability(30, 2),
+              s->false_positive_probability(5, 2))
+        << s->name();
+  }
+}
+
+// Blocked schemes trade probes for speed; their modeled FPR must stay within
+// a usable band of the baseline (the per-scheme MAX_P sweep re-derives the
+// operating point, it does not need equality).
+TEST(SigFpr, BlockedSchemesStayInUsableBand) {
+  const double base = bloom192_scheme().false_positive_probability(10, 3);
+  for (const SignatureScheme* s : all_schemes()) {
+    const double p = s->false_positive_probability(10, 3);
+    EXPECT_LT(p, 1e-3) << s->name();
+    EXPECT_GE(p, base * 0.01) << s->name();  // Model did not collapse to 0.
+  }
+}
+
+// --- Scheme-encoded workload ----------------------------------------------
+
+TEST(SigEncode, StringEncodeMatchesLegacyBloomPath) {
+  std::mt19937_64 rng(31);
+  auto tags = tag_strings(rng, 8);
+  EXPECT_EQ(bloom192_scheme().encode(tags), BloomFilter192::of(tags).bits());
+}
+
+TEST(SigEncode, DefaultTagIdEncodeIsBloom192) {
+  std::vector<workload::TagId> ids = {workload::make_hashtag(0, 17),
+                                      workload::make_hashtag(3, 512),
+                                      workload::make_publisher_tag(7)};
+  const BitVector192 via_default = workload::encode_tags(ids).bits();
+  EXPECT_EQ(via_default, workload::encode_tags(ids, bloom192_scheme()).bits());
+  BitVector192 manual;
+  for (workload::TagId t : ids) {
+    bloom192_scheme().add_hash(manual, workload::tag_id_hash128(t));
+  }
+  EXPECT_EQ(via_default, manual);
+  // A non-baseline scheme places bits differently for the same tags.
+  EXPECT_NE(via_default, workload::encode_tags(ids, blocked64_scheme()).bits());
+}
+
+TEST(SigEncode, TagIdHashStreamKeepsStepOdd) {
+  for (workload::TagId t = 0; t < 1000; ++t) {
+    EXPECT_EQ(workload::tag_id_hash128(t).h2 & 1, 1u) << t;
+  }
+}
+
+// --- Satellite 2: guarded BloomFilter192 probe sequence --------------------
+
+// Golden pin: these positions are baked into every persisted index and the
+// golden workload fingerprint. If this test fails, signatures changed shape
+// and all on-disk indexes are invalidated — that must never happen silently.
+TEST(BloomProbeRegression, GoldenProbePositions) {
+  struct Golden {
+    const char* tag;
+    unsigned pos[BloomFilter192::kNumHashes];
+  };
+  const Golden golden[] = {
+      {"alerts", {6, 17, 156, 167, 178, 125, 136}},
+      {"gpu", {19, 64, 109, 154, 7, 52, 97}},
+      {"eurosys", {185, 98, 75, 180, 157, 134, 47}},
+  };
+  for (const auto& g : golden) {
+    unsigned pos[BloomFilter192::kNumHashes];
+    BloomFilter192::probe_positions(hash128(g.tag), pos);
+    for (unsigned i = 0; i < BloomFilter192::kNumHashes; ++i) {
+      EXPECT_EQ(pos[i], g.pos[i]) << g.tag << " probe " << i;
+    }
+  }
+}
+
+// For every hash the real producers emit (h2 odd, hence never ≡ 0 mod 192),
+// the guarded sequence is bit-identical to the original unguarded loop —
+// the guard is behavior-preserving on all real inputs.
+TEST(BloomProbeRegression, GuardIsIdentityForOddSteps) {
+  std::mt19937_64 rng(37);
+  for (int round = 0; round < 5000; ++round) {
+    Hash128 h{rng(), rng() | 1};
+    unsigned guarded[BloomFilter192::kNumHashes];
+    BloomFilter192::probe_positions(h, guarded);
+    // The pre-guard semantics: accumulate in uint64 (mod-2^64 wrap matters,
+    // since 192 does not divide 2^64), reduce mod 192 per probe.
+    uint64_t pos = h.h1;
+    for (unsigned i = 0; i < BloomFilter192::kNumHashes; ++i) {
+      EXPECT_EQ(guarded[i], static_cast<unsigned>(pos % BloomFilter192::kNumBits));
+      pos += h.h2;
+    }
+  }
+}
+
+// The degenerate step (h2 ≡ 0 mod 192) used to collapse all 7 probes onto a
+// single bit, reducing the tag's pattern to one bit and gutting selectivity.
+// The guard must spread such tags over 7 distinct positions.
+TEST(BloomProbeRegression, DegenerateStepNoLongerCollapses) {
+  std::mt19937_64 rng(41);
+  for (int round = 0; round < 200; ++round) {
+    // Halve both words so h1 + h2 cannot wrap mod 2^64 (keeps the unguarded
+    // collapse check below exact).
+    const uint64_t q = (rng() >> 1) / BloomFilter192::kNumBits;
+    Hash128 h{rng() >> 1, q * BloomFilter192::kNumBits};  // step ≡ 0 (mod 192)
+    unsigned pos[BloomFilter192::kNumHashes];
+    BloomFilter192::probe_positions(h, pos);
+    std::set<unsigned> distinct(pos, pos + BloomFilter192::kNumHashes);
+    EXPECT_EQ(distinct.size(), BloomFilter192::kNumHashes)
+        << "h2=" << h.h2 << " collapsed to " << distinct.size() << " bits";
+    // Unguarded, every probe would land on the same bit:
+    EXPECT_EQ(static_cast<unsigned>((h.h1 + h.h2) % BloomFilter192::kNumBits),
+              static_cast<unsigned>(h.h1 % BloomFilter192::kNumBits));
+  }
+}
+
+}  // namespace
+}  // namespace tagmatch::sig

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "src/core/tagmatch.h"
+#include "src/sig/signature_scheme.h"
 
 namespace tagmatch {
 namespace {
@@ -80,8 +81,10 @@ TEST(StagedMatching, ExactCheckAppliesToStagedSets) {
   // Inject a bitwise false positive into the staged index: a one-bit filter
   // inside the query's filter but with an unrelated tag hash.
   std::vector<std::string> qtags = {"alpha", "beta"};
+  // Plant the bit under the engine's resolved scheme: the query is encoded
+  // with it, so a bloom192-derived bit would miss under other schemes.
   BitVector192 bit;
-  bit.set(BloomFilter192::of(qtags).bits().leftmost_one());
+  bit.set(sig::resolve(config.signature_scheme).encode(qtags).leftmost_one());
   const uint64_t h = TagMatch::tag_hash("unrelated");
   tm.add_set_hashed(BloomFilter192(bit), std::span(&h, 1), 9);
   EXPECT_TRUE(tm.match(qtags).empty());

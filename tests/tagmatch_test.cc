@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/sig/signature_scheme.h"
 #include "src/workload/tags.h"
 #include "src/workload/twitter_workload.h"
 
@@ -365,14 +366,17 @@ TEST(TagMatch, OverflowFallbackProducesExactResults) {
   Oracle oracle;
   // All sets share tag "a" so a query with "a" matches everything — far more
   // than 4 results per batch.
+  // Encode under the engine's resolved scheme — sets go in via strings, so a
+  // bloom192-only oracle/query would mismatch under TAGMATCH_SCHEME overrides.
+  const sig::SignatureScheme& scheme = sig::resolve(nullptr);
   std::vector<std::string> s = {"a"};
   for (Key k = 0; k < 200; ++k) {
     tm.add_set(s, k);
-    oracle.add(BloomFilter192::of(s).bits(), k);
+    oracle.add(scheme.encode(s), k);
   }
   tm.consolidate();
   std::vector<std::string> q = {"a", "b"};
-  BloomFilter192 qf = BloomFilter192::of(q);
+  BloomFilter192 qf(scheme.encode(q));
   EXPECT_EQ(sorted(tm.match(qf)), oracle.match(qf.bits()));
   EXPECT_GE(tm.stats().batch_overflows, 0u);
 }

@@ -13,15 +13,24 @@ latency regression:
   * the gate fails only when a metric regresses in the MAJORITY of the run
     files given (2-of-3 with three reruns), so a single noisy run passes.
 
+A second mode gates throughput instead of latency: `--fig7-baseline` compares
+a bench_fig7_maxp --json artifact (per-signature-scheme MAX_P sweeps) against
+a checked-in baseline. For every scheme present in the baseline, the run's
+best match throughput must not fall below baseline_best_kqps / ratio; schemes
+new in the run (not yet in the baseline) are reported but never fail.
+
 Stdlib only. Exit code 0 = pass, 1 = sustained regression, 2 = usage/IO error.
 
 Usage:
   python3 tools/perf_gate.py --baseline bench/baselines/smoke.json \
       run1.json run2.json run3.json
+  python3 tools/perf_gate.py --fig7-baseline bench/baselines/fig7_bloom192.json \
+      fig7_run.json
 
 Refreshing the baseline after an intentional perf change: re-run the smoke
 bench (see .github/workflows/ci.yml) and copy its stats JSON over
-bench/baselines/smoke.json.
+bench/baselines/smoke.json; likewise `bench_fig7_maxp --json` over
+bench/baselines/fig7_bloom192.json.
 """
 
 import argparse
@@ -69,15 +78,86 @@ def run_value(run, name, pct):
     return float(hist.get(pct, 0))
 
 
+def fig7_gate(args):
+    """Throughput gate over bench_fig7_maxp --json artifacts. The run passes
+    when, for every scheme the baseline knows, best_kqps >= baseline / ratio
+    in the majority of run files. db_size mismatches are a hard error: Kq/s
+    at different database scales are not comparable."""
+    baseline = load(args.fig7_baseline)
+    runs = [(path, load(path)) for path in args.runs]
+    majority = len(runs) // 2 + 1
+
+    base_schemes = baseline.get("schemes", {})
+    if not base_schemes:
+        print(f"perf_gate: no schemes in {args.fig7_baseline}", file=sys.stderr)
+        return 2
+    for path, run in runs:
+        if run.get("db_size") != baseline.get("db_size"):
+            print(f"perf_gate: db_size mismatch: {path} has {run.get('db_size')}, "
+                  f"baseline has {baseline.get('db_size')} "
+                  f"(set TAGMATCH_BENCH_USERS to the baseline's scale)",
+                  file=sys.stderr)
+            return 2
+
+    failures = []
+    for scheme, base_entry in sorted(base_schemes.items()):
+        base = float(base_entry.get("best_kqps", 0))
+        if base <= 0:
+            continue
+        floor = base / args.ratio
+        regressed_in = []
+        values = []
+        for path, run in runs:
+            entry = run.get("schemes", {}).get(scheme)
+            if entry is None:
+                continue  # Scheme absent in this run; don't count either way.
+            value = float(entry.get("best_kqps", 0))
+            values.append(value)
+            if value < floor:
+                regressed_in.append((path, value))
+        status = "FAIL" if len(regressed_in) >= majority else "ok"
+        run_list = " ".join(f"{v:.1f}" for v in values) or "absent"
+        print(f"  [{status:4}] fig7 {scheme}: baseline {base:.1f} Kq/s, "
+              f"floor {floor:.1f}, runs [{run_list}]")
+        if len(regressed_in) >= majority:
+            failures.append((scheme, base, regressed_in))
+    for scheme, entry in sorted(runs[0][1].get("schemes", {}).items()):
+        if scheme not in base_schemes:
+            print(f"  [new ] fig7 {scheme}: {float(entry.get('best_kqps', 0)):.1f} Kq/s "
+                  f"(no baseline yet — informational)")
+
+    if failures:
+        print(f"\nperf_gate: FAIL — {len(failures)} scheme(s) below "
+              f"baseline/{args.ratio:.1f} in >= {majority}/{len(runs)} runs:",
+              file=sys.stderr)
+        for scheme, base, regressed_in in failures:
+            worst = min(v for _, v in regressed_in)
+            print(f"  {scheme}: {base:.1f} Kq/s -> down to {worst:.1f} Kq/s "
+                  f"({base / worst if worst > 0 else float('inf'):.2f}x slower)",
+                  file=sys.stderr)
+        return 1
+    print(f"perf_gate: pass ({len(runs)} run(s) vs {args.fig7_baseline})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, help="baseline stats JSON")
+    parser.add_argument("--baseline", help="baseline stats JSON (latency mode)")
+    parser.add_argument("--fig7-baseline",
+                        help="baseline bench_fig7_maxp --json artifact (throughput mode)")
     parser.add_argument("runs", nargs="+", help="stats JSON from this build's reruns")
     parser.add_argument("--ratio", type=float, default=1.5,
                         help="regression threshold multiplier (default 1.5)")
     parser.add_argument("--min-delta-ns", type=float, default=100_000,
                         help="absolute noise floor in ns (default 100000 = 0.1 ms)")
     args = parser.parse_args()
+
+    if (args.baseline is None) == (args.fig7_baseline is None):
+        print("perf_gate: pass exactly one of --baseline / --fig7-baseline",
+              file=sys.stderr)
+        return 2
+    if args.fig7_baseline:
+        return fig7_gate(args)
 
     baseline = load(args.baseline)
     runs = [(path, load(path)) for path in args.runs]
