@@ -2,13 +2,24 @@
 // tree as a function of the number of CPU threads allocated to the
 // (CPU-side) processing stages, for match and match-unique.
 //
+// A second mode, `--workers [--json FILE]`, sweeps the task-pool worker
+// count (`TagMatchConfig::num_workers`, src/task) over the CPU brute-force
+// fallback path: all devices are lost through a deterministic fault plan, so
+// every batch fans out across the pool via parallel_subset_match. The JSON
+// artifact feeds tools/perf_gate.py --fig5-baseline, which gates the scaling
+// curve relative to the host's real core count.
+//
 // Note: on a single-core container all curves flatten — the code paths are
 // real, the parallel hardware is not (see EXPERIMENTS.md).
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <thread>
 
 #include "bench/bench_common.h"
 #include "src/baselines/prefix_tree/prefix_tree.h"
+#include "src/inject/fault.h"
 
 namespace tagmatch::bench {
 namespace {
@@ -74,10 +85,70 @@ void run() {
               " the bottleneck, match-unique keeps growing to 40+ threads)\n");
 }
 
+// --workers: CPU-fallback throughput as a function of task-pool workers.
+void run_workers_sweep(const char* json_path) {
+  BenchWorkload& w = shared_workload();
+  const size_t n = w.prefix_size(50);
+  print_header("Figure 5b: CPU-fallback throughput vs task-pool workers", "Kq/s");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("(host reports %u hardware threads; all devices lost via devloss:after=0,\n"
+              " so every batch brute-forces on the host mirror over the task pool)\n", hw);
+  auto queries = w.encoded_queries(2000, 2, 4);
+
+  std::printf("%-8s  %12s  %14s\n", "workers", "TM match", "TM match-uniq");
+  std::string json = "{\n  \"bench\": \"fig5_workers\",\n";
+  json += "  \"db_size\": " + std::to_string(n) + ",\n";
+  json += "  \"hardware_threads\": " + std::to_string(hw) + ",\n  \"workers\": {\n";
+  bool first = true;
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    TagMatchConfig config = bench_engine_config(n, /*threads=*/2);
+    config.num_workers = workers;
+    config.num_gpus = 1;
+    config.streams_per_gpu = 1;
+    // Lose the only device before its first op and keep it quarantined for
+    // the whole run: no probe churn, a pure CPU-fallback measurement.
+    config.quarantine_period = std::chrono::seconds(600);
+    config.fault_injector =
+        std::make_shared<inject::FaultInjector>(*inject::FaultPlan::parse("devloss:after=0"));
+    TagMatch tm(config);
+    populate_tagmatch(tm, w, n);
+    auto r_match = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatch);
+    auto r_unique = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatchUnique);
+    std::printf("%-8u  %12.2f  %14.2f\n", workers, r_match.kqps(), r_unique.kqps());
+    char entry[160];
+    std::snprintf(entry, sizeof(entry),
+                  "%s    \"%u\": {\"match_kqps\": %.3f, \"unique_kqps\": %.3f}",
+                  first ? "" : ",\n", workers, r_match.kqps(), r_unique.kqps());
+    json += entry;
+    first = false;
+  }
+  json += "\n  }\n}\n";
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << json;
+    std::printf("(wrote %s)\n", json_path);
+  }
+  std::printf("(gate: tools/perf_gate.py --fig5-baseline bench/baselines/fig5_workers.json;\n"
+              " expected speedup scales with min(workers, hardware threads))\n");
+}
+
 }  // namespace
 }  // namespace tagmatch::bench
 
-int main() {
-  tagmatch::bench::run();
+int main(int argc, char** argv) {
+  bool workers_mode = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      workers_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (workers_mode) {
+    tagmatch::bench::run_workers_sweep(json_path);
+  } else {
+    tagmatch::bench::run();
+  }
   return 0;
 }

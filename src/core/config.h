@@ -24,6 +24,10 @@ namespace sig {
 class SignatureScheme;
 }  // namespace sig
 
+namespace task {
+class TaskScheduler;
+}  // namespace task
+
 struct TagMatchConfig {
   // --- Off-line partitioning (Algorithm 1) ---
   // Maximum number of tag sets per partition (the paper's MAX_P). Balances
@@ -40,7 +44,29 @@ struct TagMatchConfig {
 
   // --- Pipeline ---
   // CPU worker threads running pre-process, key lookup/reduce and merge.
+  // Legacy knob: the fallback worker count when num_workers is 0 and
+  // TAGMATCH_WORKERS is unset (see below).
   unsigned num_threads = 4;
+
+  // --- Task execution core (src/task, docs/CONCURRENCY.md) ---
+  // Workers of the engine's task scheduler, which runs every host-side
+  // stage: pre-process, key lookup/reduce, merge, and the chunked CPU
+  // brute-force fan-out (cpu_only mode, overflow re-match, all-devices-down
+  // fallback). 0 resolves via the TAGMATCH_WORKERS environment variable,
+  // then falls back to num_threads. Surfaced as --workers on the CLI and
+  // server.
+  unsigned num_workers = 0;
+  // Pin worker i to hardware thread i (mod hardware threads). Off by
+  // default: pinning helps steady-state throughput on dedicated cores and
+  // hurts when the host is shared (README "Tuning").
+  bool pin_workers = false;
+  // Scheduler to run on. Null (the default): the engine creates and owns a
+  // private one, sized by num_workers. A supplied scheduler is shared — the
+  // supplier must keep it alive for the engine's lifetime and the engine
+  // never shuts it down. Sharing one pool between an engine and anything
+  // that blocks on that engine's flush() livelocks; see docs/CONCURRENCY.md
+  // before wiring this.
+  std::shared_ptr<task::TaskScheduler> scheduler;
 
   // Queries per partition batch. Bounded by 256 because the packed GPU
   // output identifies a query within its batch with an 8-bit integer

@@ -1,0 +1,62 @@
+// Parallel wrapper over cpu_subset_match: splits the partition slot range
+// into block_dim-aligned chunks and fans them out over the task scheduler,
+// concatenating per-chunk results in chunk order.
+//
+// Because cpu_subset_match walks the table in blocks of block_dim counted
+// from `begin`, a block_dim-aligned split sees exactly the same blocks —
+// same prefixes, same emission order within each chunk — so the
+// concatenated output is byte-identical to the single-threaded walk. That
+// identity is what the chaos tier's differential oracles assert: every
+// degraded mode (all devices quarantined, result-buffer overflow, cpu_only)
+// still computes the kernel's exact result set regardless of worker count.
+#ifndef TAGMATCH_CORE_CPU_MATCH_PARALLEL_H_
+#define TAGMATCH_CORE_CPU_MATCH_PARALLEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/cpu_match.h"
+#include "src/task/task_scheduler.h"
+
+namespace tagmatch {
+
+inline std::vector<ResultPair> parallel_subset_match(
+    task::TaskScheduler* scheduler, std::span<const BitVector192> filters,
+    std::span<const uint32_t> set_ids, uint32_t begin, uint32_t end,
+    std::span<const BitVector192> queries, uint32_t block_dim, bool enable_prefix_filter,
+    sig::KernelVariant variant) {
+  const uint32_t slots = end - begin;
+  if (scheduler == nullptr || scheduler->num_workers() <= 1 || slots <= block_dim) {
+    return cpu_subset_match(filters, set_ids, begin, end, queries, block_dim,
+                            enable_prefix_filter, variant);
+  }
+  // Aim for a couple of chunks per worker so stealing can smooth uneven
+  // chunk costs (the prefix filter makes block costs data-dependent).
+  const uint32_t blocks = (slots + block_dim - 1) / block_dim;
+  const uint32_t target_chunks = scheduler->num_workers() * 2;
+  const uint32_t blocks_per_chunk = std::max(1u, (blocks + target_chunks - 1) / target_chunks);
+  const uint32_t chunk_slots = blocks_per_chunk * block_dim;
+  const uint32_t num_chunks = (slots + chunk_slots - 1) / chunk_slots;
+  std::vector<std::vector<ResultPair>> parts(num_chunks);
+  scheduler->parallel_for(num_chunks, [&](size_t c) {
+    const uint32_t b = begin + static_cast<uint32_t>(c) * chunk_slots;
+    const uint32_t e = std::min(end, b + chunk_slots);
+    parts[c] = cpu_subset_match(filters, set_ids, b, e, queries, block_dim,
+                                enable_prefix_filter, variant);
+  });
+  size_t total = 0;
+  for (const auto& part : parts) {
+    total += part.size();
+  }
+  std::vector<ResultPair> pairs;
+  pairs.reserve(total);
+  for (auto& part : parts) {
+    pairs.insert(pairs.end(), part.begin(), part.end());
+  }
+  return pairs;
+}
+
+}  // namespace tagmatch
+
+#endif  // TAGMATCH_CORE_CPU_MATCH_PARALLEL_H_

@@ -9,7 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/common/stats.h"
-#include "src/core/cpu_match.h"
+#include "src/core/cpu_match_parallel.h"
 #include "src/inject/fault.h"
 
 namespace tagmatch {
@@ -371,10 +371,15 @@ void GpuEngine::cpu_fallback_deliver(PartitionId partition,
   if (cpu_fallback_counter_ != nullptr) {
     cpu_fallback_counter_->inc();
   }
-  std::vector<ResultPair> pairs =
-      cpu_subset_match(host_filters_, host_set_ids_, host_offsets_[partition],
-                       host_offsets_[partition + 1], queries, config_.gpu_block_dim,
-                       config_.enable_prefix_filter, variant_);
+  // Fan the brute-force walk out over the task scheduler in block-aligned
+  // chunks: with every device quarantined, fallback throughput scales with
+  // the worker count instead of capping at one core. Chunk concatenation is
+  // byte-identical to the single-threaded walk (cpu_match_parallel.h), so
+  // the chaos tier's fault-free oracle comparison holds at any width.
+  std::vector<ResultPair> pairs = parallel_subset_match(
+      config_.scheduler.get(), host_filters_, host_set_ids_, host_offsets_[partition],
+      host_offsets_[partition + 1], queries, config_.gpu_block_dim,
+      config_.enable_prefix_filter, variant_);
   (void)ctx;
   on_result_(token, pairs, /*overflow=*/false);
   in_flight_.fetch_sub(1, std::memory_order_release);

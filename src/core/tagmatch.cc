@@ -11,9 +11,8 @@
 
 #include "src/common/check.h"
 #include "src/common/hash.h"
-#include "src/common/mpmc_queue.h"
 #include "src/common/stats.h"
-#include "src/core/cpu_match.h"
+#include "src/core/cpu_match_parallel.h"
 #include "src/core/gpu_engine.h"
 #include "src/core/partition_table.h"
 #include "src/core/partitioner.h"
@@ -75,15 +74,6 @@ struct Batch {
   uint64_t batch_span_id = 0;
 };
 
-// Unit of work for the pipeline workers: either a fresh query to pre-process
-// or a completed batch to run through key lookup/reduce.
-struct WorkItem {
-  std::shared_ptr<QueryState> query;
-  std::unique_ptr<Batch> batch;
-  std::vector<ResultPair> pairs;
-  bool overflow = false;
-};
-
 }  // namespace
 
 class TagMatchImpl {
@@ -119,18 +109,36 @@ class TagMatchImpl {
     fpr_observed_gauge_ = registry.gauge("sig.fpr_observed");
     encode_ns_ = registry.histogram("sig.encode_ns");
     discard_ratio_ = registry.histogram("prefilter.discard_ratio");
+    // The task scheduler runs every host-side stage (docs/CONCURRENCY.md).
+    // A supplied scheduler is shared (the supplier owns its lifetime);
+    // otherwise the engine creates a private one and shuts it down in the
+    // destructor. Either way the GPU engine below sees it via config_.
+    if (config_.scheduler) {
+      scheduler_ = config_.scheduler;
+      owns_scheduler_ = false;
+    } else {
+      task::SchedulerConfig sched_config;
+      sched_config.num_workers = task::resolve_workers(config_.num_workers, config_.num_threads);
+      sched_config.pin_workers = config_.pin_workers;
+      sched_config.metrics = config_.metrics;
+      scheduler_ = std::make_shared<task::TaskScheduler>(std::move(sched_config));
+      config_.scheduler = scheduler_;
+      owns_scheduler_ = true;
+    }
     if (!config_.cpu_only) {
       engine_ = std::make_unique<GpuEngine>(
           config_, [this](void* token, std::span<const ResultPair> pairs, bool overflow) {
-            WorkItem item;
-            item.batch.reset(static_cast<Batch*>(token));
-            item.pairs.assign(pairs.begin(), pairs.end());
-            item.overflow = overflow;
-            queue_.push(std::move(item));
+            // Stage 3 runs as a task; the batch's trace context rides along
+            // so the reduce span stays causally attached to the query.
+            Batch* batch = static_cast<Batch*>(token);
+            std::vector<ResultPair> owned(pairs.begin(), pairs.end());
+            const obs::TraceContext ctx = batch->ctx;
+            scheduler_->submit(
+                [this, batch, owned = std::move(owned), overflow]() mutable {
+                  process_completion(std::unique_ptr<Batch>(batch), std::move(owned), overflow);
+                },
+                ctx);
           });
-    }
-    for (unsigned i = 0; i < config_.num_threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
     }
     if (config_.batch_timeout.count() > 0) {
       timeout_thread_ = std::thread([this] { timeout_loop(); });
@@ -147,9 +155,12 @@ class TagMatchImpl {
     if (timeout_thread_.joinable()) {
       timeout_thread_.join();
     }
-    queue_.close();
-    for (auto& w : workers_) {
-      w.join();
+    // flush() returned with outstanding_ == 0, which only happens after
+    // every queued pre-process and completion task has run its last
+    // impl-touching statement — so a shared scheduler holds no tasks that
+    // reference this engine, and an owned one drains trivially.
+    if (owns_scheduler_) {
+      scheduler_->shutdown();
     }
     engine_.reset();
   }
@@ -292,17 +303,17 @@ class TagMatchImpl {
                    const obs::TraceContext& trace_ctx = {}) {
     std::sort(tag_hashes.begin(), tag_hashes.end());
     outstanding_.fetch_add(1, std::memory_order_acq_rel);
-    WorkItem item;
-    item.query = std::make_shared<QueryState>();
-    item.query->filter = query.bits();
-    item.query->kind = kind;
-    item.query->callback = std::move(callback);
-    item.query->tag_hashes = std::move(tag_hashes);
-    item.query->trace_id = query_seq_.fetch_add(1, std::memory_order_relaxed);
-    item.query->enqueue_ns = now_ns();
-    item.query->deadline_ns = config_.deadline_batch_close ? deadline_ns : 0;
-    item.query->ctx = trace_ctx;
-    queue_.push(std::move(item));
+    auto query_state = std::make_shared<QueryState>();
+    query_state->filter = query.bits();
+    query_state->kind = kind;
+    query_state->callback = std::move(callback);
+    query_state->tag_hashes = std::move(tag_hashes);
+    query_state->trace_id = query_seq_.fetch_add(1, std::memory_order_relaxed);
+    query_state->enqueue_ns = now_ns();
+    query_state->deadline_ns = config_.deadline_batch_close ? deadline_ns : 0;
+    query_state->ctx = trace_ctx;
+    scheduler_->submit(
+        [this, query_state]() mutable { preprocess(std::move(query_state)); }, trace_ctx);
   }
 
   void flush() {
@@ -389,16 +400,6 @@ class TagMatchImpl {
                            UnpackedResultCodec::bytes_for(config_.result_buffer_entries))) +
         config_.batch_size * sizeof(BitVector192);
     return static_cast<uint64_t>(config_.num_gpus) * config_.streams_per_gpu * per_stream;
-  }
-
-  void worker_loop() {
-    while (auto item = queue_.pop()) {
-      if (item->query) {
-        preprocess(std::move(item->query));
-      } else if (item->batch) {
-        process_completion(std::move(item->batch), std::move(item->pairs), item->overflow);
-      }
-    }
   }
 
   // Stage 1 (§3.2): find the partitions whose mask is a subset of the query
@@ -513,11 +514,14 @@ class TagMatchImpl {
 
   // CPU subset match over one partition (shared with GpuEngine's device-loss
   // fallback, src/core/cpu_match.h). Used for cpu_only mode and as the exact
-  // fallback when a GPU result buffer overflows.
+  // fallback when a GPU result buffer overflows. Fans out in block-aligned
+  // chunks over the scheduler — byte-identical to the single-threaded walk
+  // (src/core/cpu_match_parallel.h).
   std::vector<ResultPair> cpu_match(const Batch& batch) const {
-    return cpu_subset_match(filters_sorted_, set_ids_, offsets_[batch.partition],
-                            offsets_[batch.partition + 1], batch.filters, config_.gpu_block_dim,
-                            config_.enable_prefix_filter, variant_);
+    return parallel_subset_match(scheduler_.get(), filters_sorted_, set_ids_,
+                                 offsets_[batch.partition], offsets_[batch.partition + 1],
+                                 batch.filters, config_.gpu_block_dim,
+                                 config_.enable_prefix_filter, variant_);
   }
 
   // Stage 3 (§3.4): key lookup/reduce — map set ids to keys and group the
@@ -705,8 +709,10 @@ class TagMatchImpl {
   std::vector<std::unique_ptr<PartialSlot>> partials_;
 
   std::unique_ptr<GpuEngine> engine_;
-  tagmatch::MpmcQueue<WorkItem> queue_;
-  std::vector<std::thread> workers_;
+  // Task execution core running pre-process, reduce/merge and the CPU
+  // brute-force fan-out. Owned unless config_.scheduler supplied one.
+  std::shared_ptr<task::TaskScheduler> scheduler_;
+  bool owns_scheduler_ = true;
 
   std::thread timeout_thread_;
   std::mutex timeout_mu_;

@@ -39,6 +39,17 @@ ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(confi
   queries_ = obs_.registry().counter("shard.queries");
   partial_results_ = obs_.registry().counter("shard.partial_results");
   shards_shed_ = obs_.registry().counter("shard.shards_shed");
+  {
+    task::SchedulerConfig sched_config;
+    sched_config.num_workers =
+        task::resolve_workers(config_.shard.num_workers,
+                              std::max(2u, static_cast<unsigned>(config_.num_shards)));
+    sched_config.pin_workers = config_.shard.pin_workers;
+    // Non-owning alias: obs_ is a value member and outlives the scheduler
+    // (the destructor shuts the scheduler down before any member dies).
+    sched_config.metrics = std::shared_ptr<obs::PipelineObs>(std::shared_ptr<void>(), &obs_);
+    scheduler_ = std::make_shared<task::TaskScheduler>(std::move(sched_config));
+  }
   shards_.reserve(config_.num_shards);
   gates_.reserve(config_.num_shards);
   for (unsigned i = 0; i < config_.num_shards; ++i) {
@@ -67,6 +78,9 @@ ShardedTagMatch::~ShardedTagMatch() {
   if (timeout_thread_.joinable()) {
     timeout_thread_.join();
   }
+  // flush() completed every gather, so no queued finish_gather task still
+  // references this router; drain and join the pool before members die.
+  scheduler_->shutdown();
   shards_.clear();  // Each engine flushes and joins its pipeline.
 }
 
@@ -106,20 +120,16 @@ void ShardedTagMatch::consolidate() {
   StopWatch watch;
   const int64_t start_ns = now_ns();
   if (config_.concurrent_consolidate && shards_.size() > 1) {
-    // Shards are independent: rebuild them in parallel. Each thread takes
-    // only its own shard's gate, so queries keep flowing to every shard
-    // that is not currently rebuilding.
-    std::vector<std::thread> rebuilders;
-    rebuilders.reserve(shards_.size());
-    for (size_t i = 0; i < shards_.size(); ++i) {
-      rebuilders.emplace_back([this, i] {
-        std::unique_lock gate(*gates_[i]);
-        shards_[i]->consolidate();
-      });
-    }
-    for (auto& t : rebuilders) {
-      t.join();
-    }
+    // Shards are independent: rebuild them in parallel on the router pool.
+    // Each rebuild takes only its own shard's gate, so queries keep flowing
+    // to every shard that is not currently rebuilding. A rebuild blocks its
+    // router worker inside the shard's flush(); that is safe because shard
+    // pipelines run on their own pools, and parallel_for's caller claims
+    // rebuilds itself, so completion never depends on a free router worker.
+    scheduler_->parallel_for(shards_.size(), [this](size_t i) {
+      std::unique_lock gate(*gates_[i]);
+      shards_[i]->consolidate();
+    });
   } else {
     for (size_t i = 0; i < shards_.size(); ++i) {
       std::unique_lock gate(*gates_[i]);
@@ -196,13 +206,31 @@ void ShardedTagMatch::absorb(const std::shared_ptr<Gather>& gather, std::vector<
   }
   gather->keys.insert(gather->keys.end(), keys.begin(), keys.end());
   if (--gather->awaiting == 0) {
-    fire(gather, lock, /*partial=*/false);
+    // Claim the gather under its mutex (so a concurrent timeout sweep sees it
+    // as done), then hand the merge + user callback to the router pool. This
+    // gets the cross-shard merge off the shard completion thread, which can
+    // move on to its next batch.
+    gather->fired = true;
+    const obs::TraceContext trace_ctx = gather->ctx;
+    lock.unlock();
+    scheduler_->submit([this, gather] { finish_gather(gather, /*partial=*/false); },
+                       trace_ctx);
   }
 }
 
 void ShardedTagMatch::fire(const std::shared_ptr<Gather>& gather,
                            std::unique_lock<std::mutex>& lock, bool partial) {
   gather->fired = true;
+  lock.unlock();
+  // Shed path (timeout sweeper): finish inline — the sweeper thread is not a
+  // pool worker and has nothing better to do, and running here keeps shed
+  // latency independent of router-pool queue depth.
+  finish_gather(gather, partial);
+}
+
+void ShardedTagMatch::finish_gather(const std::shared_ptr<Gather>& gather, bool partial) {
+  // The claim (fired=true under gather->mu) happened before this ran, so this
+  // function is the gather's sole owner: no lock needed.
   std::vector<Key> keys = std::move(gather->keys);
   ResultCallback callback = std::move(gather->callback);
   MatchKind kind = gather->kind;
@@ -210,7 +238,6 @@ void ShardedTagMatch::fire(const std::shared_ptr<Gather>& gather,
   const int64_t start_ns = gather->start_ns;
   const obs::TraceContext trace_ctx = gather->ctx;
   const uint64_t gather_span_id = gather->gather_span_id;
-  lock.unlock();
   // Merge stage across shards: each shard already deduplicated its own
   // results for kMatchUnique; a key can still arrive from several shards
   // (key-hash placement, or duplicate filters split across shards), so
@@ -648,14 +675,9 @@ bool ShardedTagMatch::load_index(const std::string& path) {
         }
       });
     }
-    std::vector<std::thread> builders;
-    builders.reserve(fresh.size());
-    for (auto& engine : fresh) {
-      builders.emplace_back([&engine] { engine->consolidate(); });
-    }
-    for (auto& t : builders) {
-      t.join();
-    }
+    // Fresh engines serve no queries yet, so no gates are needed; build them
+    // in parallel on the router pool.
+    scheduler_->parallel_for(fresh.size(), [&fresh](size_t i) { fresh[i]->consolidate(); });
   }
   commit_engines(std::move(fresh));
   return true;

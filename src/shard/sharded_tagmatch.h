@@ -43,6 +43,7 @@
 #include "src/core/tagmatch.h"
 #include "src/obs/trace.h"
 #include "src/shard/shard_policy.h"
+#include "src/task/task_scheduler.h"
 
 namespace tagmatch::shard {
 
@@ -201,6 +202,10 @@ class ShardedTagMatch : public Matcher {
   // and is released before the callback runs.
   void fire(const std::shared_ptr<Gather>& gather, std::unique_lock<std::mutex>& lock,
             bool partial);
+  // Cross-shard merge + callback + gather span, after the gather has been
+  // claimed (fired set under its mutex). Runs as a router-scheduler task on
+  // the last-response path, inline on the timeout-shed path.
+  void finish_gather(const std::shared_ptr<Gather>& gather, bool partial);
   void timeout_loop();
   // Swaps in freshly loaded engines; takes every shard gate exclusively.
   void commit_engines(std::vector<std::unique_ptr<TagMatch>> fresh);
@@ -210,6 +215,11 @@ class ShardedTagMatch : public Matcher {
   ShardedConfig config_;
   const sig::SignatureScheme* scheme_ = nullptr;  // Resolved once, never null.
   std::shared_ptr<const ShardPolicy> policy_;
+  // Router-level task scheduler: gather merges, concurrent consolidate and
+  // reshard-on-load rebuilds. Deliberately distinct from the shard engines'
+  // pools — a rebuild task blocks in a shard's flush(), which needs that
+  // shard's own workers to make progress (docs/CONCURRENCY.md).
+  std::shared_ptr<task::TaskScheduler> scheduler_;
   std::vector<std::unique_ptr<TagMatch>> shards_;
   // Per-shard gate: matchers hold it shared around submission, consolidate/
   // load hold it exclusive while that shard's index rebuilds (the broker's

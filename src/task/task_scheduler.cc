@@ -1,0 +1,278 @@
+#include "src/task/task_scheduler.h"
+
+#include <cstdlib>
+#include <functional>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace tagmatch::task {
+
+namespace {
+
+// Worker identity of the calling thread: which scheduler it belongs to (so
+// current_worker() is per pool, not global) and its index there.
+thread_local const TaskScheduler* t_scheduler = nullptr;
+thread_local int t_worker = -1;
+thread_local const obs::TraceContext* t_ctx = nullptr;
+
+bool pin_to_hardware_thread(std::thread& t, unsigned index) {
+#if defined(__linux__)
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(index % hw, &set);
+  return pthread_setaffinity_np(t.native_handle(), sizeof(set), &set) == 0;
+#else
+  (void)t;
+  (void)index;
+  return false;
+#endif
+}
+
+}  // namespace
+
+unsigned resolve_workers(unsigned configured, unsigned fallback) {
+  if (configured > 0) {
+    return configured;
+  }
+  if (const char* env = std::getenv("TAGMATCH_WORKERS")) {
+    const unsigned long parsed = std::strtoul(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  return fallback > 0 ? fallback : 1;
+}
+
+TaskScheduler::TaskScheduler(SchedulerConfig config) : config_(std::move(config)) {
+  TAGMATCH_CHECK(config_.num_workers >= 1);
+  if (config_.metrics) {
+    obs::Registry& registry = config_.metrics->registry();
+    queued_counter_ = registry.counter("task.queued");
+    stolen_counter_ = registry.counter("task.stolen");
+    executed_counter_ = registry.counter("task.executed");
+    run_ns_.reserve(config_.num_workers);
+    for (unsigned i = 0; i < config_.num_workers; ++i) {
+      run_ns_.push_back(registry.histogram("task.run_ns.w" + std::to_string(i)));
+    }
+  }
+  queues_.reserve(config_.num_workers);
+  for (unsigned i = 0; i < config_.num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  pinned_ = std::make_unique<std::atomic<int>[]>(config_.num_workers);
+  for (unsigned i = 0; i < config_.num_workers; ++i) {
+    pinned_[i].store(-1, std::memory_order_relaxed);
+  }
+  threads_.reserve(config_.num_workers);
+  for (unsigned i = 0; i < config_.num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+    // Pin via the handle so pinned() is deterministic once construction
+    // returns (affinity applies to a running thread at the next schedule).
+    const bool ok = config_.pin_workers && pin_to_hardware_thread(threads_.back(), i);
+    pinned_[i].store(ok ? 1 : 0, std::memory_order_release);
+  }
+}
+
+TaskScheduler::~TaskScheduler() { shutdown(); }
+
+void TaskScheduler::shutdown() {
+  {
+    std::lock_guard lock(lifecycle_mu_);
+    if (joined_) {
+      return;
+    }
+    joined_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(idle_mu_);  // Fence against waiters mid-predicate.
+  }
+  idle_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+  // A submit that raced the workers' exit may have left items behind; run
+  // them here so no accepted task is ever dropped.
+  for (unsigned q = 0; q < queues_.size(); ++q) {
+    Item item;
+    while (pop_from(q, item)) {
+      run_item(q, item);
+    }
+  }
+}
+
+unsigned TaskScheduler::home_queue() const {
+  if (t_scheduler == this && t_worker >= 0) {
+    return static_cast<unsigned>(t_worker);
+  }
+  // Stable per-thread spread for off-pool producers: same producer, same
+  // queue — the per-producer FIFO guarantee hangs on this.
+  return static_cast<unsigned>(std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                               queues_.size());
+}
+
+void TaskScheduler::submit(TaskFn fn, const obs::TraceContext& ctx) {
+  submit_to(home_queue(), std::move(fn), ctx);
+}
+
+void TaskScheduler::submit_to(unsigned worker, TaskFn fn, const obs::TraceContext& ctx) {
+  TAGMATCH_CHECK(worker < queues_.size());
+  if (stopping_.load(std::memory_order_acquire)) {
+    // Shutdown has begun: execute inline rather than risk a task the
+    // workers will never see.
+    Item item{std::move(fn), ctx};
+    run_item(worker, item);
+    return;
+  }
+  enqueue(worker, Item{std::move(fn), ctx});
+}
+
+void TaskScheduler::enqueue(unsigned worker, Item item) {
+  queued_n_.fetch_add(1, std::memory_order_relaxed);
+  if (queued_counter_ != nullptr) {
+    queued_counter_->inc();
+  }
+  {
+    std::lock_guard lock(queues_[worker]->mu);
+    queues_[worker]->items.push_back(std::move(item));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard lock(idle_mu_);  // Pair with the waiters' predicate check.
+  }
+  idle_cv_.notify_one();
+}
+
+bool TaskScheduler::pop_from(unsigned queue, Item& out) {
+  std::lock_guard lock(queues_[queue]->mu);
+  if (queues_[queue]->items.empty()) {
+    return false;
+  }
+  out = std::move(queues_[queue]->items.front());
+  queues_[queue]->items.pop_front();
+  pending_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+bool TaskScheduler::steal_into(unsigned thief, Item& out) {
+  const unsigned n = num_workers();
+  for (unsigned hop = 1; hop < n; ++hop) {
+    const unsigned victim = (thief + hop) % n;
+    if (pop_from(victim, out)) {
+      stolen_n_.fetch_add(1, std::memory_order_relaxed);
+      if (stolen_counter_ != nullptr) {
+        stolen_counter_->inc();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskScheduler::run_item(unsigned worker, Item& item) {
+  const obs::TraceContext* prev = t_ctx;
+  t_ctx = &item.ctx;
+  const int64_t start_ns = now_ns();
+  item.fn();
+  const int64_t elapsed = now_ns() - start_ns;
+  t_ctx = prev;
+  executed_n_.fetch_add(1, std::memory_order_relaxed);
+  if (executed_counter_ != nullptr) {
+    executed_counter_->inc();
+  }
+  if (worker < run_ns_.size() && run_ns_[worker] != nullptr) {
+    run_ns_[worker]->record(static_cast<uint64_t>(elapsed < 0 ? 0 : elapsed),
+                            item.ctx.trace_id);
+  }
+}
+
+void TaskScheduler::worker_main(unsigned id) {
+  t_scheduler = this;
+  t_worker = static_cast<int>(id);
+  Item item;
+  for (;;) {
+    if (pop_from(id, item) || steal_into(id, item)) {
+      run_item(id, item);
+      continue;
+    }
+    std::unique_lock lock(idle_mu_);
+    idle_cv_.wait(lock, [&] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;  // Graceful: every queue is empty, nothing left to drain.
+    }
+  }
+}
+
+void TaskScheduler::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1 || num_workers() <= 1 || stopping_.load(std::memory_order_acquire)) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  // The caller blocks until done == n, and done only reaches n after the
+  // last claimed chunk's fn() returned — so &fn never dangles in a helper.
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = &fn;
+  const auto drain = [](const std::shared_ptr<State>& s) {
+    size_t i;
+    while ((i = s->next.fetch_add(1, std::memory_order_relaxed)) < s->n) {
+      (*s->fn)(i);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        std::lock_guard lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+  const obs::TraceContext ctx = current_context();
+  const size_t helpers = std::min<size_t>(num_workers(), n);
+  for (size_t h = 0; h < helpers; ++h) {
+    submit_to(static_cast<unsigned>(h), [state, drain] { drain(state); }, ctx);
+  }
+  drain(state);  // The caller claims chunks itself: progress without helpers.
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == n; });
+}
+
+std::vector<bool> TaskScheduler::pinned() const {
+  std::vector<bool> out(num_workers());
+  for (unsigned i = 0; i < num_workers(); ++i) {
+    out[i] = pinned_[i].load(std::memory_order_acquire) == 1;
+  }
+  return out;
+}
+
+int TaskScheduler::current_worker() const { return t_scheduler == this ? t_worker : -1; }
+
+const obs::TraceContext& TaskScheduler::current_context() {
+  static const obs::TraceContext kInvalid{};
+  return t_ctx != nullptr ? *t_ctx : kInvalid;
+}
+
+}  // namespace tagmatch::task

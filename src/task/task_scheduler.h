@@ -1,0 +1,183 @@
+// Task-based execution core: per-worker MPSC queues, FIFO work stealing,
+// optional core pinning, and task-local context (trace + worker identity)
+// propagated across every task boundary.
+//
+// This is the unified substrate the pipeline's host-side stages run on
+// (pre-process, reduce/merge, the sharded gather merge, parallel rebuilds,
+// and the CPU brute-force fallback fan-out), replacing the previous
+// per-stage thread/callback structure. docs/CONCURRENCY.md is the written
+// contract for everything in this header — worker lifecycle, queue and
+// stealing discipline, the blocking rules that keep the pool deadlock-free,
+// and how TraceContext flows through submit()/parallel_for().
+//
+// Queue discipline. Every worker owns one mutex-guarded deque. Producers
+// (any thread) push to the back of a fixed target queue — an on-pool
+// producer targets its own queue (locality), an off-pool producer a queue
+// chosen by a stable hash of its thread id — so the queue is MPSC in steady
+// state. The owner pops from the front; an idle worker steals from the
+// front of a victim's queue. Because *both* ends of consumption take the
+// oldest task, execution *start* order is FIFO per queue (hence FIFO per
+// producer) even under stealing; completion order is unconstrained.
+//
+// Blocking rules (the invariants the TSan job stresses):
+//  * A task must never block on another task of the same scheduler. The
+//    one sanctioned join point is parallel_for(), whose caller claims and
+//    executes chunks itself, so it completes even if no worker ever helps.
+//  * Engines therefore own private schedulers; the shard router's pool is
+//    distinct from its shards' pools (a shared pool livelocks when rebuild
+//    tasks block in a shard's flush()).
+#ifndef TAGMATCH_TASK_TASK_SCHEDULER_H_
+#define TAGMATCH_TASK_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace tagmatch::task {
+
+// Move-only type-erased void() callable: tasks routinely own unique_ptrs
+// (batches in flight), which std::function cannot hold.
+class TaskFn {
+ public:
+  TaskFn() = default;
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, TaskFn>>>
+  TaskFn(F&& fn)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(fn))) {}
+  TaskFn(TaskFn&&) = default;
+  TaskFn& operator=(TaskFn&&) = default;
+
+  void operator()() { impl_->call(); }
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F fn) : fn(std::move(fn)) {}
+    void call() override { fn(); }
+    F fn;
+  };
+  std::unique_ptr<Concept> impl_;
+};
+
+// Resolves the effective worker count: an explicit configured value wins;
+// otherwise the TAGMATCH_WORKERS environment variable; otherwise `fallback`
+// (the legacy num_threads knob). Never returns 0.
+unsigned resolve_workers(unsigned configured, unsigned fallback);
+
+struct SchedulerConfig {
+  unsigned num_workers = 4;
+  // Pin worker i to hardware thread i mod hardware_concurrency(). Helps
+  // steady-state throughput on dedicated cores; hurts on shared hosts (see
+  // README "Tuning").
+  bool pin_workers = false;
+  // Observability handle. When set, the scheduler registers task.queued /
+  // task.stolen / task.executed counters and one task.run_ns.w<i> histogram
+  // per worker in its registry (docs/OBSERVABILITY.md). The scheduler holds
+  // the shared_ptr, so the registry outlives every recorded task.
+  std::shared_ptr<obs::PipelineObs> metrics;
+};
+
+class TaskScheduler {
+ public:
+  explicit TaskScheduler(SchedulerConfig config);
+  ~TaskScheduler();  // Implies shutdown().
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  // Enqueues `fn` with its trace context. On-pool callers target their own
+  // queue; off-pool callers a queue hashed from their thread id. A submit
+  // racing shutdown() executes inline on the caller — tasks are never
+  // dropped.
+  void submit(TaskFn fn, const obs::TraceContext& ctx = {});
+  // Targets an explicit worker queue (locality / test control).
+  void submit_to(unsigned worker, TaskFn fn, const obs::TraceContext& ctx = {});
+
+  // Runs fn(0..n-1) across the pool and blocks until all complete. The
+  // caller claims and executes chunks itself (helpers joining only when
+  // idle workers exist), so this is safe to call from inside a task — it
+  // cannot deadlock on a saturated pool. The current trace context
+  // propagates to every chunk.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+  // Graceful: stops intake, runs every queued task to completion, joins the
+  // workers. Idempotent.
+  void shutdown();
+
+  unsigned num_workers() const { return static_cast<unsigned>(queues_.size()); }
+  // Per-worker pinning outcome: true iff pin_workers was set and the
+  // affinity syscall succeeded for that worker.
+  std::vector<bool> pinned() const;
+
+  // Lifetime totals (mirrored into the task.* counters when metrics is set).
+  uint64_t queued_total() const { return queued_n_.load(std::memory_order_relaxed); }
+  uint64_t stolen_total() const { return stolen_n_.load(std::memory_order_relaxed); }
+  uint64_t executed_total() const { return executed_n_.load(std::memory_order_relaxed); }
+
+  // Worker index of the calling thread, -1 off-pool. Identity is per
+  // scheduler: a worker of pool A is off-pool with respect to pool B.
+  int current_worker() const;
+  // Trace context of the task the calling thread is executing (invalid when
+  // called off-task). This is how causal traces survive the hop from the
+  // submitting stage to the executing worker.
+  static const obs::TraceContext& current_context();
+
+ private:
+  struct Item {
+    TaskFn fn;
+    obs::TraceContext ctx;
+  };
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Item> items;
+  };
+
+  void worker_main(unsigned id);
+  bool pop_from(unsigned queue, Item& out);
+  bool steal_into(unsigned thief, Item& out);
+  void run_item(unsigned worker, Item& item);
+  void enqueue(unsigned worker, Item item);
+  unsigned home_queue() const;
+
+  SchedulerConfig config_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::unique_ptr<std::atomic<int>[]> pinned_;  // -1 unknown, 0 failed, 1 pinned.
+
+  // Idle workers park here; submit() fences through idle_mu_ before
+  // notifying so a worker between predicate check and wait cannot miss a
+  // wakeup (see docs/CONCURRENCY.md).
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<uint64_t> pending_{0};  // Queued, not yet popped.
+  std::atomic<bool> stopping_{false};
+
+  std::mutex lifecycle_mu_;  // Serializes shutdown() calls.
+  bool joined_ = false;
+
+  std::atomic<uint64_t> queued_n_{0};
+  std::atomic<uint64_t> stolen_n_{0};
+  std::atomic<uint64_t> executed_n_{0};
+
+  obs::Counter* queued_counter_ = nullptr;
+  obs::Counter* stolen_counter_ = nullptr;
+  obs::Counter* executed_counter_ = nullptr;
+  std::vector<obs::Histogram*> run_ns_;  // Per worker; empty without metrics.
+};
+
+}  // namespace tagmatch::task
+
+#endif  // TAGMATCH_TASK_TASK_SCHEDULER_H_

@@ -20,6 +20,11 @@
 // are distinct formats — query an index with the engine kind that built it,
 // or any --shards value for manifests (resharded automatically).
 //
+// Every command also accepts `--workers N` and `--pin-workers` (anywhere on
+// the line): N sizes each engine's task pool (0/absent = TAGMATCH_WORKERS
+// env, then the engine thread default); `--pin-workers` pins workers to
+// hardware threads. See docs/CONCURRENCY.md for when either helps.
+//
 // build/query/bench also accept `--stats-json FILE` (anywhere on the line):
 // after the command finishes, the engine's metrics registry — per-stage
 // latency histograms, pipeline counters; see docs/OBSERVABILITY.md — is
@@ -65,11 +70,18 @@ std::vector<std::string> split_tags(const std::string& csv) {
 // environment variable, then the bloom192 baseline — see sig::resolve).
 const tagmatch::sig::SignatureScheme* g_scheme = nullptr;
 
+// Worker-pool sizing selected by --workers / --pin-workers (0 = let the
+// engine resolve: TAGMATCH_WORKERS env, then the num_threads fallback).
+unsigned g_workers = 0;
+bool g_pin_workers = false;
+
 tagmatch::TagMatchConfig cli_config() {
   tagmatch::TagMatchConfig config;
   config.num_threads = 2;
   config.gpu_sms_per_device = 2;
   config.signature_scheme = g_scheme;
+  config.num_workers = g_workers;
+  config.pin_workers = g_pin_workers;
   return config;
 }
 
@@ -112,6 +124,24 @@ bool strip_scheme_option(int& argc, char** argv, const tagmatch::sig::SignatureS
   }
   argc = out;
   return ok;
+}
+
+// Strips `--workers N` and `--pin-workers` options out of argv (same
+// contract as strip_shards_option), filling the g_workers/g_pin_workers
+// globals consumed by cli_config().
+void strip_workers_options(int& argc, char** argv) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      g_workers = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+      ++i;
+    } else if (std::strcmp(argv[i], "--pin-workers") == 0) {
+      g_pin_workers = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
 }
 
 // Strips a `--stats-json FILE` option out of argv (same contract as
@@ -381,6 +411,7 @@ int cmd_stats(int argc, char** argv, unsigned shards) {
 int main(int argc, char** argv) {
   const unsigned shards = strip_shards_option(argc, argv);
   const std::string stats_json = strip_stats_json_option(argc, argv);
+  strip_workers_options(argc, argv);
   if (!strip_scheme_option(argc, argv, g_scheme)) {
     return 1;
   }
@@ -397,7 +428,10 @@ int main(int argc, char** argv) {
                  "  --stats-json FILE: write the metrics registry (per-stage latency\n"
                  "              histograms, pipeline counters) as JSON after the command\n"
                  "  --signature-scheme NAME: signature scheme (%s) to encode and match\n"
-                 "              under; an index only loads under the scheme that built it\n",
+                 "              under; an index only loads under the scheme that built it\n"
+                 "  --workers N: task-pool workers per engine (0 = TAGMATCH_WORKERS env,\n"
+                 "              then the engine's thread default); --pin-workers pins\n"
+                 "              each worker to a hardware thread\n",
                  tagmatch::sig::scheme_names_csv().c_str());
     return 1;
   }

@@ -1,12 +1,18 @@
 // tagmatch_server — standalone TagBroker service over TCP.
 //
-// Usage: tagmatch_server [port] [--shards N] [--publish-slo-ms N [--slo-mode M]]
+// Usage: tagmatch_server [port] [--shards N] [--workers N] [--pin-workers]
+//                        [--publish-slo-ms N [--slo-mode M]]
 //                        [--stats-json FILE [--stats-interval MS]]
 //                        [--tracing [--trace-sample N]] [--trace-out FILE]
 //                        [--fault-plan SPEC] [--signature-scheme NAME]
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
 //   --shards N: back the broker with a sharded engine (N independent
 //               TagMatch shards, scatter-gather matching; default 1).
+//   --workers N: task-pool workers per engine (0/absent = TAGMATCH_WORKERS
+//               env, then the engine thread default). --pin-workers pins
+//               each worker to a hardware thread. The pools drive query
+//               preprocessing, result completion, and the CPU brute-force
+//               fallback — see docs/CONCURRENCY.md.
 //   --signature-scheme NAME: signature scheme (src/sig) the engine encodes
 //               and matches under (bloom192, blocked64, twochoice64;
 //               default bloom192 or $TAGMATCH_SCHEME). Surfaced in STATS as
@@ -98,6 +104,8 @@ void dump_traces(const tagmatch::broker::Broker& broker, const std::string& path
 int main(int argc, char** argv) {
   uint16_t port = 7077;
   unsigned shards = 1;
+  unsigned workers = 0;
+  bool pin_workers = false;
   bool port_seen = false;
   std::string stats_json_path;
   std::string trace_out_path;
@@ -111,6 +119,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--pin-workers") == 0) {
+      pin_workers = true;
     } else if (std::strcmp(argv[i], "--publish-slo-ms") == 0 && i + 1 < argc) {
       publish_slo = std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--slo-mode") == 0 && i + 1 < argc) {
@@ -153,6 +165,8 @@ int main(int argc, char** argv) {
 
   tagmatch::broker::BrokerConfig config;
   config.engine.num_threads = 2;
+  config.engine.num_workers = workers;
+  config.engine.pin_workers = pin_workers;
   config.engine.gpu_sms_per_device = 2;
   config.engine.signature_scheme = scheme;
   config.consolidate_interval = std::chrono::milliseconds(250);

@@ -168,6 +168,70 @@ TEST(Chaos, AllDevicesLostFallsBackToCpu) {
   EXPECT_GE(stats.cpu_fallback_batches, 1u);
 }
 
+TEST(Chaos, CpuFallbackFansOutAcrossWorkers) {
+  // All devices quarantined: every batch brute-forces on the host mirror,
+  // and the fallback fans the partition scan out over the engine's task
+  // pool. Whatever the worker count, results must be byte-identical to the
+  // fault-free oracle — the fan-out splits on block_dim boundaries, so it
+  // sees exactly the blocks the single-threaded walk sees.
+  const Workload w = make_workload(test::test_seed(7101), 1500, 60);
+  auto base_config = [] {
+    TagMatchConfig c = chaos_config(1);
+    c.max_partition_size = 1024;  // Big partitions so the fan-out has chunks.
+    c.gpu_block_dim = 64;
+    // One long quarantine: no probe churn, all batches stay on the CPU path.
+    c.quarantine_period = std::chrono::seconds(10);
+    return c;
+  };
+  const auto want = run_workload(base_config(), w);  // Fault-free oracle.
+
+  struct DegradedRun {
+    std::vector<std::vector<Key>> results;
+    Matcher::Stats stats;
+    uint64_t tasks_executed = 0;
+    double seconds = 0;
+  };
+  auto run_degraded = [&](unsigned workers) {
+    TagMatchConfig config = base_config();
+    config.num_workers = workers;
+    auto plan = FaultPlan::parse("devloss:after=30");
+    EXPECT_TRUE(plan.has_value());
+    config.fault_injector = std::make_shared<FaultInjector>(*plan);
+    DegradedRun run;
+    TagMatch tm(config);
+    for (const auto& [f, k] : w.entries) {
+      tm.add_set(BloomFilter192(f), k);
+    }
+    tm.consolidate();
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& q : w.queries) {
+      auto keys = tm.match(BloomFilter192(q));
+      std::sort(keys.begin(), keys.end());
+      run.results.push_back(std::move(keys));
+    }
+    run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    run.stats = tm.stats();
+    run.tasks_executed = tm.metrics_snapshot().counters.at("task.executed");
+    return run;
+  };
+
+  const DegradedRun single = run_degraded(1);
+  const DegradedRun pooled = run_degraded(4);
+  EXPECT_EQ(single.results, want);
+  EXPECT_EQ(pooled.results, want);
+  EXPECT_GE(single.stats.cpu_fallback_batches, 1u);
+  EXPECT_GE(pooled.stats.cpu_fallback_batches, 1u);
+  // Fan-out proof by mechanism, not wall clock: with one worker the
+  // parallel_for inlines (no helper tasks), with four it submits helpers
+  // per fallback batch — so the pooled run must execute strictly more tasks.
+  EXPECT_GT(pooled.tasks_executed, single.tasks_executed);
+  // Wall-clock scaling is only meaningful with real cores to scale onto;
+  // CI containers are often single-core (bench/baselines gates the curve).
+  if (std::thread::hardware_concurrency() >= 4) {
+    EXPECT_LT(pooled.seconds, single.seconds);
+  }
+}
+
 // Randomized plan sweep: whatever FaultPlan::random draws — transient
 // failures, stalls, device losses in any combination — results must be
 // oracle-identical. The nightly chaos job re-runs this with a fresh seed.

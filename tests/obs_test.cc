@@ -284,6 +284,10 @@ TEST(Obs, JsonRenderersAreSingleLine) {
 TagMatchConfig tiny_engine_config() {
   TagMatchConfig config;
   config.num_threads = 1;
+  // Pin the pool to one worker explicitly: the doc-diff inventory below must
+  // not depend on a TAGMATCH_WORKERS value in the environment (extra workers
+  // would register task.run_ns.w1, w2, ... — documented as a family).
+  config.num_workers = 1;
   config.num_gpus = 1;
   config.streams_per_gpu = 1;
   config.gpu_sms_per_device = 1;
@@ -336,6 +340,14 @@ TEST(Obs, EveryRegisteredMetricIsDocumented) {
   }
 
   ASSERT_GE(names.size(), 25u);  // The full inventory, not a stub registry.
+
+  // The task-pool instruments are registered eagerly by every scheduler
+  // (engine pools and the shard router pool), so they must be in the
+  // inventory — and therefore documented below like everything else.
+  EXPECT_EQ(names.count("task.queued"), 1u);
+  EXPECT_EQ(names.count("task.stolen"), 1u);
+  EXPECT_EQ(names.count("task.executed"), 1u);
+  EXPECT_EQ(names.count("task.run_ns.w0"), 1u);
 
   std::ifstream doc(std::string(TAGMATCH_SOURCE_DIR) + "/docs/OBSERVABILITY.md");
   ASSERT_TRUE(doc.is_open()) << "docs/OBSERVABILITY.md missing";

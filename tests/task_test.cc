@@ -1,0 +1,262 @@
+// Tests for the task-based execution core (src/task): queue discipline,
+// stealing, pinning, trace propagation, shutdown semantics and the task.*
+// instruments. The TaskStress suite doubles as the TSan target for the
+// invariants written down in docs/CONCURRENCY.md — the tsan CI job runs this
+// binary alongside the broker/shard suites.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+#include "src/task/task_scheduler.h"
+
+namespace tagmatch::task {
+namespace {
+
+SchedulerConfig config_with(unsigned workers, bool pin = false) {
+  SchedulerConfig config;
+  config.num_workers = workers;
+  config.pin_workers = pin;
+  return config;
+}
+
+TEST(TaskScheduler, SingleWorkerExecutesFifoPerProducer) {
+  // One worker, one consumer end: execution order must equal submit order.
+  TaskScheduler scheduler(config_with(1));
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) {
+    scheduler.submit([i, &order] { order.push_back(i); });
+  }
+  scheduler.shutdown();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+  EXPECT_EQ(scheduler.queued_total(), 200u);
+  EXPECT_EQ(scheduler.executed_total(), 200u);
+  EXPECT_EQ(scheduler.stolen_total(), 0u);
+}
+
+TEST(TaskScheduler, StealingDrainsASingleHotQueue) {
+  // Pile everything onto worker 0's queue; the other workers must steal.
+  // Each task sleeps so the backlog outlives worker 0's drain rate.
+  TaskScheduler scheduler(config_with(4));
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> ran(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    scheduler.submit_to(0, [i, &ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  scheduler.shutdown();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << "task " << i << " ran " << ran[i].load() << " times";
+  }
+  EXPECT_EQ(scheduler.executed_total(), static_cast<uint64_t>(kTasks));
+  EXPECT_GT(scheduler.stolen_total(), 0u);
+}
+
+TEST(TaskScheduler, PinnedFlagsReflectAffinityOutcome) {
+  TaskScheduler unpinned(config_with(2, /*pin=*/false));
+  for (bool p : unpinned.pinned()) {
+    EXPECT_FALSE(p);
+  }
+  TaskScheduler pinned(config_with(2, /*pin=*/true));
+  const std::vector<bool> flags = pinned.pinned();
+  ASSERT_EQ(flags.size(), 2u);
+#ifdef __linux__
+  // pthread_setaffinity_np to (i mod hardware_concurrency) succeeds on any
+  // Linux host we run on, containers included.
+  for (bool p : flags) {
+    EXPECT_TRUE(p);
+  }
+#else
+  for (bool p : flags) {
+    EXPECT_FALSE(p);  // Pinning is Linux-only; the flag reports "not pinned".
+  }
+#endif
+}
+
+TEST(TaskScheduler, CurrentWorkerIsPerScheduler) {
+  TaskScheduler a(config_with(1));
+  TaskScheduler b(config_with(1));
+  EXPECT_EQ(a.current_worker(), -1);  // Off-pool caller.
+  std::atomic<int> seen_in_a{-2};
+  std::atomic<int> a_seen_by_b{-2};
+  a.submit([&] {
+    seen_in_a = a.current_worker();
+    a_seen_by_b = b.current_worker();  // A's worker is off-pool for B.
+  });
+  a.shutdown();
+  EXPECT_EQ(seen_in_a.load(), 0);
+  EXPECT_EQ(a_seen_by_b.load(), -1);
+}
+
+TEST(TaskScheduler, TraceContextPropagatesAcrossSubmit) {
+  TaskScheduler scheduler(config_with(2));
+  const obs::TraceContext ctx{42, 7, true};
+  std::atomic<uint64_t> seen_trace{0};
+  std::atomic<uint64_t> seen_parent{0};
+  scheduler.submit(
+      [&] {
+        const obs::TraceContext& c = TaskScheduler::current_context();
+        seen_trace = c.trace_id;
+        seen_parent = c.parent_span_id;
+      },
+      ctx);
+  scheduler.shutdown();
+  EXPECT_EQ(seen_trace.load(), 42u);
+  EXPECT_EQ(seen_parent.load(), 7u);
+  // Off-task, the context is invalid.
+  EXPECT_FALSE(TaskScheduler::current_context().valid());
+}
+
+TEST(TaskScheduler, TraceContextPropagatesIntoParallelForChunks) {
+  TaskScheduler scheduler(config_with(4));
+  const obs::TraceContext ctx{99, 3, true};
+  std::atomic<int> traced_chunks{0};
+  scheduler.submit(
+      [&] {
+        scheduler.parallel_for(16, [&](size_t) {
+          if (TaskScheduler::current_context().trace_id == 99) {
+            traced_chunks.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      },
+      ctx);
+  scheduler.shutdown();
+  EXPECT_EQ(traced_chunks.load(), 16);
+}
+
+TEST(TaskScheduler, ParallelForCoversEveryIndexExactlyOnce) {
+  TaskScheduler scheduler(config_with(4));
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  scheduler.parallel_for(kN, [&](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskScheduler, ParallelForFromInsideATaskCompletes) {
+  // parallel_for is the one sanctioned join point: the caller claims chunks
+  // itself, so nesting it inside a task cannot deadlock even when every
+  // worker is busy. Saturate the pool to prove it.
+  TaskScheduler scheduler(config_with(2));
+  std::atomic<int> done{0};
+  for (int t = 0; t < 8; ++t) {
+    scheduler.submit([&] {
+      int local = 0;
+      scheduler.parallel_for(32, [&local](size_t) { ++local; });
+      if (local == 32) {
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  scheduler.shutdown();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(TaskScheduler, ShutdownRunsEveryQueuedTask) {
+  auto scheduler = std::make_unique<TaskScheduler>(config_with(2));
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 500; ++i) {
+    scheduler->submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  scheduler->shutdown();  // Graceful: drains the backlog before joining.
+  EXPECT_EQ(ran.load(), 500);
+  EXPECT_EQ(scheduler->executed_total(), 500u);
+  // Submit after shutdown executes inline on the caller — never dropped.
+  std::atomic<int> late{0};
+  scheduler->submit([&late] { late = 1; });
+  EXPECT_EQ(late.load(), 1);
+  scheduler->shutdown();  // Idempotent.
+}
+
+TEST(TaskScheduler, RegistersTaskMetricsWhenObsProvided) {
+  auto obs = std::make_shared<obs::PipelineObs>();
+  SchedulerConfig config = config_with(2);
+  config.metrics = obs;
+  {
+    TaskScheduler scheduler(config);
+    scheduler.parallel_for(64, [](size_t) {});
+    scheduler.submit([] {});
+    scheduler.shutdown();
+    const auto snap = obs->registry().snapshot();
+    EXPECT_EQ(snap.counters.at("task.queued"), scheduler.queued_total());
+    EXPECT_EQ(snap.counters.at("task.stolen"), scheduler.stolen_total());
+    EXPECT_EQ(snap.counters.at("task.executed"), scheduler.executed_total());
+    uint64_t recorded = 0;
+    recorded += snap.histograms.at("task.run_ns.w0").count;
+    recorded += snap.histograms.at("task.run_ns.w1").count;
+    // Every pool-executed task lands in exactly one worker's histogram
+    // (parallel_for chunks the caller claimed are not pool tasks).
+    EXPECT_EQ(recorded, scheduler.executed_total());
+  }
+}
+
+// TSan stress surface: concurrent producers (on- and off-pool), nested
+// parallel_for, and a shutdown racing a producer. Run under the tsan CI job.
+TEST(TaskStress, ConcurrentProducersAndStealers) {
+  TaskScheduler scheduler(config_with(4));
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&scheduler, &ran, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (i % 16 == 0) {
+          scheduler.submit_to(static_cast<unsigned>(p) % 4,
+                              [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        } else {
+          scheduler.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  scheduler.shutdown();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+  EXPECT_EQ(scheduler.executed_total(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+}
+
+TEST(TaskStress, ShutdownRacesProducer) {
+  for (int round = 0; round < 20; ++round) {
+    auto scheduler = std::make_unique<TaskScheduler>(config_with(2));
+    std::atomic<int> ran{0};
+    std::thread producer([&] {
+      for (int i = 0; i < 100; ++i) {
+        scheduler->submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+    scheduler->shutdown();  // Races the producer; late submits run inline.
+    producer.join();
+    EXPECT_EQ(ran.load(), 100);
+  }
+}
+
+TEST(TaskStress, NestedParallelForUnderLoad) {
+  TaskScheduler scheduler(config_with(4));
+  std::atomic<uint64_t> sum{0};
+  scheduler.parallel_for(8, [&](size_t outer) {
+    scheduler.parallel_for(64, [&sum, outer](size_t inner) {
+      sum.fetch_add(outer * 64 + inner, std::memory_order_relaxed);
+    });
+  });
+  // Sum over outer in [0,8) and inner in [0,64) of outer*64+inner.
+  EXPECT_EQ(sum.load(), 512u * 511u / 2);
+}
+
+}  // namespace
+}  // namespace tagmatch::task

@@ -19,6 +19,15 @@ a checked-in baseline. For every scheme present in the baseline, the run's
 best match throughput must not fall below baseline_best_kqps / ratio; schemes
 new in the run (not yet in the baseline) are reported but never fail.
 
+A third mode gates task-pool scaling: `--fig5-baseline` checks a
+`bench_fig5_threads --workers --json` artifact (CPU-fallback throughput vs
+worker count). The gate is relative to the run's own single-worker
+throughput and the host's real core count: at W workers the run must reach
+at least min_scaling_fraction * min(W, hardware_threads) * kqps(1). On a
+single-core container min(W, hw) is 1, so the gate degenerates to "the pool
+must not cost more than (1 - fraction) of single-worker throughput"; with
+real cores it demands near-linear scaling (fraction 0.5 = half of ideal).
+
 Stdlib only. Exit code 0 = pass, 1 = sustained regression, 2 = usage/IO error.
 
 Usage:
@@ -26,11 +35,14 @@ Usage:
       run1.json run2.json run3.json
   python3 tools/perf_gate.py --fig7-baseline bench/baselines/fig7_bloom192.json \
       fig7_run.json
+  python3 tools/perf_gate.py --fig5-baseline bench/baselines/fig5_workers.json \
+      fig5_workers_run.json
 
 Refreshing the baseline after an intentional perf change: re-run the smoke
 bench (see .github/workflows/ci.yml) and copy its stats JSON over
 bench/baselines/smoke.json; likewise `bench_fig7_maxp --json` over
-bench/baselines/fig7_bloom192.json.
+bench/baselines/fig7_bloom192.json and `bench_fig5_threads --workers --json`
+over bench/baselines/fig5_workers.json (keeping its min_scaling_fraction).
 """
 
 import argparse
@@ -140,11 +152,72 @@ def fig7_gate(args):
     return 0
 
 
+def fig5_gate(args):
+    """Scaling gate over bench_fig5_threads --workers --json artifacts. For
+    every worker count in a run, match throughput must reach at least
+    min_scaling_fraction * min(workers, hardware_threads) * that run's
+    single-worker throughput — the yardstick adapts to the cores the host
+    actually has, so a single-core CI container gates pool overhead while a
+    multi-core host gates near-linear scaling."""
+    baseline = load(args.fig5_baseline)
+    runs = [(path, load(path)) for path in args.runs]
+    majority = len(runs) // 2 + 1
+    fraction = float(baseline.get("min_scaling_fraction", 0.5))
+
+    for path, run in runs:
+        if run.get("db_size") != baseline.get("db_size"):
+            print(f"perf_gate: db_size mismatch: {path} has {run.get('db_size')}, "
+                  f"baseline has {baseline.get('db_size')} "
+                  f"(set TAGMATCH_BENCH_USERS to the baseline's scale)",
+                  file=sys.stderr)
+            return 2
+        if float(run.get("workers", {}).get("1", {}).get("match_kqps", 0)) <= 0:
+            print(f"perf_gate: {path} has no single-worker reference point",
+                  file=sys.stderr)
+            return 2
+
+    failures = []
+    worker_keys = sorted(runs[0][1].get("workers", {}), key=int)
+    for wkey in worker_keys:
+        workers = int(wkey)
+        regressed_in = []
+        detail = []
+        for path, run in runs:
+            entry = run.get("workers", {}).get(wkey)
+            if entry is None:
+                continue  # Count absent in this run; don't count either way.
+            base1 = float(run["workers"]["1"]["match_kqps"])
+            hw = max(1, int(run.get("hardware_threads", 1)))
+            floor = fraction * min(workers, hw) * base1
+            value = float(entry.get("match_kqps", 0))
+            detail.append(f"{value:.1f}/{floor:.1f}")
+            if value < floor:
+                regressed_in.append((path, value, floor))
+        status = "FAIL" if len(regressed_in) >= majority else "ok"
+        print(f"  [{status:4}] fig5 workers={workers}: runs [kqps/floor: "
+              f"{' '.join(detail) or 'absent'}] (fraction {fraction})")
+        if len(regressed_in) >= majority:
+            failures.append((workers, regressed_in))
+
+    if failures:
+        print(f"\nperf_gate: FAIL — {len(failures)} worker count(s) below the "
+              f"scaling floor in >= {majority}/{len(runs)} runs:", file=sys.stderr)
+        for workers, regressed_in in failures:
+            for path, value, floor in regressed_in:
+                print(f"  workers={workers}: {value:.1f} Kq/s < floor {floor:.1f} ({path})",
+                      file=sys.stderr)
+        return 1
+    print(f"perf_gate: pass ({len(runs)} run(s) vs {args.fig5_baseline})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", help="baseline stats JSON (latency mode)")
     parser.add_argument("--fig7-baseline",
                         help="baseline bench_fig7_maxp --json artifact (throughput mode)")
+    parser.add_argument("--fig5-baseline",
+                        help="baseline bench_fig5_threads --workers artifact (scaling mode)")
     parser.add_argument("runs", nargs="+", help="stats JSON from this build's reruns")
     parser.add_argument("--ratio", type=float, default=1.5,
                         help="regression threshold multiplier (default 1.5)")
@@ -152,12 +225,16 @@ def main():
                         help="absolute noise floor in ns (default 100000 = 0.1 ms)")
     args = parser.parse_args()
 
-    if (args.baseline is None) == (args.fig7_baseline is None):
-        print("perf_gate: pass exactly one of --baseline / --fig7-baseline",
-              file=sys.stderr)
+    modes = [m for m in (args.baseline, args.fig7_baseline, args.fig5_baseline)
+             if m is not None]
+    if len(modes) != 1:
+        print("perf_gate: pass exactly one of --baseline / --fig7-baseline / "
+              "--fig5-baseline", file=sys.stderr)
         return 2
     if args.fig7_baseline:
         return fig7_gate(args)
+    if args.fig5_baseline:
+        return fig5_gate(args)
 
     baseline = load(args.baseline)
     runs = [(path, load(path)) for path in args.runs]
