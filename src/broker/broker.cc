@@ -107,10 +107,9 @@ SubscriptionId Broker::subscribe(SubscriberId subscriber, std::vector<std::strin
   }
   {
     // The subscription id is the engine key; delivery maps it back to the
-    // subscriber. add_set reaches into engine state that consolidation and
-    // load() mutate under the exclusive gate (sharded: the shards_ vector
-    // itself is swapped by load), so it needs the same shared gate as
-    // publishes.
+    // subscriber. add_set needs the shared gate only against load(), which
+    // replaces whole-engine state under the exclusive gate; concurrent
+    // consolidation is fine (epoch-published snapshots).
     std::shared_lock gate(publish_mu_);
     engine_->add_set(std::span<const std::string>(tags), id);
   }
@@ -388,11 +387,11 @@ size_t Broker::pending(SubscriberId subscriber) const {
 }
 
 void Broker::run_consolidation() {
-  // Exclusive gate: no publisher can enqueue while we rebuild, and the
-  // flush below guarantees nothing is in flight when consolidate() swaps
-  // the index.
-  std::unique_lock gate(publish_mu_);
-  engine_->flush();
+  // Shared gate only: the engine publishes its rebuilt index via an epoch
+  // snapshot, so publishes and matches flow concurrently with the rebuild.
+  // The gate merely keeps a save/load (exclusive) from swapping the whole
+  // engine out from under us.
+  std::shared_lock gate(publish_mu_);
   // Stage removals of dead subscriptions, then fold everything into the
   // partitioned index.
   {
@@ -430,9 +429,9 @@ void Broker::consolidate_loop() {
 }
 
 void Broker::flush() {
-  run_consolidation();  // Takes the exclusive gate and flushes internally.
+  run_consolidation();  // Folds staged churn into the published index.
   // Complete publishes that raced past the consolidation, under a shared
-  // gate so a background consolidation cannot start mid-flush.
+  // gate so a save/load cannot swap the engine mid-flush.
   std::shared_lock gate(publish_mu_);
   engine_->flush();
 }

@@ -266,9 +266,10 @@ class Broker {
   // mode needs the partial-result surface the Matcher interface cannot
   // express (match_result_async).
   shard::ShardedTagMatch* sharded_ = nullptr;
-  // TagMatch forbids matching concurrently with consolidate(); publishers
-  // hold this shared, the consolidator exclusive (it flushes first, so no
-  // query is in flight while the index is rebuilt).
+  // Publishers, staging, and the consolidator all hold this shared — the
+  // engine supports matching concurrently with consolidate() (epoch-published
+  // index snapshots). Exclusive is reserved for save()/load(), which swap
+  // whole-engine state no snapshot protects.
   std::shared_mutex publish_mu_;
 
   mutable std::mutex registry_mu_;

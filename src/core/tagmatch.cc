@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <future>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -16,6 +17,7 @@
 #include "src/core/gpu_engine.h"
 #include "src/core/partition_table.h"
 #include "src/core/partitioner.h"
+#include "src/epoch/epoch_manager.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sig/signature_scheme.h"
@@ -55,10 +57,16 @@ struct QueryState {
   obs::TraceContext ctx;
 };
 
+struct IndexSnapshot;
+
 // A batch of queries bound for one partition. Owns the contiguous filter
-// array handed to the GPU (it must outlive the asynchronous copy).
+// array handed to the GPU (it must outlive the asynchronous copy) and an
+// owning reference to the index snapshot its partition id is defined
+// against — completion (key lookup, CPU re-match) reads that snapshot even
+// if a newer one has been published meanwhile.
 struct Batch {
   PartitionId partition = 0;
+  std::shared_ptr<const IndexSnapshot> snapshot;
   std::vector<BitVector192> filters;
   std::vector<std::shared_ptr<QueryState>> queries;
   int64_t created_ns = 0;
@@ -72,6 +80,49 @@ struct Batch {
   // reduce span is recorded — can parent on it.
   obs::TraceContext ctx;
   uint64_t batch_span_id = 0;
+};
+
+struct PartialSlot {
+  std::mutex mu;
+  std::unique_ptr<Batch> batch;
+};
+
+// One published generation of the consolidated index. Immutable once
+// published (the only mutable parts are the per-partition partial-batch
+// slots, which have their own locks): readers pin an epoch, load the
+// published pointer and traverse without further synchronization. The old
+// generation is retired to the epoch manager and freed once every reader
+// pinned before publication has drained.
+struct IndexSnapshot : std::enable_shared_from_this<IndexSnapshot> {
+  // Monotone publication sequence; compared against the engine's
+  // gpu_version_ to decide whether a batch may use the GPU-resident table.
+  uint64_t version = 0;
+
+  // CSR flat index: keys of unique set i occupy
+  // keys_flat[key_offsets[i] .. key_offsets[i+1]); exact-check hashes are
+  // aligned the same way (empty range = verification skipped).
+  std::vector<BitVector192> filters_sorted;  // Host mirror of the GPU tagset table.
+  std::vector<uint32_t> set_ids;
+  std::vector<uint32_t> offsets;
+  std::vector<BitVector192> masks;  // Partition masks, aligned with offsets.
+  std::vector<uint32_t> key_offsets;
+  std::vector<Key> keys_flat;
+  std::vector<uint64_t> exact_offsets;  // Per unique set, into exact_hashes.
+  std::vector<uint64_t> exact_hashes;
+  PartitionTable partition_table;
+
+  // Per-partition open batches. Partition ids are meaningful only against
+  // this snapshot's table, so the assembly slots live in the snapshot: a
+  // query that pinned this snapshot appends here, and publication sweeps
+  // the outgoing snapshot's slots after readers drain.
+  std::vector<std::unique_ptr<PartialSlot>> partials;
+
+  // Wall seconds the consolidation (or index load) that produced this
+  // snapshot took. Part of the snapshot so stats() reads it tear-free.
+  double build_seconds = 0;
+
+  size_t unique_sets() const { return key_offsets.empty() ? 0 : key_offsets.size() - 1; }
+  size_t partitions() const { return offsets.empty() ? 0 : offsets.size() - 1; }
 };
 
 }  // namespace
@@ -101,6 +152,7 @@ class TagMatchImpl {
     result_pairs_ = registry.counter("engine.result_pairs");
     deadline_closes_ = registry.counter("engine.deadline_closes");
     consolidations_ = registry.counter("engine.consolidations");
+    stale_snapshot_batches_ = registry.counter("engine.stale_snapshot_batches");
     query_latency_ = registry.histogram("query.latency_ns");
     unique_sets_gauge_ = registry.gauge("engine.unique_sets");
     partitions_gauge_ = registry.gauge("engine.partitions");
@@ -109,6 +161,13 @@ class TagMatchImpl {
     fpr_observed_gauge_ = registry.gauge("sig.fpr_observed");
     encode_ns_ = registry.histogram("sig.encode_ns");
     discard_ratio_ = registry.histogram("prefilter.discard_ratio");
+    epoch_ = std::make_unique<epoch::EpochManager>(&registry);
+    // Publish the empty generation so readers never see a null index.
+    {
+      auto initial = std::make_shared<IndexSnapshot>();
+      published_owner_ = initial;
+      published_.store(initial.get(), std::memory_order_seq_cst);
+    }
     // The task scheduler runs every host-side stage (docs/CONCURRENCY.md).
     // A supplied scheduler is shared (the supplier owns its lifetime);
     // otherwise the engine creates a private one and shuts it down in the
@@ -163,6 +222,8 @@ class TagMatchImpl {
       scheduler_->shutdown();
     }
     engine_.reset();
+    // Readers are quiesced; ~EpochManager runs any still-pending snapshot
+    // retirements.
   }
 
   void stage_add(const BitVector192& filter, Key key, std::vector<uint64_t> tag_hashes,
@@ -178,21 +239,32 @@ class TagMatchImpl {
     staged_removes_.emplace_back(filter, key);
   }
 
+  // Builds a fresh IndexSnapshot from the staged changes and publishes it
+  // with one atomic pointer swap. Queries keep flowing throughout: they
+  // drain on the previous snapshot under their epoch pins and never block
+  // here. Deliberately does NOT flush() first — under sustained concurrent
+  // query load a flush's outstanding_ == 0 wait might never terminate, and
+  // publication doesn't need it.
   void consolidate() {
-    flush();
+    std::lock_guard writer_lock(consolidate_mu_);
     StopWatch watch;
     const int64_t consolidate_start_ns = now_ns();
 
     {
       std::lock_guard lock(staging_mu_);
-      for (auto& add : staged_adds_) {
+      for (const auto& add : staged_adds_) {
         SetEntry& entry = table_[add.filter];
-        entry.keys.push_back(add.key);
+        // Dedupe on apply: staging the same (filter, key) twice must not
+        // duplicate the key in the flat key table.
+        if (std::find(entry.keys.begin(), entry.keys.end(), add.key) == entry.keys.end()) {
+          entry.keys.push_back(add.key);
+        }
         if (add.has_hashes && !entry.has_hashes) {
           // First tag-carrying add of this filter defines the exact-check
           // set. (Two different tag sets sharing a filter is a ~1e-11
-          // Bloom collision; first-wins then.)
-          entry.tag_hashes = std::move(add.tag_hashes);
+          // Bloom collision; first-wins then.) Copied, not moved: the add
+          // stays scannable in applying_adds_ below.
+          entry.tag_hashes = add.tag_hashes;
           entry.has_hashes = true;
         }
       }
@@ -202,100 +274,27 @@ class TagMatchImpl {
           continue;
         }
         auto& keys = it->second.keys;
-        auto pos = std::find(keys.begin(), keys.end(), key);
-        if (pos != keys.end()) {
-          keys.erase(pos);
-        }
+        // Erase every occurrence: legacy tables (built before the dedupe
+        // above) may hold the key more than once, and a remove must not
+        // leave a phantom copy matching.
+        keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
         if (keys.empty()) {
           table_.erase(it);
         }
       }
+      // The applied adds must stay visible to match_staged until the
+      // snapshot that contains them is published: moving them to
+      // applying_adds_ (cleared after publication) closes the window where
+      // a query would find them in neither the staged scan nor the index.
+      std::move(staged_adds_.begin(), staged_adds_.end(), std::back_inserter(applying_adds_));
       staged_adds_.clear();
       staged_removes_.clear();
     }
 
-    // Unique-set array + key table (CSR layout: keys of set i occupy
-    // keys_flat_[key_offsets_[i] .. key_offsets_[i+1])), plus the aligned
-    // exact-check hash table (empty range = verification skipped).
-    std::vector<BitVector192> unique_filters;
-    unique_filters.reserve(table_.size());
-    key_offsets_.clear();
-    keys_flat_.clear();
-    exact_offsets_.clear();
-    exact_hashes_.clear();
-    key_offsets_.reserve(table_.size() + 1);
-    key_offsets_.push_back(0);
-    exact_offsets_.push_back(0);
-    for (const auto& [filter, entry] : table_) {
-      unique_filters.push_back(filter);
-      keys_flat_.insert(keys_flat_.end(), entry.keys.begin(), entry.keys.end());
-      key_offsets_.push_back(static_cast<uint32_t>(keys_flat_.size()));
-      if (entry.has_hashes) {
-        exact_hashes_.insert(exact_hashes_.end(), entry.tag_hashes.begin(),
-                             entry.tag_hashes.end());
-      }
-      exact_offsets_.push_back(static_cast<uint64_t>(exact_hashes_.size()));
-    }
-
-    // Algorithm 1: balanced partitioning.
-    std::vector<Partition> partitions =
-        balance_partitions(unique_filters, config_.max_partition_size);
-
-    // Per-partition lexicographic sort (required by the kernel's prefix
-    // pre-filter) and flattening into the tagset table arrays.
-    filters_sorted_.clear();
-    set_ids_.clear();
-    offsets_.clear();
-    masks_.clear();
-    filters_sorted_.reserve(unique_filters.size());
-    set_ids_.reserve(unique_filters.size());
-    offsets_.reserve(partitions.size() + 1);
-    offsets_.push_back(0);
-    for (PartitionId pid = 0; pid < partitions.size(); ++pid) {
-      Partition& p = partitions[pid];
-      std::sort(p.members.begin(), p.members.end(), [&](uint32_t a, uint32_t b) {
-        return unique_filters[a] < unique_filters[b];
-      });
-      for (uint32_t member : p.members) {
-        filters_sorted_.push_back(unique_filters[member]);
-        set_ids_.push_back(member);
-      }
-      offsets_.push_back(static_cast<uint32_t>(filters_sorted_.size()));
-      masks_.push_back(p.mask);
-    }
-
-    install_index();
-    last_consolidate_seconds_ = watch.elapsed_s();
+    publish_snapshot(build_snapshot(), watch);
     consolidations_->inc();
     obs_->record_stage(obs::Stage::kConsolidate, consolidations_->value(), consolidate_start_ns,
                        now_ns());
-  }
-
-  // Installs the already-built flat index (from consolidate() or
-  // load_index()): partition table, partial-batch slots, GPU upload.
-  // Excludes the background timeout flusher, which walks partials_ and
-  // touches the engine from its own thread (matching by user threads is
-  // excluded by the consolidate() contract, but the flusher is internal).
-  void install_index() {
-    std::lock_guard flusher_lock(flusher_work_mu_);
-    partition_table_ = PartitionTable();
-    for (PartitionId pid = 0; pid < masks_.size(); ++pid) {
-      partition_table_.add(masks_[pid], pid);
-    }
-    partials_.clear();
-    for (size_t i = 0; i < masks_.size(); ++i) {
-      partials_.push_back(std::make_unique<PartialSlot>());
-    }
-    if (engine_) {
-      TagsetTableView view;
-      view.filters = filters_sorted_;
-      view.set_ids = set_ids_;
-      view.offsets = offsets_;
-      engine_->upload(view);
-    }
-    unique_sets_gauge_->set(
-        key_offsets_.empty() ? 0 : static_cast<int64_t>(key_offsets_.size() - 1));
-    partitions_gauge_->set(offsets_.empty() ? 0 : static_cast<int64_t>(offsets_.size() - 1));
   }
 
   void match_async(const BloomFilter192& query, MatchKind kind, TagMatch::MatchCallback callback,
@@ -334,14 +333,26 @@ class TagMatchImpl {
     }
   }
 
+  // Enumerates the consolidated database from the current snapshot: one
+  // invocation per unique set in set-id order. Staged (not yet published)
+  // changes are not visited.
   void for_each_set(
       const std::function<void(const BloomFilter192& filter, std::span<const Key> keys,
                                std::span<const uint64_t> tag_hashes)>& fn) const {
-    std::lock_guard lock(staging_mu_);
-    for (const auto& [filter, entry] : table_) {
-      fn(BloomFilter192(filter), std::span<const Key>(entry.keys),
-         entry.has_hashes ? std::span<const uint64_t>(entry.tag_hashes)
-                          : std::span<const uint64_t>());
+    std::shared_ptr<const IndexSnapshot> snap = acquire_snapshot();
+    const size_t n_unique = snap->unique_sets();
+    std::vector<const BitVector192*> filter_of_sid(n_unique, nullptr);
+    for (size_t slot = 0; slot < snap->set_ids.size(); ++slot) {
+      filter_of_sid[snap->set_ids[slot]] = &snap->filters_sorted[slot];
+    }
+    for (size_t sid = 0; sid < n_unique; ++sid) {
+      TAGMATCH_CHECK(filter_of_sid[sid] != nullptr);
+      fn(BloomFilter192(*filter_of_sid[sid]),
+         std::span<const Key>(snap->keys_flat.data() + snap->key_offsets[sid],
+                              snap->key_offsets[sid + 1] - snap->key_offsets[sid]),
+         std::span<const uint64_t>(
+             snap->exact_hashes.data() + snap->exact_offsets[sid],
+             snap->exact_offsets[sid + 1] - snap->exact_offsets[sid]));
     }
   }
 
@@ -359,10 +370,20 @@ class TagMatchImpl {
   TagMatch::Stats stats() const {
     TagMatch::Stats s;
     s.signature_scheme = std::string(scheme_->name());
-    s.unique_sets = key_offsets_.empty() ? 0 : key_offsets_.size() - 1;
-    s.total_keys = keys_flat_.size();
-    s.partitions = offsets_.empty() ? 0 : offsets_.size() - 1;
-    s.last_consolidate_seconds = last_consolidate_seconds_;
+    {
+      // Pinned snapshot read: sizes, partition table and the consolidate
+      // timing are all from one generation — no torn mixture even while a
+      // concurrent consolidate() publishes.
+      epoch::EpochManager::Pin pin(*epoch_);
+      const IndexSnapshot* snap = published_.load(std::memory_order_seq_cst);
+      s.unique_sets = snap->unique_sets();
+      s.total_keys = snap->keys_flat.size();
+      s.partitions = snap->partitions();
+      s.last_consolidate_seconds = snap->build_seconds;
+      s.host_key_table_bytes = snap->keys_flat.capacity() * sizeof(Key) +
+                               snap->key_offsets.capacity() * sizeof(uint32_t);
+      s.host_partition_table_bytes = snap->partition_table.memory_bytes();
+    }
     s.queries_processed = queries_processed_->value();
     s.batches_submitted = batches_submitted_->value();
     s.batch_overflows = batch_overflows_->value();
@@ -370,9 +391,6 @@ class TagMatchImpl {
     s.partitions_forwarded = partitions_forwarded_->value();
     s.batch_queries = batch_queries_->value();
     s.result_pairs = result_pairs_->value();
-    s.host_key_table_bytes =
-        keys_flat_.capacity() * sizeof(Key) + key_offsets_.capacity() * sizeof(uint32_t);
-    s.host_partition_table_bytes = partition_table_.memory_bytes();
     if (engine_) {
       s.host_buffer_bytes = host_buffer_bytes();
       s.gpu_bytes = engine_->device_memory_used();
@@ -388,11 +406,6 @@ class TagMatchImpl {
   uint64_t trace_dropped() const { return obs_->tracer().dropped(); }
 
  private:
-  struct PartialSlot {
-    std::mutex mu;
-    std::unique_ptr<Batch> batch;
-  };
-
   uint64_t host_buffer_bytes() const {
     // Two result buffers per stream plus the query staging area.
     const uint64_t per_stream =
@@ -400,6 +413,132 @@ class TagMatchImpl {
                            UnpackedResultCodec::bytes_for(config_.result_buffer_entries))) +
         config_.batch_size * sizeof(BitVector192);
     return static_cast<uint64_t>(config_.num_gpus) * config_.streams_per_gpu * per_stream;
+  }
+
+  // Owning reference to the currently published snapshot. The epoch pin
+  // closes the load-to-refcount gap: a writer cannot free the snapshot
+  // between our pointer load and the shared_from_this bump, because we are
+  // pinned for that whole window.
+  std::shared_ptr<const IndexSnapshot> acquire_snapshot() const {
+    epoch::EpochManager::Pin pin(*epoch_);
+    return published_.load(std::memory_order_seq_cst)->shared_from_this();
+  }
+
+  // Builds the flat CSR index, partition table and partial slots from the
+  // master table into a fresh snapshot. Runs under consolidate_mu_; table_
+  // is only ever mutated by writers holding that lock, so reading it here
+  // without staging_mu_ is safe.
+  std::shared_ptr<IndexSnapshot> build_snapshot() {
+    auto snap = std::make_shared<IndexSnapshot>();
+    snap->version = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    std::vector<BitVector192> unique_filters;
+    unique_filters.reserve(table_.size());
+    snap->key_offsets.reserve(table_.size() + 1);
+    snap->key_offsets.push_back(0);
+    snap->exact_offsets.push_back(0);
+    for (const auto& [filter, entry] : table_) {
+      unique_filters.push_back(filter);
+      snap->keys_flat.insert(snap->keys_flat.end(), entry.keys.begin(), entry.keys.end());
+      snap->key_offsets.push_back(static_cast<uint32_t>(snap->keys_flat.size()));
+      if (entry.has_hashes) {
+        snap->exact_hashes.insert(snap->exact_hashes.end(), entry.tag_hashes.begin(),
+                                  entry.tag_hashes.end());
+      }
+      snap->exact_offsets.push_back(static_cast<uint64_t>(snap->exact_hashes.size()));
+    }
+
+    // Algorithm 1: balanced partitioning.
+    std::vector<Partition> partitions =
+        balance_partitions(unique_filters, config_.max_partition_size);
+
+    // Per-partition lexicographic sort (required by the kernel's prefix
+    // pre-filter) and flattening into the tagset table arrays.
+    snap->filters_sorted.reserve(unique_filters.size());
+    snap->set_ids.reserve(unique_filters.size());
+    snap->offsets.reserve(partitions.size() + 1);
+    snap->offsets.push_back(0);
+    for (PartitionId pid = 0; pid < partitions.size(); ++pid) {
+      Partition& p = partitions[pid];
+      std::sort(p.members.begin(), p.members.end(), [&](uint32_t a, uint32_t b) {
+        return unique_filters[a] < unique_filters[b];
+      });
+      for (uint32_t member : p.members) {
+        snap->filters_sorted.push_back(unique_filters[member]);
+        snap->set_ids.push_back(member);
+      }
+      snap->offsets.push_back(static_cast<uint32_t>(snap->filters_sorted.size()));
+      snap->masks.push_back(p.mask);
+    }
+    for (PartitionId pid = 0; pid < snap->masks.size(); ++pid) {
+      snap->partition_table.add(snap->masks[pid], pid);
+    }
+    snap->partials.reserve(snap->masks.size());
+    for (size_t i = 0; i < snap->masks.size(); ++i) {
+      snap->partials.push_back(std::make_unique<PartialSlot>());
+    }
+    return snap;
+  }
+
+  // Publishes a built snapshot (from consolidate() or load_index(); caller
+  // holds consolidate_mu_):
+  //   1. switch the GPU-resident table over under the exclusive gpu gate —
+  //      in-flight stream batches are drained first (upload requires a
+  //      quiescent pool) while concurrent submitters divert to the CPU path;
+  //   2. swap the published pointer (one seq_cst store — the only thing a
+  //      query-path reader ever waits on, which is to say: nothing);
+  //   3. wait for readers still pinned on the old snapshot, then sweep its
+  //      open partial batches (they complete on the CPU against the old
+  //      arrays) and retire it.
+  void publish_snapshot(std::shared_ptr<IndexSnapshot> next, const StopWatch& watch) {
+    if (engine_) {
+      std::unique_lock gpu_lock(gpu_table_mu_);
+      for (;;) {
+        engine_->drain();
+        if (engine_->in_flight() == 0) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      TagsetTableView view;
+      view.filters = next->filters_sorted;
+      view.set_ids = next->set_ids;
+      view.offsets = next->offsets;
+      engine_->upload(view);
+      gpu_version_ = next->version;
+    }
+    next->build_seconds = watch.elapsed_s();
+    unique_sets_gauge_->set(static_cast<int64_t>(next->unique_sets()));
+    partitions_gauge_->set(static_cast<int64_t>(next->partitions()));
+
+    std::shared_ptr<const IndexSnapshot> old_owner = std::move(published_owner_);
+    published_owner_ = std::move(next);
+    published_.store(published_owner_.get(), std::memory_order_seq_cst);
+
+    // Readers that pinned before the store may still be appending to the
+    // old snapshot's partial slots; wait them out, then hand the stranded
+    // batches to the pipeline (version mismatch routes them to the CPU).
+    epoch_->synchronize();
+    if (old_owner) {
+      for (const auto& slot_ptr : old_owner->partials) {
+        std::unique_ptr<Batch> stranded;
+        {
+          std::lock_guard lock(slot_ptr->mu);
+          stranded = std::move(slot_ptr->batch);
+        }
+        if (stranded && !stranded->filters.empty()) {
+          submit_batch(std::move(stranded));
+        }
+      }
+    }
+    {
+      // The new snapshot is visible to everyone who could miss the applied
+      // adds, so the temporary-index copies can go.
+      std::lock_guard lock(staging_mu_);
+      applying_adds_.clear();
+    }
+    epoch_->retire([keep = std::move(old_owner)]() mutable { keep.reset(); });
+    epoch_->reclaim();
   }
 
   // Stage 1 (§3.2): find the partitions whose mask is a subset of the query
@@ -424,73 +563,91 @@ class TagMatchImpl {
     if (config_.match_staged_adds) {
       match_staged(*query);
     }
-    PartitionTable::ProbeStats probe_stats;
-    partition_table_.find_matches(
-        query->filter,
-        [&](PartitionId pid) {
-      partitions_forwarded_->inc();
-      std::unique_ptr<Batch> full;
-      {
-        PartialSlot& slot = *partials_[pid];
-        std::lock_guard lock(slot.mu);
-        if (!slot.batch) {
-          slot.batch = std::make_unique<Batch>();
-          slot.batch->partition = pid;
-          slot.batch->created_ns = now_ns();
-          slot.batch->trace_id = batch_seq_.fetch_add(1, std::memory_order_relaxed);
-          slot.batch->filters.reserve(config_.batch_size);
+    {
+      // Pin for the whole partition walk: the snapshot (table, masks,
+      // partial slots) stays alive even if a consolidate publishes a
+      // successor meanwhile; the appends below land before publication's
+      // synchronize() returns, so the sweep there sees them.
+      epoch::EpochManager::Pin pin(*epoch_);
+      const IndexSnapshot* snap = published_.load(std::memory_order_seq_cst);
+      PartitionTable::ProbeStats probe_stats;
+      snap->partition_table.find_matches(
+          query->filter,
+          [&](PartitionId pid) {
+        partitions_forwarded_->inc();
+        std::unique_ptr<Batch> full;
+        {
+          PartialSlot& slot = *snap->partials[pid];
+          std::lock_guard lock(slot.mu);
+          if (!slot.batch) {
+            slot.batch = std::make_unique<Batch>();
+            slot.batch->partition = pid;
+            slot.batch->snapshot = snap->shared_from_this();
+            slot.batch->created_ns = now_ns();
+            slot.batch->trace_id = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+            slot.batch->filters.reserve(config_.batch_size);
+          }
+          if (!slot.batch->ctx.valid() && query->ctx.valid()) {
+            // First traced member adopts the batch into its trace.
+            slot.batch->ctx =
+                obs::TraceContext{query->ctx.trace_id, prefilter_span, query->ctx.sampled};
+            slot.batch->batch_span_id = obs::new_span_id();
+          }
+          query->pending.fetch_add(1, std::memory_order_acq_rel);
+          slot.batch->filters.push_back(query->filter);
+          slot.batch->queries.push_back(query);
+          if (query->deadline_ns != 0 && (slot.batch->min_deadline_ns == 0 ||
+                                          query->deadline_ns < slot.batch->min_deadline_ns)) {
+            slot.batch->min_deadline_ns = query->deadline_ns;
+          }
+          if (slot.batch->filters.size() >= config_.batch_size) {
+            full = std::move(slot.batch);
+          }
         }
-        if (!slot.batch->ctx.valid() && query->ctx.valid()) {
-          // First traced member adopts the batch into its trace.
-          slot.batch->ctx =
-              obs::TraceContext{query->ctx.trace_id, prefilter_span, query->ctx.sampled};
-          slot.batch->batch_span_id = obs::new_span_id();
+        if (full) {
+          submit_batch(std::move(full));
         }
-        query->pending.fetch_add(1, std::memory_order_acq_rel);
-        slot.batch->filters.push_back(query->filter);
-        slot.batch->queries.push_back(query);
-        if (query->deadline_ns != 0 && (slot.batch->min_deadline_ns == 0 ||
-                                        query->deadline_ns < slot.batch->min_deadline_ns)) {
-          slot.batch->min_deadline_ns = query->deadline_ns;
-        }
-        if (slot.batch->filters.size() >= config_.batch_size) {
-          full = std::move(slot.batch);
-        }
+          },
+          variant_, &probe_stats);
+      if (probe_stats.examined > 0) {
+        // Basis points of examined partition masks the prefilter discarded
+        // (10000 = everything discarded, 0 = everything forwarded).
+        discard_ratio_->record(
+            (probe_stats.examined - probe_stats.forwarded) * 10000 / probe_stats.examined,
+            query->trace_id);
       }
-      if (full) {
-        submit_batch(std::move(full));
-      }
-        },
-        variant_, &probe_stats);
-    if (probe_stats.examined > 0) {
-      // Basis points of examined partition masks the prefilter discarded
-      // (10000 = everything discarded, 0 = everything forwarded).
-      discard_ratio_->record(
-          (probe_stats.examined - probe_stats.forwarded) * 10000 / probe_stats.examined,
-          query->trace_id);
     }
     obs_->record_stage(obs::Stage::kPreFilter, query->trace_id, prefilter_start_ns, now_ns(),
                        prefilter_ctx, prefilter_span);
     finish_if_done(*query);  // Drop the pre-processing guard.
   }
 
-  // Linear scan of the temporary index (staged adds) for one query; runs on
-  // the pre-processing worker under the staging lock.
+  // Linear scan of the temporary index for one query; runs on the
+  // pre-processing worker under the staging lock. Covers both the staged
+  // adds and the applying_adds_ copies a concurrent consolidate is folding
+  // into the next snapshot — an add is always findable in exactly one of
+  // {staged scan, published index}, except for a transient window right
+  // after publication where it can appear in both (a duplicate in kMatch
+  // results; kMatchUnique dedupes — see docs/CONCURRENCY.md).
   void match_staged(QueryState& qs) {
     std::lock_guard staging_lock(staging_mu_);
-    for (const StagedAdd& add : staged_adds_) {
-      if (!sig::subset_test(variant_, add.filter, qs.filter)) {
-        continue;
+    const auto scan = [&](const std::vector<StagedAdd>& adds) {
+      for (const StagedAdd& add : adds) {
+        if (!sig::subset_test(variant_, add.filter, qs.filter)) {
+          continue;
+        }
+        if (config_.exact_check && !qs.tag_hashes.empty() && add.has_hashes &&
+            !std::includes(qs.tag_hashes.begin(), qs.tag_hashes.end(), add.tag_hashes.begin(),
+                           add.tag_hashes.end())) {
+          exact_rejections_->inc();
+          continue;
+        }
+        std::lock_guard lock(qs.mu);
+        qs.keys.push_back(add.key);
       }
-      if (config_.exact_check && !qs.tag_hashes.empty() && add.has_hashes &&
-          !std::includes(qs.tag_hashes.begin(), qs.tag_hashes.end(), add.tag_hashes.begin(),
-                         add.tag_hashes.end())) {
-        exact_rejections_->inc();
-        continue;
-      }
-      std::lock_guard lock(qs.mu);
-      qs.keys.push_back(add.key);
-    }
+    };
+    scan(staged_adds_);
+    scan(applying_adds_);
   }
 
   void submit_batch(std::unique_ptr<Batch> batch) {
@@ -498,18 +655,29 @@ class TagMatchImpl {
     batch_queries_->add(batch->queries.size());
     last_submit_ns_.store(now_ns(), std::memory_order_relaxed);
     if (engine_) {
-      // GPU stream ops (H2D/kernel/D2H) become children of the batch span.
-      const obs::TraceContext gpu_ctx =
-          batch->ctx.valid()
-              ? obs::TraceContext{batch->ctx.trace_id, batch->batch_span_id, batch->ctx.sampled}
-              : obs::TraceContext{};
-      Batch* raw = batch.release();
-      engine_->submit(raw->partition, raw->filters, raw, gpu_ctx);
-    } else {
-      // CPU-only mode: stage 2 runs inline on the calling thread.
-      std::vector<ResultPair> pairs = cpu_match(*batch);
-      process_completion(std::move(batch), std::move(pairs), /*overflow=*/false);
+      // The GPU-resident table belongs to exactly one snapshot generation
+      // (gpu_version_). A batch built against that generation rides the
+      // GPU; anything else — a publication in progress (gate held
+      // exclusive) or a batch stranded on a retired snapshot — is matched
+      // on the CPU against its own snapshot's arrays, so queries never
+      // block on consolidation.
+      std::shared_lock gpu_lock(gpu_table_mu_, std::try_to_lock);
+      if (gpu_lock.owns_lock() && batch->snapshot->version == gpu_version_) {
+        // GPU stream ops (H2D/kernel/D2H) become children of the batch span.
+        const obs::TraceContext gpu_ctx =
+            batch->ctx.valid()
+                ? obs::TraceContext{batch->ctx.trace_id, batch->batch_span_id, batch->ctx.sampled}
+                : obs::TraceContext{};
+        Batch* raw = batch.release();
+        engine_->submit(raw->partition, raw->filters, raw, gpu_ctx);
+        return;
+      }
+      stale_snapshot_batches_->inc();
     }
+    // CPU-only mode, or the divert path above: stage 2 runs inline on the
+    // calling thread.
+    std::vector<ResultPair> pairs = cpu_match(*batch);
+    process_completion(std::move(batch), std::move(pairs), /*overflow=*/false);
   }
 
   // CPU subset match over one partition (shared with GpuEngine's device-loss
@@ -518,14 +686,17 @@ class TagMatchImpl {
   // chunks over the scheduler — byte-identical to the single-threaded walk
   // (src/core/cpu_match_parallel.h).
   std::vector<ResultPair> cpu_match(const Batch& batch) const {
-    return parallel_subset_match(scheduler_.get(), filters_sorted_, set_ids_,
-                                 offsets_[batch.partition], offsets_[batch.partition + 1],
+    const IndexSnapshot& snap = *batch.snapshot;
+    return parallel_subset_match(scheduler_.get(), snap.filters_sorted, snap.set_ids,
+                                 snap.offsets[batch.partition], snap.offsets[batch.partition + 1],
                                  batch.filters, config_.gpu_block_dim,
                                  config_.enable_prefix_filter, variant_);
   }
 
   // Stage 3 (§3.4): key lookup/reduce — map set ids to keys and group the
-  // keys by query — followed, per finished query, by the merge stage.
+  // keys by query — followed, per finished query, by the merge stage. Reads
+  // the batch's own snapshot: set ids are only meaningful against the
+  // generation the batch was built from.
   void process_completion(std::unique_ptr<Batch> batch, std::vector<ResultPair> pairs,
                           bool overflow) {
     // Reduce span per batch; the overflow CPU re-match is part of it (it is
@@ -538,25 +709,26 @@ class TagMatchImpl {
       batch_overflows_->inc();
       pairs = cpu_match(*batch);  // Recompute exactly; GPU output was truncated.
     }
+    const IndexSnapshot& snap = *batch->snapshot;
     result_pairs_->add(pairs.size());
     for (const ResultPair& pair : pairs) {
       QueryState& qs = *batch->queries[pair.query];
       if (config_.exact_check && !qs.tag_hashes.empty()) {
         // §3's optional exact subset check: reject Bloom false positives by
         // verifying the set's tag hashes against the query's.
-        const uint64_t h0 = exact_offsets_[pair.set_id];
-        const uint64_t h1 = exact_offsets_[pair.set_id + 1];
+        const uint64_t h0 = snap.exact_offsets[pair.set_id];
+        const uint64_t h1 = snap.exact_offsets[pair.set_id + 1];
         if (h1 > h0 && !std::includes(qs.tag_hashes.begin(), qs.tag_hashes.end(),
-                                      exact_hashes_.begin() + static_cast<ptrdiff_t>(h0),
-                                      exact_hashes_.begin() + static_cast<ptrdiff_t>(h1))) {
+                                      snap.exact_hashes.begin() + static_cast<ptrdiff_t>(h0),
+                                      snap.exact_hashes.begin() + static_cast<ptrdiff_t>(h1))) {
           exact_rejections_->inc();
           continue;
         }
       }
-      const uint32_t k0 = key_offsets_[pair.set_id];
-      const uint32_t k1 = key_offsets_[pair.set_id + 1];
+      const uint32_t k0 = snap.key_offsets[pair.set_id];
+      const uint32_t k1 = snap.key_offsets[pair.set_id + 1];
       std::lock_guard lock(qs.mu);
-      qs.keys.insert(qs.keys.end(), keys_flat_.begin() + k0, keys_flat_.begin() + k1);
+      qs.keys.insert(qs.keys.end(), snap.keys_flat.begin() + k0, snap.keys_flat.begin() + k1);
     }
     // Observed false-positive rate of the signature scheme, in parts per
     // million of forwarded result pairs. Only the exact check can tell a
@@ -603,7 +775,8 @@ class TagMatchImpl {
   }
 
   void flush_partials() {
-    for (auto& slot_ptr : partials_) {
+    std::shared_ptr<const IndexSnapshot> snap = acquire_snapshot();
+    for (const auto& slot_ptr : snap->partials) {
       std::unique_ptr<Batch> batch;
       {
         std::lock_guard lock(slot_ptr->mu);
@@ -618,7 +791,10 @@ class TagMatchImpl {
   // Background flusher enforcing the batch timeout (§3, Fig. 6) and, for
   // deadline-carrying queries, the deadline-aware batch close: a batch whose
   // oldest member deadline would expire before the next tick is submitted
-  // now instead of waiting out the full batch timeout.
+  // now instead of waiting out the full batch timeout. Each tick works on an
+  // owning reference to the then-current snapshot; a concurrent publication
+  // sweeps whatever the flusher doesn't take (slot handoff is serialized by
+  // the per-slot mutex, so a batch is submitted exactly once).
   void timeout_loop() {
     const auto timeout = config_.batch_timeout;
     const auto tick = std::max(timeout / 4, std::chrono::milliseconds(1));
@@ -630,42 +806,44 @@ class TagMatchImpl {
         return;
       }
       lock.unlock();
-      std::lock_guard work_lock(flusher_work_mu_);
-      const int64_t now = now_ns();
-      const int64_t cutoff =
-          now - std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
-      bool any_deadline_close = false;
-      for (auto& slot_ptr : partials_) {
-        std::unique_ptr<Batch> expired;
-        bool deadline_close = false;
-        {
-          std::lock_guard slot_lock(slot_ptr->mu);
-          if (slot_ptr->batch) {
-            const bool aged = slot_ptr->batch->created_ns <= cutoff;
-            deadline_close = !aged && slot_ptr->batch->min_deadline_ns != 0 &&
-                             slot_ptr->batch->min_deadline_ns <= now + tick_ns;
-            if (aged || deadline_close) {
-              expired = std::move(slot_ptr->batch);
+      {
+        std::shared_ptr<const IndexSnapshot> snap = acquire_snapshot();
+        const int64_t now = now_ns();
+        const int64_t cutoff =
+            now - std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count();
+        bool any_deadline_close = false;
+        for (const auto& slot_ptr : snap->partials) {
+          std::unique_ptr<Batch> expired;
+          bool deadline_close = false;
+          {
+            std::lock_guard slot_lock(slot_ptr->mu);
+            if (slot_ptr->batch) {
+              const bool aged = slot_ptr->batch->created_ns <= cutoff;
+              deadline_close = !aged && slot_ptr->batch->min_deadline_ns != 0 &&
+                               slot_ptr->batch->min_deadline_ns <= now + tick_ns;
+              if (aged || deadline_close) {
+                expired = std::move(slot_ptr->batch);
+              }
             }
           }
-        }
-        if (expired && !expired->filters.empty()) {
-          if (deadline_close) {
-            deadline_closes_->inc();
-            any_deadline_close = true;
+          if (expired && !expired->filters.empty()) {
+            if (deadline_close) {
+              deadline_closes_->inc();
+              any_deadline_close = true;
+            }
+            submit_batch(std::move(expired));
           }
-          submit_batch(std::move(expired));
         }
-      }
-      // Results of the last batch on each stream wait for the stream's next
-      // batch (double buffering); if submission has gone quiet, drain them.
-      // A deadline close drains unconditionally: its whole point is that the
-      // query cannot afford to wait for the stream's next batch.
-      if (engine_ && engine_->in_flight() > 0 &&
-          (any_deadline_close ||
-           now_ns() - last_submit_ns_.load(std::memory_order_relaxed) >
-               std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count())) {
-        engine_->drain();
+        // Results of the last batch on each stream wait for the stream's
+        // next batch (double buffering); if submission has gone quiet, drain
+        // them. A deadline close drains unconditionally: its whole point is
+        // that the query cannot afford to wait for the stream's next batch.
+        if (engine_ && engine_->in_flight() > 0 &&
+            (any_deadline_close ||
+             now_ns() - last_submit_ns_.load(std::memory_order_relaxed) >
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count())) {
+          engine_->drain();
+        }
       }
       lock.lock();
     }
@@ -690,23 +868,32 @@ class TagMatchImpl {
     bool has_hashes = false;
   };
 
-  // Staged updates and the master table (filter -> keys + exact hashes).
+  // Staged updates. The master table (filter -> keys + exact hashes) is
+  // mutated only by writers serialized on consolidate_mu_ (its apply step
+  // holds staging_mu_ for the staged-list handoff); applying_adds_ keeps
+  // the staged adds scannable between apply and publication.
   mutable std::mutex staging_mu_;
   std::vector<StagedAdd> staged_adds_;
+  std::vector<StagedAdd> applying_adds_;
   std::vector<std::pair<BitVector192, Key>> staged_removes_;
   std::unordered_map<BitVector192, SetEntry, BitVector192Hash> table_;
 
-  // Consolidated index.
-  std::vector<BitVector192> filters_sorted_;  // Host mirror of the GPU tagset table.
-  std::vector<uint32_t> set_ids_;
-  std::vector<uint32_t> offsets_;
-  std::vector<BitVector192> masks_;           // Partition masks, aligned with offsets_.
-  std::vector<uint32_t> key_offsets_;
-  std::vector<Key> keys_flat_;
-  std::vector<uint64_t> exact_offsets_;       // Per unique set, into exact_hashes_.
-  std::vector<uint64_t> exact_hashes_;
-  PartitionTable partition_table_;
-  std::vector<std::unique_ptr<PartialSlot>> partials_;
+  // Epoch-published consolidated index (docs/CONCURRENCY.md, "Epoch
+  // lifecycle & reclamation"). Readers pin epoch_ and load published_;
+  // writers (consolidate / load_index, serialized by consolidate_mu_) build
+  // a fresh snapshot, swap the pointer and retire the old generation.
+  std::unique_ptr<epoch::EpochManager> epoch_;
+  std::mutex consolidate_mu_;
+  std::atomic<const IndexSnapshot*> published_{nullptr};  // Never null after ctor.
+  std::shared_ptr<const IndexSnapshot> published_owner_;  // Writer-side, consolidate_mu_.
+  std::atomic<uint64_t> snapshot_seq_{0};
+
+  // GPU-resident table switchover. Submitters take the gate shared
+  // (try_lock — never blocking a query) and compare their batch's snapshot
+  // version against gpu_version_; publication takes it exclusive, drains
+  // the streams, uploads the new table and bumps the version.
+  std::shared_mutex gpu_table_mu_;
+  uint64_t gpu_version_ = 0;  // Guarded by gpu_table_mu_.
 
   std::unique_ptr<GpuEngine> engine_;
   // Task execution core running pre-process, reduce/merge and the CPU
@@ -717,8 +904,6 @@ class TagMatchImpl {
   std::thread timeout_thread_;
   std::mutex timeout_mu_;
   std::condition_variable timeout_cv_;
-  // Serializes the flusher's per-tick work against index installation.
-  std::mutex flusher_work_mu_;
   bool stopping_ = false;
 
   std::mutex flush_mu_;
@@ -740,6 +925,7 @@ class TagMatchImpl {
   obs::Counter* result_pairs_ = nullptr;
   obs::Counter* deadline_closes_ = nullptr;
   obs::Counter* consolidations_ = nullptr;
+  obs::Counter* stale_snapshot_batches_ = nullptr;
   obs::Histogram* query_latency_ = nullptr;
   obs::Gauge* unique_sets_gauge_ = nullptr;
   obs::Gauge* partitions_gauge_ = nullptr;
@@ -749,7 +935,6 @@ class TagMatchImpl {
   obs::Histogram* discard_ratio_ = nullptr;
   std::atomic<uint64_t> query_seq_{0};
   std::atomic<uint64_t> batch_seq_{0};
-  double last_consolidate_seconds_ = 0;
 
  public:
   bool save_index(const std::string& path) const;
@@ -791,6 +976,9 @@ bool read_vec(std::FILE* f, std::vector<T>& v) {
 }  // namespace
 
 bool TagMatchImpl::save_index(const std::string& path) const {
+  // One pinned snapshot for the whole dump: the file is internally
+  // consistent even if a consolidate publishes mid-save.
+  std::shared_ptr<const IndexSnapshot> snap = acquire_snapshot();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return false;
@@ -799,14 +987,14 @@ bool TagMatchImpl::save_index(const std::string& path) const {
   std::fwrite(&kIndexVersion, sizeof(kIndexVersion), 1, f);
   const uint32_t scheme_id = static_cast<uint32_t>(scheme_->id());
   std::fwrite(&scheme_id, sizeof(scheme_id), 1, f);
-  write_vec(f, filters_sorted_);
-  write_vec(f, set_ids_);
-  write_vec(f, offsets_);
-  write_vec(f, masks_);
-  write_vec(f, key_offsets_);
-  write_vec(f, keys_flat_);
-  write_vec(f, exact_offsets_);
-  write_vec(f, exact_hashes_);
+  write_vec(f, snap->filters_sorted);
+  write_vec(f, snap->set_ids);
+  write_vec(f, snap->offsets);
+  write_vec(f, snap->masks);
+  write_vec(f, snap->key_offsets);
+  write_vec(f, snap->keys_flat);
+  write_vec(f, snap->exact_offsets);
+  write_vec(f, snap->exact_hashes);
   // ferror catches short fwrites from any write_vec above (they set the
   // stream error flag); fflush alone would miss them.
   bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
@@ -859,40 +1047,55 @@ bool TagMatchImpl::load_index(const std::string& path) {
     return false;
   }
 
-  flush();
-  filters_sorted_ = std::move(filters_sorted);
-  set_ids_ = std::move(set_ids);
-  offsets_ = std::move(offsets);
-  masks_ = std::move(masks);
-  key_offsets_ = std::move(key_offsets);
-  keys_flat_ = std::move(keys_flat);
-  exact_offsets_ = std::move(exact_offsets);
-  exact_hashes_ = std::move(exact_hashes);
+  // Writer path: build the loaded snapshot and publish it exactly like a
+  // consolidate. No flush needed — in-flight queries drain on the snapshot
+  // they pinned; only the staged state has to be reset atomically with the
+  // master-table rebuild.
+  std::lock_guard writer_lock(consolidate_mu_);
+  StopWatch watch;
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->version = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap->filters_sorted = std::move(filters_sorted);
+  snap->set_ids = std::move(set_ids);
+  snap->offsets = std::move(offsets);
+  snap->masks = std::move(masks);
+  snap->key_offsets = std::move(key_offsets);
+  snap->keys_flat.assign(keys_flat.begin(), keys_flat.end());
+  snap->exact_offsets = std::move(exact_offsets);
+  snap->exact_hashes = std::move(exact_hashes);
+  for (PartitionId pid = 0; pid < snap->masks.size(); ++pid) {
+    snap->partition_table.add(snap->masks[pid], pid);
+  }
+  snap->partials.reserve(snap->masks.size());
+  for (size_t i = 0; i < snap->masks.size(); ++i) {
+    snap->partials.push_back(std::make_unique<PartialSlot>());
+  }
 
   // Rebuild the master table so later add/remove + consolidate cycles see
   // the loaded contents.
   {
     std::lock_guard lock(staging_mu_);
     staged_adds_.clear();
+    applying_adds_.clear();
     staged_removes_.clear();
     table_.clear();
-    const size_t n_unique = key_offsets_.empty() ? 0 : key_offsets_.size() - 1;
+    const size_t n_unique = snap->unique_sets();
     std::vector<const BitVector192*> filter_of_sid(n_unique, nullptr);
-    for (size_t slot = 0; slot < set_ids_.size(); ++slot) {
-      filter_of_sid[set_ids_[slot]] = &filters_sorted_[slot];
+    for (size_t slot = 0; slot < snap->set_ids.size(); ++slot) {
+      filter_of_sid[snap->set_ids[slot]] = &snap->filters_sorted[slot];
     }
     for (size_t sid = 0; sid < n_unique; ++sid) {
       TAGMATCH_CHECK(filter_of_sid[sid] != nullptr);
       SetEntry& entry = table_[*filter_of_sid[sid]];
-      entry.keys.assign(keys_flat_.begin() + key_offsets_[sid],
-                        keys_flat_.begin() + key_offsets_[sid + 1]);
-      entry.has_hashes = exact_offsets_[sid + 1] > exact_offsets_[sid];
+      entry.keys.assign(snap->keys_flat.begin() + snap->key_offsets[sid],
+                        snap->keys_flat.begin() + snap->key_offsets[sid + 1]);
+      entry.has_hashes = snap->exact_offsets[sid + 1] > snap->exact_offsets[sid];
       entry.tag_hashes.assign(
-          exact_hashes_.begin() + static_cast<ptrdiff_t>(exact_offsets_[sid]),
-          exact_hashes_.begin() + static_cast<ptrdiff_t>(exact_offsets_[sid + 1]));
+          snap->exact_hashes.begin() + static_cast<ptrdiff_t>(snap->exact_offsets[sid]),
+          snap->exact_hashes.begin() + static_cast<ptrdiff_t>(snap->exact_offsets[sid + 1]));
     }
   }
-  install_index();
+  publish_snapshot(std::move(snap), watch);
   return true;
 }
 

@@ -1,0 +1,180 @@
+#include "src/epoch/epoch_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tagmatch::epoch {
+
+namespace {
+
+std::atomic<uint64_t> g_next_manager_id{1};
+
+// Thread-local slot cache: one entry per (thread, manager) pair. Keyed by the
+// manager's process-unique id — ids are never reused, so a cache hit cannot
+// alias a dead manager's slot. When an entry's shared_ptr is the last
+// reference (use_count() == 1) the manager is gone and the entry is pruned.
+struct CacheEntry {
+  uint64_t manager_id;
+  std::shared_ptr<detail::Slot> slot;
+};
+
+thread_local std::vector<CacheEntry> t_slots;
+
+}  // namespace
+
+EpochManager::EpochManager(obs::Registry* registry)
+    : id_(g_next_manager_id.fetch_add(1, std::memory_order_relaxed)) {
+  if (registry != nullptr) {
+    advances_ = registry->counter("epoch.advances");
+    retired_count_ = registry->counter("epoch.retired");
+    reclaimed_count_ = registry->counter("epoch.reclaimed");
+    pinned_gauge_ = registry->gauge("epoch.pinned");
+  }
+}
+
+EpochManager::~EpochManager() {
+  // Owner contract: all readers are quiesced before the manager dies, so
+  // every pending reclaimer is safe to run now.
+  std::vector<Retired> leftover;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    leftover.swap(retired_);
+  }
+  for (Retired& r : leftover) {
+    r.reclaimer();
+  }
+}
+
+detail::Slot* EpochManager::slot_for_thread() {
+  for (size_t i = 0; i < t_slots.size();) {
+    if (t_slots[i].slot.use_count() == 1) {
+      // Sole owner: the manager that issued this slot has been destroyed.
+      t_slots[i] = std::move(t_slots.back());
+      t_slots.pop_back();
+      continue;
+    }
+    if (t_slots[i].manager_id == id_) {
+      return t_slots[i].slot.get();
+    }
+    ++i;
+  }
+  auto slot = std::make_shared<detail::Slot>();
+  {
+    std::lock_guard<std::mutex> lock(participants_mu_);
+    participants_.push_back(slot);
+  }
+  t_slots.push_back(CacheEntry{id_, slot});
+  return t_slots.back().slot.get();
+}
+
+detail::Slot* EpochManager::enter() {
+  detail::Slot* slot = slot_for_thread();
+  if (slot->depth++ == 0) {
+    // seq_cst: must be ordered before the reader's subsequent seq_cst load
+    // of the published pointer in the single total order (see header).
+    slot->epoch.store(global_epoch_.load(std::memory_order_relaxed),
+                      std::memory_order_seq_cst);
+    pinned_.fetch_add(1, std::memory_order_relaxed);
+    if (pinned_gauge_ != nullptr) pinned_gauge_->add(1);
+  }
+  return slot;
+}
+
+void EpochManager::exit(detail::Slot* slot) {
+  if (--slot->depth == 0) {
+    slot->epoch.store(detail::Slot::kIdle, std::memory_order_release);
+    pinned_.fetch_sub(1, std::memory_order_relaxed);
+    if (pinned_gauge_ != nullptr) pinned_gauge_->add(-1);
+  }
+}
+
+void EpochManager::retire(std::function<void()> reclaimer) {
+  const uint64_t epoch = global_epoch_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back(Retired{epoch, std::move(reclaimer)});
+  }
+  if (retired_count_ != nullptr) retired_count_->inc();
+}
+
+uint64_t EpochManager::min_active_epoch() {
+  uint64_t min = detail::Slot::kIdle;
+  std::lock_guard<std::mutex> lock(participants_mu_);
+  for (size_t i = 0; i < participants_.size();) {
+    if (participants_[i].use_count() == 1 &&
+        participants_[i]->epoch.load(std::memory_order_seq_cst) ==
+            detail::Slot::kIdle) {
+      // The owning thread exited with no pin held; drop the slot.
+      participants_[i] = std::move(participants_.back());
+      participants_.pop_back();
+      continue;
+    }
+    min = std::min(min,
+                   participants_[i]->epoch.load(std::memory_order_seq_cst));
+    ++i;
+  }
+  return min;
+}
+
+size_t EpochManager::reclaim_before(uint64_t min_active) {
+  std::vector<Retired> ready;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    auto split = std::partition(
+        retired_.begin(), retired_.end(),
+        [min_active](const Retired& r) { return r.epoch >= min_active; });
+    ready.assign(std::make_move_iterator(split),
+                 std::make_move_iterator(retired_.end()));
+    retired_.erase(split, retired_.end());
+  }
+  for (Retired& r : ready) {
+    r.reclaimer();
+  }
+  if (reclaimed_count_ != nullptr && !ready.empty()) {
+    reclaimed_count_->add(ready.size());
+  }
+  return ready.size();
+}
+
+size_t EpochManager::reclaim() {
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (advances_ != nullptr) advances_->inc();
+  return reclaim_before(min_active_epoch());
+}
+
+void EpochManager::synchronize() {
+  const uint64_t target =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (advances_ != nullptr) advances_->inc();
+  // Wait for every pin taken before the advance: a slot blocks us only while
+  // it is pinned at an epoch < target. New pins observe >= target (or land
+  // on the freshly published state anyway — see header) and don't block.
+  for (int spins = 0;; ++spins) {
+    bool busy = false;
+    {
+      std::lock_guard<std::mutex> lock(participants_mu_);
+      for (const auto& slot : participants_) {
+        const uint64_t e = slot->epoch.load(std::memory_order_seq_cst);
+        if (e != detail::Slot::kIdle && e < target) {
+          busy = true;
+          break;
+        }
+      }
+    }
+    if (!busy) break;
+    if (spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  reclaim_before(target);
+}
+
+size_t EpochManager::retired_pending() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  return retired_.size();
+}
+
+}  // namespace tagmatch::epoch

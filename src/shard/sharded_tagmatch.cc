@@ -50,12 +50,14 @@ ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(confi
     sched_config.metrics = std::shared_ptr<obs::PipelineObs>(std::shared_ptr<void>(), &obs_);
     scheduler_ = std::make_shared<task::TaskScheduler>(std::move(sched_config));
   }
-  shards_.reserve(config_.num_shards);
-  gates_.reserve(config_.num_shards);
+  router_epoch_ = std::make_unique<epoch::EpochManager>(&obs_.registry());
+  auto initial = std::make_shared<EngineSet>();
+  initial->shards.reserve(config_.num_shards);
   for (unsigned i = 0; i < config_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<TagMatch>(config_.shard));
-    gates_.push_back(std::make_unique<std::shared_mutex>());
+    initial->shards.push_back(std::make_unique<TagMatch>(config_.shard));
   }
+  engines_owner_ = initial;
+  engines_.store(initial.get(), std::memory_order_seq_cst);
   if (config_.query_timeout.count() > 0) {
     ensure_timeout_thread();
   }
@@ -81,7 +83,9 @@ ShardedTagMatch::~ShardedTagMatch() {
   // flush() completed every gather, so no queued finish_gather task still
   // references this router; drain and join the pool before members die.
   scheduler_->shutdown();
-  shards_.clear();  // Each engine flushes and joins its pipeline.
+  engines_.store(nullptr, std::memory_order_seq_cst);
+  engines_owner_.reset();  // Each engine flushes and joins its pipeline.
+  router_epoch_.reset();   // Runs any retirement a commit left pending.
 }
 
 BloomFilter192 ShardedTagMatch::encode(std::span<const std::string> tags) const {
@@ -91,52 +95,66 @@ BloomFilter192 ShardedTagMatch::encode(std::span<const std::string> tags) const 
 // --- Table maintenance -----------------------------------------------------
 // Staging is routed immediately (the policy is stable, so a later
 // remove_set of the same (filter, key) reaches the same shard); it becomes
-// matchable per the underlying engines' semantics.
+// matchable per the underlying engines' semantics. The pin keeps the engine
+// set alive against a concurrent commit_engines() swap.
 
 void ShardedTagMatch::add_set(std::span<const std::string> tags, Key key) {
   BloomFilter192 filter = encode(tags);
-  shards_[shard_of(filter.bits(), key)]->add_set(tags, key);
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  es.shards[shard_of(filter.bits(), key)]->add_set(tags, key);
 }
 
 void ShardedTagMatch::add_set(const BloomFilter192& filter, Key key) {
-  shards_[shard_of(filter.bits(), key)]->add_set(filter, key);
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  es.shards[shard_of(filter.bits(), key)]->add_set(filter, key);
 }
 
 void ShardedTagMatch::add_set_hashed(const BloomFilter192& filter,
                                      std::span<const uint64_t> tag_hashes, Key key) {
-  shards_[shard_of(filter.bits(), key)]->add_set_hashed(filter, tag_hashes, key);
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  es.shards[shard_of(filter.bits(), key)]->add_set_hashed(filter, tag_hashes, key);
 }
 
 void ShardedTagMatch::remove_set(std::span<const std::string> tags, Key key) {
   BloomFilter192 filter = encode(tags);
-  shards_[shard_of(filter.bits(), key)]->remove_set(tags, key);
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  es.shards[shard_of(filter.bits(), key)]->remove_set(tags, key);
 }
 
 void ShardedTagMatch::remove_set(const BloomFilter192& filter, Key key) {
-  shards_[shard_of(filter.bits(), key)]->remove_set(filter, key);
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  es.shards[shard_of(filter.bits(), key)]->remove_set(filter, key);
 }
 
 void ShardedTagMatch::consolidate() {
   StopWatch watch;
   const int64_t start_ns = now_ns();
-  if (config_.concurrent_consolidate && shards_.size() > 1) {
+  // The pin outlives the whole parallel_for: helpers on other workers touch
+  // the same EngineSet, and they finish before parallel_for returns, so the
+  // caller's pin covers them. Each engine publishes its rebuilt index via
+  // its own epoch snapshot, so queries keep flowing to every shard — even
+  // the one currently rebuilding.
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  if (config_.concurrent_consolidate && es.shards.size() > 1) {
     // Shards are independent: rebuild them in parallel on the router pool.
-    // Each rebuild takes only its own shard's gate, so queries keep flowing
-    // to every shard that is not currently rebuilding. A rebuild blocks its
-    // router worker inside the shard's flush(); that is safe because shard
-    // pipelines run on their own pools, and parallel_for's caller claims
-    // rebuilds itself, so completion never depends on a free router worker.
-    scheduler_->parallel_for(shards_.size(), [this](size_t i) {
-      std::unique_lock gate(*gates_[i]);
-      shards_[i]->consolidate();
-    });
+    // A rebuild blocks its router worker inside the shard's GPU-drain wait;
+    // that is safe because shard pipelines run on their own pools, and
+    // parallel_for's caller claims rebuilds itself, so completion never
+    // depends on a free router worker.
+    scheduler_->parallel_for(es.shards.size(),
+                             [&es](size_t i) { es.shards[i]->consolidate(); });
   } else {
-    for (size_t i = 0; i < shards_.size(); ++i) {
-      std::unique_lock gate(*gates_[i]);
-      shards_[i]->consolidate();
+    for (const auto& shard : es.shards) {
+      shard->consolidate();
     }
   }
-  wall_consolidate_seconds_ = watch.elapsed_s();
+  wall_consolidate_seconds_.store(watch.elapsed_s(), std::memory_order_relaxed);
   // Router-side consolidate span: the wall time of the whole rebuild (the
   // per-shard spans live in each shard's own registry).
   obs_.record_stage(obs::Stage::kConsolidate,
@@ -152,10 +170,12 @@ void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t>
                               ResultCallback callback) {
   queries_->inc();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
   auto gather = std::make_shared<Gather>();
   gather->kind = kind;
   gather->callback = std::move(callback);
-  gather->awaiting = static_cast<uint32_t>(shards_.size());
+  gather->awaiting = static_cast<uint32_t>(es.shards.size());
   gather->trace_id = gather_seq_.fetch_add(1, std::memory_order_relaxed);
   gather->start_ns = now_ns();
   obs::TraceContext shard_ctx;
@@ -179,20 +199,19 @@ void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t>
     std::lock_guard lock(gathers_mu_);
     gathers_.push_back(gather);
   }
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  for (const auto& shard : es.shards) {
     auto on_shard = [this, gather](std::vector<Key> keys) { absorb(gather, std::move(keys)); };
-    std::shared_lock gate(*gates_[i]);
     if (tag_hashes.empty()) {
       if (shard_ctx.valid()) {
-        shards_[i]->match_async(query, kind, shard_deadline_ns, shard_ctx, std::move(on_shard));
+        shard->match_async(query, kind, shard_deadline_ns, shard_ctx, std::move(on_shard));
       } else if (shard_deadline_ns != 0) {
-        shards_[i]->match_async(query, kind, shard_deadline_ns, std::move(on_shard));
+        shard->match_async(query, kind, shard_deadline_ns, std::move(on_shard));
       } else {
-        shards_[i]->match_async(query, kind, std::move(on_shard));
+        shard->match_async(query, kind, std::move(on_shard));
       }
     } else {
-      shards_[i]->match_async_hashed(query, tag_hashes, kind, std::move(on_shard),
-                                     shard_deadline_ns, shard_ctx);
+      shard->match_async_hashed(query, tag_hashes, kind, std::move(on_shard),
+                                shard_deadline_ns, shard_ctx);
     }
   }
 }
@@ -437,15 +456,19 @@ std::vector<Matcher::Key> ShardedTagMatch::match_unique(std::span<const std::str
 
 void ShardedTagMatch::flush() {
   for (;;) {
-    for (size_t i = 0; i < shards_.size(); ++i) {
-      std::shared_lock gate(*gates_[i]);
-      shards_[i]->flush();
+    {
+      epoch::EpochManager::Pin pin(*router_epoch_);
+      const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+      for (const auto& shard : es.shards) {
+        shard->flush();
+      }
     }
     if (outstanding_.load(std::memory_order_acquire) == 0) {
       return;
     }
     // A scatter may have registered its gather but not reached every shard
-    // yet; yield and re-flush.
+    // yet; yield and re-flush. The pin is released across the sleep so a
+    // concurrent commit_engines() can make progress.
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
@@ -454,43 +477,51 @@ void ShardedTagMatch::flush() {
 
 Matcher::Stats ShardedTagMatch::stats() const {
   Stats total;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    std::shared_lock gate(*gates_[i]);
-    total += shards_[i]->stats();
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  for (const auto& shard : es.shards) {
+    total += shard->stats();
   }
   return total;
 }
 
 ShardedTagMatch::ShardStats ShardedTagMatch::shard_stats() const {
   ShardStats s;
-  s.per_shard.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    std::shared_lock gate(*gates_[i]);
-    s.per_shard.push_back(shards_[i]->stats());
-    s.total += s.per_shard.back();
+  {
+    epoch::EpochManager::Pin pin(*router_epoch_);
+    const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+    s.per_shard.reserve(es.shards.size());
+    for (const auto& shard : es.shards) {
+      s.per_shard.push_back(shard->stats());
+      s.total += s.per_shard.back();
+    }
   }
   s.queries = queries_->value();
   s.partial_results = partial_results_->value();
   s.shards_shed = shards_shed_->value();
-  s.wall_consolidate_seconds = wall_consolidate_seconds_;
+  s.wall_consolidate_seconds = wall_consolidate_seconds_.load(std::memory_order_relaxed);
   return s;
 }
 
 obs::MetricsSnapshot ShardedTagMatch::metrics_snapshot() const {
   obs::MetricsSnapshot snap = obs_.registry().snapshot();
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    std::shared_lock gate(*gates_[i]);
-    snap += shards_[i]->metrics_snapshot();
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  for (const auto& shard : es.shards) {
+    snap += shard->metrics_snapshot();
   }
   return snap;
 }
 
 std::vector<obs::Span> ShardedTagMatch::trace_snapshot() const {
   std::vector<obs::Span> spans = obs_.tracer().snapshot();
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    std::shared_lock gate(*gates_[i]);
-    std::vector<obs::Span> shard_spans = shards_[i]->trace_snapshot();
-    spans.insert(spans.end(), shard_spans.begin(), shard_spans.end());
+  {
+    epoch::EpochManager::Pin pin(*router_epoch_);
+    const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+    for (const auto& shard : es.shards) {
+      std::vector<obs::Span> shard_spans = shard->trace_snapshot();
+      spans.insert(spans.end(), shard_spans.begin(), shard_spans.end());
+    }
   }
   std::sort(spans.begin(), spans.end(),
             [](const obs::Span& a, const obs::Span& b) { return a.start_ns < b.start_ns; });
@@ -499,9 +530,10 @@ std::vector<obs::Span> ShardedTagMatch::trace_snapshot() const {
 
 uint64_t ShardedTagMatch::trace_dropped() const {
   uint64_t dropped = obs_.tracer().dropped();
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    std::shared_lock gate(*gates_[i]);
-    dropped += shards_[i]->trace_dropped();
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  for (const auto& shard : es.shards) {
+    dropped += shard->trace_dropped();
   }
   return dropped;
 }
@@ -584,10 +616,11 @@ bool read_manifest(const std::string& path, Manifest& m) {
 }  // namespace
 
 bool ShardedTagMatch::save_index(const std::string& path) const {
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
   // Shard files first: a manifest only ever references files that exist.
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    std::shared_lock gate(*gates_[i]);
-    if (!shards_[i]->save_index(path + ".shard" + std::to_string(i))) {
+  for (size_t i = 0; i < es.shards.size(); ++i) {
+    if (!es.shards[i]->save_index(path + ".shard" + std::to_string(i))) {
       return false;
     }
   }
@@ -597,11 +630,11 @@ bool ShardedTagMatch::save_index(const std::string& path) const {
   }
   std::fwrite(&kManifestMagic, sizeof(kManifestMagic), 1, f);
   std::fwrite(&kManifestVersion, sizeof(kManifestVersion), 1, f);
-  uint32_t n = static_cast<uint32_t>(shards_.size());
+  uint32_t n = static_cast<uint32_t>(es.shards.size());
   std::fwrite(&n, sizeof(n), 1, f);
   write_string(f, policy_->name());
   write_string(f, std::string(sig::resolve(config_.shard.signature_scheme).name()));
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  for (size_t i = 0; i < es.shards.size(); ++i) {
     write_string(f, base_name(path) + ".shard" + std::to_string(i));
   }
   bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
@@ -637,12 +670,12 @@ bool ShardedTagMatch::load_index(const std::string& path) {
   // after the whole manifest has resolved (a missing or corrupt shard file
   // must not corrupt the serving state).
   std::vector<std::unique_ptr<TagMatch>> fresh;
-  fresh.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  fresh.reserve(config_.num_shards);
+  for (unsigned i = 0; i < config_.num_shards; ++i) {
     fresh.push_back(std::make_unique<TagMatch>(config_.shard));
   }
 
-  if (m.num_shards == shards_.size() && m.policy == policy_->name()) {
+  if (m.num_shards == config_.num_shards && m.policy == policy_->name()) {
     // Fast path: same layout — each saved shard is one live shard.
     for (size_t i = 0; i < fresh.size(); ++i) {
       if (!fresh[i]->load_index(shard_paths[i])) {
@@ -675,8 +708,8 @@ bool ShardedTagMatch::load_index(const std::string& path) {
         }
       });
     }
-    // Fresh engines serve no queries yet, so no gates are needed; build them
-    // in parallel on the router pool.
+    // Fresh engines serve no queries yet; build them in parallel on the
+    // router pool.
     scheduler_->parallel_for(fresh.size(), [&fresh](size_t i) { fresh[i]->consolidate(); });
   }
   commit_engines(std::move(fresh));
@@ -685,14 +718,21 @@ bool ShardedTagMatch::load_index(const std::string& path) {
 
 void ShardedTagMatch::commit_engines(std::vector<std::unique_ptr<TagMatch>> fresh) {
   flush();  // Complete outstanding gathers against the outgoing engines.
-  std::vector<std::unique_lock<std::shared_mutex>> locks;
-  locks.reserve(gates_.size());
-  for (auto& gate : gates_) {
-    locks.emplace_back(*gate);
+  auto next = std::make_shared<EngineSet>();
+  next->shards = std::move(fresh);
+  std::shared_ptr<const EngineSet> outgoing;
+  {
+    std::lock_guard commit_lock(commit_mu_);
+    outgoing = std::move(engines_owner_);
+    engines_owner_ = next;
+    engines_.store(next.get(), std::memory_order_seq_cst);
   }
-  shards_.swap(fresh);
-  // `fresh` now holds the outgoing engines; their destructors flush and
-  // join after the gates release.
+  // Wait for every reader that could still hold the outgoing set, then
+  // retire it: the engine destructors flush and join their pipelines, which
+  // completes any gather a late scatter issued against the old engines.
+  router_epoch_->synchronize();
+  router_epoch_->retire([keep = std::move(outgoing)]() mutable { keep.reset(); });
+  router_epoch_->reclaim();
 }
 
 }  // namespace tagmatch::shard

@@ -12,8 +12,9 @@
 //
 // What sharding buys over one big engine:
 //  * consolidate() rebuilds all shards concurrently — total rebuild
-//    wall-time drops to the slowest shard, and matching against shard A
-//    proceeds while shard B rebuilds (per-shard gates, no global stall);
+//    wall-time drops to the slowest shard, and matching keeps flowing on
+//    every shard throughout (the engines publish rebuilt indexes via epoch
+//    snapshots, so there is no gate on the query path at all);
 //  * each shard's tagset table, key table and GPU footprint is ~1/N of the
 //    whole, so databases past a single engine's memory ceiling fit;
 //  * an optional per-query shard timeout sheds slow shards: the gather then
@@ -32,7 +33,6 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -41,6 +41,7 @@
 #include "src/core/config.h"
 #include "src/core/matcher.h"
 #include "src/core/tagmatch.h"
+#include "src/epoch/epoch_manager.h"
 #include "src/obs/trace.h"
 #include "src/shard/shard_policy.h"
 #include "src/task/task_scheduler.h"
@@ -82,8 +83,9 @@ class ShardedTagMatch : public Matcher {
                       Key key);
   void remove_set(std::span<const std::string> tags, Key key) override;
   void remove_set(const BloomFilter192& filter, Key key) override;
-  // Rebuilds every shard (concurrently by default); per-shard gates keep
-  // matching live on shards that are not currently rebuilding.
+  // Rebuilds every shard (concurrently by default). Matching stays live on
+  // every shard throughout: each engine publishes its rebuilt index as an
+  // epoch snapshot, so no gather stalls on a rebuild.
   void consolidate() override;
 
   // --- Matching ---
@@ -172,14 +174,21 @@ class ShardedTagMatch : public Matcher {
   // Ring-overwrite drops summed over the router's tracer and every shard's.
   uint64_t trace_dropped() const override;
 
-  unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
+  unsigned num_shards() const { return config_.num_shards; }
   const ShardPolicy& policy() const { return *policy_; }
 
  private:
   struct Gather;
 
+  // The shard engines, published as one immutable unit through the router's
+  // epoch manager: readers pin router_epoch_ and load engines_; a commit
+  // swaps the pointer and retires the outgoing set once readers drain.
+  struct EngineSet {
+    std::vector<std::unique_ptr<TagMatch>> shards;
+  };
+
   uint32_t shard_of(const BitVector192& filter, Key key) const {
-    return policy_->shard_of(filter, key, static_cast<uint32_t>(shards_.size()));
+    return policy_->shard_of(filter, key, config_.num_shards);
   }
   // String-tag entry points must encode under the same signature scheme the
   // shard engines run (scheme_, pinned at construction) — a bloom192-encoded
@@ -207,7 +216,9 @@ class ShardedTagMatch : public Matcher {
   // the last-response path, inline on the timeout-shed path.
   void finish_gather(const std::shared_ptr<Gather>& gather, bool partial);
   void timeout_loop();
-  // Swaps in freshly loaded engines; takes every shard gate exclusively.
+  // Publishes freshly loaded engines: completes outstanding gathers, swaps
+  // the engine-set pointer, waits for pinned readers to drain, then retires
+  // the outgoing engines (their destructors flush in-flight work).
   void commit_engines(std::vector<std::unique_ptr<TagMatch>> fresh);
   std::vector<Key> match_sync(const BloomFilter192& query, MatchKind kind,
                               std::vector<uint64_t> tag_hashes);
@@ -220,11 +231,14 @@ class ShardedTagMatch : public Matcher {
   // pools — a rebuild task blocks in a shard's flush(), which needs that
   // shard's own workers to make progress (docs/CONCURRENCY.md).
   std::shared_ptr<task::TaskScheduler> scheduler_;
-  std::vector<std::unique_ptr<TagMatch>> shards_;
-  // Per-shard gate: matchers hold it shared around submission, consolidate/
-  // load hold it exclusive while that shard's index rebuilds (the broker's
-  // publish_mu_ pattern, but per shard — the point of independent shards).
-  std::vector<std::unique_ptr<std::shared_mutex>> gates_;
+  // Epoch-published engine set (docs/CONCURRENCY.md, "Epoch lifecycle &
+  // reclamation"): every reader — scatter, stats, flush, save — pins
+  // router_epoch_ for the duration of its walk; commit_engines() is the only
+  // writer. Registers the router's epoch.* metrics in obs_.
+  std::unique_ptr<epoch::EpochManager> router_epoch_;
+  std::atomic<const EngineSet*> engines_{nullptr};  // Never null after ctor.
+  std::shared_ptr<const EngineSet> engines_owner_;  // Writer-side, commit_mu_.
+  std::mutex commit_mu_;
 
   // Outstanding gathers, registered only when query_timeout is enabled; the
   // timeout thread sweeps fired entries and sheds overdue ones.
@@ -247,7 +261,9 @@ class ShardedTagMatch : public Matcher {
   obs::Counter* shards_shed_ = nullptr;
   std::atomic<uint64_t> gather_seq_{0};
   std::atomic<uint64_t> consolidate_seq_{0};
-  double wall_consolidate_seconds_ = 0;
+  // Written by consolidate(), read by shard_stats() — atomic so a stats
+  // poll racing a rebuild reads a whole value, never a torn one.
+  std::atomic<double> wall_consolidate_seconds_{0};
 };
 
 }  // namespace tagmatch::shard

@@ -22,8 +22,9 @@ namespace {
 using Key = TagMatch::Key;
 using workload::TagId;
 
-// Reference model of the §2 interface: a multiset of (filter, key) pairs
-// with staged updates.
+// Reference model of the §2 interface: a set of (filter, key) pairs with
+// staged updates — re-adding an existing pair is idempotent, and a remove
+// erases the pair outright (the engine dedupes on consolidate).
 class Model {
  public:
   void add(const BitVector192& filter, Key key) { staged_adds_.emplace_back(filter, key); }
@@ -34,17 +35,18 @@ class Model {
 
   void consolidate() {
     for (const auto& [f, k] : staged_adds_) {
-      table_[f.to_string()].push_back(k);
+      auto& keys = table_[f.to_string()];
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
     }
     for (const auto& [f, k] : staged_removes_) {
       auto it = table_.find(f.to_string());
       if (it == table_.end()) {
         continue;
       }
-      auto pos = std::find(it->second.begin(), it->second.end(), k);
-      if (pos != it->second.end()) {
-        it->second.erase(pos);
-      }
+      it->second.erase(std::remove(it->second.begin(), it->second.end(), k),
+                       it->second.end());
       if (it->second.empty()) {
         table_.erase(it);
       }

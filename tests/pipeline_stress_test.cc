@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "src/common/rng.h"
 #include "src/core/tagmatch.h"
@@ -143,11 +146,16 @@ TEST(PipelineStress, LargeTwitterWorkloadOracle) {
   auto queries = w.generate_queries(db, 400, 2, 4);
 
   TagMatch tm(stress_config());
+  // The engine stores (filter, key) pairs set-wise; mirror that in the
+  // oracle or duplicate database entries would inflate its expected count.
   std::vector<std::pair<BitVector192, Key>> oracle_entries;
+  std::set<std::pair<std::string, Key>> oracle_seen;
   for (const auto& op : db) {
     BloomFilter192 f = workload::encode_tags(op.tags);
     tm.add_set(f, op.key);
-    oracle_entries.emplace_back(f.bits(), op.key);
+    if (oracle_seen.emplace(f.bits().to_string(), op.key).second) {
+      oracle_entries.emplace_back(f.bits(), op.key);
+    }
   }
   tm.consolidate();
 

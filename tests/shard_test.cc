@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstdio>
 #include <future>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -86,6 +88,16 @@ struct Workload {
     }
     m.consolidate();
   }
+
+  // Randomly drawn entries can collide; the engine stores (filter, key)
+  // pairs set-wise, so key-count assertions must use the distinct count.
+  size_t distinct_entries() const {
+    std::set<std::pair<std::string, Key>> seen;
+    for (const auto& [f, k] : entries) {
+      seen.emplace(f.to_string(), k);
+    }
+    return seen.size();
+  }
 };
 
 // ------------------------------------------------------ routing & equivalence
@@ -103,7 +115,7 @@ TEST(ShardedTagMatch, MatchesSingleEngineMultisets) {
   for (const auto& s : ss.per_shard) {
     EXPECT_GT(s.total_keys, 0u);
   }
-  EXPECT_EQ(ss.total.total_keys, w.entries.size());
+  EXPECT_EQ(ss.total.total_keys, w.distinct_entries());
 
   for (const auto& q : w.queries) {
     EXPECT_EQ(sorted(sharded.match(BloomFilter192(q))), sorted(single.match(BloomFilter192(q))));
@@ -240,7 +252,7 @@ TEST(ShardedTagMatch, StatsAggregateAcrossShards) {
     engine.match(BloomFilter192(q));
   }
   auto stats = engine.stats();
-  EXPECT_EQ(stats.total_keys, w.entries.size());
+  EXPECT_EQ(stats.total_keys, w.distinct_entries());
   EXPECT_GT(stats.partitions, 0u);
   // Every query is scattered to all 3 shards.
   EXPECT_EQ(stats.queries_processed, 3 * w.queries.size());
@@ -248,7 +260,7 @@ TEST(ShardedTagMatch, StatsAggregateAcrossShards) {
   for (const auto& s : engine.shard_stats().per_shard) {
     per_shard_keys += s.total_keys;
   }
-  EXPECT_EQ(per_shard_keys, w.entries.size());
+  EXPECT_EQ(per_shard_keys, w.distinct_entries());
 }
 
 // --------------------------------------------------------------- persistence
@@ -283,7 +295,7 @@ TEST_F(ShardPersistenceTest, RoundTripSameShardCount) {
   }
   ShardedTagMatch loaded(sharded_config(3));
   ASSERT_TRUE(loaded.load_index(path_));
-  EXPECT_EQ(loaded.stats().total_keys, w.entries.size());
+  EXPECT_EQ(loaded.stats().total_keys, w.distinct_entries());
   expect_equivalent(loaded, reference, w);
 }
 
@@ -301,7 +313,7 @@ TEST_F(ShardPersistenceTest, ReshardsOnLoadAcrossShardCounts) {
   for (unsigned shards : {2u, 5u}) {
     ShardedTagMatch loaded(sharded_config(shards));
     ASSERT_TRUE(loaded.load_index(path_));
-    EXPECT_EQ(loaded.stats().total_keys, w.entries.size());
+    EXPECT_EQ(loaded.stats().total_keys, w.distinct_entries());
     expect_equivalent(loaded, reference, w);
   }
 }

@@ -297,6 +297,44 @@ TEST(TagMatch, RemoveNonexistentIsNoop) {
   EXPECT_EQ(tm.match(q), (std::vector<Key>{1}));
 }
 
+// Regression: staging the same (filter, key) pair twice — within one
+// staging batch or across consolidation cycles — must not duplicate the key
+// in the flat index.
+TEST(TagMatch, DuplicateAddIsIdempotent) {
+  TagMatch tm(test_config());
+  std::vector<std::string> s = {"a", "b"};
+  tm.add_set(s, 7);
+  tm.add_set(s, 7);  // Duplicate within the same staging batch.
+  tm.consolidate();
+  std::vector<std::string> q = {"a", "b", "c"};
+  EXPECT_EQ(tm.match(q), (std::vector<Key>{7}));
+  EXPECT_EQ(tm.stats().total_keys, 1u);
+  tm.add_set(s, 7);  // Re-add of an already-consolidated pair.
+  tm.consolidate();
+  EXPECT_EQ(tm.match(q), (std::vector<Key>{7}));
+  EXPECT_EQ(tm.stats().total_keys, 1u);
+}
+
+// Regression: a remove after a duplicated add must erase the pair entirely.
+// The old path appended the key twice and erased only the first occurrence,
+// leaving a phantom key that kept matching forever.
+TEST(TagMatch, RemoveAfterDuplicateAddErasesPair) {
+  TagMatch tm(test_config());
+  std::vector<std::string> s = {"a", "b"};
+  tm.add_set(s, 7);
+  tm.add_set(s, 7);
+  tm.add_set(s, 8);
+  tm.consolidate();
+  tm.remove_set(s, 7);
+  tm.consolidate();
+  std::vector<std::string> q = {"a", "b", "c"};
+  EXPECT_EQ(tm.match(q), (std::vector<Key>{8}));
+  tm.remove_set(s, 8);
+  tm.consolidate();
+  EXPECT_TRUE(tm.match(q).empty());
+  EXPECT_EQ(tm.stats().unique_sets, 0u);
+}
+
 TEST(TagMatch, ReconsolidateAfterAdds) {
   TagMatch tm(test_config());
   std::vector<std::string> s1 = {"a"};

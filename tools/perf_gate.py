@@ -28,6 +28,20 @@ single-core container min(W, hw) is 1, so the gate degenerates to "the pool
 must not cost more than (1 - fraction) of single-worker throughput"; with
 real cores it demands near-linear scaling (fraction 0.5 = half of ideal).
 
+A fourth mode gates liveness under churn: `--churn-baseline` checks a
+`bench_churn --json` artifact. Two properties are gated, both per run:
+
+  * query p99 under churn must stay within max_churn_over_nochurn_p99 (from
+    the baseline file, default 1.5) of the SAME run's quiescent p99 — the
+    yardstick is self-relative, so machine speed cancels out and the gate
+    measures exactly what the epoch-published index promises: consolidation
+    never stalls the query path;
+  * publish-visibility p95 (add_set -> first query observing it) must not
+    exceed the baseline's recorded p95 by more than --ratio.
+
+Both use --min-delta-ns as the absolute noise floor, and fail only in the
+majority of run files.
+
 Stdlib only. Exit code 0 = pass, 1 = sustained regression, 2 = usage/IO error.
 
 Usage:
@@ -37,12 +51,17 @@ Usage:
       fig7_run.json
   python3 tools/perf_gate.py --fig5-baseline bench/baselines/fig5_workers.json \
       fig5_workers_run.json
+  python3 tools/perf_gate.py --churn-baseline bench/baselines/churn.json \
+      churn_run.json
 
 Refreshing the baseline after an intentional perf change: re-run the smoke
 bench (see .github/workflows/ci.yml) and copy its stats JSON over
 bench/baselines/smoke.json; likewise `bench_fig7_maxp --json` over
 bench/baselines/fig7_bloom192.json and `bench_fig5_threads --workers --json`
 over bench/baselines/fig5_workers.json (keeping its min_scaling_fraction).
+For bench/baselines/churn.json, refresh publish_visibility_ns.p95 from a
+`bench_churn --json` run at the baseline's TAGMATCH_BENCH_USERS scale and
+keep max_churn_over_nochurn_p99 (it is a contract, not a measurement).
 """
 
 import argparse
@@ -211,6 +230,70 @@ def fig5_gate(args):
     return 0
 
 
+def churn_gate(args):
+    """Liveness gate over bench_churn --json artifacts: churn-phase query p99
+    self-relative to the run's quiescent p99, plus publish-visibility p95
+    against the baseline's recorded value."""
+    baseline = load(args.churn_baseline)
+    runs = [(path, load(path)) for path in args.runs]
+    majority = len(runs) // 2 + 1
+    max_ratio = float(baseline.get("max_churn_over_nochurn_p99", 1.5))
+    base_vis = float(baseline.get("publish_visibility_ns", {}).get("p95", 0))
+
+    for path, run in runs:
+        if run.get("db_size") != baseline.get("db_size"):
+            print(f"perf_gate: db_size mismatch: {path} has {run.get('db_size')}, "
+                  f"baseline has {baseline.get('db_size')} "
+                  f"(set TAGMATCH_BENCH_USERS to the baseline's scale)",
+                  file=sys.stderr)
+            return 2
+        if float(run.get("nochurn", {}).get("p99_ns", 0)) <= 0:
+            print(f"perf_gate: {path} has no quiescent reference point", file=sys.stderr)
+            return 2
+
+    failures = []
+    regressed_in = []
+    detail = []
+    for path, run in runs:
+        nochurn = float(run["nochurn"]["p99_ns"])
+        churn = float(run.get("churn", {}).get("p99_ns", 0))
+        ceiling = max_ratio * nochurn
+        detail.append(f"{churn:.0f}/{ceiling:.0f}")
+        if churn > ceiling and churn - nochurn >= args.min_delta_ns:
+            regressed_in.append((path, churn, ceiling))
+    status = "FAIL" if len(regressed_in) >= majority else "ok"
+    print(f"  [{status:4}] churn query p99 vs own quiescent p99: runs "
+          f"[ns/ceiling: {' '.join(detail)}] (max ratio {max_ratio})")
+    if len(regressed_in) >= majority:
+        failures.append(("query p99 under churn", regressed_in))
+
+    if base_vis > 0:
+        regressed_in = []
+        detail = []
+        for path, run in runs:
+            vis = float(run.get("publish_visibility_ns", {}).get("p95", 0))
+            ceiling = args.ratio * base_vis
+            detail.append(f"{vis:.0f}/{ceiling:.0f}")
+            if vis > ceiling and vis - base_vis >= args.min_delta_ns:
+                regressed_in.append((path, vis, ceiling))
+        status = "FAIL" if len(regressed_in) >= majority else "ok"
+        print(f"  [{status:4}] publish visibility p95: baseline {base_vis:.0f} ns, "
+              f"runs [ns/ceiling: {' '.join(detail)}]")
+        if len(regressed_in) >= majority:
+            failures.append(("publish visibility p95", regressed_in))
+
+    if failures:
+        print(f"\nperf_gate: FAIL — {len(failures)} churn-liveness regression(s) "
+              f"in >= {majority}/{len(runs)} runs:", file=sys.stderr)
+        for what, regressed_in in failures:
+            for path, value, ceiling in regressed_in:
+                print(f"  {what}: {value:.0f} ns > ceiling {ceiling:.0f} ns ({path})",
+                      file=sys.stderr)
+        return 1
+    print(f"perf_gate: pass ({len(runs)} run(s) vs {args.churn_baseline})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", help="baseline stats JSON (latency mode)")
@@ -218,6 +301,8 @@ def main():
                         help="baseline bench_fig7_maxp --json artifact (throughput mode)")
     parser.add_argument("--fig5-baseline",
                         help="baseline bench_fig5_threads --workers artifact (scaling mode)")
+    parser.add_argument("--churn-baseline",
+                        help="baseline bench_churn --json artifact (churn-liveness mode)")
     parser.add_argument("runs", nargs="+", help="stats JSON from this build's reruns")
     parser.add_argument("--ratio", type=float, default=1.5,
                         help="regression threshold multiplier (default 1.5)")
@@ -225,16 +310,19 @@ def main():
                         help="absolute noise floor in ns (default 100000 = 0.1 ms)")
     args = parser.parse_args()
 
-    modes = [m for m in (args.baseline, args.fig7_baseline, args.fig5_baseline)
+    modes = [m for m in (args.baseline, args.fig7_baseline, args.fig5_baseline,
+                         args.churn_baseline)
              if m is not None]
     if len(modes) != 1:
         print("perf_gate: pass exactly one of --baseline / --fig7-baseline / "
-              "--fig5-baseline", file=sys.stderr)
+              "--fig5-baseline / --churn-baseline", file=sys.stderr)
         return 2
     if args.fig7_baseline:
         return fig7_gate(args)
     if args.fig5_baseline:
         return fig5_gate(args)
+    if args.churn_baseline:
+        return churn_gate(args)
 
     baseline = load(args.baseline)
     runs = [(path, load(path)) for path in args.runs]
