@@ -13,7 +13,18 @@
 // "devloss:dev=0,after=500"), arms a deterministic fault injector on the
 // engine's devices and reports the recovery cost: faults fired, retries,
 // re-dispatches and CPU-fallback batches. Results stay exact either way.
+//
+// With --soak-seconds N, runs a continuous-telemetry soak instead: the engine
+// matches at full offered load for N wall seconds with a live telemetry layer
+// (src/telemetry) attached — rolling time-series sampler
+// (--telemetry-interval MS), burn-rate watchdog (--slo-rules SPEC, dumps to
+// --telemetry-dir) and streaming Perfetto export (--telemetry-stream FILE).
+// --json FILE writes a machine-readable artifact (throughput, stream
+// flushed/dropped accounting, the sampled telemetry.rss_bytes series) that
+// tools/telemetry_check.py asserts over in CI. Omitting every telemetry flag
+// gives the overhead baseline: the same soak with telemetry off.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -25,6 +36,8 @@
 #include "src/inject/fault.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
+#include "src/telemetry/slo_watchdog.h"
+#include "src/telemetry/telemetry.h"
 
 namespace tagmatch::bench {
 namespace {
@@ -152,19 +165,151 @@ void run(const std::string& trace_out, const std::string& fault_plan_spec) {
               " synchronous copies it would be ~0)\n");
 }
 
+// --soak-seconds / --telemetry-* / --json knobs (see file header).
+struct SoakOptions {
+  unsigned seconds = 0;  // 0 = no soak; run the profile instead.
+  unsigned telemetry_interval_ms = 0;
+  std::string slo_rules;
+  std::string telemetry_dir;
+  std::string stream_path;
+  std::string json_out;
+  std::string fault_plan;
+  bool telemetry_enabled() const {
+    return telemetry_interval_ms != 0 || !slo_rules.empty() || !telemetry_dir.empty() ||
+           !stream_path.empty();
+  }
+};
+
+int run_soak(const SoakOptions& opt) {
+  BenchWorkload& w = shared_workload();
+  const size_t n = w.prefix_size(50);
+  print_header("Continuous-telemetry soak: sustained load with live sampler",
+               "src/telemetry acceptance (no figure)");
+
+  TagMatchConfig config = bench_engine_config(n);
+  if (!opt.fault_plan.empty()) {
+    auto plan = inject::FaultPlan::parse(opt.fault_plan);
+    if (!plan) {
+      std::printf("malformed --fault-plan \"%s\"\n", opt.fault_plan.c_str());
+      return 1;
+    }
+    config.fault_injector = std::make_shared<inject::FaultInjector>(*plan);
+    std::printf("fault plan armed: %s\n", plan->to_spec().c_str());
+  }
+  TagMatch tm(config);
+  populate_tagmatch(tm, w, n);
+  auto queries = w.encoded_queries(8000, 2, 4);
+
+  std::unique_ptr<telemetry::Telemetry> tel;
+  if (opt.telemetry_enabled()) {
+    telemetry::TelemetryConfig tconfig;
+    if (opt.telemetry_interval_ms != 0) {
+      tconfig.interval = std::chrono::milliseconds(opt.telemetry_interval_ms);
+    }
+    if (!opt.slo_rules.empty()) {
+      std::string error;
+      auto rules = telemetry::parse_slo_rules(opt.slo_rules, &error);
+      if (!rules) {
+        std::printf("malformed --slo-rules \"%s\": %s\n", opt.slo_rules.c_str(), error.c_str());
+        return 1;
+      }
+      tconfig.rules = *rules;
+    }
+    tconfig.telemetry_dir = opt.telemetry_dir;
+    tconfig.stream_path = opt.stream_path;
+    tconfig.snapshot_fn = [&tm] { return tm.metrics_snapshot(); };
+    tconfig.trace_fn = [&tm] { return tm.trace_snapshot(); };
+    tconfig.trace_dropped_fn = [&tm] { return tm.trace_dropped(); };
+    tel = std::make_unique<telemetry::Telemetry>(std::move(tconfig));
+    tel->start();
+    std::printf("telemetry on: interval %u ms, %zu rule(s), stream %s\n",
+                opt.telemetry_interval_ms == 0 ? 1000u : opt.telemetry_interval_ms,
+                tel->watchdog().rules().size(),
+                opt.stream_path.empty() ? "(off)" : opt.stream_path.c_str());
+  } else {
+    std::printf("telemetry off (overhead baseline)\n");
+  }
+
+  // Full offered load until the wall deadline: repeat the query pass and
+  // count everything. Each pass ends with a flush so per-pass latency stays
+  // representative of the steady-state profile run.
+  StopWatch watch;
+  uint64_t total_queries = 0;
+  const double deadline_s = static_cast<double>(opt.seconds);
+  while (watch.elapsed_s() < deadline_s) {
+    auto result = run_tagmatch(tm, queries, TagMatch::MatchKind::kMatch);
+    total_queries += result.queries;
+  }
+  const double secs = watch.elapsed_s();
+  const double kqps = static_cast<double>(total_queries) / secs / 1e3;
+  std::printf("soak: %.2f Kq/s over %llu queries in %.1f s\n", kqps,
+              static_cast<unsigned long long>(total_queries), secs);
+  if (tel) {
+    tel->stop();
+    std::printf("telemetry: %llu stream spans flushed, %llu dropped, %llu retro dump(s)%s%s\n",
+                static_cast<unsigned long long>(tel->stream_flushed()),
+                static_cast<unsigned long long>(tel->stream_dropped()),
+                static_cast<unsigned long long>(tel->retro_dumps()),
+                tel->retro_dumps() > 0 ? ", last: " : "",
+                tel->last_dump_path().c_str());
+  }
+
+  if (!opt.json_out.empty()) {
+    std::string json = "{\"mode\":\"soak\",\"seconds\":" + std::to_string(secs) +
+                       ",\"queries\":" + std::to_string(total_queries) +
+                       ",\"kqps\":" + std::to_string(kqps) +
+                       ",\"telemetry_enabled\":" + (tel ? "true" : "false");
+    if (tel) {
+      json += ",\"telemetry\":{\"stream_flushed\":" + std::to_string(tel->stream_flushed()) +
+              ",\"stream_dropped\":" + std::to_string(tel->stream_dropped()) +
+              ",\"retro_dumps\":" + std::to_string(tel->retro_dumps()) +
+              ",\"last_dump\":\"" + tel->last_dump_path() + "\"" +
+              ",\"rss\":" + tel->tsq_json("telemetry.rss_bytes") +
+              ",\"alerts\":" + tel->tsq_json("telemetry.alert.*") + "}";
+    }
+    json += "}";
+    std::FILE* f = std::fopen(opt.json_out.c_str(), "w");
+    if (!f) {
+      std::printf("cannot write %s\n", opt.json_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("artifact written to %s\n", opt.json_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace tagmatch::bench
 
 int main(int argc, char** argv) {
   std::string trace_out;
-  std::string fault_plan;
+  tagmatch::bench::SoakOptions soak;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
-      fault_plan = argv[++i];
+      soak.fault_plan = argv[++i];
+    } else if (std::strcmp(argv[i], "--soak-seconds") == 0 && i + 1 < argc) {
+      soak.seconds = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 && i + 1 < argc) {
+      soak.telemetry_interval_ms =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--slo-rules") == 0 && i + 1 < argc) {
+      soak.slo_rules = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry-dir") == 0 && i + 1 < argc) {
+      soak.telemetry_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry-stream") == 0 && i + 1 < argc) {
+      soak.stream_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      soak.json_out = argv[++i];
     }
   }
-  tagmatch::bench::run(trace_out, fault_plan);
+  if (soak.seconds > 0) {
+    return tagmatch::bench::run_soak(soak);
+  }
+  tagmatch::bench::run(trace_out, soak.fault_plan);
   return 0;
 }

@@ -129,6 +129,10 @@ void Broker::unsubscribe(SubscriberId subscriber, SubscriptionId subscription) {
 }
 
 Broker::PublishResult Broker::publish(Message message) {
+  return publish(std::move(message), obs::TraceContext{});
+}
+
+Broker::PublishResult Broker::publish(Message message, const obs::TraceContext& client_ctx) {
   const int64_t publish_ns = now_ns();
   const bool slo_on = config_.publish_slo.count() > 0;
   const int64_t deadline_ns =
@@ -148,8 +152,17 @@ Broker::PublishResult Broker::publish(Message message) {
   uint64_t root_span_id = 0;
   if (config_.tracing) {
     root_span_id = obs::new_span_id();
-    trace_ctx = obs::TraceContext{obs::new_trace_id(), root_span_id, recorder_.sample_head()};
+    // A client-supplied context joins the external trace: its id replaces a
+    // freshly minted one and its sampled flag forces retention (the recorder
+    // still counts the root so 1-in-N head sampling stays deterministic).
+    const uint64_t trace_id =
+        client_ctx.valid() ? client_ctx.trace_id : obs::new_trace_id();
+    const bool sampled = recorder_.sample_head() || (client_ctx.valid() && client_ctx.sampled);
+    trace_ctx = obs::TraceContext{trace_id, root_span_id, sampled};
   }
+  // Deliveries echo the trace id even when server-side tracing is off — the
+  // propagation contract is the publisher's, not ours.
+  message.trace_id = config_.tracing ? trace_ctx.trace_id : client_ctx.trace_id;
   auto shared_message = std::make_shared<const Message>(std::move(message));
   std::shared_lock gate(publish_mu_);
   const std::span<const std::string> tags(shared_message->tags);

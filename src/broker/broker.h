@@ -74,6 +74,11 @@ using SubscriptionId = uint32_t;
 struct Message {
   std::vector<std::string> tags;
   std::string payload;
+  // Trace id of the publish that produced this message (0 = untraced).
+  // Stamped by publish() when tracing is on or the publisher supplied a
+  // context, and carried to every delivery so subscribers can join the
+  // publisher's trace (the wire layer echoes it as a traceparent).
+  uint64_t trace_id = 0;
 };
 
 struct BrokerConfig {
@@ -172,6 +177,14 @@ class Broker {
   // broker.published).
   enum class PublishResult { kAccepted, kRejected };
   PublishResult publish(Message message);
+  // Publish under a caller-supplied trace context (wire-layer trace
+  // propagation: the W3C traceparent on PUB lands here). A valid context's
+  // trace id is adopted as the publish's trace id — spans and the retained
+  // TraceRecord then carry the external id — and a sampled flag forces
+  // retention-by-head-sample for this publish. With tracing off the context
+  // still stamps Message::trace_id so deliveries echo it, but no spans are
+  // recorded. An invalid (default) context behaves exactly like publish().
+  PublishResult publish(Message message, const obs::TraceContext& client_ctx);
 
   // --- Delivery ---
   // Non-blocking pop from the subscriber's queue.
@@ -223,6 +236,11 @@ class Broker {
   // the payload of the TRACEX wire verb and the --trace-out server dump.
   std::vector<obs::TraceRecord> trace_records() const;
   const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+
+  // SLO-watchdog hook (src/telemetry): while on, every publish head-samples
+  // into the flight recorder regardless of trace_head_sample_every, so a
+  // tripped burn-rate rule captures full traces through its holdoff window.
+  void set_trace_sampling_boost(bool on) { recorder_.set_force_head_sampling(on); }
 
  private:
   struct Subscriber {

@@ -73,7 +73,8 @@ GpuEngine::GpuEngine(const TagMatchConfig& config, BatchResultFn on_result)
     redispatches_counter_ = registry.counter("engine.redispatches");
     cpu_fallback_counter_ = registry.counter("engine.cpu_fallback_batches");
     for (unsigned d = 0; d < config_.num_gpus; ++d) {
-      health_gauges_[d] = registry.gauge("device.health." + std::to_string(d));
+      health_gauges_[d] = registry.gauge("device.health." + std::to_string(d),
+                                        obs::GaugeMode::kLast);
     }
   }
 

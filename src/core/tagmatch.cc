@@ -156,9 +156,9 @@ class TagMatchImpl {
     query_latency_ = registry.histogram("query.latency_ns");
     unique_sets_gauge_ = registry.gauge("engine.unique_sets");
     partitions_gauge_ = registry.gauge("engine.partitions");
-    scheme_id_gauge_ = registry.gauge("sig.scheme_id");
+    scheme_id_gauge_ = registry.gauge("sig.scheme_id", obs::GaugeMode::kLast);
     scheme_id_gauge_->set(static_cast<int64_t>(scheme_->id()));
-    fpr_observed_gauge_ = registry.gauge("sig.fpr_observed");
+    fpr_observed_gauge_ = registry.gauge("sig.fpr_observed", obs::GaugeMode::kLast);
     encode_ns_ = registry.histogram("sig.encode_ns");
     discard_ratio_ = registry.histogram("prefilter.discard_ratio");
     epoch_ = std::make_unique<epoch::EpochManager>(&registry);

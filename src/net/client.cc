@@ -72,7 +72,8 @@ void BrokerClient::reader_loop() {
         continue;  // Skip garbage; the protocol is line-synchronized.
       }
       if (frame->kind == ServerFrame::Kind::kMsg) {
-        messages_.push(broker::Message{std::move(frame->tags), std::move(frame->payload)});
+        messages_.push(broker::Message{std::move(frame->tags), std::move(frame->payload),
+                                       frame->trace_id});
       } else {
         replies_.push(std::move(*frame));
       }
@@ -134,6 +135,19 @@ bool BrokerClient::publish(const std::vector<std::string>& tags, const std::stri
   return reply && reply->kind == ServerFrame::Kind::kOk;
 }
 
+bool BrokerClient::publish_traced(const std::vector<std::string>& tags,
+                                  const std::string& payload, uint64_t trace_id,
+                                  uint64_t parent_span_id, bool sampled) {
+  if (!all_tags_valid(tags) || payload.find('\n') != std::string::npos || trace_id == 0 ||
+      parent_span_id == 0) {
+    return false;
+  }
+  auto reply = command("PUB " + format_tags(tags) + " traceparent=" +
+                       format_traceparent(trace_id, parent_span_id, sampled) + " " + payload +
+                       "\n");
+  return reply && reply->kind == ServerFrame::Kind::kOk;
+}
+
 bool BrokerClient::ping() {
   auto reply = command("PING\n");
   return reply && reply->kind == ServerFrame::Kind::kPong;
@@ -169,6 +183,27 @@ std::optional<std::string> BrokerClient::trace_json(uint32_t limit, const std::s
 std::optional<std::string> BrokerClient::tracex_json() {
   auto reply = command("TRACEX\n");
   if (!reply || reply->kind != ServerFrame::Kind::kTracex) {
+    return std::nullopt;
+  }
+  return std::move(reply->payload);
+}
+
+std::optional<std::string> BrokerClient::tsq_json(const std::string& metric_glob,
+                                                  uint32_t last) {
+  std::string line = "TSQ " + metric_glob;
+  if (last != 0) {
+    line += " last=" + std::to_string(last);
+  }
+  auto reply = command(line + "\n");
+  if (!reply || reply->kind != ServerFrame::Kind::kTsq) {
+    return std::nullopt;
+  }
+  return std::move(reply->payload);
+}
+
+std::optional<std::string> BrokerClient::traces_json() {
+  auto reply = command("TRACES\n");
+  if (!reply || reply->kind != ServerFrame::Kind::kTraces) {
     return std::nullopt;
   }
   return std::move(reply->payload);

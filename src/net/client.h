@@ -35,6 +35,12 @@ class BrokerClient {
   std::optional<uint32_t> subscribe(const std::vector<std::string>& tags);
   bool unsubscribe(uint32_t subscription);
   bool publish(const std::vector<std::string>& tags, const std::string& payload);
+  // Publish joined to a caller-owned trace: `trace_id`/`parent_span_id` ride
+  // the PUB as a W3C-style traceparent token, thread into the server-side
+  // TraceContext, and are echoed on every delivery (Message::trace_id). Both
+  // ids must be nonzero (0 means "untraced" on the wire and is rejected).
+  bool publish_traced(const std::vector<std::string>& tags, const std::string& payload,
+                      uint64_t trace_id, uint64_t parent_span_id, bool sampled = true);
   bool ping();
   // Observability verbs: one line of JSON from the server's merged metrics
   // registries (STATS) / its pipeline trace ring (TRACE, newest `limit`
@@ -46,6 +52,13 @@ class BrokerClient {
   std::optional<std::string> trace_json(uint32_t limit = 0, const std::string& stage = "",
                                         uint64_t since = 0);
   std::optional<std::string> tracex_json();
+  // Continuous-telemetry verbs (wire.h): TSQ queries the server's rolling
+  // time-series ring (windowed rates/percentiles for metrics matching the
+  // glob, newest `last` windows, 0 = all); TRACES pops the spans retired
+  // since this connection's previous traces_json() call as an incremental
+  // Chrome trace-event batch with flushed/dropped accounting.
+  std::optional<std::string> tsq_json(const std::string& metric_glob, uint32_t last = 0);
+  std::optional<std::string> traces_json();
 
   // Pops one delivered message, waiting up to `timeout`.
   std::optional<broker::Message> receive(std::chrono::milliseconds timeout);

@@ -52,7 +52,9 @@ bool send_all(int fd, const std::string& data) {
 
 }  // namespace
 
-BrokerServer::BrokerServer(broker::Broker* broker, uint16_t port) : broker_(broker) {
+BrokerServer::BrokerServer(broker::Broker* broker, uint16_t port,
+                           telemetry::Telemetry* telemetry)
+    : broker_(broker), telemetry_(telemetry) {
   TAGMATCH_CHECK(broker != nullptr);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -160,18 +162,31 @@ void BrokerServer::reader_loop(Connection* conn) {
         broker_->unsubscribe(conn->subscriber, request->subscription);
         send_line(conn, format_ok(request->subscription));
         break;
-      case Request::Kind::kPub:
+      case Request::Kind::kPub: {
+        // A client traceparent threads into the publish's TraceContext so
+        // the external trace id rides the whole pipeline and is echoed to
+        // subscribers (wire.h).
+        obs::TraceContext client_ctx;
+        client_ctx.trace_id = request->pub_trace_id;
+        client_ctx.parent_span_id = request->pub_parent_span_id;
+        client_ctx.sampled = request->pub_sampled;
         if (broker_->publish(broker::Message{std::move(request->tags),
-                                             std::move(request->payload)}) ==
-            broker::Broker::PublishResult::kAccepted) {
+                                             std::move(request->payload)},
+                             client_ctx) == broker::Broker::PublishResult::kAccepted) {
           send_line(conn, format_ok(0));
         } else {
           send_line(conn, format_err("slo rejected"));
         }
         break;
-      case Request::Kind::kStats:
-        send_line(conn, format_stats(broker_->metrics_snapshot().to_json()));
+      }
+      case Request::Kind::kStats: {
+        obs::MetricsSnapshot snapshot = broker_->metrics_snapshot();
+        if (telemetry_ != nullptr) {
+          snapshot += telemetry_->metrics_snapshot();
+        }
+        send_line(conn, format_stats(snapshot.to_json()));
         break;
+      }
       case Request::Kind::kTrace: {
         std::vector<obs::Span> spans = broker_->trace_snapshot();
         const uint64_t dropped = broker_->trace_dropped();
@@ -194,6 +209,29 @@ void BrokerServer::reader_loop(Connection* conn) {
         send_line(conn, format_tracex(obs::chrome_trace_json(broker_->trace_records(),
                                                              /*pretty=*/false)));
         break;
+      case Request::Kind::kTsq:
+        if (telemetry_ == nullptr) {
+          send_line(conn, format_err("telemetry disabled"));
+        } else {
+          send_line(conn,
+                    format_tsq(telemetry_->tsq_json(request->tsq_glob, request->tsq_last)));
+        }
+        break;
+      case Request::Kind::kTraces: {
+        // Incremental export: only spans retired since this connection's
+        // previous TRACES call, as Chrome trace events (one line).
+        telemetry::SpanStreamer::Flush flush =
+            conn->span_streamer.flush(broker_->trace_snapshot(), broker_->trace_dropped());
+        std::string json = "{\"flushed\":" + std::to_string(flush.spans.size()) +
+                           ",\"dropped\":" + std::to_string(flush.dropped) + ",\"events\":[";
+        for (size_t i = 0; i < flush.spans.size(); ++i) {
+          if (i > 0) json += ",";
+          json += obs::chrome_span_event(flush.spans[i]);
+        }
+        json += "]}";
+        send_line(conn, format_traces(json));
+        break;
+      }
     }
   }
   close_connection(conn);
@@ -205,7 +243,7 @@ void BrokerServer::pusher_loop(Connection* conn) {
     if (!msg) {
       continue;
     }
-    send_line(conn, format_msg(msg->tags, msg->payload));
+    send_line(conn, format_msg(msg->tags, msg->payload, msg->trace_id));
   }
 }
 

@@ -14,14 +14,21 @@
 #include <vector>
 
 #include "src/broker/broker.h"
+#include "src/telemetry/stream_export.h"
+#include "src/telemetry/telemetry.h"
 
 namespace tagmatch::net {
 
 class BrokerServer {
  public:
   // Starts listening on 127.0.0.1:`port` (0 = ephemeral; see port()) and
-  // serving `broker` (not owned; must outlive the server).
-  BrokerServer(broker::Broker* broker, uint16_t port = 0);
+  // serving `broker` (not owned; must outlive the server). An optional
+  // telemetry layer (not owned either) enables the TSQ verb and folds
+  // telemetry.* metrics into STATS; without it TSQ answers ERR. TRACES
+  // works either way — each connection owns its own incremental streamer
+  // over the broker's span ring.
+  BrokerServer(broker::Broker* broker, uint16_t port = 0,
+               telemetry::Telemetry* telemetry = nullptr);
   ~BrokerServer();
 
   BrokerServer(const BrokerServer&) = delete;
@@ -44,6 +51,9 @@ class BrokerServer {
     std::thread reader;
     std::thread pusher;
     std::atomic<bool> open{true};
+    // Per-connection incremental span export state (TRACES): each consumer
+    // pages through the ring at its own pace. Reader-thread only.
+    telemetry::SpanStreamer span_streamer;
   };
 
   void accept_loop();
@@ -53,6 +63,7 @@ class BrokerServer {
   void close_connection(Connection* conn);
 
   broker::Broker* broker_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread acceptor_;

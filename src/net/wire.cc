@@ -1,6 +1,7 @@
 #include "src/net/wire.h"
 
 #include <charconv>
+#include <cstdio>
 
 #include "src/obs/trace.h"
 
@@ -84,7 +85,81 @@ bool parse_trace_args(std::string_view rest, Request& req) {
   return true;
 }
 
+// TSQ arguments: a mandatory metric glob, then optionally `last=N`.
+// Fail-closed like TRACE: unknown keys or extra tokens reject.
+bool parse_tsq_args(std::string_view rest, Request& req) {
+  size_t space = rest.find(' ');
+  std::string_view glob = space == std::string_view::npos ? rest : rest.substr(0, space);
+  if (glob.empty() || glob.find('=') != std::string_view::npos) {
+    return false;
+  }
+  req.tsq_glob.assign(glob);
+  if (space == std::string_view::npos) {
+    return true;
+  }
+  std::string_view token = rest.substr(space + 1);
+  constexpr std::string_view kLastKey = "last=";
+  if (token.substr(0, kLastKey.size()) != kLastKey) {
+    return false;
+  }
+  auto last = parse_u32(token.substr(kLastKey.size()));
+  if (!last) {
+    return false;
+  }
+  req.tsq_last = *last;
+  return true;
+}
+
+bool is_hex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+std::optional<uint64_t> parse_hex64(std::string_view s) {
+  uint64_t v = 0;
+  for (char c : s) {
+    if (!is_hex(c)) {
+      return std::nullopt;
+    }
+    v = (v << 4) | static_cast<uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  return v;
+}
+
 }  // namespace
+
+std::optional<TraceParent> parse_traceparent(std::string_view token) {
+  // 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>, lowercase hex
+  // only (the W3C wire form). Total length 55.
+  if (token.size() != 55 || token.substr(0, 3) != "00-" || token[35] != '-' || token[52] != '-') {
+    return std::nullopt;
+  }
+  auto hi = parse_hex64(token.substr(3, 16));
+  auto lo = parse_hex64(token.substr(19, 16));
+  auto parent = parse_hex64(token.substr(36, 16));
+  auto flags = parse_hex64(token.substr(53, 2));
+  if (!hi || !lo || !parent || !flags) {
+    return std::nullopt;
+  }
+  TraceParent tp;
+  tp.trace_id = *hi ^ *lo;  // Fold 128 -> 64 bits.
+  tp.parent_span_id = *parent;
+  tp.sampled = (*flags & 0x1) != 0;
+  // Zero ids mean "untraced" in src/obs; a traceparent that folds (or
+  // arrives) as zero cannot be threaded, so it rejects rather than silently
+  // degrading to an untraced publish.
+  if (tp.trace_id == 0 || tp.parent_span_id == 0) {
+    return std::nullopt;
+  }
+  return tp;
+}
+
+std::string format_traceparent(uint64_t trace_id, uint64_t parent_span_id, bool sampled) {
+  char buf[56];
+  std::snprintf(buf, sizeof(buf), "00-%016llx%016llx-%016llx-%02x", 0ull,
+                static_cast<unsigned long long>(trace_id),
+                static_cast<unsigned long long>(parent_span_id), sampled ? 0x01u : 0x00u);
+  return buf;
+}
 
 std::optional<std::vector<std::string>> parse_tags(std::string_view csv) {
   std::vector<std::string> tags;
@@ -124,6 +199,10 @@ std::optional<Request> parse_request(std::string_view line) {
   }
   if (line == "TRACEX") {
     req.kind = Request::Kind::kTracex;
+    return req;
+  }
+  if (line == "TRACES") {
+    req.kind = Request::Kind::kTraces;
     return req;
   }
   size_t space = line.find(' ');
@@ -167,7 +246,33 @@ std::optional<Request> parse_request(std::string_view line) {
     req.kind = Request::Kind::kPub;
     req.tags = std::move(*tags);
     if (sep != std::string_view::npos) {
-      req.payload.assign(rest.substr(sep + 1));
+      rest = rest.substr(sep + 1);
+      // Optional trace propagation: a `traceparent=` token between the tag
+      // list and the payload. Fail-closed: a token that starts like one but
+      // doesn't validate rejects the request (see the header caveat about
+      // payloads beginning with the literal token).
+      constexpr std::string_view kTpKey = "traceparent=";
+      if (rest.substr(0, kTpKey.size()) == kTpKey) {
+        size_t tp_end = rest.find(' ');
+        std::string_view token =
+            tp_end == std::string_view::npos ? rest : rest.substr(0, tp_end);
+        auto tp = parse_traceparent(token.substr(kTpKey.size()));
+        if (!tp) {
+          return std::nullopt;
+        }
+        req.pub_trace_id = tp->trace_id;
+        req.pub_parent_span_id = tp->parent_span_id;
+        req.pub_sampled = tp->sampled;
+        rest = tp_end == std::string_view::npos ? std::string_view() : rest.substr(tp_end + 1);
+      }
+      req.payload.assign(rest);
+    }
+    return req;
+  }
+  if (verb == "TSQ") {
+    req.kind = Request::Kind::kTsq;
+    if (!parse_tsq_args(rest, req)) {
+      return std::nullopt;
     }
     return req;
   }
@@ -191,8 +296,17 @@ std::string format_err(std::string_view reason) {
   return "ERR " + std::string(reason) + "\n";
 }
 
-std::string format_msg(const std::vector<std::string>& tags, std::string_view payload) {
-  return "MSG " + format_tags(tags) + " " + std::string(payload) + "\n";
+std::string format_msg(const std::vector<std::string>& tags, std::string_view payload,
+                       uint64_t trace_id) {
+  std::string out = "MSG " + format_tags(tags) + " ";
+  if (trace_id != 0) {
+    // Echo the publish's trace id; the parent field repeats it (the true
+    // root span id lives server-side — subscribers only need the trace id
+    // to join, and a zero parent would be rejected as malformed).
+    out += "traceparent=" + format_traceparent(trace_id, trace_id, true) + " ";
+  }
+  out += std::string(payload) + "\n";
+  return out;
 }
 
 std::string format_stats(std::string_view json) {
@@ -205,6 +319,12 @@ std::string format_trace(std::string_view json) {
 
 std::string format_tracex(std::string_view json) {
   return "TRACEX " + std::string(json) + "\n";
+}
+
+std::string format_tsq(std::string_view json) { return "TSQ " + std::string(json) + "\n"; }
+
+std::string format_traces(std::string_view json) {
+  return "TRACES " + std::string(json) + "\n";
 }
 
 std::optional<ServerFrame> parse_server_frame(std::string_view line) {
@@ -246,7 +366,20 @@ std::optional<ServerFrame> parse_server_frame(std::string_view line) {
     frame.kind = ServerFrame::Kind::kMsg;
     frame.tags = std::move(*tags);
     if (sep != std::string_view::npos) {
-      frame.payload.assign(rest.substr(sep + 1));
+      rest = rest.substr(sep + 1);
+      constexpr std::string_view kTpKey = "traceparent=";
+      if (rest.substr(0, kTpKey.size()) == kTpKey) {
+        size_t tp_end = rest.find(' ');
+        std::string_view token =
+            tp_end == std::string_view::npos ? rest : rest.substr(0, tp_end);
+        auto tp = parse_traceparent(token.substr(kTpKey.size()));
+        if (!tp) {
+          return std::nullopt;
+        }
+        frame.trace_id = tp->trace_id;
+        rest = tp_end == std::string_view::npos ? std::string_view() : rest.substr(tp_end + 1);
+      }
+      frame.payload.assign(rest);
     }
     return frame;
   }
@@ -262,6 +395,16 @@ std::optional<ServerFrame> parse_server_frame(std::string_view line) {
   }
   if (verb == "TRACEX") {
     frame.kind = ServerFrame::Kind::kTracex;
+    frame.payload.assign(rest);
+    return frame;
+  }
+  if (verb == "TSQ") {
+    frame.kind = ServerFrame::Kind::kTsq;
+    frame.payload.assign(rest);
+    return frame;
+  }
+  if (verb == "TRACES") {
+    frame.kind = ServerFrame::Kind::kTraces;
     frame.payload.assign(rest);
     return frame;
   }

@@ -5,10 +5,20 @@
 // Client -> server:
 //   SUB <tag,tag,...>            subscribe; reply: OK <subscription-id>
 //   UNSUB <subscription-id>      unsubscribe; reply: OK <subscription-id>
-//   PUB <tag,tag,...> <payload>  publish; reply: OK 0 (payload = rest of
+//   PUB <tag,tag,...> [traceparent=<tp>] <payload>
+//                                publish; reply: OK 0 (payload = rest of
 //                                line), or ERR slo rejected when the broker
 //                                sheds the publish at admission (publish-SLO
-//                                breach, --publish-slo-ms / --slo-mode)
+//                                breach, --publish-slo-ms / --slo-mode).
+//                                The optional traceparent token joins the
+//                                publish to a caller-owned trace: W3C style
+//                                `00-<32 hex trace-id>-<16 hex parent-id>-
+//                                <2 hex flags>`, folded to the engine's
+//                                64-bit ids (XOR of the trace-id halves).
+//                                Malformed traceparents reject the request;
+//                                consequently a payload may not *begin* with
+//                                the literal token `traceparent=` (prefix
+//                                it, e.g. with a space, to publish one).
 //   PING                         liveness; reply: PONG
 //   STATS                        observability snapshot (broker + engine
 //                                registries merged); reply: STATS <json>,
@@ -25,8 +35,28 @@
 //                                TRACEX <json>, one line, loadable in
 //                                ui.perfetto.dev after `tagmatch_client
 //                                tracex > out.json`
+//   TSQ <metric-glob> [last=N]   windowed time-series query against the
+//                                server's telemetry ring (src/telemetry;
+//                                requires --telemetry-interval): per-window
+//                                counter rates, gauge readings and windowed
+//                                histogram percentiles for metrics matching
+//                                the '*'-glob, newest N windows (0/omitted =
+//                                all retained); reply: TSQ <json>
+//   TRACES                       incremental span stream: each call returns
+//                                only the spans retired since this
+//                                connection's previous TRACES call; reply:
+//                                TRACES {"flushed":..,"dropped":..,
+//                                "events":[..]} where events are Chrome
+//                                trace events and dropped counts spans that
+//                                wrapped out of the ring unseen between
+//                                calls (poll faster to drive it to zero)
 // Server -> client (asynchronous, interleaved with replies):
-//   MSG <tag,tag,...> <payload>  a delivery for this connection's subscriber
+//   MSG <tag,tag,...> [traceparent=<tp>] <payload>
+//                                a delivery for this connection's
+//                                subscriber; traced publishes (server-side
+//                                --tracing, or a client-supplied
+//                                traceparent) echo the trace id so
+//                                subscribers join the publisher's trace
 // Errors: ERR <reason>
 //
 // Constraints: tags must be non-empty and contain neither ',' nor spaces nor
@@ -43,7 +73,7 @@
 namespace tagmatch::net {
 
 struct Request {
-  enum class Kind { kSub, kUnsub, kPub, kPing, kStats, kTrace, kTracex };
+  enum class Kind { kSub, kUnsub, kPub, kPing, kStats, kTrace, kTracex, kTsq, kTraces };
   Kind kind;
   std::vector<std::string> tags;  // kSub, kPub.
   uint32_t subscription = 0;      // kUnsub.
@@ -53,6 +83,13 @@ struct Request {
   // since = strictly-greater span id floor (0 = all).
   std::string trace_stage;
   uint64_t trace_since = 0;
+  // kPub: the client-supplied traceparent, folded to 64-bit ids (0 = none).
+  uint64_t pub_trace_id = 0;
+  uint64_t pub_parent_span_id = 0;
+  bool pub_sampled = false;
+  // kTsq.
+  std::string tsq_glob;
+  uint32_t tsq_last = 0;  // 0 = all retained windows.
 };
 
 // Parses one request line (no trailing newline). nullopt on malformed input.
@@ -66,24 +103,42 @@ std::optional<std::vector<std::string>> parse_tags(std::string_view csv);
 // newlines). Clients validate before sending.
 bool valid_tag(std::string_view tag);
 
+// W3C-traceparent-style context token. parse_traceparent validates the
+// `00-<32 hex>-<16 hex>-<2 hex>` shape fail-closed and folds the 128-bit
+// trace id to the engine's 64 bits by XOR of its halves (a fold or parent of
+// zero rejects — an id of 0 means "untraced" everywhere in src/obs).
+// format_traceparent emits the inverse (trace id zero-extended to 128 bits).
+struct TraceParent {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = false;
+};
+std::optional<TraceParent> parse_traceparent(std::string_view token);
+std::string format_traceparent(uint64_t trace_id, uint64_t parent_span_id, bool sampled);
+
 std::string format_tags(const std::vector<std::string>& tags);
 std::string format_ok(uint32_t id);
 std::string format_err(std::string_view reason);
-std::string format_msg(const std::vector<std::string>& tags, std::string_view payload);
+// With a nonzero trace_id the delivery carries `traceparent=` (see MSG).
+std::string format_msg(const std::vector<std::string>& tags, std::string_view payload,
+                       uint64_t trace_id = 0);
 // `json` must be a single line (MetricsSnapshot::to_json / spans_to_json
 // already are); the frame is "STATS <json>\n" / "TRACE <json>\n".
 std::string format_stats(std::string_view json);
 std::string format_trace(std::string_view json);
 std::string format_tracex(std::string_view json);
+std::string format_tsq(std::string_view json);
+std::string format_traces(std::string_view json);
 
 // Parses a server line; returns the frame kind and fields.
 struct ServerFrame {
-  enum class Kind { kOk, kErr, kMsg, kPong, kStats, kTrace, kTracex };
+  enum class Kind { kOk, kErr, kMsg, kPong, kStats, kTrace, kTracex, kTsq, kTraces };
   Kind kind;
   uint32_t id = 0;                // kOk.
   std::string error;              // kErr.
   std::vector<std::string> tags;  // kMsg.
-  std::string payload;            // kMsg, kStats, kTrace, kTracex (JSON).
+  std::string payload;            // kMsg, kStats, kTrace, kTracex, kTsq, kTraces (JSON).
+  uint64_t trace_id = 0;          // kMsg: echoed traceparent (0 = untraced).
 };
 std::optional<ServerFrame> parse_server_frame(std::string_view line);
 

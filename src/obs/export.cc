@@ -53,9 +53,13 @@ class EventWriter {
         << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
   }
 
-  std::string finish() {
+  std::string finish(const std::string& metadata_key = "", const std::string& metadata_json = "") {
     if (pretty_) out_ << "\n";
-    out_ << "],\"displayTimeUnit\":\"ns\"}";
+    out_ << "],\"displayTimeUnit\":\"ns\"";
+    if (!metadata_key.empty()) {
+      out_ << ",\"" << json_escape(metadata_key) << "\":" << metadata_json;
+    }
+    out_ << "}";
     if (pretty_) out_ << "\n";
     return out_.str();
   }
@@ -140,6 +144,36 @@ std::string chrome_trace_json(const std::vector<Span>& spans, bool pretty) {
   w.name_meta("process_name", "tagmatch", 1, 0);
   emit_spans(w, spans, 1, 1);
   return w.finish();
+}
+
+std::string chrome_trace_bundle(const std::vector<Span>& spans, const std::string& metadata_key,
+                                const std::string& metadata_json, bool pretty) {
+  EventWriter w(pretty);
+  w.name_meta("process_name", "tagmatch", 1, 0);
+  emit_spans(w, spans, 1, 1);
+  return w.finish(metadata_key, metadata_json);
+}
+
+std::string chrome_span_event(const Span& span, int pid) {
+  // Stable per-stage tids: stage index + 1, GPU stages further offset by the
+  // submitting stream id so concurrent streams land on distinct tracks.
+  int tid = static_cast<int>(span.stage) + 1;
+  switch (span.stage) {
+    case Stage::kH2D:
+    case Stage::kKernel:
+    case Stage::kD2H:
+      tid += static_cast<int>(kNumStages) * static_cast<int>(span.id + 1);
+      break;
+    default:
+      break;
+  }
+  std::ostringstream out;
+  out << "{\"name\":\"" << stage_name(span.stage) << "\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":"
+      << format_us(span.start_ns) << ",\"dur\":"
+      << format_us(std::max<int64_t>(span.end_ns - span.start_ns, 0)) << ",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"args\":{\"span_id\":" << span.span_id << ",\"parent_span_id\":"
+      << span.parent_span_id << ",\"trace_id\":" << span.trace_id << ",\"id\":" << span.id << "}}";
+  return out.str();
 }
 
 }  // namespace tagmatch::obs

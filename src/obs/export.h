@@ -28,6 +28,24 @@ std::string chrome_trace_json(const std::vector<TraceRecord>& traces, bool prett
 // one process, no root slice, untraced spans included.
 std::string chrome_trace_json(const std::vector<Span>& spans, bool pretty = false);
 
+// Self-contained retrospective bundle (src/telemetry): the span-list
+// rendering plus one extra top-level `"<metadata_key>":<metadata_json>`
+// entry. Chrome trace-event JSON is an object format — both chrome://tracing
+// and Perfetto ignore unknown top-level keys, so the bundle opens as a trace
+// while carrying the watchdog's time-series context alongside.
+// `metadata_json` must already be valid JSON.
+std::string chrome_trace_bundle(const std::vector<Span>& spans, const std::string& metadata_key,
+                                const std::string& metadata_json, bool pretty = false);
+
+// One Chrome trace event (ph:"X") for a single span — the unit of the
+// streaming exporter (src/telemetry), which appends events one at a time in
+// the Chrome "JSON Array Format" (a bare event array that loaders accept
+// even unterminated, so a soak's stream file is openable mid-write). Streams
+// can't lane-assign retroactively, so the event's tid is derived from the
+// stage (GPU stages offset by the submitting stream id) rather than from
+// overlap analysis.
+std::string chrome_span_event(const Span& span, int pid = 1);
+
 }  // namespace tagmatch::obs
 
 #endif  // TAGMATCH_OBS_EXPORT_H_

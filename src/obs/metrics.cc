@@ -89,9 +89,43 @@ HistogramSnapshot Histogram::snapshot() const {
 
 MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& o) {
   for (const auto& [name, v] : o.counters) counters[name] += v;
-  for (const auto& [name, v] : o.gauges) gauges[name] += v;
+  point_gauges.insert(o.point_gauges.begin(), o.point_gauges.end());
+  for (const auto& [name, v] : o.gauges) {
+    if (point_gauges.count(name)) {
+      gauges[name] = v;  // Point-in-time reading: last operand wins.
+    } else {
+      gauges[name] += v;  // Share of one logical total: sum.
+    }
+  }
   for (const auto& [name, h] : o.histograms) histograms[name] += h;
   return *this;
+}
+
+HistogramSnapshot histogram_delta(const HistogramSnapshot& cur, const HistogramSnapshot& prev) {
+  HistogramSnapshot d;
+  d.count = counter_delta(cur.count, prev.count);
+  d.sum = counter_delta(cur.sum, prev.sum);
+  bool reset = cur.count < prev.count;
+  uint64_t lowest = UINT64_MAX, highest = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] = reset ? cur.buckets[i] : counter_delta(cur.buckets[i], prev.buckets[i]);
+    if (d.buckets[i] != 0) {
+      lowest = std::min(lowest, histogram_bucket_lower(i));
+      highest = std::max(highest, histogram_bucket_upper(i));
+    }
+    // An exemplar that changed across the window belongs to the window.
+    if (cur.exemplars[i] != 0 && cur.exemplars[i] != prev.exemplars[i]) {
+      d.exemplars[i] = cur.exemplars[i];
+    }
+  }
+  if (d.count > 0) {
+    // Cumulative extrema can't be subtracted; clamp to the window's occupied
+    // bucket range, tightened by the lifetime extrema where still valid.
+    d.min = std::max(lowest == UINT64_MAX ? 0 : lowest, cur.min);
+    d.max = std::min(highest, cur.max);
+    if (d.min > d.max) d.min = d.max;
+  }
+  return d;
 }
 
 std::string MetricsSnapshot::to_text() const {
@@ -178,10 +212,13 @@ Counter* Registry::counter(const std::string& name) {
   return slot.get();
 }
 
-Gauge* Registry::gauge(const std::string& name) {
+Gauge* Registry::gauge(const std::string& name, GaugeMode mode) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+    gauge_modes_[name] = mode;
+  }
   return slot.get();
 }
 
@@ -197,6 +234,9 @@ MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, mode] : gauge_modes_) {
+    if (mode == GaugeMode::kLast) s.point_gauges.insert(name);
+  }
   for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
   return s;
 }

@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,14 @@ class Counter {
  private:
   std::atomic<uint64_t> value_{0};
 };
+
+// How a gauge merges across registries (MetricsSnapshot::operator+=):
+//   * kSum  — each shard contributes its share of one logical total
+//             (subscriber counts, partition counts). The default.
+//   * kLast — the gauge is a point-in-time reading where summing is
+//             meaningless (device health flags, scheme ids): the merged
+//             value is the last operand's reading.
+enum class GaugeMode { kSum, kLast };
 
 // Last-written value (table sizes, queue depths). set overwrites; add is for
 // split-brain updates (e.g. per-shard contributions to one logical gauge).
@@ -128,6 +137,9 @@ struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  // Names of gauges registered GaugeMode::kLast: operator+= overwrites these
+  // instead of summing them (point-in-time readings, not shares of a total).
+  std::set<std::string> point_gauges;
 
   MetricsSnapshot& operator+=(const MetricsSnapshot& o);
 
@@ -154,7 +166,9 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
+  // `mode` is sticky: the first registration of a name fixes how snapshots
+  // of that gauge merge (see GaugeMode); later lookups ignore the argument.
+  Gauge* gauge(const std::string& name, GaugeMode mode = GaugeMode::kSum);
   Histogram* histogram(const std::string& name);
 
   MetricsSnapshot snapshot() const;
@@ -165,8 +179,26 @@ class Registry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, GaugeMode> gauge_modes_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+// ----------------------------------------------------------- snapshot diffing
+// Helpers for windowed telemetry (src/telemetry): the delta of a cumulative
+// instrument between two snapshots of the same registry.
+
+// cur - prev for a monotonic counter. A counter that went backwards means the
+// underlying registry was replaced (engine reload): the delta restarts at the
+// new cumulative value rather than going negative.
+inline uint64_t counter_delta(uint64_t cur, uint64_t prev) {
+  return cur >= prev ? cur - prev : cur;
+}
+
+// Bucket-wise delta of two snapshots of the same histogram: the distribution
+// of only the samples recorded in between. count/sum/buckets subtract
+// (reset-aware like counter_delta); min/max degrade to the window's bucket
+// bounds since cumulative extrema can't be un-merged.
+HistogramSnapshot histogram_delta(const HistogramSnapshot& cur, const HistogramSnapshot& prev);
 
 }  // namespace tagmatch::obs
 

@@ -174,6 +174,7 @@ FlightRecorder::FlightRecorder(Config config) : config_(config) {
 bool FlightRecorder::sample_head() {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = roots_++;
+  if (force_head_sampling_.load(std::memory_order_relaxed)) return true;
   if (config_.head_sample_every == 0) return false;
   return n % config_.head_sample_every == 0;
 }

@@ -175,7 +175,15 @@ class FlightRecorder {
   explicit FlightRecorder(Config config);
 
   // Deterministic 1-in-N head sampling: the 1st, (N+1)th, ... roots sample.
+  // While force_head_sampling is on (the SLO watchdog's boost, see
+  // src/telemetry), every root samples regardless of head_sample_every.
   bool sample_head();
+  void set_force_head_sampling(bool on) {
+    force_head_sampling_.store(on, std::memory_order_relaxed);
+  }
+  bool force_head_sampling() const {
+    return force_head_sampling_.load(std::memory_order_relaxed);
+  }
   // Feeds the rolling latency window and decides retention. The threshold is
   // computed over *prior* finishes, so the decision is reproducible.
   Decision should_retain(int64_t latency_ns, bool degraded, bool head_sampled);
@@ -190,6 +198,7 @@ class FlightRecorder {
   int64_t p95_locked() const;
 
   Config config_;
+  std::atomic<bool> force_head_sampling_{false};
   mutable std::mutex mu_;
   uint64_t roots_ = 0;
   uint64_t finished_ = 0;

@@ -1,0 +1,195 @@
+#include "src/telemetry/slo_watchdog.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tagmatch::telemetry {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// "250ms" or "10s" -> nanoseconds; fail-closed on anything else.
+bool parse_duration_ns(const std::string& s, int64_t* out) {
+  size_t digits = 0;
+  while (digits < s.size() && s[digits] >= '0' && s[digits] <= '9') ++digits;
+  if (digits == 0) return false;
+  const std::string unit = s.substr(digits);
+  int64_t scale = 0;
+  if (unit == "ms") {
+    scale = 1'000'000;
+  } else if (unit == "s") {
+    scale = 1'000'000'000;
+  } else {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || v < 0 || end != s.c_str() + digits) return false;
+  *out = static_cast<int64_t>(v) * scale;
+  return *out > 0;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// Renders a nanosecond duration with the smallest exact unit (s when whole
+// seconds, else ms) so to_spec() round-trips through parse_duration_ns.
+std::string duration_spec(int64_t ns) {
+  if (ns % 1'000'000'000 == 0) return std::to_string(ns / 1'000'000'000) + "s";
+  return std::to_string(ns / 1'000'000) + "ms";
+}
+
+std::string format_double_spec(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SloRule::to_spec() const {
+  std::ostringstream out;
+  out << metric << ":threshold=" << format_double_spec(threshold)
+      << ",fast=" << duration_spec(fast_ns) << ",slow=" << duration_spec(slow_ns)
+      << ",p=" << format_double_spec(pct) << ",budget=" << format_double_spec(budget)
+      << ",holdoff=" << duration_spec(holdoff_ns);
+  if (name != metric) out << ",name=" << name;
+  return out.str();
+}
+
+std::optional<std::vector<SloRule>> parse_slo_rules(const std::string& spec, std::string* error) {
+  std::vector<SloRule> rules;
+  std::stringstream rules_in(spec);
+  std::string rule_spec;
+  while (std::getline(rules_in, rule_spec, ';')) {
+    if (rule_spec.empty()) continue;
+    const size_t colon = rule_spec.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      set_error(error, "rule missing 'metric:' prefix: " + rule_spec);
+      return std::nullopt;
+    }
+    SloRule rule;
+    rule.metric = rule_spec.substr(0, colon);
+    rule.name = rule.metric;
+    bool have_threshold = false;
+    std::stringstream kvs_in(rule_spec.substr(colon + 1));
+    std::string kv;
+    while (std::getline(kvs_in, kv, ',')) {
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) {
+        set_error(error, "malformed key=value: " + kv);
+        return std::nullopt;
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      bool ok = true;
+      if (key == "threshold") {
+        ok = parse_double(value, &rule.threshold);
+        have_threshold = ok;
+      } else if (key == "budget") {
+        ok = parse_double(value, &rule.budget) && rule.budget > 0;
+      } else if (key == "p") {
+        ok = parse_double(value, &rule.pct) && rule.pct >= 0 && rule.pct <= 100;
+      } else if (key == "fast") {
+        ok = parse_duration_ns(value, &rule.fast_ns);
+      } else if (key == "slow") {
+        ok = parse_duration_ns(value, &rule.slow_ns);
+      } else if (key == "holdoff") {
+        ok = parse_duration_ns(value, &rule.holdoff_ns);
+      } else if (key == "name") {
+        rule.name = value;
+      } else {
+        set_error(error, "unknown key '" + key + "' in rule for " + rule.metric);
+        return std::nullopt;
+      }
+      if (!ok) {
+        set_error(error, "bad value for '" + key + "': " + value);
+        return std::nullopt;
+      }
+    }
+    if (!have_threshold) {
+      set_error(error, "rule for " + rule.metric + " missing threshold=");
+      return std::nullopt;
+    }
+    if (rule.fast_ns > rule.slow_ns) {
+      set_error(error, "rule for " + rule.metric + " has fast window wider than slow");
+      return std::nullopt;
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+SloWatchdog::SloWatchdog(std::vector<SloRule> rules)
+    : rules_(std::move(rules)), states_(rules_.size()) {}
+
+namespace {
+
+// The rule's scalar reading of one aggregated window; nullopt when the ring
+// held no data for the metric in that window.
+std::optional<double> window_value(const TimeSeriesStore& store, const SloRule& rule,
+                                   int64_t window_ns, int64_t now_ns) {
+  std::optional<MetricWindow> agg = store.aggregate(rule.metric, window_ns, now_ns);
+  if (!agg.has_value()) return std::nullopt;
+  switch (agg->kind) {
+    case MetricWindow::Kind::kCounter:
+      return agg->rate;
+    case MetricWindow::Kind::kGauge:
+      return static_cast<double>(agg->value);
+    case MetricWindow::Kind::kHistogram:
+      if (agg->hist.count == 0) return std::nullopt;
+      return agg->hist.percentile(rule.pct);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<size_t> SloWatchdog::evaluate(int64_t now_ns, const TimeSeriesStore& store) {
+  std::vector<size_t> newly_tripped;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    RuleState& state = states_[i];
+    const std::optional<double> fast = window_value(store, rule, rule.fast_ns, now_ns);
+    const std::optional<double> slow = window_value(store, rule, rule.slow_ns, now_ns);
+    state.fast_value = fast.value_or(0);
+    state.slow_value = slow.value_or(0);
+    const bool burning = fast.has_value() && slow.has_value() &&
+                         *fast > rule.threshold * rule.budget && *slow > rule.threshold;
+    if (!state.tripped) {
+      if (burning) {
+        state.tripped = true;
+        state.tripped_at_ns = now_ns;
+        ++state.trips;
+        newly_tripped.push_back(i);
+      }
+    } else if (now_ns - state.tripped_at_ns >= rule.holdoff_ns) {
+      // Holdoff over: re-arm only once the fast window has recovered, so a
+      // still-burning rule stays tripped (boost up, no dump storm).
+      const bool fast_recovered =
+          !fast.has_value() || *fast <= rule.threshold;
+      if (fast_recovered && !burning) state.tripped = false;
+    }
+  }
+  return newly_tripped;
+}
+
+bool SloWatchdog::any_tripped() const {
+  for (const RuleState& s : states_) {
+    if (s.tripped) return true;
+  }
+  return false;
+}
+
+}  // namespace tagmatch::telemetry

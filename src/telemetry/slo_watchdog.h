@@ -1,0 +1,94 @@
+// Continuous telemetry: SRE-style dual-window burn-rate rules over the
+// rolling time-series store.
+//
+// A rule names one metric and an objective. Each evaluation aggregates the
+// metric over two windows of the ring — a fast window (catches a sharp
+// burn quickly) and a slow window (filters one-sample blips) — and trips
+// only when BOTH exceed the objective: the fast window must exceed
+// threshold × budget (the burn-rate multiplier: how many times faster than
+// the sustainable rate the budget is burning) and the slow window must
+// exceed threshold. This is the standard error-budget alerting shape: fast
+// window for detection latency, slow window for precision.
+//
+// The metric's windowed value depends on its kind: counters evaluate their
+// per-second rate, gauges their latest reading, histograms the windowed
+// percentile selected by `p=` (bucket-delta interpolation, timeseries.h).
+//
+// State machine per rule: armed → (both windows exceed) → TRIPPED, which is
+// the only transition that fires the trip action (one retrospective dump +
+// sampling boost, telemetry.h). The rule then holds for `holdoff` — the
+// boost stays up, no re-trips — and re-arms only once the holdoff has
+// passed AND the fast window has dropped back under the threshold, so a
+// still-burning SLO never flaps.
+//
+// The spec grammar mirrors src/inject's FaultPlan — ';'-separated rules,
+// each `metric:kv,kv,...` — and parses fail-closed: unknown keys, bad
+// durations or a missing threshold reject the whole spec.
+#ifndef TAGMATCH_TELEMETRY_SLO_WATCHDOG_H_
+#define TAGMATCH_TELEMETRY_SLO_WATCHDOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/timeseries.h"
+
+namespace tagmatch::telemetry {
+
+// One burn-rate rule. Spec form:
+//   metric:threshold=V[,fast=10s][,slow=60s][,p=99][,budget=2][,holdoff=30s][,name=r]
+// Durations take `ms` or `s` suffixes; `p` selects the histogram percentile;
+// `name` labels the telemetry.alert.<name> gauge (default: the metric name).
+struct SloRule {
+  std::string name;
+  std::string metric;
+  double threshold = 0;
+  double budget = 1.0;  // Fast-window burn-rate multiplier.
+  double pct = 99;      // Histogram percentile selector.
+  int64_t fast_ns = 10'000'000'000;     // 10 s
+  int64_t slow_ns = 60'000'000'000;     // 60 s
+  int64_t holdoff_ns = 30'000'000'000;  // 30 s
+
+  // Canonical spec string (parse(to_spec(r)) round-trips).
+  std::string to_spec() const;
+};
+
+// Parses a ';'-separated rule list. nullopt on any violation, with a
+// human-readable reason in *error (when non-null). An empty spec is valid
+// and yields no rules.
+std::optional<std::vector<SloRule>> parse_slo_rules(const std::string& spec,
+                                                    std::string* error = nullptr);
+
+class SloWatchdog {
+ public:
+  struct RuleState {
+    bool tripped = false;
+    int64_t tripped_at_ns = 0;
+    uint64_t trips = 0;  // Lifetime trip transitions (armed -> tripped).
+    // Last evaluated aggregates (diagnostics; NaN-free: 0 when no data).
+    double fast_value = 0;
+    double slow_value = 0;
+  };
+
+  explicit SloWatchdog(std::vector<SloRule> rules);
+
+  // Evaluates every rule against the store at `now_ns`. Returns the indices
+  // of rules that transitioned armed -> tripped in this evaluation (each is
+  // one trip action for the caller).
+  std::vector<size_t> evaluate(int64_t now_ns, const TimeSeriesStore& store);
+
+  // True while any rule is tripped (sampling boost stays up).
+  bool any_tripped() const;
+
+  const std::vector<SloRule>& rules() const { return rules_; }
+  const RuleState& state(size_t i) const { return states_[i]; }
+
+ private:
+  std::vector<SloRule> rules_;
+  std::vector<RuleState> states_;
+};
+
+}  // namespace tagmatch::telemetry
+
+#endif  // TAGMATCH_TELEMETRY_SLO_WATCHDOG_H_

@@ -1,0 +1,75 @@
+#include "src/telemetry/stream_export.h"
+
+#include "src/obs/export.h"
+
+namespace tagmatch::telemetry {
+
+SpanStreamer::Flush SpanStreamer::flush(const std::vector<obs::Span>& ring,
+                                        uint64_t ring_dropped) {
+  Flush out;
+  const uint64_t recorded = ring_dropped + ring.size();
+  std::unordered_set<uint64_t> cur_ids;
+  cur_ids.reserve(ring.size());
+  for (const obs::Span& s : ring) {
+    cur_ids.insert(s.span_id);
+    if (primed_ && prev_ids_.count(s.span_id)) continue;
+    out.spans.push_back(s);
+  }
+  if (primed_) {
+    // Everything recorded since the last flush either still sits in the ring
+    // (flushed now) or wrapped out unseen (dropped). recorded is monotonic,
+    // so the subtraction cannot underflow below the flushed count.
+    const uint64_t delta = recorded >= prev_recorded_ ? recorded - prev_recorded_ : 0;
+    if (delta > out.spans.size()) out.dropped = delta - out.spans.size();
+  }
+  primed_ = true;
+  prev_ids_ = std::move(cur_ids);
+  prev_recorded_ = recorded;
+  flushed_total_ += out.spans.size();
+  dropped_total_ += out.dropped;
+  return out;
+}
+
+StreamFileWriter::StreamFileWriter(size_t max_events_per_flush)
+    : max_events_per_flush_(max_events_per_flush == 0 ? 1 : max_events_per_flush) {}
+
+StreamFileWriter::~StreamFileWriter() { close(); }
+
+bool StreamFileWriter::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) return false;
+  std::fputs("[\n", file_);
+  first_event_ = true;
+  return true;
+}
+
+size_t StreamFileWriter::append(const std::vector<obs::Span>& spans) {
+  if (file_ == nullptr) return 0;
+  size_t begin = 0;
+  if (spans.size() > max_events_per_flush_) {
+    // Keep the newest events of an oversized flush; the tail is what the
+    // next reader wants, and the skipped head is accounted, not silent.
+    begin = spans.size() - max_events_per_flush_;
+    events_dropped_ += begin;
+  }
+  for (size_t i = begin; i < spans.size(); ++i) {
+    if (!first_event_) std::fputs(",\n", file_);
+    first_event_ = false;
+    const std::string event = obs::chrome_span_event(spans[i]);
+    std::fwrite(event.data(), 1, event.size(), file_);
+    ++events_written_;
+  }
+  std::fflush(file_);
+  return spans.size() - begin;
+}
+
+void StreamFileWriter::close() {
+  if (file_ == nullptr) return;
+  // Terminate the array for tidiness; loaders accept the file either way.
+  std::fputs("\n]\n", file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace tagmatch::telemetry

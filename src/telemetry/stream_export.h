@@ -1,0 +1,98 @@
+// Continuous telemetry: incremental Perfetto export for long soaks.
+//
+// The TRACEX wire verb re-serializes the whole retained set per request —
+// fine for a 16-trace flight recorder, hopeless for a multi-hour soak whose
+// interesting spans wrap out of the ring between polls. The streaming
+// exporter inverts the flow: each flush appends only the spans *retired
+// since the last flush* to its sink, so a soak's full span history lands on
+// disk (or on a TRACES wire connection) in O(new spans) per flush with no
+// re-serialization.
+//
+// Incremental capture works by snapshot differencing, not by span-id
+// watermark: parent spans are recorded with pre-allocated ids *after* their
+// children (PipelineObs::record_stage's span_id parameter — a batch span's
+// GPU ops enqueue first), so "id greater than the last seen" would lose
+// exactly the parents. A flush instead diffs the ring snapshot against the
+// previous snapshot's id set. Spans recorded and then overwritten between
+// two flushes are genuinely unexportable; they are counted as drops
+// (recorded-delta minus flushed), never silently skipped — flush faster or
+// grow the ring to drive drops to zero.
+//
+// The on-disk format is the Chrome "JSON Array Format": a bare `[` followed
+// by comma-separated trace events. Loaders (Perfetto, chrome://tracing)
+// accept it even unterminated, so the stream file of a crashed or still-
+// running soak opens cleanly.
+#ifndef TAGMATCH_TELEMETRY_STREAM_EXPORT_H_
+#define TAGMATCH_TELEMETRY_STREAM_EXPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace tagmatch::telemetry {
+
+// Stateful snapshot differ: feeds each flush the spans new since the
+// previous one. One streamer per sink (the file exporter owns one; every
+// TRACES wire connection owns its own, so concurrent consumers each see the
+// full stream).
+class SpanStreamer {
+ public:
+  struct Flush {
+    std::vector<obs::Span> spans;  // New since the previous flush.
+    uint64_t dropped = 0;          // Retired unseen in this interval (wrapped out).
+  };
+
+  // `ring` is the tracer's current snapshot; `ring_dropped` its lifetime
+  // overwrite count (total recorded = ring.size() + ring_dropped, which is
+  // how the drop delta is derived).
+  Flush flush(const std::vector<obs::Span>& ring, uint64_t ring_dropped);
+
+  uint64_t flushed_total() const { return flushed_total_; }
+  uint64_t dropped_total() const { return dropped_total_; }
+
+ private:
+  std::unordered_set<uint64_t> prev_ids_;
+  uint64_t prev_recorded_ = 0;
+  bool primed_ = false;
+  uint64_t flushed_total_ = 0;
+  uint64_t dropped_total_ = 0;
+};
+
+// Appends Chrome trace events to a JSON Array Format file. Writes "[\n" on
+// open; append() serializes each span via obs::chrome_span_event. Bounded:
+// a flush larger than `max_events_per_flush` keeps the newest events and
+// counts the excess as drops, so one pathological interval can't stall the
+// sampler on disk I/O.
+class StreamFileWriter {
+ public:
+  explicit StreamFileWriter(size_t max_events_per_flush = 65536);
+  ~StreamFileWriter();
+
+  StreamFileWriter(const StreamFileWriter&) = delete;
+  StreamFileWriter& operator=(const StreamFileWriter&) = delete;
+
+  bool open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+  // Serializes and appends; returns events written. fflush()es so the file
+  // is loadable at any moment of the soak.
+  size_t append(const std::vector<obs::Span>& spans);
+  void close();
+
+  uint64_t events_written() const { return events_written_; }
+  uint64_t events_dropped() const { return events_dropped_; }
+
+ private:
+  const size_t max_events_per_flush_;
+  std::FILE* file_ = nullptr;
+  bool first_event_ = true;
+  uint64_t events_written_ = 0;
+  uint64_t events_dropped_ = 0;
+};
+
+}  // namespace tagmatch::telemetry
+
+#endif  // TAGMATCH_TELEMETRY_STREAM_EXPORT_H_

@@ -1,0 +1,192 @@
+#include "src/telemetry/telemetry.h"
+
+#include <cstdio>
+#include <inttypes.h>
+#include <sstream>
+
+#include "src/common/stats.h"
+#include "src/obs/export.h"
+
+namespace tagmatch::telemetry {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// tmp + rename so a reader (or a crash) never sees a half-written dump.
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(std::move(config)),
+      store_(config_.ring_capacity),
+      watchdog_(config_.rules) {
+  samples_ = registry_.counter("telemetry.samples");
+  rule_trips_ = registry_.counter("telemetry.rule_trips");
+  retro_dumps_ = registry_.counter("telemetry.retro_dumps");
+  stream_flushed_ = registry_.counter("telemetry.stream.flushed");
+  stream_dropped_ = registry_.counter("telemetry.stream.dropped");
+  rss_gauge_ = registry_.gauge("telemetry.rss_bytes", obs::GaugeMode::kLast);
+  for (const SloRule& rule : watchdog_.rules()) {
+    alert_gauges_.push_back(
+        registry_.gauge("telemetry.alert." + rule.name, obs::GaugeMode::kLast));
+  }
+  if (!config_.stream_path.empty()) {
+    stream_writer_.open(config_.stream_path);
+  }
+}
+
+Telemetry::~Telemetry() { stop(); }
+
+void Telemetry::start() {
+  if (started_ || config_.interval.count() <= 0) return;
+  started_ = true;
+  stopping_ = false;
+  sampler_ = std::thread(&Telemetry::sampler_loop, this);
+}
+
+void Telemetry::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  started_ = false;
+  stream_writer_.close();
+}
+
+void Telemetry::sampler_loop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, config_.interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    tick(now_ns());
+    lock.lock();
+  }
+}
+
+int64_t Telemetry::rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long pages_total = 0, pages_resident = 0;
+  const int fields = std::fscanf(f, "%lld %lld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  // sysconf(_SC_PAGESIZE) without the unistd dependency: Linux x86/arm pages
+  // are 4 KiB unless the deployment says otherwise; the soak gate compares
+  // ratios, which a constant factor cancels out of.
+  return static_cast<int64_t>(pages_resident) * 4096;
+}
+
+void Telemetry::tick(int64_t now_ns) {
+  // 1. Self-sample, so the ring carries the telemetry.* series too (the soak
+  // gate reads its RSS history straight out of a TSQ dump).
+  rss_gauge_->set(rss_bytes());
+  samples_->inc();
+
+  // 2. Windowed ingest of host + telemetry metrics.
+  obs::MetricsSnapshot snap;
+  if (config_.snapshot_fn) snap = config_.snapshot_fn();
+  snap += registry_.snapshot();
+  store_.ingest(now_ns, snap);
+
+  // 3. Burn-rate evaluation; trips dump and boost.
+  const std::vector<size_t> tripped = watchdog_.evaluate(now_ns, store_);
+  for (size_t i = 0; i < alert_gauges_.size(); ++i) {
+    alert_gauges_[i]->set(watchdog_.state(i).tripped ? 1 : 0);
+  }
+  for (size_t rule_index : tripped) {
+    rule_trips_->inc();
+    write_retrospective_dump(rule_index, now_ns);
+  }
+  const bool want_boost = watchdog_.any_tripped();
+  if (want_boost != boost_on_) {
+    boost_on_ = want_boost;
+    if (config_.sampling_boost_fn) config_.sampling_boost_fn(want_boost);
+  }
+
+  // 4. Incremental span export.
+  if (stream_writer_.is_open() && config_.trace_fn) {
+    const uint64_t ring_dropped = config_.trace_dropped_fn ? config_.trace_dropped_fn() : 0;
+    SpanStreamer::Flush flush = streamer_.flush(config_.trace_fn(), ring_dropped);
+    const size_t written = stream_writer_.append(flush.spans);
+    stream_flushed_->add(written);
+    stream_dropped_->add(flush.dropped + (flush.spans.size() - written));
+  }
+}
+
+void Telemetry::write_retrospective_dump(size_t rule_index, int64_t now_ns) {
+  retro_dumps_->inc();
+  if (config_.telemetry_dir.empty()) return;
+  const SloRule& rule = watchdog_.rules()[rule_index];
+  const SloWatchdog::RuleState& state = watchdog_.state(rule_index);
+
+  std::ostringstream meta;
+  meta << "{\"rule\":\"" << json_escape(rule.to_spec()) << "\",\"name\":\""
+       << json_escape(rule.name) << "\",\"tripped_at_ns\":" << now_ns
+       << ",\"fast_value\":" << format_double(state.fast_value)
+       << ",\"slow_value\":" << format_double(state.slow_value)
+       << ",\"threshold\":" << format_double(rule.threshold)
+       << ",\"budget\":" << format_double(rule.budget)
+       << ",\"timeseries\":" << store_.to_json("*", config_.retro_last_windows)
+       << ",\"device_health\":" << store_.to_json("device.health.*", config_.retro_last_windows)
+       << "}";
+
+  const std::vector<obs::Span> ring = config_.trace_fn ? config_.trace_fn() : std::vector<obs::Span>{};
+  const std::string bundle = obs::chrome_trace_bundle(ring, "telemetry", meta.str(),
+                                                      /*pretty=*/true);
+  char filename[256];
+  std::snprintf(filename, sizeof(filename), "retro-%s-%" PRIu64 ".json", rule.name.c_str(),
+                state.trips);
+  const std::string path = config_.telemetry_dir + "/" + filename;
+  if (write_file_atomic(path, bundle)) {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    last_dump_path_ = path;
+  }
+}
+
+std::string Telemetry::tsq_json(const std::string& metric_glob, size_t last_n) const {
+  return store_.to_json(metric_glob, last_n);
+}
+
+uint64_t Telemetry::retro_dumps() const { return retro_dumps_->value(); }
+
+std::string Telemetry::last_dump_path() const {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_dump_path_;
+}
+
+}  // namespace tagmatch::telemetry

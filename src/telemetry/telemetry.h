@@ -1,0 +1,136 @@
+// Continuous telemetry: the orchestrator wiring the rolling time-series
+// store, the SLO burn-rate watchdog and the streaming Perfetto exporter to
+// a live broker (or any obs-instrumented host).
+//
+// One background sampler thread ticks at a configurable interval. Each tick:
+//   1. self-samples the process (telemetry.rss_bytes) into its own registry,
+//   2. snapshots the host's metrics (snapshot_fn), merges in the telemetry
+//      registry, and ingests the union into the ring (timeseries.h),
+//   3. evaluates the burn-rate rules on the ring; a rule transitioning to
+//      tripped flips its telemetry.alert.<rule> gauge, raises FlightRecorder
+//      head sampling to 100% via sampling_boost_fn (dropped again only when
+//      every rule has re-armed), and emits ONE retrospective dump,
+//   4. flushes spans retired since the last tick to the stream file.
+//
+// The retrospective dump is the "what was the engine doing" artifact: the
+// current trace ring rendered as Chrome trace events plus, under a
+// "telemetry" metadata key the viewers ignore, the tripped rule, the last N
+// time-series windows and the device-health gauge history. It is written
+// atomically (tmp + rename) to telemetry_dir, one self-contained file per
+// trip that ui.perfetto.dev opens directly.
+//
+// tick() is public and takes the clock as a parameter: tests drive the
+// whole machine deterministically with a fake clock and never start().
+#ifndef TAGMATCH_TELEMETRY_TELEMETRY_H_
+#define TAGMATCH_TELEMETRY_TELEMETRY_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/telemetry/slo_watchdog.h"
+#include "src/telemetry/stream_export.h"
+#include "src/telemetry/timeseries.h"
+
+namespace tagmatch::telemetry {
+
+struct TelemetryConfig {
+  // Sampling interval of the background thread (start()); <= 0 disables the
+  // thread (tick() still works for fake-clock callers).
+  std::chrono::milliseconds interval{1000};
+  // Ring capacity in windows (default 512 ≈ 8.5 min at 1 s).
+  size_t ring_capacity = 512;
+  // Burn-rate rules (parse_slo_rules over --slo-rules).
+  std::vector<SloRule> rules;
+  // Directory for retrospective dumps ("" = dumps off).
+  std::string telemetry_dir;
+  // Streaming Perfetto file ("" = file streaming off).
+  std::string stream_path;
+  // Time-series windows embedded in a retrospective dump.
+  size_t retro_last_windows = 64;
+
+  // --- Host hooks (all optional; a null hook disables its feature) ---
+  // Cumulative metrics of the monitored system (Broker::metrics_snapshot).
+  std::function<obs::MetricsSnapshot()> snapshot_fn;
+  // Span ring snapshot + its lifetime overwrite count (Broker::trace_snapshot
+  // / trace_dropped) — feeds the streaming exporter and the dumps.
+  std::function<std::vector<obs::Span>()> trace_fn;
+  std::function<uint64_t()> trace_dropped_fn;
+  // Watchdog sampling boost (Broker::set_trace_sampling_boost).
+  std::function<void(bool)> sampling_boost_fn;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config);
+  ~Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // Spawns the sampler thread (no-op when interval <= 0). stop() joins it;
+  // both idempotent.
+  void start();
+  void stop();
+
+  // One sampling tick at `now_ns` — the deterministic core the thread calls
+  // with the real clock and tests call with a fake one.
+  void tick(int64_t now_ns);
+
+  // TSQ payload: the ring filtered by glob, most recent `last_n` windows.
+  std::string tsq_json(const std::string& metric_glob, size_t last_n = 0) const;
+
+  const TimeSeriesStore& store() const { return store_; }
+  const SloWatchdog& watchdog() const { return watchdog_; }
+  // The telemetry.* registry (merged into STATS by the server).
+  obs::Registry& registry() { return registry_; }
+  obs::MetricsSnapshot metrics_snapshot() const { return registry_.snapshot(); }
+
+  uint64_t retro_dumps() const;
+  // Path of the most recent retrospective dump ("" = none yet).
+  std::string last_dump_path() const;
+  uint64_t stream_flushed() const { return stream_flushed_->value(); }
+  uint64_t stream_dropped() const { return stream_dropped_->value(); }
+
+ private:
+  void sampler_loop();
+  void write_retrospective_dump(size_t rule_index, int64_t now_ns);
+  // Resident set size via /proc/self/statm (0 where unavailable).
+  static int64_t rss_bytes();
+
+  TelemetryConfig config_;
+  TimeSeriesStore store_;
+  SloWatchdog watchdog_;
+  SpanStreamer streamer_;
+  StreamFileWriter stream_writer_;
+
+  obs::Registry registry_;
+  obs::Counter* samples_ = nullptr;
+  obs::Counter* rule_trips_ = nullptr;
+  obs::Counter* retro_dumps_ = nullptr;
+  obs::Counter* stream_flushed_ = nullptr;
+  obs::Counter* stream_dropped_ = nullptr;
+  obs::Gauge* rss_gauge_ = nullptr;
+  std::vector<obs::Gauge*> alert_gauges_;  // One per rule, telemetry.alert.<name>.
+  bool boost_on_ = false;
+
+  mutable std::mutex dump_mu_;
+  std::string last_dump_path_;
+
+  std::thread sampler_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace tagmatch::telemetry
+
+#endif  // TAGMATCH_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,191 @@
+#include "src/telemetry/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tagmatch::telemetry {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void metric_window_json(std::ostringstream& out, const MetricWindow& m) {
+  switch (m.kind) {
+    case MetricWindow::Kind::kCounter:
+      out << "{\"type\":\"counter\",\"delta\":" << m.delta
+          << ",\"rate\":" << format_double(m.rate) << "}";
+      break;
+    case MetricWindow::Kind::kGauge:
+      out << "{\"type\":\"gauge\",\"value\":" << m.value << "}";
+      break;
+    case MetricWindow::Kind::kHistogram:
+      out << "{\"type\":\"histogram\",\"count\":" << m.hist.count
+          << ",\"mean\":" << format_double(m.hist.mean())
+          << ",\"p50\":" << format_double(m.hist.percentile(50))
+          << ",\"p95\":" << format_double(m.hist.percentile(95))
+          << ",\"p99\":" << format_double(m.hist.percentile(99)) << ",\"max\":" << m.hist.max
+          << "}";
+      break;
+  }
+}
+
+}  // namespace
+
+bool glob_match(const std::string& pattern, const std::string& name) {
+  // Iterative '*' matcher with backtracking to the last star (classic
+  // two-pointer form; no other metacharacters).
+  size_t p = 0, n = 0;
+  size_t star = std::string::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && (pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+TimeSeriesStore::TimeSeriesStore(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeriesStore::ingest(int64_t now_ns, const obs::MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample s;
+  s.t_ns = now_ns;
+  s.window_ns = has_prev_ ? std::max<int64_t>(now_ns - prev_t_ns_, 1) : 0;
+  const double seconds =
+      s.window_ns > 0 ? static_cast<double>(s.window_ns) / 1e9 : 0.0;
+  for (const auto& [name, cur] : snap.counters) {
+    auto prev_it = prev_.counters.find(name);
+    const uint64_t prev_v = prev_it != prev_.counters.end() ? prev_it->second : 0;
+    MetricWindow m;
+    m.kind = MetricWindow::Kind::kCounter;
+    m.delta = obs::counter_delta(cur, prev_v);
+    m.rate = seconds > 0 ? static_cast<double>(m.delta) / seconds : 0.0;
+    s.metrics.emplace(name, std::move(m));
+  }
+  for (const auto& [name, cur] : snap.gauges) {
+    MetricWindow m;
+    m.kind = MetricWindow::Kind::kGauge;
+    m.value = cur;
+    s.metrics.emplace(name, std::move(m));
+  }
+  for (const auto& [name, cur] : snap.histograms) {
+    auto prev_it = prev_.histograms.find(name);
+    MetricWindow m;
+    m.kind = MetricWindow::Kind::kHistogram;
+    m.hist = prev_it != prev_.histograms.end() ? obs::histogram_delta(cur, prev_it->second)
+                                               : cur;
+    s.metrics.emplace(name, std::move(m));
+  }
+  ring_.push_back(std::move(s));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  ++total_;
+  has_prev_ = true;
+  prev_t_ns_ = now_ns;
+  prev_ = snap;
+}
+
+size_t TimeSeriesStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TimeSeriesStore::total_ingested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<Sample> TimeSeriesStore::query(const std::string& metric_glob, size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = (last_n == 0 || last_n > ring_.size()) ? ring_.size() : last_n;
+  std::vector<Sample> out;
+  out.reserve(n);
+  for (size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    const Sample& src = ring_[i];
+    Sample filtered;
+    filtered.t_ns = src.t_ns;
+    filtered.window_ns = src.window_ns;
+    for (const auto& [name, m] : src.metrics) {
+      if (glob_match(metric_glob, name)) filtered.metrics.emplace(name, m);
+    }
+    out.push_back(std::move(filtered));
+  }
+  return out;
+}
+
+std::optional<MetricWindow> TimeSeriesStore::aggregate(const std::string& metric,
+                                                       int64_t window_ns, int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<MetricWindow> agg;
+  int64_t covered_ns = 0;
+  for (const Sample& s : ring_) {
+    if (s.t_ns <= now_ns - window_ns || s.t_ns > now_ns) continue;
+    auto it = s.metrics.find(metric);
+    if (it == s.metrics.end()) continue;
+    const MetricWindow& m = it->second;
+    if (!agg.has_value()) {
+      agg = m;
+      covered_ns = s.window_ns;
+      continue;
+    }
+    switch (m.kind) {
+      case MetricWindow::Kind::kCounter:
+        agg->delta += m.delta;
+        covered_ns += s.window_ns;
+        break;
+      case MetricWindow::Kind::kGauge:
+        agg->value = m.value;  // Samples iterate oldest-first: newest wins.
+        break;
+      case MetricWindow::Kind::kHistogram:
+        agg->hist += m.hist;
+        break;
+    }
+  }
+  if (agg.has_value() && agg->kind == MetricWindow::Kind::kCounter) {
+    agg->rate = covered_ns > 0 ? static_cast<double>(agg->delta) * 1e9 /
+                                     static_cast<double>(covered_ns)
+                               : 0.0;
+  }
+  return agg;
+}
+
+std::string TimeSeriesStore::to_json(const std::string& metric_glob, size_t last_n) const {
+  std::vector<Sample> samples = query(metric_glob, last_n);
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "{\"capacity\":" << capacity_ << ",\"total\":" << total_ << ",\"samples\":[";
+  }
+  bool first_sample = true;
+  for (const Sample& s : samples) {
+    if (!first_sample) out << ",";
+    first_sample = false;
+    out << "{\"t_ns\":" << s.t_ns << ",\"window_ns\":" << s.window_ns << ",\"metrics\":{";
+    bool first_metric = true;
+    for (const auto& [name, m] : s.metrics) {
+      if (!first_metric) out << ",";
+      first_metric = false;
+      out << "\"" << name << "\":";
+      metric_window_json(out, m);
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace tagmatch::telemetry

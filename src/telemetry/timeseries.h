@@ -1,0 +1,109 @@
+// Continuous telemetry: a rolling time-series store over obs registries.
+//
+// The lifetime counters and histograms of src/obs answer "how much since
+// boot"; sustained operation (the paper's Figs. 5-11 story) needs "how much
+// over the last window" — a CPU-fallback storm is invisible in a lifetime
+// p99 that has already averaged it away. The store turns cumulative
+// snapshots into windowed samples: a sampler calls ingest() at a fixed
+// interval, each call diffs the registry snapshot against the previous one,
+// and the resulting per-window deltas (counter rates, histogram bucket
+// deltas with interpolated windowed percentiles, gauge readings) land in a
+// fixed-capacity ring. Memory is O(ring × metrics), independent of uptime.
+//
+// Diffing is reset-aware: a counter that went backwards means the underlying
+// registry was replaced (engine reload via Broker::load), and the window
+// restarts at the new cumulative value instead of going negative.
+//
+// Queries (the TSQ wire verb) select metrics by glob ('*' wildcards) over
+// the most recent N windows and render as JSON. The SLO watchdog
+// (slo_watchdog.h) aggregates windows over its fast/slow horizons with
+// aggregate().
+#ifndef TAGMATCH_TELEMETRY_TIMESERIES_H_
+#define TAGMATCH_TELEMETRY_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace tagmatch::telemetry {
+
+// Glob match with '*' (any run, including empty) — the TSQ selector.
+// No other metacharacters; dots in metric names match literally.
+bool glob_match(const std::string& pattern, const std::string& name);
+
+// One metric's delta over one sampling window.
+struct MetricWindow {
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  // Counter: samples recorded in the window and their per-second rate.
+  uint64_t delta = 0;
+  double rate = 0;
+  // Gauge: the reading at the end of the window.
+  int64_t value = 0;
+  // Histogram: the window's bucket deltas; percentile() on this snapshot is
+  // the *windowed* p50/p95/p99 (bucket-delta interpolation, the same math as
+  // the lifetime percentiles but over only this window's samples).
+  obs::HistogramSnapshot hist;
+};
+
+// One sampling tick: every metric's window, stamped with the tick time and
+// the width of the window that produced it.
+struct Sample {
+  int64_t t_ns = 0;       // Tick timestamp (end of the window).
+  int64_t window_ns = 0;  // Width: t_ns minus the previous tick's t_ns.
+  std::map<std::string, MetricWindow> metrics;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(size_t capacity = 512);
+
+  // Appends one windowed sample: the delta between `snap` and the previously
+  // ingested snapshot. The first call establishes the baseline and records a
+  // boot-to-now window. Thread-safe against queries.
+  void ingest(int64_t now_ns, const obs::MetricsSnapshot& snap);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Ticks ingested since construction (>= size(); the excess was evicted).
+  uint64_t total_ingested() const;
+
+  // The most recent `last_n` samples (0 = all retained), oldest first, with
+  // each sample's metric map filtered by `metric_glob`.
+  std::vector<Sample> query(const std::string& metric_glob, size_t last_n = 0) const;
+
+  // Merges the windows of `metric` over samples whose tick fell in
+  // (now_ns - window_ns, now_ns]: counters sum deltas and re-derive the rate
+  // over the covered time, gauges keep the newest reading, histograms merge
+  // bucket deltas (so percentile() spans the whole window). nullopt when no
+  // retained sample covers the metric in that window.
+  std::optional<MetricWindow> aggregate(const std::string& metric, int64_t window_ns,
+                                        int64_t now_ns) const;
+
+  // {"capacity":C,"total":T,"samples":[{"t_ns":..,"window_ns":..,
+  //  "metrics":{"name":{"type":"counter","delta":D,"rate":R} |
+  //             {"type":"gauge","value":V} |
+  //             {"type":"histogram","count":N,"mean":..,"p50":..,"p95":..,
+  //              "p99":..,"max":..}}},...]} — single line (one wire frame).
+  std::string to_json(const std::string& metric_glob, size_t last_n = 0) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Sample> ring_;
+  uint64_t total_ = 0;
+  bool has_prev_ = false;
+  int64_t prev_t_ns_ = 0;
+  obs::MetricsSnapshot prev_;
+};
+
+}  // namespace tagmatch::telemetry
+
+#endif  // TAGMATCH_TELEMETRY_TIMESERIES_H_

@@ -5,6 +5,8 @@
 //                        [--stats-json FILE [--stats-interval MS]]
 //                        [--tracing [--trace-sample N]] [--trace-out FILE]
 //                        [--fault-plan SPEC] [--signature-scheme NAME]
+//                        [--telemetry-interval MS] [--telemetry-dir DIR]
+//                        [--slo-rules SPEC] [--telemetry-stream FILE]
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
 //   --shards N: back the broker with a sharded engine (N independent
 //               TagMatch shards, scatter-gather matching; default 1).
@@ -42,6 +44,21 @@
 //               engine (retry / re-dispatch / CPU fallback) and show up in
 //               the engine.retries / device.health.* metrics — for chaos
 //               drills, never production.
+//   --telemetry-interval MS: enable continuous telemetry (src/telemetry): a
+//               background sampler snapshots the metrics registry every MS
+//               milliseconds into a rolling time-series ring served by the
+//               TSQ verb. Any --telemetry-*/--slo-rules flag enables the
+//               layer; the interval defaults to 1000 ms.
+//   --slo-rules SPEC: burn-rate watchdog rules over the ring (grammar in
+//               src/telemetry/slo_watchdog.h, e.g.
+//               "publish.latency_ns:p=99,threshold=5e6"). A trip flips the
+//               telemetry.alert.<rule> gauge, boosts trace sampling to 100%
+//               and writes one retrospective Perfetto dump to
+//               --telemetry-dir.
+//   --telemetry-dir DIR: directory for retrospective dumps (must exist).
+//   --telemetry-stream FILE: stream spans incrementally to FILE as a
+//               Chrome/Perfetto trace-event array (append-only; only spans
+//               retired since the previous flush). Implies --tracing.
 //
 // Protocol (newline-delimited; see src/net/wire.h):
 //   SUB a,b,c        -> OK <id>       subscribe this connection
@@ -71,6 +88,8 @@
 #include "src/net/server.h"
 #include "src/obs/export.h"
 #include "src/sig/signature_scheme.h"
+#include "src/telemetry/slo_watchdog.h"
+#include "src/telemetry/telemetry.h"
 
 namespace {
 
@@ -110,6 +129,11 @@ int main(int argc, char** argv) {
   std::string stats_json_path;
   std::string trace_out_path;
   std::string fault_plan_spec;
+  std::string slo_rules_spec;
+  std::string telemetry_dir;
+  std::string telemetry_stream_path;
+  auto telemetry_interval = std::chrono::milliseconds(0);  // 0 = telemetry off.
+  bool telemetry_enabled = false;
   bool tracing = false;
   uint32_t trace_sample = 0;
   auto stats_interval = std::chrono::milliseconds(1000);
@@ -150,6 +174,19 @@ int main(int argc, char** argv) {
       tracing = true;
     } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
       fault_plan_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 && i + 1 < argc) {
+      telemetry_interval = std::chrono::milliseconds(std::strtoul(argv[++i], nullptr, 10));
+      telemetry_enabled = true;
+    } else if (std::strcmp(argv[i], "--telemetry-dir") == 0 && i + 1 < argc) {
+      telemetry_dir = argv[++i];
+      telemetry_enabled = true;
+    } else if (std::strcmp(argv[i], "--slo-rules") == 0 && i + 1 < argc) {
+      slo_rules_spec = argv[++i];
+      telemetry_enabled = true;
+    } else if (std::strcmp(argv[i], "--telemetry-stream") == 0 && i + 1 < argc) {
+      telemetry_stream_path = argv[++i];
+      telemetry_enabled = true;
+      tracing = true;  // Streaming without spans would be an empty file.
     } else if (std::strcmp(argv[i], "--signature-scheme") == 0 && i + 1 < argc) {
       scheme = tagmatch::sig::scheme_by_name(argv[++i]);
       if (scheme == nullptr) {
@@ -185,7 +222,38 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fault plan armed: %s\n", plan->to_spec().c_str());
   }
   tagmatch::broker::Broker broker(config);
-  tagmatch::net::BrokerServer server(&broker, port);
+
+  // Continuous telemetry (--telemetry-*/--slo-rules): sampler + watchdog +
+  // streaming exporter wired to the broker, handed to the server for TSQ.
+  std::unique_ptr<tagmatch::telemetry::Telemetry> telemetry;
+  if (telemetry_enabled) {
+    tagmatch::telemetry::TelemetryConfig tconfig;
+    if (telemetry_interval.count() > 0) {
+      tconfig.interval = telemetry_interval;
+    }
+    if (!slo_rules_spec.empty()) {
+      std::string error;
+      auto rules = tagmatch::telemetry::parse_slo_rules(slo_rules_spec, &error);
+      if (!rules) {
+        std::fprintf(stderr, "malformed --slo-rules \"%s\": %s\n", slo_rules_spec.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      tconfig.rules = *rules;
+      std::fprintf(stderr, "slo watchdog armed: %zu rule%s\n", tconfig.rules.size(),
+                   tconfig.rules.size() == 1 ? "" : "s");
+    }
+    tconfig.telemetry_dir = telemetry_dir;
+    tconfig.stream_path = telemetry_stream_path;
+    tconfig.snapshot_fn = [&broker] { return broker.metrics_snapshot(); };
+    tconfig.trace_fn = [&broker] { return broker.trace_snapshot(); };
+    tconfig.trace_dropped_fn = [&broker] { return broker.trace_dropped(); };
+    tconfig.sampling_boost_fn = [&broker](bool on) { broker.set_trace_sampling_boost(on); };
+    telemetry = std::make_unique<tagmatch::telemetry::Telemetry>(std::move(tconfig));
+    telemetry->start();
+  }
+
+  tagmatch::net::BrokerServer server(&broker, port, telemetry.get());
   if (!server.listening()) {
     std::fprintf(stderr, "cannot listen on port %u\n", port);
     return 1;
@@ -242,5 +310,8 @@ int main(int argc, char** argv) {
     dumper.join();
   }
   server.stop();
+  if (telemetry) {
+    telemetry->stop();  // Joins the sampler; closes the stream file cleanly.
+  }
   return 0;
 }

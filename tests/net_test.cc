@@ -361,5 +361,207 @@ TEST_F(NetEndToEnd, ServerStopIsCleanWhileClientsConnected) {
   EXPECT_FALSE(client.ping());
 }
 
+// ------------------------------------------------- trace propagation (wire)
+
+TEST(Wire, TraceparentRoundTrip) {
+  const std::string tp = format_traceparent(0xdeadbeefcafe1234ull, 0x42ull, true);
+  // W3C shape: 00-<32 hex>-<16 hex>-<2 hex flags>.
+  ASSERT_EQ(tp.size(), 55u);
+  EXPECT_EQ(tp.substr(0, 3), "00-");
+  auto parsed = parse_traceparent(tp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(parsed->parent_span_id, 0x42ull);
+  EXPECT_TRUE(parsed->sampled);
+  EXPECT_FALSE(parse_traceparent(format_traceparent(1, 2, false))->sampled);
+
+  // Malformed forms reject: bad length, bad version, zero ids, non-hex.
+  EXPECT_FALSE(parse_traceparent("").has_value());
+  EXPECT_FALSE(parse_traceparent("01-" + tp.substr(3)).has_value());
+  EXPECT_FALSE(parse_traceparent(tp.substr(0, 54)).has_value());
+  EXPECT_FALSE(
+      parse_traceparent("00-00000000000000000000000000000000-0000000000000001-01")
+          .has_value());
+  EXPECT_FALSE(
+      parse_traceparent("00-00000000000000000000000000000001-0000000000000000-01")
+          .has_value());
+  EXPECT_FALSE(
+      parse_traceparent("00-0000000000000000000000000000000g-0000000000000001-01")
+          .has_value());
+}
+
+TEST(Wire, PubWithTraceparentParses) {
+  const std::string tp = format_traceparent(0xabcull, 0x7ull, true);
+  auto pub = parse_request("PUB a,b traceparent=" + tp + " hello world");
+  ASSERT_TRUE(pub.has_value());
+  EXPECT_EQ(pub->kind, Request::Kind::kPub);
+  EXPECT_EQ(pub->tags, (Tags{"a", "b"}));
+  EXPECT_EQ(pub->payload, "hello world");
+  EXPECT_EQ(pub->pub_trace_id, 0xabcull);
+  EXPECT_EQ(pub->pub_parent_span_id, 0x7ull);
+  EXPECT_TRUE(pub->pub_sampled);
+
+  // Without the token the ids stay zero (untraced) and the payload is whole.
+  auto plain = parse_request("PUB a,b hello world");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->pub_trace_id, 0u);
+  EXPECT_EQ(plain->payload, "hello world");
+
+  // A malformed traceparent token rejects the request (fail-closed), it does
+  // not fall through to being payload.
+  EXPECT_FALSE(parse_request("PUB a,b traceparent=garbage x").has_value());
+}
+
+TEST(Wire, MsgEchoesTraceparent) {
+  const std::string line = format_msg(Tags{"a"}, "payload", 0x1234ull);
+  EXPECT_NE(line.find("traceparent="), std::string::npos);
+  auto frame = parse_server_frame(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, ServerFrame::Kind::kMsg);
+  EXPECT_EQ(frame->trace_id, 0x1234ull);
+  EXPECT_EQ(frame->payload, "payload");
+
+  // Untraced messages stay bare.
+  const std::string bare = format_msg(Tags{"a"}, "payload", 0);
+  EXPECT_EQ(bare.find("traceparent="), std::string::npos);
+  auto bare_frame = parse_server_frame(bare.substr(0, bare.size() - 1));
+  ASSERT_TRUE(bare_frame.has_value());
+  EXPECT_EQ(bare_frame->trace_id, 0u);
+}
+
+TEST(Wire, TsqAndTracesRequestsParse) {
+  auto tsq = parse_request("TSQ stage.*_ns last=16");
+  ASSERT_TRUE(tsq.has_value());
+  EXPECT_EQ(tsq->kind, Request::Kind::kTsq);
+  EXPECT_EQ(tsq->tsq_glob, "stage.*_ns");
+  EXPECT_EQ(tsq->tsq_last, 16u);
+
+  auto all = parse_request("TSQ *");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->tsq_glob, "*");
+  EXPECT_EQ(all->tsq_last, 0u);
+
+  EXPECT_FALSE(parse_request("TSQ").has_value());            // Glob mandatory.
+  EXPECT_FALSE(parse_request("TSQ * bogus=1").has_value());  // Unknown kv.
+
+  auto traces = parse_request("TRACES");
+  ASSERT_TRUE(traces.has_value());
+  EXPECT_EQ(traces->kind, Request::Kind::kTraces);
+
+  // Frame round trips.
+  auto tsq_frame = parse_server_frame("TSQ {\"capacity\":4}");
+  ASSERT_TRUE(tsq_frame.has_value());
+  EXPECT_EQ(tsq_frame->kind, ServerFrame::Kind::kTsq);
+  auto traces_frame = parse_server_frame("TRACES {\"flushed\":0}");
+  ASSERT_TRUE(traces_frame.has_value());
+  EXPECT_EQ(traces_frame->kind, ServerFrame::Kind::kTraces);
+}
+
+// -------------------------------------------- trace propagation (end-to-end)
+
+TEST(NetTelemetry, ClientTraceIdRidesPipelineAndEchoesOnDelivery) {
+  auto config = server_broker_config();
+  config.tracing = true;
+  broker::Broker broker(config);
+  BrokerServer server(&broker, 0);
+  ASSERT_TRUE(server.listening());
+
+  BrokerClient consumer, producer;
+  ASSERT_TRUE(consumer.connect(server.port()));
+  ASSERT_TRUE(producer.connect(server.port()));
+  ASSERT_TRUE(consumer.subscribe(Tags{"alerts"}).has_value());
+  broker.flush();
+
+  const uint64_t trace_id = 0x1122334455667788ull;
+  ASSERT_TRUE(producer.publish_traced(Tags{"alerts"}, "traced", trace_id, 0x99ull));
+  auto msg = consumer.receive(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "traced");
+  // The client-supplied id is threaded through the broker's TraceContext and
+  // echoed on the delivery frame.
+  EXPECT_EQ(msg->trace_id, trace_id);
+
+  // sampled=true forces retention: the trace shows up in TRACEX under the
+  // external id (rendered in decimal by the Chrome-JSON exporter).
+  auto tracex = producer.tracex_json();
+  ASSERT_TRUE(tracex.has_value());
+  EXPECT_NE(tracex->find(std::to_string(trace_id)), std::string::npos);
+
+  // Zero ids are invalid on the wire; the client rejects them locally.
+  EXPECT_FALSE(producer.publish_traced(Tags{"alerts"}, "x", 0, 1));
+  EXPECT_FALSE(producer.publish_traced(Tags{"alerts"}, "x", 1, 0));
+
+  consumer.close();
+  producer.close();
+  server.stop();
+}
+
+// ------------------------------------------------ telemetry verbs end-to-end
+
+TEST(NetTelemetry, TsqAnswersErrWithoutTelemetry) {
+  auto config = server_broker_config();
+  broker::Broker broker(config);
+  BrokerServer server(&broker, 0);  // No telemetry layer.
+  ASSERT_TRUE(server.listening());
+  BrokerClient client;
+  ASSERT_TRUE(client.connect(server.port()));
+  EXPECT_FALSE(client.tsq_json("*").has_value());
+  EXPECT_TRUE(client.ping());  // The connection survives the ERR.
+  client.close();
+  server.stop();
+}
+
+TEST(NetTelemetry, TsqAndTracesVerbsEndToEnd) {
+  auto config = server_broker_config();
+  config.tracing = true;
+  broker::Broker broker(config);
+
+  telemetry::TelemetryConfig tconfig;
+  tconfig.interval = std::chrono::milliseconds(0);  // Ticks driven manually.
+  tconfig.snapshot_fn = [&broker] { return broker.metrics_snapshot(); };
+  tconfig.trace_fn = [&broker] { return broker.trace_snapshot(); };
+  tconfig.trace_dropped_fn = [&broker] { return broker.trace_dropped(); };
+  telemetry::Telemetry telemetry(std::move(tconfig));
+
+  BrokerServer server(&broker, 0, &telemetry);
+  ASSERT_TRUE(server.listening());
+  BrokerClient consumer, producer;
+  ASSERT_TRUE(consumer.connect(server.port()));
+  ASSERT_TRUE(producer.connect(server.port()));
+  ASSERT_TRUE(consumer.subscribe(Tags{"alerts"}).has_value());
+  broker.flush();
+  ASSERT_TRUE(producer.publish(Tags{"alerts"}, "x"));
+  ASSERT_TRUE(consumer.receive(std::chrono::milliseconds(5000)).has_value());
+
+  // Two ticks so the ring has a windowed sample of the publish.
+  telemetry.tick(1'000'000'000);
+  telemetry.tick(2'000'000'000);
+
+  auto tsq = producer.tsq_json("broker.*");
+  ASSERT_TRUE(tsq.has_value());
+  EXPECT_EQ(tsq->front(), '{');
+  EXPECT_NE(tsq->find("broker.published"), std::string::npos);
+  EXPECT_EQ(tsq->find("stage."), std::string::npos);  // Glob filters.
+
+  // STATS folds the telemetry.* registry in.
+  auto stats = producer.stats_json();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("telemetry.samples"), std::string::npos);
+
+  // TRACES pages incrementally per connection: a second call with no new
+  // traffic flushes nothing.
+  auto first = producer.traces_json();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_NE(first->find("\"flushed\":"), std::string::npos);
+  EXPECT_NE(first->find("\"ph\":\"X\""), std::string::npos);
+  auto second = producer.traces_json();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->find("\"flushed\":0"), std::string::npos);
+
+  consumer.close();
+  producer.close();
+  server.stop();
+}
+
 }  // namespace
 }  // namespace tagmatch::net

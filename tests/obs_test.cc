@@ -158,6 +158,32 @@ TEST(Obs, MetricsSnapshotMergeIsAssociative) {
   EXPECT_EQ(ab_c.histograms.at("h").count, 2u);
 }
 
+// Sum-vs-last gauge aggregation: sharded share-of-total gauges (the default,
+// kSum) add across registries, point-in-time gauges (kLast) must NOT — two
+// healthy devices are not health 2, and a scheme id is not additive.
+TEST(Obs, PointGaugesMergeLastNotSum) {
+  Registry ra, rb;
+  ra.gauge("engine.unique_sets")->set(100);  // kSum default: shares add.
+  rb.gauge("engine.unique_sets")->set(50);
+  ra.gauge("device.health.0", GaugeMode::kLast)->set(1);
+  rb.gauge("device.health.0", GaugeMode::kLast)->set(1);
+  ra.gauge("sig.scheme_id", GaugeMode::kLast)->set(3);
+  rb.gauge("sig.scheme_id", GaugeMode::kLast)->set(3);
+
+  MetricsSnapshot merged = ra.snapshot();
+  merged += rb.snapshot();
+  EXPECT_EQ(merged.gauges.at("engine.unique_sets"), 150);
+  EXPECT_EQ(merged.gauges.at("device.health.0"), 1);  // Not 2.
+  EXPECT_EQ(merged.gauges.at("sig.scheme_id"), 3);    // Not 6.
+
+  // The mode is sticky: a later registration without the argument must not
+  // silently flip an existing gauge back to summing.
+  ra.gauge("device.health.0")->set(1);
+  MetricsSnapshot again = ra.snapshot();
+  again += rb.snapshot();
+  EXPECT_EQ(again.gauges.at("device.health.0"), 1);
+}
+
 // ------------------------------------------------------- concurrent recording
 
 TEST(Obs, ConcurrentRecordingIsExact) {
@@ -296,6 +322,27 @@ TagMatchConfig tiny_engine_config() {
   config.batch_size = 4;
   config.max_partition_size = 16;
   return config;
+}
+
+// Real engine registries carry the kLast annotation: a 1-GPU engine merged
+// with itself (the sharded path) must still report per-device health <= 1
+// and an unchanged scheme id, while share-of-total gauges double.
+TEST(Obs, EngineGaugesMergeByDeclaredMode) {
+  TagMatch engine(tiny_engine_config());
+  engine.add_set(std::vector<std::string>{"a"}, 1);
+  engine.consolidate();
+  MetricsSnapshot e = engine.metrics_snapshot();
+  MetricsSnapshot doubled = e;
+  doubled += e;
+  for (const auto& [name, v] : doubled.gauges) {
+    if (name.rfind("device.health.", 0) == 0) {
+      EXPECT_LE(v, 1) << name << " summed across registries";
+      EXPECT_EQ(v, e.gauges.at(name)) << name;
+    }
+  }
+  EXPECT_EQ(doubled.gauges.at("sig.scheme_id"), e.gauges.at("sig.scheme_id"));
+  EXPECT_EQ(doubled.gauges.at("engine.unique_sets"),
+            2 * e.gauges.at("engine.unique_sets"));
 }
 
 // Every metric name any layer registers must appear (backticked) in

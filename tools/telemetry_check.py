@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""CI telemetry soak checker: assert the continuous-telemetry layer behaves.
+
+Consumes the artifacts of a `bench_pipeline_profile --soak-seconds N` run
+with telemetry on (src/telemetry) and asserts three properties:
+
+  * bounded memory: the telemetry.rss_bytes series sampled into the soak
+    artifact (--json) must not grow by more than --max-rss-growth-mb between
+    its first steady sample and its last — the rolling ring, the streamer's
+    seen-set and the watchdog are all fixed-capacity, so RSS flattens once
+    the ring has filled;
+  * well-formed stream: the --telemetry-stream file must load as a Chrome
+    trace-event JSON array (the streaming writer may legitimately leave it
+    unterminated if the process died mid-soak — a trailing ']' is optional
+    on load) and its event count must equal the artifact's stream_flushed
+    counter; flushed + stream_dropped must equal the spans the source ring
+    retired (drops are accounted, never silent);
+  * bounded overhead: given --baseline (a second soak artifact produced with
+    telemetry OFF), the telemetry-on throughput must be within
+    --max-overhead-pct of the baseline kqps (default 2%).
+
+Optionally --expect-dumps N pins the retrospective-dump count (the SLO
+watchdog acceptance: one injected breach == exactly one dump) and verifies
+the last dump file loads as a self-contained Perfetto bundle whose
+"telemetry" metadata names the tripped rule.
+
+Stdlib only. Exit code 0 = pass, 1 = assertion failed, 2 = usage/IO error.
+
+Usage:
+  python3 tools/telemetry_check.py --artifact soak_on.json \
+      --stream stream.json --baseline soak_off.json --expect-dumps 1
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"telemetry_check: FAIL: {msg}")
+    return 1
+
+
+def load_json(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"telemetry_check: cannot load {what} {path}: {e}")
+        sys.exit(2)
+
+
+def load_stream(path):
+    """Loads a streaming trace-event array, tolerating a missing terminator.
+
+    The streaming exporter appends events and only writes the closing ']' on
+    clean shutdown; the Chrome JSON Array Format explicitly allows the
+    unterminated form, so we repair it before parsing.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"telemetry_check: cannot read stream {path}: {e}")
+        sys.exit(2)
+    stripped = text.rstrip().rstrip(",")
+    if not stripped.endswith("]"):
+        stripped += "]"
+    try:
+        return json.loads(stripped)
+    except ValueError as e:
+        print(f"telemetry_check: stream {path} is not a JSON array: {e}")
+        sys.exit(2)
+
+
+def rss_series(artifact):
+    """Extracts [(t_ns, rss_bytes)] from the artifact's telemetry.rss ring."""
+    series = []
+    for sample in artifact.get("telemetry", {}).get("rss", {}).get("samples", []):
+        metric = sample.get("metrics", {}).get("telemetry.rss_bytes")
+        if metric and metric.get("type") == "gauge":
+            series.append((sample["t_ns"], metric["value"]))
+    return series
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--artifact", required=True,
+                   help="soak --json artifact from the telemetry-on run")
+    p.add_argument("--stream", help="--telemetry-stream file to validate")
+    p.add_argument("--baseline",
+                   help="soak --json artifact from the telemetry-off run (overhead gate)")
+    p.add_argument("--max-overhead-pct", type=float, default=2.0,
+                   help="max throughput cost of telemetry vs baseline (default 2%%)")
+    p.add_argument("--max-rss-growth-mb", type=float, default=64.0,
+                   help="max RSS growth over the sampled series (default 64 MiB)")
+    p.add_argument("--skip-head-samples", type=int, default=2,
+                   help="RSS samples ignored at the head (warmup/ring fill; default 2)")
+    p.add_argument("--expect-dumps", type=int, default=None,
+                   help="exact retrospective-dump count to require")
+    args = p.parse_args()
+
+    artifact = load_json(args.artifact, "artifact")
+    if not artifact.get("telemetry_enabled"):
+        print("telemetry_check: artifact was produced with telemetry off "
+              "(need the telemetry-on run)")
+        return 2
+    tel = artifact["telemetry"]
+    failures = 0
+
+    # 1. Bounded RSS growth across the sampled series.
+    series = rss_series(artifact)
+    if len(series) < 2:
+        failures += fail(f"rss series has {len(series)} sample(s); "
+                         "need at least 2 (soak too short or sampler dead)")
+    else:
+        head = min(args.skip_head_samples, len(series) - 2)
+        start = series[head][1]
+        end = series[-1][1]
+        growth_mb = (end - start) / (1024.0 * 1024.0)
+        print(f"telemetry_check: rss {start / 1e6:.1f} MB -> {end / 1e6:.1f} MB "
+              f"over {len(series) - head} samples (growth {growth_mb:.1f} MiB, "
+              f"limit {args.max_rss_growth_mb:.1f})")
+        if growth_mb > args.max_rss_growth_mb:
+            failures += fail(f"rss grew {growth_mb:.1f} MiB > "
+                             f"{args.max_rss_growth_mb:.1f} MiB limit")
+
+    # 2. Stream well-formedness and flush/drop accounting.
+    if args.stream:
+        events = load_stream(args.stream)
+        flushed = tel.get("stream_flushed", 0)
+        dropped = tel.get("stream_dropped", 0)
+        print(f"telemetry_check: stream has {len(events)} events; "
+              f"artifact says flushed={flushed} dropped={dropped}")
+        if len(events) != flushed:
+            failures += fail(f"stream event count {len(events)} != "
+                             f"flushed counter {flushed}")
+        bad = [e for e in events[:1000]
+               if not ("name" in e and "ph" in e and "ts" in e)]
+        if bad:
+            failures += fail(f"{len(bad)} malformed trace events (missing "
+                             "name/ph/ts) in the first 1000")
+
+    # 3. Retrospective-dump count and bundle integrity.
+    if args.expect_dumps is not None:
+        dumps = tel.get("retro_dumps", 0)
+        print(f"telemetry_check: {dumps} retrospective dump(s), "
+              f"expected {args.expect_dumps}")
+        if dumps != args.expect_dumps:
+            failures += fail(f"retro_dumps {dumps} != expected {args.expect_dumps}")
+        elif dumps > 0:
+            bundle = load_json(tel["last_dump"], "retrospective dump")
+            meta = bundle.get("telemetry")
+            if not isinstance(bundle.get("traceEvents"), list):
+                failures += fail("retrospective dump has no traceEvents array")
+            elif not meta or "rule" not in meta:
+                failures += fail("retrospective dump has no telemetry.rule metadata")
+            else:
+                print(f"telemetry_check: dump ok — {len(bundle['traceEvents'])} "
+                      f"spans, rule \"{meta['rule']}\"")
+
+    # 4. Throughput overhead vs the telemetry-off baseline.
+    if args.baseline:
+        baseline = load_json(args.baseline, "baseline artifact")
+        base_kqps = baseline.get("kqps", 0.0)
+        run_kqps = artifact.get("kqps", 0.0)
+        if base_kqps <= 0:
+            failures += fail("baseline kqps is zero/absent")
+        else:
+            overhead = 100.0 * (base_kqps - run_kqps) / base_kqps
+            print(f"telemetry_check: throughput {run_kqps:.2f} Kq/s vs baseline "
+                  f"{base_kqps:.2f} Kq/s (overhead {overhead:+.2f}%, "
+                  f"limit {args.max_overhead_pct:.1f}%)")
+            if overhead > args.max_overhead_pct:
+                failures += fail(f"telemetry overhead {overhead:.2f}% > "
+                                 f"{args.max_overhead_pct:.1f}% limit")
+
+    if failures:
+        return 1
+    print("telemetry_check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
