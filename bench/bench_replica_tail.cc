@@ -1,0 +1,232 @@
+// Replica tail-latency bench: hedged reads vs plain round-robin when one
+// replica of a replicated shard is injected-slow.
+//
+// Two phases over the same workload, each against a fresh 1-shard x
+// 2-replica router whose replica 1 stalls every completion by a fault-plan
+// `stall_ns` (default 25 ms — an order of magnitude above healthy service
+// time, the "sick but not dead" replica of §2.4's tail discussion):
+//
+//   * unhedged (hedge_delay = 0): no sweeper, no health tracking — round
+//     robin keeps consulting the slow replica, so ~half the queries pay the
+//     stall and p99 ~= stall.
+//   * hedged (hedge_delay = 2 ms): the sweeper re-dispatches overdue queries
+//     to the fast replica, and the slow replica's consecutive hedge misses
+//     quarantine it out of rotation entirely; p99 collapses to healthy
+//     service time plus at most one hedge delay.
+//
+// The contract gated in CI (tools/perf_gate.py --replica-baseline) is
+// self-relative so machine speed cancels out: hedged p99 must stay below
+// max_hedged_over_unhedged_p99 (baseline contract, 0.5 = the issue's ">= 2x
+// better") of the SAME build's unhedged p99.
+//
+// Usage: bench_replica_tail [--json FILE]
+//   --json FILE: write the run as a JSON artifact for the perf gate.
+// Env: TAGMATCH_BENCH_REPLICA_STALL_MS, TAGMATCH_BENCH_HEDGE_MS.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/inject/fault.h"
+#include "src/shard/sharded_tagmatch.h"
+
+namespace tagmatch::bench {
+namespace {
+
+using Key = Matcher::Key;
+using SteadyClock = std::chrono::steady_clock;
+using inject::FaultInjector;
+using inject::FaultPlan;
+using shard::ShardedConfig;
+using shard::ShardedTagMatch;
+
+int64_t percentile_ns(std::vector<int64_t> v, double p) {
+  if (v.empty()) {
+    return 0;
+  }
+  size_t idx = static_cast<size_t>(p / 100.0 * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+struct Phase {
+  std::vector<int64_t> latencies_ns;
+  double seconds = 0;
+  ShardedTagMatch::ShardStats stats;
+  double kqps() const { return latencies_ns.size() / seconds / 1e3; }
+};
+
+// One shard, two replicas, replica 1 stalled. A fresh router per phase keeps
+// the rolling hedge-budget estimator and health history of one phase from
+// leaking into the other.
+ShardedConfig phase_config(size_t db_size, int64_t stall_ns, unsigned hedge_ms) {
+  ShardedConfig c;
+  c.num_shards = 1;
+  c.num_replicas = 2;
+  c.hedge_delay = std::chrono::milliseconds(hedge_ms);
+  c.shard = bench_engine_config(db_size, /*threads=*/2);
+  c.shard.num_gpus = 1;
+  c.shard.streams_per_gpu = 4;
+  c.shard.result_buffer_entries = 1u << 14;
+  // The windowed driver below holds only a few queries in flight, so batches
+  // rarely fill; the flusher must close and drain them for latency to mean
+  // service time rather than "wait for the next batch".
+  c.shard.batch_timeout = std::chrono::milliseconds(2);
+  auto plan =
+      FaultPlan::parse("replica:dev=1,after=0,count=0,stall_ns=" + std::to_string(stall_ns));
+  c.shard.fault_injector = std::make_shared<FaultInjector>(*plan);
+  return c;
+}
+
+// Streams `count` queries with a bounded window outstanding and records
+// per-query completion latency (the replica layer's callback, i.e. first
+// replica to answer — hedged or not).
+Phase run_phase(const BenchWorkload& w, const std::vector<BitVector192>& queries,
+                size_t count, ShardedConfig config) {
+  ShardedTagMatch router(std::move(config));
+  const size_t n = w.prefix_size(10);
+  for (size_t i = 0; i < n; ++i) {
+    router.add_set(BloomFilter192(w.db_filters[i]), w.db[i].key);
+  }
+  router.consolidate();
+
+  constexpr size_t kWindow = 8;
+  Phase r;
+  r.latencies_ns.reserve(count);
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t outstanding = 0;
+  StopWatch watch;
+  for (size_t i = 0; i < count; ++i) {
+    {
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return outstanding < kWindow; });
+      ++outstanding;
+    }
+    const auto start = SteadyClock::now();
+    router.match_async(BloomFilter192(queries[i % queries.size()]),
+                       Matcher::MatchKind::kMatchUnique,
+                       [start, &mu, &cv, &outstanding, &r](std::vector<Key>) {
+                         const auto ns =
+                             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 SteadyClock::now() - start)
+                                 .count();
+                         {
+                           std::lock_guard lock(mu);
+                           r.latencies_ns.push_back(ns);
+                           --outstanding;
+                         }
+                         cv.notify_one();
+                       });
+  }
+  {
+    // Latency capture ends when the last callback lands; flush() below also
+    // waits out the slow replica's still-stalled shadow completions, which
+    // would inflate the phase wall time.
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  r.seconds = watch.elapsed_s();
+  r.stats = router.shard_stats();
+  router.flush();
+  return r;
+}
+
+void print_phase(const char* name, const Phase& p) {
+  std::printf("%-10s  %10.1f  %10.1f  %10.2f  %8llu  %9llu\n", name,
+              percentile_ns(p.latencies_ns, 50) / 1e3, percentile_ns(p.latencies_ns, 99) / 1e3,
+              p.kqps(), static_cast<unsigned long long>(p.stats.hedged),
+              static_cast<unsigned long long>(p.stats.failovers));
+}
+
+void write_json(const char* path, size_t db_size, int64_t stall_ns, unsigned hedge_ms,
+                const Phase& unhedged, const Phase& hedged) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_replica_tail: cannot write %s\n", path);
+    return;
+  }
+  const double ratio = percentile_ns(unhedged.latencies_ns, 99) > 0
+                           ? static_cast<double>(percentile_ns(hedged.latencies_ns, 99)) /
+                                 static_cast<double>(percentile_ns(unhedged.latencies_ns, 99))
+                           : 0.0;
+  std::fprintf(f, "{\n  \"bench\": \"replica_tail\",\n  \"db_size\": %zu,\n", db_size);
+  std::fprintf(f, "  \"stall_ns\": %lld,\n  \"hedge_ms\": %u,\n",
+               static_cast<long long>(stall_ns), hedge_ms);
+  std::fprintf(f,
+               "  \"unhedged\": {\"p50_ns\": %lld, \"p99_ns\": %lld, \"queries\": %zu, "
+               "\"kqps\": %.3f},\n",
+               static_cast<long long>(percentile_ns(unhedged.latencies_ns, 50)),
+               static_cast<long long>(percentile_ns(unhedged.latencies_ns, 99)),
+               unhedged.latencies_ns.size(), unhedged.kqps());
+  std::fprintf(f,
+               "  \"hedged\": {\"p50_ns\": %lld, \"p99_ns\": %lld, \"queries\": %zu, "
+               "\"kqps\": %.3f, \"hedges\": %llu, \"failovers\": %llu},\n",
+               static_cast<long long>(percentile_ns(hedged.latencies_ns, 50)),
+               static_cast<long long>(percentile_ns(hedged.latencies_ns, 99)),
+               hedged.latencies_ns.size(), hedged.kqps(),
+               static_cast<unsigned long long>(hedged.stats.hedged),
+               static_cast<unsigned long long>(hedged.stats.failovers));
+  std::fprintf(f, "  \"hedged_over_unhedged_p99\": %.4f\n}\n", ratio);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+void run(const char* json_path) {
+  BenchWorkload& w = shared_workload();
+  print_header("Replica tail: hedged reads vs an injected-slow replica",
+               "replicated shards (ARCHITECTURE.md section 16); tail tolerance via hedging");
+
+  const int64_t stall_ns =
+      static_cast<int64_t>(env_unsigned("TAGMATCH_BENCH_REPLICA_STALL_MS", 25)) * 1'000'000;
+  const unsigned hedge_ms = env_unsigned("TAGMATCH_BENCH_HEDGE_MS", 2);
+  const size_t db_size = w.prefix_size(10);
+  auto queries = w.encoded_queries(512, 2, 4);
+  constexpr size_t kQueries = 300;
+
+  std::printf("db %zu sets, 1 shard x 2 replicas, replica 1 stalled %lld ms, "
+              "%zu queries per phase\n\n",
+              db_size, static_cast<long long>(stall_ns / 1'000'000), kQueries);
+  std::printf("%-10s  %10s  %10s  %10s  %8s  %9s\n", "phase", "p50 us", "p99 us", "Kq/s",
+              "hedges", "failovers");
+
+  Phase unhedged = run_phase(w, queries, kQueries, phase_config(db_size, stall_ns, 0));
+  print_phase("unhedged", unhedged);
+  Phase hedged = run_phase(w, queries, kQueries, phase_config(db_size, stall_ns, hedge_ms));
+  print_phase("hedged", hedged);
+
+  const double ratio = percentile_ns(unhedged.latencies_ns, 99) > 0
+                           ? static_cast<double>(percentile_ns(hedged.latencies_ns, 99)) /
+                                 static_cast<double>(percentile_ns(unhedged.latencies_ns, 99))
+                           : 0.0;
+  std::printf("\nhedged p99 / unhedged p99 = %.3f (gate contract: <= 0.5, i.e. hedging\n"
+              " must cut the slow-replica tail at least 2x)\n",
+              ratio);
+
+  if (json_path != nullptr) {
+    write_json(json_path, db_size, stall_ns, hedge_ms, unhedged, hedged);
+  }
+}
+
+}  // namespace
+}  // namespace tagmatch::bench
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  tagmatch::bench::run(json_path);
+  return 0;
+}

@@ -25,9 +25,11 @@ Broker::Broker(BrokerConfig config)
   slo_partial_ = metrics_.counter("broker.slo.partial");
   slo_rejected_ = metrics_.counter("broker.slo.rejected");
   slo_margin_ = metrics_.histogram("broker.slo.margin_ns");
-  if (config_.engine_shards > 1) {
+  if (config_.engine_shards > 1 || config_.engine_replicas > 1) {
     shard::ShardedConfig sharded;
-    sharded.num_shards = config_.engine_shards;
+    sharded.num_shards = std::max(1u, config_.engine_shards);
+    sharded.num_replicas = config_.engine_replicas;
+    sharded.hedge_delay = config_.hedge_delay;
     sharded.shard = config_.engine;
     sharded.query_timeout = config_.shard_query_timeout;
     auto sharded_engine = std::make_unique<shard::ShardedTagMatch>(sharded);

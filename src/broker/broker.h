@@ -88,6 +88,14 @@ struct BrokerConfig {
   // consolidations then rebuild shards concurrently and only pause
   // publishing once, for the scatter-gather flush.
   unsigned engine_shards = 1;
+  // Replicas per engine shard (src/shard/replica_set.h). >1 turns on
+  // best-effort replicated writes with anti-entropy repair at consolidate
+  // and hard failover around killed/quarantined replicas; the broker then
+  // always runs the sharded engine even with engine_shards == 1.
+  unsigned engine_replicas = 1;
+  // Hedge a shard read to a backup replica when the primary has not answered
+  // within this budget (engine_replicas > 1 only; zero disables hedging).
+  std::chrono::milliseconds hedge_delay{0};
   // Per-query gather timeout of the sharded engine (engine_shards > 1 only):
   // publishes whose slowest shard misses the budget deliver to the
   // subscribers found so far (degraded delivery, counted by the engine).

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 
 namespace tagmatch::inject {
 
@@ -16,6 +17,7 @@ std::optional<FaultSite> site_from_name(std::string_view name) {
   if (name == "d2h") return FaultSite::kD2H;
   if (name == "kernel") return FaultSite::kKernel;
   if (name == "devloss") return FaultSite::kDeviceLoss;
+  if (name == "replica") return FaultSite::kReplica;
   return std::nullopt;
 }
 
@@ -28,11 +30,17 @@ std::optional<int64_t> parse_int(std::string_view text) {
   return value;
 }
 
-// A devloss rule matches (and counts) every counted op on its device; other
-// rules match their own site only.
+// A devloss rule matches (and counts) every counted gpusim op on its device;
+// other rules match their own site only. Replica consults are serving-layer
+// events, not GPU ops: only replica rules match them (a devloss rule must not
+// count replica dispatches toward its schedule, and a replica rule must not
+// fire on stream ops).
 bool rule_matches(const FaultRule& rule, FaultSite site, unsigned device) {
   if (rule.device >= 0 && static_cast<unsigned>(rule.device) != device) {
     return false;
+  }
+  if (site == FaultSite::kReplica || rule.site == FaultSite::kReplica) {
+    return rule.site == site;
   }
   return rule.site == FaultSite::kDeviceLoss || rule.site == site;
 }
@@ -51,6 +59,8 @@ const char* site_name(FaultSite site) {
       return "kernel";
     case FaultSite::kDeviceLoss:
       return "devloss";
+    case FaultSite::kReplica:
+      return "replica";
   }
   return "?";
 }
@@ -99,6 +109,9 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& spec) {
       } else if (key == "stall_ns") {
         if (*value < 0) return std::nullopt;
         rule.stall_ns = *value;
+      } else if (key == "at_ms") {
+        if (*value < 0) return std::nullopt;
+        rule.at_ms = *value;
       } else {
         return std::nullopt;
       }
@@ -122,6 +135,9 @@ std::string FaultPlan::to_spec() const {
     }
     if (rule.stall_ns > 0) {
       out << ",stall_ns=" << rule.stall_ns;
+    }
+    if (rule.at_ms >= 0) {
+      out << ",at_ms=" << rule.at_ms;
     }
   }
   return out.str();
@@ -156,7 +172,7 @@ FaultPlan FaultPlan::random(uint64_t seed) {
   return plan;
 }
 
-FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)), armed_ns_(now_ns()) {
   states_.reserve(plan_.rules.size());
   for (const FaultRule& rule : plan_.rules) {
     auto state = std::make_unique<RuleState>();
@@ -167,10 +183,21 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
 
 FaultDecision FaultInjector::check(FaultSite site, unsigned device) {
   FaultDecision decision;
+  // One now_ns() per consult, shared by every wall-clock rule; taken lazily
+  // so plans without at_ms rules never read the clock.
+  int64_t elapsed_ms = -1;
   for (auto& state : states_) {
     const FaultRule& rule = state->rule;
     if (!rule_matches(rule, site, device)) {
       continue;
+    }
+    if (rule.at_ms >= 0) {
+      if (elapsed_ms < 0) {
+        elapsed_ms = (now_ns() - armed_ns_) / 1'000'000;
+      }
+      if (elapsed_ms < rule.at_ms) {
+        continue;  // Dormant: ops before the trigger time are not counted.
+      }
     }
     uint64_t n = state->seen.fetch_add(1, std::memory_order_relaxed);
     if (n < rule.after) {

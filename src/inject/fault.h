@@ -30,12 +30,21 @@ namespace tagmatch::inject {
 // rule matches any counted op (alloc/h2d/d2h/kernel) on its device and, when
 // it fires, marks the whole device lost (sticky — lost devices never heal;
 // recovery is the engine's job via re-dispatch or CPU fallback).
+//
+// kReplica is a serving-layer site, not a gpusim op: the shard replication
+// layer (src/shard/replica_set.*) consults it once per replica dispatch and
+// once per replica write, with `device` carrying the replica index. A firing
+// kFail black-holes the op (query never answered / write lost — the replica
+// looks dead); stall_ns delays the replica's response instead (slow replica).
+// gpusim op consults never match replica rules and vice versa, so one
+// injector can drive both layers from a single plan.
 enum class FaultSite : uint8_t {
   kAlloc = 0,
   kH2D,
   kD2H,
   kKernel,
   kDeviceLoss,
+  kReplica,
 };
 
 const char* site_name(FaultSite site);
@@ -60,14 +69,20 @@ struct FaultRule {
   uint64_t after = 0;    // Matching ops to let pass before the rule fires.
   uint32_t count = 1;    // Matching ops to hit once firing; 0 = permanent.
   int64_t stall_ns = 0;  // > 0 turns the fault into an injected stall.
+  // Wall-clock trigger: the rule is dormant — neither matching nor counting
+  // ops — until at_ms milliseconds after the injector was armed. -1 arms it
+  // immediately (the op-counted schedules above). Lets a chaos drill target a
+  // phase ("kill replica 1 fifty milliseconds in, mid-gather") that op counts
+  // can't address deterministically.
+  int64_t at_ms = -1;
 };
 
 // Spec grammar (round-trips through parse()/to_spec()):
 //   plan  := rule (';' rule)*
 //   rule  := site (':' kv (',' kv)*)?
-//   site  := 'alloc' | 'h2d' | 'd2h' | 'kernel' | 'devloss'
-//   kv    := ('dev' | 'after' | 'count' | 'stall_ns') '=' integer
-// Example: "h2d:after=5,count=2;devloss:dev=0,after=100".
+//   site  := 'alloc' | 'h2d' | 'd2h' | 'kernel' | 'devloss' | 'replica'
+//   kv    := ('dev' | 'after' | 'count' | 'stall_ns' | 'at_ms') '=' integer
+// Example: "h2d:after=5,count=2;devloss:dev=0,after=100;replica:dev=1,at_ms=50,count=0".
 struct FaultPlan {
   std::vector<FaultRule> rules;
 
@@ -111,6 +126,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::vector<std::unique_ptr<RuleState>> states_;
+  const int64_t armed_ns_;  // Wall-clock origin for at_ms triggers.
   std::atomic<uint64_t> fired_{0};
   mutable std::mutex events_mu_;
   std::vector<FaultEvent> events_;

@@ -29,8 +29,10 @@ struct ShardedTagMatch::Gather {
   uint64_t gather_span_id = 0;
 };
 
-ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(config)) {
+ShardedTagMatch::ShardedTagMatch(ShardedConfig config)
+    : config_(std::move(config)), num_shards_(config_.num_shards) {
   TAGMATCH_CHECK(config_.num_shards >= 1);
+  TAGMATCH_CHECK(config_.num_replicas >= 1);
   // Pin the resolved scheme so the router's string-tag encodes, every shard
   // engine, and manifest save/load all agree even if the environment changes.
   scheme_ = &sig::resolve(config_.shard.signature_scheme);
@@ -39,6 +41,9 @@ ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(confi
   queries_ = obs_.registry().counter("shard.queries");
   partial_results_ = obs_.registry().counter("shard.partial_results");
   shards_shed_ = obs_.registry().counter("shard.shards_shed");
+  hedged_ = obs_.registry().counter("replica.hedged");
+  failovers_ = obs_.registry().counter("replica.failovers");
+  repairs_ = obs_.registry().counter("replica.repairs");
   {
     task::SchedulerConfig sched_config;
     sched_config.num_workers =
@@ -54,7 +59,7 @@ ShardedTagMatch::ShardedTagMatch(ShardedConfig config) : config_(std::move(confi
   auto initial = std::make_shared<EngineSet>();
   initial->shards.reserve(config_.num_shards);
   for (unsigned i = 0; i < config_.num_shards; ++i) {
-    initial->shards.push_back(std::make_unique<TagMatch>(config_.shard));
+    initial->shards.push_back(make_replica_set(i));
   }
   engines_owner_ = initial;
   engines_.store(initial.get(), std::memory_order_seq_cst);
@@ -92,43 +97,86 @@ BloomFilter192 ShardedTagMatch::encode(std::span<const std::string> tags) const 
   return BloomFilter192(scheme_->encode(tags));
 }
 
+std::unique_ptr<ReplicaSet> ShardedTagMatch::make_replica_set(unsigned shard_index) {
+  ReplicaConfig rc;
+  rc.num_replicas = config_.num_replicas;
+  rc.hedge_delay = config_.hedge_delay;
+  rc.miss_threshold = config_.replica_miss_threshold;
+  rc.quarantine_period = config_.replica_quarantine_period;
+  rc.shard_index = shard_index;
+  rc.fault_injector = config_.shard.fault_injector;
+  // The registry is the router's own: replica counters aggregate across
+  // shards (one logical instrument) and each (shard, replica) health gauge
+  // gets its own name.
+  return std::make_unique<ReplicaSet>(config_.shard, std::move(rc), &obs_.registry());
+}
+
 // --- Table maintenance -----------------------------------------------------
 // Staging is routed immediately (the policy is stable, so a later
 // remove_set of the same (filter, key) reaches the same shard); it becomes
 // matchable per the underlying engines' semantics. The pin keeps the engine
-// set alive against a concurrent commit_engines() swap.
+// set alive against a concurrent commit_engines() swap. Placement always
+// derives from the pinned set's own size so writes racing a reshard stay
+// in-bounds; while a reshard's mirror window is open every write is also
+// journaled for replay onto the new layout.
+
+void ShardedTagMatch::mirror(bool add, const BloomFilter192& filter,
+                             std::span<const uint64_t> tag_hashes, Key key) {
+  if (!mirroring_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard lock(mirror_mu_);
+  if (!mirroring_.load(std::memory_order_relaxed)) {
+    return;  // The window closed while we waited for the journal lock.
+  }
+  mirror_journal_.push_back(
+      MirrorOp{add, filter, {tag_hashes.begin(), tag_hashes.end()}, key});
+}
 
 void ShardedTagMatch::add_set(std::span<const std::string> tags, Key key) {
   BloomFilter192 filter = encode(tags);
   epoch::EpochManager::Pin pin(*router_epoch_);
   const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
-  es.shards[shard_of(filter.bits(), key)]->add_set(tags, key);
+  es.shards[shard_of(filter.bits(), key, es.shards.size())]->add_set(tags, key);
+  if (mirroring_.load(std::memory_order_acquire)) {
+    std::vector<uint64_t> hashes;
+    hashes.reserve(tags.size());
+    for (const auto& t : tags) {
+      hashes.push_back(TagMatch::tag_hash(t));
+    }
+    mirror(/*add=*/true, filter, hashes, key);
+  }
 }
 
 void ShardedTagMatch::add_set(const BloomFilter192& filter, Key key) {
   epoch::EpochManager::Pin pin(*router_epoch_);
   const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
-  es.shards[shard_of(filter.bits(), key)]->add_set(filter, key);
+  es.shards[shard_of(filter.bits(), key, es.shards.size())]->add_set(filter, key);
+  mirror(/*add=*/true, filter, {}, key);
 }
 
 void ShardedTagMatch::add_set_hashed(const BloomFilter192& filter,
                                      std::span<const uint64_t> tag_hashes, Key key) {
   epoch::EpochManager::Pin pin(*router_epoch_);
   const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
-  es.shards[shard_of(filter.bits(), key)]->add_set_hashed(filter, tag_hashes, key);
+  es.shards[shard_of(filter.bits(), key, es.shards.size())]->add_set_hashed(filter, tag_hashes,
+                                                                            key);
+  mirror(/*add=*/true, filter, tag_hashes, key);
 }
 
 void ShardedTagMatch::remove_set(std::span<const std::string> tags, Key key) {
   BloomFilter192 filter = encode(tags);
   epoch::EpochManager::Pin pin(*router_epoch_);
   const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
-  es.shards[shard_of(filter.bits(), key)]->remove_set(tags, key);
+  es.shards[shard_of(filter.bits(), key, es.shards.size())]->remove_set(tags, key);
+  mirror(/*add=*/false, filter, {}, key);
 }
 
 void ShardedTagMatch::remove_set(const BloomFilter192& filter, Key key) {
   epoch::EpochManager::Pin pin(*router_epoch_);
   const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
-  es.shards[shard_of(filter.bits(), key)]->remove_set(filter, key);
+  es.shards[shard_of(filter.bits(), key, es.shards.size())]->remove_set(filter, key);
+  mirror(/*add=*/false, filter, {}, key);
 }
 
 void ShardedTagMatch::consolidate() {
@@ -201,18 +249,7 @@ void ShardedTagMatch::scatter(const BloomFilter192& query, std::vector<uint64_t>
   }
   for (const auto& shard : es.shards) {
     auto on_shard = [this, gather](std::vector<Key> keys) { absorb(gather, std::move(keys)); };
-    if (tag_hashes.empty()) {
-      if (shard_ctx.valid()) {
-        shard->match_async(query, kind, shard_deadline_ns, shard_ctx, std::move(on_shard));
-      } else if (shard_deadline_ns != 0) {
-        shard->match_async(query, kind, shard_deadline_ns, std::move(on_shard));
-      } else {
-        shard->match_async(query, kind, std::move(on_shard));
-      }
-    } else {
-      shard->match_async_hashed(query, tag_hashes, kind, std::move(on_shard),
-                                shard_deadline_ns, shard_ctx);
-    }
+    shard->match(query, tag_hashes, kind, shard_deadline_ns, shard_ctx, std::move(on_shard));
   }
 }
 
@@ -499,6 +536,9 @@ ShardedTagMatch::ShardStats ShardedTagMatch::shard_stats() const {
   s.queries = queries_->value();
   s.partial_results = partial_results_->value();
   s.shards_shed = shards_shed_->value();
+  s.hedged = hedged_->value();
+  s.failovers = failovers_->value();
+  s.repairs = repairs_->value();
   s.wall_consolidate_seconds = wall_consolidate_seconds_.load(std::memory_order_relaxed);
   return s;
 }
@@ -540,19 +580,25 @@ uint64_t ShardedTagMatch::trace_dropped() const {
 
 // --- Persistence -----------------------------------------------------------
 // Manifest layout (native-endian, version-checked like the engine index):
-//   u32 magic "TGSH" | u32 version | u32 shard count | string policy name |
-//   string signature-scheme name (v2+) | shard count x string shard file
-//   name (relative to the manifest's directory; save_index writes them next
-//   to the manifest).
+//   u32 magic "TGSH" | u32 version | u32 shard count | u32 replica count
+//   (v3+) | string policy name | string signature-scheme name (v2+) | shard
+//   count x string shard file name (relative to the manifest's directory;
+//   save_index writes them next to the manifest).
+// The replica count is advisory (replicas of a shard are identical, so one
+// file per logical shard suffices); load_index replicates into however many
+// replicas the live config asks for.
 
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x48534754;  // "TGSH"
-// v2 appends the signature-scheme name after the policy; v1 manifests are
-// still accepted and imply the bloom192 baseline.
-constexpr uint32_t kManifestVersion = 2;
+// v2 appends the signature-scheme name after the policy; v3 inserts the
+// replica count after the shard count. v1/v2 manifests are still accepted
+// (bloom192 baseline / single-replica respectively).
+constexpr uint32_t kManifestVersion = 3;
+constexpr uint32_t kManifestVersionPreReplica = 2;
 constexpr uint32_t kManifestVersionPreScheme = 1;
 constexpr uint32_t kMaxManifestShards = 4096;
+constexpr uint32_t kMaxManifestReplicas = 64;
 constexpr uint32_t kMaxNameLen = 4096;
 
 void write_string(std::FILE* f, const std::string& s) {
@@ -582,6 +628,7 @@ std::string dir_name(const std::string& path) {
 
 struct Manifest {
   uint32_t num_shards = 0;
+  uint32_t num_replicas = 1;  // Advisory (v3+); pre-v3 manifests imply 1.
   std::string policy;
   std::string scheme;              // Signature-scheme name the shards were built under.
   std::vector<std::string> files;  // Relative to the manifest's directory.
@@ -595,12 +642,18 @@ bool read_manifest(const std::string& path, Manifest& m) {
   uint32_t magic = 0, version = 0;
   bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
             std::fread(&version, sizeof(version), 1, f) == 1 && magic == kManifestMagic &&
-            (version == kManifestVersion || version == kManifestVersionPreScheme) &&
+            (version == kManifestVersion || version == kManifestVersionPreReplica ||
+             version == kManifestVersionPreScheme) &&
             std::fread(&m.num_shards, sizeof(m.num_shards), 1, f) == 1 && m.num_shards >= 1 &&
-            m.num_shards <= kMaxManifestShards && read_string(f, m.policy);
+            m.num_shards <= kMaxManifestShards;
   if (ok && version >= kManifestVersion) {
+    ok = std::fread(&m.num_replicas, sizeof(m.num_replicas), 1, f) == 1 &&
+         m.num_replicas >= 1 && m.num_replicas <= kMaxManifestReplicas;
+  }
+  ok = ok && read_string(f, m.policy);
+  if (ok && version >= kManifestVersionPreReplica) {
     ok = read_string(f, m.scheme) && !m.scheme.empty();
-  } else {
+  } else if (ok) {
     // Pre-scheme manifests were always built under the bloom192 baseline.
     m.scheme = std::string(sig::bloom192_scheme().name());
   }
@@ -632,6 +685,8 @@ bool ShardedTagMatch::save_index(const std::string& path) const {
   std::fwrite(&kManifestVersion, sizeof(kManifestVersion), 1, f);
   uint32_t n = static_cast<uint32_t>(es.shards.size());
   std::fwrite(&n, sizeof(n), 1, f);
+  uint32_t r = config_.num_replicas;
+  std::fwrite(&r, sizeof(r), 1, f);
   write_string(f, policy_->name());
   write_string(f, std::string(sig::resolve(config_.shard.signature_scheme).name()));
   for (size_t i = 0; i < es.shards.size(); ++i) {
@@ -666,17 +721,21 @@ bool ShardedTagMatch::load_index(const std::string& path) {
     shard_paths.push_back(dir + name);
   }
 
-  // Everything loads into fresh engines; the live ones are replaced only
-  // after the whole manifest has resolved (a missing or corrupt shard file
-  // must not corrupt the serving state).
-  std::vector<std::unique_ptr<TagMatch>> fresh;
-  fresh.reserve(config_.num_shards);
-  for (unsigned i = 0; i < config_.num_shards; ++i) {
-    fresh.push_back(std::make_unique<TagMatch>(config_.shard));
+  // Everything loads into fresh replica sets; the live ones are replaced
+  // only after the whole manifest has resolved (a missing or corrupt shard
+  // file must not corrupt the serving state). The target layout is the
+  // CURRENT shard count (which a runtime reshard() may have moved away from
+  // the constructed config), at the configured replica count.
+  const unsigned target_shards = num_shards_.load(std::memory_order_acquire);
+  std::vector<std::unique_ptr<ReplicaSet>> fresh;
+  fresh.reserve(target_shards);
+  for (unsigned i = 0; i < target_shards; ++i) {
+    fresh.push_back(make_replica_set(i));
   }
 
-  if (m.num_shards == config_.num_shards && m.policy == policy_->name()) {
-    // Fast path: same layout — each saved shard is one live shard.
+  if (m.num_shards == target_shards && m.policy == policy_->name()) {
+    // Fast path: same layout — each saved shard file loads into every
+    // replica of the matching live shard.
     for (size_t i = 0; i < fresh.size(); ++i) {
       if (!fresh[i]->load_index(shard_paths[i])) {
         return false;
@@ -684,7 +743,9 @@ bool ShardedTagMatch::load_index(const std::string& path) {
     }
   } else {
     // Reshard: read every saved shard into a lightweight scratch engine and
-    // redistribute its sets under the live policy and shard count.
+    // redistribute its sets under the live policy and shard count. Replica
+    // counts are independent of this — writes into a ReplicaSet already fan
+    // out to every replica.
     TagMatchConfig scratch_config;
     scratch_config.cpu_only = true;
     scratch_config.num_threads = 1;
@@ -699,7 +760,7 @@ bool ShardedTagMatch::load_index(const std::string& path) {
       scratch.for_each_set([&](const BloomFilter192& filter, std::span<const Key> keys,
                                std::span<const uint64_t> tag_hashes) {
         for (Key key : keys) {
-          TagMatch& target = *fresh[shard_of(filter.bits(), key)];
+          ReplicaSet& target = *fresh[shard_of(filter.bits(), key, fresh.size())];
           if (tag_hashes.empty()) {
             target.add_set(filter, key);
           } else {
@@ -716,7 +777,7 @@ bool ShardedTagMatch::load_index(const std::string& path) {
   return true;
 }
 
-void ShardedTagMatch::commit_engines(std::vector<std::unique_ptr<TagMatch>> fresh) {
+void ShardedTagMatch::commit_engines(std::vector<std::unique_ptr<ReplicaSet>> fresh) {
   flush();  // Complete outstanding gathers against the outgoing engines.
   auto next = std::make_shared<EngineSet>();
   next->shards = std::move(fresh);
@@ -733,6 +794,162 @@ void ShardedTagMatch::commit_engines(std::vector<std::unique_ptr<TagMatch>> fres
   router_epoch_->synchronize();
   router_epoch_->retire([keep = std::move(outgoing)]() mutable { keep.reset(); });
   router_epoch_->reclaim();
+}
+
+// --- Live resharding -------------------------------------------------------
+// Split/merge the shard layout under traffic. Protocol:
+//   1. Open the mirror window: every subsequent write is journaled.
+//   2. Consolidate the old layout so for_each_set sees everything staged
+//      before the window opened.
+//   3. Enumerate the old shards, redistributing every set into fresh replica
+//      sets under the new count.
+//   4. Consolidate the fresh sets (they serve nothing yet), then replay the
+//      journal — writes that raced the enumeration land on the new layout
+//      too. Replay is idempotent for adds/removes of the same (filter, key)
+//      because engine staging dedupes on consolidate.
+//   5. Epoch-handoff commit (queries drain against the old set, then scatter
+//      across the new one), replay the tail of the journal that raced the
+//      commit, and close the window.
+
+bool ShardedTagMatch::reshard(unsigned new_num_shards) {
+  if (new_num_shards < 1 || new_num_shards > kMaxManifestShards) {
+    return false;
+  }
+  std::lock_guard reshard_lock(reshard_mu_);  // One reshard at a time.
+
+  // 1. Open the mirror window before reading anything: a write that misses
+  // the enumeration is guaranteed to be in the journal.
+  {
+    std::lock_guard lock(mirror_mu_);
+    mirror_journal_.clear();
+  }
+  mirroring_.store(true, std::memory_order_release);
+
+  std::vector<std::unique_ptr<ReplicaSet>> fresh;
+  fresh.reserve(new_num_shards);
+  for (unsigned i = 0; i < new_num_shards; ++i) {
+    fresh.push_back(make_replica_set(i));
+  }
+  // Raw view of the fresh sets: drain_mirror needs to reach them after
+  // commit_engines has moved ownership into the published EngineSet.
+  std::vector<ReplicaSet*> targets;
+  targets.reserve(fresh.size());
+  for (const auto& rs : fresh) {
+    targets.push_back(rs.get());
+  }
+
+  {
+    // 2+3. Consolidate and enumerate the old layout. The pin covers the
+    // whole scan; for_each_set reads each shard's reference replica.
+    epoch::EpochManager::Pin pin(*router_epoch_);
+    const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+    if (config_.concurrent_consolidate && es.shards.size() > 1) {
+      scheduler_->parallel_for(es.shards.size(),
+                               [&es](size_t i) { es.shards[i]->consolidate(); });
+    } else {
+      for (const auto& shard : es.shards) {
+        shard->consolidate();
+      }
+    }
+    for (const auto& shard : es.shards) {
+      shard->for_each_set([&](const BloomFilter192& filter, std::span<const Key> keys,
+                              std::span<const uint64_t> tag_hashes) {
+        for (Key key : keys) {
+          ReplicaSet& target = *targets[shard_of(filter.bits(), key, targets.size())];
+          if (tag_hashes.empty()) {
+            target.add_set(filter, key);
+          } else {
+            target.add_set_hashed(filter, tag_hashes, key);
+          }
+        }
+      });
+    }
+  }
+
+  // 4. Build the fresh layout, then fold in writes that raced the scan.
+  scheduler_->parallel_for(targets.size(), [&targets](size_t i) { targets[i]->consolidate(); });
+  drain_mirror(targets, new_num_shards);
+
+  // 5. Publish. commit_engines flushes outstanding queries against the old
+  // layout first, so every accepted query resolves against a complete set.
+  commit_engines(std::move(fresh));
+  num_shards_.store(new_num_shards, std::memory_order_release);
+
+  // Writes issued between the drain above and the commit journaled against a
+  // still-open window but landed on the OLD layout; replay them, then close
+  // the window. A write that lands after the commit went to the new layout
+  // directly AND journaled — replay stays idempotent (dedupe-on-consolidate),
+  // and remove-after-add ordering is preserved because the journal is
+  // append-ordered.
+  drain_mirror(targets, new_num_shards);
+  mirroring_.store(false, std::memory_order_release);
+  {
+    // Serialize with in-flight mirror() calls that passed the open check,
+    // then drop anything they appended after the final drain: those writers
+    // also applied their op to the (already published) new layout directly.
+    std::lock_guard lock(mirror_mu_);
+    mirror_journal_.clear();
+  }
+  return true;
+}
+
+void ShardedTagMatch::drain_mirror(const std::vector<ReplicaSet*>& targets, size_t new_count) {
+  std::vector<MirrorOp> batch;
+  {
+    std::lock_guard lock(mirror_mu_);
+    batch.swap(mirror_journal_);
+  }
+  for (const MirrorOp& op : batch) {
+    ReplicaSet& target = *targets[shard_of(op.filter.bits(), op.key, new_count)];
+    if (op.add) {
+      if (op.tag_hashes.empty()) {
+        target.add_set(op.filter, op.key);
+      } else {
+        target.add_set_hashed(op.filter, op.tag_hashes, op.key);
+      }
+    } else {
+      target.remove_set(op.filter, op.key);
+    }
+  }
+}
+
+// --- Replica administration ------------------------------------------------
+
+ReplicaHealth ShardedTagMatch::replica_health(unsigned shard, unsigned replica) const {
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  TAGMATCH_CHECK(shard < es.shards.size());
+  return es.shards[shard]->health(replica);
+}
+
+std::vector<std::pair<unsigned, ReplicaHealth>> ShardedTagMatch::replica_health_history(
+    unsigned shard) const {
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  TAGMATCH_CHECK(shard < es.shards.size());
+  return es.shards[shard]->health_history();
+}
+
+std::vector<std::pair<std::array<uint64_t, 3>, Matcher::Key>> ShardedTagMatch::replica_dump(
+    unsigned shard, unsigned replica) const {
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  TAGMATCH_CHECK(shard < es.shards.size());
+  return es.shards[shard]->dump_replica(replica);
+}
+
+void ShardedTagMatch::kill_replica(unsigned shard, unsigned replica) {
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  TAGMATCH_CHECK(shard < es.shards.size());
+  es.shards[shard]->kill_replica(replica);
+}
+
+void ShardedTagMatch::restart_replica(unsigned shard, unsigned replica) {
+  epoch::EpochManager::Pin pin(*router_epoch_);
+  const EngineSet& es = *engines_.load(std::memory_order_seq_cst);
+  TAGMATCH_CHECK(shard < es.shards.size());
+  es.shards[shard]->restart_replica(replica);
 }
 
 }  // namespace tagmatch::shard

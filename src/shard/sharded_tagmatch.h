@@ -43,16 +43,31 @@
 #include "src/core/tagmatch.h"
 #include "src/epoch/epoch_manager.h"
 #include "src/obs/trace.h"
+#include "src/shard/replica_set.h"
 #include "src/shard/shard_policy.h"
 #include "src/task/task_scheduler.h"
 
 namespace tagmatch::shard {
 
 struct ShardedConfig {
-  // Number of independent engine shards. Fixed for the instance's lifetime;
-  // load_index reshards a manifest saved with a different count.
+  // Number of independent logical shards. load_index reshards a manifest
+  // saved with a different count, and reshard() changes it live (split or
+  // merge with epoch handoff).
   unsigned num_shards = 2;
-  // Engine configuration applied to every shard.
+  // Replicas per logical shard (see replica_set.h). Writes fan out
+  // best-effort to all of them; reads go to one, hedged to a second when
+  // hedge_delay is set. 1 = no replication (the historical layout).
+  unsigned num_replicas = 1;
+  // Hedge a shard read to a backup replica when the primary has not answered
+  // within this budget (floored by 2x the shard's rolling p95). Zero
+  // disables hedging and the miss-driven replica health machinery. Only
+  // meaningful with num_replicas > 1.
+  std::chrono::milliseconds hedge_delay{0};
+  // Consecutive hedge misses before a replica is quarantined, and how long
+  // it then sits out before being probed.
+  uint32_t replica_miss_threshold = 3;
+  std::chrono::milliseconds replica_quarantine_period{50};
+  // Engine configuration applied to every replica of every shard.
   TagMatchConfig shard;
   // Set placement; defaults to SignatureHashPolicy (see shard_policy.h).
   std::shared_ptr<const ShardPolicy> policy;
@@ -149,6 +164,15 @@ class ShardedTagMatch : public Matcher {
   bool save_index(const std::string& path) const override;
   bool load_index(const std::string& path) override;
 
+  // --- Live resharding ---
+  // Splits or merges the instance to `new_num_shards` logical shards under
+  // traffic: queries keep flowing against the old layout until the new one
+  // is built and committed through the router's epoch manager (the same
+  // handoff load_index uses), and concurrent writes are journaled to a
+  // mirror and replayed onto the new layout, so no set is lost across the
+  // handoff (dedupe-on-apply staging makes the replay idempotent).
+  bool reshard(unsigned new_num_shards);
+
   void flush() override;
 
   // --- Introspection ---
@@ -160,9 +184,21 @@ class ShardedTagMatch : public Matcher {
     uint64_t queries = 0;          // Gathers started.
     uint64_t partial_results = 0;  // Gathers fired by timeout (degraded).
     uint64_t shards_shed = 0;      // Shard responses outstanding at timeout.
+    uint64_t hedged = 0;           // Backup probes fired at slow primaries.
+    uint64_t failovers = 0;        // Reads routed around an unhealthy replica.
+    uint64_t repairs = 0;          // Anti-entropy replica repair events.
     double wall_consolidate_seconds = 0;  // Last consolidate(), end to end.
   };
   ShardStats shard_stats() const;
+
+  // --- Replica introspection & chaos hooks (forwarded to the shard's
+  // ReplicaSet; see replica_set.h) ---
+  ReplicaHealth replica_health(unsigned shard, unsigned replica) const;
+  std::vector<std::pair<unsigned, ReplicaHealth>> replica_health_history(unsigned shard) const;
+  std::vector<std::pair<std::array<uint64_t, 3>, Key>> replica_dump(unsigned shard,
+                                                                    unsigned replica) const;
+  void kill_replica(unsigned shard, unsigned replica);
+  void restart_replica(unsigned shard, unsigned replica);
 
   // Merge of the router's own registry (shard.* counters, stage.gather_ns,
   // router-side stage.consolidate_ns) with every shard engine's registry —
@@ -174,22 +210,39 @@ class ShardedTagMatch : public Matcher {
   // Ring-overwrite drops summed over the router's tracer and every shard's.
   uint64_t trace_dropped() const override;
 
-  unsigned num_shards() const { return config_.num_shards; }
+  unsigned num_shards() const { return num_shards_.load(std::memory_order_acquire); }
+  unsigned num_replicas() const { return config_.num_replicas; }
   const ShardPolicy& policy() const { return *policy_; }
 
  private:
   struct Gather;
 
-  // The shard engines, published as one immutable unit through the router's
-  // epoch manager: readers pin router_epoch_ and load engines_; a commit
-  // swaps the pointer and retires the outgoing set once readers drain.
+  // The logical shards (each an R-replica ReplicaSet), published as one
+  // immutable unit through the router's epoch manager: readers pin
+  // router_epoch_ and load engines_; a commit swaps the pointer and retires
+  // the outgoing set once readers drain.
   struct EngineSet {
-    std::vector<std::unique_ptr<TagMatch>> shards;
+    std::vector<std::unique_ptr<ReplicaSet>> shards;
   };
 
-  uint32_t shard_of(const BitVector192& filter, Key key) const {
-    return policy_->shard_of(filter, key, config_.num_shards);
+  // A write captured while a reshard's mirror window is open, replayed onto
+  // the new layout before and after the epoch handoff.
+  struct MirrorOp {
+    bool add = true;
+    BloomFilter192 filter;
+    std::vector<uint64_t> tag_hashes;
+    Key key = 0;
+  };
+
+  uint32_t shard_of(const BitVector192& filter, Key key, size_t count) const {
+    return policy_->shard_of(filter, key, static_cast<unsigned>(count));
   }
+  std::unique_ptr<ReplicaSet> make_replica_set(unsigned shard_index);
+  // Appends to the mirror journal when a reshard window is open.
+  void mirror(bool add, const BloomFilter192& filter, std::span<const uint64_t> tag_hashes,
+              Key key);
+  // Replays journal batches onto `targets` until the journal is empty.
+  void drain_mirror(const std::vector<ReplicaSet*>& targets, size_t new_count);
   // String-tag entry points must encode under the same signature scheme the
   // shard engines run (scheme_, pinned at construction) — a bloom192-encoded
   // query against blocked64-encoded tables silently matches nothing.
@@ -219,7 +272,7 @@ class ShardedTagMatch : public Matcher {
   // Publishes freshly loaded engines: completes outstanding gathers, swaps
   // the engine-set pointer, waits for pinned readers to drain, then retires
   // the outgoing engines (their destructors flush in-flight work).
-  void commit_engines(std::vector<std::unique_ptr<TagMatch>> fresh);
+  void commit_engines(std::vector<std::unique_ptr<ReplicaSet>> fresh);
   std::vector<Key> match_sync(const BloomFilter192& query, MatchKind kind,
                               std::vector<uint64_t> tag_hashes);
 
@@ -255,10 +308,26 @@ class ShardedTagMatch : public Matcher {
   // Router-level observability: counters + the gather-stage histogram live
   // in the router's own registry (each shard engine keeps its own, so
   // per-shard stats stay per-shard); metrics_snapshot() merges them.
+  // Current logical shard count: config_.num_shards at construction, updated
+  // by reshard(). Placement always derives from the pinned engine set's own
+  // size so a read racing a reshard stays self-consistent.
+  std::atomic<unsigned> num_shards_;
+
+  // Reshard mirror window: one reshard at a time (reshard_mu_); while
+  // mirroring_ is set, every write appends to the journal after applying to
+  // the live (old) layout.
+  std::mutex reshard_mu_;
+  std::atomic<bool> mirroring_{false};
+  std::mutex mirror_mu_;
+  std::vector<MirrorOp> mirror_journal_;
+
   obs::PipelineObs obs_;
   obs::Counter* queries_ = nullptr;
   obs::Counter* partial_results_ = nullptr;
   obs::Counter* shards_shed_ = nullptr;
+  obs::Counter* hedged_ = nullptr;     // Shared with every ReplicaSet.
+  obs::Counter* failovers_ = nullptr;  // (registry dedupes by name).
+  obs::Counter* repairs_ = nullptr;
   std::atomic<uint64_t> gather_seq_{0};
   std::atomic<uint64_t> consolidate_seq_{0};
   // Written by consolidate(), read by shard_stats() — atomic so a stats

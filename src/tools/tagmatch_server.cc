@@ -1,6 +1,7 @@
 // tagmatch_server — standalone TagBroker service over TCP.
 //
-// Usage: tagmatch_server [port] [--shards N] [--workers N] [--pin-workers]
+// Usage: tagmatch_server [port] [--shards N] [--replicas R] [--hedge-ms N]
+//                        [--workers N] [--pin-workers]
 //                        [--publish-slo-ms N [--slo-mode M]]
 //                        [--stats-json FILE [--stats-interval MS]]
 //                        [--tracing [--trace-sample N]] [--trace-out FILE]
@@ -10,6 +11,13 @@
 //   port: TCP port on 127.0.0.1 (default 7077; 0 = ephemeral, printed).
 //   --shards N: back the broker with a sharded engine (N independent
 //               TagMatch shards, scatter-gather matching; default 1).
+//   --replicas R: run R replicas per engine shard (src/shard/replica_set.h):
+//               replicated writes with anti-entropy repair, failover around
+//               unhealthy replicas; default 1 (no replication).
+//   --hedge-ms N: hedge a shard read to a backup replica when the primary
+//               has not answered within N ms (floored by 2x the shard's
+//               rolling p95; requires --replicas > 1). 0/absent disables
+//               hedging and the miss-driven replica health machinery.
 //   --workers N: task-pool workers per engine (0/absent = TAGMATCH_WORKERS
 //               env, then the engine thread default). --pin-workers pins
 //               each worker to a hardware thread. The pools drive query
@@ -123,6 +131,8 @@ void dump_traces(const tagmatch::broker::Broker& broker, const std::string& path
 int main(int argc, char** argv) {
   uint16_t port = 7077;
   unsigned shards = 1;
+  unsigned replicas = 1;
+  unsigned long hedge_ms = 0;
   unsigned workers = 0;
   bool pin_workers = false;
   bool port_seen = false;
@@ -143,6 +153,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      replicas = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--hedge-ms") == 0 && i + 1 < argc) {
+      hedge_ms = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--pin-workers") == 0) {
@@ -208,6 +222,8 @@ int main(int argc, char** argv) {
   config.engine.signature_scheme = scheme;
   config.consolidate_interval = std::chrono::milliseconds(250);
   config.engine_shards = shards == 0 ? 1 : shards;
+  config.engine_replicas = replicas == 0 ? 1 : replicas;
+  config.hedge_delay = std::chrono::milliseconds(hedge_ms);
   config.publish_slo = publish_slo;
   config.slo_mode = slo_mode;
   config.tracing = tracing;
@@ -258,8 +274,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot listen on port %u\n", port);
     return 1;
   }
-  std::printf("tagmatch_server listening on 127.0.0.1:%u (%u engine shard%s)\n", server.port(),
-              config.engine_shards, config.engine_shards == 1 ? "" : "s");
+  std::printf("tagmatch_server listening on 127.0.0.1:%u (%u engine shard%s, %u replica%s)\n",
+              server.port(), config.engine_shards, config.engine_shards == 1 ? "" : "s",
+              config.engine_replicas, config.engine_replicas == 1 ? "" : "s");
   std::fflush(stdout);
 
   // Optional periodic metrics dump (--stats-json).

@@ -1,0 +1,172 @@
+// Anti-entropy convergence stress for the replication layer
+// (src/shard/replica_set.*), TSan-wired via the nightly sanitizer matrix:
+// concurrent subscription-style churn, hedged queries, kill/restart cycles
+// and periodic consolidates all race; afterwards one final consolidate must
+// converge every replica of every shard to byte-identical content, and
+// every accepted query must have fired its callback exactly once (hedges
+// and failovers never duplicate or drop a completion).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/shard/sharded_tagmatch.h"
+#include "src/workload/tags.h"
+#include "tests/test_seed.h"
+
+namespace tagmatch {
+namespace {
+
+using Key = Matcher::Key;
+using shard::ShardedConfig;
+using shard::ShardedTagMatch;
+using workload::TagId;
+
+TagMatchConfig engine_config() {
+  TagMatchConfig c;
+  c.num_threads = 2;
+  c.num_gpus = 1;
+  c.streams_per_gpu = 2;
+  c.gpu_sms_per_device = 1;
+  c.gpu_memory_capacity = 128ull << 20;
+  c.gpu_costs.enforce = false;
+  c.batch_size = 16;
+  c.max_partition_size = 32;
+  return c;
+}
+
+BitVector192 random_filter(Rng& rng, uint32_t universe, unsigned max_tags) {
+  std::vector<TagId> tags;
+  unsigned n = 1 + static_cast<unsigned>(rng.below(max_tags));
+  for (unsigned i = 0; i < n; ++i) {
+    tags.push_back(workload::make_hashtag(0, static_cast<uint32_t>(rng.below(universe))));
+  }
+  return workload::encode_tags(tags).bits();
+}
+
+TEST(ShardedReplicaStress, ChurnKillRestartConvergesAndFiresExactlyOnce) {
+  const uint64_t seed = test::test_seed(9101);
+  TAGMATCH_SEED_TRACE(seed);
+
+  constexpr unsigned kShards = 2;
+  constexpr unsigned kReplicas = 3;
+  ShardedConfig config;
+  config.num_shards = kShards;
+  config.num_replicas = kReplicas;
+  config.hedge_delay = std::chrono::milliseconds(5);
+  config.replica_quarantine_period = std::chrono::milliseconds(10);
+  config.shard = engine_config();
+  ShardedTagMatch router(config);
+
+  // Seed content so queries hit something from the start.
+  {
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      router.add_set(BloomFilter192(random_filter(rng, 100, 3)), static_cast<Key>(i));
+    }
+  }
+  router.consolidate();
+
+  constexpr int kWriters = 2;
+  constexpr int kQueriers = 2;
+  constexpr int kOpsPerWriter = 300;
+  constexpr int kQueriesPerQuerier = 150;
+
+  std::atomic<bool> stop_chaos{false};
+  std::vector<std::unique_ptr<std::atomic<int>>> fired;
+  fired.reserve(kQueriers * kQueriesPerQuerier);
+  for (int i = 0; i < kQueriers * kQueriesPerQuerier; ++i) {
+    fired.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+
+  std::vector<std::thread> threads;
+  // Churn writers: interleaved adds and removes on a private key range each.
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed + 17 * static_cast<uint64_t>(t + 1));
+      const Key base = 10'000 + static_cast<Key>(t) * 10'000;
+      std::vector<BitVector192> added;
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        if (!added.empty() && rng.chance(0.3)) {
+          const size_t j = rng.below(added.size());
+          router.remove_set(BloomFilter192(added[j]), base + static_cast<Key>(j));
+        } else {
+          added.push_back(random_filter(rng, 100, 3));
+          router.add_set(BloomFilter192(added.back()),
+                         base + static_cast<Key>(added.size() - 1));
+        }
+        if (i % 60 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+  // Queriers: async matches; each callback must fire exactly once.
+  for (int t = 0; t < kQueriers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed + 31 * static_cast<uint64_t>(t + 1));
+      for (int i = 0; i < kQueriesPerQuerier; ++i) {
+        const int slot = t * kQueriesPerQuerier + i;
+        router.match_async(BloomFilter192(random_filter(rng, 100, 5)),
+                           Matcher::MatchKind::kMatch, [&fired, slot](std::vector<Key>) {
+                             fired[static_cast<size_t>(slot)]->fetch_add(
+                                 1, std::memory_order_relaxed);
+                           });
+        if (i % 20 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+  // Chaos: kill/restart cycles on replicas 1..R-1 (replica 0 stays alive so
+  // anti-entropy always has a trustworthy reference), with consolidates
+  // (repairs) racing everything else.
+  threads.emplace_back([&] {
+    Rng rng(seed ^ 0xc4a05);
+    while (!stop_chaos.load(std::memory_order_acquire)) {
+      const unsigned shard = static_cast<unsigned>(rng.below(kShards));
+      const unsigned replica = 1 + static_cast<unsigned>(rng.below(kReplicas - 1));
+      router.kill_replica(shard, replica);
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      router.restart_replica(shard, replica);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      router.consolidate();
+    }
+  });
+
+  for (size_t t = 0; t < threads.size() - 1; ++t) {
+    threads[t].join();
+  }
+  stop_chaos.store(true, std::memory_order_release);
+  threads.back().join();
+
+  router.flush();
+  // Two rounds: the first repairs any replica restarted after the chaos
+  // thread's last consolidate, the second folds those repairs' staging.
+  router.consolidate();
+  router.consolidate();
+
+  // Exactly-once: every accepted query fired its callback once — hedges and
+  // failovers may race, duplicates and drops may not.
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i]->load(std::memory_order_relaxed), 1) << "query slot " << i;
+  }
+
+  // Convergence: every replica of every shard holds identical content.
+  for (unsigned s = 0; s < router.num_shards(); ++s) {
+    const auto reference = router.replica_dump(s, 0);
+    EXPECT_FALSE(reference.empty()) << "shard " << s << " lost everything";
+    for (unsigned r = 1; r < kReplicas; ++r) {
+      EXPECT_EQ(router.replica_dump(s, r), reference)
+          << "shard " << s << " replica " << r << " diverged after anti-entropy";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tagmatch

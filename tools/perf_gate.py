@@ -42,6 +42,16 @@ A fourth mode gates liveness under churn: `--churn-baseline` checks a
 Both use --min-delta-ns as the absolute noise floor, and fail only in the
 majority of run files.
 
+A fifth mode gates replica hedging: `--replica-baseline` checks a
+`bench_replica_tail --json` artifact. The yardstick is self-relative — the
+run's hedged-phase query p99 (one replica injected-slow, hedged reads on)
+must stay within max_hedged_over_unhedged_p99 (from the baseline file,
+default 0.5, i.e. hedging must cut the slow-replica tail at least 2x) of the
+SAME run's unhedged p99 — so machine speed and the injected stall magnitude
+both cancel out. Runs where the two phases differ by less than
+--min-delta-ns carry no tail signal and pass; failure needs the majority of
+run files.
+
 Stdlib only. Exit code 0 = pass, 1 = sustained regression, 2 = usage/IO error.
 
 Usage:
@@ -53,6 +63,8 @@ Usage:
       fig5_workers_run.json
   python3 tools/perf_gate.py --churn-baseline bench/baselines/churn.json \
       churn_run.json
+  python3 tools/perf_gate.py --replica-baseline bench/baselines/replica_tail.json \
+      replica_tail_run.json
 
 Refreshing the baseline after an intentional perf change: re-run the smoke
 bench (see .github/workflows/ci.yml) and copy its stats JSON over
@@ -61,7 +73,9 @@ bench/baselines/fig7_bloom192.json and `bench_fig5_threads --workers --json`
 over bench/baselines/fig5_workers.json (keeping its min_scaling_fraction).
 For bench/baselines/churn.json, refresh publish_visibility_ns.p95 from a
 `bench_churn --json` run at the baseline's TAGMATCH_BENCH_USERS scale and
-keep max_churn_over_nochurn_p99 (it is a contract, not a measurement).
+keep max_churn_over_nochurn_p99 (it is a contract, not a measurement); the
+same applies to bench/baselines/replica_tail.json and its
+max_hedged_over_unhedged_p99.
 """
 
 import argparse
@@ -294,6 +308,49 @@ def churn_gate(args):
     return 0
 
 
+def replica_gate(args):
+    """Hedging gate over bench_replica_tail --json artifacts: the hedged
+    phase's query p99 self-relative to the same run's unhedged p99, both
+    measured with one replica injected-slow. Runs whose phases differ by
+    less than --min-delta-ns carry no tail signal and never fail."""
+    baseline = load(args.replica_baseline)
+    runs = [(path, load(path)) for path in args.runs]
+    majority = len(runs) // 2 + 1
+    max_ratio = float(baseline.get("max_hedged_over_unhedged_p99", 0.5))
+
+    for path, run in runs:
+        if float(run.get("unhedged", {}).get("p99_ns", 0)) <= 0:
+            print(f"perf_gate: {path} has no unhedged reference point", file=sys.stderr)
+            return 2
+
+    failures = []
+    regressed_in = []
+    detail = []
+    for path, run in runs:
+        unhedged = float(run["unhedged"]["p99_ns"])
+        hedged = float(run.get("hedged", {}).get("p99_ns", 0))
+        ceiling = max_ratio * unhedged
+        detail.append(f"{hedged:.0f}/{ceiling:.0f}")
+        if hedged > ceiling and hedged - ceiling >= args.min_delta_ns:
+            regressed_in.append((path, hedged, ceiling))
+    status = "FAIL" if len(regressed_in) >= majority else "ok"
+    print(f"  [{status:4}] hedged query p99 vs own unhedged p99: runs "
+          f"[ns/ceiling: {' '.join(detail)}] (max ratio {max_ratio})")
+    if len(regressed_in) >= majority:
+        failures.append(("hedged p99 over slow replica", regressed_in))
+
+    if failures:
+        print(f"\nperf_gate: FAIL — hedging no longer cuts the slow-replica tail "
+              f"in >= {majority}/{len(runs)} runs:", file=sys.stderr)
+        for what, regressed_in in failures:
+            for path, value, ceiling in regressed_in:
+                print(f"  {what}: {value:.0f} ns > ceiling {ceiling:.0f} ns ({path})",
+                      file=sys.stderr)
+        return 1
+    print(f"perf_gate: pass ({len(runs)} run(s) vs {args.replica_baseline})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", help="baseline stats JSON (latency mode)")
@@ -303,6 +360,8 @@ def main():
                         help="baseline bench_fig5_threads --workers artifact (scaling mode)")
     parser.add_argument("--churn-baseline",
                         help="baseline bench_churn --json artifact (churn-liveness mode)")
+    parser.add_argument("--replica-baseline",
+                        help="baseline bench_replica_tail --json artifact (hedging mode)")
     parser.add_argument("runs", nargs="+", help="stats JSON from this build's reruns")
     parser.add_argument("--ratio", type=float, default=1.5,
                         help="regression threshold multiplier (default 1.5)")
@@ -311,11 +370,11 @@ def main():
     args = parser.parse_args()
 
     modes = [m for m in (args.baseline, args.fig7_baseline, args.fig5_baseline,
-                         args.churn_baseline)
+                         args.churn_baseline, args.replica_baseline)
              if m is not None]
     if len(modes) != 1:
         print("perf_gate: pass exactly one of --baseline / --fig7-baseline / "
-              "--fig5-baseline / --churn-baseline", file=sys.stderr)
+              "--fig5-baseline / --churn-baseline / --replica-baseline", file=sys.stderr)
         return 2
     if args.fig7_baseline:
         return fig7_gate(args)
@@ -323,6 +382,8 @@ def main():
         return fig5_gate(args)
     if args.churn_baseline:
         return churn_gate(args)
+    if args.replica_baseline:
+        return replica_gate(args)
 
     baseline = load(args.baseline)
     runs = [(path, load(path)) for path in args.runs]
