@@ -106,6 +106,7 @@ ReplicaSet::~ReplicaSet() {
       if (config_.fault_injector != nullptr &&                                       \
           config_.fault_injector->check(inject::FaultSite::kReplica, r).action ==    \
               inject::FaultAction::kFail) {                                          \
+        rep.dropped_writes.fetch_add(1, std::memory_order_relaxed);                  \
         continue; /* Write lost on this replica. */                                  \
       }                                                                              \
       rep.engine->call;                                                              \
@@ -173,16 +174,26 @@ void ReplicaSet::consolidate() {
   if (replicas_.size() == 1) {
     return;
   }
-  // Reference: the live, repaired replica that applied the most writes.
+  // Reference: the live, repaired replica that applied the most writes;
+  // ties prefer the replica that dropped fewest writes (its content is the
+  // least lossy of the equally-applied candidates).
   Replica* reference = nullptr;
   for (auto& rep : replicas_) {
     if (rep->dead.load(std::memory_order_acquire) ||
         rep->needs_repair.load(std::memory_order_acquire)) {
       continue;
     }
-    if (reference == nullptr ||
-        rep->applied_writes.load(std::memory_order_relaxed) >
-            reference->applied_writes.load(std::memory_order_relaxed)) {
+    if (reference == nullptr) {
+      reference = rep.get();
+      continue;
+    }
+    const uint64_t applied = rep->applied_writes.load(std::memory_order_relaxed);
+    const uint64_t ref_applied_so_far =
+        reference->applied_writes.load(std::memory_order_relaxed);
+    if (applied > ref_applied_so_far ||
+        (applied == ref_applied_so_far &&
+         rep->dropped_writes.load(std::memory_order_relaxed) <
+             reference->dropped_writes.load(std::memory_order_relaxed))) {
       reference = rep.get();
     }
   }
@@ -190,17 +201,27 @@ void ReplicaSet::consolidate() {
     return;  // Nothing trustworthy to repair from.
   }
   const uint64_t ref_applied = reference->applied_writes.load(std::memory_order_relaxed);
+  const bool ref_dropped_any =
+      reference->dropped_writes.load(std::memory_order_relaxed) > 0;
   for (unsigned r = 0; r < replicas_.size(); ++r) {
     Replica& rep = *replicas_[r];
     if (&rep == reference || rep.dead.load(std::memory_order_acquire)) {
       continue;
     }
-    if (!rep.needs_repair.load(std::memory_order_acquire) &&
+    // Equal applied counts prove convergence only when neither side dropped
+    // a write: fault rules share counters across replicas, so two replicas
+    // can drop *different* writes and still end with equal counts. Any drop
+    // on either side forces the content diff.
+    if (!rep.needs_repair.load(std::memory_order_acquire) && !ref_dropped_any &&
+        rep.dropped_writes.load(std::memory_order_relaxed) == 0 &&
         rep.applied_writes.load(std::memory_order_relaxed) == ref_applied) {
       continue;  // Converged.
     }
     repair_replica(r, *reference);
   }
+  // Every live replica now matches the reference's content, so its drop
+  // history is no longer evidence of divergence.
+  reference->dropped_writes.store(0, std::memory_order_relaxed);
 }
 
 void ReplicaSet::repair_replica(unsigned index, Replica& reference) {
@@ -258,6 +279,7 @@ void ReplicaSet::repair_replica(unsigned index, Replica& reference) {
   lagging.engine->consolidate();
   lagging.applied_writes.store(reference.applied_writes.load(std::memory_order_relaxed),
                                std::memory_order_relaxed);
+  lagging.dropped_writes.store(0, std::memory_order_relaxed);
   lagging.needs_repair.store(false, std::memory_order_release);
   lagging.miss_streak.store(0, std::memory_order_relaxed);
   repairs_->inc();
@@ -423,22 +445,36 @@ void ReplicaSet::match(const BloomFilter192& query, std::span<const uint64_t> ta
     if (r >= replicas_.size()) {
       r = pick_any_live(0);  // Everyone quarantined: a live one still has the data.
     }
+    if (r >= replicas_.size()) {
+      // Nothing selectable at accept (every replica dead or unrepaired):
+      // degrade to an empty result inline — exactly like the non-hedged
+      // path — instead of parking the query until the sweeper's exhaustion
+      // backstop.
+      Matcher::MatchCallback cb = std::move(p->callback);
+      cb({});
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+    // All hedge bookkeeping is written before the Pending is published into
+    // pending_; from then on only the sweeper mutates it, under pending_mu_
+    // (see the Pending ownership protocol in replica_set.h).
+    p->primary = r;
+    p->tried = 1u << r;
     p->hedge_at_ns = now + hedge_budget_ns();
-    p->primary = r < replicas_.size() ? r : 0;
     {
       std::lock_guard lock(pending_mu_);
       pending_.push_back(p);
     }
-    if (r < replicas_.size()) {
-      dispatch(p, r);  // Black-holed dispatches resolve through the sweeper.
-    }
+    dispatch(p, r);  // Black-holed dispatches resolve through the sweeper.
     return;
   }
 
   // No sweeper: a knowably-dead dispatch fails over inline so the query (and
-  // flush) can never hang on a replica that will not answer.
+  // flush) can never hang on a replica that will not answer. The Pending is
+  // never published here, so this thread owns p->tried throughout.
   unsigned r = pick_replica(0, /*count_failover=*/true);
   while (r < replicas_.size()) {
+    p->tried |= 1u << r;
     if (dispatch(p, r)) {
       return;
     }
@@ -447,6 +483,7 @@ void ReplicaSet::match(const BloomFilter192& query, std::span<const uint64_t> ta
   }
   r = pick_any_live(p->tried);
   while (r < replicas_.size()) {
+    p->tried |= 1u << r;
     if (dispatch(p, r)) {
       return;
     }
@@ -464,7 +501,6 @@ void ReplicaSet::match(const BloomFilter192& query, std::span<const uint64_t> ta
 }
 
 bool ReplicaSet::dispatch(const std::shared_ptr<Pending>& p, unsigned r) {
-  p->tried |= 1u << r;
   std::shared_lock lock(replicas_mu_);
   Replica& rep = *replicas_[r];
   if (rep.dead.load(std::memory_order_acquire)) {
@@ -650,6 +686,9 @@ void ReplicaSet::sweep(int64_t now) {
         }
         if (backup < replicas_.size()) {
           p.primary = backup;
+          p.tried |= 1u << backup;  // Marked here, under pending_mu_ — the
+                                    // out-of-lock dispatch below no longer
+                                    // writes tried.
           p.dispatch_ns = now;
           p.hedge_at_ns = now + budget;
           to_hedge.push_back(*it);
@@ -753,6 +792,7 @@ bool ReplicaSet::load_index(const std::string& path) {
       return false;
     }
     rep->applied_writes.store(0, std::memory_order_relaxed);
+    rep->dropped_writes.store(0, std::memory_order_relaxed);
     rep->needs_repair.store(false, std::memory_order_release);
   }
   return true;
@@ -838,6 +878,7 @@ void ReplicaSet::restart_replica(unsigned replica) {
     rep.dead.store(false, std::memory_order_release);
     rep.needs_repair.store(true, std::memory_order_release);
     rep.applied_writes.store(0, std::memory_order_relaxed);
+    rep.dropped_writes.store(0, std::memory_order_relaxed);
     rep.miss_streak.store(0, std::memory_order_relaxed);
   }
   if (static_cast<ReplicaHealth>(replicas_[replica]->health.load(

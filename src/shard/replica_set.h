@@ -167,12 +167,25 @@ class ReplicaSet {
     // Writes actually applied (skipped while dead / fault-dropped): the
     // replica with the highest count is the anti-entropy reference.
     std::atomic<uint64_t> applied_writes{0};
+    // Writes this replica lost to a fault-plan drop since its last repair.
+    // Count equality alone cannot prove convergence once any replica dropped
+    // a write (two replicas can drop *different* writes and end with equal
+    // applied counts), so anti-entropy falls back to the content diff
+    // whenever this is nonzero on either side of the comparison.
+    std::atomic<uint64_t> dropped_writes{0};
     obs::Gauge* health_gauge = nullptr;
   };
 
   // One hedge-tracked in-flight query. `fired` under `mu` is the
   // exactly-once claim; `tried` records which replicas were dispatched so a
   // hedge never re-asks a replica that already has the query.
+  //
+  // Ownership protocol for the hedge bookkeeping (`tried`, `primary`,
+  // `dispatch_ns`, `hedge_at_ns`): the accepting thread writes them before
+  // publishing the Pending into `pending_` (the push under `pending_mu_` is
+  // the happens-before edge); after publication only the sweeper touches
+  // them, under `pending_mu_`. In the non-hedged path the Pending is never
+  // published, so the accepting thread owns them throughout.
   struct Pending {
     BloomFilter192 query;
     std::vector<uint64_t> tag_hashes;
@@ -214,8 +227,9 @@ class ReplicaSet {
   // excluded. Returns num_replicas() when nothing qualifies.
   unsigned pick_any_live(uint32_t exclude_mask) const;
   // Dispatches `p` to replica `r`. Returns false when the fault plan
-  // black-holed the dispatch (no response will ever come). Marks `r` tried
-  // either way so a hedge never re-asks it.
+  // black-holed the dispatch (no response will ever come). Does NOT touch
+  // `p->tried` — callers mark `r` tried before calling, per the Pending
+  // ownership protocol above.
   bool dispatch(const std::shared_ptr<Pending>& p, unsigned r);
   void dispatch_probe(unsigned r, const BloomFilter192& query,
                       std::vector<uint64_t> tag_hashes, Matcher::MatchKind kind);

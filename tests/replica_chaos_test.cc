@@ -258,6 +258,59 @@ TEST(ReplicaChaos, TransientWriteDropsAreRepairedByAntiEntropy) {
   EXPECT_GT(stats.repairs, 0u) << "write-dropped replicas must have been repaired";
 }
 
+TEST(ReplicaChaos, DivergentDropsWithEqualCountsStillConverge) {
+  // Fault-rule counters are shared across replicas, so this plan makes
+  // replica 0 drop the first write and replica 1 drop the second: both end
+  // with equal applied-write counts but different content. Anti-entropy
+  // must not read count equality as convergence — the recorded drops force
+  // the content diff and the replicas converge.
+  auto plan =
+      FaultPlan::parse("replica:dev=0,after=0,count=1;replica:dev=1,after=1,count=1");
+  ASSERT_TRUE(plan.has_value());
+  shard::ReplicaConfig rc;
+  rc.num_replicas = 2;
+  rc.fault_injector = std::make_shared<FaultInjector>(*plan);
+  obs::Registry registry;
+  ReplicaSet set(engine_config(), rc, &registry);
+
+  Rng rng(test::test_seed(9003));
+  for (int i = 0; i < 20; ++i) {
+    set.add_set(BloomFilter192(random_filter(rng, 80, 3)), static_cast<Key>(i));
+  }
+  set.consolidate();
+  EXPECT_GT(registry.counter("replica.repairs")->value(), 0u)
+      << "equal applied counts with divergent drops must still trigger repair";
+  EXPECT_EQ(set.dump_replica(0), set.dump_replica(1))
+      << "replicas that dropped different writes must converge at consolidate";
+}
+
+TEST(ReplicaChaos, AllReplicasDeadDegradesImmediatelyUnderHedging) {
+  // With every replica killed before accept, a hedged read must degrade to
+  // an empty result inline (as the non-hedged path does) instead of parking
+  // until the sweeper's ~250 ms exhaustion backstop.
+  shard::ReplicaConfig rc;
+  rc.num_replicas = 2;
+  rc.hedge_delay = std::chrono::milliseconds(5);
+  obs::Registry registry;
+  ReplicaSet set(engine_config(), rc, &registry);
+  Rng rng(test::test_seed(9004));
+  set.add_set(BloomFilter192(random_filter(rng, 80, 3)), Key{1});
+  set.consolidate();
+  set.kill_replica(0);
+  set.kill_replica(1);
+
+  const int64_t start = now_ns();
+  std::promise<std::vector<Key>> done;
+  set.match(BloomFilter192(random_filter(rng, 80, 3)), {}, Matcher::MatchKind::kMatch, 0,
+            {}, [&done](std::vector<Key> keys) { done.set_value(std::move(keys)); });
+  auto fut = done.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::milliseconds(100)), std::future_status::ready)
+      << "all-dead accept must not wait for the exhaustion backstop";
+  EXPECT_TRUE(fut.get().empty());
+  EXPECT_LT(now_ns() - start, 100'000'000);
+  set.flush();  // Must return immediately: nothing is outstanding.
+}
+
 TEST(ReplicaChaos, AtMsTriggeredKillMidStreamIsIdentical) {
   // Replica 1 dies (wall clock) 100 ms after the injector arms — mid
   // query stream; earlier queries may be served by it, later ones must fail

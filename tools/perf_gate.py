@@ -322,13 +322,16 @@ def replica_gate(args):
         if float(run.get("unhedged", {}).get("p99_ns", 0)) <= 0:
             print(f"perf_gate: {path} has no unhedged reference point", file=sys.stderr)
             return 2
+        if float(run.get("hedged", {}).get("p99_ns", 0)) <= 0:
+            print(f"perf_gate: {path} has no hedged phase measurement", file=sys.stderr)
+            return 2
 
     failures = []
     regressed_in = []
     detail = []
     for path, run in runs:
         unhedged = float(run["unhedged"]["p99_ns"])
-        hedged = float(run.get("hedged", {}).get("p99_ns", 0))
+        hedged = float(run["hedged"]["p99_ns"])  # Presence validated above.
         ceiling = max_ratio * unhedged
         detail.append(f"{hedged:.0f}/{ceiling:.0f}")
         if hedged > ceiling and hedged - ceiling >= args.min_delta_ns:
